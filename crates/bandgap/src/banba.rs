@@ -1,0 +1,283 @@
+//! Extension: the sub-1V *current-mode* bandgap (Banba et al., JSSC 1999 —
+//! the paper's reference \[10\] and the motivation of its introduction).
+//!
+//! The classic cell of Fig. 3 outputs `VBE + k·dVBE ≈ 1.2 V` and cannot
+//! work below that. Banba's trick sums *currents* instead of voltages:
+//!
+//! ```text
+//! node va: QA diode  ||  R1 to ground     <- mirror leg 1
+//! node vb: (R0 + QB diode)  ||  R2        <- mirror leg 2 (R2 = R1)
+//! op-amp forces va = vb, sets the mirror control voltage
+//! I = VBE/R1 + dVBE/R0      (CTAT + PTAT currents)
+//! VREF = I * R3             (any voltage, e.g. 0.6 V)
+//! ```
+//!
+//! The extracted `EG`/`XTI` of the test structure matter *more* here: the
+//! curvature left after first-order compensation is exactly what the
+//! eq.-13 law with the right card predicts. This module reuses every
+//! substrate of the workspace — the op-amp, the Gummel-Poon PNPs, the
+//! mirror as matched [`Vccs`] legs.
+
+use icvbe_numerics::roots::{brent, RootOptions};
+use icvbe_spice::bjt::{Bjt, BjtParams, Polarity};
+use icvbe_spice::element::{OpAmp, Resistor};
+use icvbe_spice::netlist::{Circuit, NodeId};
+use icvbe_spice::param::Param;
+use icvbe_spice::solver::{solve_dc, DcOptions};
+use icvbe_spice::vccs::Vccs;
+use icvbe_spice::SpiceError;
+use icvbe_units::{Kelvin, Ohm, Volt};
+
+/// Configuration of the current-mode cell.
+#[derive(Debug, Clone)]
+pub struct BanbaCell {
+    /// PNP model card.
+    pub card: BjtParams,
+    /// QB emitter-area ratio.
+    pub area_ratio: f64,
+    /// The dVBE resistor `R0` (PTAT current), trimmable.
+    pub r0: Param,
+    /// The VBE resistors `R1 = R2` (CTAT current).
+    pub r1: Ohm,
+    /// The output resistor `R3` (sets the output level).
+    pub r3: Ohm,
+    /// Mirror transconductance per leg.
+    pub gm: f64,
+    /// Op-amp open-loop gain.
+    pub opamp_gain: f64,
+}
+
+/// Probe nodes of the built cell.
+#[derive(Debug, Clone, Copy)]
+pub struct BanbaNodes {
+    /// Mirror leg 1 summing node (QA || R1).
+    pub va: NodeId,
+    /// Mirror leg 2 summing node (R0+QB || R2).
+    pub vb: NodeId,
+    /// The output node (`I * R3`).
+    pub vref: NodeId,
+    /// The op-amp output (mirror control).
+    pub ctl: NodeId,
+}
+
+/// One solved point.
+#[derive(Debug, Clone)]
+pub struct BanbaReading {
+    /// Temperature of the solve.
+    pub temperature: Kelvin,
+    /// The sub-1V reference output.
+    pub vref: Volt,
+    /// Per-leg mirror current (amps).
+    pub leg_current: f64,
+    /// Raw solution vector for warm starts.
+    pub solution: Vec<f64>,
+}
+
+impl BanbaCell {
+    /// A ~0.6 V design on the given card: `R0 = 100 kΩ`,
+    /// `R1 = R2 = 1.03 MΩ`, `R3 = 510 kΩ`.
+    #[must_use]
+    pub fn nominal(card: BjtParams) -> Self {
+        BanbaCell {
+            card,
+            area_ratio: 8.0,
+            r0: Param::new(100e3),
+            r1: Ohm::new(1.03e6),
+            r3: Ohm::new(510e3),
+            gm: 1e-3,
+            opamp_gain: 1e6,
+        }
+    }
+
+    /// Builds the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation.
+    pub fn build(&self) -> Result<(Circuit, BanbaNodes), SpiceError> {
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::ground();
+        let va = ckt.node("va");
+        let vb = ckt.node("vb");
+        let vmid = ckt.node("vmid");
+        let vref = ckt.node("vref");
+        let ctl = ckt.node("ctl");
+
+        // Mirror: three matched legs, all controlled by ctl.
+        ckt.add(Vccs::new("GM1", ctl, gnd, gnd, va, self.gm)?);
+        ckt.add(Vccs::new("GM2", ctl, gnd, gnd, vb, self.gm)?);
+        ckt.add(Vccs::new("GM3", ctl, gnd, gnd, vref, self.gm)?);
+
+        // Leg 1: QA || R1.
+        ckt.add(Bjt::new("QA", gnd, gnd, va, Polarity::Pnp, self.card)?);
+        ckt.add(Resistor::new("R1", va, gnd, self.r1)?);
+
+        // Leg 2: R0 + QB (area N), in parallel with R2 = R1.
+        ckt.add(Resistor::new("R0", vb, vmid, Ohm::new(1.0))?.with_handle(self.r0.clone()));
+        ckt.add(Bjt::new("QB", gnd, gnd, vmid, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?);
+        ckt.add(Resistor::new("R2", vb, gnd, self.r1)?);
+
+        // Output leg: I into R3.
+        ckt.add(Resistor::new("R3", vref, gnd, self.r3)?);
+
+        // The loop amplifier: forces va = vb by driving the mirror.
+        ckt.add(OpAmp::new("U1", va, vb, ctl, self.opamp_gain)?);
+
+        Ok((
+            ckt,
+            BanbaNodes {
+                va,
+                vb,
+                vref,
+                ctl,
+            },
+        ))
+    }
+
+    /// Solves the cell at one temperature (start-up guess included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve(&self, temperature: Kelvin) -> Result<BanbaReading, SpiceError> {
+        self.solve_with(temperature, None)
+    }
+
+    /// [`BanbaCell::solve`] with an optional warm start.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn solve_with(
+        &self,
+        temperature: Kelvin,
+        warm: Option<&[f64]>,
+    ) -> Result<BanbaReading, SpiceError> {
+        let (ckt, nodes) = self.build()?;
+        let guess_storage;
+        let initial = match warm {
+            Some(w) => w,
+            None => {
+                let vbe = 0.70 - 2.0e-3 * (temperature.value() - 298.15);
+                let mut g = vec![0.0; ckt.unknown_count()];
+                g[nodes.va.unknown_index().expect("non-ground")] = vbe;
+                g[nodes.vb.unknown_index().expect("non-ground")] = vbe;
+                // vmid is node 3 in creation order (va, vb, vmid, ...).
+                g[2] = vbe - 0.05;
+                g[nodes.vref.unknown_index().expect("non-ground")] = 0.6;
+                g[nodes.ctl.unknown_index().expect("non-ground")] = 1.2e-3 / self.gm;
+                guess_storage = g;
+                &guess_storage[..]
+            }
+        };
+        let op = solve_dc(&ckt, temperature, &DcOptions::default(), Some(initial))?;
+        Ok(BanbaReading {
+            temperature,
+            vref: op.voltage(nodes.vref),
+            leg_current: self.gm * op.voltage(nodes.ctl).value(),
+            solution: op.solution().to_vec(),
+        })
+    }
+
+    /// Trims `R0` for zero output slope at `center`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; fails if the slope does not change sign
+    /// over the bracket.
+    pub fn calibrate(&self, center: Kelvin) -> Result<Ohm, SpiceError> {
+        let h = 5.0;
+        let slope_at = |r: f64| -> Result<f64, SpiceError> {
+            self.r0.set(r);
+            let lo = self.solve(Kelvin::new(center.value() - h))?;
+            let hi = self.solve(Kelvin::new(center.value() + h))?;
+            Ok((hi.vref.value() - lo.vref.value()) / (2.0 * h))
+        };
+        let (lo, hi) = (50e3, 200e3);
+        let f_lo = slope_at(lo)?;
+        let f_hi = slope_at(hi)?;
+        if f_lo.signum() == f_hi.signum() {
+            return Err(SpiceError::NoConvergence {
+                strategy: format!("banba calibrate: no sign change ({f_lo:e}, {f_hi:e})"),
+                residual: f_lo.abs().min(f_hi.abs()),
+            });
+        }
+        let opts = RootOptions {
+            x_tolerance: 10.0,
+            f_tolerance: 1e-9,
+            ..RootOptions::default()
+        };
+        let root = brent(|r| slope_at(r).unwrap_or(f64::NAN), lo, hi, opts)?;
+        self.r0.set(root);
+        Ok(Ohm::new(root))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::st_bicmos_pnp;
+
+    #[test]
+    fn output_is_sub_1v() {
+        let cell = BanbaCell::nominal(st_bicmos_pnp());
+        let r = cell.solve(Kelvin::new(298.15)).unwrap();
+        assert!(
+            r.vref.value() > 0.4 && r.vref.value() < 0.9,
+            "VREF = {} — not a sub-1V reference",
+            r.vref
+        );
+        assert!(r.leg_current > 1e-7 && r.leg_current < 1e-5);
+    }
+
+    #[test]
+    fn calibrated_cell_is_flat_to_millivolts() {
+        let cell = BanbaCell::nominal(st_bicmos_pnp());
+        cell.calibrate(Kelvin::new(298.15)).unwrap();
+        let mut vs = Vec::new();
+        let mut warm: Option<Vec<f64>> = None;
+        for t in (0..8).map(|i| 223.15 + 25.0 * i as f64) {
+            let r = cell.solve_with(Kelvin::new(t), warm.as_deref()).unwrap();
+            vs.push(r.vref.value());
+            warm = Some(r.solution);
+        }
+        let spread = vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - vs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 5e-3, "spread {spread} over {vs:?}");
+    }
+
+    #[test]
+    fn r0_sets_the_ptat_share() {
+        // Smaller R0 -> more PTAT current -> higher VREF.
+        let cell = BanbaCell::nominal(st_bicmos_pnp());
+        let t = Kelvin::new(298.15);
+        cell.r0.set(80e3);
+        let hi = cell.solve(t).unwrap().vref.value();
+        cell.r0.set(140e3);
+        let lo = cell.solve(t).unwrap().vref.value();
+        assert!(hi > lo, "{hi} vs {lo}");
+    }
+
+    #[test]
+    fn card_curvature_shows_in_the_output() {
+        // The residual curvature after calibration reflects the eq.-13 law
+        // — swap the card's EG/XTI and the bow changes measurably.
+        let mk = |eg: f64, xti: f64| {
+            let mut card = st_bicmos_pnp();
+            card.eg = icvbe_units::ElectronVolt::new(eg);
+            card.xti = xti;
+            let cell = BanbaCell::nominal(card);
+            cell.calibrate(Kelvin::new(298.15)).unwrap();
+            let cold = cell.solve(Kelvin::new(223.15)).unwrap().vref.value();
+            let mid = cell.solve(Kelvin::new(298.15)).unwrap().vref.value();
+            let hot = cell.solve(Kelvin::new(398.15)).unwrap().vref.value();
+            (mid - cold) + (mid - hot) // total bow
+        };
+        let bow_truth = mk(1.1324, 2.58);
+        let bow_other = mk(1.1324, 5.5);
+        assert!(
+            (bow_truth - bow_other).abs() > 1e-4,
+            "card change invisible: {bow_truth} vs {bow_other}"
+        );
+    }
+}

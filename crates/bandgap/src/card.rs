@@ -1,0 +1,94 @@
+//! Model cards: the bridge between extraction results and simulation.
+//!
+//! The paper's loop is: extract `(EG, XTI)` → write them into the SPICE
+//! model card → re-simulate `VREF(T)` → compare with silicon. This module
+//! provides the PNP card of the ST BiCMOS test devices and the
+//! substitution of extracted parameters into a card.
+
+use icvbe_core::ExtractedPair;
+use icvbe_spice::bjt::BjtParams;
+use icvbe_units::{Ampere, ElectronVolt, Kelvin, Volt};
+
+/// The lateral/substrate PNP card standing in for the paper's BiCMOS
+/// devices (6 µm² emitter; QB instantiates it with `area = 8`).
+///
+/// The `EG`/`XTI` here are the *ground truth* of the virtual silicon; the
+/// extraction methods are judged by how well they recover them through the
+/// measurement chain.
+#[must_use]
+pub fn st_bicmos_pnp() -> BjtParams {
+    BjtParams {
+        is: Ampere::new(2e-17),
+        bf: 40.0,
+        br: 4.0,
+        nf: 1.0,
+        nr: 1.0,
+        ise: Ampere::new(5e-15),
+        ne: 2.0,
+        isc: Ampere::new(0.0),
+        nc: 1.5,
+        ikf: Ampere::new(2e-3),
+        vaf: Volt::new(60.0),
+        var: Volt::new(f64::INFINITY),
+        eg: ElectronVolt::new(1.1324), // EG5(0) minus 45 meV narrowing
+        xti: 2.58,                     // 4 - EN - Erho - b/k for the EG5 card
+        xtb: 1.2,
+        t_nom: Kelvin::new(298.15),
+    }
+}
+
+/// A "standard SPICE model card": the same device but with the generic
+/// foundry `EG = 1.11`, `XTI = 3.0` — the card whose simulation gives the
+/// S0 bell curve of Fig. 8 that the silicon does not follow.
+#[must_use]
+pub fn standard_model_card() -> BjtParams {
+    let mut card = st_bicmos_pnp();
+    card.eg = ElectronVolt::new(1.11);
+    card.xti = 3.0;
+    card
+}
+
+/// Substitutes an extracted `(EG, XTI)` pair into a card, leaving every
+/// other parameter untouched — how a model engineer applies the paper's
+/// extraction output.
+#[must_use]
+pub fn card_with_extraction(base: BjtParams, extraction: &ExtractedPair) -> BjtParams {
+    let mut card = base;
+    card.eg = extraction.eg;
+    card.xti = extraction.xti;
+    card
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_card_validates() {
+        assert!(st_bicmos_pnp().validate("QA").is_ok());
+        assert!(standard_model_card().validate("QA").is_ok());
+    }
+
+    #[test]
+    fn standard_card_differs_in_eg_xti_only() {
+        let truth = st_bicmos_pnp();
+        let std = standard_model_card();
+        assert_ne!(truth.eg, std.eg);
+        assert_ne!(truth.xti, std.xti);
+        assert_eq!(truth.is, std.is);
+        assert_eq!(truth.bf, std.bf);
+    }
+
+    #[test]
+    fn extraction_substitution_is_surgical() {
+        let pair = ExtractedPair {
+            eg: ElectronVolt::new(1.2),
+            xti: 4.2,
+            rms_residual_volts: 0.0,
+        };
+        let card = card_with_extraction(st_bicmos_pnp(), &pair);
+        assert_eq!(card.eg.value(), 1.2);
+        assert_eq!(card.xti, 4.2);
+        assert_eq!(card.bf, st_bicmos_pnp().bf);
+    }
+}

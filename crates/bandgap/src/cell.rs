@@ -1,0 +1,503 @@
+//! The Fig.-3 bandgap test cell as a netlist: a Kuijk-style core with the
+//! paper's programmable imperfections.
+//!
+//! Topology (node names in parentheses):
+//!
+//! ```text
+//!        +--------- op-amp out = VREF (vref)
+//!        |                |
+//!       R_top (RX1)      R_top (RX2)
+//!        |                |
+//!       (p1)----in+      (p2)----in-
+//!        |                |
+//!       QA (area 1)      R_ptat (RA)
+//!        |                |
+//!       gnd              (p6)
+//!                         |
+//!                        RadjA (trim, default ~0)
+//!                         |
+//!                        (eb) QB (area 8)
+//!                         |
+//!                        gnd
+//! ```
+//!
+//! At equilibrium `v(p1) = v(p2) + offset`, both branches carry
+//! `I = dVBE / (R_ptat + RadjA)`, and
+//! `VREF = VBE(QA) + R_top * dVBE / (R_ptat + RadjA)` — the "VBE plus
+//! amplified PTAT" the paper describes. All resistors carry the n-well
+//! tempco, so the bias current drifts with temperature exactly like the
+//! silicon cell's (the eq.-17/20 corrections have something real to do).
+
+use icvbe_numerics::roots::{brent, RootOptions};
+use icvbe_spice::bjt::{Bjt, BjtParams, Polarity, SubstrateJunction};
+use icvbe_spice::element::{OpAmp, Resistor};
+use icvbe_spice::netlist::{Circuit, NodeId};
+use icvbe_spice::param::Param;
+use icvbe_spice::solver::{solve_dc, DcOptions, OperatingPoint};
+use icvbe_spice::SpiceError;
+use icvbe_units::{Ampere, Kelvin, Ohm, Volt};
+
+/// Configuration of the bandgap test cell.
+#[derive(Debug, Clone)]
+pub struct BandgapCell {
+    /// PNP model card (shared by QA, QB).
+    pub card: BjtParams,
+    /// QB emitter-area ratio (the paper: 8).
+    pub area_ratio: f64,
+    /// Top resistors RX1 = RX2.
+    pub r_top: Ohm,
+    /// The `dVBE`-to-current resistor RA (trim target of
+    /// [`BandgapCell::calibrate`]), shared handle.
+    pub r_ptat: Param,
+    /// The RadjA curvature-trim resistor (Fig. 8's S1-S4 knob), shared
+    /// handle; ~0 disables it.
+    pub radj_a: Param,
+    /// First-order tempco applied to every resistor (n-well diffusion).
+    pub resistor_tc1: f64,
+    /// Op-amp open-loop gain.
+    pub opamp_gain: f64,
+    /// Op-amp input-referred offset (a per-sample imperfection).
+    pub opamp_offset: Volt,
+    /// Optional substrate parasitic on both transistors.
+    pub substrate: Option<SubstrateJunction>,
+    /// Nominal temperature of the resistor tempco.
+    pub t_nom: Kelvin,
+}
+
+impl BandgapCell {
+    /// The nominal cell: 25 kΩ top resistors, calibration-ready `R_ptat`
+    /// starting value, no trim, no imperfections.
+    #[must_use]
+    pub fn nominal(card: BjtParams) -> Self {
+        BandgapCell {
+            card,
+            area_ratio: 8.0,
+            r_top: Ohm::new(25e3),
+            r_ptat: Param::new(2.6e3),
+            radj_a: Param::new(1e-3),
+            resistor_tc1: 0.0,
+            opamp_gain: 1e6,
+            opamp_offset: Volt::new(0.0),
+            substrate: None,
+            t_nom: Kelvin::new(298.15),
+        }
+    }
+
+    /// Adds the n-well resistor tempco (+3e-3/K is typical of the paper's
+    /// 2 kΩ/sq diffusion).
+    #[must_use]
+    pub fn with_resistor_tempco(mut self, tc1: f64) -> Self {
+        self.resistor_tc1 = tc1;
+        self
+    }
+
+    /// Adds the substrate parasitic to both transistors.
+    #[must_use]
+    pub fn with_substrate(mut self, junction: SubstrateJunction) -> Self {
+        self.substrate = Some(junction);
+        self
+    }
+
+    /// Sets the op-amp input offset.
+    #[must_use]
+    pub fn with_opamp_offset(mut self, offset: Volt) -> Self {
+        self.opamp_offset = offset;
+        self
+    }
+
+    /// Builds the netlist. Returns the circuit and its probe nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation.
+    pub fn build(&self) -> Result<(Circuit, CellNodes), SpiceError> {
+        let mut ckt = Circuit::new();
+        let gnd = Circuit::ground();
+        let vref = ckt.node("vref");
+        let p1 = ckt.node("p1");
+        let p2 = ckt.node("p2");
+        let p6 = ckt.node("p6");
+        let eb = ckt.node("eb");
+
+        ckt.add(
+            Resistor::new("RX1", vref, p1, self.r_top)?
+                .with_tempco(self.resistor_tc1, 0.0, self.t_nom),
+        );
+        ckt.add(
+            Resistor::new("RX2", vref, p2, self.r_top)?
+                .with_tempco(self.resistor_tc1, 0.0, self.t_nom),
+        );
+        ckt.add(
+            Resistor::new("RA", p2, p6, Ohm::new(1.0))?
+                .with_handle(self.r_ptat.clone())
+                .with_tempco(self.resistor_tc1, 0.0, self.t_nom),
+        );
+        // RadjA is a poly trim outside the n-well (no tempco); values near
+        // zero act as a short thanks to the stamp-side clamp.
+        ckt.add(Resistor::new("RADJA", p6, eb, Ohm::new(1.0))?.with_handle(self.radj_a.clone()));
+
+        let mut qa = Bjt::new("QA", gnd, gnd, p1, Polarity::Pnp, self.card)?;
+        let mut qb =
+            Bjt::new("QB", gnd, gnd, eb, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?;
+        if let Some(j) = self.substrate {
+            qa = qa.with_substrate(gnd, j);
+            qb = qb.with_substrate(gnd, j);
+        }
+        ckt.add(qa);
+        ckt.add(qb);
+
+        ckt.add(
+            OpAmp::new("U1", p1, p2, vref, self.opamp_gain)?
+                .with_offset(self.opamp_offset),
+        );
+
+        // Start-up injector: a nanoamp into the QA branch makes the
+        // all-off state a non-equilibrium, exactly like the start-up
+        // circuit of the silicon cell. 10 nA against ~20 µA branch
+        // currents shifts dVBE by well under a microvolt.
+        ckt.add(icvbe_spice::element::CurrentSource::new(
+            "ISTART",
+            gnd,
+            p1,
+            Ampere::new(10e-9),
+        ));
+
+        Ok((
+            ckt,
+            CellNodes {
+                vref,
+                p1,
+                p2,
+                p6,
+                eb,
+            },
+        ))
+    }
+
+    /// Solves the cell at one temperature.
+    ///
+    /// The degenerate all-zero equilibrium of every self-biased bandgap is
+    /// avoided with a start-up initial guess near the intended operating
+    /// point (the silicon cell has a start-up circuit for the same
+    /// reason).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and solver failures.
+    pub fn solve(&self, temperature: Kelvin) -> Result<CellReading, SpiceError> {
+        self.solve_with(temperature, &DcOptions::default(), None)
+    }
+
+    /// [`BandgapCell::solve`] with explicit options and an optional warm
+    /// start (the raw vector of a neighbouring solution).
+    ///
+    /// Without a warm start, temperatures far from 298 K are reached by
+    /// temperature continuation: the cell is first solved at room
+    /// temperature (where the start-up guess is reliable) and the solution
+    /// is walked toward the target in ≤30 K steps. This keeps Newton out
+    /// of the all-off basin at the range extremes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and solver failures.
+    pub fn solve_with(
+        &self,
+        temperature: Kelvin,
+        options: &DcOptions,
+        warm: Option<&[f64]>,
+    ) -> Result<CellReading, SpiceError> {
+        const ANCHOR: f64 = 298.15;
+        const STEP: f64 = 30.0;
+        if warm.is_none() && (temperature.value() - ANCHOR).abs() > STEP {
+            let mut t = ANCHOR;
+            let target = temperature.value();
+            let mut reading = self.solve_direct(Kelvin::new(t), options, None)?;
+            while (target - t).abs() > 1e-9 {
+                t = if target > t {
+                    (t + STEP).min(target)
+                } else {
+                    (t - STEP).max(target)
+                };
+                reading =
+                    self.solve_direct(Kelvin::new(t), options, Some(&reading.solution))?;
+            }
+            return Ok(reading);
+        }
+        self.solve_direct(temperature, options, warm)
+    }
+
+    fn solve_direct(
+        &self,
+        temperature: Kelvin,
+        options: &DcOptions,
+        warm: Option<&[f64]>,
+    ) -> Result<CellReading, SpiceError> {
+        let (ckt, nodes) = self.build()?;
+        let guess_storage;
+        let initial: &[f64] = match warm {
+            Some(w) => w,
+            None => {
+                // Start-up guess near the intended operating point; VBE
+                // scales roughly -2 mV/K, so seed the diode nodes
+                // temperature-aware or cold solves fall into the
+                // degenerate zero state.
+                let vbe_guess = 0.70 - 2.0e-3 * (temperature.value() - 298.15);
+                let mut g = vec![0.0; ckt.unknown_count()];
+                // VREF itself is first-order temperature independent.
+                g[nodes.vref.unknown_index().expect("non-ground")] = 1.20;
+                g[nodes.p1.unknown_index().expect("non-ground")] = vbe_guess;
+                g[nodes.p2.unknown_index().expect("non-ground")] = vbe_guess;
+                g[nodes.p6.unknown_index().expect("non-ground")] = vbe_guess - 0.05;
+                g[nodes.eb.unknown_index().expect("non-ground")] = vbe_guess - 0.05;
+                guess_storage = g;
+                &guess_storage
+            }
+        };
+        let op = solve_dc(&ckt, temperature, options, Some(initial))?;
+        Ok(self.read(&op, &nodes, temperature))
+    }
+
+    fn read(&self, op: &OperatingPoint, nodes: &CellNodes, temperature: Kelvin) -> CellReading {
+        let vref = op.voltage(nodes.vref);
+        let p1 = op.voltage(nodes.p1);
+        let p2 = op.voltage(nodes.p2);
+        let eb = op.voltage(nodes.eb);
+        let dt = temperature.value() - self.t_nom.value();
+        let r_top_t = self.r_top.value() * (1.0 + self.resistor_tc1 * dt);
+        let i1 = (vref.value() - p1.value()) / r_top_t;
+        let i2 = (vref.value() - p2.value()) / r_top_t;
+        CellReading {
+            temperature,
+            vref,
+            vbe_a: p1,
+            vbe_b: eb,
+            dvbe: Volt::new(p1.value() - eb.value()),
+            i_branch_a: Ampere::new(i1),
+            i_branch_b: Ampere::new(i2),
+            solution: op.solution().to_vec(),
+        }
+    }
+
+    /// Total dissipated power at a reading: both branch currents from
+    /// `VREF` to ground plus the op-amp quiescent draw, which is modelled
+    /// PTAT (class-A bias currents rise with temperature).
+    #[must_use]
+    pub fn power_watts(&self, reading: &CellReading) -> f64 {
+        let branches = reading.vref.value()
+            * (reading.i_branch_a.value() + reading.i_branch_b.value()).abs();
+        // 2 mW at 298 K, PTAT: the dominant term, as in the paper's cell
+        // where "the collector currents ICQA and ICQB increase with
+        // temperature".
+        let opamp = 2e-3 * reading.temperature.value() / 298.15;
+        branches + opamp
+    }
+
+    /// Trims `R_ptat` so that `dVREF/dT = 0` at `center` (the classic
+    /// magic-voltage trim). Returns the trimmed resistance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures; [`SpiceError::NoConvergence`] if the
+    /// slope does not change sign over the search bracket.
+    pub fn calibrate(&self, center: Kelvin) -> Result<Ohm, SpiceError> {
+        let h = 5.0;
+        let slope_at = |r: f64| -> Result<f64, SpiceError> {
+            self.r_ptat.set(r);
+            let lo = self.solve(Kelvin::new(center.value() - h))?;
+            let hi = self.solve(Kelvin::new(center.value() + h))?;
+            Ok((hi.vref.value() - lo.vref.value()) / (2.0 * h))
+        };
+        // Bracket: small R -> huge PTAT gain -> positive slope; large R ->
+        // VBE dominates -> negative slope.
+        let mut lo = 1.5e3;
+        let mut hi = 4.5e3;
+        let f_lo = slope_at(lo)?;
+        let f_hi = slope_at(hi)?;
+        if f_lo.signum() == f_hi.signum() {
+            return Err(SpiceError::NoConvergence {
+                strategy: format!(
+                    "calibrate: slope does not change sign over [{lo}, {hi}] ({f_lo:e}, {f_hi:e})"
+                ),
+                residual: f_lo.abs().min(f_hi.abs()),
+            });
+        }
+        if f_lo < 0.0 {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let opts = RootOptions {
+            x_tolerance: 1e-3,
+            f_tolerance: 1e-9,
+            max_iterations: 60,
+        };
+        let root = brent(
+            |r| slope_at(r).unwrap_or(f64::NAN),
+            lo.min(hi),
+            lo.max(hi),
+            opts,
+        )
+        .map_err(icvbe_spice::SpiceError::from)?;
+        self.r_ptat.set(root);
+        Ok(Ohm::new(root))
+    }
+}
+
+/// Probe nodes of the built cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellNodes {
+    /// The reference output (op-amp output).
+    pub vref: NodeId,
+    /// QA emitter / op-amp non-inverting input.
+    pub p1: NodeId,
+    /// Top of `R_ptat` / op-amp inverting input.
+    pub p2: NodeId,
+    /// Between `R_ptat` and RadjA (pad P6 of the paper).
+    pub p6: NodeId,
+    /// QB emitter.
+    pub eb: NodeId,
+}
+
+/// One solved temperature point of the cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReading {
+    /// Die temperature of the solve.
+    pub temperature: Kelvin,
+    /// The reference voltage.
+    pub vref: Volt,
+    /// `VBE` of QA.
+    pub vbe_a: Volt,
+    /// `VBE` of QB.
+    pub vbe_b: Volt,
+    /// `VBE(QA) - VBE(QB)`.
+    pub dvbe: Volt,
+    /// Branch current through RX1.
+    pub i_branch_a: Ampere,
+    /// Branch current through RX2.
+    pub i_branch_b: Ampere,
+    /// Raw solution vector for warm-starting neighbouring solves.
+    pub solution: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::st_bicmos_pnp;
+
+    #[test]
+    fn cell_solves_to_a_bandgap_voltage() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let r = cell.solve(Kelvin::new(298.15)).unwrap();
+        assert!(
+            r.vref.value() > 1.1 && r.vref.value() < 1.35,
+            "VREF = {}",
+            r.vref
+        );
+        // Both branches carry equal microamp-scale current.
+        assert!((r.i_branch_a.value() - r.i_branch_b.value()).abs() < 1e-8);
+        assert!(r.i_branch_a.value() > 1e-6 && r.i_branch_a.value() < 1e-4);
+    }
+
+    #[test]
+    fn dvbe_equals_vt_ln8_at_equal_currents() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let t = Kelvin::new(298.15);
+        let r = cell.solve(t).unwrap();
+        let expected = icvbe_units::constants::BOLTZMANN_OVER_Q * t.value() * 8.0_f64.ln();
+        assert!(
+            (r.dvbe.value() - expected).abs() < 5e-4,
+            "dVBE {} vs {expected}",
+            r.dvbe.value()
+        );
+    }
+
+    #[test]
+    fn vref_identity_holds() {
+        // VREF = VBE(QA) + R_top/(R_ptat + RadjA) * dVBE.
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let r = cell.solve(Kelvin::new(298.15)).unwrap();
+        let gain = cell.r_top.value() / (cell.r_ptat.get() + cell.radj_a.get().max(1e-6));
+        let predicted = r.vbe_a.value() + gain * r.dvbe.value();
+        assert!(
+            (r.vref.value() - predicted).abs() < 2e-3,
+            "VREF {} vs predicted {predicted}",
+            r.vref.value()
+        );
+    }
+
+    #[test]
+    fn calibration_flattens_the_curve() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let r = cell.calibrate(Kelvin::new(298.15)).unwrap();
+        assert!(r.value() > 1.5e3 && r.value() < 4.5e3, "R_ptat = {r}");
+        let lo = cell.solve(Kelvin::new(293.15)).unwrap().vref.value();
+        let hi = cell.solve(Kelvin::new(303.15)).unwrap().vref.value();
+        assert!(
+            ((hi - lo) / 10.0).abs() < 2e-5,
+            "slope after calibration: {}",
+            (hi - lo) / 10.0
+        );
+    }
+
+    #[test]
+    fn calibrated_cell_shows_the_classic_bell() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        cell.calibrate(Kelvin::new(298.15)).unwrap();
+        let v_cold = cell.solve(Kelvin::new(223.15)).unwrap().vref.value();
+        let v_mid = cell.solve(Kelvin::new(298.15)).unwrap().vref.value();
+        let v_hot = cell.solve(Kelvin::new(398.15)).unwrap().vref.value();
+        assert!(v_mid > v_cold && v_mid > v_hot, "not a bell: {v_cold}, {v_mid}, {v_hot}");
+        // Bow magnitude: millivolts over 175 K, as in Fig. 8.
+        assert!(v_mid - v_cold < 0.04 && v_mid - v_hot < 0.04);
+    }
+
+    #[test]
+    fn opamp_offset_shifts_vref() {
+        let clean = BandgapCell::nominal(st_bicmos_pnp());
+        let offset = BandgapCell::nominal(st_bicmos_pnp()).with_opamp_offset(Volt::new(0.003));
+        let t = Kelvin::new(298.15);
+        let v0 = clean.solve(t).unwrap().vref.value();
+        let v1 = offset.solve(t).unwrap().vref.value();
+        // Offset is amplified by ~R_top/R_ptat.
+        assert!((v1 - v0).abs() > 0.01, "offset had no effect: {v0} vs {v1}");
+    }
+
+    #[test]
+    fn substrate_leakage_bends_vref_up_at_high_temperature() {
+        let clean = BandgapCell::nominal(st_bicmos_pnp());
+        let leaky = BandgapCell::nominal(st_bicmos_pnp())
+            .with_substrate(SubstrateJunction::bicmos_default());
+        clean.calibrate(Kelvin::new(298.15)).unwrap();
+        leaky.r_ptat.set(clean.r_ptat.get());
+        let hot = Kelvin::new(398.15);
+        let v_clean = clean.solve(hot).unwrap().vref.value();
+        let v_leaky = leaky.solve(hot).unwrap().vref.value();
+        assert!(
+            v_leaky > v_clean + 1e-4,
+            "leakage should raise VREF hot: {v_clean} vs {v_leaky}"
+        );
+    }
+
+    #[test]
+    fn power_is_milliwatt_scale_and_increases_with_temperature() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let cold = cell.solve(Kelvin::new(248.15)).unwrap();
+        let hot = cell.solve(Kelvin::new(348.15)).unwrap();
+        let p_cold = cell.power_watts(&cold);
+        let p_hot = cell.power_watts(&hot);
+        assert!(p_cold > 1e-3 && p_cold < 10e-3, "P = {p_cold}");
+        assert!(p_hot > p_cold);
+    }
+
+    #[test]
+    fn warm_start_reuses_solution() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let r1 = cell.solve(Kelvin::new(298.15)).unwrap();
+        let r2 = cell
+            .solve_with(
+                Kelvin::new(303.15),
+                &DcOptions::default(),
+                Some(&r1.solution),
+            )
+            .unwrap();
+        assert!(r2.vref.value() > 1.1 && r2.vref.value() < 1.35);
+    }
+}

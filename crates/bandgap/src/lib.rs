@@ -1,0 +1,24 @@
+//! The paper's programmable bandgap test cell (Fig. 3) and pair-bias
+//! structure (Fig. 2), built on the [`icvbe_spice`] simulator.
+//!
+//! - [`card`]: turning an extracted `(EG, XTI)` pair into a simulator model
+//!   card — the "model card" round trip of Figs. 6 and 8,
+//! - [`pair`]: the QA/QB PTAT pair under forced equal collector currents —
+//!   the measurement configuration of the analytical method,
+//! - [`cell`]: the full Kuijk-style bandgap cell with top resistors, the
+//!   `dVBE` resistor, the RadjA trim, op-amp offset and substrate
+//!   parasitics,
+//! - [`vref`]: `VREF(T)` sweeps and curve-shape metrics (bell vs rising),
+//! - [`radj`]: RadjA trimming: the Fig.-8 S1-S4 family and the flatness
+//!   optimizer.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod banba;
+pub mod card;
+pub mod cell;
+pub mod pair;
+pub mod programmable;
+pub mod radj;
+pub mod vref;

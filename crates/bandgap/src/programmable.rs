@@ -1,0 +1,354 @@
+//! The *programmable* aspect of the Fig.-3 test cell: pads and trim codes.
+//!
+//! The silicon cell is one die that can be reconfigured through bond pads:
+//!
+//! - **ADJ1..ADJ5** switch segments of the RADJB trim ladder to cancel the
+//!   process-spread offset of `VREF`,
+//! - **P4/P5** give access to the amplification stage so its offset (and
+//!   the leakage-induced `dVBE` error at the reference temperature) can be
+//!   calibrated out,
+//! - **P1/P2/P3/P6** reconfigure the core between *bandgap reference*
+//!   operation and *pair characterization* (QA/QB driven from external
+//!   current sources), and let RadjA be inserted,
+//! - **RX3** raises the collector load, pushing the devices toward
+//!   saturation — the stress configuration the paper uses to expose the
+//!   parasitic substrate transistor.
+//!
+//! [`ProgrammableTestCell`] models the die; [`PadConfiguration`] models the
+//! bonding/probing choices. One `ProgrammableTestCell` built from one
+//! [`DieTraits`] answers every measurement the repro asks of a sample.
+
+use icvbe_spice::bjt::{BjtParams, SubstrateJunction};
+use icvbe_spice::SpiceError;
+use icvbe_units::{Ampere, Kelvin, Ohm, Volt};
+
+use crate::cell::{BandgapCell, CellReading};
+use crate::pair::{PairReading, PairStructure};
+
+/// The physical (unchangeable) characteristics of one die.
+#[derive(Debug, Clone)]
+pub struct DieTraits {
+    /// The PNP model card.
+    pub card: BjtParams,
+    /// Substrate parasitic (always present on silicon).
+    pub substrate: SubstrateJunction,
+    /// The op-amp stage's raw input offset.
+    pub opamp_offset: Volt,
+    /// Raw offset of the dVBE readout chain before P4/P5 calibration.
+    pub readout_offset: Volt,
+    /// Mismatch of the on-die bias sources (QC mirror ratio error).
+    pub bias_mismatch: f64,
+}
+
+impl DieTraits {
+    /// A nominal die on the given card.
+    #[must_use]
+    pub fn nominal(card: BjtParams) -> Self {
+        DieTraits {
+            card,
+            substrate: SubstrateJunction::bicmos_default(),
+            opamp_offset: Volt::new(0.0),
+            readout_offset: Volt::new(0.0),
+            bias_mismatch: 1.0,
+        }
+    }
+}
+
+/// The bond-pad/probe configuration applied to the die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PadConfiguration {
+    /// ADJ1..ADJ5 trim code, 0..=31 (16 = mid scale, no correction).
+    pub adj_code: u8,
+    /// Whether the P4/P5 offset calibration has been performed (nulls the
+    /// readout-chain offset; the silicon procedure trims it at the
+    /// reference temperature).
+    pub p4_p5_calibrated: bool,
+    /// RadjA value inserted between P5 and P6 (0 = strapped).
+    pub radj_a: Ohm,
+    /// Whether RX3 (40 kΩ) is switched into the collector path, pushing
+    /// the devices toward saturation.
+    pub rx3_saturation_stress: bool,
+}
+
+impl PadConfiguration {
+    /// Factory-fresh die: mid-scale trim, no calibration, RadjA strapped.
+    #[must_use]
+    pub fn fresh() -> Self {
+        PadConfiguration {
+            adj_code: 16,
+            p4_p5_calibrated: false,
+            radj_a: Ohm::new(0.0),
+            rx3_saturation_stress: false,
+        }
+    }
+
+    /// The characterization setup of the paper's section 5: P4/P5
+    /// calibrated, no stress, RadjA strapped.
+    #[must_use]
+    pub fn characterization() -> Self {
+        PadConfiguration {
+            adj_code: 16,
+            p4_p5_calibrated: true,
+            radj_a: Ohm::new(0.0),
+            rx3_saturation_stress: false,
+        }
+    }
+
+    /// Validates the trim code.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::BadParameter`] for a code above 31 or a negative
+    /// RadjA.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if self.adj_code > 31 {
+            return Err(SpiceError::parameter(
+                "ADJ",
+                format!("trim code must be 0..=31, got {}", self.adj_code),
+            ));
+        }
+        if !(self.radj_a.value() >= 0.0) || !self.radj_a.value().is_finite() {
+            return Err(SpiceError::parameter(
+                "RADJA",
+                format!("RadjA must be non-negative and finite, got {}", self.radj_a),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The equivalent op-amp trim voltage of the ADJ ladder: 0.25 mV per
+    /// LSB around mid scale (a 5-bit ladder across ±4 mV of input-referred
+    /// correction).
+    #[must_use]
+    pub fn adj_trim_volts(&self) -> f64 {
+        (f64::from(self.adj_code) - 16.0) * 0.25e-3
+    }
+}
+
+/// One die plus one pad configuration: everything the bench can measure.
+#[derive(Debug, Clone)]
+pub struct ProgrammableTestCell {
+    traits: DieTraits,
+    config: PadConfiguration,
+}
+
+impl ProgrammableTestCell {
+    /// Binds a die to a pad configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PadConfiguration::validate`].
+    pub fn new(traits: DieTraits, config: PadConfiguration) -> Result<Self, SpiceError> {
+        config.validate()?;
+        Ok(ProgrammableTestCell { traits, config })
+    }
+
+    /// The current pad configuration.
+    #[must_use]
+    pub fn config(&self) -> &PadConfiguration {
+        &self.config
+    }
+
+    /// Reconfigures the pads (rebonding/probing the same die).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PadConfiguration::validate`].
+    pub fn reconfigure(&mut self, config: PadConfiguration) -> Result<(), SpiceError> {
+        config.validate()?;
+        self.config = config;
+        Ok(())
+    }
+
+    /// The bandgap-reference view of the die under this configuration.
+    #[must_use]
+    pub fn bandgap_cell(&self) -> BandgapCell {
+        let net_offset =
+            self.traits.opamp_offset.value() - self.config.adj_trim_volts();
+        let cell = BandgapCell::nominal(self.traits.card)
+            .with_substrate(self.traits.substrate)
+            .with_opamp_offset(Volt::new(net_offset));
+        cell.radj_a.set(self.config.radj_a.value().max(0.0));
+        cell
+    }
+
+    /// The pair-characterization view (P1-P3 reconfigured to external
+    /// current sources).
+    #[must_use]
+    pub fn pair_structure(&self, bias: Ampere) -> PairStructure {
+        let effective_offset = if self.config.p4_p5_calibrated {
+            Volt::new(0.0)
+        } else {
+            self.traits.readout_offset
+        };
+        let mut s = PairStructure::ideal(self.traits.card, bias)
+            .with_substrate(self.traits.substrate)
+            .with_bias_mismatch(self.traits.bias_mismatch)
+            .with_readout_offset(effective_offset);
+        if self.config.rx3_saturation_stress {
+            // RX3 starves the collector supply: modelled as an extra bias
+            // imbalance pushing QB toward its saturation edge.
+            s = s.with_bias_mismatch(self.traits.bias_mismatch * 1.02);
+        }
+        s
+    }
+
+    /// Solves the bandgap view at a temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn measure_vref(&self, temperature: Kelvin) -> Result<CellReading, SpiceError> {
+        self.bandgap_cell().solve(temperature)
+    }
+
+    /// Measures the pair view at a temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn measure_pair(
+        &self,
+        bias: Ampere,
+        temperature: Kelvin,
+    ) -> Result<PairReading, SpiceError> {
+        self.pair_structure(bias).measure(temperature)
+    }
+
+    /// Searches the 5-bit ADJ ladder for the code minimizing `|VREF -
+    /// target|` at the given temperature, applies it, and returns
+    /// `(code, vref)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn trim_vref_to(
+        &mut self,
+        target: Volt,
+        temperature: Kelvin,
+    ) -> Result<(u8, Volt), SpiceError> {
+        let mut best: Option<(u8, f64, f64)> = None;
+        for code in 0..=31u8 {
+            let mut cfg = self.config;
+            cfg.adj_code = code;
+            let cell = ProgrammableTestCell::new(self.traits.clone(), cfg)?;
+            let v = cell.measure_vref(temperature)?.vref.value();
+            let err = (v - target.value()).abs();
+            if best.is_none_or(|(_, e, _)| err < e) {
+                best = Some((code, err, v));
+            }
+        }
+        let (code, _, v) = best.expect("32 candidates evaluated");
+        self.config.adj_code = code;
+        Ok((code, Volt::new(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::st_bicmos_pnp;
+
+    fn die() -> DieTraits {
+        let mut d = DieTraits::nominal(st_bicmos_pnp());
+        d.opamp_offset = Volt::new(1.5e-3);
+        d.readout_offset = Volt::new(2.0e-3);
+        d
+    }
+
+    #[test]
+    fn validation_rejects_bad_codes() {
+        let mut cfg = PadConfiguration::fresh();
+        cfg.adj_code = 32;
+        assert!(ProgrammableTestCell::new(die(), cfg).is_err());
+        let mut cfg = PadConfiguration::fresh();
+        cfg.radj_a = Ohm::new(-1.0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn mid_scale_code_applies_no_trim() {
+        assert_eq!(PadConfiguration::fresh().adj_trim_volts(), 0.0);
+        let mut cfg = PadConfiguration::fresh();
+        cfg.adj_code = 20;
+        assert!((cfg.adj_trim_volts() - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p4_p5_calibration_nulls_readout_offset() {
+        let cell_raw =
+            ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
+        let cell_cal =
+            ProgrammableTestCell::new(die(), PadConfiguration::characterization()).unwrap();
+        let t = Kelvin::new(298.15);
+        let raw = cell_raw.measure_pair(Ampere::new(1e-6), t).unwrap();
+        let cal = cell_cal.measure_pair(Ampere::new(1e-6), t).unwrap();
+        // Calibration removes the 2 mV chain offset from the reading.
+        assert!((raw.dvbe.value() - cal.dvbe.value() - 2.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adj_ladder_moves_vref_monotonically() {
+        let t = Kelvin::new(298.15);
+        let vref_at = |code: u8| {
+            let mut cfg = PadConfiguration::characterization();
+            cfg.adj_code = code;
+            ProgrammableTestCell::new(die(), cfg)
+                .unwrap()
+                .measure_vref(t)
+                .unwrap()
+                .vref
+                .value()
+        };
+        let lo = vref_at(4);
+        let mid = vref_at(16);
+        let hi = vref_at(28);
+        assert!(lo > mid && mid > hi, "VREF not monotone in code: {lo} {mid} {hi}");
+        // 24 LSB * 0.25 mV input-referred, amplified by the PTAT gain.
+        assert!((lo - hi) > 0.01, "ladder range too small: {}", lo - hi);
+    }
+
+    #[test]
+    fn trim_search_improves_vref_accuracy() {
+        let t = Kelvin::new(298.15);
+        let mut cell =
+            ProgrammableTestCell::new(die(), PadConfiguration::characterization()).unwrap();
+        let untrimmed = cell.measure_vref(t).unwrap().vref;
+        let target = Volt::new(1.16);
+        let (code, trimmed) = cell.trim_vref_to(target, t).unwrap();
+        assert!(code <= 31);
+        assert!(
+            (trimmed.value() - 1.16).abs() <= (untrimmed.value() - 1.16).abs() + 1e-12,
+            "trim did not improve: {untrimmed} -> {trimmed}"
+        );
+        assert_eq!(cell.config().adj_code, code);
+    }
+
+    #[test]
+    fn saturation_stress_changes_the_pair_reading() {
+        let t = Kelvin::new(398.15);
+        let normal =
+            ProgrammableTestCell::new(die(), PadConfiguration::characterization()).unwrap();
+        let mut stress_cfg = PadConfiguration::characterization();
+        stress_cfg.rx3_saturation_stress = true;
+        let stressed = ProgrammableTestCell::new(die(), stress_cfg).unwrap();
+        let a = normal.measure_pair(Ampere::new(1e-6), t).unwrap();
+        let b = stressed.measure_pair(Ampere::new(1e-6), t).unwrap();
+        assert!(
+            (a.dvbe.value() - b.dvbe.value()).abs() > 1e-5,
+            "stress had no effect"
+        );
+    }
+
+    #[test]
+    fn reconfiguration_preserves_the_die() {
+        let mut cell =
+            ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
+        let t = Kelvin::new(298.15);
+        let before = cell.measure_vref(t).unwrap().vref;
+        cell.reconfigure(PadConfiguration::characterization()).unwrap();
+        cell.reconfigure(PadConfiguration::fresh()).unwrap();
+        let after = cell.measure_vref(t).unwrap().vref;
+        assert!((before.value() - after.value()).abs() < 1e-9);
+    }
+}

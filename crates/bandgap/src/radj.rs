@@ -1,0 +1,135 @@
+//! The RadjA trim: Fig. 8's S1-S4 family and the flatness optimizer.
+//!
+//! RadjA sits in series with the `dVBE` resistor on the QB branch. It
+//! reduces the PTAT gain `R_top / (R_ptat + RadjA)` — the knob the paper
+//! turns (0, 1.8k, 2.5k, 2.7k) to cancel the extra PTAT-ish component the
+//! substrate leakage and op-amp offset inject.
+
+use icvbe_spice::SpiceError;
+use icvbe_units::{Kelvin, Ohm};
+
+use crate::cell::BandgapCell;
+use crate::vref::VrefCurve;
+
+/// `VREF(T)` curves for a set of RadjA values (the S1-S4 family).
+///
+/// The cell's `radj_a` handle is restored to its original value after the
+/// sweep.
+///
+/// # Errors
+///
+/// Propagates the first solver failure.
+pub fn radj_family(
+    cell: &BandgapCell,
+    radj_values: &[Ohm],
+    temperatures: &[Kelvin],
+) -> Result<Vec<(Ohm, VrefCurve)>, SpiceError> {
+    let original = cell.radj_a.get();
+    let mut out = Vec::with_capacity(radj_values.len());
+    for &r in radj_values {
+        cell.radj_a.set(r.value().max(0.0));
+        match VrefCurve::sweep(cell, temperatures) {
+            Ok(curve) => out.push((r, curve)),
+            Err(e) => {
+                cell.radj_a.set(original);
+                return Err(e);
+            }
+        }
+    }
+    cell.radj_a.set(original);
+    Ok(out)
+}
+
+/// Searches `candidates` for the RadjA minimizing the `VREF(T)` spread
+/// over `temperatures`. Returns the winner and its spread in volts; the
+/// cell's handle is left set to the winner (it is a trim, after all).
+///
+/// # Errors
+///
+/// Propagates solver failures; [`SpiceError::BadParameter`] for an empty
+/// candidate list.
+pub fn trim_for_flatness(
+    cell: &BandgapCell,
+    candidates: &[Ohm],
+    temperatures: &[Kelvin],
+) -> Result<(Ohm, f64), SpiceError> {
+    if candidates.is_empty() {
+        return Err(SpiceError::parameter("RadjA", "empty candidate list"));
+    }
+    let family = radj_family(cell, candidates, temperatures)?;
+    let mut best: Option<(Ohm, f64)> = None;
+    for (r, curve) in family {
+        let spread = curve.spread();
+        if best.is_none_or(|(_, s)| spread < s) {
+            best = Some((r, spread));
+        }
+    }
+    let (r, s) = best.expect("non-empty candidates");
+    cell.radj_a.set(r.value());
+    Ok((r, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::st_bicmos_pnp;
+    use crate::vref::figure8_grid;
+    use icvbe_spice::bjt::SubstrateJunction;
+    use icvbe_units::Volt;
+
+    fn paper_radj_values() -> Vec<Ohm> {
+        vec![
+            Ohm::new(0.0),
+            Ohm::new(1.8e3),
+            Ohm::new(2.5e3),
+            Ohm::new(2.7e3),
+        ]
+    }
+
+    #[test]
+    fn radj_lowers_vref() {
+        // Larger RadjA reduces the PTAT gain, lowering VREF overall.
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        cell.calibrate(Kelvin::new(298.15)).unwrap();
+        let grid = [Kelvin::new(298.15)];
+        let family = radj_family(&cell, &paper_radj_values(), &grid).unwrap();
+        let v: Vec<f64> = family.iter().map(|(_, c)| c.vref[0].value()).collect();
+        assert!(v[1] < v[0] && v[2] < v[1] && v[3] < v[2], "VREF not monotone in RadjA: {v:?}");
+    }
+
+    #[test]
+    fn handle_is_restored_after_family_sweep() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        cell.radj_a.set(123.0);
+        let _ = radj_family(&cell, &paper_radj_values(), &[Kelvin::new(298.15)]).unwrap();
+        assert_eq!(cell.radj_a.get(), 123.0);
+    }
+
+    #[test]
+    fn trim_improves_flatness_of_imperfect_cell() {
+        // The paper's scenario: R_ptat holds its *design* value (trimmed
+        // on the clean model card), but the silicon has leakage and
+        // op-amp offset. RadjA is the post-fab knob that flattens it.
+        let clean = BandgapCell::nominal(st_bicmos_pnp());
+        clean.calibrate(Kelvin::new(298.15)).unwrap();
+        let cell = BandgapCell::nominal(st_bicmos_pnp())
+            .with_substrate(SubstrateJunction::bicmos_default())
+            .with_opamp_offset(Volt::new(0.002));
+        cell.r_ptat.set(clean.r_ptat.get());
+        let grid = figure8_grid();
+        let untrimmed = VrefCurve::sweep(&cell, &grid).unwrap().spread();
+        let candidates: Vec<Ohm> = (0..=27).map(|i| Ohm::new(100.0 * i as f64)).collect();
+        let (r, trimmed) = trim_for_flatness(&cell, &candidates, &grid).unwrap();
+        assert!(
+            trimmed <= untrimmed + 1e-9,
+            "trim made it worse: {untrimmed} -> {trimmed} at {r}"
+        );
+        assert!(cell.radj_a.get() == r.value());
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        assert!(trim_for_flatness(&cell, &[], &[Kelvin::new(300.0)]).is_err());
+    }
+}

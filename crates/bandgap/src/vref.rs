@@ -1,0 +1,227 @@
+//! `VREF(T)` sweeps and curve-shape diagnostics for Fig. 8.
+//!
+//! The paper's argument is visual: the best-fit model card predicts a
+//! *bell* curve (S0), the silicon *rises* with temperature, and the
+//! analytically-extracted card follows the silicon (S1). This module turns
+//! "bell" and "rising" into numbers a test can assert.
+
+use icvbe_numerics::poly::fit_polynomial;
+use icvbe_spice::solver::DcOptions;
+use icvbe_spice::SpiceError;
+use icvbe_units::{Celsius, Kelvin, Volt};
+
+use crate::cell::BandgapCell;
+
+/// One `VREF(T)` curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VrefCurve {
+    /// Temperatures of the sweep.
+    pub temperatures: Vec<Kelvin>,
+    /// Reference voltages, parallel to `temperatures`.
+    pub vref: Vec<Volt>,
+}
+
+impl VrefCurve {
+    /// Sweeps the cell over `temperatures`, warm-starting each solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first solver failure.
+    pub fn sweep(cell: &BandgapCell, temperatures: &[Kelvin]) -> Result<Self, SpiceError> {
+        let options = DcOptions::default();
+        let mut vref = Vec::with_capacity(temperatures.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &t in temperatures {
+            let r = cell.solve_with(t, &options, warm.as_deref())?;
+            vref.push(r.vref);
+            warm = Some(r.solution);
+        }
+        Ok(VrefCurve {
+            temperatures: temperatures.to_vec(),
+            vref,
+        })
+    }
+
+    /// Total spread `max - min` in volts.
+    #[must_use]
+    pub fn spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in &self.vref {
+            lo = lo.min(v.value());
+            hi = hi.max(v.value());
+        }
+        hi - lo
+    }
+
+    /// End-to-end slope in V/K (crude but robust rising/falling metric).
+    #[must_use]
+    pub fn end_to_end_slope(&self) -> f64 {
+        let n = self.vref.len();
+        if n < 2 {
+            return 0.0;
+        }
+        (self.vref[n - 1].value() - self.vref[0].value())
+            / (self.temperatures[n - 1].value() - self.temperatures[0].value())
+    }
+
+    /// Classifies the curve shape by a quadratic fit.
+    #[must_use]
+    pub fn shape(&self) -> CurveShape {
+        let xs: Vec<f64> = self.temperatures.iter().map(|t| t.value()).collect();
+        let ys: Vec<f64> = self.vref.iter().map(|v| v.value()).collect();
+        let Ok((poly, _)) = fit_polynomial(&xs, &ys, 2) else {
+            return CurveShape::Irregular;
+        };
+        let a2 = poly.coefficients()[2];
+        let vertex = poly.quadratic_vertex();
+        let (t_lo, t_hi) = (xs[0], xs[xs.len() - 1]);
+        let span = t_hi - t_lo;
+        // Curvature that moves VREF by < 0.5 mV over the span is flat.
+        let bow = a2 * (span / 2.0) * (span / 2.0);
+        if bow.abs() < 5e-4 {
+            let slope = self.end_to_end_slope();
+            if slope.abs() * span < 1e-3 {
+                return CurveShape::Flat;
+            }
+            return if slope > 0.0 {
+                CurveShape::Rising
+            } else {
+                CurveShape::Falling
+            };
+        }
+        match vertex {
+            Some(v) if a2 < 0.0 && v > t_lo + 0.1 * span && v < t_hi - 0.1 * span => {
+                CurveShape::Bell
+            }
+            _ => {
+                if self.end_to_end_slope() > 0.0 {
+                    CurveShape::Rising
+                } else {
+                    CurveShape::Falling
+                }
+            }
+        }
+    }
+
+    /// Temperature of the quadratic-fit maximum, if the curve is concave.
+    #[must_use]
+    pub fn peak_temperature(&self) -> Option<Kelvin> {
+        let xs: Vec<f64> = self.temperatures.iter().map(|t| t.value()).collect();
+        let ys: Vec<f64> = self.vref.iter().map(|v| v.value()).collect();
+        let (poly, _) = fit_polynomial(&xs, &ys, 2).ok()?;
+        if poly.coefficients()[2] >= 0.0 {
+            return None;
+        }
+        poly.quadratic_vertex().map(Kelvin::new)
+    }
+
+    /// Maximum absolute difference to another curve on the same grid, in
+    /// volts — how Fig. 8 compares simulation to measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids differ in length.
+    #[must_use]
+    pub fn max_deviation_from(&self, other: &VrefCurve) -> f64 {
+        assert_eq!(
+            self.vref.len(),
+            other.vref.len(),
+            "curves must share a grid"
+        );
+        self.vref
+            .iter()
+            .zip(&other.vref)
+            .map(|(a, b)| (a.value() - b.value()).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The qualitative shapes Fig. 8 distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveShape {
+    /// Concave with an interior maximum — the classic compensated bandgap
+    /// (curve S0).
+    Bell,
+    /// Monotonically rising — the measured silicon with saturation
+    /// leakage.
+    Rising,
+    /// Monotonically falling.
+    Falling,
+    /// Within a fraction of a millivolt everywhere.
+    Flat,
+    /// None of the above (fit failure).
+    Irregular,
+}
+
+/// The paper's Fig.-8 temperature grid: -80..145 °C.
+#[must_use]
+pub fn figure8_grid() -> Vec<Kelvin> {
+    (0..=9)
+        .map(|i| Celsius::new(-80.0 + 25.0 * i as f64).to_kelvin())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::st_bicmos_pnp;
+    use icvbe_spice::bjt::SubstrateJunction;
+
+    #[test]
+    fn figure8_grid_spans_paper_range() {
+        let g = figure8_grid();
+        assert_eq!(g.len(), 10);
+        assert!((g[0].to_celsius().value() + 80.0).abs() < 1e-9);
+        assert!((g[9].to_celsius().value() - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_clean_cell_is_a_bell() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        cell.calibrate(Kelvin::new(298.15)).unwrap();
+        let curve = VrefCurve::sweep(&cell, &figure8_grid()).unwrap();
+        assert_eq!(curve.shape(), CurveShape::Bell, "curve: {:?}", curve.vref);
+        let peak = curve.peak_temperature().unwrap();
+        assert!(peak.value() > 273.0 && peak.value() < 330.0, "peak {peak}");
+    }
+
+    #[test]
+    fn leaky_cell_rises_at_the_hot_end() {
+        let cell = BandgapCell::nominal(st_bicmos_pnp())
+            .with_substrate(SubstrateJunction::bicmos_default());
+        cell.calibrate(Kelvin::new(298.15)).unwrap();
+        let curve = VrefCurve::sweep(&cell, &figure8_grid()).unwrap();
+        // The hot tail must bend up: last point above the mid-range point.
+        let n = curve.vref.len();
+        assert!(
+            curve.vref[n - 1].value() > curve.vref[n - 3].value(),
+            "no hot-end rise: {:?}",
+            curve.vref
+        );
+    }
+
+    #[test]
+    fn spread_and_slope_metrics() {
+        let c = VrefCurve {
+            temperatures: vec![Kelvin::new(200.0), Kelvin::new(300.0), Kelvin::new(400.0)],
+            vref: vec![Volt::new(1.20), Volt::new(1.23), Volt::new(1.21)],
+        };
+        assert!((c.spread() - 0.03).abs() < 1e-12);
+        assert!((c.end_to_end_slope() - 0.01 / 200.0).abs() < 1e-12);
+        assert_eq!(c.shape(), CurveShape::Bell);
+    }
+
+    #[test]
+    fn max_deviation_between_curves() {
+        let a = VrefCurve {
+            temperatures: vec![Kelvin::new(200.0), Kelvin::new(300.0)],
+            vref: vec![Volt::new(1.20), Volt::new(1.23)],
+        };
+        let b = VrefCurve {
+            temperatures: a.temperatures.clone(),
+            vref: vec![Volt::new(1.21), Volt::new(1.20)],
+        };
+        assert!((a.max_deviation_from(&b) - 0.03).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! - least-squares backend: Householder QR vs normal equations,
+//! - Meijer extraction with vs without the eq.-19/20 bias-drift
+//!   correction,
+//! - electro-thermal fixed point vs one-shot self-heating estimate,
+//! - DC solver: plain Newton vs the gmin-ladder path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_bandgap::cell::BandgapCell;
+use icvbe_bench::{synthetic_curve, synthetic_measurement};
+use icvbe_core::bestfit::{fit_eg_xti_with, fit_eg_xti};
+use icvbe_core::meijer::extract;
+use icvbe_core::nonlinear::fit_eg_xti_vberef;
+use icvbe_numerics::lsq::LsqBackend;
+use icvbe_thermal::network::ThermalPath;
+use icvbe_thermal::selfheat::{one_shot_die_temperature, solve_die_temperature};
+use icvbe_units::{Ampere, Kelvin};
+use std::hint::black_box;
+
+fn bench_lsq_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lsq_backend");
+    let curve = synthetic_curve(1e-6);
+    g.bench_function("qr", |b| {
+        b.iter(|| black_box(fit_eg_xti_with(&curve, 3, LsqBackend::Qr).expect("fit")))
+    });
+    g.bench_function("normal_equations", |b| {
+        b.iter(|| {
+            black_box(fit_eg_xti_with(&curve, 3, LsqBackend::NormalEquations).expect("fit"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_linear_vs_nonlinear_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fit_kind");
+    let curve = synthetic_curve(1e-6);
+    g.bench_function("linear_eq13", |b| {
+        b.iter(|| black_box(fit_eg_xti(&curve, 3).expect("fit")))
+    });
+    g.bench_function("nonlinear_free_vberef", |b| {
+        b.iter(|| black_box(fit_eg_xti_vberef(&curve, 3).expect("fit")))
+    });
+    g.finish();
+}
+
+fn bench_meijer_correction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_meijer_correction");
+    let with_drift = {
+        let mut m = synthetic_measurement();
+        // Bias drifts 2% per 50 K (PTAT source imperfection).
+        m.cold.ic = Ampere::new(0.98e-6);
+        m.hot.ic = Ampere::new(1.02e-6);
+        m
+    };
+    let ignored = {
+        let mut m = with_drift;
+        m.cold.ic = Ampere::new(1e-6);
+        m.hot.ic = Ampere::new(1e-6);
+        m
+    };
+    g.bench_function("with_eq17_correction", |b| {
+        b.iter(|| black_box(extract(&with_drift).expect("extract")))
+    });
+    g.bench_function("ignoring_drift", |b| {
+        b.iter(|| black_box(extract(&ignored).expect("extract")))
+    });
+    g.finish();
+}
+
+fn bench_thermal_fixed_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_thermal");
+    let path = ThermalPath::ceramic_dip();
+    let power = |t: Kelvin| 10e-3 * (1.0 + 0.01 * (t.value() - 298.15));
+    g.bench_function("fixed_point", |b| {
+        b.iter(|| {
+            black_box(
+                solve_die_temperature(Kelvin::new(298.15), &path, power, 1e-9, 100)
+                    .expect("converged"),
+            )
+        })
+    });
+    g.bench_function("one_shot", |b| {
+        b.iter(|| black_box(one_shot_die_temperature(Kelvin::new(298.15), &path, power)))
+    });
+    g.finish();
+}
+
+fn bench_solver_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_solver_start");
+    g.sample_size(10);
+    let cell = BandgapCell::nominal(st_bicmos_pnp());
+    let warm = cell.solve(Kelvin::new(298.15)).expect("warm").solution;
+    g.bench_function("cold_start", |b| {
+        b.iter(|| black_box(cell.solve(Kelvin::new(303.15)).expect("solve")))
+    });
+    g.bench_function("warm_start", |b| {
+        b.iter(|| {
+            black_box(
+                cell.solve_with(
+                    Kelvin::new(303.15),
+                    &icvbe_spice::solver::DcOptions::default(),
+                    Some(&warm),
+                )
+                .expect("solve"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_lsq_backend,
+        bench_linear_vs_nonlinear_fit,
+        bench_meijer_correction,
+        bench_thermal_fixed_point,
+        bench_solver_strategy
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! FIG1 bench: regenerating the five-model `EG(T)` comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_devphys::eg::figure1_models;
+use icvbe_units::Kelvin;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| black_box(icvbe_repro::fig1::run()))
+    });
+    g.bench_function("five_models_on_grid", |b| {
+        let models = figure1_models();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &models {
+                for i in 0..=90 {
+                    acc += m.eg(Kelvin::new(i as f64 * 5.0)).value();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fig1
+}
+criterion_main!(benches);

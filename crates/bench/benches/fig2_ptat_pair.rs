@@ -1,0 +1,29 @@
+//! FIG2 bench: solving the PTAT pair structure across temperature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_bandgap::pair::PairStructure;
+use icvbe_units::{Ampere, Kelvin};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| black_box(icvbe_repro::fig2::run().expect("fig2")))
+    });
+    g.bench_function("single_pair_solve", |b| {
+        let pair = PairStructure::ideal(st_bicmos_pnp(), Ampere::new(1e-6));
+        b.iter(|| black_box(pair.measure(Kelvin::new(298.15)).expect("solve")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fig2
+}
+criterion_main!(benches);

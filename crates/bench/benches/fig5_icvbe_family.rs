@@ -1,0 +1,33 @@
+//! FIG5 bench: the swept `IC(VBE)` family through the full solver path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("full_family_8_temperatures", |b| {
+        b.iter(|| black_box(icvbe_repro::fig5::run().expect("fig5")))
+    });
+    g.bench_function("constant_current_readout", |b| {
+        let family = icvbe_repro::fig5::run().expect("fig5").family;
+        b.iter(|| {
+            black_box(
+                family
+                    .vbe_curve_at(icvbe_units::Ampere::new(1e-6))
+                    .expect("readout"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fig5
+}
+criterion_main!(benches);

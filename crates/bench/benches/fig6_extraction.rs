@@ -1,0 +1,58 @@
+//! FIG6 bench: the three extraction routes on extraction-ready data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::{synthetic_curve, synthetic_measurement};
+use icvbe_core::{bestfit, meijer};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    let curve = synthetic_curve(1e-6);
+    let curves = [1e-8, 1e-7, 1e-6, 1e-5].map(synthetic_curve).to_vec();
+    let m = synthetic_measurement();
+    let grid: Vec<f64> = (0..=12).map(|i| 0.5 + 0.5 * i as f64).collect();
+
+    g.bench_function("bestfit_two_parameter", |b| {
+        b.iter(|| black_box(bestfit::fit_eg_xti(&curve, 3).expect("fit")))
+    });
+    g.bench_function("bestfit_characteristic_straight_c1", |b| {
+        b.iter(|| {
+            black_box(
+                bestfit::characteristic_straight(&curves, 3, &grid).expect("straight"),
+            )
+        })
+    });
+    g.bench_function("meijer_2x2_extraction", |b| {
+        b.iter(|| black_box(meijer::extract(&m).expect("extract")))
+    });
+    g.bench_function("meijer_characteristic_straight", |b| {
+        b.iter(|| {
+            black_box(
+                meijer::characteristic_straight(
+                    &m,
+                    meijer::MeijerPairing::ColdReference,
+                    &grid,
+                )
+                .expect("straight"),
+            )
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig6_end_to_end");
+    g.sample_size(10);
+    g.bench_function("full_bench_pipeline", |b| {
+        b.iter(|| black_box(icvbe_repro::fig6::run().expect("fig6")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! FIG8 bench: bandgap-cell solves, `VREF(T)` sweeps, and the full
+//! model-card comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_bandgap::cell::BandgapCell;
+use icvbe_bandgap::vref::{figure8_grid, VrefCurve};
+use icvbe_units::Kelvin;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("single_cell_solve", |b| {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        b.iter(|| black_box(cell.solve(Kelvin::new(298.15)).expect("solve")))
+    });
+    g.bench_function("vref_sweep_10_points", |b| {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        let grid = figure8_grid();
+        b.iter(|| black_box(VrefCurve::sweep(&cell, &grid).expect("sweep")))
+    });
+    g.bench_function("r_ptat_calibration", |b| {
+        let cell = BandgapCell::nominal(st_bicmos_pnp());
+        b.iter(|| black_box(cell.calibrate(Kelvin::new(298.15)).expect("calibrate")))
+    });
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| black_box(icvbe_repro::fig8::run().expect("fig8")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! SENS bench: the error-propagation studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::{synthetic_curve, synthetic_measurement};
+use icvbe_core::sensitivity::{bestfit_vbe_error_study, meijer_t2_error_study};
+use std::hint::black_box;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sensitivity");
+    let curve = synthetic_curve(1e-6);
+    let m = synthetic_measurement();
+    g.bench_function("vbe_error_study", |b| {
+        b.iter(|| black_box(bestfit_vbe_error_study(&curve, 3, 0.01).expect("study")))
+    });
+    g.bench_function("t2_error_study", |b| {
+        b.iter(|| black_box(meijer_t2_error_study(&m, 5.0).expect("study")))
+    });
+    g.bench_function("full_experiment", |b| {
+        b.iter(|| black_box(icvbe_repro::sensitivity::run().expect("sens")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_sensitivity
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target regenerates one table or figure of the paper (see
+//! DESIGN.md's per-experiment index); this crate hosts the common data
+//! builders so the benches measure the computation, not the setup.
+
+#![deny(missing_docs)]
+
+use icvbe_core::data::VbeCurve;
+use icvbe_core::meijer::{MeijerMeasurement, MeijerPoint};
+use icvbe_devphys::saturation::SpiceIsLaw;
+use icvbe_devphys::vbe::vbe_for_current;
+use icvbe_units::{Ampere, ElectronVolt, Kelvin};
+
+/// The reference device law used by the extraction benches.
+#[must_use]
+pub fn reference_law() -> SpiceIsLaw {
+    SpiceIsLaw::new(
+        Ampere::new(2e-17),
+        Kelvin::new(298.15),
+        ElectronVolt::new(1.1324),
+        2.58,
+    )
+}
+
+/// A clean eight-point `VBE(T)` characteristic at the given bias.
+///
+/// # Panics
+///
+/// Panics only on an invalid hard-coded grid (i.e. never).
+#[must_use]
+pub fn synthetic_curve(ic_amps: f64) -> VbeCurve {
+    let law = reference_law();
+    let ic = Ampere::new(ic_amps);
+    VbeCurve::from_points((0..8).map(|i| {
+        let t = Kelvin::new(223.15 + 25.0 * i as f64);
+        (t, vbe_for_current(&law, ic, t), ic)
+    }))
+    .expect("static grid is valid")
+}
+
+/// A clean three-point analytical measurement.
+#[must_use]
+pub fn synthetic_measurement() -> MeijerMeasurement {
+    let law = reference_law();
+    let ic = Ampere::new(1e-6);
+    let p = |t: f64| MeijerPoint {
+        temperature: Kelvin::new(t),
+        vbe: vbe_for_current(&law, ic, Kelvin::new(t)),
+        ic,
+    };
+    MeijerMeasurement {
+        cold: p(248.15),
+        reference: p(298.15),
+        hot: p(348.15),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(synthetic_curve(1e-6).len(), 8);
+        assert!(synthetic_measurement().validate().is_ok());
+    }
+}

@@ -1,0 +1,288 @@
+//! The classical eq.-13 best-fit extraction.
+//!
+//! At constant collector current the eq.-13 closed form rearranges to a
+//! model *linear* in `(EG, XTI)`:
+//!
+//! ```text
+//! y_i = VBE(T_i) - (T_i/T0) VBE(T0) - (k T_i / q) ln( IC(T_i)/IC(T0) )
+//!     = EG * (1 - T_i/T0)  -  XTI * (k T_i / q) ln(T_i/T0)
+//! ```
+//!
+//! so the extraction is a two-column linear least squares. Over the paper's
+//! -50..125 °C range those two columns are ~99.9% correlated, which is why
+//! noisy silicon data pins down only a *line* in `(XTI, EG)` space — the
+//! characteristic straight — rather than a point.
+
+use icvbe_numerics::lsq::{fit_least_squares_with, LsqBackend};
+use icvbe_numerics::Matrix;
+use icvbe_units::constants::BOLTZMANN_OVER_Q;
+use icvbe_units::ElectronVolt;
+
+use crate::data::VbeCurve;
+use crate::straight::CharacteristicStraight;
+use crate::{ExtractedPair, ExtractionError};
+
+/// Builds the `(design, observations)` of the linearized eq.-13 problem
+/// with the reference at `reference_index`. The reference row is excluded
+/// (it is identically zero).
+fn build_design(
+    curve: &VbeCurve,
+    reference_index: usize,
+) -> Result<(Matrix, Vec<f64>), ExtractionError> {
+    let pts = curve.points();
+    if reference_index >= pts.len() {
+        return Err(ExtractionError::bad_data(format!(
+            "reference index {reference_index} out of range ({} points)",
+            pts.len()
+        )));
+    }
+    let r = pts[reference_index];
+    let t0 = r.temperature.value();
+    let mut rows = Vec::with_capacity(pts.len() - 1);
+    let mut obs = Vec::with_capacity(pts.len() - 1);
+    for (i, p) in pts.iter().enumerate() {
+        if i == reference_index {
+            continue;
+        }
+        let t = p.temperature.value();
+        let ratio = t / t0;
+        let vt = BOLTZMANN_OVER_Q * t;
+        let ic_term = vt * (p.ic.value() / r.ic.value()).ln();
+        obs.push(p.vbe.value() - ratio * r.vbe.value() - ic_term);
+        rows.push(vec![1.0 - ratio, -vt * ratio.ln()]);
+    }
+    let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Ok((Matrix::from_rows(&row_refs)?, obs))
+}
+
+/// Fits both `EG` and `XTI` by linear least squares (QR backend).
+///
+/// # Errors
+///
+/// - [`ExtractionError::BadData`] for an out-of-range reference index.
+/// - Propagated numerical failures (rank deficiency for degenerate grids).
+pub fn fit_eg_xti(
+    curve: &VbeCurve,
+    reference_index: usize,
+) -> Result<ExtractedPair, ExtractionError> {
+    fit_eg_xti_with(curve, reference_index, LsqBackend::Qr)
+}
+
+/// Fits both parameters with an explicit least-squares backend (the
+/// normal-equations variant exists as a conditioning ablation).
+///
+/// # Errors
+///
+/// Same contract as [`fit_eg_xti`].
+pub fn fit_eg_xti_with(
+    curve: &VbeCurve,
+    reference_index: usize,
+    backend: LsqBackend,
+) -> Result<ExtractedPair, ExtractionError> {
+    let (design, obs) = build_design(curve, reference_index)?;
+    let fit = fit_least_squares_with(&design, &obs, backend)?;
+    Ok(ExtractedPair {
+        eg: ElectronVolt::new(fit.coefficients()[0]),
+        xti: fit.coefficients()[1],
+        rms_residual_volts: fit.rms_residual(),
+    })
+}
+
+/// Fits `EG` alone with `XTI` held fixed — one point of the characteristic
+/// straight.
+///
+/// # Errors
+///
+/// Same contract as [`fit_eg_xti`].
+pub fn fit_eg_for_xti(
+    curve: &VbeCurve,
+    reference_index: usize,
+    xti: f64,
+) -> Result<ExtractedPair, ExtractionError> {
+    let (design, obs) = build_design(curve, reference_index)?;
+    // Move the XTI column to the right-hand side and solve 1-column LSQ.
+    let rows = design.rows();
+    let mut col = Matrix::zeros(rows, 1);
+    let mut rhs = vec![0.0; rows];
+    for i in 0..rows {
+        col[(i, 0)] = design[(i, 0)];
+        rhs[i] = obs[i] - xti * design[(i, 1)];
+    }
+    let fit = fit_least_squares_with(&col, &rhs, LsqBackend::Qr)?;
+    Ok(ExtractedPair {
+        eg: ElectronVolt::new(fit.coefficients()[0]),
+        xti,
+        rms_residual_volts: fit.rms_residual(),
+    })
+}
+
+/// Sweeps `XTI` over `xti_grid`, fitting `EG` at each value, over one or
+/// several constant-current curves (the paper uses IC from 1e-8 to 1e-5 A).
+/// The `EG` reported at each grid point is the mean over the curves.
+///
+/// # Errors
+///
+/// - [`ExtractionError::BadData`] for an empty grid or curve list.
+/// - Propagates per-curve fit failures.
+pub fn characteristic_straight(
+    curves: &[VbeCurve],
+    reference_index: usize,
+    xti_grid: &[f64],
+) -> Result<CharacteristicStraight, ExtractionError> {
+    if curves.is_empty() {
+        return Err(ExtractionError::bad_data("no curves supplied"));
+    }
+    if xti_grid.is_empty() {
+        return Err(ExtractionError::bad_data("empty XTI grid"));
+    }
+    let mut points = Vec::with_capacity(xti_grid.len());
+    for &xti in xti_grid {
+        let mut sum = 0.0;
+        for curve in curves {
+            sum += fit_eg_for_xti(curve, reference_index, xti)?.eg.value();
+        }
+        points.push((xti, sum / curves.len() as f64));
+    }
+    CharacteristicStraight::new(points)
+}
+
+/// The correlation coefficient between the two design columns — the
+/// quantitative version of "EG and XTI cannot be extracted separately".
+///
+/// # Errors
+///
+/// Propagates design-construction failures.
+pub fn design_column_correlation(
+    curve: &VbeCurve,
+    reference_index: usize,
+) -> Result<f64, ExtractionError> {
+    let (design, _) = build_design(curve, reference_index)?;
+    let n = design.rows();
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        let a = design[(i, 0)];
+        let b = design[(i, 1)];
+        sa += a;
+        sb += b;
+        saa += a * a;
+        sbb += b * b;
+        sab += a * b;
+    }
+    let nf = n as f64;
+    let cov = sab - sa * sb / nf;
+    let va = saa - sa * sa / nf;
+    let vb = sbb - sb * sb / nf;
+    if va <= 0.0 || vb <= 0.0 {
+        return Err(ExtractionError::degenerate(
+            "zero-variance design column (all temperatures equal?)",
+        ));
+    }
+    Ok(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icvbe_devphys::saturation::SpiceIsLaw;
+    use icvbe_devphys::vbe::vbe_for_current;
+    use icvbe_units::{Ampere, Kelvin};
+
+    const EG_TRUE: f64 = 1.1324;
+    const XTI_TRUE: f64 = 2.58;
+
+    fn law() -> SpiceIsLaw {
+        SpiceIsLaw::new(
+            Ampere::new(2e-17),
+            Kelvin::new(298.15),
+            ElectronVolt::new(EG_TRUE),
+            XTI_TRUE,
+        )
+    }
+
+    fn synthetic_curve(ic: f64) -> VbeCurve {
+        let law = law();
+        let ic = Ampere::new(ic);
+        let points: Vec<_> = (0..8)
+            .map(|i| {
+                let t = Kelvin::new(223.15 + 25.0 * i as f64);
+                (t, vbe_for_current(&law, ic, t), ic)
+            })
+            .collect();
+        VbeCurve::from_points(points).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_clean_data() {
+        let curve = synthetic_curve(1e-6);
+        let fit = fit_eg_xti(&curve, 3).unwrap();
+        assert!((fit.eg.value() - EG_TRUE).abs() < 1e-9, "EG = {}", fit.eg);
+        assert!((fit.xti - XTI_TRUE).abs() < 1e-6, "XTI = {}", fit.xti);
+        assert!(fit.rms_residual_volts < 1e-12);
+    }
+
+    #[test]
+    fn both_backends_agree_on_clean_data() {
+        let curve = synthetic_curve(1e-7);
+        let qr = fit_eg_xti_with(&curve, 3, LsqBackend::Qr).unwrap();
+        let ne = fit_eg_xti_with(&curve, 3, LsqBackend::NormalEquations).unwrap();
+        assert!((qr.eg.value() - ne.eg.value()).abs() < 1e-7);
+        assert!((qr.xti - ne.xti).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_xti_at_truth_recovers_eg() {
+        let curve = synthetic_curve(1e-6);
+        let fit = fit_eg_for_xti(&curve, 3, XTI_TRUE).unwrap();
+        assert!((fit.eg.value() - EG_TRUE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn characteristic_straight_passes_through_truth() {
+        let curves: Vec<VbeCurve> = [1e-8, 1e-7, 1e-6, 1e-5].map(synthetic_curve).to_vec();
+        let grid: Vec<f64> = (0..13).map(|i| 0.5 + 0.5 * i as f64).collect();
+        let straight = characteristic_straight(&curves, 3, &grid).unwrap();
+        // The straight must pass (to high accuracy) through (XTI*, EG*).
+        let eg_at_truth = straight.eg_at(XTI_TRUE);
+        assert!(
+            (eg_at_truth - EG_TRUE).abs() < 1e-6,
+            "straight misses truth: {eg_at_truth}"
+        );
+        // Negative slope: a larger assumed XTI is compensated by a smaller
+        // EG (both eq.-13 columns pull VBE(T) the same way, so the fit
+        // trades one for the other; ~-27 meV per unit XTI on this grid).
+        assert!(straight.slope() < -0.01 && straight.slope() > -0.05);
+        assert!(straight.r_squared() > 0.999, "straight is really a line");
+    }
+
+    #[test]
+    fn design_columns_are_heavily_correlated() {
+        let curve = synthetic_curve(1e-6);
+        let rho = design_column_correlation(&curve, 3).unwrap().abs();
+        assert!(rho > 0.99, "correlation {rho} — the paper's core difficulty");
+    }
+
+    #[test]
+    fn vbe_measurement_error_biases_eg() {
+        // A 1% VBE scale error must shift extracted EG by percents — the
+        // "8% on EG" claim of section 3 (order of magnitude check here;
+        // the exact number is workload dependent).
+        let curve = synthetic_curve(1e-6);
+        let perturbed = curve.with_vbe_scale_error(0.01);
+        let fit = fit_eg_xti(&perturbed, 3).unwrap();
+        let rel = (fit.eg.value() - EG_TRUE).abs() / EG_TRUE;
+        assert!(rel > 0.002, "EG moved only {rel}");
+    }
+
+    #[test]
+    fn out_of_range_reference_is_rejected() {
+        let curve = synthetic_curve(1e-6);
+        assert!(fit_eg_xti(&curve, 99).is_err());
+    }
+
+    #[test]
+    fn empty_grid_is_rejected() {
+        let curve = synthetic_curve(1e-6);
+        assert!(characteristic_straight(&[curve], 3, &[]).is_err());
+        assert!(characteristic_straight(&[], 3, &[1.0]).is_err());
+    }
+}

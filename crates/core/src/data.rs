@@ -1,0 +1,375 @@
+//! Measurement data types: `VBE(T)` characteristics and `IC(VBE)` families.
+
+use icvbe_units::{Ampere, Kelvin, Volt};
+
+use crate::ExtractionError;
+
+/// One `VBE` measurement: temperature, base-emitter voltage, and the
+/// collector current the device actually carried (the paper's eqs. 17-20
+/// correct for bias drift using exactly this record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VbePoint {
+    /// Temperature of the measurement.
+    pub temperature: Kelvin,
+    /// Measured base-emitter voltage.
+    pub vbe: Volt,
+    /// Collector current at this point.
+    pub ic: Ampere,
+}
+
+/// A `VBE(T)` characteristic at nominally constant collector current.
+///
+/// Invariants (enforced at construction): at least three points, strictly
+/// increasing temperatures, all values finite, all currents positive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VbeCurve {
+    points: Vec<VbePoint>,
+}
+
+impl VbeCurve {
+    /// Builds a curve from `(temperature, vbe, ic)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] if fewer than three points are given,
+    /// temperatures are not strictly increasing, or any value is
+    /// non-finite/unphysical.
+    pub fn from_points(
+        points: impl IntoIterator<Item = (Kelvin, Volt, Ampere)>,
+    ) -> Result<Self, ExtractionError> {
+        let points: Vec<VbePoint> = points
+            .into_iter()
+            .map(|(temperature, vbe, ic)| VbePoint {
+                temperature,
+                vbe,
+                ic,
+            })
+            .collect();
+        if points.len() < 3 {
+            return Err(ExtractionError::bad_data(format!(
+                "need at least 3 VBE(T) points, got {}",
+                points.len()
+            )));
+        }
+        for p in &points {
+            if !p.temperature.value().is_finite()
+                || p.temperature.value() <= 0.0
+                || !p.vbe.value().is_finite()
+                || !p.ic.value().is_finite()
+                || p.ic.value() <= 0.0
+            {
+                return Err(ExtractionError::bad_data(format!(
+                    "unphysical point at {}: vbe {}, ic {}",
+                    p.temperature, p.vbe, p.ic
+                )));
+            }
+        }
+        if points
+            .windows(2)
+            .any(|w| w[0].temperature.value() >= w[1].temperature.value())
+        {
+            return Err(ExtractionError::bad_data(
+                "temperatures must be strictly increasing",
+            ));
+        }
+        Ok(VbeCurve { points })
+    }
+
+    /// The measurement points in temperature order.
+    #[must_use]
+    pub fn points(&self) -> &[VbePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve is empty (never true for a validated curve).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Index of the point closest to `temperature` — used to pick the
+    /// reference point T0 for the eq.-13 fit.
+    #[must_use]
+    pub fn closest_index(&self, temperature: Kelvin) -> usize {
+        let mut best = 0;
+        let mut dist = f64::INFINITY;
+        for (i, p) in self.points.iter().enumerate() {
+            let d = (p.temperature.value() - temperature.value()).abs();
+            if d < dist {
+                dist = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Returns a copy with every `VBE` multiplied by `1 + relative_error` —
+    /// the perturbation used by the paper's "1% on VBE(T)" sensitivity
+    /// claim.
+    #[must_use]
+    pub fn with_vbe_scale_error(&self, relative_error: f64) -> VbeCurve {
+        let points = self
+            .points
+            .iter()
+            .map(|p| VbePoint {
+                temperature: p.temperature,
+                vbe: Volt::new(p.vbe.value() * (1.0 + relative_error)),
+                ic: p.ic,
+            })
+            .collect();
+        VbeCurve { points }
+    }
+
+    /// Returns a copy with every temperature shifted by `delta` kelvin
+    /// (sensor calibration error).
+    #[must_use]
+    pub fn with_temperature_offset(&self, delta: f64) -> VbeCurve {
+        let points = self
+            .points
+            .iter()
+            .map(|p| VbePoint {
+                temperature: Kelvin::new(p.temperature.value() + delta),
+                vbe: p.vbe,
+                ic: p.ic,
+            })
+            .collect();
+        VbeCurve { points }
+    }
+}
+
+/// One constant-temperature `IC(VBE)` sweep (a member of the Fig.-5
+/// family).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcVbeSweep {
+    /// Temperature of the sweep.
+    pub temperature: Kelvin,
+    /// Swept base-emitter voltages, strictly increasing.
+    pub vbe: Vec<Volt>,
+    /// Measured collector currents, parallel to `vbe`.
+    pub ic: Vec<Ampere>,
+}
+
+impl IcVbeSweep {
+    /// Builds a sweep, validating lengths and ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] for mismatched lengths, fewer than two
+    /// points, or non-increasing `VBE`.
+    pub fn new(
+        temperature: Kelvin,
+        vbe: Vec<Volt>,
+        ic: Vec<Ampere>,
+    ) -> Result<Self, ExtractionError> {
+        if vbe.len() != ic.len() {
+            return Err(ExtractionError::bad_data(format!(
+                "VBE/IC length mismatch: {} vs {}",
+                vbe.len(),
+                ic.len()
+            )));
+        }
+        if vbe.len() < 2 {
+            return Err(ExtractionError::bad_data("sweep needs at least two points"));
+        }
+        if vbe.windows(2).any(|w| w[0].value() >= w[1].value()) {
+            return Err(ExtractionError::bad_data("VBE must be strictly increasing"));
+        }
+        Ok(IcVbeSweep {
+            temperature,
+            vbe,
+            ic,
+        })
+    }
+
+    /// Interpolates (in `ln IC`) the `VBE` at which the sweep crosses the
+    /// target current — how a constant-current `VBE(T)` characteristic is
+    /// read out of a swept family.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::Degenerate`] if `target` is outside the swept
+    /// current range.
+    pub fn vbe_at_current(&self, target: Ampere) -> Result<Volt, ExtractionError> {
+        let t = target.value();
+        if t <= 0.0 {
+            return Err(ExtractionError::degenerate("target current must be positive"));
+        }
+        let ln_t = t.ln();
+        for w in 0..self.ic.len() - 1 {
+            let (i0, i1) = (self.ic[w].value(), self.ic[w + 1].value());
+            if i0 <= 0.0 || i1 <= 0.0 {
+                continue;
+            }
+            let (l0, l1) = (i0.ln(), i1.ln());
+            if (l0 <= ln_t && ln_t <= l1) || (l1 <= ln_t && ln_t <= l0) {
+                let f = if l1 == l0 { 0.0 } else { (ln_t - l0) / (l1 - l0) };
+                let v = self.vbe[w].value() + f * (self.vbe[w + 1].value() - self.vbe[w].value());
+                return Ok(Volt::new(v));
+            }
+        }
+        Err(ExtractionError::degenerate(format!(
+            "current {target} not covered by the sweep"
+        )))
+    }
+}
+
+/// A family of `IC(VBE)` sweeps across temperature (the full Fig. 5).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IcVbeFamily {
+    sweeps: Vec<IcVbeSweep>,
+}
+
+impl IcVbeFamily {
+    /// Builds a family from sweeps sorted by temperature.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] if fewer than two sweeps are given or
+    /// they are not in strictly increasing temperature order.
+    pub fn new(sweeps: Vec<IcVbeSweep>) -> Result<Self, ExtractionError> {
+        if sweeps.len() < 2 {
+            return Err(ExtractionError::bad_data("family needs at least two sweeps"));
+        }
+        if sweeps
+            .windows(2)
+            .any(|w| w[0].temperature.value() >= w[1].temperature.value())
+        {
+            return Err(ExtractionError::bad_data(
+                "sweeps must be in strictly increasing temperature order",
+            ));
+        }
+        Ok(IcVbeFamily { sweeps })
+    }
+
+    /// The member sweeps.
+    #[must_use]
+    pub fn sweeps(&self) -> &[IcVbeSweep] {
+        &self.sweeps
+    }
+
+    /// Extracts the constant-current `VBE(T)` characteristic at `ic` from
+    /// the family — the paper's route from Fig. 5 to the eq.-13 fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpolation failures and curve validation.
+    pub fn vbe_curve_at(&self, ic: Ampere) -> Result<VbeCurve, ExtractionError> {
+        let mut points = Vec::with_capacity(self.sweeps.len());
+        for s in &self.sweeps {
+            points.push((s.temperature, s.vbe_at_current(ic)?, ic));
+        }
+        VbeCurve::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_curve() -> VbeCurve {
+        VbeCurve::from_points([
+            (Kelvin::new(250.0), Volt::new(0.70), Ampere::new(1e-6)),
+            (Kelvin::new(300.0), Volt::new(0.60), Ampere::new(1e-6)),
+            (Kelvin::new(350.0), Volt::new(0.50), Ampere::new(1e-6)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        let r = VbeCurve::from_points([
+            (Kelvin::new(250.0), Volt::new(0.7), Ampere::new(1e-6)),
+            (Kelvin::new(300.0), Volt::new(0.6), Ampere::new(1e-6)),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_temperatures() {
+        let r = VbeCurve::from_points([
+            (Kelvin::new(300.0), Volt::new(0.6), Ampere::new(1e-6)),
+            (Kelvin::new(250.0), Volt::new(0.7), Ampere::new(1e-6)),
+            (Kelvin::new(350.0), Volt::new(0.5), Ampere::new(1e-6)),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_current() {
+        let r = VbeCurve::from_points([
+            (Kelvin::new(250.0), Volt::new(0.7), Ampere::new(0.0)),
+            (Kelvin::new(300.0), Volt::new(0.6), Ampere::new(1e-6)),
+            (Kelvin::new(350.0), Volt::new(0.5), Ampere::new(1e-6)),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn closest_index_picks_reference() {
+        let c = simple_curve();
+        assert_eq!(c.closest_index(Kelvin::new(298.15)), 1);
+        assert_eq!(c.closest_index(Kelvin::new(0.0)), 0);
+        assert_eq!(c.closest_index(Kelvin::new(1000.0)), 2);
+    }
+
+    #[test]
+    fn perturbations_apply() {
+        let c = simple_curve();
+        let scaled = c.with_vbe_scale_error(0.01);
+        assert!((scaled.points()[0].vbe.value() - 0.707).abs() < 1e-12);
+        let shifted = c.with_temperature_offset(-2.0);
+        assert!((shifted.points()[0].temperature.value() - 248.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_interpolates_vbe_at_current() {
+        let s = IcVbeSweep::new(
+            Kelvin::new(300.0),
+            vec![Volt::new(0.5), Volt::new(0.6), Volt::new(0.7)],
+            vec![Ampere::new(1e-8), Ampere::new(1e-6), Ampere::new(1e-4)],
+        )
+        .unwrap();
+        // Halfway in log current between 1e-8 and 1e-6 is 1e-7 -> VBE 0.55.
+        let v = s.vbe_at_current(Ampere::new(1e-7)).unwrap();
+        assert!((v.value() - 0.55).abs() < 1e-12);
+        assert!(s.vbe_at_current(Ampere::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn family_builds_constant_current_curve() {
+        let mk = |t: f64, shift: f64| {
+            IcVbeSweep::new(
+                Kelvin::new(t),
+                vec![
+                    Volt::new(0.5 - shift),
+                    Volt::new(0.6 - shift),
+                    Volt::new(0.7 - shift),
+                ],
+                vec![Ampere::new(1e-8), Ampere::new(1e-6), Ampere::new(1e-4)],
+            )
+            .unwrap()
+        };
+        let fam = IcVbeFamily::new(vec![mk(250.0, 0.0), mk(300.0, 0.1), mk(350.0, 0.2)]).unwrap();
+        let curve = fam.vbe_curve_at(Ampere::new(1e-6)).unwrap();
+        assert_eq!(curve.len(), 3);
+        assert!((curve.points()[0].vbe.value() - 0.6).abs() < 1e-12);
+        assert!((curve.points()[2].vbe.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_rejects_single_sweep() {
+        let s = IcVbeSweep::new(
+            Kelvin::new(300.0),
+            vec![Volt::new(0.5), Volt::new(0.6)],
+            vec![Ampere::new(1e-8), Ampere::new(1e-6)],
+        )
+        .unwrap();
+        assert!(IcVbeFamily::new(vec![s]).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the extraction routines.
+
+use std::error::Error;
+use std::fmt;
+
+use icvbe_numerics::NumericsError;
+
+/// Error produced by extraction routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractionError {
+    /// The measured data set is unusable (too few points, duplicate
+    /// temperatures, non-finite values...).
+    BadData {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The extraction equations are degenerate for this data (equal
+    /// temperatures, zero dVBE...).
+    Degenerate {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An underlying numerical kernel failed.
+    Numerics(NumericsError),
+}
+
+impl ExtractionError {
+    /// Convenience constructor for [`ExtractionError::BadData`].
+    #[must_use]
+    pub fn bad_data(detail: impl Into<String>) -> Self {
+        ExtractionError::BadData {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ExtractionError::Degenerate`].
+    #[must_use]
+    pub fn degenerate(detail: impl Into<String>) -> Self {
+        ExtractionError::Degenerate {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExtractionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractionError::BadData { detail } => write!(f, "bad measurement data: {detail}"),
+            ExtractionError::Degenerate { detail } => {
+                write!(f, "degenerate extraction problem: {detail}")
+            }
+            ExtractionError::Numerics(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for ExtractionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExtractionError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NumericsError> for ExtractionError {
+    fn from(e: NumericsError) -> Self {
+        ExtractionError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ExtractionError::bad_data("x").to_string().contains("bad measurement"));
+        assert!(ExtractionError::degenerate("y").to_string().contains("degenerate"));
+        let e: ExtractionError = NumericsError::invalid("z").into();
+        assert!(e.to_string().contains("numerical"));
+    }
+}

@@ -1,0 +1,74 @@
+//! `EG`/`XTI` extraction from `IC(VBE)` temperature data — the reproduced
+//! paper's contribution.
+//!
+//! Two extraction routes are implemented, mirroring sections 3-5:
+//!
+//! 1. **Best fit** ([`bestfit`]): least-squares fit of the eq.-13 closed
+//!    form on a measured `VBE(T)` characteristic at constant collector
+//!    current. Because `EG` and `XTI` are strongly correlated over a
+//!    -50..125 °C span, the practical output is a *characteristic straight*
+//!    `EG(XTI)` ([`straight`]) rather than a point.
+//! 2. **Analytical / test-structure method** ([`meijer`]): Meijer's
+//!    equations 14-15 on three temperatures, where the two *extreme*
+//!    temperatures are not trusted from the chamber sensor but *computed*
+//!    from the PTAT `dVBE` of the QA/QB pair ([`tempcomp`], eq. 16) with
+//!    the collector-current correction of eqs. 17-20 — so the extraction
+//!    sees the die's own temperature, self-heating and all.
+//!
+//! [`sensitivity`] quantifies the error-propagation claims the paper makes
+//! in passing (1% `VBE` error → up to 8% `EG` error; `dT2 < 5 K` is
+//! harmless; bias drift contributes ~0.3 mV to `dVBE`).
+//!
+//! # Examples
+//!
+//! ```
+//! use icvbe_core::data::VbeCurve;
+//! use icvbe_core::bestfit::fit_eg_xti;
+//! use icvbe_devphys::saturation::SpiceIsLaw;
+//! use icvbe_devphys::vbe::vbe_for_current;
+//! use icvbe_units::{Ampere, ElectronVolt, Kelvin};
+//!
+//! // Synthesize a perfect VBE(T) characteristic, then recover EG and XTI.
+//! let law = SpiceIsLaw::new(Ampere::new(2e-17), Kelvin::new(298.15),
+//!                           ElectronVolt::new(1.1324), 2.58);
+//! let ic = Ampere::new(1e-6);
+//! let points: Vec<_> = (0..8)
+//!     .map(|i| {
+//!         let t = Kelvin::new(223.15 + 25.0 * i as f64);
+//!         (t, vbe_for_current(&law, ic, t), ic)
+//!     })
+//!     .collect();
+//! let curve = VbeCurve::from_points(points)?;
+//! let fit = fit_eg_xti(&curve, 3)?; // index 3 = 298.15 K reference
+//! assert!((fit.eg.value() - 1.1324).abs() < 1e-9);
+//! assert!((fit.xti - 2.58).abs() < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bestfit;
+pub mod data;
+mod error;
+pub mod meijer;
+pub mod nonlinear;
+pub mod sensitivity;
+pub mod straight;
+pub mod tempcomp;
+
+pub use error::ExtractionError;
+
+use icvbe_units::ElectronVolt;
+
+/// An extracted `(EG, XTI)` parameter pair with fit diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractedPair {
+    /// Extracted bandgap parameter.
+    pub eg: ElectronVolt,
+    /// Extracted saturation-current temperature exponent.
+    pub xti: f64,
+    /// Root-mean-square residual of the fit in volts (0 for the exactly
+    /// determined analytical method).
+    pub rms_residual_volts: f64,
+}

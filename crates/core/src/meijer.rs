@@ -1,0 +1,267 @@
+//! The analytical extraction: Meijer's equations 14-15 on three
+//! temperatures.
+//!
+//! For any two temperatures `Ta < Tb` the eq.-13 closed form collapses to
+//!
+//! ```text
+//! Tb VBE(Ta) - Ta VBE(Tb) = EG (Tb - Ta)
+//!                         + XTI (k Ta Tb / q) ln(Tb/Ta)
+//!                         + (k Ta Tb / q) ln( IC(Ta)/IC(Tb) )     (17/18)
+//! ```
+//!
+//! Taking the pairs `(T1, T2)` and `(T2, T3)` gives two linear equations in
+//! `(EG, XTI)` — no iteration, no regression: a 2x2 solve. The whole point
+//! of the test structure is that `T1` and `T3` entering these equations can
+//! be the *computed* die temperatures from [`crate::tempcomp`].
+
+use icvbe_units::constants::BOLTZMANN_OVER_Q;
+use icvbe_units::{Ampere, ElectronVolt, Kelvin, Volt};
+
+use crate::straight::CharacteristicStraight;
+use crate::{ExtractedPair, ExtractionError};
+
+/// One point of the three-temperature analytical measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeijerPoint {
+    /// Temperature of the point (sensor-measured or dVBE-computed).
+    pub temperature: Kelvin,
+    /// `VBE` of the device under test at that temperature.
+    pub vbe: Volt,
+    /// Collector current at that temperature (for the eq.-17/18 bias-drift
+    /// correction; pass equal values for an ideal constant bias).
+    pub ic: Ampere,
+}
+
+/// The three-temperature measurement set of the analytical method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeijerMeasurement {
+    /// Cold point (`T1` in the paper, -25 °C).
+    pub cold: MeijerPoint,
+    /// Reference point (`T2`, 25 °C — the only temperature that must be
+    /// physically measured).
+    pub reference: MeijerPoint,
+    /// Hot point (`T3`, 75 °C).
+    pub hot: MeijerPoint,
+}
+
+impl MeijerMeasurement {
+    /// Validates ordering and physicality.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] for non-increasing temperatures or
+    /// unphysical values.
+    pub fn validate(&self) -> Result<(), ExtractionError> {
+        let (t1, t2, t3) = (
+            self.cold.temperature.value(),
+            self.reference.temperature.value(),
+            self.hot.temperature.value(),
+        );
+        if !(t1 > 0.0 && t2 > t1 && t3 > t2) {
+            return Err(ExtractionError::bad_data(format!(
+                "temperatures must satisfy 0 < T1 < T2 < T3, got {t1}, {t2}, {t3}"
+            )));
+        }
+        for p in [self.cold, self.reference, self.hot] {
+            if !p.vbe.value().is_finite() || !(p.ic.value() > 0.0) {
+                return Err(ExtractionError::bad_data(format!(
+                    "unphysical point at {}: vbe {}, ic {}",
+                    p.temperature, p.vbe, p.ic
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Left-hand side and `(EG, XTI)` coefficients of eq. 17/18 for the pair
+/// `(a, b)`, `Ta < Tb`, including the bias-drift correction term.
+fn pair_equation(a: MeijerPoint, b: MeijerPoint) -> (f64, f64, f64) {
+    let ta = a.temperature.value();
+    let tb = b.temperature.value();
+    let kq = BOLTZMANN_OVER_Q;
+    let lhs = tb * a.vbe.value() - ta * b.vbe.value()
+        - kq * ta * tb * (a.ic.value() / b.ic.value()).ln();
+    let c_eg = tb - ta;
+    let c_xti = kq * ta * tb * (tb / ta).ln();
+    (lhs, c_eg, c_xti)
+}
+
+/// Extracts `(EG, XTI)` analytically from the three-point measurement.
+///
+/// # Errors
+///
+/// - Propagates [`MeijerMeasurement::validate`].
+/// - [`ExtractionError::Degenerate`] if the 2x2 system is singular (this
+///   needs pathological temperature spacing).
+pub fn extract(m: &MeijerMeasurement) -> Result<ExtractedPair, ExtractionError> {
+    m.validate()?;
+    let (l1, a1, b1) = pair_equation(m.cold, m.reference);
+    let (l2, a2, b2) = pair_equation(m.reference, m.hot);
+    let det = a1 * b2 - a2 * b1;
+    if det.abs() < 1e-18 {
+        return Err(ExtractionError::degenerate(
+            "Meijer system is singular for this temperature spacing",
+        ));
+    }
+    let eg = (l1 * b2 - l2 * b1) / det;
+    let xti = (a1 * l2 - a2 * l1) / det;
+    Ok(ExtractedPair {
+        eg: ElectronVolt::new(eg),
+        xti,
+        rms_residual_volts: 0.0,
+    })
+}
+
+/// Which eq.-14/15 pair a single-equation characteristic line uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeijerPairing {
+    /// Equation 14: the `(T1, T2)` pair.
+    ColdReference,
+    /// Equation 15: the `(T2, T3)` pair.
+    ReferenceHot,
+}
+
+/// The characteristic straight implied by a *single* Meijer equation: for
+/// each `XTI` on the grid, the `EG` that satisfies the chosen pair exactly.
+/// This is how the analytical method draws the C2/C3 lines of Fig. 6.
+///
+/// # Errors
+///
+/// - Propagates [`MeijerMeasurement::validate`].
+/// - [`ExtractionError::BadData`] for an empty grid.
+pub fn characteristic_straight(
+    m: &MeijerMeasurement,
+    pairing: MeijerPairing,
+    xti_grid: &[f64],
+) -> Result<CharacteristicStraight, ExtractionError> {
+    m.validate()?;
+    if xti_grid.is_empty() {
+        return Err(ExtractionError::bad_data("empty XTI grid"));
+    }
+    let (lhs, c_eg, c_xti) = match pairing {
+        MeijerPairing::ColdReference => pair_equation(m.cold, m.reference),
+        MeijerPairing::ReferenceHot => pair_equation(m.reference, m.hot),
+    };
+    let points = xti_grid
+        .iter()
+        .map(|&xti| (xti, (lhs - xti * c_xti) / c_eg))
+        .collect();
+    CharacteristicStraight::new(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icvbe_devphys::saturation::SpiceIsLaw;
+    use icvbe_devphys::vbe::vbe_for_current;
+
+    const EG_TRUE: f64 = 1.1324;
+    const XTI_TRUE: f64 = 2.58;
+
+    fn law() -> SpiceIsLaw {
+        SpiceIsLaw::new(
+            Ampere::new(2e-17),
+            Kelvin::new(298.15),
+            ElectronVolt::new(EG_TRUE),
+            XTI_TRUE,
+        )
+    }
+
+    fn point(t: f64, ic: f64) -> MeijerPoint {
+        let t = Kelvin::new(t);
+        let ic = Ampere::new(ic);
+        MeijerPoint {
+            temperature: t,
+            vbe: vbe_for_current(&law(), ic, t),
+            ic,
+        }
+    }
+
+    fn measurement() -> MeijerMeasurement {
+        MeijerMeasurement {
+            cold: point(248.15, 1e-6),
+            reference: point(298.15, 1e-6),
+            hot: point(348.15, 1e-6),
+        }
+    }
+
+    #[test]
+    fn recovers_exact_parameters() {
+        let fit = extract(&measurement()).unwrap();
+        assert!((fit.eg.value() - EG_TRUE).abs() < 1e-10, "EG = {}", fit.eg);
+        assert!((fit.xti - XTI_TRUE).abs() < 1e-7, "XTI = {}", fit.xti);
+    }
+
+    #[test]
+    fn bias_drift_correction_restores_exactness() {
+        // PTAT bias: IC doubles over the range; uncorrected extraction
+        // would be biased, the eq.-17/18 term fixes it exactly.
+        let m = MeijerMeasurement {
+            cold: point(248.15, 0.8e-6),
+            reference: point(298.15, 1.0e-6),
+            hot: point(348.15, 1.25e-6),
+        };
+        let fit = extract(&m).unwrap();
+        assert!((fit.eg.value() - EG_TRUE).abs() < 1e-10);
+        assert!((fit.xti - XTI_TRUE).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ignoring_bias_drift_biases_the_extraction() {
+        // Same drifting bias but lie to the extractor (constant IC).
+        let mut m = MeijerMeasurement {
+            cold: point(248.15, 0.8e-6),
+            reference: point(298.15, 1.0e-6),
+            hot: point(348.15, 1.25e-6),
+        };
+        m.cold.ic = Ampere::new(1e-6);
+        m.hot.ic = Ampere::new(1e-6);
+        let fit = extract(&m).unwrap();
+        assert!(
+            (fit.eg.value() - EG_TRUE).abs() > 1e-4,
+            "expected a visible bias, got EG = {}",
+            fit.eg
+        );
+    }
+
+    #[test]
+    fn wrong_temperatures_shift_the_extraction() {
+        // Feed sensor temperatures that are off by the Table-1 magnitudes:
+        // the extracted parameters move dramatically (the paper's point).
+        let mut m = measurement();
+        m.cold.temperature = Kelvin::new(248.15 + 4.0);
+        m.hot.temperature = Kelvin::new(348.15 - 5.0);
+        let fit = extract(&m).unwrap();
+        assert!(
+            (fit.eg.value() - EG_TRUE).abs() > 0.005,
+            "EG barely moved: {}",
+            fit.eg
+        );
+    }
+
+    #[test]
+    fn single_equation_lines_intersect_at_the_solution() {
+        let m = measurement();
+        let grid: Vec<f64> = (0..13).map(|i| 0.5 + 0.5 * i as f64).collect();
+        let c14 = characteristic_straight(&m, MeijerPairing::ColdReference, &grid).unwrap();
+        let c15 = characteristic_straight(&m, MeijerPairing::ReferenceHot, &grid).unwrap();
+        let (x, y) = c14.intersection(&c15).unwrap();
+        assert!((x - XTI_TRUE).abs() < 1e-6, "XTI at intersection: {x}");
+        assert!((y - EG_TRUE).abs() < 1e-9, "EG at intersection: {y}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_ordering() {
+        let mut m = measurement();
+        m.cold.temperature = Kelvin::new(400.0);
+        assert!(extract(&m).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_current() {
+        let mut m = measurement();
+        m.reference.ic = Ampere::new(0.0);
+        assert!(extract(&m).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Nonlinear extraction variants (ablations of the eq.-13 linear fit).
+//!
+//! The linear best fit trusts the measured `VBE(T0)` completely: a noisy
+//! reference reading propagates into every residual. This module frees
+//! `VBE(T0)` as a third parameter and fits `(EG, XTI, VBE(T0))` with
+//! Levenberg-Marquardt, which desensitizes the extraction to reference
+//! noise at the cost of one more degree of correlation.
+
+use icvbe_numerics::lm::{fit_levenberg_marquardt, LmOptions, ResidualModel};
+use icvbe_numerics::NumericsError;
+use icvbe_units::constants::BOLTZMANN_OVER_Q;
+use icvbe_units::ElectronVolt;
+
+use crate::bestfit::fit_eg_xti;
+use crate::data::VbeCurve;
+use crate::{ExtractedPair, ExtractionError};
+
+/// Result of a three-parameter nonlinear extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NonlinearFit {
+    /// The extracted pair.
+    pub pair: ExtractedPair,
+    /// The fitted reference voltage `VBE(T0)` in volts.
+    pub vbe_ref: f64,
+    /// Levenberg-Marquardt iterations spent.
+    pub iterations: usize,
+}
+
+struct Eq13Residuals<'a> {
+    curve: &'a VbeCurve,
+    t_ref: f64,
+    ic_ref: f64,
+}
+
+impl ResidualModel for Eq13Residuals<'_> {
+    fn residual_count(&self) -> usize {
+        self.curve.len()
+    }
+
+    fn parameter_count(&self) -> usize {
+        3 // EG, XTI, VBE(T0)
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+        let (eg, xti, vbe_ref) = (p[0], p[1], p[2]);
+        for (i, pt) in self.curve.points().iter().enumerate() {
+            let t = pt.temperature.value();
+            let ratio = t / self.t_ref;
+            let vt = BOLTZMANN_OVER_Q * t;
+            let predicted = ratio * vbe_ref + eg * (1.0 - ratio) - xti * vt * ratio.ln()
+                + vt * (pt.ic.value() / self.ic_ref).ln();
+            out[i] = predicted - pt.vbe.value();
+        }
+        Ok(())
+    }
+}
+
+/// Fits `(EG, XTI, VBE(T0))` by Levenberg-Marquardt, seeded from the
+/// linear fit.
+///
+/// # Errors
+///
+/// - Propagates linear-fit failures (used for the seed).
+/// - Propagates Levenberg-Marquardt failures.
+pub fn fit_eg_xti_vberef(
+    curve: &VbeCurve,
+    reference_index: usize,
+) -> Result<NonlinearFit, ExtractionError> {
+    let pts = curve.points();
+    if reference_index >= pts.len() {
+        return Err(ExtractionError::bad_data(format!(
+            "reference index {reference_index} out of range ({} points)",
+            pts.len()
+        )));
+    }
+    let seed = fit_eg_xti(curve, reference_index)?;
+    let reference = pts[reference_index];
+    let model = Eq13Residuals {
+        curve,
+        t_ref: reference.temperature.value(),
+        ic_ref: reference.ic.value(),
+    };
+    let p0 = [seed.eg.value(), seed.xti, reference.vbe.value()];
+    let fit = fit_levenberg_marquardt(&model, &p0, LmOptions::default())?;
+    let rms = (2.0 * fit.cost / curve.len() as f64).sqrt();
+    Ok(NonlinearFit {
+        pair: ExtractedPair {
+            eg: ElectronVolt::new(fit.parameters[0]),
+            xti: fit.parameters[1],
+            rms_residual_volts: rms,
+        },
+        vbe_ref: fit.parameters[2],
+        iterations: fit.iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icvbe_devphys::saturation::SpiceIsLaw;
+    use icvbe_devphys::vbe::vbe_for_current;
+    use icvbe_units::{Ampere, Kelvin, Volt};
+
+    const EG_TRUE: f64 = 1.1324;
+    const XTI_TRUE: f64 = 2.58;
+
+    fn curve() -> VbeCurve {
+        let law = SpiceIsLaw::new(
+            Ampere::new(2e-17),
+            Kelvin::new(298.15),
+            ElectronVolt::new(EG_TRUE),
+            XTI_TRUE,
+        );
+        let ic = Ampere::new(1e-6);
+        VbeCurve::from_points((0..8).map(|i| {
+            let t = Kelvin::new(223.15 + 25.0 * i as f64);
+            (t, vbe_for_current(&law, ic, t), ic)
+        }))
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_data_reproduces_the_linear_fit() {
+        let c = curve();
+        let lin = fit_eg_xti(&c, 3).unwrap();
+        let non = fit_eg_xti_vberef(&c, 3).unwrap();
+        assert!((non.pair.eg.value() - lin.eg.value()).abs() < 1e-6);
+        assert!((non.pair.xti - lin.xti).abs() < 1e-3);
+        assert!((non.vbe_ref - c.points()[3].vbe.value()).abs() < 1e-9);
+        assert!(non.pair.rms_residual_volts < 1e-9);
+    }
+
+    #[test]
+    fn corrupted_reference_point_hurts_linear_fit_more() {
+        // Bump ONLY the reference reading by 1 mV: the linear fit inherits
+        // the error through every residual, the nonlinear fit re-estimates
+        // VBE(T0) and shrugs it off.
+        let c = curve();
+        let mut pts: Vec<_> = c
+            .points()
+            .iter()
+            .map(|p| (p.temperature, p.vbe, p.ic))
+            .collect();
+        pts[3].1 = Volt::new(pts[3].1.value() + 1e-3);
+        let corrupted = VbeCurve::from_points(pts).unwrap();
+
+        let lin_err = (fit_eg_xti(&corrupted, 3).unwrap().eg.value() - EG_TRUE).abs();
+        let non_err =
+            (fit_eg_xti_vberef(&corrupted, 3).unwrap().pair.eg.value() - EG_TRUE).abs();
+        assert!(
+            non_err < lin_err / 3.0,
+            "nonlinear {non_err} vs linear {lin_err}"
+        );
+    }
+
+    #[test]
+    fn recovered_reference_voltage_rejects_the_corruption() {
+        let c = curve();
+        let truth_vbe = c.points()[3].vbe.value();
+        let mut pts: Vec<_> = c
+            .points()
+            .iter()
+            .map(|p| (p.temperature, p.vbe, p.ic))
+            .collect();
+        pts[3].1 = Volt::new(pts[3].1.value() + 1e-3);
+        let corrupted = VbeCurve::from_points(pts).unwrap();
+        let non = fit_eg_xti_vberef(&corrupted, 3).unwrap();
+        // The fitted VBE(T0) lands near the TRUE value, not the corrupted
+        // reading.
+        assert!(
+            (non.vbe_ref - truth_vbe).abs() < 0.4e-3,
+            "vbe_ref {} vs truth {truth_vbe}",
+            non.vbe_ref
+        );
+    }
+
+    #[test]
+    fn out_of_range_reference_rejected() {
+        assert!(fit_eg_xti_vberef(&curve(), 42).is_err());
+    }
+}

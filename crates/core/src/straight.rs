@@ -1,0 +1,126 @@
+//! The "characteristic straight": the locus of `(XTI, EG)` couples a fit
+//! cannot distinguish (Fig. 6).
+
+use icvbe_numerics::stats::{linear_regression, LinearRegression};
+
+use crate::ExtractionError;
+
+/// A characteristic straight `EG(XTI)` sampled on an `XTI` grid.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_core::straight::CharacteristicStraight;
+///
+/// let s = CharacteristicStraight::new(vec![(1.0, 1.10), (2.0, 1.12), (3.0, 1.14)])?;
+/// assert!((s.slope() - 0.02).abs() < 1e-12);
+/// assert!((s.eg_at(2.5) - 1.13).abs() < 1e-12);
+/// # Ok::<(), icvbe_core::ExtractionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacteristicStraight {
+    points: Vec<(f64, f64)>,
+    regression: LinearRegression,
+}
+
+impl CharacteristicStraight {
+    /// Builds a straight from `(xti, eg)` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] if fewer than two samples are given or
+    /// the regression is degenerate.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, ExtractionError> {
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let regression = linear_regression(&xs, &ys)?;
+        Ok(CharacteristicStraight { points, regression })
+    }
+
+    /// The `(xti, eg)` samples.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Slope `dEG/dXTI` in eV per unit `XTI`.
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        self.regression.slope
+    }
+
+    /// Intercept `EG(XTI = 0)` in eV.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.regression.intercept
+    }
+
+    /// How straight the samples are (1 for a perfect line).
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.regression.r_squared
+    }
+
+    /// `EG` predicted at an arbitrary `XTI`.
+    #[must_use]
+    pub fn eg_at(&self, xti: f64) -> f64 {
+        self.regression.predict(xti)
+    }
+
+    /// Vertical offset (in eV) between two straights, evaluated at `xti` —
+    /// the Fig.-6 separation between the sensor-temperature line (C2) and
+    /// the computed-temperature line (C3).
+    #[must_use]
+    pub fn offset_from(&self, other: &CharacteristicStraight, xti: f64) -> f64 {
+        self.eg_at(xti) - other.eg_at(xti)
+    }
+
+    /// Intersection `(xti, eg)` with another straight, or `None` for
+    /// (near-)parallel lines.
+    #[must_use]
+    pub fn intersection(&self, other: &CharacteristicStraight) -> Option<(f64, f64)> {
+        let ds = self.slope() - other.slope();
+        if ds.abs() < 1e-12 {
+            return None;
+        }
+        let x = (other.intercept() - self.intercept()) / ds;
+        Some((x, self.eg_at(x)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_statistics() {
+        let s = CharacteristicStraight::new(
+            (0..10).map(|i| (i as f64, 1.1 + 0.02 * i as f64)).collect(),
+        )
+        .unwrap();
+        assert!((s.slope() - 0.02).abs() < 1e-12);
+        assert!((s.intercept() - 1.1).abs() < 1e-12);
+        assert!((s.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_between_parallel_lines() {
+        let a = CharacteristicStraight::new(vec![(0.0, 1.10), (1.0, 1.12)]).unwrap();
+        let b = CharacteristicStraight::new(vec![(0.0, 1.15), (1.0, 1.17)]).unwrap();
+        assert!((b.offset_from(&a, 0.5) - 0.05).abs() < 1e-12);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn intersection_of_crossing_lines() {
+        let a = CharacteristicStraight::new(vec![(0.0, 0.0), (1.0, 1.0)]).unwrap();
+        let b = CharacteristicStraight::new(vec![(0.0, 1.0), (1.0, 0.0)]).unwrap();
+        let (x, y) = a.intersection(&b).unwrap();
+        assert!((x - 0.5).abs() < 1e-12 && (y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_single_point() {
+        assert!(CharacteristicStraight::new(vec![(1.0, 1.0)]).is_err());
+    }
+}

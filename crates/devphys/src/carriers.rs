@@ -1,0 +1,176 @@
+//! Intrinsic and effective carrier concentrations (eqs. 3, 6, 10).
+//!
+//! Boltzmann statistics give `ni²(T) ~ T³ exp(-EG(T)/kT)` (eq. 6); heavy
+//! doping multiplies by `exp(dEGbgn/kT)` (eq. 3). With the log bandgap
+//! model (eq. 9) the combination collapses to the closed power-law form of
+//! eq. 10, which is what makes the SPICE eq.-1 law exact rather than an
+//! approximation.
+
+use icvbe_units::constants::Q_OVER_BOLTZMANN;
+use icvbe_units::{ElectronVolt, Kelvin};
+
+use crate::eg::{EgModel, LogEgModel};
+use crate::narrowing::BandgapNarrowing;
+
+/// Intrinsic carrier concentration of silicon at 300 K, in cm^-3.
+///
+/// The modern consensus value (Green 1990); the absolute number scales all
+/// saturation currents but cancels from every extracted parameter.
+pub const NI_300K_CM3: f64 = 9.7e9;
+
+/// Reference temperature at which [`NI_300K_CM3`] is quoted.
+pub const NI_REFERENCE_KELVIN: f64 = 300.0;
+
+/// Intrinsic carrier concentration squared, `ni²(T)`, per eq. 6, using an
+/// arbitrary bandgap model.
+///
+/// `ni²(T) = ni²(T0) (T/T0)³ exp( -(q/k) (EG(T)/T - EG(T0)/T0) )`
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::carriers::ni_squared;
+/// use icvbe_devphys::eg::LogEgModel;
+/// use icvbe_units::Kelvin;
+///
+/// let eg = LogEgModel::eg5();
+/// let cold = ni_squared(&eg, Kelvin::new(250.0));
+/// let hot = ni_squared(&eg, Kelvin::new(350.0));
+/// assert!(hot / cold > 1e6); // ni is savagely temperature dependent
+/// ```
+#[must_use]
+pub fn ni_squared(eg_model: &dyn EgModel, temperature: Kelvin) -> f64 {
+    let t = temperature.value();
+    let t0 = NI_REFERENCE_KELVIN;
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let eg_t = eg_model.eg(temperature).value();
+    let eg_t0 = eg_model.eg(Kelvin::new(t0)).value();
+    let exponent = -Q_OVER_BOLTZMANN * (eg_t / t - eg_t0 / t0);
+    NI_300K_CM3 * NI_300K_CM3 * (t / t0).powi(3) * exponent.exp()
+}
+
+/// Effective (doping-enhanced) intrinsic concentration squared, per eq. 3:
+/// `nie²(T) = ni²(T) exp(dEGbgn / kT)`.
+#[must_use]
+pub fn nie_squared(
+    eg_model: &dyn EgModel,
+    narrowing: BandgapNarrowing,
+    temperature: Kelvin,
+) -> f64 {
+    let t = temperature.value();
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let boost = (Q_OVER_BOLTZMANN * narrowing.delta_eg().value() / t).exp();
+    ni_squared(eg_model, temperature) * boost
+}
+
+/// The closed-form eq.-10 ratio `nie²(T)/nie²(T0)` for the log bandgap
+/// model:
+///
+/// `nie²(T)/nie²(T0) = (T/T0)^(3 - b/k) exp( -(q/k)(EG(0) - dEGbgn)(1/T - 1/T0) )`
+///
+/// This is the power law that identifies with SPICE's eq. 1.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::carriers::{nie_squared, nie_squared_ratio_eq10};
+/// use icvbe_devphys::eg::LogEgModel;
+/// use icvbe_devphys::narrowing::BandgapNarrowing;
+/// use icvbe_units::Kelvin;
+///
+/// let eg = LogEgModel::eg5();
+/// let nw = BandgapNarrowing::silicon_bipolar();
+/// let (t, t0) = (Kelvin::new(350.0), Kelvin::new(300.0));
+/// let direct = nie_squared(&eg, nw, t) / nie_squared(&eg, nw, t0);
+/// let closed = nie_squared_ratio_eq10(&eg, nw, t, t0);
+/// assert!((direct / closed - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn nie_squared_ratio_eq10(
+    eg_model: &LogEgModel,
+    narrowing: BandgapNarrowing,
+    temperature: Kelvin,
+    reference: Kelvin,
+) -> f64 {
+    let t = temperature.value();
+    let t0 = reference.value();
+    let k_ev = 1.0 / Q_OVER_BOLTZMANN; // Boltzmann constant in eV/K
+    let exponent_power = 3.0 - eg_model.b() / k_ev;
+    let eg_eff: ElectronVolt = narrowing.apply(eg_model.eg_at_zero());
+    let arrhenius = -Q_OVER_BOLTZMANN * eg_eff.value() * (1.0 / t - 1.0 / t0);
+    // The a*T linear term of eq. 9 contributes exp(-a/k) to both T and T0
+    // and cancels in the ratio; only EG(0), b and the T^3 term survive.
+    (t / t0).powf(exponent_power) * arrhenius.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eg::VarshniEgModel;
+
+    #[test]
+    fn ni_at_reference_matches_constant() {
+        let eg = LogEgModel::eg5();
+        let v = ni_squared(&eg, Kelvin::new(NI_REFERENCE_KELVIN));
+        assert!((v - NI_300K_CM3 * NI_300K_CM3).abs() / v < 1e-14);
+    }
+
+    #[test]
+    fn ni_is_monotonically_increasing() {
+        let eg = VarshniEgModel::eg3();
+        let mut prev = 0.0;
+        for t in [200.0, 250.0, 300.0, 350.0, 400.0] {
+            let v = ni_squared(&eg, Kelvin::new(t));
+            assert!(v > prev, "ni² not increasing at {t} K");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn ni_doubles_roughly_every_8_kelvin_near_room() {
+        // Rule of thumb: ni doubles every ~8 K, so ni² quadruples.
+        let eg = VarshniEgModel::eg3();
+        let r = ni_squared(&eg, Kelvin::new(308.0)) / ni_squared(&eg, Kelvin::new(300.0));
+        assert!(r > 2.5 && r < 7.0, "ratio {r}");
+    }
+
+    #[test]
+    fn narrowing_boosts_nie() {
+        let eg = LogEgModel::eg5();
+        let t = Kelvin::new(300.0);
+        let plain = nie_squared(&eg, BandgapNarrowing::none(), t);
+        let doped = nie_squared(&eg, BandgapNarrowing::silicon_bipolar(), t);
+        // exp(45meV / 25.85meV) ~ 5.7
+        assert!((doped / plain - (0.045_f64 / 0.02585).exp()).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_kelvin_is_zero_not_nan() {
+        let eg = LogEgModel::eg4();
+        assert_eq!(ni_squared(&eg, Kelvin::new(0.0)), 0.0);
+        assert_eq!(
+            nie_squared(&eg, BandgapNarrowing::silicon_bipolar(), Kelvin::new(0.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn eq10_matches_direct_ratio_across_range() {
+        let eg = LogEgModel::eg4();
+        let nw = BandgapNarrowing::silicon_bipolar();
+        let t0 = Kelvin::new(298.15);
+        for t in [223.0, 273.0, 323.0, 398.0] {
+            let t = Kelvin::new(t);
+            let direct = nie_squared(&eg, nw, t) / nie_squared(&eg, nw, t0);
+            let closed = nie_squared_ratio_eq10(&eg, nw, t, t0);
+            assert!(
+                (direct / closed - 1.0).abs() < 1e-9,
+                "mismatch at {t}: {direct} vs {closed}"
+            );
+        }
+    }
+}

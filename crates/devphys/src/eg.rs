@@ -1,0 +1,360 @@
+//! Temperature models of the silicon energy bandgap (paper Fig. 1).
+//!
+//! Five published parameterizations of `EG(T)` are reproduced:
+//!
+//! | Curve | Model | Source |
+//! |---|---|---|
+//! | EG1 | linear, eq. 7: `EG(T) = EG(0) - a T` (EG5 linearized at T0) | paper |
+//! | EG2 | Varshni, eq. 8, `alpha = 7.021e-4`, `beta = 1108`, `EG(0) = 1.1557` | Varshni 1967 |
+//! | EG3 | Varshni, eq. 8, `alpha = 4.73e-4`, `beta = 636`, `EG(0) = 1.170` | Thurmond 1975 |
+//! | EG4 | log, eq. 9, `EG(0) = 1.1663`, `a = 6.141e-4`, `b = -1.307e-4` | Gambetta & Celi 1992 |
+//! | EG5 | log, eq. 9, `EG(0) = 1.1774`, `a = 3.042e-4`, `b = -8.459e-5` | Gambetta & Celi 1992 |
+//!
+//! The paper's headline observation is that the 0 K intercepts disagree —
+//! `EG5(0) - EG2(0)` is about 22 meV, which is the whole accuracy budget of
+//! a low-voltage bandgap reference.
+
+use icvbe_units::{ElectronVolt, Kelvin};
+
+/// A temperature model of the silicon energy bandgap.
+///
+/// Implementors are closed-form `EG(T)` curves valid on `[0 K, ~500 K]`.
+pub trait EgModel {
+    /// Bandgap at the given absolute temperature.
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt;
+
+    /// Bandgap at absolute zero (the model's own intercept).
+    fn eg_at_zero(&self) -> ElectronVolt {
+        self.eg(Kelvin::new(0.0))
+    }
+
+    /// Linear extrapolation to 0 K from the tangent at `reference`:
+    /// `EG0 = EG(Tref) - Tref * dEG/dT(Tref)`.
+    ///
+    /// This is the `EG0` arrow of Fig. 1 — the value a *linearized* model
+    /// implies for 0 K, which overshoots the true intercept.
+    fn extrapolated_eg0(&self, reference: Kelvin) -> ElectronVolt {
+        let slope = self.slope(reference);
+        ElectronVolt::new(self.eg(reference).value() - reference.value() * slope)
+    }
+
+    /// Numerical derivative `dEG/dT` in eV/K at `temperature`.
+    fn slope(&self, temperature: Kelvin) -> f64 {
+        let t = temperature.value();
+        let h = (t.abs() * 1e-6).max(1e-4);
+        let hi = self.eg(Kelvin::new(t + h)).value();
+        let lo = self.eg(Kelvin::new((t - h).max(0.0))).value();
+        (hi - lo) / (h + (t - (t - h).max(0.0)))
+    }
+
+    /// Short human-readable name ("EG1" ... "EG5").
+    fn name(&self) -> &str;
+}
+
+/// Eq. 7 — the linear model `EG(T) = EG(0) - a T`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::eg::{EgModel, LinearEgModel};
+/// use icvbe_units::{ElectronVolt, Kelvin};
+///
+/// let m = LinearEgModel::new(ElectronVolt::new(1.20), 2.73e-4);
+/// assert!((m.eg(Kelvin::new(300.0)).value() - (1.20 - 0.0819)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearEgModel {
+    eg_zero: ElectronVolt,
+    /// Slope magnitude `a` in eV/K (the model subtracts `a T`).
+    a: f64,
+    name: &'static str,
+}
+
+impl LinearEgModel {
+    /// Creates a linear model with intercept `eg_zero` and slope `a` (eV/K).
+    #[must_use]
+    pub fn new(eg_zero: ElectronVolt, a: f64) -> Self {
+        LinearEgModel {
+            eg_zero,
+            a,
+            name: "EG1",
+        }
+    }
+
+    /// EG1 of Fig. 1: the linearization of [`LogEgModel::eg5`] at the
+    /// reference temperature (300 K), i.e. the tangent line extended over
+    /// the full range.
+    #[must_use]
+    pub fn eg1() -> Self {
+        let base = LogEgModel::eg5();
+        let t0 = Kelvin::new(300.0);
+        let slope = base.slope(t0);
+        LinearEgModel {
+            eg_zero: base.extrapolated_eg0(t0),
+            a: -slope,
+            name: "EG1",
+        }
+    }
+
+    /// The slope magnitude `a` in eV/K.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+}
+
+impl EgModel for LinearEgModel {
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt {
+        ElectronVolt::new(self.eg_zero.value() - self.a * temperature.value())
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Eq. 8 — the Varshni model `EG(T) = EG(0) - alpha T^2 / (T + beta)`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::eg::{EgModel, VarshniEgModel};
+/// use icvbe_units::Kelvin;
+///
+/// let eg2 = VarshniEgModel::eg2();
+/// // Varshni 1967 gives ~1.115 eV at room temperature.
+/// let v = eg2.eg(Kelvin::new(300.0)).value();
+/// assert!(v > 1.10 && v < 1.13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarshniEgModel {
+    eg_zero: ElectronVolt,
+    alpha: f64,
+    beta: f64,
+    name: &'static str,
+}
+
+impl VarshniEgModel {
+    /// Creates a Varshni model from its three constants
+    /// (`alpha` in eV/K, `beta` in K).
+    #[must_use]
+    pub fn new(eg_zero: ElectronVolt, alpha: f64, beta: f64) -> Self {
+        VarshniEgModel {
+            eg_zero,
+            alpha,
+            beta,
+            name: "Varshni",
+        }
+    }
+
+    /// EG2 of Fig. 1: Varshni 1967 constants
+    /// (`EG(0) = 1.1557 eV`, `alpha = 7.021e-4 eV/K`, `beta = 1108 K`).
+    #[must_use]
+    pub fn eg2() -> Self {
+        VarshniEgModel {
+            eg_zero: ElectronVolt::new(1.1557),
+            alpha: 7.021e-4,
+            beta: 1108.0,
+            name: "EG2",
+        }
+    }
+
+    /// EG3 of Fig. 1: Thurmond 1975 constants
+    /// (`EG(0) = 1.170 eV`, `alpha = 4.73e-4 eV/K`, `beta = 636 K`).
+    #[must_use]
+    pub fn eg3() -> Self {
+        VarshniEgModel {
+            eg_zero: ElectronVolt::new(1.170),
+            alpha: 4.73e-4,
+            beta: 636.0,
+            name: "EG3",
+        }
+    }
+}
+
+impl EgModel for VarshniEgModel {
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt {
+        let t = temperature.value();
+        ElectronVolt::new(self.eg_zero.value() - self.alpha * t * t / (t + self.beta))
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// Eq. 9 — the log model `EG(T) = EG(0) + a T + b T ln T`.
+///
+/// Unlike Varshni's form, this model makes the SPICE eq.-1 law *exactly*
+/// derivable from the physics (eqs. 10-12): the `b T ln T` term becomes the
+/// `-b/k` contribution to `XTI` and the rest folds into the effective `EG`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::eg::{EgModel, LogEgModel};
+/// use icvbe_units::Kelvin;
+///
+/// let eg4 = LogEgModel::eg4();
+/// assert!((eg4.eg_at_zero().value() - 1.1663).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogEgModel {
+    eg_zero: ElectronVolt,
+    /// Linear coefficient `a` in eV/K.
+    a: f64,
+    /// Logarithmic coefficient `b` in eV/K.
+    b: f64,
+    name: &'static str,
+}
+
+impl LogEgModel {
+    /// Creates a log model from its constants (`a`, `b` in eV/K).
+    #[must_use]
+    pub fn new(eg_zero: ElectronVolt, a: f64, b: f64) -> Self {
+        LogEgModel {
+            eg_zero,
+            a,
+            b,
+            name: "LogEg",
+        }
+    }
+
+    /// EG4 of Fig. 1: `EG(0) = 1.1663 eV`, `a = 6.141e-4 eV/K`,
+    /// `b = -1.307e-4 eV/K` (Gambetta & Celi).
+    #[must_use]
+    pub fn eg4() -> Self {
+        LogEgModel {
+            eg_zero: ElectronVolt::new(1.1663),
+            a: 6.141e-4,
+            b: -1.307e-4,
+            name: "EG4",
+        }
+    }
+
+    /// EG5 of Fig. 1: `EG(0) = 1.1774 eV`, `a = 3.042e-4 eV/K`,
+    /// `b = -8.459e-5 eV/K` (Gambetta & Celi).
+    #[must_use]
+    pub fn eg5() -> Self {
+        LogEgModel {
+            eg_zero: ElectronVolt::new(1.1774),
+            a: 3.042e-4,
+            b: -8.459e-5,
+            name: "EG5",
+        }
+    }
+
+    /// The logarithmic coefficient `b` in eV/K, which feeds the `-b/k` term
+    /// of the eq.-12 `XTI` identification.
+    #[must_use]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// The linear coefficient `a` in eV/K.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+}
+
+impl EgModel for LogEgModel {
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt {
+        let t = temperature.value();
+        // T ln T -> 0 as T -> 0+, so the intercept is exactly eg_zero.
+        let tlnt = if t > 0.0 { t * t.ln() } else { 0.0 };
+        ElectronVolt::new(self.eg_zero.value() + self.a * t + self.b * tlnt)
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// All five Fig.-1 models, boxed, in curve order EG1..EG5.
+#[must_use]
+pub fn figure1_models() -> Vec<Box<dyn EgModel + Send + Sync>> {
+    vec![
+        Box::new(LinearEgModel::eg1()),
+        Box::new(VarshniEgModel::eg2()),
+        Box::new(VarshniEgModel::eg3()),
+        Box::new(LogEgModel::eg4()),
+        Box::new(LogEgModel::eg5()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varshni_intercepts_match_constants() {
+        assert!((VarshniEgModel::eg2().eg_at_zero().value() - 1.1557).abs() < 1e-12);
+        assert!((VarshniEgModel::eg3().eg_at_zero().value() - 1.170).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_quotes_22mev_gap_between_eg5_and_eg2_at_zero() {
+        let gap = LogEgModel::eg5().eg_at_zero().value()
+            - VarshniEgModel::eg2().eg_at_zero().value();
+        // 1.1774 - 1.1557 = 21.7 meV, the paper rounds to "about 22mV".
+        assert!((gap - 0.0217).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_models_decrease_with_temperature_above_50k() {
+        for m in figure1_models() {
+            let lo = m.eg(Kelvin::new(50.0)).value();
+            let hi = m.eg(Kelvin::new(450.0)).value();
+            assert!(hi < lo, "{} is not decreasing", m.name());
+        }
+    }
+
+    #[test]
+    fn room_temperature_values_are_physical() {
+        // Every published model should land in 1.08..1.15 eV at 300 K.
+        for m in figure1_models() {
+            let v = m.eg(Kelvin::new(300.0)).value();
+            assert!(v > 1.08 && v < 1.15, "{}(300K) = {v}", m.name());
+        }
+    }
+
+    #[test]
+    fn eg0_extrapolation_overshoots_true_intercept() {
+        // Fig. 1: the tangent extrapolation EG0 of EG5 lies above EG5(0).
+        let eg5 = LogEgModel::eg5();
+        let eg0 = eg5.extrapolated_eg0(Kelvin::new(300.0)).value();
+        assert!(eg0 > eg5.eg_at_zero().value());
+        // The magnified discrepancy the paper mentions: tens of meV.
+        assert!(eg0 - eg5.eg_at_zero().value() > 0.01);
+    }
+
+    #[test]
+    fn eg1_is_tangent_to_eg5_at_300k() {
+        let eg1 = LinearEgModel::eg1();
+        let eg5 = LogEgModel::eg5();
+        let t0 = Kelvin::new(300.0);
+        assert!((eg1.eg(t0).value() - eg5.eg(t0).value()).abs() < 1e-6);
+        assert!((eg1.slope(t0) - eg5.slope(t0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn log_model_slope_matches_analytic_derivative() {
+        let m = LogEgModel::eg4();
+        let t = 250.0_f64;
+        let analytic = m.a() + m.b() * (t.ln() + 1.0);
+        assert!((m.slope(Kelvin::new(t)) - analytic).abs() < 1e-8);
+    }
+
+    #[test]
+    fn varshni_slope_is_zero_at_zero_kelvin() {
+        let m = VarshniEgModel::eg2();
+        assert!(m.slope(Kelvin::new(0.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn model_names_are_the_figure_labels() {
+        let names: Vec<String> = figure1_models().iter().map(|m| m.name().to_string()).collect();
+        assert_eq!(names, ["EG1", "EG2", "EG3", "EG4", "EG5"]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Additional published `EG(T)` parameterizations beyond the paper's five
+//! (extension material): Bludau's low-temperature polynomial and Pässler's
+//! analytic model.
+//!
+//! Both slot into the same [`EgModel`] trait so every analysis that
+//! consumes the Fig.-1 models (0 K intercepts, linearization overshoot,
+//! SPICE identification) can be repeated against newer silicon data.
+
+use icvbe_units::{ElectronVolt, Kelvin};
+
+use crate::eg::EgModel;
+
+/// Bludau-Onton-Heinke piecewise polynomial (Si, 0..300 K), extended above
+/// 300 K with its upper-segment polynomial.
+///
+/// `EG(T) = A + B T + C T²` with two segments switching at 190 K:
+/// below, `(1.1700, 1.059e-5, -6.05e-7)`; above,
+/// `(1.1785, -9.025e-5, -3.05e-7)`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::eg::EgModel;
+/// use icvbe_devphys::eg_extra::BludauEgModel;
+/// use icvbe_units::Kelvin;
+///
+/// let m = BludauEgModel::new();
+/// assert!((m.eg_at_zero().value() - 1.17).abs() < 1e-12);
+/// let room = m.eg(Kelvin::new(300.0)).value();
+/// assert!(room > 1.11 && room < 1.13);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BludauEgModel;
+
+impl BludauEgModel {
+    /// Creates the model (no free parameters).
+    #[must_use]
+    pub fn new() -> Self {
+        BludauEgModel
+    }
+}
+
+impl EgModel for BludauEgModel {
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt {
+        let t = temperature.value().max(0.0);
+        let (a, b, c) = if t < 190.0 {
+            (1.1700, 1.059e-5, -6.05e-7)
+        } else {
+            (1.1785, -9.025e-5, -3.05e-7)
+        };
+        ElectronVolt::new(a + b * t + c * t * t)
+    }
+
+    fn name(&self) -> &str {
+        "Bludau"
+    }
+}
+
+/// Pässler's analytic model:
+///
+/// `EG(T) = EG(0) - (a Θ / 2) [ (1 + (2T/Θ)^p)^(1/p) - 1 ]`
+///
+/// with silicon constants `EG(0) = 1.1701 eV`, `a = 3.23e-4 eV/K`,
+/// `Θ = 446 K`, `p = 2.33`. Unlike Varshni's form it has the physically
+/// correct plateau at low temperature *and* the exact linear asymptote
+/// `-a T` at high temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PasslerEgModel {
+    eg_zero: ElectronVolt,
+    a: f64,
+    theta: f64,
+    p: f64,
+}
+
+impl PasslerEgModel {
+    /// Creates a model from explicit constants.
+    #[must_use]
+    pub fn new(eg_zero: ElectronVolt, a: f64, theta: f64, p: f64) -> Self {
+        PasslerEgModel {
+            eg_zero,
+            a,
+            theta,
+            p,
+        }
+    }
+
+    /// The published silicon constants.
+    #[must_use]
+    pub fn silicon() -> Self {
+        PasslerEgModel {
+            eg_zero: ElectronVolt::new(1.1701),
+            a: 3.23e-4,
+            theta: 446.0,
+            p: 2.33,
+        }
+    }
+
+    /// The high-temperature slope magnitude `a` in eV/K.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+}
+
+impl EgModel for PasslerEgModel {
+    fn eg(&self, temperature: Kelvin) -> ElectronVolt {
+        let t = temperature.value().max(0.0);
+        let x = 2.0 * t / self.theta;
+        let bracket = (1.0 + x.powf(self.p)).powf(1.0 / self.p) - 1.0;
+        ElectronVolt::new(self.eg_zero.value() - 0.5 * self.a * self.theta * bracket)
+    }
+
+    fn name(&self) -> &str {
+        "Passler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eg::VarshniEgModel;
+
+    #[test]
+    fn bludau_segments_are_continuous_at_the_switch() {
+        let m = BludauEgModel::new();
+        let below = m.eg(Kelvin::new(189.999)).value();
+        let above = m.eg(Kelvin::new(190.001)).value();
+        // The published segments meet to within a fraction of a meV.
+        assert!((below - above).abs() < 5e-4, "jump {}", (below - above).abs());
+    }
+
+    #[test]
+    fn passler_has_low_temperature_plateau() {
+        let m = PasslerEgModel::silicon();
+        let slope_cold = m.slope(Kelvin::new(10.0));
+        // The -a asymptote is approached well above the phonon temperature
+        // Θ = 446 K.
+        let slope_hot = m.slope(Kelvin::new(2000.0));
+        assert!(slope_cold.abs() < 2e-5, "no plateau: {slope_cold}");
+        assert!((slope_hot + m.a()).abs() < 1e-5, "asymptote: {slope_hot}");
+    }
+
+    #[test]
+    fn extra_models_agree_with_varshni_at_room_temperature() {
+        let reference = VarshniEgModel::eg3().eg(Kelvin::new(300.0)).value();
+        for (name, v) in [
+            ("Bludau", BludauEgModel::new().eg(Kelvin::new(300.0)).value()),
+            ("Passler", PasslerEgModel::silicon().eg(Kelvin::new(300.0)).value()),
+        ] {
+            assert!(
+                (v - reference).abs() < 0.01,
+                "{name}(300K) = {v} vs Varshni {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_kelvin_intercepts_cluster_near_1p17() {
+        for m in [
+            BludauEgModel::new().eg_at_zero().value(),
+            PasslerEgModel::silicon().eg_at_zero().value(),
+        ] {
+            assert!(m > 1.16 && m < 1.18, "intercept {m}");
+        }
+    }
+
+    #[test]
+    fn both_decrease_over_the_measurement_range() {
+        for t in (220..390).step_by(20) {
+            let t = t as f64;
+            assert!(
+                BludauEgModel::new().eg(Kelvin::new(t + 10.0)).value()
+                    < BludauEgModel::new().eg(Kelvin::new(t)).value()
+            );
+            assert!(
+                PasslerEgModel::silicon().eg(Kelvin::new(t + 10.0)).value()
+                    < PasslerEgModel::silicon().eg(Kelvin::new(t)).value()
+            );
+        }
+    }
+}

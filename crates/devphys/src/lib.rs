@@ -1,0 +1,37 @@
+//! Device physics behind the `IC(VBE)` temperature dependence.
+//!
+//! This crate implements sections 2 and 3 of the reproduced paper:
+//!
+//! - the five silicon bandgap temperature models of Fig. 1 ([`eg`]),
+//! - bandgap narrowing from heavy emitter/base doping ([`narrowing`]),
+//! - intrinsic and effective carrier concentrations, eqs. 3, 6, 10
+//!   ([`carriers`]),
+//! - minority-carrier transport: diffusivity and Gummel-number temperature
+//!   exponents, eqs. 4-5 ([`transport`]),
+//! - the full physical saturation-current law eq. 11 and its identification
+//!   with the two-parameter SPICE law eq. 1 through eq. 12 ([`saturation`]),
+//! - the closed-form `VBE(T)` at constant collector current (the forward
+//!   model behind the eq.-13 best fit) ([`vbe`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use icvbe_devphys::eg::{EgModel, LogEgModel};
+//! use icvbe_units::Kelvin;
+//!
+//! // EG5 of Fig. 1: the Gambetta/Celi log model.
+//! let eg5 = LogEgModel::eg5();
+//! let at_300k = eg5.eg(Kelvin::new(300.0));
+//! assert!(at_300k.value() > 1.10 && at_300k.value() < 1.14);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod carriers;
+pub mod eg;
+pub mod eg_extra;
+pub mod narrowing;
+pub mod saturation;
+pub mod transport;
+pub mod vbe;

@@ -1,0 +1,143 @@
+//! Bandgap narrowing from heavy impurity doping (the `dEGbgn` of eqs. 2-3).
+//!
+//! Modern bipolar emitters are doped hard enough that many-body effects
+//! shrink the effective bandgap: the paper quotes about 45 meV for Si
+//! devices and on the order of 150 meV for SiGe HBTs. The narrowing enters
+//! the effective intrinsic concentration `nie` (eq. 3) and shifts the SPICE
+//! `EG` parameter by eq. 12: `EG = EG(0) - dEGbgn`.
+
+use icvbe_units::ElectronVolt;
+
+/// Bandgap-narrowing magnitude for a device class or doping level.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::narrowing::BandgapNarrowing;
+///
+/// let si = BandgapNarrowing::silicon_bipolar();
+/// assert_eq!(si.delta_eg().value(), 0.045);
+/// let sige = BandgapNarrowing::sige_hbt();
+/// assert_eq!(sige.delta_eg().value(), 0.150);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandgapNarrowing {
+    delta_eg: ElectronVolt,
+}
+
+/// Reference doping of the Slotboom-de Graaff narrowing law, in cm^-3.
+const SLOTBOOM_N_REF: f64 = 1.0e17;
+
+/// Energy scale of the Slotboom-de Graaff narrowing law, in eV.
+const SLOTBOOM_E_REF: f64 = 9.0e-3;
+
+impl BandgapNarrowing {
+    /// Creates a narrowing of explicit magnitude.
+    #[must_use]
+    pub fn new(delta_eg: ElectronVolt) -> Self {
+        BandgapNarrowing { delta_eg }
+    }
+
+    /// No narrowing (lightly doped reference device).
+    #[must_use]
+    pub fn none() -> Self {
+        BandgapNarrowing {
+            delta_eg: ElectronVolt::new(0.0),
+        }
+    }
+
+    /// The ~45 meV narrowing the paper quotes for Si bipolar emitters.
+    #[must_use]
+    pub fn silicon_bipolar() -> Self {
+        BandgapNarrowing {
+            delta_eg: ElectronVolt::new(0.045),
+        }
+    }
+
+    /// The ~150 meV narrowing the paper quotes for SiGe HBTs.
+    #[must_use]
+    pub fn sige_hbt() -> Self {
+        BandgapNarrowing {
+            delta_eg: ElectronVolt::new(0.150),
+        }
+    }
+
+    /// Slotboom-de Graaff empirical law from the doping concentration
+    /// `n` (cm^-3):
+    ///
+    /// `dEG = Eref * ( ln(n/Nref) + sqrt(ln²(n/Nref) + 0.5) )`
+    ///
+    /// clamped to zero below the reference doping.
+    #[must_use]
+    pub fn from_doping(n_cm3: f64) -> Self {
+        if !(n_cm3 > 0.0) {
+            return Self::none();
+        }
+        let x = (n_cm3 / SLOTBOOM_N_REF).ln();
+        if x <= 0.0 {
+            return Self::none();
+        }
+        let delta = SLOTBOOM_E_REF * (x + (x * x + 0.5).sqrt());
+        BandgapNarrowing {
+            delta_eg: ElectronVolt::new(delta),
+        }
+    }
+
+    /// The narrowing magnitude `dEGbgn`.
+    #[must_use]
+    pub fn delta_eg(&self) -> ElectronVolt {
+        self.delta_eg
+    }
+
+    /// Applies the narrowing to an unnarrowed bandgap: `EG_eff = EG - dEG`.
+    #[must_use]
+    pub fn apply(&self, eg: ElectronVolt) -> ElectronVolt {
+        eg - self.delta_eg
+    }
+}
+
+impl Default for BandgapNarrowing {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_magnitudes() {
+        assert!((BandgapNarrowing::silicon_bipolar().delta_eg().value() - 0.045).abs() < 1e-15);
+        assert!((BandgapNarrowing::sige_hbt().delta_eg().value() - 0.150).abs() < 1e-15);
+    }
+
+    #[test]
+    fn slotboom_is_zero_below_reference_doping() {
+        assert_eq!(BandgapNarrowing::from_doping(1e16).delta_eg().value(), 0.0);
+        assert_eq!(BandgapNarrowing::from_doping(0.0).delta_eg().value(), 0.0);
+        assert_eq!(BandgapNarrowing::from_doping(-1.0).delta_eg().value(), 0.0);
+    }
+
+    #[test]
+    fn slotboom_grows_with_doping() {
+        let lo = BandgapNarrowing::from_doping(1e18).delta_eg().value();
+        let hi = BandgapNarrowing::from_doping(1e20).delta_eg().value();
+        assert!(hi > lo && lo > 0.0);
+    }
+
+    #[test]
+    fn slotboom_at_1e20_is_tens_of_mev() {
+        // A modern emitter peak (~1e20) should narrow by several tens of meV,
+        // the same ballpark as the paper's 45 meV.
+        let d = BandgapNarrowing::from_doping(1e20).delta_eg().value();
+        assert!(d > 0.03 && d < 0.2, "narrowing {d} eV");
+    }
+
+    #[test]
+    fn apply_subtracts() {
+        let eg = ElectronVolt::new(1.1774);
+        let out = BandgapNarrowing::silicon_bipolar().apply(eg);
+        assert!((out.value() - 1.1324).abs() < 1e-12);
+    }
+}

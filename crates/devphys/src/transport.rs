@@ -1,0 +1,168 @@
+//! Minority-carrier transport in the base (eqs. 4-5).
+//!
+//! The electron diffusivity in the base follows the mobility through the
+//! Einstein relation, `Dnb(T) = Dnb(T0) (T/T0)^(1-EN)` (eq. 4), and the
+//! base Gummel number follows `NG(T) = NG(T0) (T/T0)^Erho` (eq. 5). Their
+//! exponents `EN` and `Erho` enter the `XTI` identification of eq. 12.
+
+use icvbe_units::Kelvin;
+
+/// Temperature behaviour of the mean base diffusivity (eq. 4).
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::transport::BaseDiffusivity;
+/// use icvbe_units::Kelvin;
+///
+/// let d = BaseDiffusivity::silicon_npn_base();
+/// let r = d.value_at(Kelvin::new(400.0)) / d.value_at(Kelvin::new(300.0));
+/// // EN ~ 2.4 in doped silicon => diffusivity FALLS with temperature.
+/// assert!(r < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaseDiffusivity {
+    /// Diffusivity at the reference temperature, cm²/s.
+    d_ref: f64,
+    /// Reference temperature.
+    t_ref: Kelvin,
+    /// Mobility temperature exponent `EN` (mobility ~ T^-EN).
+    en: f64,
+}
+
+impl BaseDiffusivity {
+    /// Creates a diffusivity law from its reference value and exponent.
+    #[must_use]
+    pub fn new(d_ref: f64, t_ref: Kelvin, en: f64) -> Self {
+        BaseDiffusivity { d_ref, t_ref, en }
+    }
+
+    /// Typical silicon NPN base: `Dnb(300 K) = 20 cm²/s`, `EN = 2.4`
+    /// (phonon-dominated mobility in a moderately doped base).
+    #[must_use]
+    pub fn silicon_npn_base() -> Self {
+        BaseDiffusivity {
+            d_ref: 20.0,
+            t_ref: Kelvin::new(300.0),
+            en: 2.4,
+        }
+    }
+
+    /// Heavily doped base where impurity scattering flattens the mobility:
+    /// `EN ~ 1.5`.
+    #[must_use]
+    pub fn heavily_doped_base() -> Self {
+        BaseDiffusivity {
+            d_ref: 10.0,
+            t_ref: Kelvin::new(300.0),
+            en: 1.5,
+        }
+    }
+
+    /// The mobility exponent `EN`.
+    #[must_use]
+    pub fn en(&self) -> f64 {
+        self.en
+    }
+
+    /// Diffusivity at `temperature` per eq. 4:
+    /// `D(T) = D(T0) (T/T0)^(1-EN)` (one power of `T` from the Einstein
+    /// relation `D = (kT/q) mu`, `mu ~ T^-EN`).
+    #[must_use]
+    pub fn value_at(&self, temperature: Kelvin) -> f64 {
+        self.d_ref * temperature.ratio_to(self.t_ref).powf(1.0 - self.en)
+    }
+}
+
+/// Temperature behaviour of the base Gummel number (eq. 5).
+///
+/// The Gummel number is the integrated base doping `∫ Nab dx`; its weak
+/// temperature dependence (incomplete ionization, base-width modulation)
+/// is modelled as a power law with exponent `Erho`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GummelNumber {
+    /// Gummel number at the reference temperature, cm^-2.
+    ng_ref: f64,
+    /// Reference temperature.
+    t_ref: Kelvin,
+    /// Temperature exponent `Erho`.
+    erho: f64,
+}
+
+impl GummelNumber {
+    /// Creates a Gummel-number law from its reference value and exponent.
+    #[must_use]
+    pub fn new(ng_ref: f64, t_ref: Kelvin, erho: f64) -> Self {
+        GummelNumber { ng_ref, t_ref, erho }
+    }
+
+    /// Typical silicon base: `NG = 1e13 cm^-2`, fully ionized (`Erho = 0`).
+    #[must_use]
+    pub fn silicon_base() -> Self {
+        GummelNumber {
+            ng_ref: 1.0e13,
+            t_ref: Kelvin::new(300.0),
+            erho: 0.0,
+        }
+    }
+
+    /// A base with mild incomplete ionization at low temperature
+    /// (`Erho = 0.1`).
+    #[must_use]
+    pub fn partially_ionized_base() -> Self {
+        GummelNumber {
+            ng_ref: 1.0e13,
+            t_ref: Kelvin::new(300.0),
+            erho: 0.1,
+        }
+    }
+
+    /// The temperature exponent `Erho`.
+    #[must_use]
+    pub fn erho(&self) -> f64 {
+        self.erho
+    }
+
+    /// Gummel number at `temperature` per eq. 5.
+    #[must_use]
+    pub fn value_at(&self, temperature: Kelvin) -> f64 {
+        self.ng_ref * temperature.ratio_to(self.t_ref).powf(self.erho)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diffusivity_reference_value_is_exact() {
+        let d = BaseDiffusivity::silicon_npn_base();
+        assert!((d.value_at(Kelvin::new(300.0)) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diffusivity_power_law_exponent() {
+        let d = BaseDiffusivity::new(10.0, Kelvin::new(300.0), 2.0);
+        // 1 - EN = -1: doubling T halves D.
+        let r = d.value_at(Kelvin::new(600.0)) / d.value_at(Kelvin::new(300.0));
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn en_one_makes_diffusivity_flat() {
+        let d = BaseDiffusivity::new(10.0, Kelvin::new(300.0), 1.0);
+        assert!((d.value_at(Kelvin::new(450.0)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gummel_number_default_is_temperature_independent() {
+        let g = GummelNumber::silicon_base();
+        assert!((g.value_at(Kelvin::new(223.0)) - g.value_at(Kelvin::new(398.0))).abs() < 1.0);
+    }
+
+    #[test]
+    fn partially_ionized_base_grows_with_temperature() {
+        let g = GummelNumber::partially_ionized_base();
+        assert!(g.value_at(Kelvin::new(398.0)) > g.value_at(Kelvin::new(223.0)));
+    }
+}

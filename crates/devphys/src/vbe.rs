@@ -1,0 +1,225 @@
+//! Closed-form `VBE(T)` at (quasi-)constant collector current — the forward
+//! model behind the eq.-13 best fit.
+//!
+//! For an ideal forward-active BJT, `IC = IS(T) exp(VBE / (kT/q))`, so
+//!
+//! ```text
+//! VBE(T) = (T/T0) VBE(T0)
+//!        + EG (1 - T/T0)
+//!        - XTI (kT/q) ln(T/T0)
+//!        + (kT/q) ln( IC(T) / IC(T0) )
+//! ```
+//!
+//! which is eq. 13 of the paper: *linear* in the unknowns `(EG, XTI)` once
+//! `VBE(T0)` and the bias history `IC(T)` are known.
+
+use icvbe_units::constants::BOLTZMANN_OVER_Q;
+use icvbe_units::{thermal_voltage, Ampere, ElectronVolt, Kelvin, Volt};
+
+use crate::saturation::SpiceIsLaw;
+
+/// The eq.-13 closed form, parameterized directly by `(EG, XTI)` and the
+/// reference point `(T0, VBE(T0))`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::vbe::Eq13Model;
+/// use icvbe_units::{ElectronVolt, Kelvin, Volt};
+///
+/// let m = Eq13Model::new(
+///     ElectronVolt::new(1.12),
+///     3.0,
+///     Kelvin::new(298.15),
+///     Volt::new(0.62),
+/// );
+/// // VBE falls roughly 2 mV/K going up in temperature.
+/// let v_hot = m.vbe(Kelvin::new(348.15), 1.0).value();
+/// assert!(v_hot < 0.62 && v_hot > 0.62 - 0.150);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eq13Model {
+    eg: ElectronVolt,
+    xti: f64,
+    t_ref: Kelvin,
+    vbe_ref: Volt,
+}
+
+impl Eq13Model {
+    /// Creates the model from its four constants.
+    #[must_use]
+    pub fn new(eg: ElectronVolt, xti: f64, t_ref: Kelvin, vbe_ref: Volt) -> Self {
+        Eq13Model {
+            eg,
+            xti,
+            t_ref,
+            vbe_ref,
+        }
+    }
+
+    /// Evaluates `VBE(T)`; `ic_ratio` is `IC(T)/IC(T0)` (1.0 for an ideal
+    /// temperature-independent bias source).
+    #[must_use]
+    pub fn vbe(&self, temperature: Kelvin, ic_ratio: f64) -> Volt {
+        let t = temperature.value();
+        let t0 = self.t_ref.value();
+        let ratio = t / t0;
+        let vt = BOLTZMANN_OVER_Q * t;
+        Volt::new(
+            ratio * self.vbe_ref.value()
+                + self.eg.value() * (1.0 - ratio)
+                - self.xti * vt * ratio.ln()
+                + vt * ic_ratio.ln(),
+        )
+    }
+
+    /// `EG` parameter.
+    #[must_use]
+    pub fn eg(&self) -> ElectronVolt {
+        self.eg
+    }
+
+    /// `XTI` parameter.
+    #[must_use]
+    pub fn xti(&self) -> f64 {
+        self.xti
+    }
+
+    /// Reference temperature `T0`.
+    #[must_use]
+    pub fn t_ref(&self) -> Kelvin {
+        self.t_ref
+    }
+
+    /// Reference built-in voltage `VBE(T0)`.
+    #[must_use]
+    pub fn vbe_ref(&self) -> Volt {
+        self.vbe_ref
+    }
+
+    /// Numerical slope `dVBE/dT` in V/K at `temperature` (constant bias).
+    #[must_use]
+    pub fn slope(&self, temperature: Kelvin) -> f64 {
+        let h = 0.01;
+        let hi = self.vbe(Kelvin::new(temperature.value() + h), 1.0).value();
+        let lo = self.vbe(Kelvin::new(temperature.value() - h), 1.0).value();
+        (hi - lo) / (2.0 * h)
+    }
+}
+
+/// Ideal-exponential inversion: the `VBE` at which a device following `law`
+/// carries collector current `ic` at `temperature`.
+///
+/// `VBE = (kT/q) ln(IC / IS(T))` (forward-active, emission coefficient 1).
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_devphys::saturation::SpiceIsLaw;
+/// use icvbe_devphys::vbe::vbe_for_current;
+/// use icvbe_units::{Ampere, ElectronVolt, Kelvin};
+///
+/// let law = SpiceIsLaw::new(
+///     Ampere::new(1e-16),
+///     Kelvin::new(298.15),
+///     ElectronVolt::new(1.12),
+///     3.0,
+/// );
+/// let v = vbe_for_current(&law, Ampere::new(1e-6), Kelvin::new(298.15));
+/// assert!(v.value() > 0.55 && v.value() < 0.70);
+/// ```
+#[must_use]
+pub fn vbe_for_current(law: &SpiceIsLaw, ic: Ampere, temperature: Kelvin) -> Volt {
+    let vt = thermal_voltage(temperature);
+    Volt::new(vt.value() * (ic.value() / law.is_at(temperature).value()).ln())
+}
+
+/// Consistency check used across the workspace: builds the [`Eq13Model`]
+/// implied by a [`SpiceIsLaw`] at bias `ic` and reference `t_ref`.
+#[must_use]
+pub fn eq13_from_spice_law(law: &SpiceIsLaw, ic: Ampere, t_ref: Kelvin) -> Eq13Model {
+    let vbe_ref = vbe_for_current(law, ic, t_ref);
+    Eq13Model::new(law.eg(), law.xti(), t_ref, vbe_ref)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn law() -> SpiceIsLaw {
+        SpiceIsLaw::new(
+            Ampere::new(2e-17),
+            Kelvin::new(298.15),
+            ElectronVolt::new(1.1324),
+            2.58,
+        )
+    }
+
+    #[test]
+    fn eq13_matches_direct_inversion_everywhere() {
+        // The closed form and the IS-law inversion are algebraically the
+        // same statement; verify to near machine precision.
+        let law = law();
+        let ic = Ampere::new(1e-6);
+        let t0 = Kelvin::new(298.15);
+        let model = eq13_from_spice_law(&law, ic, t0);
+        for t in [223.15, 248.15, 273.15, 323.15, 348.15, 398.15] {
+            let t = Kelvin::new(t);
+            let direct = vbe_for_current(&law, ic, t).value();
+            let closed = model.vbe(t, 1.0).value();
+            assert!(
+                (direct - closed).abs() < 1e-12,
+                "mismatch at {t}: {direct} vs {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn vbe_decreases_with_temperature() {
+        let model = eq13_from_spice_law(&law(), Ampere::new(1e-6), Kelvin::new(298.15));
+        let mut prev = f64::INFINITY;
+        for t in (220..400).step_by(20) {
+            let v = model.vbe(Kelvin::new(t as f64), 1.0).value();
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn slope_is_about_minus_2mv_per_kelvin() {
+        let model = eq13_from_spice_law(&law(), Ampere::new(1e-6), Kelvin::new(298.15));
+        let s = model.slope(Kelvin::new(298.15));
+        assert!(s < -1.5e-3 && s > -2.5e-3, "dVBE/dT = {s}");
+    }
+
+    #[test]
+    fn higher_bias_gives_higher_vbe() {
+        let law = law();
+        let t = Kelvin::new(298.15);
+        let v1 = vbe_for_current(&law, Ampere::new(1e-8), t).value();
+        let v2 = vbe_for_current(&law, Ampere::new(1e-5), t).value();
+        // Three decades: dV = VT ln(1000) ~ 178 mV.
+        assert!((v2 - v1 - 0.02569 * 3.0 * 10f64.ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ic_ratio_term_shifts_vbe_by_vt_ln_ratio() {
+        let model = eq13_from_spice_law(&law(), Ampere::new(1e-6), Kelvin::new(298.15));
+        let t = Kelvin::new(348.15);
+        let base = model.vbe(t, 1.0).value();
+        let shifted = model.vbe(t, 2.0).value();
+        let vt = BOLTZMANN_OVER_Q * 348.15;
+        assert!((shifted - base - vt * 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_point_is_reproduced() {
+        let model = Eq13Model::new(
+            ElectronVolt::new(1.12),
+            3.0,
+            Kelvin::new(298.15),
+            Volt::new(0.6),
+        );
+        assert!((model.vbe(Kelvin::new(298.15), 1.0).value() - 0.6).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,233 @@
+//! Seeded per-die process variation: the "five samples of the test cell"
+//! of Table 1.
+//!
+//! Each [`DieSample`] bundles everything that differs die to die on a real
+//! diffusion lot: saturation-current spread, bias mismatch, op-amp offset,
+//! the `dVBE` readout-chain offset, substrate-leakage strength and the
+//! package thermal resistance. A [`SampleFactory`] draws samples
+//! deterministically from a seed, so Table 1 reproduces bit-for-bit.
+
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_bandgap::cell::BandgapCell;
+use icvbe_bandgap::pair::PairStructure;
+use icvbe_spice::bjt::{BjtParams, SubstrateJunction};
+use icvbe_units::{Ampere, Volt};
+
+use crate::noise::NoiseSource;
+
+/// Statistical spec of the process variation (one-sigma values unless
+/// noted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    /// Relative sigma of the (lot-common) saturation current.
+    pub is_sigma: f64,
+    /// Sigma of the QA/QB bias-source mismatch.
+    pub bias_mismatch_sigma: f64,
+    /// Mean of the dVBE readout-chain offset (volts). The paper observes a
+    /// systematic perturbation of the dVBE slope — millivolts — from the
+    /// op-amp stage and the parasitics.
+    pub readout_offset_mean: f64,
+    /// Sigma of the readout offset (volts).
+    pub readout_offset_sigma: f64,
+    /// Sigma of the bandgap op-amp input offset (volts).
+    pub opamp_offset_sigma: f64,
+    /// Mean multiplier of the substrate-leakage saturation current.
+    pub leak_scale_mean: f64,
+    /// Relative sigma of the substrate-leakage saturation current
+    /// (log-normal-ish spread realized as a clamped normal multiplier).
+    pub leak_scale_sigma: f64,
+    /// Relative sigma of the package thermal resistance.
+    pub rth_sigma: f64,
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        VariationSpec {
+            is_sigma: 0.08,
+            bias_mismatch_sigma: 0.004,
+            // Post-calibration residue: the cell's P4/P5 pads null the
+            // op-amp-stage offset out of the dVBE readout at the reference
+            // temperature; since the offset is additive, the trim holds
+            // across the range and only drift/noise-level residue remains.
+            // (The eq.-14/15 solve is ~75 meV of EG per kelvin of
+            // *differential* temperature error, so this residue is the
+            // accuracy budget of the whole method.)
+            readout_offset_mean: 0.0,
+            readout_offset_sigma: 30e-6,
+            opamp_offset_sigma: 2.0e-3,
+            leak_scale_mean: 1.5,
+            leak_scale_sigma: 0.35,
+            rth_sigma: 0.15,
+        }
+    }
+}
+
+/// One virtual die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieSample {
+    /// Sample index (1-based, like the paper's Table 1 columns).
+    pub id: usize,
+    /// The per-die PNP card.
+    pub card: BjtParams,
+    /// QB bias relative to QA bias.
+    pub bias_mismatch: f64,
+    /// dVBE readout-chain offset.
+    pub readout_offset: Volt,
+    /// Bandgap op-amp input offset.
+    pub opamp_offset: Volt,
+    /// Per-die substrate parasitic.
+    pub substrate: SubstrateJunction,
+    /// Thermal-resistance multiplier for the package.
+    pub rth_scale: f64,
+}
+
+impl DieSample {
+    /// An exactly nominal die (useful as a control).
+    #[must_use]
+    pub fn nominal(id: usize) -> Self {
+        DieSample {
+            id,
+            card: st_bicmos_pnp(),
+            bias_mismatch: 1.0,
+            readout_offset: Volt::new(0.0),
+            opamp_offset: Volt::new(0.0),
+            substrate: SubstrateJunction::bicmos_default(),
+            rth_scale: 1.0,
+        }
+    }
+
+    /// The Fig.-2 pair structure of this die at the given bias.
+    #[must_use]
+    pub fn pair_structure(&self, bias: Ampere) -> PairStructure {
+        PairStructure::ideal(self.card, bias)
+            .with_substrate(self.substrate)
+            .with_bias_mismatch(self.bias_mismatch)
+            .with_readout_offset(self.readout_offset)
+    }
+
+    /// The Fig.-3 bandgap cell of this die (R_ptat at its design value —
+    /// calibrate or trim separately).
+    #[must_use]
+    pub fn bandgap_cell(&self) -> BandgapCell {
+        BandgapCell::nominal(self.card)
+            .with_substrate(self.substrate)
+            .with_opamp_offset(self.opamp_offset)
+    }
+}
+
+/// Deterministic sample generator.
+#[derive(Debug, Clone)]
+pub struct SampleFactory {
+    noise: NoiseSource,
+    spec: VariationSpec,
+}
+
+impl SampleFactory {
+    /// Creates a factory from a seed and the default spec.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        SampleFactory {
+            noise: NoiseSource::seeded(seed),
+            spec: VariationSpec::default(),
+        }
+    }
+
+    /// Overrides the variation spec.
+    #[must_use]
+    pub fn with_spec(mut self, spec: VariationSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Draws the next die.
+    pub fn draw(&mut self, id: usize) -> DieSample {
+        let s = &self.spec;
+        let mut card = st_bicmos_pnp();
+        let is_scale = (1.0 + self.noise.sample_normal(0.0, s.is_sigma)).clamp(0.5, 2.0);
+        card.is = Ampere::new(card.is.value() * is_scale);
+        card.ise = Ampere::new(card.ise.value() * is_scale);
+
+        let mut substrate = SubstrateJunction::bicmos_default();
+        let leak_scale = self
+            .noise
+            .sample_normal(s.leak_scale_mean, s.leak_scale_mean * s.leak_scale_sigma)
+            .clamp(0.3, 4.0);
+        substrate.is = Ampere::new(substrate.is.value() * leak_scale);
+
+        DieSample {
+            id,
+            card,
+            bias_mismatch: (1.0 + self.noise.sample_normal(0.0, s.bias_mismatch_sigma))
+                .clamp(0.9, 1.1),
+            readout_offset: Volt::new(
+                self.noise
+                    .sample_normal(s.readout_offset_mean, s.readout_offset_sigma),
+            ),
+            opamp_offset: Volt::new(self.noise.sample_normal(0.0, s.opamp_offset_sigma)),
+            substrate,
+            rth_scale: (1.0 + self.noise.sample_normal(0.0, s.rth_sigma)).clamp(0.5, 2.0),
+        }
+    }
+
+    /// Draws `n` dies with ids `1..=n` — the paper's five-sample lot is
+    /// `draw_lot(5)`.
+    pub fn draw_lot(&mut self, n: usize) -> Vec<DieSample> {
+        (1..=n).map(|id| self.draw(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_is_deterministic() {
+        let a = SampleFactory::seeded(2002).draw_lot(5);
+        let b = SampleFactory::seeded(2002).draw_lot(5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_differ_from_each_other() {
+        let lot = SampleFactory::seeded(2002).draw_lot(5);
+        for w in lot.windows(2) {
+            assert_ne!(w[0].card.is, w[1].card.is);
+            assert_ne!(w[0].readout_offset, w[1].readout_offset);
+        }
+    }
+
+    #[test]
+    fn drawn_cards_stay_valid() {
+        let lot = SampleFactory::seeded(7).draw_lot(20);
+        for s in lot {
+            assert!(s.card.validate("Q").is_ok(), "sample {} invalid", s.id);
+            assert!(s.bias_mismatch > 0.89 && s.bias_mismatch < 1.11);
+            assert!(s.rth_scale > 0.4 && s.rth_scale < 2.1);
+        }
+    }
+
+    #[test]
+    fn readout_offsets_center_on_the_spec_mean() {
+        let lot = SampleFactory::seeded(99).draw_lot(200);
+        let mean: f64 =
+            lot.iter().map(|s| s.readout_offset.value()).sum::<f64>() / lot.len() as f64;
+        // Post-calibration residue: zero mean, tens of microvolts spread.
+        assert!(mean.abs() < 10e-6, "mean offset {mean}");
+        let spread = lot
+            .iter()
+            .map(|s| s.readout_offset.value().abs())
+            .fold(0.0_f64, f64::max);
+        assert!(spread > 10e-6 && spread < 200e-6, "spread {spread}");
+    }
+
+    #[test]
+    fn nominal_sample_builds_working_structures() {
+        let s = DieSample::nominal(0);
+        let pair = s.pair_structure(Ampere::new(1e-6));
+        let r = pair.measure(icvbe_units::Kelvin::new(298.15)).unwrap();
+        assert!(r.dvbe.value() > 0.04 && r.dvbe.value() < 0.07);
+        let cell = s.bandgap_cell();
+        let rd = cell.solve(icvbe_units::Kelvin::new(298.15)).unwrap();
+        assert!(rd.vref.value() > 1.0 && rd.vref.value() < 1.4);
+    }
+}

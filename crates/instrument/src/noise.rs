@@ -1,0 +1,122 @@
+//! Seeded Gaussian noise and quantization primitives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic Gaussian noise source (Box-Muller over a seeded
+/// [`StdRng`]).
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_instrument::noise::NoiseSource;
+///
+/// let mut a = NoiseSource::seeded(42);
+/// let mut b = NoiseSource::seeded(42);
+/// assert_eq!(a.sample_gaussian(), b.sample_gaussian()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseSource {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl NoiseSource {
+    /// Creates a source from a seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        NoiseSource {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal sample.
+    pub fn sample_gaussian(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Box-Muller: two uniforms -> two normals.
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal sample with explicit mean and standard deviation.
+    pub fn sample_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample_gaussian()
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn sample_uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo == hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+}
+
+/// Rounds `value` to the nearest multiple of `step` (ADC/DVM quantization).
+/// A non-positive `step` returns the value unchanged.
+#[must_use]
+pub fn quantize(value: f64, step: f64) -> f64 {
+    if step <= 0.0 || !step.is_finite() {
+        return value;
+    }
+    (value / step).round() * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut src = NoiseSource::seeded(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| src.sample_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = NoiseSource::seeded(123);
+        let mut b = NoiseSource::seeded(123);
+        for _ in 0..10 {
+            assert_eq!(a.sample_normal(1.0, 2.0), b.sample_normal(1.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = NoiseSource::seeded(1);
+        let mut b = NoiseSource::seeded(2);
+        let same = (0..10).filter(|_| a.sample_gaussian() == b.sample_gaussian()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn quantize_rounds_to_step() {
+        assert_eq!(quantize(1.2345, 0.01), 1.23);
+        assert_eq!(quantize(1.2355, 0.001), 1.236);
+        assert_eq!(quantize(-0.5004, 0.001), -0.5);
+        assert_eq!(quantize(3.7, 0.0), 3.7);
+        assert_eq!(quantize(3.7, -1.0), 3.7);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut src = NoiseSource::seeded(9);
+        for _ in 0..100 {
+            let v = src.sample_uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        assert_eq!(src.sample_uniform(5.0, 5.0), 5.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Pt100 contact temperature sensor.
+//!
+//! The paper: "the temperature sensor HP34970A with sonde pt100 4 wires and
+//! a precision less than 1 °C is placed on the component". The crucial
+//! systematic effect is not the sensor's own error — it is *where it sits*:
+//! on the package, reading the case temperature, blind to the self-heated
+//! junction. Both effects are modelled.
+
+use icvbe_units::Kelvin;
+
+use crate::noise::NoiseSource;
+
+/// A Pt100-class contact sensor with calibration and readout errors.
+#[derive(Debug, Clone)]
+pub struct Pt100Sensor {
+    /// Additive calibration offset, kelvin.
+    offset: f64,
+    /// Relative gain (span) error.
+    gain_error: f64,
+    /// RMS readout noise, kelvin.
+    noise_rms: f64,
+    noise: NoiseSource,
+}
+
+impl Pt100Sensor {
+    /// Creates a sensor with explicit error terms.
+    #[must_use]
+    pub fn new(offset: f64, gain_error: f64, noise_rms: f64, seed: u64) -> Self {
+        Pt100Sensor {
+            offset,
+            gain_error,
+            noise_rms,
+            noise: NoiseSource::seeded(seed),
+        }
+    }
+
+    /// The paper's bench: class-A four-wire Pt100, <1 K total error.
+    #[must_use]
+    pub fn paper_bench(seed: u64) -> Self {
+        Pt100Sensor::new(0.15, 5e-4, 0.05, seed)
+    }
+
+    /// An ideal sensor.
+    #[must_use]
+    pub fn ideal(seed: u64) -> Self {
+        Pt100Sensor::new(0.0, 0.0, 0.0, seed)
+    }
+
+    /// Reads a true contact temperature.
+    pub fn read(&mut self, truth: Kelvin) -> Kelvin {
+        let celsius_truth = truth.value() - 273.15;
+        let reading = celsius_truth * (1.0 + self.gain_error)
+            + self.offset
+            + self.noise.sample_normal(0.0, self.noise_rms);
+        Kelvin::new(reading + 273.15)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_transparent() {
+        let mut s = Pt100Sensor::ideal(0);
+        assert_eq!(s.read(Kelvin::new(297.0)).value(), 297.0);
+    }
+
+    #[test]
+    fn paper_bench_is_sub_kelvin_over_the_range() {
+        let mut s = Pt100Sensor::paper_bench(5);
+        for t in [223.15, 297.0, 398.15] {
+            let worst = (0..50)
+                .map(|_| (s.read(Kelvin::new(t)).value() - t).abs())
+                .fold(0.0_f64, f64::max);
+            assert!(worst < 1.0, "error {worst} at {t} K exceeds the 1 K spec");
+        }
+    }
+
+    #[test]
+    fn gain_error_scales_with_celsius_span() {
+        let mut s = Pt100Sensor::new(0.0, 0.01, 0.0, 0);
+        // At 0 °C a span error contributes nothing.
+        assert!((s.read(Kelvin::new(273.15)).value() - 273.15).abs() < 1e-12);
+        // At 100 °C it contributes 1 K.
+        assert!((s.read(Kelvin::new(373.15)).value() - 374.15).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! The virtual source-measure unit (the HP4156 of the paper's bench).
+
+use icvbe_units::{Ampere, Volt};
+
+use crate::noise::{quantize, NoiseSource};
+
+/// Error model of one measurement channel: `reading = (1 + gain_error) *
+/// true + offset + noise`, then quantized to the instrument resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelModel {
+    /// Relative gain error (calibration residue).
+    pub gain_error: f64,
+    /// Additive offset in channel units.
+    pub offset: f64,
+    /// RMS noise in channel units.
+    pub noise_rms: f64,
+    /// Quantization step (0 = continuous).
+    pub resolution: f64,
+}
+
+impl ChannelModel {
+    /// A perfect channel.
+    #[must_use]
+    pub fn ideal() -> Self {
+        ChannelModel {
+            gain_error: 0.0,
+            offset: 0.0,
+            noise_rms: 0.0,
+            resolution: 0.0,
+        }
+    }
+
+    fn apply(&self, truth: f64, noise: &mut NoiseSource) -> f64 {
+        let raw = (1.0 + self.gain_error) * truth + self.offset
+            + noise.sample_normal(0.0, self.noise_rms);
+        quantize(raw, self.resolution)
+    }
+}
+
+/// A two-channel (volt/amp) source-measure unit with an error model per
+/// channel and a deterministic noise stream.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_instrument::smu::VirtualSmu;
+/// use icvbe_units::Volt;
+///
+/// let mut smu = VirtualSmu::hp4156_class(1);
+/// let r = smu.measure_voltage(Volt::new(0.620000));
+/// // Within a few microvolts of truth.
+/// assert!((r.value() - 0.62).abs() < 2e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualSmu {
+    voltage_channel: ChannelModel,
+    current_channel: ChannelModel,
+    noise: NoiseSource,
+}
+
+impl VirtualSmu {
+    /// Builds an SMU from explicit channel models and a seed.
+    #[must_use]
+    pub fn new(voltage_channel: ChannelModel, current_channel: ChannelModel, seed: u64) -> Self {
+        VirtualSmu {
+            voltage_channel,
+            current_channel,
+            noise: NoiseSource::seeded(seed),
+        }
+    }
+
+    /// An HP4156-class instrument: 2 µV rms noise, 1 µV resolution, 20 ppm
+    /// gain error on voltage; 0.05% + 10 fA floor on current.
+    #[must_use]
+    pub fn hp4156_class(seed: u64) -> Self {
+        VirtualSmu::new(
+            ChannelModel {
+                gain_error: 20e-6,
+                offset: 0.0,
+                noise_rms: 2e-6,
+                resolution: 1e-6,
+            },
+            ChannelModel {
+                gain_error: 5e-4,
+                offset: 0.0,
+                noise_rms: 1e-14,
+                resolution: 0.0,
+            },
+            seed,
+        )
+    }
+
+    /// An ideal (noiseless, error-free) instrument.
+    #[must_use]
+    pub fn ideal(seed: u64) -> Self {
+        VirtualSmu::new(ChannelModel::ideal(), ChannelModel::ideal(), seed)
+    }
+
+    /// Measures a voltage.
+    pub fn measure_voltage(&mut self, truth: Volt) -> Volt {
+        Volt::new(self.voltage_channel.apply(truth.value(), &mut self.noise))
+    }
+
+    /// Measures a current. The relative part of the error model applies to
+    /// the reading magnitude (SMU ranging).
+    pub fn measure_current(&mut self, truth: Ampere) -> Ampere {
+        Ampere::new(self.current_channel.apply(truth.value(), &mut self.noise))
+    }
+
+    /// Averages `n` voltage readings — the long-integration mode the paper
+    /// implies by waiting for full equilibrium at every point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn measure_voltage_averaged(&mut self, truth: Volt, n: usize) -> Volt {
+        assert!(n > 0, "need at least one reading");
+        let sum: f64 = (0..n)
+            .map(|_| self.measure_voltage(truth).value())
+            .sum();
+        Volt::new(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_smu_is_transparent() {
+        let mut smu = VirtualSmu::ideal(0);
+        assert_eq!(smu.measure_voltage(Volt::new(0.123456789)).value(), 0.123456789);
+        assert_eq!(smu.measure_current(Ampere::new(1e-6)).value(), 1e-6);
+    }
+
+    #[test]
+    fn gain_error_scales_reading() {
+        let mut smu = VirtualSmu::new(
+            ChannelModel {
+                gain_error: 0.01,
+                offset: 0.0,
+                noise_rms: 0.0,
+                resolution: 0.0,
+            },
+            ChannelModel::ideal(),
+            0,
+        );
+        assert!((smu.measure_voltage(Volt::new(1.0)).value() - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let mut smu = VirtualSmu::new(
+            ChannelModel {
+                gain_error: 0.0,
+                offset: 0.0,
+                noise_rms: 1e-3,
+                resolution: 0.0,
+            },
+            ChannelModel::ideal(),
+            3,
+        );
+        let single_err: f64 = (0..50)
+            .map(|_| (smu.measure_voltage(Volt::new(0.5)).value() - 0.5).abs())
+            .sum::<f64>()
+            / 50.0;
+        let avg_err: f64 = (0..50)
+            .map(|_| (smu.measure_voltage_averaged(Volt::new(0.5), 64).value() - 0.5).abs())
+            .sum::<f64>()
+            / 50.0;
+        assert!(avg_err < single_err / 3.0, "{avg_err} vs {single_err}");
+    }
+
+    #[test]
+    fn resolution_quantizes() {
+        let mut smu = VirtualSmu::new(
+            ChannelModel {
+                gain_error: 0.0,
+                offset: 0.0,
+                noise_rms: 0.0,
+                resolution: 1e-3,
+            },
+            ChannelModel::ideal(),
+            0,
+        );
+        assert_eq!(smu.measure_voltage(Volt::new(0.6204)).value(), 0.620);
+    }
+
+    #[test]
+    fn hp4156_class_is_microvolt_accurate() {
+        let mut smu = VirtualSmu::hp4156_class(11);
+        let worst = (0..100)
+            .map(|_| (smu.measure_voltage(Volt::new(0.65)).value() - 0.65).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(worst < 3e-5, "worst error {worst}");
+    }
+}

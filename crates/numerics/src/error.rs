@@ -1,0 +1,105 @@
+//! Error type shared by all numerical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the numerical kernels in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// Matrix dimensions are inconsistent with the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the shapes involved.
+        detail: String,
+    },
+    /// A factorization met a (numerically) singular matrix.
+    SingularMatrix {
+        /// Index of the pivot (or column) at which singularity was detected.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm (or interval width) at the last iterate.
+        residual: f64,
+    },
+    /// The input data are invalid for the requested operation (empty sample,
+    /// unsorted abscissae, non-finite value, ...).
+    InvalidInput {
+        /// Human-readable description of the problem.
+        detail: String,
+    },
+    /// A bracketing method was given an interval that does not bracket a
+    /// root.
+    NoBracket {
+        /// Function value at the left endpoint.
+        f_lo: f64,
+        /// Function value at the right endpoint.
+        f_hi: f64,
+    },
+}
+
+impl NumericsError {
+    /// Convenience constructor for [`NumericsError::InvalidInput`].
+    #[must_use]
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        NumericsError::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NumericsError::DimensionMismatch`].
+    #[must_use]
+    pub fn dims(detail: impl Into<String>) -> Self {
+        NumericsError::DimensionMismatch {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            NumericsError::SingularMatrix { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            NumericsError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:e})"
+            ),
+            NumericsError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            NumericsError::NoBracket { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root (f(lo) = {f_lo:e}, f(hi) = {f_hi:e})"
+            ),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumericsError::SingularMatrix { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = NumericsError::invalid("empty sample");
+        assert!(e.to_string().contains("empty sample"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Piecewise-linear interpolation on a sorted grid.
+//!
+//! The virtual instruments sample characteristics on discrete grids; linear
+//! interpolation recovers intermediate points (e.g. `VBE` at an exact target
+//! `IC` from a swept `IC(VBE)` family).
+
+use crate::NumericsError;
+
+/// A piecewise-linear interpolant over strictly increasing abscissae.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_numerics::interp::LinearInterpolator;
+///
+/// let f = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(1.5), 25.0);
+/// # Ok::<(), icvbe_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterpolator {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl LinearInterpolator {
+    /// Builds an interpolant from matched abscissa/ordinate vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] if fewer than two points are given,
+    /// lengths differ, values are non-finite, or `xs` is not strictly
+    /// increasing.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, NumericsError> {
+        if xs.len() != ys.len() {
+            return Err(NumericsError::dims(format!(
+                "interp: {} abscissae vs {} ordinates",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if xs.len() < 2 {
+            return Err(NumericsError::invalid("interp: need at least two points"));
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericsError::invalid("interp: non-finite data"));
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericsError::invalid(
+                "interp: abscissae must be strictly increasing",
+            ));
+        }
+        Ok(LinearInterpolator { xs, ys })
+    }
+
+    /// Evaluates the interpolant, extrapolating linearly beyond the ends.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        // Index of the segment to use: clamp to [0, n-2].
+        let seg = match self.xs.partition_point(|&v| v <= x) {
+            0 => 0,
+            p => (p - 1).min(n - 2),
+        };
+        let (x0, x1) = (self.xs[seg], self.xs[seg + 1]);
+        let (y0, y1) = (self.ys[seg], self.ys[seg + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The domain `[min x, max x]` of the data.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Finds an `x` in the data range with `eval(x) == target`, assuming the
+    /// ordinates are monotonic (typical for semilog device curves).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidInput`] if `target` lies outside the ordinate
+    /// range.
+    pub fn invert_monotonic(&self, target: f64) -> Result<f64, NumericsError> {
+        let increasing = self.ys[self.ys.len() - 1] >= self.ys[0];
+        let (lo, hi) = if increasing {
+            (self.ys[0], self.ys[self.ys.len() - 1])
+        } else {
+            (self.ys[self.ys.len() - 1], self.ys[0])
+        };
+        if target < lo || target > hi {
+            return Err(NumericsError::invalid(format!(
+                "invert: target {target:e} outside ordinate range [{lo:e}, {hi:e}]"
+            )));
+        }
+        for w in 0..self.xs.len() - 1 {
+            let (y0, y1) = (self.ys[w], self.ys[w + 1]);
+            let inside = if increasing {
+                y0 <= target && target <= y1
+            } else {
+                y1 <= target && target <= y0
+            };
+            if inside {
+                if y1 == y0 {
+                    return Ok(self.xs[w]);
+                }
+                let t = (target - y0) / (y1 - y0);
+                return Ok(self.xs[w] + t * (self.xs[w + 1] - self.xs[w]));
+            }
+        }
+        // Monotonicity violated; fall back to the nearest endpoint.
+        Err(NumericsError::invalid(
+            "invert: ordinates are not monotonic over the grid",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_midpoints() {
+        let f = LinearInterpolator::new(vec![0.0, 2.0], vec![1.0, 5.0]).unwrap();
+        assert_eq!(f.eval(1.0), 3.0);
+    }
+
+    #[test]
+    fn extrapolates_linearly() {
+        let f = LinearInterpolator::new(vec![0.0, 1.0], vec![0.0, 2.0]).unwrap();
+        assert_eq!(f.eval(2.0), 4.0);
+        assert_eq!(f.eval(-1.0), -2.0);
+    }
+
+    #[test]
+    fn exact_nodes_are_reproduced() {
+        let xs = vec![0.0, 0.3, 1.1, 4.0];
+        let ys = vec![5.0, -2.0, 0.0, 7.5];
+        let f = LinearInterpolator::new(xs.clone(), ys.clone()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((f.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_unsorted_abscissae() {
+        assert!(LinearInterpolator::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(LinearInterpolator::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn inverts_increasing_data() {
+        let f = LinearInterpolator::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 40.0]).unwrap();
+        assert!((f.invert_monotonic(25.0).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverts_decreasing_data() {
+        let f = LinearInterpolator::new(vec![0.0, 1.0], vec![10.0, 0.0]).unwrap();
+        assert!((f.invert_monotonic(5.0).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_rejects_out_of_range() {
+        let f = LinearInterpolator::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        assert!(f.invert_monotonic(2.0).is_err());
+    }
+
+    #[test]
+    fn domain_reports_extents() {
+        let f = LinearInterpolator::new(vec![-3.0, 5.0], vec![0.0, 1.0]).unwrap();
+        assert_eq!(f.domain(), (-3.0, 5.0));
+    }
+}

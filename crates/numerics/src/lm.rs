@@ -1,0 +1,261 @@
+//! Levenberg-Marquardt nonlinear least squares.
+//!
+//! Used for the nonlinear variants of the extraction (fitting `VBE(T)` with
+//! `VBE(T0)` treated as a free parameter) and for ablation against the
+//! linear eq.-13 fit.
+
+use crate::lu;
+use crate::{Matrix, NumericsError};
+
+/// A residual model `r(p)` for Levenberg-Marquardt.
+pub trait ResidualModel {
+    /// Number of residuals (observations).
+    fn residual_count(&self) -> usize;
+
+    /// Number of parameters.
+    fn parameter_count(&self) -> usize;
+
+    /// Evaluates all residuals at parameter vector `p` into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject unphysical parameters.
+    fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError>;
+}
+
+/// Options for the Levenberg-Marquardt iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmOptions {
+    /// Initial damping parameter lambda.
+    pub initial_lambda: f64,
+    /// Multiplicative lambda update factor.
+    pub lambda_factor: f64,
+    /// Convergence threshold on the relative cost decrease.
+    pub cost_tolerance: f64,
+    /// Convergence threshold on the step infinity norm.
+    pub step_tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Relative perturbation for the forward-difference Jacobian.
+    pub jacobian_epsilon: f64,
+}
+
+impl Default for LmOptions {
+    fn default() -> Self {
+        LmOptions {
+            initial_lambda: 1e-3,
+            lambda_factor: 10.0,
+            cost_tolerance: 1e-14,
+            step_tolerance: 1e-12,
+            max_iterations: 200,
+            jacobian_epsilon: 1e-7,
+        }
+    }
+}
+
+/// Result of a Levenberg-Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmFit {
+    /// Fitted parameters.
+    pub parameters: Vec<f64>,
+    /// Final cost `sum r_i^2 / 2`.
+    pub cost: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+fn cost_of(r: &[f64]) -> f64 {
+    0.5 * r.iter().map(|v| v * v).sum::<f64>()
+}
+
+/// Fits `min_p sum_i r_i(p)^2` starting from `p0`.
+///
+/// The Jacobian is formed by forward differences; normal equations with
+/// Marquardt damping `(J^T J + lambda diag(J^T J)) dp = -J^T r` are solved
+/// each step.
+///
+/// # Errors
+///
+/// - Propagates model evaluation failures at the initial point.
+/// - [`NumericsError::NoConvergence`] if lambda grows past 1e12 without an
+///   accepted step or the budget is exhausted.
+pub fn fit_levenberg_marquardt(
+    model: &impl ResidualModel,
+    p0: &[f64],
+    options: LmOptions,
+) -> Result<LmFit, NumericsError> {
+    let m = model.residual_count();
+    let n = model.parameter_count();
+    if p0.len() != n {
+        return Err(NumericsError::dims(format!(
+            "lm: model has {n} parameters, initial guess {}",
+            p0.len()
+        )));
+    }
+    if m < n {
+        return Err(NumericsError::dims(format!(
+            "lm: {m} residuals cannot determine {n} parameters"
+        )));
+    }
+    let mut p = p0.to_vec();
+    let mut r = vec![0.0; m];
+    model.residuals(&p, &mut r)?;
+    let mut cost = cost_of(&r);
+    let mut lambda = options.initial_lambda;
+
+    let mut jac = Matrix::zeros(m, n);
+    let mut r_pert = vec![0.0; m];
+
+    for iter in 0..options.max_iterations {
+        // Forward-difference Jacobian.
+        for j in 0..n {
+            let h = options.jacobian_epsilon * p[j].abs().max(1e-8);
+            let mut p_pert = p.clone();
+            p_pert[j] += h;
+            model.residuals(&p_pert, &mut r_pert)?;
+            for i in 0..m {
+                jac[(i, j)] = (r_pert[i] - r[i]) / h;
+            }
+        }
+        // Normal equations with Marquardt scaling.
+        let jt = jac.transpose();
+        let jtj = jt.mul(&jac)?;
+        let jtr = jt.mul_vec(&r)?;
+
+        let mut accepted = false;
+        while lambda < 1e12 {
+            let mut a = jtj.clone();
+            for d in 0..n {
+                let diag = jtj[(d, d)];
+                a[(d, d)] = diag + lambda * diag.max(1e-12);
+            }
+            let neg_jtr: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let dp = match lu::solve(&a, &neg_jtr) {
+                Ok(dp) => dp,
+                Err(_) => {
+                    lambda *= options.lambda_factor;
+                    continue;
+                }
+            };
+            let trial: Vec<f64> = p.iter().zip(&dp).map(|(a, b)| a + b).collect();
+            if model.residuals(&trial, &mut r_pert).is_ok() {
+                let trial_cost = cost_of(&r_pert);
+                if trial_cost.is_finite() && trial_cost < cost {
+                    let decrease = (cost - trial_cost) / cost.max(1e-300);
+                    let step = dp.iter().fold(0.0_f64, |s, v| s.max(v.abs()));
+                    p = trial;
+                    r.copy_from_slice(&r_pert);
+                    cost = trial_cost;
+                    lambda = (lambda / options.lambda_factor).max(1e-12);
+                    accepted = true;
+                    if decrease < options.cost_tolerance || step < options.step_tolerance {
+                        return Ok(LmFit {
+                            parameters: p,
+                            cost,
+                            iterations: iter + 1,
+                        });
+                    }
+                    break;
+                }
+            }
+            lambda *= options.lambda_factor;
+        }
+        if !accepted {
+            // Lambda exhausted: we are at a (possibly flat) minimum.
+            return Ok(LmFit {
+                parameters: p,
+                cost,
+                iterations: iter,
+            });
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fit y = a * exp(b x) on synthetic data.
+    struct ExpModel {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl ResidualModel for ExpModel {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+                out[i] = p[0] * (p[1] * x).exp() - y;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn recovers_exponential_parameters() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (1.3 * x).exp()).collect();
+        let model = ExpModel { xs, ys };
+        let fit = fit_levenberg_marquardt(&model, &[1.0, 1.0], LmOptions::default()).unwrap();
+        assert!((fit.parameters[0] - 2.5).abs() < 1e-6, "a = {}", fit.parameters[0]);
+        assert!((fit.parameters[1] - 1.3).abs() < 1e-6, "b = {}", fit.parameters[1]);
+        assert!(fit.cost < 1e-12);
+    }
+
+    /// Linear model to cross-check against exact LSQ.
+    struct LineModel {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl ResidualModel for LineModel {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+        fn parameter_count(&self) -> usize {
+            2
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            for (i, (&x, &y)) in self.xs.iter().zip(&self.ys).enumerate() {
+                out[i] = p[0] + p[1] * x - y;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn linear_problem_matches_closed_form() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![1.1, 2.9, 5.2, 6.8];
+        let model = LineModel { xs, ys };
+        let fit = fit_levenberg_marquardt(&model, &[0.0, 0.0], LmOptions::default()).unwrap();
+        // Closed-form simple regression on the same data.
+        let n = 4.0;
+        let sx = 6.0;
+        let sy = 16.0;
+        let sxx = 14.0;
+        let sxy: f64 = 0.0 * 1.1 + 1.0 * 2.9 + 2.0 * 5.2 + 3.0 * 6.8;
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        assert!((fit.parameters[0] - intercept).abs() < 1e-6);
+        assert!((fit.parameters[1] - slope).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let model = LineModel {
+            xs: vec![1.0],
+            ys: vec![1.0],
+        };
+        assert!(fit_levenberg_marquardt(&model, &[0.0, 0.0], LmOptions::default()).is_err());
+    }
+}

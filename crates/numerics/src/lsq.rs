@@ -1,0 +1,180 @@
+//! Linear least squares with fit diagnostics.
+//!
+//! The eq.-13 best-fit extraction is a two-parameter *linear* least-squares
+//! problem in `(EG, XTI)`; this module provides the generic machinery plus
+//! the normal-equations backend used as a conditioning ablation.
+
+use crate::lu;
+use crate::qr::QrFactorization;
+use crate::{Matrix, NumericsError};
+
+/// Which factorization backs a least-squares solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LsqBackend {
+    /// Householder QR (default; numerically robust).
+    #[default]
+    Qr,
+    /// Normal equations `A^T A x = A^T b` via LU. Squares the condition
+    /// number — kept to demonstrate the difference on the eq.-13 design
+    /// matrix (see the `fitting_backends` bench).
+    NormalEquations,
+}
+
+/// Result of a linear least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastSquaresFit {
+    coefficients: Vec<f64>,
+    residuals: Vec<f64>,
+    rss: f64,
+    r_squared: f64,
+}
+
+impl LeastSquaresFit {
+    /// The fitted coefficients, one per design-matrix column.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Per-observation residuals `b - A x`.
+    #[must_use]
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Residual sum of squares.
+    #[must_use]
+    pub fn residual_sum_of_squares(&self) -> f64 {
+        self.rss
+    }
+
+    /// Coefficient of determination R² (1 for a perfect fit; can be negative
+    /// for a fit worse than the mean).
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Root-mean-square residual.
+    #[must_use]
+    pub fn rms_residual(&self) -> f64 {
+        if self.residuals.is_empty() {
+            0.0
+        } else {
+            (self.rss / self.residuals.len() as f64).sqrt()
+        }
+    }
+}
+
+/// Fits `min ||A x - b||` with the default QR backend.
+///
+/// # Errors
+///
+/// See [`fit_least_squares_with`].
+pub fn fit_least_squares(a: &Matrix, b: &[f64]) -> Result<LeastSquaresFit, NumericsError> {
+    fit_least_squares_with(a, b, LsqBackend::Qr)
+}
+
+/// Fits `min ||A x - b||` with an explicit backend.
+///
+/// # Errors
+///
+/// - [`NumericsError::DimensionMismatch`] if `b.len() != a.rows()` or the
+///   system is underdetermined.
+/// - [`NumericsError::SingularMatrix`] for rank-deficient designs.
+/// - [`NumericsError::InvalidInput`] for non-finite data.
+pub fn fit_least_squares_with(
+    a: &Matrix,
+    b: &[f64],
+    backend: LsqBackend,
+) -> Result<LeastSquaresFit, NumericsError> {
+    if b.len() != a.rows() {
+        return Err(NumericsError::dims(format!(
+            "fit: design has {} rows, observations {}",
+            a.rows(),
+            b.len()
+        )));
+    }
+    if b.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::invalid("observations contain non-finite values"));
+    }
+    let x = match backend {
+        LsqBackend::Qr => QrFactorization::factor(a)?.solve_least_squares(b)?,
+        LsqBackend::NormalEquations => {
+            let at = a.transpose();
+            let ata = at.mul(a)?;
+            let atb = at.mul_vec(b)?;
+            lu::solve(&ata, &atb)?
+        }
+    };
+    let ax = a.mul_vec(&x)?;
+    let residuals: Vec<f64> = b.iter().zip(&ax).map(|(obs, fit)| obs - fit).collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let mean = b.iter().sum::<f64>() / b.len() as f64;
+    let tss: f64 = b.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+    Ok(LeastSquaresFit {
+        coefficients: x,
+        residuals,
+        rss,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_design(xs: &[f64]) -> Matrix {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn perfect_line_has_r2_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let a = line_design(&xs);
+        let b: Vec<f64> = xs.iter().map(|x| 3.0 - 2.0 * x).collect();
+        let fit = fit_least_squares(&a, &b).unwrap();
+        assert!((fit.coefficients()[0] - 3.0).abs() < 1e-12);
+        assert!((fit.coefficients()[1] + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+        assert!(fit.rms_residual() < 1e-12);
+    }
+
+    #[test]
+    fn backends_agree_on_well_conditioned_data() {
+        let xs = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let a = line_design(&xs);
+        let b = [0.1, 1.2, 1.9, 3.1, 3.9];
+        let qr = fit_least_squares_with(&a, &b, LsqBackend::Qr).unwrap();
+        let ne = fit_least_squares_with(&a, &b, LsqBackend::NormalEquations).unwrap();
+        for (p, q) in qr.coefficients().iter().zip(ne.coefficients()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn residuals_sum_reflects_noise() {
+        let xs = [0.0, 1.0, 2.0];
+        let a = line_design(&xs);
+        // Points with a deliberate outlier.
+        let b = [0.0, 1.0, 3.0];
+        let fit = fit_least_squares(&a, &b).unwrap();
+        assert!(fit.residual_sum_of_squares() > 0.0);
+        assert_eq!(fit.residuals().len(), 3);
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let a = line_design(&[0.0, 1.0]);
+        assert!(fit_least_squares(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_observation() {
+        let a = line_design(&[0.0, 1.0, 2.0]);
+        assert!(fit_least_squares(&a, &[1.0, f64::NAN, 2.0]).is_err());
+    }
+}

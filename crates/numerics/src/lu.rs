@@ -1,0 +1,222 @@
+//! LU factorization with partial pivoting and linear solves.
+//!
+//! This is the workhorse behind the SPICE MNA solver: every Newton
+//! iteration assembles a Jacobian and solves `J dx = -f` through [`LuSolver`].
+
+use crate::{Matrix, NumericsError};
+
+/// An LU factorization `P A = L U` with partial pivoting.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_numerics::{lu::LuSolver, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuSolver::factor(&a)?;
+/// let x = lu.solve(&[3.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 1.0).abs() < 1e-12);
+/// # Ok::<(), icvbe_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuSolver {
+    /// Packed L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix came from `perm[i]`.
+    perm: Vec<usize>,
+    /// Parity of the permutation, +1 or -1 (for the determinant sign).
+    parity: f64,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const PIVOT_TOLERANCE: f64 = 1e-300;
+
+impl LuSolver {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumericsError::DimensionMismatch`] if `a` is not square.
+    /// - [`NumericsError::SingularMatrix`] if a pivot is (numerically) zero.
+    /// - [`NumericsError::InvalidInput`] if `a` contains non-finite entries.
+    pub fn factor(a: &Matrix) -> Result<Self, NumericsError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericsError::dims(format!(
+                "LU needs a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !a.is_finite() {
+            return Err(NumericsError::invalid("LU input contains non-finite entries"));
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut parity = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: pick the largest magnitude in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOLERANCE {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                parity = -parity;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(LuSolver { lu, perm, parity })
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len()` differs from
+    /// the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericsError::dims(format!(
+                "solve: matrix is {n}x{n}, rhs has {} entries",
+                b.len()
+            )));
+        }
+        // Apply permutation, then forward substitution with unit-lower L.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.parity;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Dimension of the factored (square) matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+}
+
+/// One-shot convenience: factors `a` and solves `a x = b`.
+///
+/// # Errors
+///
+/// Propagates errors from [`LuSolver::factor`] and [`LuSolver::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+    LuSolver::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .unwrap()
+            .iter()
+            .zip(b)
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_3x3_system() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ])
+        .unwrap();
+        let b = [11.0, -16.0, 17.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuSolver::factor(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_matches_2x2_formula() {
+        let a = Matrix::from_rows(&[&[3.0, 7.0], &[1.0, -4.0]]).unwrap();
+        let lu = LuSolver::factor(&a).unwrap();
+        assert!((lu.determinant() - (3.0 * -4.0 - 7.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuSolver::factor(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = Matrix::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert!(LuSolver::factor(&a).is_err());
+    }
+
+    #[test]
+    fn ill_conditioned_but_nonsingular_still_solves() {
+        // Scaled rows, condition number ~1e12, still within LU reach.
+        let a = Matrix::from_rows(&[&[1e-6, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = [1.0, 2.0];
+        let x = solve(&a, &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+}

@@ -1,0 +1,273 @@
+//! Damped multivariate Newton-Raphson.
+//!
+//! This is the outer loop of the SPICE DC operating-point solver: the
+//! circuit provides residual `f(x)` and Jacobian `J(x)`; this module solves
+//! `f(x) = 0` with step damping and divergence detection.
+
+use crate::lu::LuSolver;
+use crate::{Matrix, NumericsError};
+
+/// Options controlling the multivariate Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Convergence threshold on the residual infinity norm.
+    pub residual_tolerance: f64,
+    /// Convergence threshold on the update infinity norm.
+    pub step_tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Maximum infinity-norm of a single Newton update; larger proposed
+    /// steps are scaled down (crucial for exponential device equations).
+    pub max_step: f64,
+    /// Residual norm that is still *accepted* when the iteration stagnates
+    /// or exhausts its budget without reaching `residual_tolerance`.
+    /// Circuit solves use this the way SPICE uses `reltol`/`abstol`: the
+    /// last digits of a stiff system are often unreachable but irrelevant.
+    /// `0.0` (the default) disables the escape hatch.
+    pub acceptable_residual: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            residual_tolerance: 1e-12,
+            step_tolerance: 1e-12,
+            max_iterations: 200,
+            max_step: 1.0e9,
+            acceptable_residual: 0.0,
+        }
+    }
+}
+
+/// A system of nonlinear equations `f(x) = 0` with an explicit Jacobian.
+pub trait NonlinearSystem {
+    /// Number of unknowns (and equations).
+    fn dimension(&self) -> usize;
+
+    /// Evaluates the residual into `out` (length [`Self::dimension`]).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on unphysical iterates.
+    fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError>;
+
+    /// Evaluates the Jacobian `df_i/dx_j`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on unphysical iterates.
+    fn jacobian(&self, x: &[f64], out: &mut Matrix) -> Result<(), NumericsError>;
+}
+
+/// Outcome of a converged Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewtonSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final residual infinity norm.
+    pub residual_norm: f64,
+}
+
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Solves `f(x) = 0` by damped Newton from the initial guess `x0`.
+///
+/// Each iteration solves `J dx = -f` by LU and line-searches the damping
+/// factor (halving up to 20 times) until the residual norm decreases.
+///
+/// # Errors
+///
+/// - Propagates residual/Jacobian/LU failures.
+/// - [`NumericsError::NoConvergence`] when the budget is exhausted or the
+///   line search stagnates.
+pub fn solve_newton(
+    system: &impl NonlinearSystem,
+    x0: &[f64],
+    options: NewtonOptions,
+) -> Result<NewtonSolution, NumericsError> {
+    let n = system.dimension();
+    if x0.len() != n {
+        return Err(NumericsError::dims(format!(
+            "newton: system dimension {n}, initial guess {}",
+            x0.len()
+        )));
+    }
+    let mut x = x0.to_vec();
+    let mut f = vec![0.0; n];
+    let mut jac = Matrix::zeros(n, n);
+    system.residual(&x, &mut f)?;
+    let mut fnorm = inf_norm(&f);
+
+    for iter in 0..options.max_iterations {
+        if fnorm <= options.residual_tolerance {
+            return Ok(NewtonSolution {
+                x,
+                iterations: iter,
+                residual_norm: fnorm,
+            });
+        }
+        system.jacobian(&x, &mut jac)?;
+        let lu = LuSolver::factor(&jac)?;
+        let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+        let mut dx = lu.solve(&neg_f)?;
+
+        // Clamp very large steps before the line search sees them.
+        let dx_norm = inf_norm(&dx);
+        if dx_norm > options.max_step {
+            let scale = options.max_step / dx_norm;
+            for d in &mut dx {
+                *d *= scale;
+            }
+        }
+
+        let mut damping = 1.0;
+        let mut advanced = false;
+        let mut trial = vec![0.0; n];
+        let mut f_trial = vec![0.0; n];
+        for _ in 0..20 {
+            for i in 0..n {
+                trial[i] = x[i] + damping * dx[i];
+            }
+            if system.residual(&trial, &mut f_trial).is_ok() {
+                let t_norm = inf_norm(&f_trial);
+                if t_norm.is_finite() && (t_norm < fnorm || t_norm <= options.residual_tolerance) {
+                    x.copy_from_slice(&trial);
+                    f.copy_from_slice(&f_trial);
+                    fnorm = t_norm;
+                    advanced = true;
+                    break;
+                }
+            }
+            damping *= 0.5;
+        }
+        if !advanced {
+            // Accept the most damped step if it still moves the iterate; a
+            // locally increasing residual can still escape a bad region.
+            for i in 0..n {
+                trial[i] = x[i] + damping * dx[i];
+            }
+            if trial == x {
+                if fnorm <= options.acceptable_residual {
+                    return Ok(NewtonSolution {
+                        x,
+                        iterations: iter,
+                        residual_norm: fnorm,
+                    });
+                }
+                return Err(NumericsError::NoConvergence {
+                    iterations: iter,
+                    residual: fnorm,
+                });
+            }
+            system.residual(&trial, &mut f_trial)?;
+            let t_norm = inf_norm(&f_trial);
+            if !t_norm.is_finite() {
+                return Err(NumericsError::NoConvergence {
+                    iterations: iter,
+                    residual: fnorm,
+                });
+            }
+            x.copy_from_slice(&trial);
+            f.copy_from_slice(&f_trial);
+            fnorm = t_norm;
+        }
+        if inf_norm(&dx) * damping <= options.step_tolerance
+            && fnorm <= options.residual_tolerance.max(1e-9)
+        {
+            return Ok(NewtonSolution {
+                x,
+                iterations: iter + 1,
+                residual_norm: fnorm,
+            });
+        }
+    }
+    if fnorm <= options.acceptable_residual {
+        return Ok(NewtonSolution {
+            x,
+            iterations: options.max_iterations,
+            residual_norm: fnorm,
+        });
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fnorm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x^2 + y^2 = 4, x - y = 0  =>  x = y = sqrt(2).
+    struct Circle;
+
+    impl NonlinearSystem for Circle {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            out[0] = x[0] * x[0] + x[1] * x[1] - 4.0;
+            out[1] = x[0] - x[1];
+            Ok(())
+        }
+        fn jacobian(&self, x: &[f64], out: &mut Matrix) -> Result<(), NumericsError> {
+            out[(0, 0)] = 2.0 * x[0];
+            out[(0, 1)] = 2.0 * x[1];
+            out[(1, 0)] = 1.0;
+            out[(1, 1)] = -1.0;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn solves_circle_intersection() {
+        let sol = solve_newton(&Circle, &[1.0, 0.5], NewtonOptions::default()).unwrap();
+        assert!((sol.x[0] - std::f64::consts::SQRT_2).abs() < 1e-10);
+        assert!((sol.x[1] - std::f64::consts::SQRT_2).abs() < 1e-10);
+        assert!(sol.residual_norm <= 1e-12);
+    }
+
+    /// Stiff exponential resembling a diode: f(v) = 1e-14 (e^{v/.026}-1) - 1e-3.
+    struct Diode;
+
+    impl NonlinearSystem for Diode {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            out[0] = 1e-14 * ((x[0] / 0.026).exp() - 1.0) - 1e-3;
+            Ok(())
+        }
+        fn jacobian(&self, x: &[f64], out: &mut Matrix) -> Result<(), NumericsError> {
+            out[(0, 0)] = 1e-14 / 0.026 * (x[0] / 0.026).exp();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn damping_handles_stiff_exponential() {
+        let opts = NewtonOptions {
+            residual_tolerance: 1e-15,
+            ..NewtonOptions::default()
+        };
+        let sol = solve_newton(&Diode, &[0.8], opts).unwrap();
+        let expected = 0.026 * (1e-3_f64 / 1e-14 + 1.0).ln();
+        assert!((sol.x[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        assert!(solve_newton(&Circle, &[1.0], NewtonOptions::default()).is_err());
+    }
+
+    #[test]
+    fn already_converged_returns_zero_iterations() {
+        let s = std::f64::consts::SQRT_2;
+        let sol = solve_newton(&Circle, &[s, s], NewtonOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+    }
+}

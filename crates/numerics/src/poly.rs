@@ -1,0 +1,171 @@
+//! Polynomials: evaluation, differentiation, and least-squares fitting.
+//!
+//! The Fig.-8 post-processing fits a low-order polynomial to `VREF(T)` to
+//! locate the curvature peak and quantify "bell-ness" of the S0 curve.
+
+use crate::lsq::{fit_least_squares, LeastSquaresFit};
+use crate::{Matrix, NumericsError};
+
+/// A polynomial with coefficients in ascending power order:
+/// `p(x) = c[0] + c[1] x + c[2] x^2 + ...`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_numerics::poly::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, -2.0, 1.0]); // (x-1)^2
+/// assert_eq!(p.eval(3.0), 4.0);
+/// assert_eq!(p.derivative().eval(3.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coefficients: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-power coefficients.
+    ///
+    /// An empty coefficient vector denotes the zero polynomial.
+    #[must_use]
+    pub fn new(coefficients: Vec<f64>) -> Self {
+        Polynomial { coefficients }
+    }
+
+    /// The coefficients in ascending power order.
+    #[must_use]
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Degree (0 for constants and for the zero polynomial).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coefficients.len().saturating_sub(1)
+    }
+
+    /// Evaluates by Horner's rule.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Returns the derivative polynomial.
+    #[must_use]
+    pub fn derivative(&self) -> Polynomial {
+        if self.coefficients.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        let coefficients = self
+            .coefficients
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| k as f64 * c)
+            .collect();
+        Polynomial { coefficients }
+    }
+
+    /// Vertex abscissa `-b / 2a` for a quadratic.
+    ///
+    /// Returns `None` if the polynomial is not a (proper) quadratic.
+    #[must_use]
+    pub fn quadratic_vertex(&self) -> Option<f64> {
+        if self.coefficients.len() == 3 && self.coefficients[2] != 0.0 {
+            Some(-self.coefficients[1] / (2.0 * self.coefficients[2]))
+        } else {
+            None
+        }
+    }
+}
+
+/// Fits a polynomial of the given degree to `(xs, ys)` by least squares.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInput`] if fewer than `degree + 1` points are
+///   given or the lengths differ.
+/// - Propagates factorization failures (e.g. repeated abscissae).
+pub fn fit_polynomial(
+    xs: &[f64],
+    ys: &[f64],
+    degree: usize,
+) -> Result<(Polynomial, LeastSquaresFit), NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::dims(format!(
+            "fit_polynomial: {} abscissae vs {} ordinates",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < degree + 1 {
+        return Err(NumericsError::invalid(format!(
+            "fit_polynomial: degree {degree} needs at least {} points, got {}",
+            degree + 1,
+            xs.len()
+        )));
+    }
+    let mut design = Matrix::zeros(xs.len(), degree + 1);
+    for (i, &x) in xs.iter().enumerate() {
+        let mut power = 1.0;
+        for j in 0..=degree {
+            design[(i, j)] = power;
+            power *= x;
+        }
+    }
+    let fit = fit_least_squares(&design, ys)?;
+    Ok((Polynomial::new(fit.coefficients().to_vec()), fit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horner_matches_direct_evaluation() {
+        let p = Polynomial::new(vec![2.0, -1.0, 0.5, 3.0]);
+        let x = 1.7;
+        let direct = 2.0 - 1.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+        assert!((p.eval(x) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        let p = Polynomial::new(vec![0.0, 0.0, 0.0, 1.0]); // x^3
+        let d = p.derivative();
+        assert_eq!(d.coefficients(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_polynomial_derivative() {
+        assert_eq!(Polynomial::new(vec![]).derivative().eval(10.0), 0.0);
+        assert_eq!(Polynomial::new(vec![5.0]).derivative().eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_quadratic() {
+        let xs: Vec<f64> = (-5..=5).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 + 2.0 * x - 0.5 * x * x).collect();
+        let (p, fit) = fit_polynomial(&xs, &ys, 2).unwrap();
+        assert!((p.coefficients()[0] - 1.0).abs() < 1e-10);
+        assert!((p.coefficients()[1] - 2.0).abs() < 1e-10);
+        assert!((p.coefficients()[2] + 0.5).abs() < 1e-10);
+        assert!(fit.r_squared() > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn quadratic_vertex_location() {
+        // Bell curve peaked at x = 2.
+        let p = Polynomial::new(vec![0.0, 4.0, -1.0]);
+        assert!((p.quadratic_vertex().unwrap() - 2.0).abs() < 1e-12);
+        assert!(Polynomial::new(vec![1.0, 1.0]).quadratic_vertex().is_none());
+    }
+
+    #[test]
+    fn fit_rejects_too_few_points() {
+        assert!(fit_polynomial(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+    }
+}

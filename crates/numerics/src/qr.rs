@@ -1,0 +1,222 @@
+//! Householder QR factorization and least-squares solves.
+//!
+//! QR is the numerically preferred backend for the eq.-13 best fit: the
+//! design matrix columns (`1 - T/T0` and `(kT/q) ln(T/T0)`) are strongly
+//! correlated over a narrow temperature range, which is exactly the
+//! conditioning regime where normal equations lose digits. The normal
+//! equations variant is kept in [`crate::lsq`] as an ablation.
+
+use crate::matrix::vec_norm;
+use crate::{Matrix, NumericsError};
+
+/// A Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_numerics::{qr::QrFactorization, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let qr = QrFactorization::factor(&a)?;
+/// let x = qr.solve_least_squares(&[1.0, 3.0, 5.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+/// # Ok::<(), icvbe_numerics::NumericsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrFactorization {
+    /// R is stored in the upper triangle; the Householder vectors (with
+    /// implicit leading 1) below the diagonal.
+    packed: Matrix,
+    /// Scalar `beta` of each Householder reflector `H = I - beta v v^T`.
+    betas: Vec<f64>,
+    /// Magnitude scale of the original matrix, for relative singularity
+    /// checks.
+    scale: f64,
+}
+
+/// Relative threshold (scaled by the matrix magnitude) below which a column
+/// norm marks rank deficiency.
+const RANK_TOLERANCE: f64 = 1e-13;
+
+impl QrFactorization {
+    /// Factors a matrix with at least as many rows as columns.
+    ///
+    /// # Errors
+    ///
+    /// - [`NumericsError::DimensionMismatch`] if `a.rows() < a.cols()`.
+    /// - [`NumericsError::SingularMatrix`] if a column is numerically rank
+    ///   deficient.
+    /// - [`NumericsError::InvalidInput`] for non-finite entries.
+    pub fn factor(a: &Matrix) -> Result<Self, NumericsError> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(NumericsError::dims(format!(
+                "QR needs rows >= cols, got {m}x{n}"
+            )));
+        }
+        if !a.is_finite() {
+            return Err(NumericsError::invalid("QR input contains non-finite entries"));
+        }
+        let mut packed = a.clone();
+        let mut betas = vec![0.0; n];
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Householder vector for column k, rows k..m.
+            let mut col: Vec<f64> = (k..m).map(|i| packed[(i, k)]).collect();
+            let alpha = vec_norm(&col);
+            if alpha < RANK_TOLERANCE * scale {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            let sign = if col[0] >= 0.0 { 1.0 } else { -1.0 };
+            col[0] += sign * alpha;
+            let vnorm2: f64 = col.iter().map(|v| v * v).sum();
+            let beta = 2.0 / vnorm2;
+            betas[k] = beta;
+
+            // Apply H = I - beta v v^T to the trailing columns (incl. k).
+            for j in k..n {
+                let dot: f64 = (k..m).map(|i| col[i - k] * packed[(i, j)]).sum();
+                let s = beta * dot;
+                for i in k..m {
+                    packed[(i, j)] -= s * col[i - k];
+                }
+            }
+            // Store v below the diagonal (v[0] implied by R's diagonal sign
+            // convention; we store the full v scaled so v[0] = 1).
+            let v0 = col[0];
+            for i in (k + 1)..m {
+                packed[(i, k)] = col[i - k] / v0;
+            }
+            betas[k] *= v0 * v0; // adjust beta for the v0-normalized vector
+        }
+        Ok(QrFactorization {
+            packed,
+            betas,
+            scale,
+        })
+    }
+
+    /// Solves the least-squares problem `min ||A x - b||` for `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len()` differs from
+    /// the row count.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let (m, n) = (self.packed.rows(), self.packed.cols());
+        if b.len() != m {
+            return Err(NumericsError::dims(format!(
+                "solve: matrix has {m} rows, rhs has {} entries",
+                b.len()
+            )));
+        }
+        // Apply Q^T to b.
+        let mut qtb = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            // v = [1, packed[k+1.., k]]
+            let mut dot = qtb[k];
+            for i in (k + 1)..m {
+                dot += self.packed[(i, k)] * qtb[i];
+            }
+            let s = beta * dot;
+            qtb[k] -= s;
+            for i in (k + 1)..m {
+                qtb[i] -= s * self.packed[(i, k)];
+            }
+        }
+        // Back substitution with R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = qtb[i];
+            for j in (i + 1)..n {
+                s -= self.packed[(i, j)] * x[j];
+            }
+            let r = self.packed[(i, i)];
+            if r.abs() < RANK_TOLERANCE * self.scale {
+                return Err(NumericsError::SingularMatrix { pivot: i });
+            }
+            x[i] = s / r;
+        }
+        Ok(x)
+    }
+
+    /// The diagonal of R, whose ratio `|r_max| / |r_min|` estimates the
+    /// conditioning of the design matrix (used by the fitting ablation).
+    #[must_use]
+    pub fn r_diagonal(&self) -> Vec<f64> {
+        (0..self.packed.cols()).map(|i| self.packed[(i, i)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let x = QrFactorization::factor(&a)
+            .unwrap()
+            .solve_least_squares(&[4.0, 9.0])
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_fit_matches_normal_equations() {
+        // y = 2 + 0.5 x with noise-free data: LSQ must recover exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 2.0 + 0.5 * x).collect();
+        let x = QrFactorization::factor(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = [1.0, 0.0, 2.0];
+        let x = QrFactorization::factor(&a)
+            .unwrap()
+            .solve_least_squares(&b)
+            .unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| q - p).collect();
+        let at = a.transpose();
+        let atr = at.mul_vec(&r).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-12, "normal-equation residual {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = Matrix::zeros(2, 3);
+        assert!(QrFactorization::factor(&a).is_err());
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(matches!(
+            QrFactorization::factor(&a),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn r_diagonal_has_expected_length() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let qr = QrFactorization::factor(&a).unwrap();
+        assert_eq!(qr.r_diagonal().len(), 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Scalar root finding: bisection, Brent's method, and damped Newton.
+//!
+//! Used to invert device characteristics (find the `VBE` giving a target
+//! `IC`) and to solve the electro-thermal self-heating fixed point.
+
+use crate::NumericsError;
+
+/// Options controlling a scalar root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootOptions {
+    /// Absolute tolerance on the abscissa.
+    pub x_tolerance: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for RootOptions {
+    fn default() -> Self {
+        RootOptions {
+            x_tolerance: 1e-14,
+            f_tolerance: 1e-14,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust but linearly convergent; prefer [`brent`] unless the function is
+/// pathological.
+///
+/// # Errors
+///
+/// - [`NumericsError::NoBracket`] if `f(lo)` and `f(hi)` have the same sign.
+/// - [`NumericsError::InvalidInput`] if the interval is degenerate or `f`
+///   returns a non-finite value.
+/// - [`NumericsError::NoConvergence`] if the budget is exhausted.
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<f64, NumericsError> {
+    if !(lo < hi) {
+        return Err(NumericsError::invalid(format!(
+            "bisect: invalid interval [{lo}, {hi}]"
+        )));
+    }
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericsError::invalid("bisect: non-finite endpoint value"));
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..options.max_iterations {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(NumericsError::invalid("bisect: non-finite midpoint value"));
+        }
+        if fm.abs() <= options.f_tolerance || (b - a) <= options.x_tolerance {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: b - a,
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` with Brent's method (inverse quadratic
+/// interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    options: RootOptions,
+) -> Result<f64, NumericsError> {
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericsError::invalid("brent: non-finite endpoint value"));
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { f_lo: fa, f_hi: fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+
+    for _ in 0..options.max_iterations {
+        if fb.abs() <= options.f_tolerance || (a - b).abs() <= options.x_tolerance {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo_guard = (3.0 * a + b) / 4.0;
+        let cond1 = !((s > lo_guard.min(b)) && (s < lo_guard.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < options.x_tolerance;
+        let cond5 = !mflag && (c - d).abs() < options.x_tolerance;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        if !fs.is_finite() {
+            return Err(NumericsError::invalid("brent: non-finite trial value"));
+        }
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fb.abs(),
+    })
+}
+
+/// Damped scalar Newton iteration from an initial guess.
+///
+/// The step is halved (up to 30 times) whenever it fails to reduce `|f|`,
+/// which keeps the exponential device equations from overshooting.
+///
+/// # Errors
+///
+/// - [`NumericsError::InvalidInput`] if derivative or value become
+///   non-finite or the derivative vanishes.
+/// - [`NumericsError::NoConvergence`] if the budget is exhausted.
+pub fn newton_scalar(
+    mut f: impl FnMut(f64) -> (f64, f64),
+    x0: f64,
+    options: RootOptions,
+) -> Result<f64, NumericsError> {
+    let mut x = x0;
+    let (mut fx, mut dfx) = f(x);
+    for _ in 0..options.max_iterations {
+        if !fx.is_finite() || !dfx.is_finite() {
+            return Err(NumericsError::invalid("newton: non-finite value or slope"));
+        }
+        if fx.abs() <= options.f_tolerance {
+            return Ok(x);
+        }
+        if dfx == 0.0 {
+            return Err(NumericsError::invalid("newton: zero derivative"));
+        }
+        let full_step = fx / dfx;
+        let mut damping = 1.0;
+        let mut accepted = false;
+        for _ in 0..30 {
+            let trial = x - damping * full_step;
+            let (ft, dft) = f(trial);
+            if ft.is_finite() && ft.abs() < fx.abs() {
+                x = trial;
+                fx = ft;
+                dfx = dft;
+                accepted = true;
+                break;
+            }
+            damping *= 0.5;
+        }
+        if !accepted {
+            // Take the tiny damped step anyway; if it no longer moves x we
+            // are at numerical stagnation.
+            let trial = x - damping * full_step;
+            if trial == x {
+                return Ok(x);
+            }
+            let (ft, dft) = f(trial);
+            x = trial;
+            fx = ft;
+            dfx = dft;
+        }
+        if (damping * full_step).abs() <= options.x_tolerance {
+            return Ok(x);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        iterations: options.max_iterations,
+        residual: fx.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootOptions::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_fast() {
+        let mut calls = 0;
+        let r = brent(
+            |x| {
+                calls += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(calls < 30, "brent took {calls} calls");
+    }
+
+    #[test]
+    fn brent_handles_exponential_diode_like_function() {
+        // Solve exp(x/0.026) = 1e6, i.e. a diode inversion.
+        let r = brent(
+            |x| (x / 0.026).exp() - 1e6,
+            0.0,
+            1.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!((r - 0.026 * 1e6_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_bracket_is_reported() {
+        let e = brent(|x| x * x + 1.0, -1.0, 1.0, RootOptions::default()).unwrap_err();
+        assert!(matches!(e, NumericsError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn newton_converges_quadratically() {
+        let r = newton_scalar(|x| (x * x - 2.0, 2.0 * x), 1.0, RootOptions::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newton_damps_on_overshoot() {
+        // f(x) = atan(x): undamped Newton diverges from |x0| > ~1.39.
+        let r = newton_scalar(
+            |x| (x.atan(), 1.0 / (1.0 + x * x)),
+            5.0,
+            RootOptions::default(),
+        )
+        .unwrap();
+        assert!(r.abs() < 1e-9);
+    }
+
+    #[test]
+    fn endpoint_roots_returned_immediately() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_degenerate_interval() {
+        assert!(bisect(|x| x, 1.0, 1.0, RootOptions::default()).is_err());
+    }
+}

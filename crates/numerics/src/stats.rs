@@ -1,0 +1,189 @@
+//! Descriptive statistics and simple linear regression.
+//!
+//! The "characteristic straight" of Fig. 6 is summarized by the slope and
+//! intercept of a simple regression of extracted `EG` on the `XTI` grid.
+
+use crate::NumericsError;
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for a single observation).
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Computes summary statistics of a non-empty sample.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidInput`] if the sample is empty or contains
+/// non-finite values.
+pub fn sample_stats(values: &[f64]) -> Result<SampleStats, NumericsError> {
+    if values.is_empty() {
+        return Err(NumericsError::invalid("stats: empty sample"));
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::invalid("stats: non-finite value in sample"));
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = if values.len() > 1 {
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(SampleStats {
+        count: values.len(),
+        mean,
+        variance,
+        min,
+        max,
+    })
+}
+
+/// Result of a simple linear regression `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+impl LinearRegression {
+    /// Predicts `y` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Simple regression of `ys` on `xs`.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidInput`] for mismatched lengths, fewer than two
+/// points, non-finite values, or zero variance in `xs`.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<LinearRegression, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::dims(format!(
+            "regression: {} xs vs {} ys",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(NumericsError::invalid("regression: need at least two points"));
+    }
+    if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericsError::invalid("regression: non-finite data"));
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    if sxx == 0.0 {
+        return Err(NumericsError::invalid("regression: xs have zero variance"));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearRegression {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Maximum absolute difference between paired samples.
+///
+/// # Errors
+///
+/// [`NumericsError::DimensionMismatch`] if lengths differ.
+pub fn max_abs_difference(a: &[f64], b: &[f64]) -> Result<f64, NumericsError> {
+    if a.len() != b.len() {
+        return Err(NumericsError::dims(format!(
+            "max_abs_difference: {} vs {}",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_sample() {
+        let s = sample_stats(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.variance - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_point_has_zero_variance() {
+        let s = sample_stats(&[7.0]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn regression_recovers_exact_line() {
+        let xs = [0.5, 1.5, 2.5, 6.5];
+        let ys: Vec<f64> = xs.iter().map(|x| 1.2 - 0.021 * x).collect();
+        let r = linear_regression(&xs, &ys).unwrap();
+        assert!((r.slope + 0.021).abs() < 1e-12);
+        assert!((r.intercept - 1.2).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+        assert!((r.predict(3.0) - (1.2 - 0.063)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_rejects_degenerate_input() {
+        assert!(linear_regression(&[1.0, 1.0], &[0.0, 1.0]).is_err());
+        assert!(linear_regression(&[1.0], &[0.0]).is_err());
+        assert!(linear_regression(&[1.0, 2.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn max_abs_difference_finds_worst_pair() {
+        let d = max_abs_difference(&[1.0, 2.0, 3.0], &[1.1, 1.5, 3.0]).unwrap();
+        assert!((d - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stats_reject_empty_and_nan() {
+        assert!(sample_stats(&[]).is_err());
+        assert!(sample_stats(&[f64::NAN]).is_err());
+    }
+}

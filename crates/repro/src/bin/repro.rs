@@ -1,0 +1,109 @@
+//! Regenerates every table and figure of the paper and prints the reports.
+//!
+//! Usage: `repro [fig1|fig2|fig5|fig6|table1|fig8|sens]... [--save DIR]`
+//! (no artifact arguments = run everything; `--save` also writes each
+//! report to `DIR/<id>.txt`).
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--save") {
+        let dir: PathBuf = args
+            .get(pos + 1)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("reports"));
+        args.drain(pos..(pos + 2).min(args.len()));
+        let reports = icvbe_repro::report::collect_all_reports();
+        return match icvbe_repro::report::save_reports(&dir, &reports) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("wrote {}", p.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("failed to save reports: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let all = args.is_empty();
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let mut failed = false;
+
+    if want("fig1") {
+        println!("{}", icvbe_repro::fig1::render(&icvbe_repro::fig1::run()));
+    }
+    if want("fig2") {
+        match icvbe_repro::fig2::run() {
+            Ok(r) => println!("{}", icvbe_repro::fig2::render(&r)),
+            Err(e) => {
+                eprintln!("FIG2 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("fig5") {
+        match icvbe_repro::fig5::run() {
+            Ok(r) => println!("{}", icvbe_repro::fig5::render(&r)),
+            Err(e) => {
+                eprintln!("FIG5 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("fig6") {
+        match icvbe_repro::fig6::run() {
+            Ok(r) => println!("{}", icvbe_repro::fig6::render(&r)),
+            Err(e) => {
+                eprintln!("FIG6 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("table1") {
+        match icvbe_repro::table1::run() {
+            Ok(r) => println!("{}", icvbe_repro::table1::render(&r)),
+            Err(e) => {
+                eprintln!("TABLE1 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("fig8") {
+        match icvbe_repro::fig8::run() {
+            Ok(r) => println!("{}", icvbe_repro::fig8::render(&r)),
+            Err(e) => {
+                eprintln!("FIG8 failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("sens") {
+        match icvbe_repro::sensitivity::run() {
+            Ok(r) => println!("{}", icvbe_repro::sensitivity::render(&r)),
+            Err(e) => {
+                eprintln!("SENS failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if want("ext") {
+        match icvbe_repro::ext_banba::run() {
+            Ok(r) => println!("{}", icvbe_repro::ext_banba::render(&r)),
+            Err(e) => {
+                eprintln!("EXT failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,145 @@
+//! EXT — the sub-1V current-mode reference (extension experiment).
+//!
+//! Not in the paper's evaluation, but squarely in its motivation: the
+//! introduction cites Banba's sub-1V bandgap as the class of design that
+//! needs the accurate `EG`/`XTI` the test structure delivers. This
+//! experiment quantifies that need: the same silicon trimmed with the
+//! truth card vs the generic foundry card.
+
+use icvbe_bandgap::banba::BanbaCell;
+use icvbe_bandgap::card::{st_bicmos_pnp, standard_model_card};
+use icvbe_spice::SpiceError;
+use icvbe_units::{Celsius, Kelvin};
+
+use crate::render::{AsciiPlot, Table};
+
+/// Result of the extension experiment.
+#[derive(Debug, Clone)]
+pub struct ExtBanbaResult {
+    /// Temperatures of the sweep (K).
+    pub temperatures: Vec<f64>,
+    /// `VREF(T)` with `R0` trimmed on the truth card.
+    pub vref_truth_trim: Vec<f64>,
+    /// `VREF(T)` of the same silicon with `R0` trimmed on the generic
+    /// foundry card (wrong `EG`/`XTI`).
+    pub vref_generic_trim: Vec<f64>,
+    /// Spread of the truth-trimmed curve, volts.
+    pub spread_truth: f64,
+    /// Spread of the generic-trimmed curve, volts.
+    pub spread_generic: f64,
+}
+
+fn sweep(cell: &BanbaCell, temps: &[f64]) -> Result<Vec<f64>, SpiceError> {
+    let mut out = Vec::with_capacity(temps.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &t in temps {
+        let r = cell.solve_with(Kelvin::new(t), warm.as_deref())?;
+        out.push(r.vref.value());
+        warm = Some(r.solution);
+    }
+    Ok(out)
+}
+
+fn spread(vs: &[f64]) -> f64 {
+    vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - vs.iter().cloned().fold(f64::INFINITY, f64::min)
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn run() -> Result<ExtBanbaResult, SpiceError> {
+    let temps: Vec<f64> = (0..8).map(|i| 223.15 + 25.0 * i as f64).collect();
+
+    // Silicon trimmed against its own (truth) card.
+    let truth_cell = BanbaCell::nominal(st_bicmos_pnp());
+    truth_cell.calibrate(Kelvin::new(298.15))?;
+    let vref_truth_trim = sweep(&truth_cell, &temps)?;
+
+    // Same silicon, R0 from a trim performed on the generic card.
+    let generic_design = BanbaCell::nominal(standard_model_card());
+    let r0_generic = generic_design.calibrate(Kelvin::new(298.15))?;
+    let silicon = BanbaCell::nominal(st_bicmos_pnp());
+    silicon.r0.set(r0_generic.value());
+    let vref_generic_trim = sweep(&silicon, &temps)?;
+
+    Ok(ExtBanbaResult {
+        spread_truth: spread(&vref_truth_trim),
+        spread_generic: spread(&vref_generic_trim),
+        temperatures: temps,
+        vref_truth_trim,
+        vref_generic_trim,
+    })
+}
+
+/// Renders the report.
+#[must_use]
+pub fn render(r: &ExtBanbaResult) -> String {
+    let mut out = String::from(
+        "EXT: sub-1V current-mode reference — trim card matters (extension)\n\n",
+    );
+    let mut t = Table::new(vec![
+        "T [C]".into(),
+        "truth-card trim [V]".into(),
+        "generic-card trim [V]".into(),
+    ]);
+    for (i, &tk) in r.temperatures.iter().enumerate() {
+        t.add_row(vec![
+            format!("{:.0}", Celsius::from(Kelvin::new(tk)).value()),
+            format!("{:.5}", r.vref_truth_trim[i]),
+            format!("{:.5}", r.vref_generic_trim[i]),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nspread over -50..125 C: truth trim {:.2} mV, generic trim {:.2} mV\n\n",
+        r.spread_truth * 1e3,
+        r.spread_generic * 1e3
+    ));
+    let mut plot = AsciiPlot::new("EXT — sub-1V VREF(T)");
+    let series = |vs: &[f64]| {
+        r.temperatures
+            .iter()
+            .zip(vs)
+            .map(|(&t, &v)| (t - 273.15, v))
+            .collect::<Vec<_>>()
+    };
+    plot.add_series("t: truth trim", series(&r.vref_truth_trim));
+    plot.add_series("g: generic trim", series(&r.vref_generic_trim));
+    out.push_str(&plot.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_curves_are_sub_1v() {
+        let r = run().unwrap();
+        for v in r.vref_truth_trim.iter().chain(&r.vref_generic_trim) {
+            assert!(*v > 0.4 && *v < 1.0, "VREF {v}");
+        }
+    }
+
+    #[test]
+    fn truth_trim_beats_generic_trim() {
+        let r = run().unwrap();
+        assert!(
+            r.spread_truth < r.spread_generic,
+            "truth {} vs generic {}",
+            r.spread_truth,
+            r.spread_generic
+        );
+        // The truth trim holds the reference to a few millivolts.
+        assert!(r.spread_truth < 5e-3);
+    }
+
+    #[test]
+    fn render_names_both_curves() {
+        let s = render(&run().unwrap());
+        assert!(s.contains("truth") && s.contains("generic"));
+    }
+}

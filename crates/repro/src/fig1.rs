@@ -1,0 +1,132 @@
+//! FIG1 — the five `EG(T)` models of Fig. 1 and their 0 K disagreement.
+
+use icvbe_devphys::eg::{figure1_models, EgModel, LinearEgModel, LogEgModel, VarshniEgModel};
+use icvbe_units::Kelvin;
+
+use crate::render::{AsciiPlot, Table};
+
+/// Result of the FIG1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// `(model name, EG(0K) eV, EG(300K) eV)` per model.
+    pub intercepts: Vec<(String, f64, f64)>,
+    /// `EG5(0) - EG2(0)` in eV — the paper quotes ~22 meV.
+    pub eg5_eg2_zero_gap: f64,
+    /// Tangent-extrapolated `EG0` of EG5 minus its true intercept — the
+    /// "magnified" discrepancy of Fig. 1.
+    pub linearization_overshoot: f64,
+    /// Temperature grid (K).
+    pub grid: Vec<f64>,
+    /// Per-model curves on the grid, `(name, eg values)`.
+    pub curves: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the experiment: evaluates EG1..EG5 on 0..450 K.
+#[must_use]
+pub fn run() -> Fig1Result {
+    let models = figure1_models();
+    let grid: Vec<f64> = (0..=90).map(|i| i as f64 * 5.0).collect();
+    let mut curves = Vec::new();
+    let mut intercepts = Vec::new();
+    for m in &models {
+        let values: Vec<f64> = grid.iter().map(|&t| m.eg(Kelvin::new(t)).value()).collect();
+        intercepts.push((
+            m.name().to_string(),
+            m.eg_at_zero().value(),
+            m.eg(Kelvin::new(300.0)).value(),
+        ));
+        curves.push((m.name().to_string(), values));
+    }
+    let eg5 = LogEgModel::eg5();
+    let eg2 = VarshniEgModel::eg2();
+    let overshoot = LinearEgModel::eg1().eg_at_zero().value() - eg5.eg_at_zero().value();
+    Fig1Result {
+        intercepts,
+        eg5_eg2_zero_gap: eg5.eg_at_zero().value() - eg2.eg_at_zero().value(),
+        linearization_overshoot: overshoot,
+        grid,
+        curves,
+    }
+}
+
+/// Renders the report (table of intercepts + ASCII recreation of Fig. 1).
+#[must_use]
+pub fn render(r: &Fig1Result) -> String {
+    let mut out = String::from("FIG1: temperature models of the silicon bandgap\n\n");
+    let mut t = Table::new(vec![
+        "model".into(),
+        "EG(0 K) [eV]".into(),
+        "EG(300 K) [eV]".into(),
+    ]);
+    for (name, zero, room) in &r.intercepts {
+        t.add_row(vec![name.clone(), format!("{zero:.4}"), format!("{room:.4}")]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nEG5(0) - EG2(0) = {:.1} meV (paper: ~22 meV)\n",
+        r.eg5_eg2_zero_gap * 1e3
+    ));
+    out.push_str(&format!(
+        "EG0 tangent extrapolation overshoot vs EG5(0): {:.1} meV\n\n",
+        r.linearization_overshoot * 1e3
+    ));
+    let mut plot = AsciiPlot::new("Fig. 1 — EG(T), 0..450 K");
+    for (name, values) in &r.curves {
+        let pts: Vec<(f64, f64)> = r.grid.iter().cloned().zip(values.iter().cloned()).collect();
+        // Label glyphs: 1..5 so curves are distinguishable.
+        let glyph_label = format!("{}{}", &name[2..], name);
+        plot.add_series(&glyph_label, pts);
+    }
+    out.push_str(&plot.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_matches_paper() {
+        let r = run();
+        assert!((r.eg5_eg2_zero_gap * 1e3 - 21.7).abs() < 0.5, "gap {} meV", r.eg5_eg2_zero_gap * 1e3);
+    }
+
+    #[test]
+    fn five_models_on_common_grid() {
+        let r = run();
+        assert_eq!(r.curves.len(), 5);
+        assert_eq!(r.intercepts.len(), 5);
+        for (_, values) in &r.curves {
+            assert_eq!(values.len(), r.grid.len());
+        }
+    }
+
+    #[test]
+    fn overshoot_is_tens_of_mev() {
+        let r = run();
+        assert!(r.linearization_overshoot > 0.01 && r.linearization_overshoot < 0.12);
+    }
+
+    #[test]
+    fn render_mentions_every_model() {
+        let r = run();
+        let s = render(&r);
+        for name in ["EG1", "EG2", "EG3", "EG4", "EG5"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn all_curves_within_figure_axis_range() {
+        // Fig. 1's y axis spans 1.06..1.22 eV over 0..450 K.
+        let r = run();
+        for (name, values) in &r.curves {
+            for (&t, &v) in r.grid.iter().zip(values) {
+                assert!(
+                    v > 1.02 && v < 1.23,
+                    "{name} leaves the figure range at {t} K: {v}"
+                );
+            }
+        }
+    }
+}

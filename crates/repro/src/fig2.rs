@@ -1,0 +1,109 @@
+//! FIG2 — the pair-bias principle: `dVBE` of the QA/QB pair is PTAT.
+
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_bandgap::pair::PairStructure;
+use icvbe_numerics::stats::linear_regression;
+use icvbe_spice::SpiceError;
+use icvbe_units::constants::BOLTZMANN_OVER_Q;
+use icvbe_units::{Ampere, Celsius, Kelvin};
+
+use crate::render::{AsciiPlot, Table};
+
+/// Result of the FIG2 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// `(T kelvin, dVBE volts)` of the solved structure.
+    pub points: Vec<(f64, f64)>,
+    /// Fitted slope of `dVBE(T)` in V/K.
+    pub slope: f64,
+    /// Ideal PTAT slope `(k/q) ln 8`.
+    pub ideal_slope: f64,
+    /// Regression R² — how PTAT the structure really is.
+    pub r_squared: f64,
+}
+
+/// Solves the Fig.-2 structure from -50 to 125 °C and fits the PTAT law.
+///
+/// # Errors
+///
+/// Propagates circuit solve failures.
+pub fn run() -> Result<Fig2Result, SpiceError> {
+    let pair = PairStructure::ideal(st_bicmos_pnp(), Ampere::new(1e-6));
+    let mut points = Vec::new();
+    for i in 0..8 {
+        let t = Celsius::new(-50.0 + 25.0 * i as f64).to_kelvin();
+        let r = pair.measure(t)?;
+        points.push((t.value(), r.dvbe.value()));
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let reg = linear_regression(&xs, &ys).map_err(SpiceError::from)?;
+    Ok(Fig2Result {
+        points,
+        slope: reg.slope,
+        ideal_slope: BOLTZMANN_OVER_Q * 8.0_f64.ln(),
+        r_squared: reg.r_squared,
+    })
+}
+
+/// Renders the report.
+#[must_use]
+pub fn render(r: &Fig2Result) -> String {
+    let mut out = String::from("FIG2: dVBE of the QA/QB pair under equal forced currents\n\n");
+    let mut t = Table::new(vec!["T [K]".into(), "dVBE [mV]".into(), "(k/q)T ln8 [mV]".into()]);
+    for &(tk, dv) in &r.points {
+        t.add_row(vec![
+            format!("{tk:.2}"),
+            format!("{:.3}", dv * 1e3),
+            format!("{:.3}", BOLTZMANN_OVER_Q * tk * 8.0_f64.ln() * 1e3),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nslope = {:.4} uV/K (ideal {:.4} uV/K), R^2 = {:.9}\n\n",
+        r.slope * 1e6,
+        r.ideal_slope * 1e6,
+        r.r_squared
+    ));
+    let mut plot = AsciiPlot::new("Fig. 2 — dVBE(T) is PTAT");
+    plot.add_series("dVBE", r.points.clone());
+    out.push_str(&plot.render());
+    out
+}
+
+/// The ideal `dVBE` at a temperature, for cross-checks.
+#[must_use]
+pub fn ideal_dvbe(t: Kelvin) -> f64 {
+    BOLTZMANN_OVER_Q * t.value() * 8.0_f64.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_is_ptat_to_high_accuracy() {
+        let r = run().unwrap();
+        assert!(r.r_squared > 0.999_99, "R² = {}", r.r_squared);
+        assert!(
+            (r.slope - r.ideal_slope).abs() / r.ideal_slope < 0.01,
+            "slope {} vs ideal {}",
+            r.slope,
+            r.ideal_slope
+        );
+    }
+
+    #[test]
+    fn eight_points_like_the_paper() {
+        let r = run().unwrap();
+        assert_eq!(r.points.len(), 8);
+        assert!((r.points[0].0 - 223.15).abs() < 1e-9);
+        assert!((r.points[7].0 - 398.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_slope() {
+        let r = run().unwrap();
+        assert!(render(&r).contains("slope"));
+    }
+}

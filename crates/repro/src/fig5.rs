@@ -1,0 +1,184 @@
+//! FIG5 — the measured `IC(VBE)` family, -50.88 to 126.9 °C.
+//!
+//! A single test PNP is swept in `VBE` at the paper's eight chuck
+//! temperatures through the full simulator path (voltage source, probe
+//! resistance, Newton solve per point), reproducing the semilog family of
+//! Fig. 5: leakage-floor at the bottom, ideal 60 mV/decade midrange,
+//! high-injection bend at the top.
+
+use icvbe_bandgap::card::st_bicmos_pnp;
+use icvbe_core::data::{IcVbeFamily, IcVbeSweep};
+use icvbe_spice::bjt::{Bjt, BjtParams, Polarity};
+use icvbe_spice::element::{Resistor, VoltageSource};
+use icvbe_spice::netlist::Circuit;
+use icvbe_spice::param::Param;
+use icvbe_spice::solver::DcOptions;
+use icvbe_spice::sweep::dc_sweep;
+use icvbe_spice::SpiceError;
+use icvbe_units::{Ampere, Celsius, Kelvin, Ohm, Volt};
+
+use crate::render::AsciiPlot;
+
+/// The paper's eight chuck temperatures (°C).
+pub const PAPER_TEMPERATURES_C: [f64; 8] = [
+    -50.88, -25.47, -0.07, 27.36, 50.74, 76.13, 101.6, 126.9,
+];
+
+/// Result of the FIG5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The full family as extraction-ready data.
+    pub family: IcVbeFamily,
+}
+
+/// Sweeps one device at one temperature through the solver.
+///
+/// # Errors
+///
+/// Propagates circuit failures.
+fn sweep_at(card: BjtParams, temperature: Kelvin) -> Result<IcVbeSweep, SpiceError> {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let force = ckt.node("force");
+    let emitter = ckt.node("emitter");
+    let vbe = Param::new(0.1);
+    ckt.add(VoltageSource::new("VF", force, gnd, Volt::new(0.1)).with_handle(vbe.clone()));
+    // 1 ohm probe/cable resistance so the solve is nontrivial.
+    ckt.add(Resistor::new("RPROBE", force, emitter, Ohm::new(1.0))?);
+    ckt.add(Bjt::new("DUT", gnd, gnd, emitter, Polarity::Pnp, card)?);
+
+    let values: Vec<f64> = (0..=60).map(|i| 0.1 + 0.02 * i as f64).collect();
+    let points = dc_sweep(&ckt, &vbe, &values, temperature, &DcOptions::default())?;
+    let mut vbe_out = Vec::with_capacity(points.len());
+    let mut ic_out = Vec::with_capacity(points.len());
+    let dut = Bjt::new("DUT", gnd, gnd, emitter, Polarity::Pnp, card)?;
+    for (v, op) in values.iter().zip(&points) {
+        let ve = op.voltage(emitter);
+        let i = dut
+            .dc_currents(Volt::new(0.0), Volt::new(0.0), ve, temperature)
+            .ic
+            .value()
+            .abs();
+        vbe_out.push(Volt::new(*v));
+        ic_out.push(Ampere::new(i.max(1e-16)));
+    }
+    IcVbeSweep::new(temperature, vbe_out, ic_out).map_err(|e| SpiceError::NoConvergence {
+        strategy: format!("sweep assembly: {e}"),
+        residual: f64::NAN,
+    })
+}
+
+/// Runs the full eight-temperature family.
+///
+/// # Errors
+///
+/// Propagates circuit failures.
+pub fn run() -> Result<Fig5Result, SpiceError> {
+    let card = st_bicmos_pnp();
+    let mut sweeps = Vec::new();
+    for &c in &PAPER_TEMPERATURES_C {
+        sweeps.push(sweep_at(card, Celsius::new(c).to_kelvin())?);
+    }
+    let family = IcVbeFamily::new(sweeps).map_err(|e| SpiceError::NoConvergence {
+        strategy: format!("family assembly: {e}"),
+        residual: f64::NAN,
+    })?;
+    Ok(Fig5Result { family })
+}
+
+/// Renders the semilog family.
+#[must_use]
+pub fn render(r: &Fig5Result) -> String {
+    let mut out =
+        String::from("FIG5: IC(VBE) family of one PNP, -50.88 .. 126.9 C (semilog)\n\n");
+    let mut plot = AsciiPlot::new("Fig. 5 — IC(VBE), one glyph per temperature").with_log_y();
+    for (i, s) in r.family.sweeps().iter().enumerate() {
+        let pts: Vec<(f64, f64)> = s
+            .vbe
+            .iter()
+            .zip(&s.ic)
+            .map(|(v, i)| (v.value(), i.value()))
+            .collect();
+        let label = format!("{}  T = {:.2} C", i, s.temperature.to_celsius().value());
+        plot.add_series(&label, pts);
+    }
+    out.push_str(&plot.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_has_eight_members() {
+        let r = run().unwrap();
+        assert_eq!(r.family.sweeps().len(), 8);
+    }
+
+    #[test]
+    fn currents_span_many_decades() {
+        // Fig. 5's axis runs 1e-14 .. 1e-2 A.
+        let r = run().unwrap();
+        for s in r.family.sweeps() {
+            let min = s.ic.iter().map(|i| i.value()).fold(f64::INFINITY, f64::min);
+            let max = s.ic.iter().map(|i| i.value()).fold(0.0_f64, f64::max);
+            assert!(min < 1e-9, "floor {min:e}");
+            assert!(max > 1e-4, "ceiling {max:e}");
+        }
+    }
+
+    #[test]
+    fn each_sweep_is_monotone_in_current() {
+        let r = run().unwrap();
+        for s in r.family.sweeps() {
+            for w in s.ic.windows(2) {
+                assert!(w[1].value() >= w[0].value());
+            }
+        }
+    }
+
+    #[test]
+    fn hotter_curves_sit_left_constant_current_readout() {
+        // At IC = 1e-6 A, VBE falls ~2 mV/K with temperature.
+        let r = run().unwrap();
+        let curve = r.family.vbe_curve_at(Ampere::new(1e-6)).unwrap();
+        let pts = curve.points();
+        for w in pts.windows(2) {
+            let slope = (w[1].vbe.value() - w[0].vbe.value())
+                / (w[1].temperature.value() - w[0].temperature.value());
+            assert!(
+                slope < -1.4e-3 && slope > -2.6e-3,
+                "dVBE/dT = {slope} between {} and {}",
+                w[0].temperature,
+                w[1].temperature
+            );
+        }
+    }
+
+    #[test]
+    fn midrange_slope_is_60mv_per_decade() {
+        let r = run().unwrap();
+        let s = &r.family.sweeps()[3]; // 27.36 C
+        let v1 = s.vbe_at_current(Ampere::new(1e-7)).unwrap().value();
+        let v2 = s.vbe_at_current(Ampere::new(1e-6)).unwrap().value();
+        let per_decade = v2 - v1;
+        assert!(
+            per_decade > 0.055 && per_decade < 0.065,
+            "slope {per_decade} V/decade"
+        );
+    }
+
+    #[test]
+    fn high_injection_bend_is_visible() {
+        // Decade spacing at the top of the sweep must exceed the ideal
+        // 60 mV (beta droop + knee), as the bent top of Fig. 5 shows.
+        let r = run().unwrap();
+        let s = &r.family.sweeps()[3];
+        let ideal = s.vbe_at_current(Ampere::new(1e-6)).unwrap().value()
+            - s.vbe_at_current(Ampere::new(1e-7)).unwrap().value();
+        let top = s.vbe_at_current(Ampere::new(5e-3)).unwrap().value()
+            - s.vbe_at_current(Ampere::new(5e-4)).unwrap().value();
+        assert!(top > ideal * 1.2, "no bend: top {top} vs ideal {ideal}");
+    }
+}

@@ -1,0 +1,295 @@
+//! FIG6 — the characteristic straights: best fit (C1), analytical with
+//! sensor temperatures (C2), analytical with dVBE-computed die
+//! temperatures (C3).
+//!
+//! The virtual silicon carries everything the real die carried:
+//! self-heating through the package, a dVBE readout-chain offset, the QB
+//! substrate parasitic. The three extraction routes then consume exactly
+//! the data a real bench would give them, and the Fig.-6 geometry emerges:
+//! C1 and C2 coincide (same temperatures in, equivalent mathematics), C3
+//! sits apart (different — die — temperatures in).
+
+use icvbe_core::bestfit;
+use icvbe_core::data::VbeCurve;
+use icvbe_core::meijer::{self, MeijerMeasurement, MeijerPairing, MeijerPoint};
+use icvbe_core::straight::CharacteristicStraight;
+use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
+use icvbe_core::ExtractedPair;
+use icvbe_instrument::bench::{BenchError, PairCampaignPoint, TestStructureBench};
+use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
+use icvbe_units::{Ampere, Celsius, Kelvin};
+
+use crate::render::{AsciiPlot, Table};
+
+/// The XTI grid of the Fig.-6 abscissa.
+#[must_use]
+pub fn xti_grid() -> Vec<f64> {
+    (0..=12).map(|i| 0.5 + 0.5 * i as f64).collect()
+}
+
+/// Result of the FIG6 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// C1: best fit of eq. 13 on sensor-temperature `VBE(T)` curves.
+    pub c1: CharacteristicStraight,
+    /// C2: Meijer equations with sensor temperatures.
+    pub c2: CharacteristicStraight,
+    /// C3: Meijer equations with dVBE-computed die temperatures.
+    pub c3: CharacteristicStraight,
+    /// Full 2x2 analytical extraction with sensor temperatures.
+    pub extraction_sensor: ExtractedPair,
+    /// Full 2x2 analytical extraction with computed temperatures.
+    pub extraction_computed: ExtractedPair,
+    /// The ground-truth pair of the virtual silicon.
+    pub truth: ExtractedPair,
+    /// `|C1 - C2|` vertical offset at the truth XTI, eV.
+    pub c1_c2_offset: f64,
+    /// `|C3 - C2|` vertical offset at the truth XTI, eV.
+    pub c3_c2_offset: f64,
+    /// Computed die temperatures `(T1, T3)` used by C3.
+    pub computed_extremes: (Kelvin, Kelvin),
+}
+
+/// The die used by FIG6 and Table 1 (first sample of the seeded lot).
+#[must_use]
+pub fn reference_sample() -> DieSample {
+    SampleFactory::seeded(2002).draw(1)
+}
+
+fn curve_from_campaign(points: &[PairCampaignPoint]) -> Result<VbeCurve, BenchError> {
+    VbeCurve::from_points(points.iter().map(|p| {
+        (
+            p.sensor_temperature,
+            p.vbe_a,
+            Ampere::new(p.ic_a.value().abs().max(1e-18)),
+        )
+    }))
+    .map_err(|e| {
+        BenchError::Circuit(icvbe_spice::SpiceError::NoConvergence {
+            strategy: format!("curve assembly: {e}"),
+            residual: f64::NAN,
+        })
+    })
+}
+
+/// Computes the die temperatures of the cold/hot points from the dVBE
+/// readings (eq. 19 with the eq.-20 current correction), referenced to the
+/// sensor temperature of the middle point.
+fn computed_temperatures(
+    points: &[PairCampaignPoint; 3],
+) -> Result<(Kelvin, Kelvin), BenchError> {
+    let refp = &points[1];
+    let t2 = refp.sensor_temperature;
+    let compute = |p: &PairCampaignPoint| {
+        let x = PairCurrents {
+            ica_t: p.ic_a,
+            icb_t: p.ic_b,
+            ica_ref: refp.ic_a,
+            icb_ref: refp.ic_b,
+        }
+        .x_factor()?;
+        temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, t2, x)
+    };
+    let t1 = compute(&points[0]).map_err(to_bench_error)?;
+    let t3 = compute(&points[2]).map_err(to_bench_error)?;
+    Ok((t1, t3))
+}
+
+fn to_bench_error(e: icvbe_core::ExtractionError) -> BenchError {
+    BenchError::Circuit(icvbe_spice::SpiceError::NoConvergence {
+        strategy: format!("temperature computation: {e}"),
+        residual: f64::NAN,
+    })
+}
+
+/// Runs the full FIG6 pipeline on the reference die.
+///
+/// # Errors
+///
+/// Propagates bench and extraction failures.
+pub fn run() -> Result<Fig6Result, BenchError> {
+    let sample = reference_sample();
+    let mut bench = TestStructureBench::paper_bench(61);
+    let truth = ExtractedPair {
+        eg: sample.card.eg,
+        xti: sample.card.xti,
+        rms_residual_volts: 0.0,
+    };
+    let grid = xti_grid();
+
+    // --- C1: best fit over IC = 1e-8 .. 1e-5 A (paper's range) ---------
+    let setpoints: Vec<Celsius> = (0..8).map(|i| Celsius::new(-50.0 + 25.0 * i as f64)).collect();
+    let mut curves = Vec::new();
+    for bias in [1e-8, 1e-7, 1e-6, 1e-5] {
+        let pts = bench.run_pair_campaign(&sample, Ampere::new(bias), &setpoints)?;
+        curves.push(curve_from_campaign(&pts)?);
+    }
+    let ref_index = curves[0].closest_index(Kelvin::new(298.15));
+    let c1 = bestfit::characteristic_straight(&curves, ref_index, &grid)
+        .map_err(to_bench_error)?;
+
+    // --- analytical campaign: -25 / 25 / 75 C at 1 uA -------------------
+    let three: Vec<Celsius> = [-25.0, 25.0, 75.0].map(Celsius::new).to_vec();
+    let pts = bench.run_pair_campaign(&sample, Ampere::new(1e-6), &three)?;
+    let pts: [PairCampaignPoint; 3] = [pts[0], pts[1], pts[2]];
+
+    let sensor_temps = [
+        pts[0].sensor_temperature,
+        pts[1].sensor_temperature,
+        pts[2].sensor_temperature,
+    ];
+    let m_sensor = measurement(&pts, sensor_temps);
+    let c2 = meijer::characteristic_straight(&m_sensor, MeijerPairing::ColdReference, &grid)
+        .map_err(to_bench_error)?;
+    let extraction_sensor = meijer::extract(&m_sensor).map_err(to_bench_error)?;
+
+    let (t1c, t3c) = computed_temperatures(&pts)?;
+    let m_computed = measurement(&pts, [t1c, pts[1].sensor_temperature, t3c]);
+    let c3 = meijer::characteristic_straight(&m_computed, MeijerPairing::ColdReference, &grid)
+        .map_err(to_bench_error)?;
+    let extraction_computed = meijer::extract(&m_computed).map_err(to_bench_error)?;
+
+    let x = truth.xti;
+    Ok(Fig6Result {
+        c1_c2_offset: (c1.eg_at(x) - c2.eg_at(x)).abs(),
+        c3_c2_offset: (c3.eg_at(x) - c2.eg_at(x)).abs(),
+        c1,
+        c2,
+        c3,
+        extraction_sensor,
+        extraction_computed,
+        truth,
+        computed_extremes: (t1c, t3c),
+    })
+}
+
+fn measurement(pts: &[PairCampaignPoint; 3], temps: [Kelvin; 3]) -> MeijerMeasurement {
+    let mk = |p: &PairCampaignPoint, t: Kelvin| MeijerPoint {
+        temperature: t,
+        vbe: p.vbe_a,
+        ic: p.ic_a,
+    };
+    MeijerMeasurement {
+        cold: mk(&pts[0], temps[0]),
+        reference: mk(&pts[1], temps[1]),
+        hot: mk(&pts[2], temps[2]),
+    }
+}
+
+/// Renders the report.
+#[must_use]
+pub fn render(r: &Fig6Result) -> String {
+    let mut out = String::from("FIG6: characteristic straights EG(XTI)\n\n");
+    let mut t = Table::new(vec![
+        "line".into(),
+        "slope [meV/XTI]".into(),
+        "EG at XTI* [eV]".into(),
+        "R^2".into(),
+    ]);
+    for (name, s) in [("C1 best fit", &r.c1), ("C2 sensor T", &r.c2), ("C3 computed T", &r.c3)] {
+        t.add_row(vec![
+            name.into(),
+            format!("{:.2}", s.slope() * 1e3),
+            format!("{:.4}", s.eg_at(r.truth.xti)),
+            format!("{:.6}", s.r_squared()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nground truth: EG = {:.4} eV, XTI = {:.2}\n",
+        r.truth.eg.value(),
+        r.truth.xti
+    ));
+    out.push_str(&format!(
+        "2x2 extraction, sensor T:   EG = {:.4} eV, XTI = {:.2}\n",
+        r.extraction_sensor.eg.value(),
+        r.extraction_sensor.xti
+    ));
+    out.push_str(&format!(
+        "2x2 extraction, computed T: EG = {:.4} eV, XTI = {:.2}\n",
+        r.extraction_computed.eg.value(),
+        r.extraction_computed.xti
+    ));
+    out.push_str(&format!(
+        "offsets at XTI*: |C1-C2| = {:.2} meV, |C3-C2| = {:.2} meV\n",
+        r.c1_c2_offset * 1e3,
+        r.c3_c2_offset * 1e3
+    ));
+    out.push_str(&format!(
+        "computed die temperatures: T1 = {:.2} K, T3 = {:.2} K\n\n",
+        r.computed_extremes.0.value(),
+        r.computed_extremes.1.value()
+    ));
+    let mut plot = AsciiPlot::new("Fig. 6 — EG(XTI) characteristic straights");
+    plot.add_series("1: C1 best fit", r.c1.points().to_vec());
+    plot.add_series("2: C2 sensor", r.c2.points().to_vec());
+    plot.add_series("3: C3 computed", r.c3.points().to_vec());
+    out.push_str(&plot.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_and_c2_nearly_coincide() {
+        // The paper: "the best-fit straight (C1) is in good correlation
+        // with the analytical one (C2)" — same temperatures in, same line
+        // out.
+        let r = run().unwrap();
+        assert!(
+            r.c1_c2_offset < 4e-3,
+            "C1/C2 split by {} meV",
+            r.c1_c2_offset * 1e3
+        );
+    }
+
+    #[test]
+    fn c3_is_clearly_separated() {
+        // The computed (die) temperatures move the straight visibly.
+        let r = run().unwrap();
+        assert!(
+            r.c3_c2_offset > 3.0 * r.c1_c2_offset.max(1e-4),
+            "C3 offset {} meV vs C1/C2 {} meV",
+            r.c3_c2_offset * 1e3,
+            r.c1_c2_offset * 1e3
+        );
+    }
+
+    #[test]
+    fn all_straights_fall_with_xti() {
+        let r = run().unwrap();
+        for (name, s) in [("C1", &r.c1), ("C2", &r.c2), ("C3", &r.c3)] {
+            assert!(
+                s.slope() < -0.01 && s.slope() > -0.05,
+                "{name} slope {}",
+                s.slope()
+            );
+            assert!(s.r_squared() > 0.999, "{name} is not straight");
+        }
+    }
+
+    #[test]
+    fn computed_temperatures_see_the_self_heated_die() {
+        let r = run().unwrap();
+        let (t1, t3) = r.computed_extremes;
+        // Both extremes sit above their chamber setpoints: the die runs
+        // hot, and the dVBE thermometer reports it.
+        assert!(t1.value() > 248.15 + 2.0, "T1 computed {t1}");
+        assert!(t3.value() > 348.15 + 2.0, "T3 computed {t3}");
+        // And the computed span is compressed relative to the 100 K
+        // setpoint span (the Table-1 gap pattern seen from the other
+        // side).
+        let span = t3.value() - t1.value();
+        assert!(span < 100.0, "computed span {span}");
+    }
+
+    #[test]
+    fn render_contains_all_lines() {
+        let r = run().unwrap();
+        let s = render(&r);
+        assert!(s.contains("C1") && s.contains("C2") && s.contains("C3"));
+        assert!(s.contains("ground truth"));
+    }
+}

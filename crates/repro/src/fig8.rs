@@ -1,0 +1,239 @@
+//! FIG8 — `VREF(T)`: measured silicon vs model cards, and the RadjA trim
+//! family.
+//!
+//! The loop the paper closes:
+//!
+//! 1. the designer trims the cell in simulation with the standard foundry
+//!    card (clean circuit model) — that defines the design `R_ptat`;
+//! 2. the *silicon* (truth card + substrate leakage + op-amp offset) is
+//!    measured with that `R_ptat`: the curve rises with temperature
+//!    instead of showing the expected bell;
+//! 3. re-simulating with the **best-fit** extracted card on the clean
+//!    circuit model gives the bell-shaped S0 — nothing like the silicon;
+//! 4. re-simulating with the **analytically** extracted card on the
+//!    second-order-aware circuit model gives S1 — which tracks the
+//!    silicon;
+//! 5. RadjA = 1.8k / 2.5k / 2.7k (S2-S4) then flattens the design.
+
+use icvbe_bandgap::card::{card_with_extraction, st_bicmos_pnp, standard_model_card};
+use icvbe_bandgap::cell::BandgapCell;
+use icvbe_bandgap::radj::radj_family;
+use icvbe_bandgap::vref::{figure8_grid, CurveShape, VrefCurve};
+use icvbe_core::ExtractedPair;
+use icvbe_instrument::bench::BenchError;
+use icvbe_units::{Kelvin, Ohm};
+
+use crate::fig6;
+use crate::render::{AsciiPlot, Table};
+
+/// The paper's RadjA values for S2-S4.
+pub const PAPER_RADJ_OHMS: [f64; 3] = [1.8e3, 2.5e3, 2.7e3];
+
+/// Result of the FIG8 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Common temperature grid.
+    pub grid: Vec<Kelvin>,
+    /// The virtual silicon's measured curve.
+    pub measured: VrefCurve,
+    /// S0: best-fit card on the clean circuit model.
+    pub s0: VrefCurve,
+    /// S1: analytic card on the second-order-aware circuit model.
+    pub s1: VrefCurve,
+    /// S2-S4: the RadjA family on the S1 model.
+    pub family: Vec<(Ohm, VrefCurve)>,
+    /// Max |S0 - measured| in volts.
+    pub s0_deviation: f64,
+    /// Max |S1 - measured| in volts.
+    pub s1_deviation: f64,
+    /// Shape classification of S0 (paper: bell).
+    pub s0_shape: CurveShape,
+    /// Design R_ptat from the standard-card trim.
+    pub design_r_ptat: Ohm,
+    /// The two extracted cards used, `(best fit, analytical)`.
+    pub extractions: (ExtractedPair, ExtractedPair),
+}
+
+/// Runs the full FIG8 pipeline.
+///
+/// # Errors
+///
+/// Propagates bench, extraction and solver failures.
+pub fn run() -> Result<Fig8Result, BenchError> {
+    let grid = figure8_grid();
+    let sample = fig6::reference_sample();
+
+    // 1. Design trim on the standard card, clean circuit model.
+    let designer = BandgapCell::nominal(standard_model_card());
+    let design_r_ptat = designer
+        .calibrate(Kelvin::new(298.15))
+        .map_err(BenchError::Circuit)?;
+
+    // 2. The silicon: truth card + all imperfections at the design R_ptat.
+    let silicon = sample.bandgap_cell();
+    silicon.r_ptat.set(design_r_ptat.value());
+    let measured = VrefCurve::sweep(&silicon, &grid).map_err(BenchError::Circuit)?;
+
+    // 3/4. Extractions from the FIG6 pipeline: sensor-T (what a best-fit
+    // flow trusts) and computed-T (the test structure's output).
+    let f6 = fig6::run()?;
+    let best_fit = f6.extraction_sensor;
+    let analytic = f6.extraction_computed;
+
+    // S0: best-fit card, clean model — the designer's world view. The
+    // designer trims his own simulation flat, which is exactly why the
+    // predicted curve is the classic bell the silicon then refuses to
+    // follow.
+    let s0_cell = BandgapCell::nominal(card_with_extraction(st_bicmos_pnp(), &best_fit));
+    s0_cell
+        .calibrate(Kelvin::new(298.15))
+        .map_err(BenchError::Circuit)?;
+    let s0 = VrefCurve::sweep(&s0_cell, &grid).map_err(BenchError::Circuit)?;
+
+    // S1: analytic card, second-order-aware model (leakage + offset in the
+    // simulation deck, as the test structure revealed them).
+    let s1_cell = BandgapCell::nominal(card_with_extraction(st_bicmos_pnp(), &analytic))
+        .with_substrate(sample.substrate)
+        .with_opamp_offset(sample.opamp_offset);
+    s1_cell.r_ptat.set(design_r_ptat.value());
+    let s1 = VrefCurve::sweep(&s1_cell, &grid).map_err(BenchError::Circuit)?;
+
+    // 5. S2-S4: the RadjA family on the S1 deck.
+    let radj: Vec<Ohm> = PAPER_RADJ_OHMS.iter().map(|&r| Ohm::new(r)).collect();
+    let family = radj_family(&s1_cell, &radj, &grid).map_err(BenchError::Circuit)?;
+
+    Ok(Fig8Result {
+        s0_deviation: s0.max_deviation_from(&measured),
+        s1_deviation: s1.max_deviation_from(&measured),
+        s0_shape: s0.shape(),
+        grid,
+        measured,
+        s0,
+        s1,
+        family,
+        design_r_ptat,
+        extractions: (best_fit, analytic),
+    })
+}
+
+/// Renders the report.
+#[must_use]
+pub fn render(r: &Fig8Result) -> String {
+    let mut out = String::from("FIG8: VREF(T) — silicon vs model cards vs RadjA trim\n\n");
+    out.push_str(&format!(
+        "design R_ptat = {:.1} ohm (standard-card trim)\n",
+        r.design_r_ptat.value()
+    ));
+    let (bf, an) = &r.extractions;
+    out.push_str(&format!(
+        "best-fit card:   EG = {:.4} eV, XTI = {:.2}\n",
+        bf.eg.value(),
+        bf.xti
+    ));
+    out.push_str(&format!(
+        "analytical card: EG = {:.4} eV, XTI = {:.2}\n\n",
+        an.eg.value(),
+        an.xti
+    ));
+    let mut t = Table::new(vec![
+        "T [C]".into(),
+        "measured [V]".into(),
+        "S0 best fit [V]".into(),
+        "S1 analytic [V]".into(),
+    ]);
+    for (i, tk) in r.grid.iter().enumerate() {
+        t.add_row(vec![
+            format!("{:.0}", tk.to_celsius().value()),
+            format!("{:.5}", r.measured.vref[i].value()),
+            format!("{:.5}", r.s0.vref[i].value()),
+            format!("{:.5}", r.s1.vref[i].value()),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nmax deviation from measured: S0 = {:.2} mV, S1 = {:.2} mV (S0 shape: {:?})\n\n",
+        r.s0_deviation * 1e3,
+        r.s1_deviation * 1e3,
+        r.s0_shape
+    ));
+    let mut plot = AsciiPlot::new("Fig. 8 — VREF(T)");
+    let series = |c: &VrefCurve| -> Vec<(f64, f64)> {
+        c.temperatures
+            .iter()
+            .zip(&c.vref)
+            .map(|(t, v)| (t.to_celsius().value(), v.value()))
+            .collect()
+    };
+    plot.add_series("* measured", series(&r.measured));
+    plot.add_series("0: S0 best fit", series(&r.s0));
+    plot.add_series("1: S1 analytic", series(&r.s1));
+    for (i, (ohm, curve)) in r.family.iter().enumerate() {
+        plot.add_series(
+            &format!("{}: RadjA = {:.1}k", i + 2, ohm.value() / 1e3),
+            series(curve),
+        );
+    }
+    out.push_str(&plot.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s0_is_a_bell_and_misses_the_silicon() {
+        let r = run().unwrap();
+        assert_eq!(r.s0_shape, CurveShape::Bell, "S0 shape {:?}", r.s0_shape);
+        assert!(
+            r.s0_deviation > 2.0 * r.s1_deviation,
+            "S0 dev {} mV vs S1 dev {} mV",
+            r.s0_deviation * 1e3,
+            r.s1_deviation * 1e3
+        );
+    }
+
+    #[test]
+    fn s1_tracks_the_silicon_to_millivolts() {
+        let r = run().unwrap();
+        assert!(
+            r.s1_deviation < 10e-3,
+            "S1 deviation {} mV",
+            r.s1_deviation * 1e3
+        );
+    }
+
+    #[test]
+    fn measured_curve_rises_at_the_hot_end() {
+        // The silicon signature: VREF bends up with temperature instead of
+        // rolling off like the bell.
+        let r = run().unwrap();
+        let n = r.measured.vref.len();
+        assert!(
+            r.measured.vref[n - 1].value() > r.measured.vref[n - 3].value(),
+            "no hot-end rise: {:?}",
+            r.measured.vref
+        );
+    }
+
+    #[test]
+    fn radj_family_has_three_members_lowering_vref() {
+        let r = run().unwrap();
+        assert_eq!(r.family.len(), 3);
+        let mid = r.grid.len() / 2;
+        let mut last = f64::INFINITY;
+        for (ohm, curve) in &r.family {
+            let v = curve.vref[mid].value();
+            assert!(v < last, "VREF not decreasing with RadjA at {ohm}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn vref_levels_are_bandgap_like() {
+        let r = run().unwrap();
+        for v in r.measured.vref.iter().chain(&r.s0.vref).chain(&r.s1.vref) {
+            assert!(v.value() > 1.0 && v.value() < 1.4, "VREF {v}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The experiment harness: one module per table/figure of the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig1`] | Fig. 1 — five `EG(T)` models and their 0 K disagreement |
+//! | [`fig2`] | Fig. 2 — the PTAT pair-bias principle |
+//! | [`fig5`] | Fig. 5 — the `IC(VBE)` family, -50.88..126.9 °C |
+//! | [`fig6`] | Fig. 6 — characteristic straights C1/C2/C3 |
+//! | [`table1`] | Table 1 — measured vs computed die temperatures, 5 samples |
+//! | [`fig8`] | Fig. 8 — `VREF(T)`: silicon vs model cards vs RadjA trim |
+//! | [`sensitivity`] | in-text claims: 1%→8%, dT2 < 5 K, A ≈ 0.3 mV |
+//!
+//! Every `run()` is deterministic (seeded noise everywhere) and every
+//! module has a `render()` producing the ASCII report the `repro` binary
+//! prints.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod ext_banba;
+pub mod fig1;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod render;
+pub mod report;
+pub mod sensitivity;
+pub mod table1;

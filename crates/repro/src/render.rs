@@ -1,0 +1,251 @@
+//! ASCII rendering of tables and plots for the experiment reports.
+
+/// A simple aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_repro::render::Table;
+///
+/// let mut t = Table::new(vec!["T (K)".into(), "VBE (V)".into()]);
+/// t.add_row(vec!["248.15".into(), "0.701".into()]);
+/// let s = t.render();
+/// assert!(s.contains("T (K)") && s.contains("0.701"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded with empty cells).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with column alignment and a header rule.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                if i + 1 < cols {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A named data series for [`AsciiPlot`].
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Label (its first character becomes the plot glyph).
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A scatter plot rendered on a character grid.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+    log_y: bool,
+}
+
+impl AsciiPlot {
+    /// Creates an empty plot.
+    #[must_use]
+    pub fn new(title: &str) -> Self {
+        AsciiPlot {
+            title: title.to_string(),
+            width: 72,
+            height: 20,
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Plots `log10(y)` instead of `y` (for the Fig.-5 semilog family);
+    /// non-positive values are dropped.
+    #[must_use]
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series.
+    pub fn add_series(&mut self, label: &str, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.to_string(),
+            points,
+        });
+    }
+
+    /// Renders the grid with axis ranges in the footer.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut pts: Vec<(f64, f64, char)> = Vec::new();
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = s
+                .label
+                .chars()
+                .next()
+                .unwrap_or((b'a' + (si % 26) as u8) as char);
+            for &(x, y) in &s.points {
+                let y = if self.log_y {
+                    if y <= 0.0 {
+                        continue;
+                    }
+                    y.log10()
+                } else {
+                    y
+                };
+                if x.is_finite() && y.is_finite() {
+                    pts.push((x, y, glyph));
+                }
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        if pts.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for &(x, y, _) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 == x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 == y0 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(x, y, g) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            grid[self.height - 1 - cy][cx] = g;
+        }
+        for row in grid {
+            out.push('|');
+            out.push_str(&row.into_iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        let y_label = if self.log_y { "log10(y)" } else { "y" };
+        out.push_str(&format!(
+            "x: {x0:.6} .. {x1:.6}   {y_label}: {y0:.6} .. {y1:.6}\n"
+        ));
+        for s in &self.series {
+            out.push_str(&format!(
+                "  {} = {}\n",
+                s.label.chars().next().unwrap_or('?'),
+                s.label
+            ));
+        }
+        out
+    }
+}
+
+/// Formats a number in engineering-friendly scientific notation.
+#[must_use]
+pub fn sci(v: f64) -> String {
+    format!("{v:.4e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "bb".into()]);
+        t.add_row(vec!["lonnng".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("lonnng"));
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn plot_renders_extremes() {
+        let mut p = AsciiPlot::new("test");
+        p.add_series("alpha", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let r = p.render();
+        assert!(r.contains("== test =="));
+        assert!(r.contains("alpha"));
+        assert!(r.contains("x: 0.000000 .. 1.000000"));
+    }
+
+    #[test]
+    fn log_plot_drops_nonpositive() {
+        let mut p = AsciiPlot::new("semilog").with_log_y();
+        p.add_series("s", vec![(0.0, -1.0), (1.0, 1e-6), (2.0, 1e-3)]);
+        let r = p.render();
+        assert!(r.contains("log10(y): -6.000000 .. -3.000000"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let p = AsciiPlot::new("empty");
+        assert!(p.render().contains("(no data)"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Report persistence: write the rendered experiment reports to disk so a
+//! run leaves an auditable artifact per table/figure.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A rendered experiment report ready to persist.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Artifact id ("fig1", "table1", ...), used as the file stem.
+    pub id: String,
+    /// The rendered ASCII report.
+    pub body: String,
+}
+
+impl Report {
+    /// Creates a report.
+    #[must_use]
+    pub fn new(id: &str, body: String) -> Self {
+        Report {
+            id: id.to_string(),
+            body,
+        }
+    }
+}
+
+/// Writes reports into `dir` (created if missing) as `<id>.txt`, returning
+/// the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_reports(dir: &Path, reports: &[Report]) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(reports.len());
+    for r in reports {
+        let path = dir.join(format!("{}.txt", r.id));
+        fs::write(&path, &r.body)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Runs every experiment and collects its rendered report. Failures are
+/// rendered into the report body rather than aborting the batch, so one
+/// broken experiment cannot hide the others.
+#[must_use]
+pub fn collect_all_reports() -> Vec<Report> {
+    let mut out = Vec::new();
+    out.push(Report::new("fig1", crate::fig1::render(&crate::fig1::run())));
+    out.push(Report::new(
+        "fig2",
+        match crate::fig2::run() {
+            Ok(r) => crate::fig2::render(&r),
+            Err(e) => format!("FIG2 FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "fig5",
+        match crate::fig5::run() {
+            Ok(r) => crate::fig5::render(&r),
+            Err(e) => format!("FIG5 FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "fig6",
+        match crate::fig6::run() {
+            Ok(r) => crate::fig6::render(&r),
+            Err(e) => format!("FIG6 FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "table1",
+        match crate::table1::run() {
+            Ok(r) => crate::table1::render(&r),
+            Err(e) => format!("TABLE1 FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "fig8",
+        match crate::fig8::run() {
+            Ok(r) => crate::fig8::render(&r),
+            Err(e) => format!("FIG8 FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "sensitivity",
+        match crate::sensitivity::run() {
+            Ok(r) => crate::sensitivity::render(&r),
+            Err(e) => format!("SENS FAILED: {e}\n"),
+        },
+    ));
+    out.push(Report::new(
+        "ext_banba",
+        match crate::ext_banba::run() {
+            Ok(r) => crate::ext_banba::render(&r),
+            Err(e) => format!("EXT FAILED: {e}\n"),
+        },
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_writes_one_file_per_report() {
+        let dir = std::env::temp_dir().join(format!("icvbe_reports_{}", std::process::id()));
+        let reports = vec![
+            Report::new("alpha", "hello\n".to_string()),
+            Report::new("beta", "world\n".to_string()),
+        ];
+        let paths = save_reports(&dir, &reports).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(fs::read_to_string(&paths[0]).unwrap(), "hello\n");
+        assert_eq!(fs::read_to_string(&paths[1]).unwrap(), "world\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_ids_become_file_stems() {
+        let dir = std::env::temp_dir().join(format!("icvbe_reports2_{}", std::process::id()));
+        let paths =
+            save_reports(&dir, &[Report::new("table1", "x".into())]).unwrap();
+        assert!(paths[0].ends_with("table1.txt"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

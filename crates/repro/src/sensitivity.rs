@@ -1,0 +1,196 @@
+//! SENS — the paper's in-text error-propagation claims, measured.
+//!
+//! 1. "a measurement error of 1% on the VBE(T) characteristic may induce
+//!    up to 8% of error on the extracted values of EG";
+//! 2. "an error dT2 less than 5 K has no significant influence on the
+//!    calculated values of EG and XTI";
+//! 3. "A = (kT2/q) ln X ~ 0.3 mV (0.45% of dVBE)" for the PTAT bias drift.
+
+use icvbe_core::data::VbeCurve;
+use icvbe_core::meijer::{MeijerMeasurement, MeijerPoint};
+use icvbe_core::sensitivity::{
+    bestfit_vbe_error_study, bestfit_worst_case_vbe_error, meijer_t2_error_study,
+    PerturbationResult, WorstCaseResult,
+};
+use icvbe_core::tempcomp::{drift_coefficient_a, PairCurrents, PtatPair};
+use icvbe_devphys::saturation::SpiceIsLaw;
+use icvbe_devphys::vbe::vbe_for_current;
+use icvbe_units::{Ampere, ElectronVolt, Kelvin};
+
+use crate::render::Table;
+
+/// Result of the sensitivity experiment.
+#[derive(Debug, Clone)]
+pub struct SensitivityResult {
+    /// Claim 1: the best-fit study at 1% uniform (gain-type) VBE error.
+    pub vbe_study: PerturbationResult,
+    /// Claim 1 restated: EG error / VBE error amplification factor for the
+    /// gain-type error.
+    pub amplification: f64,
+    /// Claim 1, worst case: the bound over arbitrary per-point 1% errors —
+    /// the regime of the paper's "up to 8%".
+    pub worst_case: WorstCaseResult,
+    /// Claim 2: the Meijer study at +5 K on T2.
+    pub t2_study: PerturbationResult,
+    /// Claim 3: the drift coefficient A in volts for a PTAT bias between
+    /// 0 and 100 °C.
+    pub drift_a_volts: f64,
+    /// Claim 3: A as a fraction of dVBE(T2).
+    pub drift_a_relative: f64,
+}
+
+fn truth_law() -> SpiceIsLaw {
+    SpiceIsLaw::new(
+        Ampere::new(2e-17),
+        Kelvin::new(298.15),
+        ElectronVolt::new(1.1324),
+        2.58,
+    )
+}
+
+fn synthetic_curve() -> VbeCurve {
+    let law = truth_law();
+    let ic = Ampere::new(1e-6);
+    VbeCurve::from_points((0..8).map(|i| {
+        let t = Kelvin::new(223.15 + 25.0 * i as f64);
+        (t, vbe_for_current(&law, ic, t), ic)
+    }))
+    .expect("valid synthetic curve")
+}
+
+fn synthetic_measurement() -> MeijerMeasurement {
+    let law = truth_law();
+    let ic = Ampere::new(1e-6);
+    let p = |t: f64| MeijerPoint {
+        temperature: Kelvin::new(t),
+        vbe: vbe_for_current(&law, ic, Kelvin::new(t)),
+        ic,
+    };
+    MeijerMeasurement {
+        cold: p(248.15),
+        reference: p(298.15),
+        hot: p(348.15),
+    }
+}
+
+/// Runs all three studies.
+///
+/// # Errors
+///
+/// Propagates extraction failures (none expected on the synthetic data).
+pub fn run() -> Result<SensitivityResult, icvbe_core::ExtractionError> {
+    let curve = synthetic_curve();
+    let vbe_study = bestfit_vbe_error_study(&curve, 3, 0.01)?;
+    let worst_case = bestfit_worst_case_vbe_error(&curve, 3, 0.01)?;
+    let t2_study = meijer_t2_error_study(&synthetic_measurement(), 5.0)?;
+
+    // Claim 3: PTAT bias (proportional to T), T1 = 0 C, T2 = 100 C.
+    let (t1, t2) = (Kelvin::new(273.15), Kelvin::new(373.15));
+    let currents = PairCurrents {
+        // QA's bias is PTAT, QB's source drifts 1% less (slight mismatch
+        // in source tempco) — the paper's "not really identical" sources.
+        ica_t: Ampere::new(1e-6 * t1.value() / 298.15),
+        icb_t: Ampere::new(1e-6 * t1.value() / 298.15 * 0.997),
+        ica_ref: Ampere::new(1e-6 * t2.value() / 298.15),
+        icb_ref: Ampere::new(1e-6 * t2.value() / 298.15 * 1.009),
+    };
+    let x = currents.x_factor()?;
+    let a = drift_coefficient_a(t2, x).value().abs();
+    let dvbe_t2 = PtatPair::paper_cell().ideal_dvbe(t2).value();
+
+    Ok(SensitivityResult {
+        amplification: vbe_study.eg_relative_error / 0.01,
+        vbe_study,
+        worst_case,
+        t2_study,
+        drift_a_volts: a,
+        drift_a_relative: a / dvbe_t2,
+    })
+}
+
+/// Renders the report.
+#[must_use]
+pub fn render(r: &SensitivityResult) -> String {
+    let mut out = String::from("SENS: error-propagation claims\n\n");
+    let mut t = Table::new(vec!["claim".into(), "paper".into(), "measured".into()]);
+    t.add_row(vec![
+        "1% gain-type VBE error -> EG error".into(),
+        "-".into(),
+        format!("{:.1}%", r.vbe_study.eg_relative_error * 100.0),
+    ]);
+    t.add_row(vec![
+        "1% per-point VBE error, rms".into(),
+        "up to 8%".into(),
+        format!("{:.1}%", r.worst_case.eg_relative_rms_error * 100.0),
+    ]);
+    t.add_row(vec![
+        "1% per-point VBE error, adversarial".into(),
+        "(bound)".into(),
+        format!("up to {:.1}%", r.worst_case.eg_relative_error_bound * 100.0),
+    ]);
+    t.add_row(vec![
+        "dT2 = 5 K -> EG shift".into(),
+        "insignificant".into(),
+        format!("{:.2}%", r.t2_study.eg_relative_error * 100.0),
+    ]);
+    t.add_row(vec![
+        "drift coefficient A".into(),
+        "~0.3 mV".into(),
+        format!("{:.2} mV", r.drift_a_volts * 1e3),
+    ]);
+    t.add_row(vec![
+        "A relative to dVBE(T2)".into(),
+        "~0.45%".into(),
+        format!("{:.2}%", r.drift_a_relative * 100.0),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vbe_error_is_amplified() {
+        let r = run().unwrap();
+        assert!(
+            r.amplification > 0.5 && r.amplification < 20.0,
+            "amplification {}",
+            r.amplification
+        );
+    }
+
+    #[test]
+    fn t2_error_is_insignificant() {
+        let r = run().unwrap();
+        assert!(
+            r.t2_study.eg_relative_error < 0.02,
+            "T2 study moved EG by {}",
+            r.t2_study.eg_relative_error
+        );
+        // And much smaller than the VBE-error effect.
+        assert!(r.t2_study.eg_relative_error < r.vbe_study.eg_relative_error);
+    }
+
+    #[test]
+    fn drift_coefficient_is_sub_millivolt() {
+        let r = run().unwrap();
+        assert!(
+            r.drift_a_volts > 0.05e-3 && r.drift_a_volts < 1.0e-3,
+            "A = {} mV",
+            r.drift_a_volts * 1e3
+        );
+        assert!(
+            r.drift_a_relative < 0.02,
+            "A relative {}",
+            r.drift_a_relative
+        );
+    }
+
+    #[test]
+    fn render_covers_all_claims() {
+        let s = render(&run().unwrap());
+        assert!(s.contains("8%") && s.contains("drift") && s.contains("dT2"));
+    }
+}

@@ -1,0 +1,197 @@
+//! TABLE1 — sensor-measured vs dVBE-computed temperatures on five samples.
+//!
+//! The paper's grid: `T1 = 247 K`, `T2 = 297 K` (reference, error defined
+//! as zero), `T3 = 348 K`. For each of five process samples, the gap
+//! `T_measured - T_computed` is negative at the cold end (a few kelvin)
+//! and positive and slightly larger at the hot end — the signature of a
+//! die whose own thermometer (the PTAT pair) disagrees with the package
+//! sensor because of self-heating, readout offset and substrate leakage.
+
+use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
+use icvbe_instrument::bench::{BenchError, TestStructureBench};
+use icvbe_instrument::montecarlo::SampleFactory;
+use icvbe_units::{Ampere, Celsius, Kelvin};
+
+use crate::render::Table;
+
+/// Paper temperatures in kelvin.
+pub const T1_KELVIN: f64 = 247.0;
+/// Reference temperature (kelvin).
+pub const T2_KELVIN: f64 = 297.0;
+/// Hot temperature (kelvin).
+pub const T3_KELVIN: f64 = 348.0;
+
+/// One sample's row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Sample id (1..=5).
+    pub sample: usize,
+    /// `T_measured - T_computed` at T1, kelvin.
+    pub gap_cold: f64,
+    /// At T2 this is identically zero (the reference defines the scale).
+    pub gap_reference: f64,
+    /// `T_measured - T_computed` at T3, kelvin.
+    pub gap_hot: f64,
+}
+
+/// Result of the TABLE1 experiment.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// One row per sample.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Runs the five-sample campaign.
+///
+/// # Errors
+///
+/// Propagates bench failures.
+pub fn run() -> Result<Table1Result, BenchError> {
+    let lot = SampleFactory::seeded(2002).draw_lot(5);
+    let setpoints = [
+        Celsius::new(T1_KELVIN - 273.15),
+        Celsius::new(T2_KELVIN - 273.15),
+        Celsius::new(T3_KELVIN - 273.15),
+    ];
+    let mut rows = Vec::with_capacity(lot.len());
+    for sample in &lot {
+        let mut bench = TestStructureBench::paper_bench(1000 + sample.id as u64);
+        let pts = bench.run_pair_campaign(sample, Ampere::new(1e-6), &setpoints)?;
+        let refp = &pts[1];
+        let compute = |p: &icvbe_instrument::bench::PairCampaignPoint| -> Result<Kelvin, BenchError> {
+            let x = PairCurrents {
+                ica_t: p.ic_a,
+                icb_t: p.ic_b,
+                ica_ref: refp.ic_a,
+                icb_ref: refp.ic_b,
+            }
+            .x_factor()
+            .map_err(err)?;
+            temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
+                .map_err(err)
+        };
+        let t1_computed = compute(&pts[0])?;
+        let t3_computed = compute(&pts[2])?;
+        rows.push(Table1Row {
+            sample: sample.id,
+            gap_cold: pts[0].sensor_temperature.value() - t1_computed.value(),
+            gap_reference: 0.0,
+            gap_hot: pts[2].sensor_temperature.value() - t3_computed.value(),
+        });
+    }
+    Ok(Table1Result { rows })
+}
+
+fn err(e: icvbe_core::ExtractionError) -> BenchError {
+    BenchError::Circuit(icvbe_spice::SpiceError::NoConvergence {
+        strategy: format!("temperature computation: {e}"),
+        residual: f64::NAN,
+    })
+}
+
+/// Renders the table in the paper's layout (temperatures as rows, samples
+/// as columns).
+#[must_use]
+pub fn render(r: &Table1Result) -> String {
+    let mut out = String::from(
+        "TABLE1: T_measured - T_computed (K) for five samples of the test cell\n\n",
+    );
+    let mut headers = vec!["measured T (K)".to_string()];
+    for row in &r.rows {
+        headers.push(format!("sample {}", row.sample));
+    }
+    let mut t = Table::new(headers);
+    let mut cold = vec![format!("T1 = {T1_KELVIN}")];
+    let mut refr = vec![format!("T2 = {T2_KELVIN}")];
+    let mut hot = vec![format!("T3 = {T3_KELVIN}")];
+    for row in &r.rows {
+        cold.push(format!("{:+.2}", row.gap_cold));
+        refr.push(format!("{:+.2}", row.gap_reference));
+        hot.push(format!("{:+.2}", row.gap_hot));
+    }
+    t.add_row(cold);
+    t.add_row(refr);
+    t.add_row(hot);
+    out.push_str(&t.render());
+    out.push_str(
+        "\npaper: cold gaps -1.8 .. -4.6 K, hot gaps +4.0 .. +7.3 K, zero at T2 by definition\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_rows() {
+        let r = run().unwrap();
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn cold_gaps_are_negative_kelvin_scale() {
+        let r = run().unwrap();
+        for row in &r.rows {
+            assert!(
+                row.gap_cold < -0.5 && row.gap_cold > -9.0,
+                "sample {}: cold gap {}",
+                row.sample,
+                row.gap_cold
+            );
+        }
+    }
+
+    #[test]
+    fn hot_gaps_are_positive_kelvin_scale() {
+        let r = run().unwrap();
+        for row in &r.rows {
+            assert!(
+                row.gap_hot > 0.5 && row.gap_hot < 11.0,
+                "sample {}: hot gap {}",
+                row.sample,
+                row.gap_hot
+            );
+        }
+    }
+
+    #[test]
+    fn hot_and_cold_gaps_are_comparable_in_magnitude() {
+        // The paper's hot gaps (4.0..7.3 K) run somewhat larger than the
+        // cold ones (1.8..4.6 K); our substituted mechanism produces the
+        // same order on both sides (see EXPERIMENTS.md for the per-band
+        // comparison).
+        let r = run().unwrap();
+        let mean_cold: f64 =
+            r.rows.iter().map(|x| x.gap_cold.abs()).sum::<f64>() / r.rows.len() as f64;
+        let mean_hot: f64 =
+            r.rows.iter().map(|x| x.gap_hot.abs()).sum::<f64>() / r.rows.len() as f64;
+        let ratio = mean_hot / mean_cold;
+        assert!(
+            ratio > 0.5 && ratio < 2.0,
+            "hot {mean_hot} vs cold {mean_cold}"
+        );
+    }
+
+    #[test]
+    fn samples_spread() {
+        let r = run().unwrap();
+        let cold: Vec<f64> = r.rows.iter().map(|x| x.gap_cold).collect();
+        let spread = cold.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - cold.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.2, "no sample-to-sample spread: {spread}");
+    }
+
+    #[test]
+    fn reference_row_is_exactly_zero() {
+        let r = run().unwrap();
+        assert!(r.rows.iter().all(|x| x.gap_reference == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run().unwrap();
+        let b = run().unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+}

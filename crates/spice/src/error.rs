@@ -1,0 +1,106 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use icvbe_numerics::NumericsError;
+
+/// Error produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A node name was used inconsistently or an element references an
+    /// unknown node.
+    BadTopology {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An element parameter is unphysical (negative resistance, zero IS...).
+    BadParameter {
+        /// Element name.
+        element: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The DC solver failed to converge even with gmin and source stepping.
+    NoConvergence {
+        /// Description of the last attempted strategy.
+        strategy: String,
+        /// Residual at the last iterate.
+        residual: f64,
+    },
+    /// An underlying numerical kernel failed.
+    Numerics(NumericsError),
+}
+
+impl SpiceError {
+    /// Convenience constructor for [`SpiceError::BadTopology`].
+    #[must_use]
+    pub fn topology(detail: impl Into<String>) -> Self {
+        SpiceError::BadTopology {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SpiceError::BadParameter`].
+    #[must_use]
+    pub fn parameter(element: impl Into<String>, detail: impl Into<String>) -> Self {
+        SpiceError::BadParameter {
+            element: element.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::BadTopology { detail } => write!(f, "bad topology: {detail}"),
+            SpiceError::BadParameter { element, detail } => {
+                write!(f, "bad parameter on element '{element}': {detail}")
+            }
+            SpiceError::NoConvergence { strategy, residual } => write!(
+                f,
+                "dc solve did not converge ({strategy}, residual {residual:e})"
+            ),
+            SpiceError::Numerics(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<NumericsError> for SpiceError {
+    fn from(e: NumericsError) -> Self {
+        SpiceError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SpiceError::topology("dangling node n3").to_string().contains("n3"));
+        assert!(SpiceError::parameter("R1", "negative resistance")
+            .to_string()
+            .contains("R1"));
+        let e: SpiceError = NumericsError::invalid("x").into();
+        assert!(e.to_string().contains("numerical failure"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,91 @@
+//! Limited exponential — the classic SPICE junction-equation safeguard.
+//!
+//! Raw `exp(v/vt)` overflows `f64` for `v` above ~0.9 V at cryogenic
+//! temperatures and produces Jacobians Newton cannot use. `limexp`
+//! continues the exponential linearly (with matching value and slope) above
+//! a cutoff argument, preserving convexity and keeping every iterate
+//! finite.
+
+/// Cutoff argument above which the exponential continues linearly.
+///
+/// `exp(120) ~ 1.3e52` still leaves ~250 orders of magnitude of headroom
+/// in `f64` after multiplying by a saturation current, while sitting far
+/// above any *physical* junction operating point — even a cryogenic one:
+/// at -80 °C a microamp-biased silicon junction runs near `v/vt ≈ 55`,
+/// which must stay on the true exponential or the model is corrupted.
+pub const LIMEXP_CUTOFF: f64 = 120.0;
+
+/// Returns `(value, derivative)` of the limited exponential at `x`.
+///
+/// For `x <= LIMEXP_CUTOFF` this is exactly `(e^x, e^x)`; above it the
+/// function continues as the tangent line `e^c (1 + x - c)` with constant
+/// slope `e^c`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_spice::limexp::limexp;
+///
+/// let (v, d) = limexp(1.0);
+/// assert!((v - 1.0_f64.exp()).abs() < 1e-12);
+/// assert!((d - v).abs() < 1e-12);
+/// // Far beyond the cutoff the value stays finite.
+/// let (v, _) = limexp(10_000.0);
+/// assert!(v.is_finite());
+/// ```
+#[must_use]
+pub fn limexp(x: f64) -> (f64, f64) {
+    if x <= LIMEXP_CUTOFF {
+        let e = x.exp();
+        (e, e)
+    } else {
+        let e = LIMEXP_CUTOFF.exp();
+        (e * (1.0 + x - LIMEXP_CUTOFF), e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exp_below_cutoff() {
+        for x in [-50.0, -1.0, 0.0, 5.0, LIMEXP_CUTOFF] {
+            let (v, d) = limexp(x);
+            assert!((v - x.exp()).abs() / x.exp() < 1e-14);
+            assert!((d - x.exp()).abs() / x.exp() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn is_continuous_at_cutoff() {
+        let below = limexp(LIMEXP_CUTOFF - 1e-9).0;
+        let above = limexp(LIMEXP_CUTOFF + 1e-9).0;
+        assert!((above - below) / below < 1e-6);
+    }
+
+    #[test]
+    fn derivative_is_continuous_at_cutoff() {
+        let below = limexp(LIMEXP_CUTOFF - 1e-9).1;
+        let above = limexp(LIMEXP_CUTOFF + 1e-9).1;
+        assert!((above - below).abs() / below < 1e-6);
+    }
+
+    #[test]
+    fn stays_finite_for_huge_arguments() {
+        let (v, d) = limexp(1e9);
+        assert!(v.is_finite() && d.is_finite());
+    }
+
+    #[test]
+    fn is_monotone_increasing() {
+        let mut prev = limexp(-10.0).0;
+        let mut x = -9.0;
+        while x < 100.0 {
+            let v = limexp(x).0;
+            assert!(v > prev);
+            prev = v;
+            x += 0.5;
+        }
+    }
+}

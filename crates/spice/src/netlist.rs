@@ -1,0 +1,279 @@
+//! Circuit netlist: named nodes and a list of elements.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::element::Element;
+use crate::SpiceError;
+
+/// A circuit node handle.
+///
+/// `NodeId::GROUND` is the reference node; every other node is an MNA
+/// unknown. Obtain nodes from [`Circuit::node`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The reference (ground) node, always index 0.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Raw index (0 = ground, 1.. = unknowns in creation order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Index into the MNA unknown vector, or `None` for ground.
+    #[must_use]
+    pub fn unknown_index(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0 - 1)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// A DC circuit: an interned node table plus a list of elements.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_spice::netlist::Circuit;
+/// use icvbe_spice::element::{Resistor, VoltageSource};
+/// use icvbe_units::{Ohm, Volt};
+///
+/// let mut ckt = Circuit::new();
+/// let vcc = ckt.node("vcc");
+/// let out = ckt.node("out");
+/// let gnd = Circuit::ground();
+/// ckt.add(VoltageSource::new("V1", vcc, gnd, Volt::new(5.0)));
+/// ckt.add(Resistor::new("R1", vcc, out, Ohm::new(1e3))?);
+/// ckt.add(Resistor::new("R2", out, gnd, Ohm::new(1e3))?);
+/// assert_eq!(ckt.node_count(), 2); // vcc and out (ground excluded)
+/// # Ok::<(), icvbe_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    node_by_name: HashMap<String, NodeId>,
+    elements: Vec<Arc<dyn Element>>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (ground node pre-registered).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["gnd".to_string()],
+            node_by_name: HashMap::new(),
+            elements: Vec::new(),
+        };
+        c.node_by_name.insert("gnd".to_string(), NodeId::GROUND);
+        c.node_by_name.insert("0".to_string(), NodeId::GROUND);
+        c
+    }
+
+    /// The ground node.
+    #[must_use]
+    pub fn ground() -> NodeId {
+        NodeId::GROUND
+    }
+
+    /// Returns the node with the given name, creating it on first use.
+    ///
+    /// The names `"gnd"` and `"0"` are reserved for the ground node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.node_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    #[must_use]
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_by_name.get(name).copied()
+    }
+
+    /// The display name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.index()]
+    }
+
+    /// Number of non-ground nodes (MNA voltage unknowns).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// Adds an element, returning its index for later lookup.
+    pub fn add<E: Element + 'static>(&mut self, element: E) -> usize {
+        self.elements.push(Arc::new(element));
+        self.elements.len() - 1
+    }
+
+    /// Adds a shared element (used when one model card instance backs
+    /// several circuit variants).
+    pub fn add_shared(&mut self, element: Arc<dyn Element>) -> usize {
+        self.elements.push(element);
+        self.elements.len() - 1
+    }
+
+    /// All elements in insertion order.
+    #[must_use]
+    pub fn elements(&self) -> &[Arc<dyn Element>] {
+        &self.elements
+    }
+
+    /// Finds an element by name.
+    #[must_use]
+    pub fn element_by_name(&self, name: &str) -> Option<&Arc<dyn Element>> {
+        self.elements.iter().find(|e| e.name() == name)
+    }
+
+    /// Total number of extra branch unknowns contributed by the elements.
+    #[must_use]
+    pub fn branch_count(&self) -> usize {
+        self.elements.iter().map(|e| e.branch_count()).sum()
+    }
+
+    /// Dimension of the MNA system (node voltages + branch currents).
+    #[must_use]
+    pub fn unknown_count(&self) -> usize {
+        self.node_count() + self.branch_count()
+    }
+
+    /// Validates connectivity: every element node must exist, every
+    /// non-ground node must touch at least two element terminals, and the
+    /// circuit must reference ground at least once.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::BadTopology`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if self.elements.is_empty() {
+            return Err(SpiceError::topology("circuit has no elements"));
+        }
+        let mut touch = vec![0usize; self.node_names.len()];
+        for e in &self.elements {
+            for n in e.nodes() {
+                if n.index() >= self.node_names.len() {
+                    return Err(SpiceError::topology(format!(
+                        "element '{}' references unknown node {}",
+                        e.name(),
+                        n
+                    )));
+                }
+                touch[n.index()] += 1;
+            }
+        }
+        if touch[0] == 0 {
+            return Err(SpiceError::topology("no element is connected to ground"));
+        }
+        for (i, &t) in touch.iter().enumerate().skip(1) {
+            if t == 0 {
+                return Err(SpiceError::topology(format!(
+                    "node '{}' was created but never connected",
+                    self.node_names[i]
+                )));
+            }
+            if t == 1 {
+                return Err(SpiceError::topology(format!(
+                    "node '{}' is dangling (single connection)",
+                    self.node_names[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CurrentSource, Resistor, VoltageSource};
+    use icvbe_units::{Ampere, Ohm, Volt};
+
+    #[test]
+    fn node_interning_is_stable() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_ne!(a, b);
+        assert_eq!(c.node("a"), a);
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.node_name(a), "a");
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new();
+        assert_eq!(c.node("gnd"), NodeId::GROUND);
+        assert_eq!(c.node("0"), NodeId::GROUND);
+        assert_eq!(c.node_count(), 0);
+    }
+
+    #[test]
+    fn unknown_index_excludes_ground() {
+        assert_eq!(NodeId::GROUND.unknown_index(), None);
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        assert_eq!(a.unknown_index(), Some(0));
+    }
+
+    #[test]
+    fn validate_catches_dangling_node() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(CurrentSource::new("I1", Circuit::ground(), a, Ampere::new(1e-3)));
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn validate_catches_empty_circuit() {
+        let c = Circuit::new();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_accepts_divider() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let out = c.node("out");
+        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(5.0)));
+        c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
+        c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(1e3)).unwrap());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.unknown_count(), 3); // 2 nodes + 1 source branch
+    }
+
+    #[test]
+    fn element_lookup_by_name() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add(Resistor::new("Rx", a, Circuit::ground(), Ohm::new(10.0)).unwrap());
+        assert!(c.element_by_name("Rx").is_some());
+        assert!(c.element_by_name("Ry").is_none());
+    }
+}

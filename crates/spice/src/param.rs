@@ -1,0 +1,93 @@
+//! Shared, mutable scalar parameters for sweepable sources and resistors.
+//!
+//! Elements are stored behind `Arc<dyn Element>` and are immutable once in
+//! the netlist; a [`Param`] is an atomically-shared `f64` cell that lets an
+//! analysis (DC transfer sweep, trim search) change a source value or a
+//! resistance without rebuilding the circuit.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared mutable `f64`, readable from element stamps and writable from
+/// analyses.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_spice::param::Param;
+///
+/// let p = Param::new(1.5);
+/// let alias = p.clone();
+/// alias.set(2.5);
+/// assert_eq!(p.get(), 2.5);
+/// ```
+#[derive(Clone, Default)]
+pub struct Param {
+    bits: Arc<AtomicU64>,
+}
+
+impl Param {
+    /// Creates a parameter with an initial value.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Param {
+            bits: Arc::new(AtomicU64::new(value.to_bits())),
+        }
+    }
+
+    /// Reads the current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Writes a new value, visible to all clones.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Param({})", self.get())
+    }
+}
+
+impl From<f64> for Param {
+    fn from(v: f64) -> Self {
+        Param::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_storage() {
+        let a = Param::new(0.0);
+        let b = a.clone();
+        a.set(42.0);
+        assert_eq!(b.get(), 42.0);
+        b.set(-1.5);
+        assert_eq!(a.get(), -1.5);
+    }
+
+    #[test]
+    fn from_f64() {
+        let p: Param = 3.25.into();
+        assert_eq!(p.get(), 3.25);
+    }
+
+    #[test]
+    fn debug_shows_value() {
+        assert_eq!(format!("{:?}", Param::new(1.0)), "Param(1)");
+    }
+
+    #[test]
+    fn nan_round_trips() {
+        let p = Param::new(f64::NAN);
+        assert!(p.get().is_nan());
+    }
+}

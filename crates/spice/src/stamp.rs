@@ -1,0 +1,245 @@
+//! The element interface: how devices contribute to the MNA system.
+//!
+//! The solver iterates Newton on `f(x) = 0` where `x` stacks node voltages
+//! (all non-ground nodes, in creation order) followed by branch currents
+//! (one block per element that declares branches). Each element implements
+//! [`Element::stamp`], reading the current iterate through
+//! [`StampContext`] and accumulating its residual and Jacobian
+//! contributions.
+//!
+//! Sign convention: a node residual is the sum of currents *leaving* the
+//! node; Kirchhoff demands it be zero.
+
+use std::fmt;
+
+use icvbe_numerics::Matrix;
+use icvbe_units::Kelvin;
+
+use crate::netlist::NodeId;
+
+/// Ambient conditions and continuation knobs for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalContext {
+    /// Device temperature for model-card evaluation.
+    pub temperature: Kelvin,
+    /// Conductance from every node to ground added by the solver
+    /// (gmin continuation; the floor value in a final solve).
+    pub gmin: f64,
+    /// Scale factor applied to independent sources (source stepping).
+    pub source_scale: f64,
+}
+
+impl EvalContext {
+    /// Nominal context: given temperature, gmin floor, full sources.
+    #[must_use]
+    pub fn nominal(temperature: Kelvin) -> Self {
+        EvalContext {
+            temperature,
+            gmin: 1e-12,
+            source_scale: 1.0,
+        }
+    }
+}
+
+/// Mutable view an element stamps through.
+///
+/// Rows/columns are addressed by [`NodeId`] (ground rows/columns are
+/// silently dropped) or by the element's local branch ordinal `0..branch_count`.
+#[derive(Debug)]
+pub struct StampContext<'a> {
+    eval: EvalContext,
+    x: &'a [f64],
+    node_count: usize,
+    /// Absolute index of this element's first branch unknown.
+    branch_base: usize,
+    residual: &'a mut [f64],
+    jacobian: Option<&'a mut Matrix>,
+}
+
+impl<'a> StampContext<'a> {
+    /// Creates a context for one element. Used by the system assembler.
+    pub(crate) fn new(
+        eval: EvalContext,
+        x: &'a [f64],
+        node_count: usize,
+        branch_base: usize,
+        residual: &'a mut [f64],
+        jacobian: Option<&'a mut Matrix>,
+    ) -> Self {
+        StampContext {
+            eval,
+            x,
+            node_count,
+            branch_base,
+            residual,
+            jacobian,
+        }
+    }
+
+    /// Device temperature.
+    #[must_use]
+    pub fn temperature(&self) -> Kelvin {
+        self.eval.temperature
+    }
+
+    /// Independent-source scale factor (1.0 except during source stepping).
+    #[must_use]
+    pub fn source_scale(&self) -> f64 {
+        self.eval.source_scale
+    }
+
+    /// Voltage of a node at the current iterate (0 for ground).
+    #[must_use]
+    pub fn v(&self, node: NodeId) -> f64 {
+        match node.unknown_index() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Value of this element's `k`-th branch unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the element's declared branch count (caught by
+    /// the debug assertions of the assembler).
+    #[must_use]
+    pub fn branch(&self, k: usize) -> f64 {
+        self.x[self.node_count + self.branch_base + k]
+    }
+
+    /// Adds `current` to the KCL residual of `node` (current leaving the
+    /// node through this element). Ground is dropped.
+    pub fn add_node_residual(&mut self, node: NodeId, current: f64) {
+        if let Some(i) = node.unknown_index() {
+            self.residual[i] += current;
+        }
+    }
+
+    /// Adds `value` to this element's `k`-th branch equation residual.
+    pub fn add_branch_residual(&mut self, k: usize, value: f64) {
+        self.residual[self.node_count + self.branch_base + k] += value;
+    }
+
+    /// Adds `dI/dV`: derivative of the `row` node's residual with respect
+    /// to the `col` node's voltage.
+    pub fn add_jac_node_node(&mut self, row: NodeId, col: NodeId, value: f64) {
+        if let Some(j) = &mut self.jacobian {
+            if let (Some(r), Some(c)) = (row.unknown_index(), col.unknown_index()) {
+                j[(r, c)] += value;
+            }
+        }
+    }
+
+    /// Adds derivative of the `row` node's residual with respect to this
+    /// element's `k`-th branch current.
+    pub fn add_jac_node_branch(&mut self, row: NodeId, k: usize, value: f64) {
+        let col = self.node_count + self.branch_base + k;
+        if let Some(j) = &mut self.jacobian {
+            if let Some(r) = row.unknown_index() {
+                j[(r, col)] += value;
+            }
+        }
+    }
+
+    /// Adds derivative of this element's `k`-th branch equation with
+    /// respect to the `col` node's voltage.
+    pub fn add_jac_branch_node(&mut self, k: usize, col: NodeId, value: f64) {
+        let row = self.node_count + self.branch_base + k;
+        if let Some(j) = &mut self.jacobian {
+            if let Some(c) = col.unknown_index() {
+                j[(row, c)] += value;
+            }
+        }
+    }
+
+    /// Adds derivative of branch equation `k` with respect to branch
+    /// current `c` (both local to this element).
+    pub fn add_jac_branch_branch(&mut self, k: usize, c: usize, value: f64) {
+        let row = self.node_count + self.branch_base + k;
+        let col = self.node_count + self.branch_base + c;
+        if let Some(j) = &mut self.jacobian {
+            j[(row, col)] += value;
+        }
+    }
+}
+
+/// A circuit element.
+///
+/// Implementors stamp their DC equations through [`StampContext`]. The
+/// trait is object-safe: circuits store `Arc<dyn Element>`.
+pub trait Element: fmt::Debug + Send + Sync {
+    /// Instance name (unique within a circuit by convention).
+    fn name(&self) -> &str;
+
+    /// Concrete-type access for exporters and inspectors.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Every node this element touches (used for topology validation).
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Number of extra branch-current unknowns this element introduces.
+    fn branch_count(&self) -> usize {
+        0
+    }
+
+    /// Accumulates residual and Jacobian contributions at the iterate
+    /// exposed by `ctx`.
+    fn stamp(&self, ctx: &mut StampContext<'_>);
+
+    /// Whether the element is an independent source whose value should be
+    /// ramped during source stepping.
+    fn is_independent_source(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_rows_are_dropped() {
+        let mut residual = vec![0.0; 2];
+        let x = vec![1.0, 2.0];
+        let mut ctx = StampContext::new(
+            EvalContext::nominal(Kelvin::new(300.0)),
+            &x,
+            2,
+            0,
+            &mut residual,
+            None,
+        );
+        ctx.add_node_residual(NodeId::GROUND, 5.0);
+        assert_eq!(residual, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn node_and_branch_addressing() {
+        // 1 node + 1 branch system.
+        let x = vec![3.0, 0.25];
+        let mut residual = vec![0.0; 2];
+        let mut jac = Matrix::zeros(2, 2);
+        let mut ckt = crate::netlist::Circuit::new();
+        let n1 = ckt.node("n1");
+        let mut ctx = StampContext::new(
+            EvalContext::nominal(Kelvin::new(300.0)),
+            &x,
+            1,
+            0,
+            &mut residual,
+            Some(&mut jac),
+        );
+        assert_eq!(ctx.v(n1), 3.0);
+        assert_eq!(ctx.branch(0), 0.25);
+        ctx.add_node_residual(n1, 1.0);
+        ctx.add_branch_residual(0, -2.0);
+        ctx.add_jac_node_branch(n1, 0, 1.0);
+        ctx.add_jac_branch_node(0, n1, 1.0);
+        ctx.add_jac_branch_branch(0, 0, 7.0);
+        assert_eq!(residual, vec![1.0, -2.0]);
+        assert_eq!(jac[(0, 1)], 1.0);
+        assert_eq!(jac[(1, 0)], 1.0);
+        assert_eq!(jac[(1, 1)], 7.0);
+    }
+}

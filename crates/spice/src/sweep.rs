@@ -1,0 +1,180 @@
+//! DC analyses built on the operating-point solver: parameter sweeps and
+//! temperature sweeps with warm starting.
+
+use icvbe_units::Kelvin;
+
+use crate::netlist::Circuit;
+use crate::param::Param;
+use crate::solver::{solve_dc, DcOptions, OperatingPoint};
+use crate::SpiceError;
+
+/// Sweeps a [`Param`]-bound source or component value over `values`,
+/// solving the DC point at each step with the previous solution as the
+/// warm start.
+///
+/// Returns one operating point per value, in order.
+///
+/// # Errors
+///
+/// Propagates the first solver failure, restoring the parameter to its
+/// original value either way.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_spice::element::{Resistor, VoltageSource};
+/// use icvbe_spice::netlist::Circuit;
+/// use icvbe_spice::param::Param;
+/// use icvbe_spice::solver::DcOptions;
+/// use icvbe_spice::sweep::dc_sweep;
+/// use icvbe_units::{Kelvin, Ohm, Volt};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let vin = Param::new(0.0);
+/// ckt.add(VoltageSource::new("V1", a, Circuit::ground(), Volt::new(0.0)).with_handle(vin.clone()));
+/// ckt.add(Resistor::new("R1", a, Circuit::ground(), Ohm::new(1e3))?);
+/// let pts = dc_sweep(&ckt, &vin, &[0.0, 1.0, 2.0], Kelvin::new(300.0), &DcOptions::default())?;
+/// assert_eq!(pts.len(), 3);
+/// assert!((pts[2].voltage(a).value() - 2.0).abs() < 1e-9);
+/// # Ok::<(), icvbe_spice::SpiceError>(())
+/// ```
+pub fn dc_sweep(
+    circuit: &Circuit,
+    param: &Param,
+    values: &[f64],
+    temperature: Kelvin,
+    options: &DcOptions,
+) -> Result<Vec<OperatingPoint>, SpiceError> {
+    let original = param.get();
+    let mut out = Vec::with_capacity(values.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &v in values {
+        param.set(v);
+        let solved = solve_dc(circuit, temperature, options, warm.as_deref());
+        match solved {
+            Ok(op) => {
+                warm = Some(op.solution().to_vec());
+                out.push(op);
+            }
+            Err(e) => {
+                param.set(original);
+                return Err(e);
+            }
+        }
+    }
+    param.set(original);
+    Ok(out)
+}
+
+/// Solves the circuit across a list of temperatures, warm-starting each
+/// point from the previous one.
+///
+/// # Errors
+///
+/// Propagates the first solver failure, labelled with the temperature.
+pub fn temperature_sweep(
+    circuit: &Circuit,
+    temperatures: &[Kelvin],
+    options: &DcOptions,
+) -> Result<Vec<OperatingPoint>, SpiceError> {
+    let mut out = Vec::with_capacity(temperatures.len());
+    let mut warm: Option<Vec<f64>> = None;
+    for &t in temperatures {
+        let solved = solve_dc(circuit, t, options, warm.as_deref());
+        match solved {
+            Ok(op) => {
+                warm = Some(op.solution().to_vec());
+                out.push(op);
+            }
+            Err(e) => {
+                return Err(SpiceError::NoConvergence {
+                    strategy: format!("temperature sweep at {t}: {e}"),
+                    residual: f64::NAN,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds an inclusive linear grid of `n` temperatures between `lo` and
+/// `hi` (single point if `n == 1`).
+#[must_use]
+pub fn temperature_grid(lo: Kelvin, hi: Kelvin, n: usize) -> Vec<Kelvin> {
+    if n <= 1 {
+        return vec![lo];
+    }
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / (n - 1) as f64;
+            Kelvin::new(lo.value() + f * (hi.value() - lo.value()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{CurrentSource, Resistor};
+    use crate::bjt::{Bjt, BjtParams, Polarity};
+    use crate::netlist::Circuit;
+    use icvbe_units::{Ampere, Ohm};
+
+    #[test]
+    fn temperature_grid_endpoints() {
+        let g = temperature_grid(Kelvin::new(223.15), Kelvin::new(398.15), 8);
+        assert_eq!(g.len(), 8);
+        assert!((g[0].value() - 223.15).abs() < 1e-12);
+        assert!((g[7].value() - 398.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temperature_grid_single_point() {
+        let g = temperature_grid(Kelvin::new(300.0), Kelvin::new(400.0), 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].value(), 300.0);
+    }
+
+    #[test]
+    fn sweep_restores_param_value() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let p = Param::new(1e-6);
+        c.add(
+            CurrentSource::new("I1", Circuit::ground(), a, Ampere::new(0.0))
+                .with_handle(p.clone()),
+        );
+        c.add(Resistor::new("R1", a, Circuit::ground(), Ohm::new(1e3)).unwrap());
+        let _ = dc_sweep(
+            &c,
+            &p,
+            &[1e-6, 2e-6, 3e-6],
+            Kelvin::new(300.0),
+            &DcOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(p.get(), 1e-6);
+    }
+
+    #[test]
+    fn vbe_falls_with_temperature_in_sweep() {
+        // A diode-connected PNP under constant current: VEB must fall with
+        // temperature at roughly -2 mV/K.
+        let mut c = Circuit::new();
+        let e = c.node("e");
+        let gnd = Circuit::ground();
+        c.add(CurrentSource::new("Ibias", gnd, e, Ampere::new(1e-6)));
+        c.add(
+            Bjt::new("Q1", gnd, gnd, e, Polarity::Pnp, BjtParams::default_npn()).unwrap(),
+        );
+        let temps = temperature_grid(Kelvin::new(248.15), Kelvin::new(348.15), 5);
+        let pts = temperature_sweep(&c, &temps, &DcOptions::default()).unwrap();
+        let vs: Vec<f64> = pts.iter().map(|p| p.voltage(e).value()).collect();
+        for w in vs.windows(2) {
+            assert!(w[1] < w[0], "VEB not falling: {vs:?}");
+        }
+        let slope = (vs[4] - vs[0]) / 100.0;
+        assert!(slope < -1.2e-3 && slope > -3e-3, "slope {slope}");
+    }
+}

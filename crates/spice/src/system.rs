@@ -1,0 +1,198 @@
+//! Assembly of a [`Circuit`] into the nonlinear MNA system the Newton
+//! solver consumes.
+
+use icvbe_numerics::newton::NonlinearSystem;
+use icvbe_numerics::{Matrix, NumericsError};
+
+use crate::netlist::Circuit;
+use crate::stamp::{EvalContext, StampContext};
+
+/// A circuit bound to evaluation conditions, presented as `f(x) = 0`.
+///
+/// Unknown ordering: node voltages (creation order, ground excluded), then
+/// branch currents (element order, each element's branches contiguous).
+#[derive(Debug)]
+pub struct CircuitSystem<'a> {
+    circuit: &'a Circuit,
+    eval: EvalContext,
+    /// First branch index of each element (parallel to `circuit.elements()`).
+    branch_bases: Vec<usize>,
+    node_count: usize,
+    dimension: usize,
+}
+
+impl<'a> CircuitSystem<'a> {
+    /// Binds a circuit to evaluation conditions.
+    #[must_use]
+    pub fn new(circuit: &'a Circuit, eval: EvalContext) -> Self {
+        let mut branch_bases = Vec::with_capacity(circuit.elements().len());
+        let mut next = 0usize;
+        for e in circuit.elements() {
+            branch_bases.push(next);
+            next += e.branch_count();
+        }
+        let node_count = circuit.node_count();
+        CircuitSystem {
+            circuit,
+            eval,
+            branch_bases,
+            node_count,
+            dimension: node_count + next,
+        }
+    }
+
+    /// The evaluation conditions in force.
+    #[must_use]
+    pub fn eval(&self) -> EvalContext {
+        self.eval
+    }
+
+    /// Changes the evaluation conditions (gmin/source stepping reuse the
+    /// same assembled structure).
+    pub fn set_eval(&mut self, eval: EvalContext) {
+        self.eval = eval;
+    }
+
+    /// First absolute branch index of element `element_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn branch_base(&self, element_index: usize) -> usize {
+        self.branch_bases[element_index]
+    }
+
+    /// Number of node-voltage unknowns.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn stamp_all(
+        &self,
+        x: &[f64],
+        residual: &mut [f64],
+        mut jacobian: Option<&mut Matrix>,
+    ) {
+        for (e, &base) in self.circuit.elements().iter().zip(&self.branch_bases) {
+            let mut ctx = StampContext::new(
+                self.eval,
+                x,
+                self.node_count,
+                base,
+                residual,
+                jacobian.as_deref_mut(),
+            );
+            e.stamp(&mut ctx);
+        }
+        // Global gmin: a conductance from every node to ground keeps the
+        // Jacobian nonsingular for floating subcircuits and eases Newton.
+        let g = self.eval.gmin;
+        if g > 0.0 {
+            for i in 0..self.node_count {
+                residual[i] += g * x[i];
+                if let Some(j) = jacobian.as_deref_mut() {
+                    j[(i, i)] += g;
+                }
+            }
+        }
+    }
+}
+
+impl NonlinearSystem for CircuitSystem<'_> {
+    fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+        out.fill(0.0);
+        self.stamp_all(x, out, None);
+        if out.iter().any(|v| !v.is_finite()) {
+            return Err(NumericsError::invalid("non-finite circuit residual"));
+        }
+        Ok(())
+    }
+
+    fn jacobian(&self, x: &[f64], out: &mut Matrix) -> Result<(), NumericsError> {
+        let n = self.dimension;
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = 0.0;
+            }
+        }
+        let mut residual_scratch = vec![0.0; n];
+        self.stamp_all(x, &mut residual_scratch, Some(out));
+        if !out.is_finite() {
+            return Err(NumericsError::invalid("non-finite circuit jacobian"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Resistor, VoltageSource};
+    use crate::netlist::Circuit;
+    use icvbe_units::{Kelvin, Ohm, Volt};
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let out = c.node("out");
+        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(2.0)));
+        c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
+        c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(1e3)).unwrap());
+        c
+    }
+
+    #[test]
+    fn dimension_counts_nodes_and_branches() {
+        let c = divider();
+        let sys = CircuitSystem::new(&c, EvalContext::nominal(Kelvin::new(300.0)));
+        assert_eq!(sys.dimension(), 3);
+        assert_eq!(sys.node_count(), 2);
+        assert_eq!(sys.branch_base(0), 0);
+    }
+
+    #[test]
+    fn residual_vanishes_at_exact_solution() {
+        let c = divider();
+        let mut eval = EvalContext::nominal(Kelvin::new(300.0));
+        eval.gmin = 0.0;
+        let sys = CircuitSystem::new(&c, eval);
+        // vcc = 2, out = 1, source current = -(2-1)/1k ... source branch
+        // current flows plus->through->minus: current out of vcc node into
+        // R1 is 1 mA, so branch current is -1 mA.
+        let x = [2.0, 1.0, -1e-3];
+        let mut f = vec![0.0; 3];
+        sys.residual(&x, &mut f).unwrap();
+        for v in f {
+            assert!(v.abs() < 1e-15, "residual {v}");
+        }
+    }
+
+    #[test]
+    fn jacobian_of_linear_circuit_is_constant() {
+        let c = divider();
+        let sys = CircuitSystem::new(&c, EvalContext::nominal(Kelvin::new(300.0)));
+        let mut j1 = Matrix::zeros(3, 3);
+        let mut j2 = Matrix::zeros(3, 3);
+        sys.jacobian(&[0.0, 0.0, 0.0], &mut j1).unwrap();
+        sys.jacobian(&[5.0, -3.0, 1.0], &mut j2).unwrap();
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn gmin_appears_on_the_diagonal() {
+        let c = divider();
+        let mut eval = EvalContext::nominal(Kelvin::new(300.0));
+        eval.gmin = 1e-3;
+        let sys = CircuitSystem::new(&c, eval);
+        let mut j = Matrix::zeros(3, 3);
+        sys.jacobian(&[0.0; 3], &mut j).unwrap();
+        // Node diagonals include 1/R sums plus gmin.
+        assert!((j[(0, 0)] - (1e-3 + 1e-3)).abs() < 1e-12);
+    }
+}

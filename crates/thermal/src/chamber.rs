@@ -1,0 +1,93 @@
+//! The thermal chamber and where its sensor actually sits.
+//!
+//! The paper's bench: component and Pt100 sensor inside a hermetic
+//! partition, each point measured "in complete thermal equilibrium". Even
+//! so, the sensor is mounted *on* the package — it reads the case
+//! temperature, not the junction. This module models that geometry.
+
+use icvbe_units::{Celsius, Kelvin};
+
+use crate::network::ThermalPath;
+
+/// A thermal chamber holding a device under test and a contact sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalChamber {
+    /// Setpoint of the chamber controller.
+    setpoint: Kelvin,
+    /// Steady-state control error: actual ambient minus setpoint, kelvin.
+    control_offset: f64,
+}
+
+impl ThermalChamber {
+    /// Creates a chamber at a setpoint with a given steady-state control
+    /// offset (0 for an ideal controller).
+    #[must_use]
+    pub fn new(setpoint: Kelvin, control_offset: f64) -> Self {
+        ThermalChamber {
+            setpoint,
+            control_offset,
+        }
+    }
+
+    /// An ideal chamber at the given setpoint.
+    #[must_use]
+    pub fn ideal(setpoint: Kelvin) -> Self {
+        ThermalChamber::new(setpoint, 0.0)
+    }
+
+    /// Convenience: ideal chamber at a Celsius setpoint.
+    #[must_use]
+    pub fn at_celsius(c: f64) -> Self {
+        ThermalChamber::ideal(Celsius::new(c).to_kelvin())
+    }
+
+    /// The setpoint.
+    #[must_use]
+    pub fn setpoint(&self) -> Kelvin {
+        self.setpoint
+    }
+
+    /// The actual ambient around the device once settled.
+    #[must_use]
+    pub fn ambient(&self) -> Kelvin {
+        Kelvin::new(self.setpoint.value() + self.control_offset)
+    }
+
+    /// What a contact sensor on the package reads when the die dissipates
+    /// `power_watts` through `path`: the *case* temperature, which lags the
+    /// junction by `Rth(j-c) * P`.
+    #[must_use]
+    pub fn sensor_reading(&self, path: &ThermalPath, power_watts: f64) -> Kelvin {
+        path.case_temperature(self.ambient(), power_watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_celsius_round_trip() {
+        let c = ThermalChamber::at_celsius(-50.0);
+        assert!((c.setpoint().value() - 223.15).abs() < 1e-12);
+        assert_eq!(c.ambient().value(), c.setpoint().value());
+    }
+
+    #[test]
+    fn control_offset_shifts_ambient() {
+        let c = ThermalChamber::new(Kelvin::new(300.0), 0.7);
+        assert!((c.ambient().value() - 300.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensor_reads_case_not_junction() {
+        let chamber = ThermalChamber::ideal(Kelvin::new(300.0));
+        let path = ThermalPath::ceramic_dip();
+        let power = 10e-3;
+        let sensor = chamber.sensor_reading(&path, power);
+        let junction = path.die_temperature(chamber.ambient(), power);
+        assert!(sensor.value() < junction.value());
+        // Gap is Rth(j-c) * P = 60 * 0.01 = 0.6 K.
+        assert!((junction.value() - sensor.value() - 0.6).abs() < 1e-12);
+    }
+}

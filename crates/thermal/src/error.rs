@@ -1,0 +1,66 @@
+//! Error type for thermal solves.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by thermal modelling routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A thermal resistance or power input is unphysical.
+    BadParameter {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The electro-thermal fixed point did not converge (thermal runaway or
+    /// an oscillating power law).
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Last temperature change magnitude in kelvin.
+        last_step: f64,
+    },
+}
+
+impl ThermalError {
+    /// Convenience constructor for [`ThermalError::BadParameter`].
+    #[must_use]
+    pub fn parameter(detail: impl Into<String>) -> Self {
+        ThermalError::BadParameter {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::BadParameter { detail } => write!(f, "bad thermal parameter: {detail}"),
+            ThermalError::NoConvergence {
+                iterations,
+                last_step,
+            } => write!(
+                f,
+                "electro-thermal fixed point did not converge after {iterations} iterations \
+                 (last step {last_step} K)"
+            ),
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ThermalError::parameter("negative Rth").to_string().contains("Rth"));
+        let e = ThermalError::NoConvergence {
+            iterations: 7,
+            last_step: 0.5,
+        };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,37 @@
+//! Ambient-to-die thermal modelling for the `icvbe` reproduction.
+//!
+//! Table 1 of the paper is entirely about the gap between the temperature a
+//! chamber-mounted sensor reads and the temperature the silicon die
+//! actually runs at. That gap has two ingredients this crate models:
+//!
+//! - a steady-state thermal path from the die through the package to the
+//!   ambient ([`network`]), and
+//! - the electro-thermal feedback loop — dissipated power heats the die,
+//!   which changes the dissipated power ([`selfheat`]) — solved as a fixed
+//!   point,
+//! - plus the measurement side: a thermal chamber whose sensor sits on the
+//!   package, not the junction ([`chamber`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use icvbe_thermal::network::ThermalPath;
+//! use icvbe_thermal::selfheat::solve_die_temperature;
+//! use icvbe_units::Kelvin;
+//!
+//! let path = ThermalPath::ceramic_dip();
+//! // A constant 5 mW dissipation raises the die by Rth * P.
+//! let die = solve_die_temperature(Kelvin::new(298.15), &path, |_| 5e-3, 1e-9, 50)?;
+//! assert!(die.temperature.value() > 298.15);
+//! # Ok::<(), icvbe_thermal::ThermalError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod chamber;
+mod error;
+pub mod network;
+pub mod selfheat;
+
+pub use error::ThermalError;

@@ -1,0 +1,133 @@
+//! Steady-state thermal path from junction to ambient.
+
+use icvbe_units::Kelvin;
+
+use crate::ThermalError;
+
+/// A series junction→case→ambient thermal path.
+///
+/// Steady state only (the paper waits for "complete thermal equilibrium" at
+/// every measurement point, so no thermal capacitances are needed).
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_thermal::network::ThermalPath;
+///
+/// let p = ThermalPath::new(80.0, 40.0)?;
+/// assert_eq!(p.junction_to_ambient(), 120.0);
+/// # Ok::<(), icvbe_thermal::ThermalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalPath {
+    /// Junction-to-case thermal resistance, K/W.
+    rth_jc: f64,
+    /// Case-to-ambient thermal resistance, K/W.
+    rth_ca: f64,
+}
+
+impl ThermalPath {
+    /// Creates a path from its two series resistances (K/W).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::BadParameter`] if either resistance is negative or
+    /// non-finite.
+    pub fn new(rth_jc: f64, rth_ca: f64) -> Result<Self, ThermalError> {
+        for (label, v) in [("junction-to-case", rth_jc), ("case-to-ambient", rth_ca)] {
+            if !(v >= 0.0) || !v.is_finite() {
+                return Err(ThermalError::parameter(format!(
+                    "{label} resistance must be non-negative and finite, got {v}"
+                )));
+            }
+        }
+        Ok(ThermalPath { rth_jc, rth_ca })
+    }
+
+    /// A ceramic DIP package typical of a 2002-era characterization bench:
+    /// `Rth(j-c) = 60 K/W`, `Rth(c-a) = 40 K/W`.
+    #[must_use]
+    pub fn ceramic_dip() -> Self {
+        ThermalPath {
+            rth_jc: 60.0,
+            rth_ca: 40.0,
+        }
+    }
+
+    /// A perfectly heat-sunk mount (no self-heating): both resistances 0.
+    #[must_use]
+    pub fn ideal() -> Self {
+        ThermalPath {
+            rth_jc: 0.0,
+            rth_ca: 0.0,
+        }
+    }
+
+    /// Total junction-to-ambient resistance, K/W.
+    #[must_use]
+    pub fn junction_to_ambient(&self) -> f64 {
+        self.rth_jc + self.rth_ca
+    }
+
+    /// Junction-to-case resistance, K/W.
+    #[must_use]
+    pub fn rth_jc(&self) -> f64 {
+        self.rth_jc
+    }
+
+    /// Case-to-ambient resistance, K/W.
+    #[must_use]
+    pub fn rth_ca(&self) -> f64 {
+        self.rth_ca
+    }
+
+    /// Die temperature for a given ambient and dissipated power (one-way,
+    /// no feedback).
+    #[must_use]
+    pub fn die_temperature(&self, ambient: Kelvin, power_watts: f64) -> Kelvin {
+        Kelvin::new(ambient.value() + self.junction_to_ambient() * power_watts)
+    }
+
+    /// Case (package surface) temperature — what a contact sensor sees.
+    #[must_use]
+    pub fn case_temperature(&self, ambient: Kelvin, power_watts: f64) -> Kelvin {
+        Kelvin::new(ambient.value() + self.rth_ca * power_watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_resistance() {
+        assert!(ThermalPath::new(-1.0, 0.0).is_err());
+        assert!(ThermalPath::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn die_is_hotter_than_case_is_hotter_than_ambient() {
+        let p = ThermalPath::ceramic_dip();
+        let amb = Kelvin::new(300.0);
+        let power = 10e-3;
+        let die = p.die_temperature(amb, power);
+        let case = p.case_temperature(amb, power);
+        assert!(die.value() > case.value());
+        assert!(case.value() > amb.value());
+        assert!((die.value() - 301.0).abs() < 1e-12); // 100 K/W * 10 mW
+    }
+
+    #[test]
+    fn ideal_path_has_no_rise() {
+        let p = ThermalPath::ideal();
+        let die = p.die_temperature(Kelvin::new(250.0), 1.0);
+        assert_eq!(die.value(), 250.0);
+    }
+
+    #[test]
+    fn zero_power_means_ambient_everywhere() {
+        let p = ThermalPath::ceramic_dip();
+        assert_eq!(p.die_temperature(Kelvin::new(223.0), 0.0).value(), 223.0);
+        assert_eq!(p.case_temperature(Kelvin::new(223.0), 0.0).value(), 223.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Fundamental physical constants (CODATA 2018, exact where SI-defined).
+//!
+//! These are the constants that enter the Gummel-Poon saturation-current
+//! temperature law (eq. 1 of the paper) and Meijer's analytical extraction
+//! equations (eqs. 14-16).
+
+/// Boltzmann constant `k` in J/K (exact, SI 2019 definition).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge `q` in C (exact, SI 2019 definition).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// `k/q` in V/K — the thermal voltage per kelvin, about 86.17 µV/K.
+///
+/// This ratio is the slope constant of every PTAT voltage in the paper:
+/// `dVBE(T) = (k/q) * T * ln(p)` for an emitter-area ratio `p`.
+pub const BOLTZMANN_OVER_Q: f64 = BOLTZMANN / ELEMENTARY_CHARGE;
+
+/// `q/k` in K/V — the inverse of [`BOLTZMANN_OVER_Q`], used when converting
+/// an energy expressed in (electron-)volts into the exponent of eq. 1.
+pub const Q_OVER_BOLTZMANN: f64 = ELEMENTARY_CHARGE / BOLTZMANN;
+
+/// Absolute zero expressed in degrees Celsius.
+pub const ABSOLUTE_ZERO_CELSIUS: f64 = -273.15;
+
+/// Default SPICE nominal temperature `T0 = 27 °C = 300.15 K`.
+///
+/// Classical SPICE uses 27 °C; the paper's extraction reference is
+/// T2 = 25 °C. Both appear in the workspace, always explicitly.
+pub const SPICE_TNOM_KELVIN: f64 = 300.15;
+
+/// Room temperature 25 °C in kelvin, the paper's extraction reference T2.
+pub const ROOM_TEMPERATURE_KELVIN: f64 = 298.15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_over_q_matches_expected_magnitude() {
+        assert!((BOLTZMANN_OVER_Q - 8.617e-5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn q_over_k_is_reciprocal() {
+        assert!((BOLTZMANN_OVER_Q * Q_OVER_BOLTZMANN - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn room_temperature_is_25c() {
+        assert!((ROOM_TEMPERATURE_KELVIN + ABSOLUTE_ZERO_CELSIUS - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Electrical quantities: [`Volt`], [`Ampere`], [`Ohm`].
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a quantity from a raw value in base units.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// Returns the raw value in base units.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// An electrical potential difference in volts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icvbe_units::Volt;
+    ///
+    /// let vbe = Volt::new(0.65);
+    /// let dvbe = vbe - Volt::new(0.597);
+    /// assert!((dvbe.value() - 0.053).abs() < 1e-12);
+    /// ```
+    Volt,
+    "V"
+);
+
+quantity!(
+    /// An electrical current in amperes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icvbe_units::Ampere;
+    ///
+    /// let ic = Ampere::new(1e-6);
+    /// assert_eq!((ic * 2.0).value(), 2e-6);
+    /// ```
+    Ampere,
+    "A"
+);
+
+quantity!(
+    /// An electrical resistance in ohms.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use icvbe_units::Ohm;
+    ///
+    /// let radj = Ohm::new(1.8e3);
+    /// assert_eq!(radj.value(), 1800.0);
+    /// ```
+    Ohm,
+    "Ω"
+);
+
+impl Div<Ohm> for Volt {
+    type Output = Ampere;
+    /// Ohm's law: `I = V / R`.
+    fn div(self, rhs: Ohm) -> Ampere {
+        Ampere(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohm> for Ampere {
+    type Output = Volt;
+    /// Ohm's law: `V = I * R`.
+    fn mul(self, rhs: Ohm) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ampere> for Volt {
+    type Output = Ohm;
+    /// Ohm's law: `R = V / I`.
+    fn div(self, rhs: Ampere) -> Ohm {
+        Ohm(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ampere> for Volt {
+    type Output = f64;
+    /// Instantaneous power `P = V * I`, returned as a plain `f64` in watts
+    /// (power only feeds the thermal model, which works in raw floats).
+    fn mul(self, rhs: Ampere) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trips() {
+        let v = Volt::new(1.2);
+        let r = Ohm::new(25_000.0);
+        let i = v / r;
+        assert!(((i * r).value() - v.value()).abs() < 1e-15);
+        assert!(((v / i).value() - r.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_is_v_times_i() {
+        let p = Volt::new(1.2) * Ampere::new(1e-3);
+        assert!((p - 1.2e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn negation_and_abs() {
+        let v = -Volt::new(0.7);
+        assert_eq!(v.value(), -0.7);
+        assert_eq!(v.abs().value(), 0.7);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Volt::new(0.5).to_string(), "0.5 V");
+        assert_eq!(Ampere::new(1e-6).to_string(), "0.000001 A");
+    }
+}

@@ -1,0 +1,129 @@
+//! Energies in electron-volts.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::constants::ELEMENTARY_CHARGE;
+use crate::Volt;
+
+/// An energy in electron-volts.
+///
+/// Silicon's bandgap is about 1.12 eV at 300 K; the SPICE `EG` parameter is
+/// an energy expressed in eV (numerically equal to a potential in volts).
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_units::ElectronVolt;
+///
+/// let eg = ElectronVolt::new(1.17);
+/// assert!((eg.to_joule() - 1.17 * 1.602_176_634e-19).abs() < 1e-30);
+/// // SPICE treats EG as a voltage in exponents: same numeric value.
+/// assert_eq!(eg.as_volt().value(), 1.17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct ElectronVolt(f64);
+
+impl ElectronVolt {
+    /// Creates an energy from a value in electron-volts.
+    #[must_use]
+    pub fn new(ev: f64) -> Self {
+        ElectronVolt(ev)
+    }
+
+    /// Returns the raw value in electron-volts.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joule(self) -> f64 {
+        self.0 * ELEMENTARY_CHARGE
+    }
+
+    /// Reinterprets the energy as the numerically-equal potential in volts.
+    ///
+    /// An electron crossing a potential difference of `V` volts gains `V`
+    /// electron-volts, so this conversion is free and exact. It is how the
+    /// `EG` energy enters voltage-domain equations such as eq. 13.
+    #[must_use]
+    pub fn as_volt(self) -> Volt {
+        Volt::new(self.0)
+    }
+}
+
+impl From<Volt> for ElectronVolt {
+    /// The energy gained by one elementary charge crossing the potential.
+    fn from(v: Volt) -> Self {
+        ElectronVolt(v.value())
+    }
+}
+
+impl fmt::Display for ElectronVolt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} eV", self.0)
+    }
+}
+
+impl Add for ElectronVolt {
+    type Output = ElectronVolt;
+    fn add(self, rhs: ElectronVolt) -> ElectronVolt {
+        ElectronVolt(self.0 + rhs.0)
+    }
+}
+
+impl Sub for ElectronVolt {
+    type Output = ElectronVolt;
+    fn sub(self, rhs: ElectronVolt) -> ElectronVolt {
+        ElectronVolt(self.0 - rhs.0)
+    }
+}
+
+impl Neg for ElectronVolt {
+    type Output = ElectronVolt;
+    fn neg(self) -> ElectronVolt {
+        ElectronVolt(-self.0)
+    }
+}
+
+impl Mul<f64> for ElectronVolt {
+    type Output = ElectronVolt;
+    fn mul(self, rhs: f64) -> ElectronVolt {
+        ElectronVolt(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for ElectronVolt {
+    type Output = ElectronVolt;
+    fn div(self, rhs: f64) -> ElectronVolt {
+        ElectronVolt(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_and_ev_are_numerically_equal() {
+        let e = ElectronVolt::from(Volt::new(1.1557));
+        assert_eq!(e.value(), 1.1557);
+        assert_eq!(e.as_volt().value(), 1.1557);
+    }
+
+    #[test]
+    fn bandgap_narrowing_subtraction() {
+        // EG = EG(0) - dEGbgn, the 45 meV narrowing quoted in the paper.
+        let eg0 = ElectronVolt::new(1.1774);
+        let narrowing = ElectronVolt::new(0.045);
+        let eg = eg0 - narrowing;
+        assert!((eg.value() - 1.1324).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joule_conversion() {
+        assert!((ElectronVolt::new(1.0).to_joule() - 1.602_176_634e-19).abs() < 1e-30);
+    }
+}

@@ -1,0 +1,83 @@
+//! Physical constants and typed physical quantities used throughout the
+//! `icvbe` workspace.
+//!
+//! The extraction mathematics of the reproduced paper mixes temperatures in
+//! Kelvin and Celsius, voltages from hundreds of millivolts down to tens of
+//! microvolts, and energies in electron-volts. Confusing any two of those is
+//! a silent catastrophic bug, so this crate wraps each in a newtype
+//! ([`Kelvin`], [`Celsius`], [`Volt`], [`Ampere`], [`Ohm`], [`ElectronVolt`])
+//! and provides the conversions between them ([C-NEWTYPE]).
+//!
+//! # Examples
+//!
+//! ```
+//! use icvbe_units::{Celsius, Kelvin, thermal_voltage};
+//!
+//! let t2 = Celsius::new(25.0).to_kelvin();
+//! assert!((t2.value() - 298.15).abs() < 1e-12);
+//! // kT/q at room temperature is about 25.7 mV.
+//! let vt = thermal_voltage(t2);
+//! assert!((vt.value() - 0.0257).abs() < 2e-4);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod constants;
+mod electrical;
+mod energy;
+mod temperature;
+
+pub use electrical::{Ampere, Ohm, Volt};
+pub use energy::ElectronVolt;
+pub use temperature::{Celsius, Kelvin, NotFiniteTemperatureError};
+
+use constants::BOLTZMANN_OVER_Q;
+
+/// Returns the thermal voltage `kT/q` at the given temperature.
+///
+/// The thermal voltage is the natural unit of the diode equation: a BJT's
+/// collector current scales as `exp(VBE / (n * kT/q))`.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_units::{thermal_voltage, Kelvin};
+///
+/// let vt = thermal_voltage(Kelvin::new(300.0));
+/// assert!((vt.value() - 0.02585).abs() < 1e-4);
+/// ```
+#[must_use]
+pub fn thermal_voltage(temperature: Kelvin) -> Volt {
+    Volt::new(BOLTZMANN_OVER_Q * temperature.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_absolute_zero_is_zero() {
+        assert_eq!(thermal_voltage(Kelvin::new(0.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn thermal_voltage_is_linear_in_temperature() {
+        let v1 = thermal_voltage(Kelvin::new(100.0)).value();
+        let v3 = thermal_voltage(Kelvin::new(300.0)).value();
+        assert!((v3 - 3.0 * v1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantities_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Kelvin>();
+        assert_send_sync::<Celsius>();
+        assert_send_sync::<Volt>();
+        assert_send_sync::<Ampere>();
+        assert_send_sync::<Ohm>();
+        assert_send_sync::<ElectronVolt>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Absolute ([`Kelvin`]) and conventional ([`Celsius`]) temperatures.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+use crate::constants::ABSOLUTE_ZERO_CELSIUS;
+
+/// An absolute temperature in kelvin.
+///
+/// All internal physics in the workspace is done in kelvin; Celsius values
+/// only appear at input/output boundaries (thermal-chamber setpoints, figure
+/// axes). Construct with [`Kelvin::new`] or convert from a [`Celsius`].
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_units::{Celsius, Kelvin};
+///
+/// let t = Kelvin::new(348.0);
+/// assert!((t.to_celsius().value() - 74.85).abs() < 1e-9);
+/// assert_eq!(Kelvin::from(Celsius::new(25.0)).value(), 298.15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(f64);
+
+impl Kelvin {
+    /// Creates an absolute temperature from a value in kelvin.
+    ///
+    /// Negative or non-finite values are accepted here to keep arithmetic
+    /// composable (differences of temperatures are formed freely); use
+    /// [`Kelvin::try_physical`] at validation boundaries.
+    #[must_use]
+    pub fn new(kelvin: f64) -> Self {
+        Kelvin(kelvin)
+    }
+
+    /// Creates an absolute temperature, rejecting non-finite or negative
+    /// values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotFiniteTemperatureError`] if `kelvin` is NaN, infinite, or
+    /// below absolute zero.
+    pub fn try_physical(kelvin: f64) -> Result<Self, NotFiniteTemperatureError> {
+        if kelvin.is_finite() && kelvin >= 0.0 {
+            Ok(Kelvin(kelvin))
+        } else {
+            Err(NotFiniteTemperatureError { value: kelvin })
+        }
+    }
+
+    /// Returns the raw value in kelvin.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to degrees Celsius.
+    #[must_use]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius(self.0 + ABSOLUTE_ZERO_CELSIUS)
+    }
+
+    /// Returns the dimensionless ratio `self / reference`.
+    ///
+    /// This ratio `T/T0` is raised to the `XTI` power in eq. 1 of the paper.
+    #[must_use]
+    pub fn ratio_to(self, reference: Kelvin) -> f64 {
+        self.0 / reference.0
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    fn from(c: Celsius) -> Self {
+        c.to_kelvin()
+    }
+}
+
+impl fmt::Display for Kelvin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} K", self.0)
+    }
+}
+
+impl Add for Kelvin {
+    type Output = Kelvin;
+    fn add(self, rhs: Kelvin) -> Kelvin {
+        Kelvin(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Kelvin {
+    type Output = Kelvin;
+    fn sub(self, rhs: Kelvin) -> Kelvin {
+        Kelvin(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Kelvin {
+    type Output = Kelvin;
+    fn mul(self, rhs: f64) -> Kelvin {
+        Kelvin(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Kelvin {
+    type Output = Kelvin;
+    fn div(self, rhs: f64) -> Kelvin {
+        Kelvin(self.0 / rhs)
+    }
+}
+
+/// A conventional temperature in degrees Celsius.
+///
+/// # Examples
+///
+/// ```
+/// use icvbe_units::Celsius;
+///
+/// let chamber = Celsius::new(-50.0);
+/// assert!((chamber.to_kelvin().value() - 223.15).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a temperature from a value in degrees Celsius.
+    #[must_use]
+    pub fn new(celsius: f64) -> Self {
+        Celsius(celsius)
+    }
+
+    /// Returns the raw value in degrees Celsius.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kelvin.
+    #[must_use]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 - ABSOLUTE_ZERO_CELSIUS)
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    fn from(k: Kelvin) -> Self {
+        k.to_celsius()
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} °C", self.0)
+    }
+}
+
+/// Error returned by [`Kelvin::try_physical`] for unphysical inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotFiniteTemperatureError {
+    value: f64,
+}
+
+impl NotFiniteTemperatureError {
+    /// The offending raw value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for NotFiniteTemperatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "temperature {} K is not finite and non-negative", self.value)
+    }
+}
+
+impl Error for NotFiniteTemperatureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_round_trips_through_kelvin() {
+        let c = Celsius::new(-50.88);
+        let back = c.to_kelvin().to_celsius();
+        assert!((back.value() - c.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_physical_rejects_negative_and_nan() {
+        assert!(Kelvin::try_physical(-1.0).is_err());
+        assert!(Kelvin::try_physical(f64::NAN).is_err());
+        assert!(Kelvin::try_physical(f64::INFINITY).is_err());
+        assert!(Kelvin::try_physical(0.0).is_ok());
+    }
+
+    #[test]
+    fn ratio_to_matches_division() {
+        let t = Kelvin::new(348.0);
+        let t0 = Kelvin::new(298.15);
+        assert!((t.ratio_to(t0) - 348.0 / 298.15).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Kelvin::new(300.0) + Kelvin::new(25.0);
+        assert_eq!(a.value(), 325.0);
+        let d = Kelvin::new(300.0) - Kelvin::new(25.0);
+        assert_eq!(d.value(), 275.0);
+        assert_eq!((Kelvin::new(100.0) * 2.0).value(), 200.0);
+        assert_eq!((Kelvin::new(100.0) / 2.0).value(), 50.0);
+    }
+
+    #[test]
+    fn error_display_mentions_value() {
+        let e = Kelvin::try_physical(-3.0).unwrap_err();
+        assert!(e.to_string().contains("-3"));
+        assert_eq!(e.value(), -3.0);
+    }
+}

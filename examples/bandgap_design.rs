@@ -1,0 +1,61 @@
+//! Design loop on the Fig.-3 bandgap cell: trim the PTAT gain for zero
+//! temperature coefficient, inspect the classic bell curve, then watch the
+//! substrate parasitic wreck it and RadjA partially rescue it.
+//!
+//! Run with `cargo run --example bandgap_design`.
+
+use icvbe::bandgap::card::st_bicmos_pnp;
+use icvbe::bandgap::cell::BandgapCell;
+use icvbe::bandgap::radj::trim_for_flatness;
+use icvbe::bandgap::vref::{figure8_grid, VrefCurve};
+use icvbe::spice::bjt::SubstrateJunction;
+use icvbe::units::{Kelvin, Ohm, Volt};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The clean design: trim R_ptat for zero TC at 25 °C.
+    let cell = BandgapCell::nominal(st_bicmos_pnp());
+    let r = cell.calibrate(Kelvin::new(298.15))?;
+    println!("trimmed R_ptat = {:.1} ohm", r.value());
+
+    let grid = figure8_grid();
+    let clean = VrefCurve::sweep(&cell, &grid)?;
+    println!(
+        "clean cell: shape {:?}, spread {:.2} mV, peak near {:.1} °C",
+        clean.shape(),
+        clean.spread() * 1e3,
+        clean
+            .peak_temperature()
+            .map(|t| t.to_celsius().value())
+            .unwrap_or(f64::NAN)
+    );
+
+    // 2. Silicon reality: substrate leakage + op-amp offset.
+    let dirty = BandgapCell::nominal(st_bicmos_pnp())
+        .with_substrate(SubstrateJunction::bicmos_default())
+        .with_opamp_offset(Volt::new(0.002));
+    dirty.r_ptat.set(cell.r_ptat.get());
+    let measured = VrefCurve::sweep(&dirty, &grid)?;
+    println!(
+        "imperfect cell: shape {:?}, spread {:.2} mV, end-to-end slope {:+.1} uV/K",
+        measured.shape(),
+        measured.spread() * 1e3,
+        measured.end_to_end_slope() * 1e6
+    );
+
+    // 3. RadjA trim search (the paper sweeps 0 / 1.8k / 2.5k / 2.7k).
+    let candidates: Vec<Ohm> = (0..=30).map(|i| Ohm::new(100.0 * i as f64)).collect();
+    let (best, spread) = trim_for_flatness(&dirty, &candidates, &grid)?;
+    println!(
+        "best RadjA = {:.0} ohm -> spread {:.2} mV (untrimmed {:.2} mV)",
+        best.value(),
+        spread * 1e3,
+        measured.spread() * 1e3
+    );
+
+    println!("\nVREF(T) after trim:");
+    let trimmed = VrefCurve::sweep(&dirty, &grid)?;
+    for (t, v) in trimmed.temperatures.iter().zip(&trimmed.vref) {
+        println!("  {:>7.1} °C  {:.5} V", t.to_celsius().value(), v.value());
+    }
+    Ok(())
+}

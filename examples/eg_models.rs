@@ -1,0 +1,51 @@
+//! Compare the five published `EG(T)` models of the paper's Fig. 1 and
+//! derive the SPICE `EG`/`XTI` pair from first-principles physics (the
+//! eq.-12 identification).
+//!
+//! Run with `cargo run --example eg_models`.
+
+use icvbe::devphys::eg::figure1_models;
+use icvbe::devphys::narrowing::BandgapNarrowing;
+use icvbe::devphys::saturation::PhysicalIsLaw;
+use icvbe::units::{Ampere, Kelvin};
+
+fn main() {
+    println!("Silicon bandgap models (paper Fig. 1):");
+    println!("{:<6} {:>10} {:>10} {:>10}", "model", "EG(0K)", "EG(300K)", "EG(450K)");
+    for m in figure1_models() {
+        println!(
+            "{:<6} {:>9.4}  {:>9.4}  {:>9.4}",
+            m.name(),
+            m.eg_at_zero().value(),
+            m.eg(Kelvin::new(300.0)).value(),
+            m.eg(Kelvin::new(450.0)).value(),
+        );
+    }
+
+    // The eq.-12 identification: physics -> SPICE parameters.
+    let physical = PhysicalIsLaw::typical_silicon(Ampere::new(2e-17), Kelvin::new(298.15));
+    let spice = physical.to_spice_law();
+    println!("\neq.-12 identification for a typical Si bipolar device:");
+    println!("  EG  = EG5(0) - dEGbgn = {:.4} eV", spice.eg().value());
+    println!("  XTI = 4 - EN - Erho - b/k = {:.3}", spice.xti());
+
+    // The identification is exact: physical and SPICE laws coincide.
+    let mut worst: f64 = 0.0;
+    for t in (220..=400).step_by(20) {
+        let t = Kelvin::new(t as f64);
+        let ratio = physical.is_at(t).value() / spice.is_at(t).value();
+        worst = worst.max((ratio - 1.0).abs());
+    }
+    println!("  worst physical-vs-SPICE IS(T) mismatch over 220..400 K: {worst:.2e}");
+
+    // Bandgap narrowing magnitudes the paper quotes.
+    println!("\nbandgap narrowing:");
+    println!(
+        "  Si bipolar emitter: {} meV (paper: ~45 meV)",
+        BandgapNarrowing::silicon_bipolar().delta_eg().value() * 1e3
+    );
+    println!(
+        "  SiGe HBT:           {} meV (paper: ~150 meV)",
+        BandgapNarrowing::sige_hbt().delta_eg().value() * 1e3
+    );
+}

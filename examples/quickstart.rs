@@ -1,0 +1,63 @@
+//! Quickstart: extract `EG` and `XTI` from a `VBE(T)` characteristic two
+//! ways — the classical best fit and the paper's analytical method — and
+//! see that they agree when the temperatures are honest.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use icvbe::core::bestfit::fit_eg_xti;
+use icvbe::core::data::VbeCurve;
+use icvbe::core::meijer::{extract, MeijerMeasurement, MeijerPoint};
+use icvbe::devphys::saturation::SpiceIsLaw;
+use icvbe::devphys::vbe::vbe_for_current;
+use icvbe::units::{Ampere, ElectronVolt, Kelvin};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Ground truth: the device's saturation-current temperature law.
+    let truth_eg = 1.1324;
+    let truth_xti = 2.58;
+    let law = SpiceIsLaw::new(
+        Ampere::new(2e-17),
+        Kelvin::new(298.15),
+        ElectronVolt::new(truth_eg),
+        truth_xti,
+    );
+    let ic = Ampere::new(1e-6);
+
+    // A clean VBE(T) characteristic, -50..125 °C in 25 K steps.
+    let curve = VbeCurve::from_points((0..8).map(|i| {
+        let t = Kelvin::new(223.15 + 25.0 * i as f64);
+        (t, vbe_for_current(&law, ic, t), ic)
+    }))?;
+
+    // Route 1: the classical least-squares best fit of eq. 13.
+    let best = fit_eg_xti(&curve, 3)?;
+    println!(
+        "best fit:    EG = {:.4} eV, XTI = {:.3} (rms residual {:.1e} V)",
+        best.eg.value(),
+        best.xti,
+        best.rms_residual_volts
+    );
+
+    // Route 2: the analytical method — three temperatures, no regression.
+    let point = |t: f64| MeijerPoint {
+        temperature: Kelvin::new(t),
+        vbe: vbe_for_current(&law, ic, Kelvin::new(t)),
+        ic,
+    };
+    let analytical = extract(&MeijerMeasurement {
+        cold: point(248.15),
+        reference: point(298.15),
+        hot: point(348.15),
+    })?;
+    println!(
+        "analytical:  EG = {:.4} eV, XTI = {:.3}",
+        analytical.eg.value(),
+        analytical.xti
+    );
+
+    println!("ground truth: EG = {truth_eg:.4} eV, XTI = {truth_xti:.3}");
+    assert!((best.eg.value() - truth_eg).abs() < 1e-6);
+    assert!((analytical.eg.value() - truth_eg).abs() < 1e-6);
+    println!("both methods recover the truth on honest data ✓");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Extension demo: the sub-1V current-mode bandgap (Banba, the paper's
+//! ref. [10]) built from the same substrates, showing why accurate
+//! `EG`/`XTI` matter even more below 1 V.
+//!
+//! Run with `cargo run --example sub_1v_reference`.
+
+use icvbe::bandgap::banba::BanbaCell;
+use icvbe::bandgap::card::{st_bicmos_pnp, standard_model_card};
+use icvbe::units::Kelvin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Design on the truth card.
+    let cell = BanbaCell::nominal(st_bicmos_pnp());
+    let r0 = cell.calibrate(Kelvin::new(298.15))?;
+    println!("trimmed R0 = {:.1} kohm", r0.value() / 1e3);
+
+    println!("\nVREF(T) of the 0.6-V current-mode reference:");
+    let mut warm: Option<Vec<f64>> = None;
+    for i in 0..8 {
+        let t = Kelvin::new(223.15 + 25.0 * i as f64);
+        let r = cell.solve_with(t, warm.as_deref())?;
+        println!(
+            "  {:>7.2} °C  VREF = {:.5} V  (leg current {:.3} uA)",
+            t.to_celsius().value(),
+            r.vref.value(),
+            r.leg_current * 1e6
+        );
+        warm = Some(r.solution);
+    }
+
+    // What happens if the designer had trimmed against the generic foundry
+    // card instead (wrong EG/XTI)?
+    let wrong = BanbaCell::nominal(standard_model_card());
+    let r0_wrong = wrong.calibrate(Kelvin::new(298.15))?;
+    let silicon = BanbaCell::nominal(st_bicmos_pnp());
+    silicon.r0.set(r0_wrong.value());
+    let cold = silicon.solve(Kelvin::new(223.15))?.vref.value();
+    let hot = silicon.solve(Kelvin::new(398.15))?.vref.value();
+    println!(
+        "\ntrim transferred from the generic card: end-to-end drift {:+.2} mV \
+         (the cost of wrong EG/XTI at 0.6 V full scale)",
+        (hot - cold) * 1e3
+    );
+    Ok(())
+}

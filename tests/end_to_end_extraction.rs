@@ -1,0 +1,169 @@
+//! End-to-end integration: virtual die → virtual bench → temperature
+//! computation → analytical extraction.
+
+use icvbe::core::meijer::{extract, MeijerMeasurement, MeijerPoint};
+use icvbe::core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
+use icvbe::instrument::bench::{PairCampaignPoint, TestStructureBench};
+use icvbe::instrument::montecarlo::{DieSample, SampleFactory};
+use icvbe::units::{Ampere, Celsius, Kelvin};
+
+fn campaign(
+    bench: &mut TestStructureBench,
+    sample: &DieSample,
+) -> Vec<PairCampaignPoint> {
+    bench
+        .run_pair_campaign(
+            sample,
+            Ampere::new(1e-6),
+            &[-25.0, 25.0, 75.0].map(Celsius::new),
+        )
+        .expect("campaign must complete")
+}
+
+fn computed_temps(pts: &[PairCampaignPoint]) -> (Kelvin, Kelvin) {
+    let refp = &pts[1];
+    let compute = |p: &PairCampaignPoint| {
+        let x = PairCurrents {
+            ica_t: p.ic_a,
+            icb_t: p.ic_b,
+            ica_ref: refp.ic_a,
+            icb_ref: refp.ic_b,
+        }
+        .x_factor()
+        .expect("positive currents");
+        temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
+            .expect("valid dvbe")
+    };
+    (compute(&pts[0]), compute(&pts[2]))
+}
+
+fn meijer_of(pts: &[PairCampaignPoint], temps: [Kelvin; 3]) -> MeijerMeasurement {
+    let mk = |p: &PairCampaignPoint, t: Kelvin| MeijerPoint {
+        temperature: t,
+        vbe: p.vbe_a,
+        ic: p.ic_a,
+    };
+    MeijerMeasurement {
+        cold: mk(&pts[0], temps[0]),
+        reference: mk(&pts[1], temps[1]),
+        hot: mk(&pts[2], temps[2]),
+    }
+}
+
+#[test]
+fn ideal_bench_recovers_ground_truth_exactly() {
+    // No self-heating, no instrument error, nominal die: the analytical
+    // method must land on the card parameters to high precision.
+    let mut bench = TestStructureBench::ideal(7);
+    let sample = DieSample::nominal(0);
+    let pts = campaign(&mut bench, &sample);
+    let m = meijer_of(
+        &pts,
+        [
+            pts[0].sensor_temperature,
+            pts[1].sensor_temperature,
+            pts[2].sensor_temperature,
+        ],
+    );
+    let fit = extract(&m).expect("extraction");
+    assert!(
+        (fit.eg.value() - sample.card.eg.value()).abs() < 2e-4,
+        "EG {} vs truth {}",
+        fit.eg.value(),
+        sample.card.eg.value()
+    );
+    assert!(
+        (fit.xti - sample.card.xti).abs() < 0.05,
+        "XTI {} vs truth {}",
+        fit.xti,
+        sample.card.xti
+    );
+}
+
+#[test]
+fn computed_temperatures_track_the_die_modulo_common_scale() {
+    // On the paper bench, the dVBE-computed extremes must be proportional
+    // to the true die temperatures with the single common factor
+    // sensor(T2)/die(T2).
+    let mut bench = TestStructureBench::paper_bench(11);
+    let sample = SampleFactory::seeded(4).draw(1);
+    let pts = campaign(&mut bench, &sample);
+    let (t1c, t3c) = computed_temps(&pts);
+    let s = pts[1].sensor_temperature.value() / pts[1].die_temperature.value();
+    let t1_expected = s * pts[0].die_temperature.value();
+    let t3_expected = s * pts[2].die_temperature.value();
+    assert!(
+        (t1c.value() - t1_expected).abs() < 0.6,
+        "T1 computed {} vs {}",
+        t1c.value(),
+        t1_expected
+    );
+    assert!(
+        (t3c.value() - t3_expected).abs() < 0.6,
+        "T3 computed {} vs {}",
+        t3c.value(),
+        t3_expected
+    );
+}
+
+#[test]
+fn computed_temperature_extraction_keeps_eg_closer_than_its_xti_scale_shift() {
+    // Common-mode scale s leaves EG invariant and maps XTI -> XTI / s; the
+    // extraction with computed temperatures must show exactly that
+    // signature (EG within a few tens of meV, XTI clearly shifted).
+    let mut bench = TestStructureBench::paper_bench(23);
+    let sample = SampleFactory::seeded(5).draw(1);
+    let pts = campaign(&mut bench, &sample);
+    let (t1c, t3c) = computed_temps(&pts);
+    let fit = extract(&meijer_of(
+        &pts,
+        [t1c, pts[1].sensor_temperature, t3c],
+    ))
+    .expect("extraction");
+    let truth = sample.card;
+    assert!(
+        (fit.eg.value() - truth.eg.value()).abs() < 0.05,
+        "EG {} vs truth {}",
+        fit.eg.value(),
+        truth.eg.value()
+    );
+    // The common-scale factor is sensor/die < 1, so XTI moves visibly.
+    assert!(
+        (fit.xti - truth.xti).abs() > 0.05,
+        "XTI should carry the scale shift, got {}",
+        fit.xti
+    );
+}
+
+#[test]
+fn extraction_is_deterministic_across_identical_benches() {
+    let sample = SampleFactory::seeded(9).draw(1);
+    let run = || {
+        let mut bench = TestStructureBench::paper_bench(42);
+        let pts = campaign(&mut bench, &sample);
+        let (t1c, t3c) = computed_temps(&pts);
+        extract(&meijer_of(&pts, [t1c, pts[1].sensor_temperature, t3c])).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.eg, b.eg);
+    assert_eq!(a.xti, b.xti);
+}
+
+#[test]
+fn five_sample_lot_produces_five_distinct_extractions() {
+    let lot = SampleFactory::seeded(2002).draw_lot(5);
+    let mut egs = Vec::new();
+    for sample in &lot {
+        let mut bench = TestStructureBench::paper_bench(1000 + sample.id as u64);
+        let pts = campaign(&mut bench, sample);
+        let (t1c, t3c) = computed_temps(&pts);
+        let fit =
+            extract(&meijer_of(&pts, [t1c, pts[1].sensor_temperature, t3c])).unwrap();
+        egs.push(fit.eg.value());
+    }
+    assert_eq!(egs.len(), 5);
+    for w in egs.windows(2) {
+        assert_ne!(w[0], w[1], "two samples extracted identically");
+    }
+}

@@ -1,0 +1,67 @@
+//! Headline-shape assertions across the reproduced evaluation: the "who
+//! wins, by roughly what factor" facts of each table and figure.
+
+use icvbe::bandgap::vref::CurveShape;
+use icvbe::repro::{fig1, fig2, fig6, fig8, sensitivity, table1};
+
+#[test]
+fn fig1_headline_gaps() {
+    let r = fig1::run();
+    // EG5(0) - EG2(0) ~ 22 meV.
+    assert!((r.eg5_eg2_zero_gap * 1e3 - 21.7).abs() < 1.0);
+    // The linearized extrapolation overshoots by tens of meV.
+    assert!(r.linearization_overshoot * 1e3 > 10.0);
+}
+
+#[test]
+fn fig2_pair_is_ptat() {
+    let r = fig2::run().unwrap();
+    assert!(r.r_squared > 0.9999);
+    assert!((r.slope / r.ideal_slope - 1.0).abs() < 0.02);
+}
+
+#[test]
+fn fig6_line_geometry() {
+    let r = fig6::run().unwrap();
+    // C1 (best fit) and C2 (analytical, same temperatures) coincide...
+    assert!(r.c1_c2_offset < 4e-3);
+    // ...while C3 (computed die temperatures) is clearly separated.
+    assert!(r.c3_c2_offset > 5e-3);
+    // All lines are falling EG(XTI) trade-offs.
+    assert!(r.c1.slope() < 0.0 && r.c2.slope() < 0.0 && r.c3.slope() < 0.0);
+}
+
+#[test]
+fn table1_sign_pattern() {
+    let r = table1::run().unwrap();
+    assert_eq!(r.rows.len(), 5);
+    for row in &r.rows {
+        assert!(row.gap_cold < 0.0, "cold gap must be negative");
+        assert!(row.gap_hot > 0.0, "hot gap must be positive");
+        assert!(row.gap_cold.abs() > 1.0 && row.gap_cold.abs() < 9.0);
+        assert!(row.gap_hot.abs() > 1.0 && row.gap_hot.abs() < 11.0);
+    }
+}
+
+#[test]
+fn fig8_model_card_ranking() {
+    let r = fig8::run().unwrap();
+    // The paper's verdict: the analytically extracted card (S1) follows
+    // the silicon; the best-fit card (S0) predicts a bell it doesn't have.
+    assert_eq!(r.s0_shape, CurveShape::Bell);
+    assert!(r.s1_deviation < r.s0_deviation / 2.0);
+    // The silicon rises at the hot end.
+    let n = r.measured.vref.len();
+    assert!(r.measured.vref[n - 1].value() > r.measured.vref[n - 3].value());
+}
+
+#[test]
+fn sensitivity_claims_hold() {
+    let r = sensitivity::run().unwrap();
+    // 1% VBE error is amplified into percent-scale EG error.
+    assert!(r.vbe_study.eg_relative_error > 0.002);
+    // dT2 = 5 K is benign by comparison.
+    assert!(r.t2_study.eg_relative_error < r.vbe_study.eg_relative_error);
+    // The bias-drift coefficient is sub-millivolt.
+    assert!(r.drift_a_volts < 1e-3);
+}
