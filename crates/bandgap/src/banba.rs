@@ -114,7 +114,9 @@ impl BanbaCell {
 
         // Leg 2: R0 + QB (area N), in parallel with R2 = R1.
         ckt.add(Resistor::new("R0", vb, vmid, Ohm::new(1.0))?.with_handle(self.r0.clone()));
-        ckt.add(Bjt::new("QB", gnd, gnd, vmid, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?);
+        ckt.add(
+            Bjt::new("QB", gnd, gnd, vmid, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?,
+        );
         ckt.add(Resistor::new("R2", vb, gnd, self.r1)?);
 
         // Output leg: I into R3.
@@ -123,15 +125,7 @@ impl BanbaCell {
         // The loop amplifier: forces va = vb by driving the mirror.
         ckt.add(OpAmp::new("U1", va, vb, ctl, self.opamp_gain)?);
 
-        Ok((
-            ckt,
-            BanbaNodes {
-                va,
-                vb,
-                vref,
-                ctl,
-            },
-        ))
+        Ok((ckt, BanbaNodes { va, vb, vref, ctl }))
     }
 
     /// Solves the cell at one temperature (start-up guess included).

@@ -119,14 +119,16 @@ impl BandgapCell {
         let p6 = ckt.node("p6");
         let eb = ckt.node("eb");
 
-        ckt.add(
-            Resistor::new("RX1", vref, p1, self.r_top)?
-                .with_tempco(self.resistor_tc1, 0.0, self.t_nom),
-        );
-        ckt.add(
-            Resistor::new("RX2", vref, p2, self.r_top)?
-                .with_tempco(self.resistor_tc1, 0.0, self.t_nom),
-        );
+        ckt.add(Resistor::new("RX1", vref, p1, self.r_top)?.with_tempco(
+            self.resistor_tc1,
+            0.0,
+            self.t_nom,
+        ));
+        ckt.add(Resistor::new("RX2", vref, p2, self.r_top)?.with_tempco(
+            self.resistor_tc1,
+            0.0,
+            self.t_nom,
+        ));
         ckt.add(
             Resistor::new("RA", p2, p6, Ohm::new(1.0))?
                 .with_handle(self.r_ptat.clone())
@@ -146,10 +148,7 @@ impl BandgapCell {
         ckt.add(qa);
         ckt.add(qb);
 
-        ckt.add(
-            OpAmp::new("U1", p1, p2, vref, self.opamp_gain)?
-                .with_offset(self.opamp_offset),
-        );
+        ckt.add(OpAmp::new("U1", p1, p2, vref, self.opamp_gain)?.with_offset(self.opamp_offset));
 
         // Start-up injector: a nanoamp into the QA branch makes the
         // all-off state a non-equilibrium, exactly like the start-up
@@ -218,8 +217,7 @@ impl BandgapCell {
                 } else {
                     (t - STEP).max(target)
                 };
-                reading =
-                    self.solve_direct(Kelvin::new(t), options, Some(&reading.solution))?;
+                reading = self.solve_direct(Kelvin::new(t), options, Some(&reading.solution))?;
             }
             return Ok(reading);
         }
@@ -283,8 +281,8 @@ impl BandgapCell {
     /// PTAT (class-A bias currents rise with temperature).
     #[must_use]
     pub fn power_watts(&self, reading: &CellReading) -> f64 {
-        let branches = reading.vref.value()
-            * (reading.i_branch_a.value() + reading.i_branch_b.value()).abs();
+        let branches =
+            reading.vref.value() * (reading.i_branch_a.value() + reading.i_branch_b.value()).abs();
         // 2 mW at 298 K, PTAT: the dominant term, as in the paper's cell
         // where "the collector currents ICQA and ICQB increase with
         // temperature".
@@ -444,7 +442,10 @@ mod tests {
         let v_cold = cell.solve(Kelvin::new(223.15)).unwrap().vref.value();
         let v_mid = cell.solve(Kelvin::new(298.15)).unwrap().vref.value();
         let v_hot = cell.solve(Kelvin::new(398.15)).unwrap().vref.value();
-        assert!(v_mid > v_cold && v_mid > v_hot, "not a bell: {v_cold}, {v_mid}, {v_hot}");
+        assert!(
+            v_mid > v_cold && v_mid > v_hot,
+            "not a bell: {v_cold}, {v_mid}, {v_hot}"
+        );
         // Bow magnitude: millivolts over 175 K, as in Fig. 8.
         assert!(v_mid - v_cold < 0.04 && v_mid - v_hot < 0.04);
     }

@@ -89,7 +89,8 @@ impl PairStructure {
             Ampere::new(self.bias.value() * self.bias_mismatch),
         ));
         let mut qa = Bjt::new("QA", gnd, gnd, va, Polarity::Pnp, self.card)?;
-        let mut qb = Bjt::new("QB", gnd, gnd, vb, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?;
+        let mut qb =
+            Bjt::new("QB", gnd, gnd, vb, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?;
         if let Some(j) = self.substrate {
             qa = qa.with_substrate(gnd, j);
             qb = qb.with_substrate(gnd, j);
@@ -135,12 +136,26 @@ impl PairStructure {
         // Collector currents: bias minus base current minus substrate
         // leakage; reconstruct from the device equations at the solved
         // voltages.
-        let qa = Bjt::new("QA", Circuit::ground(), Circuit::ground(), va, Polarity::Pnp, self.card)
-            .expect("validated card");
-        let qb = Bjt::new("QB", Circuit::ground(), Circuit::ground(), vb, Polarity::Pnp, self.card)
-            .expect("validated card")
-            .with_area(self.area_ratio)
-            .expect("positive ratio");
+        let qa = Bjt::new(
+            "QA",
+            Circuit::ground(),
+            Circuit::ground(),
+            va,
+            Polarity::Pnp,
+            self.card,
+        )
+        .expect("validated card");
+        let qb = Bjt::new(
+            "QB",
+            Circuit::ground(),
+            Circuit::ground(),
+            vb,
+            Polarity::Pnp,
+            self.card,
+        )
+        .expect("validated card")
+        .with_area(self.area_ratio)
+        .expect("positive ratio");
         let zero = Volt::new(0.0);
         let ic_a = qa.dc_currents(zero, zero, vbe_a, temperature).ic;
         let ic_b = qb.dc_currents(zero, zero, vbe_b, temperature).ic;
@@ -208,8 +223,16 @@ mod tests {
         let pair = PairStructure::ideal(st_bicmos_pnp(), Ampere::new(1e-6));
         let r = pair.measure(Kelvin::new(298.15)).unwrap();
         // Base current steals ~1/BF.
-        assert!((r.ic_a.value() - 1e-6).abs() / 1e-6 < 0.05, "ICA = {}", r.ic_a);
-        assert!((r.ic_b.value() - 1e-6).abs() / 1e-6 < 0.05, "ICB = {}", r.ic_b);
+        assert!(
+            (r.ic_a.value() - 1e-6).abs() / 1e-6 < 0.05,
+            "ICA = {}",
+            r.ic_a
+        );
+        assert!(
+            (r.ic_b.value() - 1e-6).abs() / 1e-6 < 0.05,
+            "ICB = {}",
+            r.ic_b
+        );
     }
 
     #[test]

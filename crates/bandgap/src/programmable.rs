@@ -163,8 +163,7 @@ impl ProgrammableTestCell {
     /// The bandgap-reference view of the die under this configuration.
     #[must_use]
     pub fn bandgap_cell(&self) -> BandgapCell {
-        let net_offset =
-            self.traits.opamp_offset.value() - self.config.adj_trim_volts();
+        let net_offset = self.traits.opamp_offset.value() - self.config.adj_trim_volts();
         let cell = BandgapCell::nominal(self.traits.card)
             .with_substrate(self.traits.substrate)
             .with_opamp_offset(Volt::new(net_offset));
@@ -276,8 +275,7 @@ mod tests {
 
     #[test]
     fn p4_p5_calibration_nulls_readout_offset() {
-        let cell_raw =
-            ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
+        let cell_raw = ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
         let cell_cal =
             ProgrammableTestCell::new(die(), PadConfiguration::characterization()).unwrap();
         let t = Kelvin::new(298.15);
@@ -303,7 +301,10 @@ mod tests {
         let lo = vref_at(4);
         let mid = vref_at(16);
         let hi = vref_at(28);
-        assert!(lo > mid && mid > hi, "VREF not monotone in code: {lo} {mid} {hi}");
+        assert!(
+            lo > mid && mid > hi,
+            "VREF not monotone in code: {lo} {mid} {hi}"
+        );
         // 24 LSB * 0.25 mV input-referred, amplified by the PTAT gain.
         assert!((lo - hi) > 0.01, "ladder range too small: {}", lo - hi);
     }
@@ -342,11 +343,11 @@ mod tests {
 
     #[test]
     fn reconfiguration_preserves_the_die() {
-        let mut cell =
-            ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
+        let mut cell = ProgrammableTestCell::new(die(), PadConfiguration::fresh()).unwrap();
         let t = Kelvin::new(298.15);
         let before = cell.measure_vref(t).unwrap().vref;
-        cell.reconfigure(PadConfiguration::characterization()).unwrap();
+        cell.reconfigure(PadConfiguration::characterization())
+            .unwrap();
         cell.reconfigure(PadConfiguration::fresh()).unwrap();
         let after = cell.measure_vref(t).unwrap().vref;
         assert!((before.value() - after.value()).abs() < 1e-9);

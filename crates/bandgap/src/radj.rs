@@ -94,7 +94,10 @@ mod tests {
         let grid = [Kelvin::new(298.15)];
         let family = radj_family(&cell, &paper_radj_values(), &grid).unwrap();
         let v: Vec<f64> = family.iter().map(|(_, c)| c.vref[0].value()).collect();
-        assert!(v[1] < v[0] && v[2] < v[1] && v[3] < v[2], "VREF not monotone in RadjA: {v:?}");
+        assert!(
+            v[1] < v[0] && v[2] < v[1] && v[3] < v[2],
+            "VREF not monotone in RadjA: {v:?}"
+        );
     }
 
     #[test]

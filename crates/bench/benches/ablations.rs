@@ -6,11 +6,12 @@
 //! - electro-thermal fixed point vs one-shot self-heating estimate,
 //! - DC solver: plain Newton vs the gmin-ladder path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use icvbe_bandgap::card::st_bicmos_pnp;
 use icvbe_bandgap::cell::BandgapCell;
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_bench::{synthetic_curve, synthetic_measurement};
-use icvbe_core::bestfit::{fit_eg_xti_with, fit_eg_xti};
+use icvbe_core::bestfit::{fit_eg_xti, fit_eg_xti_with};
 use icvbe_core::meijer::extract;
 use icvbe_core::nonlinear::fit_eg_xti_vberef;
 use icvbe_numerics::lsq::LsqBackend;
@@ -26,9 +27,7 @@ fn bench_lsq_backend(c: &mut Criterion) {
         b.iter(|| black_box(fit_eg_xti_with(&curve, 3, LsqBackend::Qr).expect("fit")))
     });
     g.bench_function("normal_equations", |b| {
-        b.iter(|| {
-            black_box(fit_eg_xti_with(&curve, 3, LsqBackend::NormalEquations).expect("fit"))
-        })
+        b.iter(|| black_box(fit_eg_xti_with(&curve, 3, LsqBackend::NormalEquations).expect("fit")))
     });
     g.finish();
 }

@@ -1,0 +1,41 @@
+//! Campaign worker-pool scaling: identical wafer, 1 thread vs N threads.
+//!
+//! The aggregate is asserted bit-identical across thread counts before
+//! timing anything, so the speedup measured here is for *the same
+//! answer* — the determinism guarantee is not traded for throughput.
+
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
+use icvbe_campaign::spec::WaferMap;
+use icvbe_campaign::{run_campaign, CampaignSpec};
+
+fn scaling_spec() -> CampaignSpec {
+    // ~120 dies: big enough to amortize pool startup, small enough for a
+    // bench iteration.
+    CampaignSpec::paper_default(WaferMap::circular(13), 0xC0FF_EE00)
+}
+
+fn bench_campaign_scaling(c: &mut Criterion) {
+    let spec = scaling_spec();
+
+    // Guard: the parallel run must produce the identical aggregate.
+    let one = run_campaign(&spec, 1).expect("1-thread run");
+    let par = run_campaign(&spec, 8).expect("8-thread run");
+    assert_eq!(
+        one.aggregate, par.aggregate,
+        "aggregate must be thread-count invariant"
+    );
+
+    let mut group = c.benchmark_group("campaign_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let spec = spec.clone();
+        group.bench_function(&format!("threads/{threads}"), move |b| {
+            b.iter(|| run_campaign(&spec, threads).expect("campaign run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_scaling);
+criterion_main!(benches);

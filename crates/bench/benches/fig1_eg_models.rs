@@ -1,6 +1,7 @@
 //! FIG1 bench: regenerating the five-model `EG(T)` comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_devphys::eg::figure1_models;
 use icvbe_units::Kelvin;
 use std::hint::black_box;

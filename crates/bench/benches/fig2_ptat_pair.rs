@@ -1,8 +1,9 @@
 //! FIG2 bench: solving the PTAT pair structure across temperature.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use icvbe_bandgap::card::st_bicmos_pnp;
 use icvbe_bandgap::pair::PairStructure;
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_units::{Ampere, Kelvin};
 use std::hint::black_box;
 

@@ -1,6 +1,7 @@
 //! FIG5 bench: the swept `IC(VBE)` family through the full solver path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn bench_fig5(c: &mut Criterion) {

@@ -1,6 +1,7 @@
 //! FIG6 bench: the three extraction routes on extraction-ready data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_bench::{synthetic_curve, synthetic_measurement};
 use icvbe_core::{bestfit, meijer};
 use std::hint::black_box;
@@ -16,11 +17,7 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter(|| black_box(bestfit::fit_eg_xti(&curve, 3).expect("fit")))
     });
     g.bench_function("bestfit_characteristic_straight_c1", |b| {
-        b.iter(|| {
-            black_box(
-                bestfit::characteristic_straight(&curves, 3, &grid).expect("straight"),
-            )
-        })
+        b.iter(|| black_box(bestfit::characteristic_straight(&curves, 3, &grid).expect("straight")))
     });
     g.bench_function("meijer_2x2_extraction", |b| {
         b.iter(|| black_box(meijer::extract(&m).expect("extract")))
@@ -28,12 +25,8 @@ fn bench_fig6(c: &mut Criterion) {
     g.bench_function("meijer_characteristic_straight", |b| {
         b.iter(|| {
             black_box(
-                meijer::characteristic_straight(
-                    &m,
-                    meijer::MeijerPairing::ColdReference,
-                    &grid,
-                )
-                .expect("straight"),
+                meijer::characteristic_straight(&m, meijer::MeijerPairing::ColdReference, &grid)
+                    .expect("straight"),
             )
         })
     });

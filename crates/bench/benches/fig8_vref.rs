@@ -1,10 +1,11 @@
 //! FIG8 bench: bandgap-cell solves, `VREF(T)` sweeps, and the full
 //! model-card comparison.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use icvbe_bandgap::card::st_bicmos_pnp;
 use icvbe_bandgap::cell::BandgapCell;
 use icvbe_bandgap::vref::{figure8_grid, VrefCurve};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_units::Kelvin;
 use std::hint::black_box;
 

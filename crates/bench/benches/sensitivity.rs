@@ -1,6 +1,7 @@
 //! SENS bench: the error-propagation studies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_bench::{synthetic_curve, synthetic_measurement};
 use icvbe_core::sensitivity::{bestfit_vbe_error_study, meijer_t2_error_study};
 use std::hint::black_box;

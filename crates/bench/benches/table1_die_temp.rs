@@ -1,7 +1,8 @@
 //! TABLE1 bench: the electro-thermal measurement point and the full
 //! five-sample campaign.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use icvbe_bench::harness::Criterion;
+use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_instrument::bench::TestStructureBench;
 use icvbe_instrument::montecarlo::DieSample;
 use icvbe_units::{Ampere, Celsius};

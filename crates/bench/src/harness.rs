@@ -1,0 +1,282 @@
+//! A small criterion-compatible micro-benchmark harness on plain `std`.
+//!
+//! The workspace builds hermetically (no registry access), so the bench
+//! targets cannot link the `criterion` crate. This module implements the
+//! slice of its API the benches use — [`Criterion`], benchmark groups,
+//! `Bencher::iter`, and the [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — with the same
+//! calling conventions, so a bench file reads identically either way.
+//!
+//! Measurement model: per benchmark, a warm-up phase sizes the number of
+//! iterations per sample so that `sample_size` samples fill the
+//! measurement window; each sample times a fixed iteration batch with
+//! [`std::time::Instant`] and the report quotes the min / median / max
+//! per-iteration time across samples. Positional command-line arguments
+//! act as substring filters on `group/name` ids (`cargo bench campaign`),
+//! and `--list` prints ids without running.
+
+use std::time::{Duration, Instant};
+
+/// Harness configuration plus the command-line filter, mirroring
+/// `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filters: Vec<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut list_only = false;
+        // Cargo invokes bench binaries as `<bin> --bench [ARGS]`; flags we
+        // don't implement are ignored, positional args filter by substring.
+        for a in std::env::args().skip(1) {
+            if a == "--list" {
+                list_only = true;
+            } else if !a.starts_with('-') {
+                filters.push(a);
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1500),
+            filters,
+            list_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration preceding measurement.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target duration of the measurement phase.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, id, f);
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A named group of related benchmarks (criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        run_one(&cfg, &format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark measurement driver handed to the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Per-iteration nanoseconds, one entry per sample (filled by `iter`).
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` as the benchmark body (criterion's `Bencher::iter`).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run until the window elapses to fault in caches and
+        // estimate the per-iteration cost.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((budget_ns / per_iter.max(1.0)).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_one<F>(cfg: &Criterion, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !cfg.selected(id) {
+        return;
+    }
+    if cfg.list_only {
+        println!("{id}: benchmark");
+        return;
+    }
+    let mut b = Bencher {
+        warm_up: cfg.warm_up,
+        measurement: cfg.measurement,
+        sample_size: cfg.sample_size,
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        println!("{id:<50} (no measurement: closure never called iter)");
+        return;
+    }
+    let mut s = b.samples_ns.clone();
+    s.sort_by(|a, c| a.total_cmp(c));
+    let median = s[s.len() / 2];
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        format_ns(s[0]),
+        format_ns(median),
+        format_ns(s[s.len() - 1]),
+        s.len(),
+        b.iters_per_sample,
+    );
+}
+
+/// Formats nanoseconds with an auto-ranged unit, criterion style.
+#[must_use]
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Defines a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(5),
+            measurement: Duration::from_millis(10),
+            sample_size: 3,
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 3);
+        assert!(b.samples_ns.iter().all(|&ns| ns >= 0.0));
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

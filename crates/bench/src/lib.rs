@@ -1,10 +1,14 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Shared fixtures and the in-tree [`harness`] for the benchmarks.
 //!
 //! Each bench target regenerates one table or figure of the paper (see
 //! DESIGN.md's per-experiment index); this crate hosts the common data
-//! builders so the benches measure the computation, not the setup.
+//! builders so the benches measure the computation, not the setup, plus
+//! the criterion-compatible micro-benchmark harness the targets run on
+//! (the hermetic build has no registry access, so no `criterion` crate).
 
 #![deny(missing_docs)]
+
+pub mod harness;
 
 use icvbe_core::data::VbeCurve;
 use icvbe_core::meijer::{MeijerMeasurement, MeijerPoint};

@@ -1,0 +1,360 @@
+//! Streaming aggregation: Welford statistics, yield bins and the
+//! characteristic-straight scatter summary.
+//!
+//! The engine folds [`DieOutcome`](crate::die::DieOutcome)s **in die-index
+//! order** (the worker pool's reorder buffer guarantees the order), so
+//! the floating-point accumulation below is reproducible for any thread
+//! count while memory stays O(corners), independent of the die count.
+
+use crate::die::{CornerOutcome, DieOutcome};
+use crate::spec::CampaignSpec;
+
+/// The yield bin of one corner extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldBin {
+    /// Extraction inside the spec window.
+    Pass,
+    /// `EG` below the window.
+    EgLow,
+    /// `EG` above the window.
+    EgHigh,
+    /// `XTI` below the window.
+    XtiLow,
+    /// `XTI` above the window.
+    XtiHigh,
+    /// The die pipeline failed (circuit, thermal or extraction error).
+    SolveFail,
+}
+
+impl YieldBin {
+    /// All bins, in report order.
+    pub const ALL: [YieldBin; 6] = [
+        YieldBin::Pass,
+        YieldBin::EgLow,
+        YieldBin::EgHigh,
+        YieldBin::XtiLow,
+        YieldBin::XtiHigh,
+        YieldBin::SolveFail,
+    ];
+
+    /// Stable label used in the JSON/CSV reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            YieldBin::Pass => "pass",
+            YieldBin::EgLow => "eg_low",
+            YieldBin::EgHigh => "eg_high",
+            YieldBin::XtiLow => "xti_low",
+            YieldBin::XtiHigh => "xti_high",
+            YieldBin::SolveFail => "solve_fail",
+        }
+    }
+
+    /// Dense index into a bin-count array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            YieldBin::Pass => 0,
+            YieldBin::EgLow => 1,
+            YieldBin::EgHigh => 2,
+            YieldBin::XtiLow => 3,
+            YieldBin::XtiHigh => 4,
+            YieldBin::SolveFail => 5,
+        }
+    }
+}
+
+/// Welford's online mean/variance with min/max tracking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Welford {
+    /// Folds one observation in.
+    pub fn absorb(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 below two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Streaming bivariate moments of the `(XTI, EG)` cloud — the campaign
+/// view of the paper's Fig.-6 characteristic straight.
+///
+/// Extracted pairs are *effective* parameters: each die's `(EG, XTI)`
+/// lies on that die's characteristic straight, so across a lot the cloud
+/// collapses onto a line whose slope/intercept this summarizes, along
+/// with the correlation that tells how tight the collapse is.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Scatter {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl Scatter {
+    /// Folds one `(xti, eg)` pair in.
+    pub fn absorb(&mut self, xti: f64, eg: f64) {
+        self.n += 1;
+        let dx = xti - self.mean_x;
+        self.mean_x += dx / self.n as f64;
+        let dy = eg - self.mean_y;
+        self.mean_y += dy / self.n as f64;
+        self.m2x += dx * (xti - self.mean_x);
+        self.m2y += dy * (eg - self.mean_y);
+        self.cxy += dx * (eg - self.mean_y);
+    }
+
+    /// Number of pairs.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Slope of the regression of `EG` on `XTI` (eV per unit `XTI`).
+    #[must_use]
+    pub fn slope(&self) -> f64 {
+        if self.m2x > 0.0 {
+            self.cxy / self.m2x
+        } else {
+            0.0
+        }
+    }
+
+    /// Intercept of the regression (eV at `XTI = 0`).
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.mean_y - self.slope() * self.mean_x
+    }
+
+    /// Pearson correlation of the cloud (0 for a degenerate cloud).
+    #[must_use]
+    pub fn correlation(&self) -> f64 {
+        let d = self.m2x * self.m2y;
+        if d > 0.0 {
+            self.cxy / d.sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Coefficient of determination of the straight.
+    #[must_use]
+    pub fn r_squared(&self) -> f64 {
+        let c = self.correlation();
+        c * c
+    }
+}
+
+/// Aggregate over one bias corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CornerAggregate {
+    /// Corner label (from the spec).
+    pub name: String,
+    /// Extracted `EG` statistics, eV.
+    pub eg_ev: Welford,
+    /// Extracted `XTI` statistics.
+    pub xti: Welford,
+    /// Fit RMS residual statistics, volts.
+    pub rms_residual_v: Welford,
+    /// Error of the computed cold-point die temperature vs truth, kelvin.
+    pub t_cold_err_k: Welford,
+    /// Error of the computed hot-point die temperature vs truth, kelvin.
+    pub t_hot_err_k: Welford,
+    /// Characteristic-straight scatter of the `(XTI, EG)` cloud.
+    pub straight: Scatter,
+    /// Yield bin counts, indexed by [`YieldBin::index`].
+    pub bins: [u64; 6],
+}
+
+impl CornerAggregate {
+    fn new(name: &str) -> Self {
+        CornerAggregate {
+            name: name.to_string(),
+            eg_ev: Welford::default(),
+            xti: Welford::default(),
+            rms_residual_v: Welford::default(),
+            t_cold_err_k: Welford::default(),
+            t_hot_err_k: Welford::default(),
+            straight: Scatter::default(),
+            bins: [0; 6],
+        }
+    }
+
+    fn absorb(&mut self, c: &CornerOutcome) {
+        self.bins[c.bin.index()] += 1;
+        if let Some(v) = &c.values {
+            self.eg_ev.absorb(v.eg_ev);
+            self.xti.absorb(v.xti);
+            self.rms_residual_v.absorb(v.rms_residual_v);
+            self.t_cold_err_k.absorb(v.t_cold_err_k);
+            self.t_hot_err_k.absorb(v.t_hot_err_k);
+            self.straight.absorb(v.xti, v.eg_ev);
+        }
+    }
+
+    /// Fraction of extractions landing in [`YieldBin::Pass`].
+    #[must_use]
+    pub fn yield_fraction(&self) -> f64 {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.bins[YieldBin::Pass.index()] as f64 / total as f64
+        }
+    }
+}
+
+/// The whole campaign's streaming aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignAggregate {
+    /// Dies folded in so far.
+    pub dies: u64,
+    /// Dies with at least one solve-failed corner.
+    pub dies_failed: u64,
+    /// Per-corner aggregates, in spec order.
+    pub corners: Vec<CornerAggregate>,
+}
+
+impl CampaignAggregate {
+    /// An empty aggregate shaped for `spec`'s corners.
+    #[must_use]
+    pub fn new(spec: &CampaignSpec) -> Self {
+        CampaignAggregate {
+            dies: 0,
+            dies_failed: 0,
+            corners: spec
+                .corners
+                .iter()
+                .map(|c| CornerAggregate::new(&c.name))
+                .collect(),
+        }
+    }
+
+    /// Folds one die in. **Must** be called in die-index order to keep
+    /// the aggregate deterministic across thread counts.
+    pub fn absorb(&mut self, die: &DieOutcome) {
+        self.dies += 1;
+        if die.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
+            self.dies_failed += 1;
+        }
+        for (agg, out) in self.corners.iter_mut().zip(&die.corners) {
+            agg.absorb(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass_stats() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.5, -3.25];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.absorb(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), -3.25);
+        assert_eq!(w.max(), 16.5);
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn scatter_recovers_exact_line() {
+        let mut s = Scatter::default();
+        // EG = 1.2 - 0.025 * XTI, exactly.
+        for i in 0..50 {
+            let xti = 0.1 * i as f64;
+            s.absorb(xti, 1.2 - 0.025 * xti);
+        }
+        assert!((s.slope() + 0.025).abs() < 1e-12);
+        assert!((s.intercept() - 1.2).abs() < 1e-12);
+        assert!((s.correlation() + 1.0).abs() < 1e-12);
+        assert!((s.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_scatter_is_finite() {
+        let mut s = Scatter::default();
+        s.absorb(2.58, 1.13);
+        s.absorb(2.58, 1.13);
+        assert_eq!(s.slope(), 0.0);
+        assert_eq!(s.correlation(), 0.0);
+    }
+
+    #[test]
+    fn bin_labels_and_indices_are_dense() {
+        for (i, b) in YieldBin::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert!(!b.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The per-die pipeline: process sample → virtual bench sweep → dVBE die
+//! thermometry → Meijer extraction → yield bin.
+//!
+//! This is exactly the single-die flow of the paper (and of
+//! `examples/extraction_campaign.rs`), packaged as a pure function of
+//! `(spec, site)`: every random stream the die touches derives from the
+//! campaign seed and the die index (see [`crate::seeding`]), so the
+//! function is referentially transparent — the precondition for fanning
+//! dies out across threads in any order.
+
+use std::time::Instant;
+
+use icvbe_core::meijer::extract;
+use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
+use icvbe_instrument::bench::{PairCampaignPoint, TestStructureBench};
+use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
+use icvbe_units::Kelvin;
+
+use crate::aggregate::YieldBin;
+use crate::seeding::{stream_seed, Stream};
+use crate::spec::{BenchProfile, CampaignSpec, DieSite, SpecWindow};
+
+/// Extracted values of one corner (present unless the solve failed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerValues {
+    /// Extracted `EG`, eV.
+    pub eg_ev: f64,
+    /// Extracted `XTI`.
+    pub xti: f64,
+    /// RMS fit residual, volts.
+    pub rms_residual_v: f64,
+    /// dVBE-computed cold die temperature, kelvin.
+    pub t_cold_k: f64,
+    /// dVBE-computed hot die temperature, kelvin.
+    pub t_hot_k: f64,
+    /// Computed-minus-true cold die temperature, kelvin.
+    pub t_cold_err_k: f64,
+    /// Computed-minus-true hot die temperature, kelvin.
+    pub t_hot_err_k: f64,
+}
+
+/// One corner's outcome: a yield bin, plus values when extraction ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerOutcome {
+    /// Where the corner binned.
+    pub bin: YieldBin,
+    /// Extracted values; `None` iff `bin` is [`YieldBin::SolveFail`].
+    pub values: Option<CornerValues>,
+}
+
+/// Wall-clock of the die's pipeline stages (observability only — never
+/// part of the deterministic aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DieTiming {
+    /// Process-sample generation, ns.
+    pub sample_ns: u64,
+    /// Bench measurement (all corners, all setpoints), ns.
+    pub measure_ns: u64,
+    /// Thermometry + extraction, ns.
+    pub extract_ns: u64,
+}
+
+/// Everything one die produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieOutcome {
+    /// Dense die index (campaign order).
+    pub index: usize,
+    /// Wafer row.
+    pub row: usize,
+    /// Wafer column.
+    pub col: usize,
+    /// Per-corner outcomes, in spec corner order.
+    pub corners: Vec<CornerOutcome>,
+    /// Stage wall-clocks.
+    pub timing: DieTiming,
+}
+
+fn classify(window: &SpecWindow, eg: f64, xti: f64) -> YieldBin {
+    if eg < window.eg_min {
+        YieldBin::EgLow
+    } else if eg > window.eg_max {
+        YieldBin::EgHigh
+    } else if xti < window.xti_min {
+        YieldBin::XtiLow
+    } else if xti > window.xti_max {
+        YieldBin::XtiHigh
+    } else {
+        YieldBin::Pass
+    }
+}
+
+fn make_bench(profile: BenchProfile, seed: u64) -> TestStructureBench {
+    match profile {
+        BenchProfile::Paper => TestStructureBench::paper_bench(seed),
+        BenchProfile::Ideal => TestStructureBench::ideal(seed),
+    }
+}
+
+/// The eq.-16/20 die-temperature computation for a non-reference point.
+fn computed_temperature(
+    p: &PairCampaignPoint,
+    refp: &PairCampaignPoint,
+) -> Result<Kelvin, icvbe_core::ExtractionError> {
+    let x = PairCurrents {
+        ica_t: p.ic_a,
+        icb_t: p.ic_b,
+        ica_ref: refp.ic_a,
+        icb_ref: refp.ic_b,
+    }
+    .x_factor()?;
+    temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
+}
+
+fn run_corner(
+    spec: &CampaignSpec,
+    sample: &DieSample,
+    site: DieSite,
+    corner_idx: usize,
+    timing: &mut DieTiming,
+) -> CornerOutcome {
+    let bench_seed = stream_seed(
+        spec.seed,
+        site.index as u64,
+        Stream::Bench(corner_idx as u32),
+    );
+    let mut bench = make_bench(spec.bench, bench_seed);
+
+    let t_measure = Instant::now();
+    let pts = match bench.run_pair_campaign(
+        sample,
+        spec.corners[corner_idx].ic,
+        &spec.plan.setpoints(),
+    ) {
+        Ok(p) => p,
+        Err(_) => {
+            timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
+            return CornerOutcome {
+                bin: YieldBin::SolveFail,
+                values: None,
+            };
+        }
+    };
+    timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
+
+    let t_extract = Instant::now();
+    let out = (|| {
+        let refp = &pts[1];
+        let t_cold = computed_temperature(&pts[0], refp)?;
+        let t_hot = computed_temperature(&pts[2], refp)?;
+        let m = TestStructureBench::meijer_from_points(
+            [&pts[0], &pts[1], &pts[2]],
+            [t_cold, refp.sensor_temperature, t_hot],
+        );
+        let fit = extract(&m)?;
+        Ok::<CornerValues, icvbe_core::ExtractionError>(CornerValues {
+            eg_ev: fit.eg.value(),
+            xti: fit.xti,
+            rms_residual_v: fit.rms_residual_volts,
+            t_cold_k: t_cold.value(),
+            t_hot_k: t_hot.value(),
+            t_cold_err_k: t_cold.value() - pts[0].die_temperature.value(),
+            t_hot_err_k: t_hot.value() - pts[2].die_temperature.value(),
+        })
+    })();
+    timing.extract_ns += t_extract.elapsed().as_nanos() as u64;
+
+    match out {
+        Ok(v) => CornerOutcome {
+            bin: classify(&spec.window, v.eg_ev, v.xti),
+            values: Some(v),
+        },
+        Err(_) => CornerOutcome {
+            bin: YieldBin::SolveFail,
+            values: None,
+        },
+    }
+}
+
+/// Runs the full pipeline of one die. Infallible by design: failures are
+/// binned, not raised, because a wafer campaign must outlive bad dies.
+#[must_use]
+pub fn run_die(spec: &CampaignSpec, site: DieSite) -> DieOutcome {
+    let mut timing = DieTiming::default();
+
+    let t_sample = Instant::now();
+    let process_seed = stream_seed(spec.seed, site.index as u64, Stream::Process);
+    let sample = SampleFactory::seeded(process_seed)
+        .with_spec(spec.variation)
+        .draw(site.index + 1);
+    timing.sample_ns = t_sample.elapsed().as_nanos() as u64;
+
+    let corners = (0..spec.corners.len())
+        .map(|k| run_corner(spec, &sample, site, k, &mut timing))
+        .collect();
+
+    DieOutcome {
+        index: site.index,
+        row: site.row,
+        col: site.col,
+        corners,
+        timing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WaferMap;
+
+    fn small_spec() -> CampaignSpec {
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 77);
+        s.corners.truncate(1);
+        s
+    }
+
+    #[test]
+    fn run_die_is_deterministic() {
+        let spec = small_spec();
+        let site = spec.wafer.sites()[1];
+        let a = run_die(&spec, site);
+        let b = run_die(&spec, site);
+        assert_eq!(a.corners, b.corners);
+        assert_eq!(a.index, 1);
+    }
+
+    #[test]
+    fn healthy_die_passes_window() {
+        let spec = small_spec();
+        let out = run_die(&spec, spec.wafer.sites()[0]);
+        let c = &out.corners[0];
+        assert_eq!(c.bin, YieldBin::Pass, "healthy die binned {:?}", c.bin);
+        let v = c.values.unwrap();
+        assert!(v.eg_ev > 1.05 && v.eg_ev < 1.25, "EG {}", v.eg_ev);
+        // Computed die temperatures land near the plan's -25/+75 °C, plus
+        // self-heating of some tens of kelvin.
+        assert!(
+            v.t_cold_k > 230.0 && v.t_cold_k < 310.0,
+            "T1 {}",
+            v.t_cold_k
+        );
+        assert!(v.t_hot_k > 330.0 && v.t_hot_k < 410.0, "T3 {}", v.t_hot_k);
+        // The computed temperatures are referenced to the chamber sensor
+        // at the reference setpoint, so they sit below the true (self-
+        // heated) die temperature by roughly the reference self-heating
+        // (~15 K on the paper bench) — bounded, not zero.
+        assert!(
+            v.t_cold_err_k < 0.0 && v.t_cold_err_k > -25.0,
+            "cold err {}",
+            v.t_cold_err_k
+        );
+        assert!(
+            v.t_hot_err_k < 0.0 && v.t_hot_err_k > -25.0,
+            "hot err {}",
+            v.t_hot_err_k
+        );
+    }
+
+    #[test]
+    fn classification_covers_every_edge() {
+        let w = SpecWindow {
+            eg_min: 1.0,
+            eg_max: 1.2,
+            xti_min: 1.0,
+            xti_max: 4.0,
+        };
+        assert_eq!(classify(&w, 1.1, 2.0), YieldBin::Pass);
+        assert_eq!(classify(&w, 0.9, 2.0), YieldBin::EgLow);
+        assert_eq!(classify(&w, 1.3, 2.0), YieldBin::EgHigh);
+        assert_eq!(classify(&w, 1.1, 0.5), YieldBin::XtiLow);
+        assert_eq!(classify(&w, 1.1, 4.5), YieldBin::XtiHigh);
+    }
+
+    #[test]
+    fn corners_see_independent_bench_noise() {
+        let mut spec = CampaignSpec::paper_default(WaferMap::full(1, 1), 5);
+        // Two corners at the SAME bias: identical physics, different
+        // bench streams -> different noise realizations.
+        spec.corners.truncate(2);
+        spec.corners[1].ic = spec.corners[0].ic;
+        let out = run_die(&spec, spec.wafer.sites()[0]);
+        let a = out.corners[0].values.unwrap();
+        let b = out.corners[1].values.unwrap();
+        assert_ne!(a.eg_ev, b.eg_ev);
+    }
+}

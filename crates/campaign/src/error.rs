@@ -1,0 +1,49 @@
+//! Campaign-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by campaign validation or report persistence.
+///
+/// Per-die pipeline failures are *not* errors: a production campaign must
+/// survive bad dies, so those are counted and binned as
+/// [`YieldBin::SolveFail`](crate::aggregate::YieldBin::SolveFail) instead.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The campaign spec is internally inconsistent.
+    InvalidSpec(String),
+    /// Writing a report artifact failed.
+    Io(std::io::Error),
+}
+
+impl CampaignError {
+    pub(crate) fn invalid(detail: impl Into<String>) -> Self {
+        CampaignError::InvalidSpec(detail.into())
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(d) => write!(f, "invalid campaign spec: {d}"),
+            CampaignError::Io(e) => write!(f, "report i/o failed: {e}"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            CampaignError::InvalidSpec(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}

@@ -1,0 +1,223 @@
+//! Campaign observability: atomic progress counters and per-stage
+//! wall-clock histograms.
+//!
+//! Everything here is updated lock-free from the worker threads and
+//! snapshotted once at the end of the run. Timing data is inherently
+//! non-deterministic, so none of it flows into the aggregate report — the
+//! [`CampaignMetrics`] snapshot is its own artifact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The pipeline stages timed per die.
+pub const STAGE_NAMES: [&str; 3] = ["sample", "measure", "extract"];
+
+/// Index of the process-sampling stage.
+pub const STAGE_SAMPLE: usize = 0;
+/// Index of the bench-measurement stage (all corners, all setpoints).
+pub const STAGE_MEASURE: usize = 1;
+/// Index of the thermometry + Meijer extraction stage.
+pub const STAGE_EXTRACT: usize = 2;
+
+const BUCKETS: usize = 64;
+
+/// A lock-free log₂ histogram of nanosecond durations.
+///
+/// Bucket `b` counts samples in `[2^(b-1), 2^b)` ns (bucket 0 counts 0 ns
+/// exactly); recording is one `fetch_add` on the owning bucket.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    total_ns: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Records one duration.
+    pub fn record_ns(&self, ns: u64) {
+        let b = (64 - ns.leading_zeros()) as usize;
+        self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self, name: &str) -> StageSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let total_ns = self.total_ns.load(Ordering::Relaxed);
+        let q = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (p * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (b, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper edge of the bucket: 2^b ns.
+                    return 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
+                }
+            }
+            u64::MAX
+        };
+        StageSnapshot {
+            name: name.to_string(),
+            count,
+            total_ns,
+            p50_ns: q(0.50),
+            p90_ns: q(0.90),
+            p99_ns: q(0.99),
+        }
+    }
+}
+
+/// One stage's timing summary (log₂-bucket upper-bound quantiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSnapshot {
+    /// Stage name (see [`STAGE_NAMES`]).
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations.
+    pub total_ns: u64,
+    /// Median bucket upper bound.
+    pub p50_ns: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90_ns: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99_ns: u64,
+}
+
+impl StageSnapshot {
+    /// Mean nanoseconds per recorded duration.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Live counters shared by the worker pool.
+#[derive(Debug, Default)]
+pub struct CampaignCounters {
+    /// Dies whose pipeline has started.
+    pub started: AtomicU64,
+    /// Dies whose pipeline finished (pass or binned fail).
+    pub completed: AtomicU64,
+    /// Dies with at least one corner that failed to solve/extract.
+    pub failed: AtomicU64,
+    /// Per-stage histograms, indexed by the `STAGE_*` constants.
+    pub stages: [LogHistogram; 3],
+}
+
+/// End-of-run observability snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignMetrics {
+    /// Dies started.
+    pub dies_started: u64,
+    /// Dies completed.
+    pub dies_completed: u64,
+    /// Dies with a solve failure in some corner.
+    pub dies_failed: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed_ns: u64,
+    /// Completed dies per wall-clock second.
+    pub dies_per_second: f64,
+    /// Peak size of the in-order fold's reorder buffer (bounded by the
+    /// out-of-order window of the pool, not by the die count).
+    pub max_reorder_buffer: usize,
+    /// Per-stage timing summaries.
+    pub stages: Vec<StageSnapshot>,
+}
+
+impl CampaignCounters {
+    /// Snapshots the counters after the pool has joined.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        threads: usize,
+        elapsed_ns: u64,
+        max_reorder_buffer: usize,
+    ) -> CampaignMetrics {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let secs = elapsed_ns as f64 / 1e9;
+        CampaignMetrics {
+            dies_started: self.started.load(Ordering::Relaxed),
+            dies_completed: completed,
+            dies_failed: self.failed.load(Ordering::Relaxed),
+            threads,
+            elapsed_ns,
+            dies_per_second: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            max_reorder_buffer,
+            stages: STAGE_NAMES
+                .iter()
+                .enumerate()
+                .map(|(i, n)| self.stages[i].snapshot(n))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LogHistogram::default();
+        h.record_ns(0);
+        h.record_ns(1);
+        h.record_ns(1023);
+        h.record_ns(1024);
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total_ns, 2048);
+        assert!(s.p50_ns >= 1, "{}", s.p50_ns);
+        assert!(s.p99_ns >= 1024);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = LogHistogram::default();
+        for i in 0..1000u64 {
+            h.record_ns(i * 100);
+        }
+        let s = h.snapshot("t");
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn counters_snapshot_computes_rate() {
+        let c = CampaignCounters::default();
+        c.started.store(10, Ordering::Relaxed);
+        c.completed.store(10, Ordering::Relaxed);
+        let m = c.snapshot(4, 2_000_000_000, 3);
+        assert_eq!(m.dies_completed, 10);
+        assert!((m.dies_per_second - 5.0).abs() < 1e-9);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.max_reorder_buffer, 3);
+        assert_eq!(m.stages.len(), 3);
+    }
+}

@@ -1,0 +1,351 @@
+//! Hand-rolled JSON and CSV report writers (no serde).
+//!
+//! Two artifact families with different contracts:
+//!
+//! - **aggregate** (`campaign_aggregate.json` / `.csv`): derived only from
+//!   the deterministic fold, so the bytes are identical for any worker
+//!   thread count — the campaign determinism tests compare them verbatim.
+//! - **metrics** (`campaign_metrics.json`): wall-clock, throughput and
+//!   stage histograms of one particular run; inherently non-deterministic
+//!   and therefore kept out of the aggregate artifacts.
+//!
+//! Floats are emitted with Rust's shortest round-trip `Display`, which is
+//! a pure function of the bits — determinism needs no fixed-precision
+//! rounding. Non-finite values (an empty corner's min/max) become JSON
+//! `null` / empty CSV cells.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::aggregate::{CornerAggregate, Welford, YieldBin};
+use crate::spec::BenchProfile;
+use crate::worker::CampaignRun;
+
+/// JSON number or `null` for non-finite input.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// CSV cell: empty for non-finite input.
+fn cell(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        String::new()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn welford_json(w: &Welford) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{}}}",
+        w.count(),
+        num(w.mean()),
+        num(w.std_dev()),
+        num(w.min()),
+        num(w.max()),
+    )
+}
+
+fn corner_json(run: &CampaignRun, idx: usize, c: &CornerAggregate) -> String {
+    let mut bins = String::new();
+    for b in YieldBin::ALL {
+        let _ = write!(bins, "\"{}\":{},", b.label(), c.bins[b.index()]);
+    }
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\":\"{name}\",\n",
+            "      \"ic_amps\":{ic},\n",
+            "      \"extracted\":{extracted},\n",
+            "      \"eg_ev\":{eg},\n",
+            "      \"xti\":{xti},\n",
+            "      \"rms_residual_v\":{resid},\n",
+            "      \"t_cold_err_k\":{tcold},\n",
+            "      \"t_hot_err_k\":{thot},\n",
+            "      \"straight\":{{\"slope_ev_per_xti\":{slope},\"intercept_ev\":{icept},\
+             \"correlation\":{corr},\"r_squared\":{r2}}},\n",
+            "      \"yield\":{{{bins}\"fraction\":{yf}}}\n",
+            "    }}",
+        ),
+        name = esc(&c.name),
+        ic = num(run.spec.corners[idx].ic.value()),
+        extracted = c.eg_ev.count(),
+        eg = welford_json(&c.eg_ev),
+        xti = welford_json(&c.xti),
+        resid = welford_json(&c.rms_residual_v),
+        tcold = welford_json(&c.t_cold_err_k),
+        thot = welford_json(&c.t_hot_err_k),
+        slope = num(c.straight.slope()),
+        icept = num(c.straight.intercept()),
+        corr = num(c.straight.correlation()),
+        r2 = num(c.straight.r_squared()),
+        bins = bins,
+        yf = num(c.yield_fraction()),
+    )
+}
+
+/// The deterministic aggregate report as a JSON document.
+#[must_use]
+pub fn aggregate_json(run: &CampaignRun) -> String {
+    let spec = &run.spec;
+    let corners: Vec<String> = run
+        .aggregate
+        .corners
+        .iter()
+        .enumerate()
+        .map(|(i, c)| corner_json(run, i, c))
+        .collect();
+    let [t1, t2, t3] = spec.plan.setpoints().map(|c| c.value());
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\":\"icvbe-campaign-aggregate-v1\",\n",
+            "  \"campaign\":{{\n",
+            "    \"seed\":{seed},\n",
+            "    \"wafer\":{{\"rows\":{rows},\"cols\":{cols},\"shape\":\"{shape}\",\
+             \"dies\":{dies}}},\n",
+            "    \"bench\":\"{bench}\",\n",
+            "    \"plan_c\":[{t1},{t2},{t3}],\n",
+            "    \"window\":{{\"eg_min\":{egmin},\"eg_max\":{egmax},\
+             \"xti_min\":{xtimin},\"xti_max\":{ximax}}}\n",
+            "  }},\n",
+            "  \"totals\":{{\"dies\":{folded},\"dies_failed\":{failed}}},\n",
+            "  \"corners\":[\n{corners}\n  ]\n",
+            "}}\n",
+        ),
+        seed = spec.seed,
+        rows = spec.wafer.rows(),
+        cols = spec.wafer.cols(),
+        shape = if spec.wafer.is_circular() {
+            "circular"
+        } else {
+            "full"
+        },
+        dies = spec.wafer.die_count(),
+        bench = match spec.bench {
+            BenchProfile::Paper => "paper",
+            BenchProfile::Ideal => "ideal",
+        },
+        t1 = num(t1),
+        t2 = num(t2),
+        t3 = num(t3),
+        egmin = num(spec.window.eg_min),
+        egmax = num(spec.window.eg_max),
+        xtimin = num(spec.window.xti_min),
+        ximax = num(spec.window.xti_max),
+        folded = run.aggregate.dies,
+        failed = run.aggregate.dies_failed,
+        corners = corners.join(",\n"),
+    )
+}
+
+/// The deterministic aggregate report as a wide CSV table (one row per
+/// bias corner).
+#[must_use]
+pub fn aggregate_csv(run: &CampaignRun) -> String {
+    let mut out = String::from(
+        "corner,ic_amps,extracted,\
+         eg_mean_ev,eg_std_ev,eg_min_ev,eg_max_ev,\
+         xti_mean,xti_std,xti_min,xti_max,\
+         rms_residual_mean_v,t_cold_err_mean_k,t_hot_err_mean_k,\
+         straight_slope_ev_per_xti,straight_intercept_ev,straight_r_squared,\
+         pass,eg_low,eg_high,xti_low,xti_high,solve_fail,yield_fraction\n",
+    );
+    for (i, c) in run.aggregate.corners.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            c.name.replace(',', ";"),
+            cell(run.spec.corners[i].ic.value()),
+            c.eg_ev.count(),
+            cell(c.eg_ev.mean()),
+            cell(c.eg_ev.std_dev()),
+            cell(c.eg_ev.min()),
+            cell(c.eg_ev.max()),
+            cell(c.xti.mean()),
+            cell(c.xti.std_dev()),
+            cell(c.xti.min()),
+            cell(c.xti.max()),
+            cell(c.rms_residual_v.mean()),
+            cell(c.t_cold_err_k.mean()),
+            cell(c.t_hot_err_k.mean()),
+            cell(c.straight.slope()),
+            cell(c.straight.intercept()),
+            cell(c.straight.r_squared()),
+            c.bins[YieldBin::Pass.index()],
+            c.bins[YieldBin::EgLow.index()],
+            c.bins[YieldBin::EgHigh.index()],
+            c.bins[YieldBin::XtiLow.index()],
+            c.bins[YieldBin::XtiHigh.index()],
+            c.bins[YieldBin::SolveFail.index()],
+            cell(c.yield_fraction()),
+        );
+    }
+    out
+}
+
+/// The per-run observability snapshot as a JSON document. **Not**
+/// deterministic — contains wall-clock data.
+#[must_use]
+pub fn metrics_json(run: &CampaignRun) -> String {
+    let m = &run.metrics;
+    let stages: Vec<String> = m
+        .stages
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"stage\":\"{}\",\"count\":{},\"total_ns\":{},\"mean_ns\":{},\
+                 \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                esc(&s.name),
+                s.count,
+                s.total_ns,
+                num(s.mean_ns()),
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\":\"icvbe-campaign-metrics-v1\",\n",
+            "  \"threads\":{threads},\n",
+            "  \"dies_started\":{started},\n",
+            "  \"dies_completed\":{completed},\n",
+            "  \"dies_failed\":{failed},\n",
+            "  \"elapsed_ns\":{elapsed},\n",
+            "  \"dies_per_second\":{rate},\n",
+            "  \"max_reorder_buffer\":{buf},\n",
+            "  \"stages\":[\n{stages}\n  ]\n",
+            "}}\n",
+        ),
+        threads = m.threads,
+        started = m.dies_started,
+        completed = m.dies_completed,
+        failed = m.dies_failed,
+        elapsed = m.elapsed_ns,
+        rate = num(m.dies_per_second),
+        buf = m.max_reorder_buffer,
+        stages = stages.join(",\n"),
+    )
+}
+
+/// Writes the three report artifacts into `dir` (created if missing) and
+/// returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_reports(dir: &Path, run: &CampaignRun) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let artifacts = [
+        ("campaign_aggregate.json", aggregate_json(run)),
+        ("campaign_aggregate.csv", aggregate_csv(run)),
+        ("campaign_metrics.json", metrics_json(run)),
+    ];
+    let mut paths = Vec::with_capacity(artifacts.len());
+    for (name, body) in artifacts {
+        let path = dir.join(name);
+        fs::write(&path, body)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, WaferMap};
+    use crate::worker::run_campaign;
+
+    fn tiny_run() -> CampaignRun {
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 3);
+        s.corners.truncate(2);
+        run_campaign(&s, 2).unwrap()
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let run = tiny_run();
+        let j = aggregate_json(&run);
+        assert!(j.contains("\"schema\":\"icvbe-campaign-aggregate-v1\""));
+        assert!(j.contains("\"dies\":4"));
+        assert!(j.contains("\"name\":\"low\""));
+        assert!(j.contains("\"name\":\"nom\""));
+        assert!(j.contains("\"pass\":"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_corner() {
+        let run = tiny_run();
+        let csv = aggregate_csv(&run);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("corner,ic_amps,extracted"));
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn metrics_json_reports_stages() {
+        let run = tiny_run();
+        let j = metrics_json(&run);
+        assert!(j.contains("\"stage\":\"sample\""));
+        assert!(j.contains("\"stage\":\"measure\""));
+        assert!(j.contains("\"stage\":\"extract\""));
+        assert!(j.contains("\"dies_completed\":4"));
+    }
+
+    #[test]
+    fn non_finite_values_do_not_leak_into_json() {
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(cell(f64::NEG_INFINITY), "");
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn write_reports_persists_three_artifacts() {
+        let run = tiny_run();
+        let dir = std::env::temp_dir().join("icvbe_campaign_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let paths = write_reports(&dir, &run).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists());
+            assert!(fs::metadata(p).unwrap().len() > 0);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,162 @@
+//! The pure-`std` worker pool and the in-order streaming fold.
+//!
+//! Dies are claimed in fixed-size chunks off an `Arc<AtomicUsize>` cursor
+//! (cheap work stealing: a fast thread simply claims more chunks), each
+//! die runs its referentially transparent pipeline, and outcomes stream
+//! over an `mpsc` channel back to the caller's thread. There they pass
+//! through a reorder buffer that releases dies **in index order** into the
+//! [`CampaignAggregate`] — so the floating-point fold is identical no
+//! matter which thread finished first, and memory stays bounded by the
+//! pool's out-of-order window rather than the die count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use crate::aggregate::{CampaignAggregate, YieldBin};
+use crate::die::{run_die, DieOutcome};
+use crate::metrics::{
+    CampaignCounters, CampaignMetrics, STAGE_EXTRACT, STAGE_MEASURE, STAGE_SAMPLE,
+};
+use crate::spec::CampaignSpec;
+use crate::CampaignError;
+
+/// Dies claimed per cursor bump. Small enough to balance a straggling
+/// thread, large enough that the atomic is off the hot path.
+const CHUNK: usize = 8;
+
+/// A finished campaign: the deterministic aggregate plus the run's
+/// (non-deterministic) observability snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The spec the run executed.
+    pub spec: CampaignSpec,
+    /// Streaming aggregate, identical for any thread count.
+    pub aggregate: CampaignAggregate,
+    /// Counters, throughput and stage histograms of this particular run.
+    pub metrics: CampaignMetrics,
+}
+
+/// Runs `spec` across `threads` worker threads (clamped to ≥ 1).
+///
+/// # Errors
+///
+/// Only [`CampaignError::InvalidSpec`]: per-die failures are binned as
+/// [`YieldBin::SolveFail`], never raised.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, CampaignError> {
+    spec.validate()?;
+    let sites = spec.wafer.sites();
+    let threads = threads.max(1);
+    let counters = CampaignCounters::default();
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+
+    let mut aggregate = CampaignAggregate::new(spec);
+    let mut max_buffer = 0usize;
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<DieOutcome>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = Arc::clone(&cursor);
+            let sites = &sites;
+            let counters = &counters;
+            scope.spawn(move || {
+                loop {
+                    let base = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                    if base >= sites.len() {
+                        break;
+                    }
+                    let end = (base + CHUNK).min(sites.len());
+                    for site in &sites[base..end] {
+                        counters.started.fetch_add(1, Ordering::Relaxed);
+                        let out = run_die(spec, *site);
+                        counters.stages[STAGE_SAMPLE].record_ns(out.timing.sample_ns);
+                        counters.stages[STAGE_MEASURE].record_ns(out.timing.measure_ns);
+                        counters.stages[STAGE_EXTRACT].record_ns(out.timing.extract_ns);
+                        counters.completed.fetch_add(1, Ordering::Relaxed);
+                        if out.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
+                            counters.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if tx.send(out).is_err() {
+                            return; // receiver gone: abandon quietly
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+
+        // In-order streaming fold. The BTreeMap holds only out-of-order
+        // early arrivals; with chunked claiming its size is bounded by
+        // roughly threads x CHUNK, not by the wafer.
+        let mut buffer: BTreeMap<usize, DieOutcome> = BTreeMap::new();
+        let mut next = 0usize;
+        for out in rx {
+            buffer.insert(out.index, out);
+            max_buffer = max_buffer.max(buffer.len());
+            while let Some(ready) = buffer.remove(&next) {
+                aggregate.absorb(&ready);
+                next += 1;
+            }
+        }
+        debug_assert!(buffer.is_empty(), "dies missing from the fold");
+    });
+
+    let metrics = counters.snapshot(threads, started.elapsed().as_nanos() as u64, max_buffer);
+    Ok(CampaignRun {
+        spec: spec.clone(),
+        aggregate,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, WaferMap};
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut s = CampaignSpec::paper_default(WaferMap::full(3, 3), 11);
+        s.corners.truncate(1);
+        s
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let mut s = tiny_spec();
+        s.corners.clear();
+        assert!(run_campaign(&s, 1).is_err());
+    }
+
+    #[test]
+    fn folds_every_die_exactly_once() {
+        let s = tiny_spec();
+        let run = run_campaign(&s, 2).unwrap();
+        assert_eq!(run.aggregate.dies, 9);
+        assert_eq!(run.metrics.dies_started, 9);
+        assert_eq!(run.metrics.dies_completed, 9);
+        let bins: u64 = run.aggregate.corners[0].bins.iter().sum();
+        assert_eq!(bins, 9);
+    }
+
+    #[test]
+    fn aggregate_is_thread_count_invariant() {
+        let s = tiny_spec();
+        let one = run_campaign(&s, 1).unwrap();
+        let four = run_campaign(&s, 4).unwrap();
+        assert_eq!(one.aggregate, four.aggregate);
+    }
+
+    #[test]
+    fn metrics_record_stage_activity() {
+        let s = tiny_spec();
+        let run = run_campaign(&s, 1).unwrap();
+        for stage in &run.metrics.stages {
+            assert_eq!(stage.count, 9, "stage {}", stage.name);
+        }
+        assert!(run.metrics.dies_per_second > 0.0);
+        assert!(run.metrics.max_reorder_buffer >= 1);
+    }
+}

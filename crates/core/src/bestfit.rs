@@ -258,7 +258,10 @@ mod tests {
     fn design_columns_are_heavily_correlated() {
         let curve = synthetic_curve(1e-6);
         let rho = design_column_correlation(&curve, 3).unwrap().abs();
-        assert!(rho > 0.99, "correlation {rho} — the paper's core difficulty");
+        assert!(
+            rho > 0.99,
+            "correlation {rho} — the paper's core difficulty"
+        );
     }
 
     #[test]

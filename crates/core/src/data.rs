@@ -198,7 +198,9 @@ impl IcVbeSweep {
     pub fn vbe_at_current(&self, target: Ampere) -> Result<Volt, ExtractionError> {
         let t = target.value();
         if t <= 0.0 {
-            return Err(ExtractionError::degenerate("target current must be positive"));
+            return Err(ExtractionError::degenerate(
+                "target current must be positive",
+            ));
         }
         let ln_t = t.ln();
         for w in 0..self.ic.len() - 1 {
@@ -208,7 +210,11 @@ impl IcVbeSweep {
             }
             let (l0, l1) = (i0.ln(), i1.ln());
             if (l0 <= ln_t && ln_t <= l1) || (l1 <= ln_t && ln_t <= l0) {
-                let f = if l1 == l0 { 0.0 } else { (ln_t - l0) / (l1 - l0) };
+                let f = if l1 == l0 {
+                    0.0
+                } else {
+                    (ln_t - l0) / (l1 - l0)
+                };
                 let v = self.vbe[w].value() + f * (self.vbe[w + 1].value() - self.vbe[w].value());
                 return Ok(Volt::new(v));
             }
@@ -234,7 +240,9 @@ impl IcVbeFamily {
     /// they are not in strictly increasing temperature order.
     pub fn new(sweeps: Vec<IcVbeSweep>) -> Result<Self, ExtractionError> {
         if sweeps.len() < 2 {
-            return Err(ExtractionError::bad_data("family needs at least two sweeps"));
+            return Err(ExtractionError::bad_data(
+                "family needs at least two sweeps",
+            ));
         }
         if sweeps
             .windows(2)

@@ -77,8 +77,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ExtractionError::bad_data("x").to_string().contains("bad measurement"));
-        assert!(ExtractionError::degenerate("y").to_string().contains("degenerate"));
+        assert!(ExtractionError::bad_data("x")
+            .to_string()
+            .contains("bad measurement"));
+        assert!(ExtractionError::degenerate("y")
+            .to_string()
+            .contains("degenerate"));
         let e: ExtractionError = NumericsError::invalid("z").into();
         assert!(e.to_string().contains("numerical"));
     }

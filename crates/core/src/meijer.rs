@@ -80,8 +80,8 @@ fn pair_equation(a: MeijerPoint, b: MeijerPoint) -> (f64, f64, f64) {
     let ta = a.temperature.value();
     let tb = b.temperature.value();
     let kq = BOLTZMANN_OVER_Q;
-    let lhs = tb * a.vbe.value() - ta * b.vbe.value()
-        - kq * ta * tb * (a.ic.value() / b.ic.value()).ln();
+    let lhs =
+        tb * a.vbe.value() - ta * b.vbe.value() - kq * ta * tb * (a.ic.value() / b.ic.value()).ln();
     let c_eg = tb - ta;
     let c_xti = kq * ta * tb * (tb / ta).ln();
     (lhs, c_eg, c_xti)

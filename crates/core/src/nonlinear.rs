@@ -145,8 +145,7 @@ mod tests {
         let corrupted = VbeCurve::from_points(pts).unwrap();
 
         let lin_err = (fit_eg_xti(&corrupted, 3).unwrap().eg.value() - EG_TRUE).abs();
-        let non_err =
-            (fit_eg_xti_vberef(&corrupted, 3).unwrap().pair.eg.value() - EG_TRUE).abs();
+        let non_err = (fit_eg_xti_vberef(&corrupted, 3).unwrap().pair.eg.value() - EG_TRUE).abs();
         assert!(
             non_err < lin_err / 3.0,
             "nonlinear {non_err} vs linear {lin_err}"

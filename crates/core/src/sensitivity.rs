@@ -54,7 +54,10 @@ pub fn bestfit_vbe_error_study(
     vbe_relative_error: f64,
 ) -> Result<PerturbationResult, ExtractionError> {
     let baseline = fit_eg_xti(curve, reference_index)?;
-    let perturbed = fit_eg_xti(&curve.with_vbe_scale_error(vbe_relative_error), reference_index)?;
+    let perturbed = fit_eg_xti(
+        &curve.with_vbe_scale_error(vbe_relative_error),
+        reference_index,
+    )?;
     Ok(compare(baseline, perturbed))
 }
 
@@ -71,7 +74,10 @@ pub fn bestfit_temperature_offset_study(
     offset_kelvin: f64,
 ) -> Result<PerturbationResult, ExtractionError> {
     let baseline = fit_eg_xti(curve, reference_index)?;
-    let perturbed = fit_eg_xti(&curve.with_temperature_offset(offset_kelvin), reference_index)?;
+    let perturbed = fit_eg_xti(
+        &curve.with_temperature_offset(offset_kelvin),
+        reference_index,
+    )?;
     Ok(compare(baseline, perturbed))
 }
 
@@ -259,7 +265,11 @@ mod tests {
     #[test]
     fn sensor_offset_shifts_bestfit_eg() {
         let r = bestfit_temperature_offset_study(&curve(), 3, 4.0).unwrap();
-        assert!(r.eg_relative_error > 1e-4, "EG moved {}", r.eg_relative_error);
+        assert!(
+            r.eg_relative_error > 1e-4,
+            "EG moved {}",
+            r.eg_relative_error
+        );
     }
 
     #[test]

@@ -295,8 +295,8 @@ mod tests {
 
     #[test]
     fn paper_quotes_22mev_gap_between_eg5_and_eg2_at_zero() {
-        let gap = LogEgModel::eg5().eg_at_zero().value()
-            - VarshniEgModel::eg2().eg_at_zero().value();
+        let gap =
+            LogEgModel::eg5().eg_at_zero().value() - VarshniEgModel::eg2().eg_at_zero().value();
         // 1.1774 - 1.1557 = 21.7 meV, the paper rounds to "about 22mV".
         assert!((gap - 0.0217).abs() < 1e-12);
     }
@@ -354,7 +354,10 @@ mod tests {
 
     #[test]
     fn model_names_are_the_figure_labels() {
-        let names: Vec<String> = figure1_models().iter().map(|m| m.name().to_string()).collect();
+        let names: Vec<String> = figure1_models()
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
         assert_eq!(names, ["EG1", "EG2", "EG3", "EG4", "EG5"]);
     }
 }

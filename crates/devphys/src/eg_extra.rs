@@ -126,7 +126,11 @@ mod tests {
         let below = m.eg(Kelvin::new(189.999)).value();
         let above = m.eg(Kelvin::new(190.001)).value();
         // The published segments meet to within a fraction of a meV.
-        assert!((below - above).abs() < 5e-4, "jump {}", (below - above).abs());
+        assert!(
+            (below - above).abs() < 5e-4,
+            "jump {}",
+            (below - above).abs()
+        );
     }
 
     #[test]
@@ -144,8 +148,14 @@ mod tests {
     fn extra_models_agree_with_varshni_at_room_temperature() {
         let reference = VarshniEgModel::eg3().eg(Kelvin::new(300.0)).value();
         for (name, v) in [
-            ("Bludau", BludauEgModel::new().eg(Kelvin::new(300.0)).value()),
-            ("Passler", PasslerEgModel::silicon().eg(Kelvin::new(300.0)).value()),
+            (
+                "Bludau",
+                BludauEgModel::new().eg(Kelvin::new(300.0)).value(),
+            ),
+            (
+                "Passler",
+                PasslerEgModel::silicon().eg(Kelvin::new(300.0)).value(),
+            ),
         ] {
             assert!(
                 (v - reference).abs() < 0.01,

@@ -159,7 +159,8 @@ impl PhysicalIsLaw {
             temperature,
             self.t_ref,
         );
-        let d_ratio = self.diffusivity.value_at(temperature) / self.diffusivity.value_at(self.t_ref);
+        let d_ratio =
+            self.diffusivity.value_at(temperature) / self.diffusivity.value_at(self.t_ref);
         let g_ratio = self.gummel.value_at(temperature) / self.gummel.value_at(self.t_ref);
         Ampere::new(self.is_ref.value() * nie_ratio * d_ratio / g_ratio)
     }
@@ -172,8 +173,7 @@ impl PhysicalIsLaw {
     pub fn to_spice_law(&self) -> SpiceIsLaw {
         let k_ev = 1.0 / Q_OVER_BOLTZMANN;
         let eg = self.narrowing.apply(self.eg_model.eg_at_zero());
-        let xti =
-            4.0 - self.diffusivity.en() - self.gummel.erho() - self.eg_model.b() / k_ev;
+        let xti = 4.0 - self.diffusivity.en() - self.gummel.erho() - self.eg_model.b() / k_ev;
         SpiceIsLaw::new(self.is_ref, self.t_ref, eg, xti)
     }
 }
@@ -207,7 +207,11 @@ mod tests {
         // XTI = 4 - EN - Erho - b/k; with EG5's b = -8.459e-5 eV/K,
         // -b/k ~ +0.98, EN = 2.4, Erho = 0 => XTI ~ 2.6.
         let spice = typical().to_spice_law();
-        assert!(spice.xti() > 1.5 && spice.xti() < 4.5, "XTI = {}", spice.xti());
+        assert!(
+            spice.xti() > 1.5 && spice.xti() < 4.5,
+            "XTI = {}",
+            spice.xti()
+        );
     }
 
     #[test]
@@ -219,9 +223,7 @@ mod tests {
     #[test]
     fn is_at_reference_is_reference() {
         let phys = typical();
-        assert!(
-            (phys.is_at(Kelvin::new(298.15)).value() - 2e-17).abs() / 2e-17 < 1e-12
-        );
+        assert!((phys.is_at(Kelvin::new(298.15)).value() - 2e-17).abs() / 2e-17 < 1e-12);
     }
 
     #[test]

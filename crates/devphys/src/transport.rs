@@ -93,7 +93,11 @@ impl GummelNumber {
     /// Creates a Gummel-number law from its reference value and exponent.
     #[must_use]
     pub fn new(ng_ref: f64, t_ref: Kelvin, erho: f64) -> Self {
-        GummelNumber { ng_ref, t_ref, erho }
+        GummelNumber {
+            ng_ref,
+            t_ref,
+            erho,
+        }
     }
 
     /// Typical silicon base: `NG = 1e13 cm^-2`, fully ionized (`Erho = 0`).

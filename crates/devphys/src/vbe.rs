@@ -66,8 +66,7 @@ impl Eq13Model {
         let ratio = t / t0;
         let vt = BOLTZMANN_OVER_Q * t;
         Volt::new(
-            ratio * self.vbe_ref.value()
-                + self.eg.value() * (1.0 - ratio)
+            ratio * self.vbe_ref.value() + self.eg.value() * (1.0 - ratio)
                 - self.xti * vt * ratio.ln()
                 + vt * ic_ratio.ln(),
         )

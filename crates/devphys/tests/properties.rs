@@ -1,93 +1,105 @@
-//! Property-based tests for the device-physics laws.
+//! Randomized property tests for the device-physics laws, driven by the
+//! in-tree seeded PRNG (the workspace builds hermetically, so there is no
+//! `proptest`; each test sweeps a fixed number of deterministic cases).
 
 use icvbe_devphys::eg::{EgModel, LogEgModel, VarshniEgModel};
 use icvbe_devphys::narrowing::BandgapNarrowing;
 use icvbe_devphys::saturation::SpiceIsLaw;
 use icvbe_devphys::vbe::{eq13_from_spice_law, vbe_for_current};
+use icvbe_numerics::rng::Xoshiro256PlusPlus;
 use icvbe_units::{Ampere, ElectronVolt, Kelvin};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// Varshni models decrease monotonically for any physical constants.
-    #[test]
-    fn varshni_is_monotone_decreasing(
-        eg0 in 1.0_f64..1.3,
-        alpha in 1e-4_f64..1e-3,
-        beta in 100.0_f64..2000.0,
-        t in 1.0_f64..440.0,
-    ) {
+/// Varshni models decrease monotonically for any physical constants.
+#[test]
+fn varshni_is_monotone_decreasing() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0001);
+    for _ in 0..CASES {
+        let eg0 = rng.uniform(1.0, 1.3);
+        let alpha = rng.uniform(1e-4, 1e-3);
+        let beta = rng.uniform(100.0, 2000.0);
+        let t = rng.uniform(1.0, 440.0);
         let m = VarshniEgModel::new(ElectronVolt::new(eg0), alpha, beta);
         let a = m.eg(Kelvin::new(t)).value();
         let b = m.eg(Kelvin::new(t + 10.0)).value();
-        prop_assert!(b < a);
+        assert!(b < a, "Varshni not decreasing at {t} K (eg0 {eg0})");
     }
+}
 
-    /// The log model's intercept is exactly its EG(0) constant.
-    #[test]
-    fn log_model_intercept_is_exact(
-        eg0 in 1.0_f64..1.3,
-        a in 1e-5_f64..1e-3,
-        b in -3e-4_f64..-1e-5,
-    ) {
+/// The log model's intercept is exactly its EG(0) constant.
+#[test]
+fn log_model_intercept_is_exact() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0002);
+    for _ in 0..CASES {
+        let eg0 = rng.uniform(1.0, 1.3);
+        let a = rng.uniform(1e-5, 1e-3);
+        let b = rng.uniform(-3e-4, -1e-5);
         let m = LogEgModel::new(ElectronVolt::new(eg0), a, b);
-        prop_assert!((m.eg_at_zero().value() - eg0).abs() < 1e-15);
+        assert!((m.eg_at_zero().value() - eg0).abs() < 1e-15);
     }
+}
 
-    /// Narrowing reduces the bandgap by exactly its magnitude.
-    #[test]
-    fn narrowing_is_exact_subtraction(eg in 1.0_f64..1.3, d in 0.0_f64..0.2) {
+/// Narrowing reduces the bandgap by exactly its magnitude.
+#[test]
+fn narrowing_is_exact_subtraction() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0003);
+    for _ in 0..CASES {
+        let eg = rng.uniform(1.0, 1.3);
+        let d = rng.uniform(0.0, 0.2);
         let n = BandgapNarrowing::new(ElectronVolt::new(d));
         let out = n.apply(ElectronVolt::new(eg));
-        prop_assert!((out.value() - (eg - d)).abs() < 1e-15);
+        assert!((out.value() - (eg - d)).abs() < 1e-15);
     }
+}
 
-    /// The eq.-1 law is exactly IS at the reference temperature.
-    #[test]
-    fn is_law_anchors_at_reference(
-        is_exp in -18.0_f64..-14.0,
-        eg in 0.8_f64..1.3,
-        xti in 0.0_f64..6.0,
-        t0 in 250.0_f64..350.0,
-    ) {
-        let is = 10f64.powf(is_exp);
+/// The eq.-1 law is exactly IS at the reference temperature.
+#[test]
+fn is_law_anchors_at_reference() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0004);
+    for _ in 0..CASES {
+        let is = 10f64.powf(rng.uniform(-18.0, -14.0));
+        let eg = rng.uniform(0.8, 1.3);
+        let xti = rng.uniform(0.0, 6.0);
+        let t0 = rng.uniform(250.0, 350.0);
         let law = SpiceIsLaw::new(Ampere::new(is), Kelvin::new(t0), ElectronVolt::new(eg), xti);
         let at_ref = law.is_at(Kelvin::new(t0)).value();
-        prop_assert!((at_ref - is).abs() / is < 1e-14);
+        assert!((at_ref - is).abs() / is < 1e-14);
     }
+}
 
-    /// VBE from the law inverts back to the same collector current.
-    #[test]
-    fn vbe_inversion_roundtrips(
-        eg in 0.9_f64..1.3,
-        xti in 0.5_f64..5.0,
-        ic_exp in -9.0_f64..-4.0,
-        t in 220.0_f64..400.0,
-    ) {
+/// VBE from the law inverts back to the same collector current.
+#[test]
+fn vbe_inversion_roundtrips() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0005);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.9, 1.3);
+        let xti = rng.uniform(0.5, 5.0);
+        let ic = 10f64.powf(rng.uniform(-9.0, -4.0));
+        let t = Kelvin::new(rng.uniform(220.0, 400.0));
         let law = SpiceIsLaw::new(
             Ampere::new(2e-17),
             Kelvin::new(298.15),
             ElectronVolt::new(eg),
             xti,
         );
-        let ic = 10f64.powf(ic_exp);
-        let t = Kelvin::new(t);
         let vbe = vbe_for_current(&law, Ampere::new(ic), t);
         // Invert: IC = IS e^{v/vt}.
         let vt = icvbe_units::thermal_voltage(t).value();
         let back = law.is_at(t).value() * (vbe.value() / vt).exp();
-        prop_assert!((back - ic).abs() / ic < 1e-12);
+        assert!((back - ic).abs() / ic < 1e-12);
     }
+}
 
-    /// The eq.-13 closed form agrees with the direct inversion at every
-    /// temperature, for any card.
-    #[test]
-    fn eq13_equals_direct_inversion(
-        eg in 0.9_f64..1.3,
-        xti in 0.5_f64..5.0,
-        t in 220.0_f64..400.0,
-    ) {
+/// The eq.-13 closed form agrees with the direct inversion at every
+/// temperature, for any card.
+#[test]
+fn eq13_equals_direct_inversion() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0006);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.9, 1.3);
+        let xti = rng.uniform(0.5, 5.0);
+        let t = Kelvin::new(rng.uniform(220.0, 400.0));
         let law = SpiceIsLaw::new(
             Ampere::new(2e-17),
             Kelvin::new(298.15),
@@ -96,20 +108,21 @@ proptest! {
         );
         let ic = Ampere::new(1e-6);
         let model = eq13_from_spice_law(&law, ic, Kelvin::new(298.15));
-        let t = Kelvin::new(t);
         let closed = model.vbe(t, 1.0).value();
         let direct = vbe_for_current(&law, ic, t).value();
-        prop_assert!((closed - direct).abs() < 1e-12);
+        assert!((closed - direct).abs() < 1e-12);
     }
+}
 
-    /// VBE always falls with temperature at fixed current (CTAT), for any
-    /// physical card.
-    #[test]
-    fn vbe_is_ctat(
-        eg in 0.9_f64..1.3,
-        xti in 0.5_f64..5.0,
-        t in 220.0_f64..390.0,
-    ) {
+/// VBE always falls with temperature at fixed current (CTAT), for any
+/// physical card.
+#[test]
+fn vbe_is_ctat() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x0DE0_0007);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.9, 1.3);
+        let xti = rng.uniform(0.5, 5.0);
+        let t = rng.uniform(220.0, 390.0);
         let law = SpiceIsLaw::new(
             Ampere::new(2e-17),
             Kelvin::new(298.15),
@@ -119,6 +132,6 @@ proptest! {
         let ic = Ampere::new(1e-6);
         let a = vbe_for_current(&law, ic, Kelvin::new(t)).value();
         let b = vbe_for_current(&law, ic, Kelvin::new(t + 5.0)).value();
-        prop_assert!(b < a, "VBE rose with T for eg {eg}, xti {xti}");
+        assert!(b < a, "VBE rose with T for eg {eg}, xti {xti}");
     }
 }

@@ -276,7 +276,9 @@ mod tests {
             .run_pair_campaign(&sample, Ampere::new(1e-6), &setpoints)
             .unwrap();
         assert_eq!(pts.len(), 3);
-        assert!(pts.windows(2).all(|w| w[0].dvbe.value() < w[1].dvbe.value()));
+        assert!(pts
+            .windows(2)
+            .all(|w| w[0].dvbe.value() < w[1].dvbe.value()));
     }
 
     #[test]
@@ -292,7 +294,11 @@ mod tests {
             .unwrap();
         let m = TestStructureBench::meijer_from_points(
             [&pts[0], &pts[1], &pts[2]],
-            [Kelvin::new(248.15), Kelvin::new(298.15), Kelvin::new(348.15)],
+            [
+                Kelvin::new(248.15),
+                Kelvin::new(298.15),
+                Kelvin::new(348.15),
+            ],
         );
         assert!(m.validate().is_ok());
         assert_eq!(m.reference.temperature.value(), 298.15);

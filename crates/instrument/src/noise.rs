@@ -1,10 +1,9 @@
 //! Seeded Gaussian noise and quantization primitives.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use icvbe_numerics::rng::Xoshiro256PlusPlus;
 
 /// A deterministic Gaussian noise source (Box-Muller over a seeded
-/// [`StdRng`]).
+/// in-tree [`Xoshiro256PlusPlus`]).
 ///
 /// # Examples
 ///
@@ -17,7 +16,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct NoiseSource {
-    rng: StdRng,
+    rng: Xoshiro256PlusPlus,
     spare: Option<f64>,
 }
 
@@ -26,7 +25,7 @@ impl NoiseSource {
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
         NoiseSource {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256PlusPlus::seeded(seed),
             spare: None,
         }
     }
@@ -36,9 +35,10 @@ impl NoiseSource {
         if let Some(s) = self.spare.take() {
             return s;
         }
-        // Box-Muller: two uniforms -> two normals.
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        // Box-Muller: two uniforms -> two normals. u1 must avoid 0 as a
+        // ln() argument.
+        let u1 = self.rng.unit_open_low();
+        let u2 = self.rng.unit();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -52,10 +52,7 @@ impl NoiseSource {
 
     /// A uniform sample in `[lo, hi)`.
     pub fn sample_uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        if lo == hi {
-            return lo;
-        }
-        self.rng.gen_range(lo..hi)
+        self.rng.uniform(lo, hi)
     }
 }
 
@@ -97,7 +94,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = NoiseSource::seeded(1);
         let mut b = NoiseSource::seeded(2);
-        let same = (0..10).filter(|_| a.sample_gaussian() == b.sample_gaussian()).count();
+        let same = (0..10)
+            .filter(|_| a.sample_gaussian() == b.sample_gaussian())
+            .count();
         assert!(same < 10);
     }
 

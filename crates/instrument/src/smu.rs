@@ -31,7 +31,8 @@ impl ChannelModel {
     }
 
     fn apply(&self, truth: f64, noise: &mut NoiseSource) -> f64 {
-        let raw = (1.0 + self.gain_error) * truth + self.offset
+        let raw = (1.0 + self.gain_error) * truth
+            + self.offset
             + noise.sample_normal(0.0, self.noise_rms);
         quantize(raw, self.resolution)
     }
@@ -115,9 +116,7 @@ impl VirtualSmu {
     /// Panics if `n == 0`.
     pub fn measure_voltage_averaged(&mut self, truth: Volt, n: usize) -> Volt {
         assert!(n > 0, "need at least one reading");
-        let sum: f64 = (0..n)
-            .map(|_| self.measure_voltage(truth).value())
-            .sum();
+        let sum: f64 = (0..n).map(|_| self.measure_voltage(truth).value()).sum();
         Volt::new(sum / n as f64)
     }
 }
@@ -129,7 +128,10 @@ mod tests {
     #[test]
     fn ideal_smu_is_transparent() {
         let mut smu = VirtualSmu::ideal(0);
-        assert_eq!(smu.measure_voltage(Volt::new(0.123456789)).value(), 0.123456789);
+        assert_eq!(
+            smu.measure_voltage(Volt::new(0.123456789)).value(),
+            0.123456789
+        );
         assert_eq!(smu.measure_current(Ampere::new(1e-6)).value(), 1e-6);
     }
 

@@ -11,7 +11,10 @@
 //! - [damped multivariate Newton](newton) driving the SPICE DC solver,
 //! - [Levenberg-Marquardt](lm) for nonlinear fits and ablations,
 //! - [polynomials](poly), [interpolation](interp) and [statistics](stats)
-//!   for figure post-processing.
+//!   for figure post-processing,
+//! - [pseudo-random generation](rng) (SplitMix64, xoshiro256++) behind the
+//!   virtual instruments, the Monte-Carlo die factory and the campaign
+//!   engine's deterministic per-die seeding.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@ mod matrix;
 pub mod newton;
 pub mod poly;
 pub mod qr;
+pub mod rng;
 pub mod roots;
 pub mod stats;
 

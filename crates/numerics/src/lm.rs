@@ -206,8 +206,16 @@ mod tests {
         let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (1.3 * x).exp()).collect();
         let model = ExpModel { xs, ys };
         let fit = fit_levenberg_marquardt(&model, &[1.0, 1.0], LmOptions::default()).unwrap();
-        assert!((fit.parameters[0] - 2.5).abs() < 1e-6, "a = {}", fit.parameters[0]);
-        assert!((fit.parameters[1] - 1.3).abs() < 1e-6, "b = {}", fit.parameters[1]);
+        assert!(
+            (fit.parameters[0] - 2.5).abs() < 1e-6,
+            "a = {}",
+            fit.parameters[0]
+        );
+        assert!(
+            (fit.parameters[1] - 1.3).abs() < 1e-6,
+            "b = {}",
+            fit.parameters[1]
+        );
         assert!(fit.cost < 1e-12);
     }
 

@@ -96,7 +96,9 @@ pub fn fit_least_squares_with(
         )));
     }
     if b.iter().any(|v| !v.is_finite()) {
-        return Err(NumericsError::invalid("observations contain non-finite values"));
+        return Err(NumericsError::invalid(
+            "observations contain non-finite values",
+        ));
     }
     let x = match backend {
         LsqBackend::Qr => QrFactorization::factor(a)?.solve_least_squares(b)?,

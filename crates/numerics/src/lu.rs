@@ -50,7 +50,9 @@ impl LuSolver {
             )));
         }
         if !a.is_finite() {
-            return Err(NumericsError::invalid("LU input contains non-finite entries"));
+            return Err(NumericsError::invalid(
+                "LU input contains non-finite entries",
+            ));
         }
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
@@ -164,12 +166,8 @@ mod tests {
 
     #[test]
     fn solves_3x3_system() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let b = [11.0, -16.0, 17.0];
         let x = solve(&a, &b).unwrap();
         assert!(residual(&a, &x, &b) < 1e-12);

@@ -55,7 +55,9 @@ impl QrFactorization {
             )));
         }
         if !a.is_finite() {
-            return Err(NumericsError::invalid("QR input contains non-finite entries"));
+            return Err(NumericsError::invalid(
+                "QR input contains non-finite entries",
+            ));
         }
         let mut packed = a.clone();
         let mut betas = vec![0.0; n];
@@ -146,7 +148,9 @@ impl QrFactorization {
     /// conditioning of the design matrix (used by the fitting ablation).
     #[must_use]
     pub fn r_diagonal(&self) -> Vec<f64> {
-        (0..self.packed.cols()).map(|i| self.packed[(i, i)]).collect()
+        (0..self.packed.cols())
+            .map(|i| self.packed[(i, i)])
+            .collect()
     }
 }
 

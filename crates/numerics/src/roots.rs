@@ -303,8 +303,14 @@ mod tests {
 
     #[test]
     fn endpoint_roots_returned_immediately() {
-        assert_eq!(bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap(), 0.0);
-        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap(), 1.0);
+        assert_eq!(
+            bisect(|x| x, 0.0, 1.0, RootOptions::default()).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            brent(|x| x - 1.0, 0.0, 1.0, RootOptions::default()).unwrap(),
+            1.0
+        );
     }
 
     #[test]

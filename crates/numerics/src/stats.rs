@@ -93,7 +93,9 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<LinearRegression, Num
         )));
     }
     if xs.len() < 2 {
-        return Err(NumericsError::invalid("regression: need at least two points"));
+        return Err(NumericsError::invalid(
+            "regression: need at least two points",
+        ));
     }
     if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
         return Err(NumericsError::invalid("regression: non-finite data"));
@@ -109,7 +111,11 @@ pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Result<LinearRegression, Num
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Ok(LinearRegression {
         slope,
         intercept,

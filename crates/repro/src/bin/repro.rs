@@ -2,7 +2,9 @@
 //!
 //! Usage: `repro [fig1|fig2|fig5|fig6|table1|fig8|sens]... [--save DIR]`
 //! (no artifact arguments = run everything; `--save` also writes each
-//! report to `DIR/<id>.txt`).
+//! report to `DIR/<id>.txt`), or
+//! `repro campaign [--dies N | --diameter D] [--threads N] [--seed S]
+//! [--out DIR]` for a wafer-scale extraction campaign.
 
 use std::env;
 use std::path::PathBuf;
@@ -10,6 +12,18 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("campaign") {
+        return match icvbe_repro::campaign_cli::run_cli(&args[1..]) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let Some(pos) = args.iter().position(|a| a == "--save") {
         let dir: PathBuf = args
             .get(pos + 1)

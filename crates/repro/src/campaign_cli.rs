@@ -1,0 +1,226 @@
+//! The `repro campaign` subcommand: a wafer-scale extraction campaign
+//! with an ASCII summary and optional JSON/CSV artifacts.
+//!
+//! ```text
+//! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]
+//! ```
+//!
+//! `--dies N` picks the smallest circular wafer holding at least `N`
+//! dies; `--diameter D` sets the wafer diameter (in dies) directly. The
+//! aggregate artifacts written by `--out` are bit-identical for any
+//! `--threads` value (see `icvbe-campaign`'s determinism guarantee).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use icvbe_campaign::report::write_reports;
+use icvbe_campaign::spec::WaferMap;
+use icvbe_campaign::{run_campaign, CampaignRun, CampaignSpec};
+
+/// Parsed `repro campaign` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignCliArgs {
+    /// Circular wafer diameter, in dies.
+    pub diameter: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Directory for JSON/CSV artifacts (`None` = print only).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for CampaignCliArgs {
+    fn default() -> Self {
+        CampaignCliArgs {
+            diameter: 14,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            seed: 2002,
+            out: None,
+        }
+    }
+}
+
+/// Smallest circular-wafer diameter holding at least `dies` dies.
+#[must_use]
+pub fn diameter_for_dies(dies: usize) -> usize {
+    let mut d = 1;
+    while WaferMap::circular(d).die_count() < dies {
+        d += 1;
+    }
+    d
+}
+
+/// Parses the arguments following the `campaign` keyword.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or malformed values.
+pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
+    let mut out = CampaignCliArgs::default();
+    let mut it = args.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dies" => {
+                let v = value("--dies", it.next())?;
+                let n: usize = v.parse().map_err(|_| format!("bad --dies value {v:?}"))?;
+                if n == 0 {
+                    return Err("--dies must be positive".to_string());
+                }
+                out.diameter = diameter_for_dies(n);
+            }
+            "--diameter" => {
+                let v = value("--diameter", it.next())?;
+                out.diameter = v
+                    .parse()
+                    .map_err(|_| format!("bad --diameter value {v:?}"))?;
+                if out.diameter == 0 {
+                    return Err("--diameter must be positive".to_string());
+                }
+            }
+            "--threads" => {
+                let v = value("--threads", it.next())?;
+                out.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if out.threads == 0 {
+                    return Err("--threads must be positive".to_string());
+                }
+            }
+            "--seed" => {
+                let v = value("--seed", it.next())?;
+                out.seed = v.parse().map_err(|_| format!("bad --seed value {v:?}"))?;
+            }
+            "--out" => {
+                out.out = Some(PathBuf::from(value("--out", it.next())?));
+            }
+            other => {
+                return Err(format!(
+                    "unknown campaign argument {other:?} \
+                     (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR])"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ASCII summary of a finished campaign.
+#[must_use]
+pub fn render(run: &CampaignRun) -> String {
+    let mut s = String::new();
+    let spec = &run.spec;
+    let _ = writeln!(
+        s,
+        "CAMPAIGN — {} dies (circular wafer, diameter {}), seed {}, {} thread(s)",
+        spec.wafer.die_count(),
+        spec.wafer.rows(),
+        spec.seed,
+        run.metrics.threads,
+    );
+    let _ = writeln!(
+        s,
+        "  {:.1} dies/s, reorder buffer peak {}, {} die(s) with solve failures",
+        run.metrics.dies_per_second, run.metrics.max_reorder_buffer, run.aggregate.dies_failed,
+    );
+    let _ = writeln!(
+        s,
+        "\n  {:<6} {:>9} {:>20} {:>16} {:>8} {:>22}",
+        "corner", "IC [uA]", "EG [eV] mean+/-sig", "XTI mean+/-sig", "yield", "straight EG(XTI)"
+    );
+    for (i, c) in run.aggregate.corners.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  {:<6} {:>9.2} {:>11.4} +/- {:>5.1}m {:>9.2} +/- {:>4.2} {:>7.1}% {:>10.1}m x + {:.4}",
+            c.name,
+            spec.corners[i].ic.value() * 1e6,
+            c.eg_ev.mean(),
+            c.eg_ev.std_dev() * 1e3,
+            c.xti.mean(),
+            c.xti.std_dev(),
+            c.yield_fraction() * 100.0,
+            c.straight.slope() * 1e3,
+            c.straight.intercept(),
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\n  stage timings (p50/p99 per die): {}",
+        run.metrics
+            .stages
+            .iter()
+            .map(|st| format!(
+                "{} {:.0}us/{:.0}us",
+                st.name,
+                st.p50_ns as f64 / 1e3,
+                st.p99_ns as f64 / 1e3
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s
+}
+
+/// Runs the subcommand end to end and returns the printable summary.
+///
+/// # Errors
+///
+/// Argument, spec-validation and artifact-write failures, as strings.
+pub fn run_cli(args: &[String]) -> Result<String, String> {
+    let cli = parse_args(args)?;
+    let spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
+    let run = run_campaign(&spec, cli.threads).map_err(|e| e.to_string())?;
+    let mut text = render(&run);
+    if let Some(dir) = &cli.out {
+        let paths = write_reports(dir, &run).map_err(|e| format!("writing reports: {e}"))?;
+        for p in paths {
+            let _ = writeln!(text, "  wrote {}", p.display());
+        }
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_args(&sv(&["--diameter", "9", "--threads", "3", "--seed", "7"])).unwrap();
+        assert_eq!(a.diameter, 9);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, None);
+    }
+
+    #[test]
+    fn dies_flag_picks_covering_diameter() {
+        let a = parse_args(&sv(&["--dies", "1000"])).unwrap();
+        let map = WaferMap::circular(a.diameter);
+        assert!(map.die_count() >= 1000, "{} dies", map.die_count());
+        assert!(WaferMap::circular(a.diameter - 1).die_count() < 1000);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_flags() {
+        assert!(parse_args(&sv(&["--bogus"])).is_err());
+        assert!(parse_args(&sv(&["--threads"])).is_err());
+        assert!(parse_args(&sv(&["--threads", "zero"])).is_err());
+        assert!(parse_args(&sv(&["--dies", "0"])).is_err());
+    }
+
+    #[test]
+    fn run_cli_renders_summary() {
+        let text = run_cli(&sv(&["--diameter", "4", "--threads", "2", "--seed", "42"])).unwrap();
+        assert!(text.contains("CAMPAIGN"));
+        assert!(text.contains("corner"));
+        assert!(text.contains("nom"));
+    }
+}

@@ -77,9 +77,8 @@ pub fn run() -> Result<ExtBanbaResult, SpiceError> {
 /// Renders the report.
 #[must_use]
 pub fn render(r: &ExtBanbaResult) -> String {
-    let mut out = String::from(
-        "EXT: sub-1V current-mode reference — trim card matters (extension)\n\n",
-    );
+    let mut out =
+        String::from("EXT: sub-1V current-mode reference — trim card matters (extension)\n\n");
     let mut t = Table::new(vec![
         "T [C]".into(),
         "truth-card trim [V]".into(),

@@ -59,7 +59,11 @@ pub fn render(r: &Fig1Result) -> String {
         "EG(300 K) [eV]".into(),
     ]);
     for (name, zero, room) in &r.intercepts {
-        t.add_row(vec![name.clone(), format!("{zero:.4}"), format!("{room:.4}")]);
+        t.add_row(vec![
+            name.clone(),
+            format!("{zero:.4}"),
+            format!("{room:.4}"),
+        ]);
     }
     out.push_str(&t.render());
     out.push_str(&format!(
@@ -88,7 +92,11 @@ mod tests {
     #[test]
     fn gap_matches_paper() {
         let r = run();
-        assert!((r.eg5_eg2_zero_gap * 1e3 - 21.7).abs() < 0.5, "gap {} meV", r.eg5_eg2_zero_gap * 1e3);
+        assert!(
+            (r.eg5_eg2_zero_gap * 1e3 - 21.7).abs() < 0.5,
+            "gap {} meV",
+            r.eg5_eg2_zero_gap * 1e3
+        );
     }
 
     #[test]

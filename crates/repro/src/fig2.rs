@@ -50,7 +50,11 @@ pub fn run() -> Result<Fig2Result, SpiceError> {
 #[must_use]
 pub fn render(r: &Fig2Result) -> String {
     let mut out = String::from("FIG2: dVBE of the QA/QB pair under equal forced currents\n\n");
-    let mut t = Table::new(vec!["T [K]".into(), "dVBE [mV]".into(), "(k/q)T ln8 [mV]".into()]);
+    let mut t = Table::new(vec![
+        "T [K]".into(),
+        "dVBE [mV]".into(),
+        "(k/q)T ln8 [mV]".into(),
+    ]);
     for &(tk, dv) in &r.points {
         t.add_row(vec![
             format!("{tk:.2}"),

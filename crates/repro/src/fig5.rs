@@ -20,9 +20,8 @@ use icvbe_units::{Ampere, Celsius, Kelvin, Ohm, Volt};
 use crate::render::AsciiPlot;
 
 /// The paper's eight chuck temperatures (°C).
-pub const PAPER_TEMPERATURES_C: [f64; 8] = [
-    -50.88, -25.47, -0.07, 27.36, 50.74, 76.13, 101.6, 126.9,
-];
+pub const PAPER_TEMPERATURES_C: [f64; 8] =
+    [-50.88, -25.47, -0.07, 27.36, 50.74, 76.13, 101.6, 126.9];
 
 /// Result of the FIG5 experiment.
 #[derive(Debug, Clone)]
@@ -89,8 +88,7 @@ pub fn run() -> Result<Fig5Result, SpiceError> {
 /// Renders the semilog family.
 #[must_use]
 pub fn render(r: &Fig5Result) -> String {
-    let mut out =
-        String::from("FIG5: IC(VBE) family of one PNP, -50.88 .. 126.9 C (semilog)\n\n");
+    let mut out = String::from("FIG5: IC(VBE) family of one PNP, -50.88 .. 126.9 C (semilog)\n\n");
     let mut plot = AsciiPlot::new("Fig. 5 — IC(VBE), one glyph per temperature").with_log_y();
     for (i, s) in r.family.sweeps().iter().enumerate() {
         let pts: Vec<(f64, f64)> = s

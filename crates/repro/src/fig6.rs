@@ -75,9 +75,7 @@ fn curve_from_campaign(points: &[PairCampaignPoint]) -> Result<VbeCurve, BenchEr
 /// Computes the die temperatures of the cold/hot points from the dVBE
 /// readings (eq. 19 with the eq.-20 current correction), referenced to the
 /// sensor temperature of the middle point.
-fn computed_temperatures(
-    points: &[PairCampaignPoint; 3],
-) -> Result<(Kelvin, Kelvin), BenchError> {
+fn computed_temperatures(points: &[PairCampaignPoint; 3]) -> Result<(Kelvin, Kelvin), BenchError> {
     let refp = &points[1];
     let t2 = refp.sensor_temperature;
     let compute = |p: &PairCampaignPoint| {
@@ -118,15 +116,16 @@ pub fn run() -> Result<Fig6Result, BenchError> {
     let grid = xti_grid();
 
     // --- C1: best fit over IC = 1e-8 .. 1e-5 A (paper's range) ---------
-    let setpoints: Vec<Celsius> = (0..8).map(|i| Celsius::new(-50.0 + 25.0 * i as f64)).collect();
+    let setpoints: Vec<Celsius> = (0..8)
+        .map(|i| Celsius::new(-50.0 + 25.0 * i as f64))
+        .collect();
     let mut curves = Vec::new();
     for bias in [1e-8, 1e-7, 1e-6, 1e-5] {
         let pts = bench.run_pair_campaign(&sample, Ampere::new(bias), &setpoints)?;
         curves.push(curve_from_campaign(&pts)?);
     }
     let ref_index = curves[0].closest_index(Kelvin::new(298.15));
-    let c1 = bestfit::characteristic_straight(&curves, ref_index, &grid)
-        .map_err(to_bench_error)?;
+    let c1 = bestfit::characteristic_straight(&curves, ref_index, &grid).map_err(to_bench_error)?;
 
     // --- analytical campaign: -25 / 25 / 75 C at 1 uA -------------------
     let three: Vec<Celsius> = [-25.0, 25.0, 75.0].map(Celsius::new).to_vec();
@@ -186,7 +185,11 @@ pub fn render(r: &Fig6Result) -> String {
         "EG at XTI* [eV]".into(),
         "R^2".into(),
     ]);
-    for (name, s) in [("C1 best fit", &r.c1), ("C2 sensor T", &r.c2), ("C3 computed T", &r.c3)] {
+    for (name, s) in [
+        ("C1 best fit", &r.c1),
+        ("C2 sensor T", &r.c2),
+        ("C3 computed T", &r.c3),
+    ] {
         t.add_row(vec![
             name.into(),
             format!("{:.2}", s.slope() * 1e3),

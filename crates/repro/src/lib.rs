@@ -13,10 +13,15 @@
 //! Every `run()` is deterministic (seeded noise everywhere) and every
 //! module has a `render()` producing the ASCII report the `repro` binary
 //! prints.
+//!
+//! Beyond the per-artifact modules, [`campaign_cli`] backs the binary's
+//! `campaign` subcommand: a wafer-scale parallel extraction campaign
+//! (see the `icvbe-campaign` crate) with JSON/CSV artifacts.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod campaign_cli;
 pub mod ext_banba;
 pub mod fig1;
 pub mod fig2;

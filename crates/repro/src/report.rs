@@ -48,7 +48,10 @@ pub fn save_reports(dir: &Path, reports: &[Report]) -> io::Result<Vec<PathBuf>> 
 #[must_use]
 pub fn collect_all_reports() -> Vec<Report> {
     let mut out = Vec::new();
-    out.push(Report::new("fig1", crate::fig1::render(&crate::fig1::run())));
+    out.push(Report::new(
+        "fig1",
+        crate::fig1::render(&crate::fig1::run()),
+    ));
     out.push(Report::new(
         "fig2",
         match crate::fig2::run() {
@@ -122,8 +125,7 @@ mod tests {
     #[test]
     fn report_ids_become_file_stems() {
         let dir = std::env::temp_dir().join(format!("icvbe_reports2_{}", std::process::id()));
-        let paths =
-            save_reports(&dir, &[Report::new("table1", "x".into())]).unwrap();
+        let paths = save_reports(&dir, &[Report::new("table1", "x".into())]).unwrap();
         assert!(paths[0].ends_with("table1.txt"));
         fs::remove_dir_all(&dir).unwrap();
     }

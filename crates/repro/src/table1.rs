@@ -58,18 +58,19 @@ pub fn run() -> Result<Table1Result, BenchError> {
         let mut bench = TestStructureBench::paper_bench(1000 + sample.id as u64);
         let pts = bench.run_pair_campaign(sample, Ampere::new(1e-6), &setpoints)?;
         let refp = &pts[1];
-        let compute = |p: &icvbe_instrument::bench::PairCampaignPoint| -> Result<Kelvin, BenchError> {
-            let x = PairCurrents {
-                ica_t: p.ic_a,
-                icb_t: p.ic_b,
-                ica_ref: refp.ic_a,
-                icb_ref: refp.ic_b,
-            }
-            .x_factor()
-            .map_err(err)?;
-            temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
-                .map_err(err)
-        };
+        let compute =
+            |p: &icvbe_instrument::bench::PairCampaignPoint| -> Result<Kelvin, BenchError> {
+                let x = PairCurrents {
+                    ica_t: p.ic_a,
+                    icb_t: p.ic_b,
+                    ica_ref: refp.ic_a,
+                    icb_ref: refp.ic_b,
+                }
+                .x_factor()
+                .map_err(err)?;
+                temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
+                    .map_err(err)
+            };
         let t1_computed = compute(&pts[0])?;
         let t3_computed = compute(&pts[2])?;
         rows.push(Table1Row {
@@ -93,9 +94,8 @@ fn err(e: icvbe_core::ExtractionError) -> BenchError {
 /// as columns).
 #[must_use]
 pub fn render(r: &Table1Result) -> String {
-    let mut out = String::from(
-        "TABLE1: T_measured - T_computed (K) for five samples of the test cell\n\n",
-    );
+    let mut out =
+        String::from("TABLE1: T_measured - T_computed (K) for five samples of the test cell\n\n");
     let mut headers = vec!["measured T (K)".to_string()];
     for row in &r.rows {
         headers.push(format!("sample {}", row.sample));

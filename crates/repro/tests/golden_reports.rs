@@ -1,0 +1,40 @@
+//! Golden-report snapshots: `render()` output of deterministic artifacts
+//! is pinned byte-for-byte against fixtures in `tests/fixtures/`.
+//!
+//! These reports feed the README and the paper-comparison workflow, so a
+//! formatting or numeric drift must be a conscious decision: regenerate
+//! the fixtures (write `render()` output to the fixture paths) and review
+//! the diff when the change is intended.
+
+use icvbe_repro::{fig1, table1};
+
+#[test]
+fn fig1_render_matches_golden_fixture() {
+    let rendered = fig1::render(&fig1::run());
+    let golden = include_str!("fixtures/fig1.txt");
+    assert_eq!(
+        rendered, golden,
+        "fig1 report drifted from tests/fixtures/fig1.txt — regenerate \
+         the fixture if the change is intentional"
+    );
+}
+
+#[test]
+fn table1_render_matches_golden_fixture() {
+    let report = table1::run().expect("table1 run");
+    let rendered = table1::render(&report);
+    let golden = include_str!("fixtures/table1.txt");
+    assert_eq!(
+        rendered, golden,
+        "table1 report drifted from tests/fixtures/table1.txt — regenerate \
+         the fixture if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_reports_are_stable_across_runs() {
+    assert_eq!(fig1::render(&fig1::run()), fig1::render(&fig1::run()));
+    let a = table1::render(&table1::run().expect("run a"));
+    let b = table1::render(&table1::run().expect("run b"));
+    assert_eq!(a, b);
+}

@@ -119,7 +119,10 @@ impl BjtParams {
             ("NF must be in (0, 10]", self.nf > 0.0 && self.nf <= 10.0),
             ("NE must be in (0, 10]", self.ne > 0.0 && self.ne <= 10.0),
             ("IKF must be positive", self.ikf.value() > 0.0),
-            ("EG must be in (0.1, 3) eV", self.eg.value() > 0.1 && self.eg.value() < 3.0),
+            (
+                "EG must be in (0.1, 3) eV",
+                self.eg.value() > 0.1 && self.eg.value() < 3.0,
+            ),
             ("TNOM must be physical", self.t_nom.value() > 0.0),
         ];
         for (msg, ok) in checks {
@@ -376,7 +379,11 @@ impl Bjt {
         } else {
             (q1 * q1 * m.inv_var, q1 * q1 * m.inv_vaf)
         };
-        let q2 = if m.ikf.is_finite() { ibe_id / m.ikf } else { 0.0 };
+        let q2 = if m.ikf.is_finite() {
+            ibe_id / m.ikf
+        } else {
+            0.0
+        };
         let (dq2_dvbe, dq2_dvbc) = if m.ikf.is_finite() {
             (gbe_id / m.ikf, 0.0)
         } else {
@@ -682,8 +689,7 @@ mod tests {
             let t = Kelvin::new(t);
             let ic = Ampere::new(1e-6);
             let dvbe = qa.vbe_for_ic(ic, t).value() - qb.vbe_for_ic(ic, t).value();
-            let expected =
-                icvbe_units::constants::BOLTZMANN_OVER_Q * t.value() * 8.0_f64.ln();
+            let expected = icvbe_units::constants::BOLTZMANN_OVER_Q * t.value() * 8.0_f64.ln();
             assert!(
                 (dvbe - expected).abs() < 1e-7,
                 "dVBE at {t}: {dvbe} vs {expected}"
@@ -708,7 +714,10 @@ mod tests {
             .substrate_leakage(Volt::new(0.0), Volt::new(0.5), Kelvin::new(398.15))
             .value();
         assert!(lo > 0.0, "forward parasitic must conduct, got {lo:e}");
-        assert!(hi > 10.0 * lo, "leakage must rise steeply: {lo:e} -> {hi:e}");
+        assert!(
+            hi > 10.0 * lo,
+            "leakage must rise steeply: {lo:e} -> {hi:e}"
+        );
     }
 
     #[test]

@@ -355,8 +355,7 @@ impl Element for OpAmp {
         ctx.add_jac_node_branch(self.out, 0, 1.0);
         // Branch equation: v(out) - gain (v+ - v- + vos) = 0.
         let vos = self.offset.get();
-        let residual =
-            ctx.v(self.out) - self.gain * (ctx.v(self.in_p) - ctx.v(self.in_m) + vos);
+        let residual = ctx.v(self.out) - self.gain * (ctx.v(self.in_p) - ctx.v(self.in_m) + vos);
         ctx.add_branch_residual(0, residual);
         ctx.add_jac_branch_node(0, self.out, 1.0);
         ctx.add_jac_branch_node(0, self.in_p, -self.gain);
@@ -605,7 +604,8 @@ mod tests {
         .unwrap();
         let big = base.clone().with_area(8.0).unwrap();
         let t = Kelvin::new(300.0);
-        let r = big.current(Volt::new(0.55), t).0.value() / base.current(Volt::new(0.55), t).0.value();
+        let r =
+            big.current(Volt::new(0.55), t).0.value() / base.current(Volt::new(0.55), t).0.value();
         assert!((r - 8.0).abs() < 1e-9);
     }
 

@@ -90,7 +90,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SpiceError::topology("dangling node n3").to_string().contains("n3"));
+        assert!(SpiceError::topology("dangling node n3")
+            .to_string()
+            .contains("n3"));
         assert!(SpiceError::parameter("R1", "negative resistance")
             .to_string()
             .contains("R1"));

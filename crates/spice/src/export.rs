@@ -205,11 +205,7 @@ pub fn to_spice_deck(circuit: &Circuit, options: &DeckOptions) -> String {
         }
     }
     out.push_str(&models);
-    let _ = writeln!(
-        out,
-        ".TEMP {:.2}",
-        options.temperature.to_celsius().value()
-    );
+    let _ = writeln!(out, ".TEMP {:.2}", options.temperature.to_celsius().value());
     if options.include_op_card {
         let _ = writeln!(out, ".OP");
     }
@@ -241,7 +237,12 @@ mod tests {
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let out = c.node("out");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(5.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(5.0),
+        ));
         c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
         c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(1e3)).unwrap());
         to_spice_deck(&c, &DeckOptions::default())
@@ -267,12 +268,24 @@ mod tests {
     fn bjt_renders_model_card() {
         let mut c = Circuit::new();
         let e = c.node("e");
-        c.add(CurrentSource::new("IB", Circuit::ground(), e, Ampere::new(1e-6)));
+        c.add(CurrentSource::new(
+            "IB",
+            Circuit::ground(),
+            e,
+            Ampere::new(1e-6),
+        ));
         c.add(
-            Bjt::new("QA", Circuit::ground(), Circuit::ground(), e, Polarity::Pnp, BjtParams::default_npn())
-                .unwrap()
-                .with_area(8.0)
-                .unwrap(),
+            Bjt::new(
+                "QA",
+                Circuit::ground(),
+                Circuit::ground(),
+                e,
+                Polarity::Pnp,
+                BjtParams::default_npn(),
+            )
+            .unwrap()
+            .with_area(8.0)
+            .unwrap(),
         );
         let deck = to_spice_deck(&c, &DeckOptions::default());
         assert!(deck.contains("QQA 0 0 e QM_QA AREA=8"));
@@ -317,10 +330,22 @@ mod tests {
     fn infinite_parameters_get_fallbacks() {
         let mut c = Circuit::new();
         let e = c.node("e");
-        c.add(CurrentSource::new("IB", Circuit::ground(), e, Ampere::new(1e-6)));
+        c.add(CurrentSource::new(
+            "IB",
+            Circuit::ground(),
+            e,
+            Ampere::new(1e-6),
+        ));
         c.add(
-            Bjt::new("Q", Circuit::ground(), Circuit::ground(), e, Polarity::Npn, BjtParams::default_npn())
-                .unwrap(),
+            Bjt::new(
+                "Q",
+                Circuit::ground(),
+                Circuit::ground(),
+                e,
+                Polarity::Npn,
+                BjtParams::default_npn(),
+            )
+            .unwrap(),
         );
         let deck = to_spice_deck(&c, &DeckOptions::default());
         // Default card has IKF = VAF = infinity.

@@ -52,8 +52,8 @@ pub mod netlist;
 pub mod param;
 pub mod solver;
 pub mod stamp;
-pub mod system;
 pub mod sweep;
+pub mod system;
 pub mod vccs;
 
 pub use error::SpiceError;

@@ -245,7 +245,12 @@ mod tests {
     fn validate_catches_dangling_node() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(CurrentSource::new("I1", Circuit::ground(), a, Ampere::new(1e-3)));
+        c.add(CurrentSource::new(
+            "I1",
+            Circuit::ground(),
+            a,
+            Ampere::new(1e-3),
+        ));
         let err = c.validate().unwrap_err();
         assert!(err.to_string().contains("dangling"));
     }
@@ -261,7 +266,12 @@ mod tests {
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let out = c.node("out");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(5.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(5.0),
+        ));
         c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
         c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(1e3)).unwrap());
         assert!(c.validate().is_ok());

@@ -121,7 +121,12 @@ pub fn solve_dc(
 
     // Strategy 1: direct Newton.
     if let Ok(sol) = solve_newton(&system, &x0, options.newton) {
-        return Ok(finish(circuit, sol.x, temperature, iterations + sol.iterations));
+        return Ok(finish(
+            circuit,
+            sol.x,
+            temperature,
+            iterations + sol.iterations,
+        ));
     }
 
     // Strategy 2: gmin stepping.
@@ -156,7 +161,12 @@ pub fn solve_dc(
             source_scale: 1.0,
         });
         if let Ok(sol) = solve_newton(&system, &x, options.newton) {
-            return Ok(finish(circuit, sol.x, temperature, iterations + sol.iterations));
+            return Ok(finish(
+                circuit,
+                sol.x,
+                temperature,
+                iterations + sol.iterations,
+            ));
         }
     }
 
@@ -244,7 +254,12 @@ mod tests {
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let out = c.node("out");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(2.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(2.0),
+        ));
         c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
         c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(3e3)).unwrap());
         let op = solve_dc(&c, Kelvin::new(300.0), &DcOptions::default(), None).unwrap();
@@ -263,8 +278,15 @@ mod tests {
             b,
             Ampere::new(1e-6),
         ));
-        let q = Bjt::new("Q1", b, b, Circuit::ground(), Polarity::Npn, BjtParams::default_npn())
-            .unwrap();
+        let q = Bjt::new(
+            "Q1",
+            b,
+            b,
+            Circuit::ground(),
+            Polarity::Npn,
+            BjtParams::default_npn(),
+        )
+        .unwrap();
         c.add(q);
         let op = solve_dc(&c, Kelvin::new(298.15), &DcOptions::default(), None).unwrap();
         let vbe = op.voltage(b).value();
@@ -276,7 +298,12 @@ mod tests {
         let mut c = Circuit::new();
         let inp = c.node("in");
         let out = c.node("out");
-        c.add(VoltageSource::new("Vin", inp, Circuit::ground(), Volt::new(0.8)));
+        c.add(VoltageSource::new(
+            "Vin",
+            inp,
+            Circuit::ground(),
+            Volt::new(0.8),
+        ));
         // Unity follower: out fed back to the inverting input.
         c.add(OpAmp::new("U1", inp, out, out, 1e6).unwrap());
         // Load so `out` is not dangling for validation.
@@ -290,7 +317,12 @@ mod tests {
         let mut c = Circuit::new();
         let inp = c.node("in");
         let out = c.node("out");
-        c.add(VoltageSource::new("Vin", inp, Circuit::ground(), Volt::new(0.5)));
+        c.add(VoltageSource::new(
+            "Vin",
+            inp,
+            Circuit::ground(),
+            Volt::new(0.5),
+        ));
         c.add(
             OpAmp::new("U1", inp, out, out, 1e6)
                 .unwrap()
@@ -305,7 +337,12 @@ mod tests {
     fn warm_start_is_accepted() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add(VoltageSource::new("V1", a, Circuit::ground(), Volt::new(1.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            a,
+            Circuit::ground(),
+            Volt::new(1.0),
+        ));
         c.add(Resistor::new("R1", a, Circuit::ground(), Ohm::new(1e3)).unwrap());
         let op1 = solve_dc(&c, Kelvin::new(300.0), &DcOptions::default(), None).unwrap();
         let op2 = solve_dc(
@@ -344,6 +381,9 @@ mod tests {
         let op = solve_dc(&c, t, &DcOptions::default(), None).unwrap();
         let dvbe = op.voltage(va).value() - op.voltage(vb).value();
         let expected = 8.617e-5 * t.value() * 8.0_f64.ln();
-        assert!((dvbe - expected).abs() < 5e-5, "dVBE = {dvbe} vs {expected}");
+        assert!(
+            (dvbe - expected).abs() < 5e-5,
+            "dVBE = {dvbe} vs {expected}"
+        );
     }
 }

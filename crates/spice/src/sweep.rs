@@ -116,8 +116,8 @@ pub fn temperature_grid(lo: Kelvin, hi: Kelvin, n: usize) -> Vec<Kelvin> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::element::{CurrentSource, Resistor};
     use crate::bjt::{Bjt, BjtParams, Polarity};
+    use crate::element::{CurrentSource, Resistor};
     use crate::netlist::Circuit;
     use icvbe_units::{Ampere, Ohm};
 
@@ -142,8 +142,7 @@ mod tests {
         let a = c.node("a");
         let p = Param::new(1e-6);
         c.add(
-            CurrentSource::new("I1", Circuit::ground(), a, Ampere::new(0.0))
-                .with_handle(p.clone()),
+            CurrentSource::new("I1", Circuit::ground(), a, Ampere::new(0.0)).with_handle(p.clone()),
         );
         c.add(Resistor::new("R1", a, Circuit::ground(), Ohm::new(1e3)).unwrap());
         let _ = dc_sweep(
@@ -165,9 +164,7 @@ mod tests {
         let e = c.node("e");
         let gnd = Circuit::ground();
         c.add(CurrentSource::new("Ibias", gnd, e, Ampere::new(1e-6)));
-        c.add(
-            Bjt::new("Q1", gnd, gnd, e, Polarity::Pnp, BjtParams::default_npn()).unwrap(),
-        );
+        c.add(Bjt::new("Q1", gnd, gnd, e, Polarity::Pnp, BjtParams::default_npn()).unwrap());
         let temps = temperature_grid(Kelvin::new(248.15), Kelvin::new(348.15), 5);
         let pts = temperature_sweep(&c, &temps, &DcOptions::default()).unwrap();
         let vs: Vec<f64> = pts.iter().map(|p| p.voltage(e).value()).collect();

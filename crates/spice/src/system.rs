@@ -69,12 +69,7 @@ impl<'a> CircuitSystem<'a> {
         self.node_count
     }
 
-    fn stamp_all(
-        &self,
-        x: &[f64],
-        residual: &mut [f64],
-        mut jacobian: Option<&mut Matrix>,
-    ) {
+    fn stamp_all(&self, x: &[f64], residual: &mut [f64], mut jacobian: Option<&mut Matrix>) {
         for (e, &base) in self.circuit.elements().iter().zip(&self.branch_bases) {
             let mut ctx = StampContext::new(
                 self.eval,
@@ -141,7 +136,12 @@ mod tests {
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let out = c.node("out");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(2.0)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(2.0),
+        ));
         c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
         c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(1e3)).unwrap());
         c

@@ -1,72 +1,97 @@
-//! Property-based tests for the circuit simulator: linear-circuit laws
-//! must hold for arbitrary component values.
+//! Randomized property tests for the circuit simulator: linear-circuit
+//! laws must hold for arbitrary component values. Driven by the in-tree
+//! seeded PRNG (hermetic build: no `proptest`).
 
+use icvbe_numerics::rng::Xoshiro256PlusPlus;
 use icvbe_spice::element::{CurrentSource, Resistor, VoltageSource};
 use icvbe_spice::netlist::Circuit;
 use icvbe_spice::solver::{solve_dc, DcOptions};
 use icvbe_units::{Ampere, Kelvin, Ohm, Volt};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// A two-resistor divider obeys the divider formula for any values.
-    #[test]
-    fn divider_formula_holds(
-        vin in 0.1_f64..20.0,
-        r1 in 1.0_f64..1e6,
-        r2 in 1.0_f64..1e6,
-    ) {
+/// A two-resistor divider obeys the divider formula for any values.
+#[test]
+fn divider_formula_holds() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x05B1_0001);
+    for _ in 0..CASES {
+        let vin = rng.uniform(0.1, 20.0);
+        let r1 = rng.uniform(1.0, 1e6);
+        let r2 = rng.uniform(1.0, 1e6);
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let out = c.node("out");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(vin)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(vin),
+        ));
         c.add(Resistor::new("R1", vcc, out, Ohm::new(r1)).unwrap());
         c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(r2)).unwrap());
         let op = solve_dc(&c, Kelvin::new(300.0), &DcOptions::default(), None).unwrap();
         let expected = vin * r2 / (r1 + r2);
-        prop_assert!((op.voltage(out).value() - expected).abs() < 1e-6 * vin.max(1.0));
+        assert!((op.voltage(out).value() - expected).abs() < 1e-6 * vin.max(1.0));
     }
+}
 
-    /// Superposition: the response to two sources equals the sum of the
-    /// responses to each alone (linear circuit).
-    #[test]
-    fn superposition_holds(
-        v in -5.0_f64..5.0,
-        i in -1e-3_f64..1e-3,
-        r in 10.0_f64..1e5,
-    ) {
+/// Superposition: the response to two sources equals the sum of the
+/// responses to each alone (linear circuit).
+#[test]
+fn superposition_holds() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x05B1_0002);
+    for _ in 0..CASES {
+        let v = rng.uniform(-5.0, 5.0);
+        let i = rng.uniform(-1e-3, 1e-3);
+        let r = rng.uniform(10.0, 1e5);
         let build = |vs: f64, is: f64| {
             let mut c = Circuit::new();
             let a = c.node("a");
             let b = c.node("b");
-            c.add(VoltageSource::new("V1", a, Circuit::ground(), Volt::new(vs)));
+            c.add(VoltageSource::new(
+                "V1",
+                a,
+                Circuit::ground(),
+                Volt::new(vs),
+            ));
             c.add(Resistor::new("R1", a, b, Ohm::new(r)).unwrap());
             c.add(Resistor::new("R2", b, Circuit::ground(), Ohm::new(2.0 * r)).unwrap());
-            c.add(CurrentSource::new("I1", Circuit::ground(), b, Ampere::new(is)));
+            c.add(CurrentSource::new(
+                "I1",
+                Circuit::ground(),
+                b,
+                Ampere::new(is),
+            ));
             let op = solve_dc(&c, Kelvin::new(300.0), &DcOptions::default(), None).unwrap();
             op.voltage(b).value()
         };
         let both = build(v, i);
         let v_only = build(v, 0.0);
         let i_only = build(0.0, i);
-        prop_assert!(
+        assert!(
             (both - v_only - i_only).abs() < 1e-6 * (both.abs().max(1.0)),
             "superposition violated: {both} vs {v_only} + {i_only}"
         );
     }
+}
 
-    /// Series resistors divide like one resistor: current through a chain
-    /// matches Ohm's law on the total.
-    #[test]
-    fn series_chain_reduces(
-        vin in 0.5_f64..10.0,
-        r in 10.0_f64..1e4,
-        n in 2usize..6,
-    ) {
+/// Series resistors divide like one resistor: current through a chain
+/// matches Ohm's law on the total.
+#[test]
+fn series_chain_reduces() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x05B1_0003);
+    for _ in 0..CASES {
+        let vin = rng.uniform(0.5, 10.0);
+        let r = rng.uniform(10.0, 1e4);
+        let n = 2 + rng.below(4) as usize;
         let mut c = Circuit::new();
         let top = c.node("n0");
-        c.add(VoltageSource::new("V1", top, Circuit::ground(), Volt::new(vin)));
+        c.add(VoltageSource::new(
+            "V1",
+            top,
+            Circuit::ground(),
+            Volt::new(vin),
+        ));
         let mut prev = top;
         for k in 1..=n {
             let next = if k == n {
@@ -81,30 +106,37 @@ proptest! {
         // Source branch current = -vin / (n r).
         let i = op.branch_current(0, 0).value();
         let expected = -vin / (n as f64 * r);
-        prop_assert!((i - expected).abs() < 1e-9 + 1e-6 * expected.abs());
+        assert!((i - expected).abs() < 1e-9 + 1e-6 * expected.abs());
     }
+}
 
-    /// The solved node voltages of a divider lie between the rails.
-    #[test]
-    fn node_voltages_bounded_by_rails(
-        vin in 0.1_f64..10.0,
-        r1 in 1.0_f64..1e5,
-        r2 in 1.0_f64..1e5,
-        r3 in 1.0_f64..1e5,
-    ) {
+/// The solved node voltages of a divider lie between the rails.
+#[test]
+fn node_voltages_bounded_by_rails() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x05B1_0004);
+    for _ in 0..CASES {
+        let vin = rng.uniform(0.1, 10.0);
+        let r1 = rng.uniform(1.0, 1e5);
+        let r2 = rng.uniform(1.0, 1e5);
+        let r3 = rng.uniform(1.0, 1e5);
         let mut c = Circuit::new();
         let vcc = c.node("vcc");
         let m1 = c.node("m1");
         let m2 = c.node("m2");
-        c.add(VoltageSource::new("V1", vcc, Circuit::ground(), Volt::new(vin)));
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(vin),
+        ));
         c.add(Resistor::new("R1", vcc, m1, Ohm::new(r1)).unwrap());
         c.add(Resistor::new("R2", m1, m2, Ohm::new(r2)).unwrap());
         c.add(Resistor::new("R3", m2, Circuit::ground(), Ohm::new(r3)).unwrap());
         let op = solve_dc(&c, Kelvin::new(300.0), &DcOptions::default(), None).unwrap();
         for node in [m1, m2] {
             let v = op.voltage(node).value();
-            prop_assert!(v >= -1e-9 && v <= vin + 1e-9, "node at {v} outside rails");
+            assert!(v >= -1e-9 && v <= vin + 1e-9, "node at {v} outside rails");
         }
-        prop_assert!(op.voltage(m1).value() >= op.voltage(m2).value() - 1e-9);
+        assert!(op.voltage(m1).value() >= op.voltage(m2).value() - 1e-9);
     }
 }

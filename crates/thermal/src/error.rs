@@ -56,7 +56,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ThermalError::parameter("negative Rth").to_string().contains("Rth"));
+        assert!(ThermalError::parameter("negative Rth")
+            .to_string()
+            .contains("Rth"));
         let e = ThermalError::NoConvergence {
             iterations: 7,
             last_step: 0.5,

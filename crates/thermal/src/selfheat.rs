@@ -112,8 +112,7 @@ mod tests {
     #[test]
     fn constant_power_converges_to_closed_form() {
         let path = ThermalPath::ceramic_dip(); // 100 K/W total
-        let op =
-            solve_die_temperature(Kelvin::new(300.0), &path, |_| 20e-3, 1e-12, 200).unwrap();
+        let op = solve_die_temperature(Kelvin::new(300.0), &path, |_| 20e-3, 1e-12, 200).unwrap();
         assert!((op.temperature.value() - 302.0).abs() < 1e-9);
         assert!((op.power_watts - 20e-3).abs() < 1e-15);
     }
@@ -122,8 +121,7 @@ mod tests {
     fn feedback_raises_above_one_shot() {
         let path = ThermalPath::ceramic_dip();
         let power = |t: Kelvin| 10e-3 * (1.0 + 0.02 * (t.value() - 300.0));
-        let fixed =
-            solve_die_temperature(Kelvin::new(300.0), &path, power, 1e-12, 500).unwrap();
+        let fixed = solve_die_temperature(Kelvin::new(300.0), &path, power, 1e-12, 500).unwrap();
         let shot = one_shot_die_temperature(Kelvin::new(300.0), &path, power);
         assert!(fixed.temperature.value() > shot.temperature.value());
         // Closed form: dT = Rth P0 / (1 - Rth P0' ) with loop gain 0.02 * 1 K/W * 10mW...

@@ -172,7 +172,11 @@ impl NotFiniteTemperatureError {
 
 impl fmt::Display for NotFiniteTemperatureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "temperature {} K is not finite and non-negative", self.value)
+        write!(
+            f,
+            "temperature {} K is not finite and non-negative",
+            self.value
+        )
     }
 }
 

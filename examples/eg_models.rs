@@ -11,7 +11,10 @@ use icvbe::units::{Ampere, Kelvin};
 
 fn main() {
     println!("Silicon bandgap models (paper Fig. 1):");
-    println!("{:<6} {:>10} {:>10} {:>10}", "model", "EG(0K)", "EG(300K)", "EG(450K)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10}",
+        "model", "EG(0K)", "EG(300K)", "EG(450K)"
+    );
     for m in figure1_models() {
         println!(
             "{:<6} {:>9.4}  {:>9.4}  {:>9.4}",

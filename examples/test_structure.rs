@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Soak at -25 / 25 / 75 °C and measure the pair structure.
     let setpoints = [-25.0, 25.0, 75.0].map(Celsius::new);
     let pts = bench.run_pair_campaign(&sample, Ampere::new(1e-6), &setpoints)?;
-    println!("\n{:<10} {:>10} {:>10} {:>11}", "setpoint", "sensor[K]", "die[K]", "dVBE[mV]");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>11}",
+        "setpoint", "sensor[K]", "die[K]", "dVBE[mV]"
+    );
     for p in &pts {
         println!(
             "{:<10.1} {:>10.2} {:>10.2} {:>11.4}",
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let t1 = compute(&pts[0])?;
     let t3 = compute(&pts[2])?;
-    println!("\ncomputed die temperatures: T1 = {:.2} K, T3 = {:.2} K", t1.value(), t3.value());
+    println!(
+        "\ncomputed die temperatures: T1 = {:.2} K, T3 = {:.2} K",
+        t1.value(),
+        t3.value()
+    );
     println!(
         "sensor gaps (measured - computed): cold {:+.2} K, hot {:+.2} K",
         pts[0].sensor_temperature.value() - t1.value(),

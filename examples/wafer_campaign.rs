@@ -1,0 +1,45 @@
+//! A 1,000-die wafer extraction campaign, run twice — single-threaded
+//! and on every available core — to demonstrate the engine's determinism
+//! guarantee: the aggregate artifacts are bit-identical.
+//!
+//! ```text
+//! cargo run --release --example wafer_campaign
+//! ```
+
+use icvbe::campaign::report::aggregate_json;
+use icvbe::campaign::spec::WaferMap;
+use icvbe::campaign::{run_campaign, CampaignSpec};
+use icvbe::repro::campaign_cli::{diameter_for_dies, render};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let diameter = diameter_for_dies(1000);
+    let wafer = WaferMap::circular(diameter);
+    println!(
+        "wafer: diameter {diameter} dies, {} dies total\n",
+        wafer.die_count()
+    );
+    let spec = CampaignSpec::paper_default(wafer, 2002);
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let serial = run_campaign(&spec, 1)?;
+    let parallel = run_campaign(&spec, threads)?;
+
+    println!("{}", render(&parallel));
+
+    let a = aggregate_json(&serial);
+    let b = aggregate_json(&parallel);
+    assert_eq!(a, b, "aggregate reports must be bit-identical");
+    println!(
+        "determinism: 1-thread and {threads}-thread aggregate JSON identical \
+         ({} bytes)",
+        a.len()
+    );
+    if parallel.metrics.elapsed_ns > 0 && serial.metrics.elapsed_ns > 0 {
+        println!(
+            "speedup: {:.2}x ({} threads)",
+            serial.metrics.elapsed_ns as f64 / parallel.metrics.elapsed_ns as f64,
+            threads
+        );
+    }
+    Ok(())
+}

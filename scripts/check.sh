@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, tests, bench compilation.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
+echo "OK: all checks passed"

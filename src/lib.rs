@@ -17,7 +17,9 @@
 //! - [`core`] — the extraction methods (best fit, Meijer analytical,
 //!   dVBE temperature computation, sensitivity studies),
 //! - [`bandgap`] — the Fig.-3 test cell and `VREF(T)` analyses,
-//! - [`repro`] — one runnable experiment per table/figure of the paper.
+//! - [`repro`] — one runnable experiment per table/figure of the paper,
+//! - [`campaign`] — wafer-scale parallel extraction campaigns with
+//!   deterministic seeding and streaming aggregation.
 //!
 //! # Quickstart
 //!
@@ -52,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub use icvbe_bandgap as bandgap;
+pub use icvbe_campaign as campaign;
 pub use icvbe_core as core;
 pub use icvbe_devphys as devphys;
 pub use icvbe_instrument as instrument;

@@ -7,10 +7,7 @@ use icvbe::instrument::bench::{PairCampaignPoint, TestStructureBench};
 use icvbe::instrument::montecarlo::{DieSample, SampleFactory};
 use icvbe::units::{Ampere, Celsius, Kelvin};
 
-fn campaign(
-    bench: &mut TestStructureBench,
-    sample: &DieSample,
-) -> Vec<PairCampaignPoint> {
+fn campaign(bench: &mut TestStructureBench, sample: &DieSample) -> Vec<PairCampaignPoint> {
     bench
         .run_pair_campaign(
             sample,
@@ -115,11 +112,7 @@ fn computed_temperature_extraction_keeps_eg_closer_than_its_xti_scale_shift() {
     let sample = SampleFactory::seeded(5).draw(1);
     let pts = campaign(&mut bench, &sample);
     let (t1c, t3c) = computed_temps(&pts);
-    let fit = extract(&meijer_of(
-        &pts,
-        [t1c, pts[1].sensor_temperature, t3c],
-    ))
-    .expect("extraction");
+    let fit = extract(&meijer_of(&pts, [t1c, pts[1].sensor_temperature, t3c])).expect("extraction");
     let truth = sample.card;
     assert!(
         (fit.eg.value() - truth.eg.value()).abs() < 0.05,
@@ -158,8 +151,7 @@ fn five_sample_lot_produces_five_distinct_extractions() {
         let mut bench = TestStructureBench::paper_bench(1000 + sample.id as u64);
         let pts = campaign(&mut bench, sample);
         let (t1c, t3c) = computed_temps(&pts);
-        let fit =
-            extract(&meijer_of(&pts, [t1c, pts[1].sensor_temperature, t3c])).unwrap();
+        let fit = extract(&meijer_of(&pts, [t1c, pts[1].sensor_temperature, t3c])).unwrap();
         egs.push(fit.eg.value());
     }
     assert_eq!(egs.len(), 5);

@@ -51,12 +51,7 @@ fn eq13_model_predicts_the_circuit_over_the_full_range() {
     let mut model = eq13_from_spice_law(&card.is_law(), ic, t0);
     // Re-anchor on the circuit value to absorb the base-current offset.
     let anchor = circuit_vbe(ic, t0);
-    model = icvbe::devphys::vbe::Eq13Model::new(
-        model.eg(),
-        model.xti(),
-        t0,
-        Volt::new(anchor),
-    );
+    model = icvbe::devphys::vbe::Eq13Model::new(model.eg(), model.xti(), t0, Volt::new(anchor));
     for t in [223.15, 248.15, 273.15, 323.15, 348.15, 398.15] {
         let t = Kelvin::new(t);
         let solved = circuit_vbe(ic, t);
@@ -97,9 +92,9 @@ fn spice_is_law_drives_the_circuit_vbe_slope() {
     let t0 = Kelvin::new(298.15);
     let model = eq13_from_spice_law(&card.is_law(), ic, t0);
     let h = 5.0;
-    let circuit_slope =
-        (circuit_vbe(ic, Kelvin::new(298.15 + h)) - circuit_vbe(ic, Kelvin::new(298.15 - h)))
-            / (2.0 * h);
+    let circuit_slope = (circuit_vbe(ic, Kelvin::new(298.15 + h))
+        - circuit_vbe(ic, Kelvin::new(298.15 - h)))
+        / (2.0 * h);
     let model_slope = model.slope(t0);
     assert!(
         (circuit_slope - model_slope).abs() / model_slope.abs() < 0.05,

@@ -1,4 +1,5 @@
-//! Property-based tests on the core invariants, spanning crates.
+//! Randomized property tests on the core invariants, spanning crates.
+//! Driven by the in-tree seeded PRNG (hermetic build: no `proptest`).
 
 use icvbe::core::bestfit::fit_eg_xti;
 use icvbe::core::data::VbeCurve;
@@ -7,10 +8,12 @@ use icvbe::core::tempcomp::{temperature_from_dvbe, PtatPair};
 use icvbe::devphys::saturation::SpiceIsLaw;
 use icvbe::devphys::vbe::vbe_for_current;
 use icvbe::numerics::lu;
+use icvbe::numerics::rng::Xoshiro256PlusPlus;
 use icvbe::numerics::Matrix;
 use icvbe::spice::limexp::limexp;
 use icvbe::units::{Ampere, Celsius, ElectronVolt, Kelvin, Volt};
-use proptest::prelude::*;
+
+const CASES: usize = 64;
 
 fn law(eg: f64, xti: f64) -> SpiceIsLaw {
     SpiceIsLaw::new(
@@ -21,36 +24,41 @@ fn law(eg: f64, xti: f64) -> SpiceIsLaw {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Best fit inverts the forward model for ANY physical (EG, XTI).
-    #[test]
-    fn bestfit_roundtrips_any_card(
-        eg in 0.9_f64..1.3,
-        xti in 0.5_f64..6.0,
-        ic_exp in -8.0_f64..-5.0,
-    ) {
-        let ic = Ampere::new(10f64.powf(ic_exp));
+/// Best fit inverts the forward model for ANY physical (EG, XTI).
+#[test]
+fn bestfit_roundtrips_any_card() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0001);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.9, 1.3);
+        let xti = rng.uniform(0.5, 6.0);
+        let ic = Ampere::new(10f64.powf(rng.uniform(-8.0, -5.0)));
         let law = law(eg, xti);
         let curve = VbeCurve::from_points((0..8).map(|i| {
             let t = Kelvin::new(223.15 + 25.0 * i as f64);
             (t, vbe_for_current(&law, ic, t), ic)
-        })).unwrap();
+        }))
+        .unwrap();
         let fit = fit_eg_xti(&curve, 3).unwrap();
-        prop_assert!((fit.eg.value() - eg).abs() < 1e-6, "EG {} vs {}", fit.eg.value(), eg);
-        prop_assert!((fit.xti - xti).abs() < 1e-3, "XTI {} vs {}", fit.xti, xti);
+        assert!(
+            (fit.eg.value() - eg).abs() < 1e-6,
+            "EG {} vs {}",
+            fit.eg.value(),
+            eg
+        );
+        assert!((fit.xti - xti).abs() < 1e-3, "XTI {} vs {}", fit.xti, xti);
     }
+}
 
-    /// The analytical method inverts the forward model for any card and
-    /// any admissible temperature triple.
-    #[test]
-    fn meijer_roundtrips_any_card(
-        eg in 0.9_f64..1.3,
-        xti in 0.5_f64..6.0,
-        t1 in 230.0_f64..270.0,
-        dt in 30.0_f64..70.0,
-    ) {
+/// The analytical method inverts the forward model for any card and any
+/// admissible temperature triple.
+#[test]
+fn meijer_roundtrips_any_card() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0002);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.9, 1.3);
+        let xti = rng.uniform(0.5, 6.0);
+        let t1 = rng.uniform(230.0, 270.0);
+        let dt = rng.uniform(30.0, 70.0);
         let ic = Ampere::new(1e-6);
         let law = law(eg, xti);
         let p = |t: f64| MeijerPoint {
@@ -64,97 +72,109 @@ proptest! {
             hot: p(t1 + 2.0 * dt),
         };
         let fit = extract(&m).unwrap();
-        prop_assert!((fit.eg.value() - eg).abs() < 1e-8);
-        prop_assert!((fit.xti - xti).abs() < 1e-5);
+        assert!((fit.eg.value() - eg).abs() < 1e-8);
+        assert!((fit.xti - xti).abs() < 1e-5);
     }
+}
 
-    /// The dVBE thermometer inverts its own forward law at any area ratio
-    /// and temperature.
-    #[test]
-    fn dvbe_thermometer_roundtrips(
-        ratio in 1.5_f64..64.0,
-        t in 150.0_f64..450.0,
-        t_ref in 250.0_f64..350.0,
-    ) {
+/// The dVBE thermometer inverts its own forward law at any area ratio and
+/// temperature.
+#[test]
+fn dvbe_thermometer_roundtrips() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0003);
+    for _ in 0..CASES {
+        let ratio = rng.uniform(1.5, 64.0);
+        let t = rng.uniform(150.0, 450.0);
+        let t_ref = rng.uniform(250.0, 350.0);
         let pair = PtatPair::new(ratio).unwrap();
         let computed = temperature_from_dvbe(
             pair.ideal_dvbe(Kelvin::new(t)),
             pair.ideal_dvbe(Kelvin::new(t_ref)),
             Kelvin::new(t_ref),
-        ).unwrap();
-        prop_assert!((computed.value() - t).abs() < 1e-9);
+        )
+        .unwrap();
+        assert!((computed.value() - t).abs() < 1e-9);
     }
+}
 
-    /// LU solve satisfies A x = b for random well-conditioned systems.
-    #[test]
-    fn lu_solves_random_diagonally_dominant_systems(
-        seed in 0u64..1000,
-        n in 2usize..8,
-    ) {
-        // Deterministic pseudo-random fill from the seed.
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        };
+/// LU solve satisfies A x = b for random well-conditioned systems.
+#[test]
+fn lu_solves_random_diagonally_dominant_systems() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0004);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(6) as usize;
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
             let mut row_sum = 0.0;
             for j in 0..n {
-                let v = next();
+                let v = rng.uniform(-1.0, 1.0);
                 a[(i, j)] = v;
                 row_sum += v.abs();
             }
             a[(i, i)] += row_sum + 1.0; // diagonal dominance
         }
-        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let x = lu::solve(&a, &b).unwrap();
         let ax = a.mul_vec(&x).unwrap();
         for (p, q) in ax.iter().zip(&b) {
-            prop_assert!((p - q).abs() < 1e-9);
+            assert!((p - q).abs() < 1e-9);
         }
     }
+}
 
-    /// limexp is finite, positive, monotone and has a monotone derivative
-    /// for every argument.
-    #[test]
-    fn limexp_is_well_behaved(x in -700.0_f64..1e6) {
+/// limexp is finite, positive, monotone and has a monotone derivative for
+/// every argument.
+#[test]
+fn limexp_is_well_behaved() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0005);
+    for _ in 0..CASES {
+        let x = rng.uniform(-700.0, 1e6);
         let (v, d) = limexp(x);
-        prop_assert!(v.is_finite() && d.is_finite());
-        prop_assert!(v > 0.0 && d > 0.0);
+        assert!(v.is_finite() && d.is_finite());
+        assert!(v > 0.0 && d > 0.0);
         let (v2, _) = limexp(x + 1.0);
-        prop_assert!(v2 > v);
+        assert!(v2 > v);
     }
+}
 
-    /// Celsius/Kelvin conversions round-trip.
-    #[test]
-    fn temperature_conversions_roundtrip(c in -273.0_f64..1000.0) {
+/// Celsius/Kelvin conversions round-trip.
+#[test]
+fn temperature_conversions_roundtrip() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0006);
+    for _ in 0..CASES {
+        let c = rng.uniform(-273.0, 1000.0);
         let t = Celsius::new(c).to_kelvin().to_celsius();
-        prop_assert!((t.value() - c).abs() < 1e-9);
+        assert!((t.value() - c).abs() < 1e-9);
     }
+}
 
-    /// Eq.-1 saturation current is monotone in temperature for physical
-    /// parameters.
-    #[test]
-    fn is_law_is_monotone(
-        eg in 0.5_f64..1.5,
-        xti in 0.0_f64..6.0,
-        t in 200.0_f64..400.0,
-    ) {
+/// Eq.-1 saturation current is monotone in temperature for physical
+/// parameters.
+#[test]
+fn is_law_is_monotone() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0007);
+    for _ in 0..CASES {
+        let eg = rng.uniform(0.5, 1.5);
+        let xti = rng.uniform(0.0, 6.0);
+        let t = rng.uniform(200.0, 400.0);
         let l = law(eg, xti);
         let a = l.is_at(Kelvin::new(t)).value();
         let b = l.is_at(Kelvin::new(t + 1.0)).value();
-        prop_assert!(b > a, "IS not increasing at {t} K (eg {eg}, xti {xti})");
+        assert!(b > a, "IS not increasing at {t} K (eg {eg}, xti {xti})");
     }
+}
 
-    /// VBE curves reject unphysical data regardless of values.
-    #[test]
-    fn vbe_curve_rejects_nonpositive_currents(ic in -1.0_f64..0.0) {
+/// VBE curves reject unphysical data regardless of values.
+#[test]
+fn vbe_curve_rejects_nonpositive_currents() {
+    let mut rng = Xoshiro256PlusPlus::seeded(0x1CBE_0008);
+    for _ in 0..CASES {
+        let ic = rng.uniform(-1.0, 0.0);
         let r = VbeCurve::from_points([
             (Kelvin::new(250.0), Volt::new(0.7), Ampere::new(1e-6)),
             (Kelvin::new(300.0), Volt::new(0.6), Ampere::new(ic)),
             (Kelvin::new(350.0), Volt::new(0.5), Ampere::new(1e-6)),
         ]);
-        prop_assert!(r.is_err());
+        assert!(r.is_err());
     }
 }
