@@ -10,6 +10,8 @@ use icvbe_spice::bjt::{Bjt, BjtParams, Polarity, SubstrateJunction};
 use icvbe_spice::element::CurrentSource;
 use icvbe_spice::netlist::{Circuit, NodeId};
 use icvbe_spice::solver::{solve_dc, DcOptions, OperatingPoint};
+use icvbe_spice::system::CircuitAssembly;
+use icvbe_spice::workspace::{solve_dc_with, SolveWorkspace};
 use icvbe_spice::SpiceError;
 use icvbe_units::{Ampere, Kelvin, Volt};
 
@@ -100,6 +102,35 @@ impl PairStructure {
         Ok((ckt, va, vb))
     }
 
+    /// Builds the netlist once and bundles it with its validated
+    /// [`CircuitAssembly`] and the readout devices, so a temperature sweep
+    /// (or the electro-thermal loop's dozens of re-solves) pays the
+    /// construction cost a single time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates element validation and topology validation.
+    pub fn compile(&self) -> Result<CompiledPair, SpiceError> {
+        let (circuit, va, vb) = self.build()?;
+        let assembly = CircuitAssembly::new(&circuit)?;
+        // Readout devices: same construction as `read` performs per call.
+        let gnd = Circuit::ground();
+        let qa = Bjt::new("QA", gnd, gnd, va, Polarity::Pnp, self.card)?;
+        let qb =
+            Bjt::new("QB", gnd, gnd, vb, Polarity::Pnp, self.card)?.with_area(self.area_ratio)?;
+        Ok(CompiledPair {
+            structure: self.clone(),
+            circuit,
+            assembly,
+            va,
+            vb,
+            qa,
+            qb,
+            warm: Vec::new(),
+            has_warm: false,
+        })
+    }
+
     /// Solves the structure at one temperature and reads out the pair.
     ///
     /// # Errors
@@ -156,6 +187,17 @@ impl PairStructure {
         .expect("validated card")
         .with_area(self.area_ratio)
         .expect("positive ratio");
+        self.reading_from(vbe_a, vbe_b, &qa, &qb, temperature)
+    }
+
+    fn reading_from(
+        &self,
+        vbe_a: Volt,
+        vbe_b: Volt,
+        qa: &Bjt,
+        qb: &Bjt,
+        temperature: Kelvin,
+    ) -> PairReading {
         let zero = Volt::new(0.0);
         let ic_a = qa.dc_currents(zero, zero, vbe_a, temperature).ic;
         let ic_b = qb.dc_currents(zero, zero, vbe_b, temperature).ic;
@@ -195,6 +237,91 @@ pub struct PairReading {
     pub ic_a: Ampere,
     /// Reconstructed collector current of QB (magnitude).
     pub ic_b: Ampere,
+}
+
+/// A [`PairStructure`] bound to its built netlist, validated assembly and
+/// cached readout devices — the hot-path form of [`PairStructure::measure`].
+///
+/// The electro-thermal fixed point re-solves the same circuit dozens of
+/// times per setpoint; a compiled pair builds and validates it once, and
+/// optionally carries the last converged solution forward as a Newton warm
+/// start. With polishing enabled in the solver options (see
+/// [`icvbe_numerics::newton::NewtonOptions::polish`]) the returned reading
+/// is bitwise independent of whether the warm start was used.
+#[derive(Debug)]
+pub struct CompiledPair {
+    structure: PairStructure,
+    circuit: Circuit,
+    assembly: CircuitAssembly,
+    va: NodeId,
+    vb: NodeId,
+    qa: Bjt,
+    qb: Bjt,
+    warm: Vec<f64>,
+    has_warm: bool,
+}
+
+impl CompiledPair {
+    /// The configuration this pair was compiled from.
+    #[must_use]
+    pub fn structure(&self) -> &PairStructure {
+        &self.structure
+    }
+
+    /// Forgets the carried solution; the next solve starts cold.
+    pub fn reset_warm(&mut self) {
+        self.has_warm = false;
+    }
+
+    /// Solves the compiled structure at one temperature and reads out the
+    /// pair, drawing all solver storage from `ws`.
+    ///
+    /// With `warm_start`, Newton is seeded from the last converged
+    /// solution of this pair (if any); the converged vector is carried
+    /// forward either way so a later warm-started call can use it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn measure_at(
+        &mut self,
+        temperature: Kelvin,
+        options: &DcOptions,
+        ws: &mut SolveWorkspace,
+        warm_start: bool,
+    ) -> Result<PairReading, SpiceError> {
+        let initial = if warm_start && self.has_warm {
+            Some(self.warm.as_slice())
+        } else {
+            None
+        };
+        solve_dc_with(
+            &self.circuit,
+            &self.assembly,
+            temperature,
+            options,
+            initial,
+            ws,
+        )?;
+        let x = ws.solution();
+        if self.warm.len() != x.len() {
+            self.warm.resize(x.len(), 0.0);
+        }
+        self.warm.copy_from_slice(x);
+        self.has_warm = true;
+        let vbe_a = voltage_of(x, self.va);
+        let vbe_b = voltage_of(x, self.vb);
+        Ok(self
+            .structure
+            .reading_from(vbe_a, vbe_b, &self.qa, &self.qb, temperature))
+    }
+}
+
+fn voltage_of(x: &[f64], node: NodeId) -> Volt {
+    match node.unknown_index() {
+        Some(i) => Volt::new(x[i]),
+        None => Volt::new(0.0),
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +401,53 @@ mod tests {
             "shift {} vs {expected}",
             d0 - d1
         );
+    }
+
+    #[test]
+    fn compiled_cold_measure_matches_one_shot_bitwise() {
+        let pair = PairStructure::ideal(st_bicmos_pnp(), Ampere::new(1e-6));
+        let mut compiled = pair.compile().unwrap();
+        let mut ws = SolveWorkspace::new();
+        let opts = DcOptions::default();
+        for t in [248.15, 298.15, 348.15] {
+            let t = Kelvin::new(t);
+            let one_shot = pair.measure_with_options(t, &opts).unwrap();
+            compiled.reset_warm();
+            let reused = compiled.measure_at(t, &opts, &mut ws, false).unwrap();
+            assert_eq!(one_shot, reused, "at {t}");
+        }
+    }
+
+    #[test]
+    fn warm_start_with_polish_is_bit_identical_to_cold() {
+        let pair = PairStructure::ideal(st_bicmos_pnp(), Ampere::new(1e-6));
+        let mut opts = DcOptions::default();
+        opts.newton.polish = true;
+
+        // Cold pass: every solve from zeros.
+        let mut cold_pair = pair.compile().unwrap();
+        let mut ws = SolveWorkspace::new();
+        let temps: Vec<Kelvin> = (0..9)
+            .map(|i| Kelvin::new(248.15 + 12.5 * i as f64))
+            .collect();
+        let cold: Vec<PairReading> = temps
+            .iter()
+            .map(|&t| {
+                cold_pair.reset_warm();
+                cold_pair.measure_at(t, &opts, &mut ws, false).unwrap()
+            })
+            .collect();
+
+        // Warm pass: each solve seeded from the previous converged point.
+        let mut warm_pair = pair.compile().unwrap();
+        let warm: Vec<PairReading> = temps
+            .iter()
+            .map(|&t| warm_pair.measure_at(t, &opts, &mut ws, true).unwrap())
+            .collect();
+
+        assert_eq!(cold, warm, "polish must erase the seed dependence");
+        // And the warm pass must actually have warm-started.
+        assert!(ws.stats.warm_starts >= (temps.len() - 1) as u64);
     }
 
     #[test]

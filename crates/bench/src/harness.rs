@@ -95,6 +95,20 @@ impl Criterion {
     fn selected(&self, id: &str) -> bool {
         self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
     }
+
+    /// Whether the command-line filters select `id` — for bench targets
+    /// that do their own measurement outside [`Bencher::iter`] and need
+    /// to honour `cargo bench <filter>` themselves.
+    #[must_use]
+    pub fn is_selected(&self, id: &str) -> bool {
+        self.selected(id)
+    }
+
+    /// Whether `--list` was passed (print ids, run nothing).
+    #[must_use]
+    pub fn is_list_only(&self) -> bool {
+        self.list_only
+    }
 }
 
 /// A named group of related benchmarks (criterion's `BenchmarkGroup`).

@@ -12,9 +12,9 @@ use std::time::Instant;
 
 use icvbe_core::meijer::extract;
 use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
-use icvbe_instrument::bench::{PairCampaignPoint, TestStructureBench};
+use icvbe_instrument::bench::{BenchScratch, PairCampaignPoint, TestStructureBench};
 use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
-use icvbe_units::Kelvin;
+use icvbe_units::{Celsius, Kelvin};
 
 use crate::aggregate::YieldBin;
 use crate::seeding::{stream_seed, Stream};
@@ -75,6 +75,28 @@ pub struct DieOutcome {
     pub timing: DieTiming,
 }
 
+/// Per-thread scratch for the die pipeline: solver workspaces, iteration
+/// counters and the reusable measurement-point buffer.
+///
+/// Nothing in here affects results — [`run_die_with`] is bitwise identical
+/// to [`run_die`] for any scratch state — it only removes per-die
+/// allocations and carries the solver statistics the worker pool folds
+/// into the campaign metrics.
+#[derive(Debug, Default)]
+pub struct DieScratch {
+    /// Bench-level scratch: circuit solver workspace plus counters.
+    pub bench: BenchScratch,
+    points: Vec<PairCampaignPoint>,
+}
+
+impl DieScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        DieScratch::default()
+    }
+}
+
 fn classify(window: &SpecWindow, eg: f64, xti: f64) -> YieldBin {
     if eg < window.eg_min {
         YieldBin::EgLow
@@ -116,6 +138,8 @@ fn run_corner(
     sample: &DieSample,
     site: DieSite,
     corner_idx: usize,
+    setpoints: &[Celsius],
+    scratch: &mut DieScratch,
     timing: &mut DieTiming,
 ) -> CornerOutcome {
     let bench_seed = stream_seed(
@@ -126,21 +150,22 @@ fn run_corner(
     let mut bench = make_bench(spec.bench, bench_seed);
 
     let t_measure = Instant::now();
-    let pts = match bench.run_pair_campaign(
+    let measured = bench.run_pair_campaign_with(
         sample,
         spec.corners[corner_idx].ic,
-        &spec.plan.setpoints(),
-    ) {
-        Ok(p) => p,
-        Err(_) => {
-            timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
-            return CornerOutcome {
-                bin: YieldBin::SolveFail,
-                values: None,
-            };
-        }
-    };
+        setpoints,
+        &mut scratch.bench,
+        &mut scratch.points,
+        spec.warm_start,
+    );
     timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
+    if measured.is_err() {
+        return CornerOutcome {
+            bin: YieldBin::SolveFail,
+            values: None,
+        };
+    }
+    let pts = &scratch.points;
 
     let t_extract = Instant::now();
     let out = (|| {
@@ -178,8 +203,24 @@ fn run_corner(
 
 /// Runs the full pipeline of one die. Infallible by design: failures are
 /// binned, not raised, because a wafer campaign must outlive bad dies.
+///
+/// Convenience wrapper over [`run_die_with`] with a private scratch; both
+/// are pure functions of `(spec, site)` and produce identical outcomes.
 #[must_use]
 pub fn run_die(spec: &CampaignSpec, site: DieSite) -> DieOutcome {
+    run_die_with(spec, site, &spec.plan.setpoints(), &mut DieScratch::new())
+}
+
+/// [`run_die`] for the worker hot path: the caller hoists the setpoint
+/// list (computed once per campaign, not once per corner) and owns the
+/// scratch that carries solver buffers and counters across dies.
+#[must_use]
+pub fn run_die_with(
+    spec: &CampaignSpec,
+    site: DieSite,
+    setpoints: &[Celsius],
+    scratch: &mut DieScratch,
+) -> DieOutcome {
     let mut timing = DieTiming::default();
 
     let t_sample = Instant::now();
@@ -190,7 +231,7 @@ pub fn run_die(spec: &CampaignSpec, site: DieSite) -> DieOutcome {
     timing.sample_ns = t_sample.elapsed().as_nanos() as u64;
 
     let corners = (0..spec.corners.len())
-        .map(|k| run_corner(spec, &sample, site, k, &mut timing))
+        .map(|k| run_corner(spec, &sample, site, k, setpoints, scratch, &mut timing))
         .collect();
 
     DieOutcome {
@@ -253,6 +294,32 @@ mod tests {
             "hot err {}",
             v.t_hot_err_k
         );
+    }
+
+    #[test]
+    fn warm_and_cold_dies_are_bit_identical() {
+        let spec = small_spec();
+        let mut cold_spec = spec.clone();
+        cold_spec.warm_start = false;
+        for site in spec.wafer.sites() {
+            let warm = run_die(&spec, site);
+            let cold = run_die(&cold_spec, site);
+            assert_eq!(warm.corners, cold.corners, "die {}", site.index);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_outcomes() {
+        let spec = small_spec();
+        let setpoints = spec.plan.setpoints();
+        let mut scratch = DieScratch::new();
+        // Drive several dies through ONE scratch; each must match a run
+        // with a fresh scratch bit for bit.
+        for site in spec.wafer.sites() {
+            let reused = run_die_with(&spec, site, &setpoints, &mut scratch);
+            let fresh = run_die(&spec, site);
+            assert_eq!(reused.corners, fresh.corners, "die {}", site.index);
+        }
     }
 
     #[test]

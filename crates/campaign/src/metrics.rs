@@ -123,6 +123,86 @@ pub struct CampaignCounters {
     pub failed: AtomicU64,
     /// Per-stage histograms, indexed by the `STAGE_*` constants.
     pub stages: [LogHistogram; 3],
+    /// Circuit solves issued (every Newton entry of every die).
+    pub solves: AtomicU64,
+    /// Damped Newton iterations, summed over all solves.
+    pub newton_total: AtomicU64,
+    /// Electro-thermal fixed-point iterations, summed over all setpoints.
+    pub selfheat_total: AtomicU64,
+    /// Solves seeded from a previous converged solution.
+    pub warm_hits: AtomicU64,
+    /// Solves started from the flat initial guess.
+    pub warm_misses: AtomicU64,
+    /// Per-die Newton iteration totals (histogram of counts, not ns).
+    pub newton_per_die: LogHistogram,
+    /// Per-die self-heating iteration totals (histogram of counts).
+    pub selfheat_per_die: LogHistogram,
+}
+
+impl CampaignCounters {
+    /// Folds one die's solver counters in (lock-free; any worker thread).
+    pub fn record_die_solver(
+        &self,
+        solves: u64,
+        newton_iterations: u64,
+        warm_starts: u64,
+        cold_starts: u64,
+        selfheat_iterations: u64,
+    ) {
+        self.solves.fetch_add(solves, Ordering::Relaxed);
+        self.newton_total
+            .fetch_add(newton_iterations, Ordering::Relaxed);
+        self.selfheat_total
+            .fetch_add(selfheat_iterations, Ordering::Relaxed);
+        self.warm_hits.fetch_add(warm_starts, Ordering::Relaxed);
+        self.warm_misses.fetch_add(cold_starts, Ordering::Relaxed);
+        self.newton_per_die.record_ns(newton_iterations);
+        self.selfheat_per_die.record_ns(selfheat_iterations);
+    }
+}
+
+/// Solver-level observability: how much numerical work the campaign did
+/// and how often warm starts paid off. Like all metrics, never part of the
+/// deterministic aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverMetrics {
+    /// Circuit solves issued.
+    pub solves: u64,
+    /// Total damped Newton iterations.
+    pub newton_iterations: u64,
+    /// Total electro-thermal fixed-point iterations.
+    pub selfheat_iterations: u64,
+    /// Solves seeded from a previous converged solution.
+    pub warm_start_hits: u64,
+    /// Solves started from the flat initial guess.
+    pub warm_start_misses: u64,
+    /// Median per-die Newton iteration count (log₂-bucket upper bound).
+    pub newton_per_die_p50: u64,
+    /// 99th-percentile per-die Newton iteration count (bucket upper bound).
+    pub newton_per_die_p99: u64,
+}
+
+impl SolverMetrics {
+    /// Mean Newton iterations per solve.
+    #[must_use]
+    pub fn newton_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.newton_iterations as f64 / self.solves as f64
+        }
+    }
+
+    /// Fraction of solves that were warm-started (0 when none ran).
+    #[must_use]
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_start_hits + self.warm_start_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_start_hits as f64 / total as f64
+        }
+    }
 }
 
 /// End-of-run observability snapshot.
@@ -145,6 +225,8 @@ pub struct CampaignMetrics {
     pub max_reorder_buffer: usize,
     /// Per-stage timing summaries.
     pub stages: Vec<StageSnapshot>,
+    /// Solver iteration counts and warm-start accounting.
+    pub solver: SolverMetrics,
 }
 
 impl CampaignCounters {
@@ -175,6 +257,18 @@ impl CampaignCounters {
                 .enumerate()
                 .map(|(i, n)| self.stages[i].snapshot(n))
                 .collect(),
+            solver: {
+                let newton = self.newton_per_die.snapshot("newton_per_die");
+                SolverMetrics {
+                    solves: self.solves.load(Ordering::Relaxed),
+                    newton_iterations: self.newton_total.load(Ordering::Relaxed),
+                    selfheat_iterations: self.selfheat_total.load(Ordering::Relaxed),
+                    warm_start_hits: self.warm_hits.load(Ordering::Relaxed),
+                    warm_start_misses: self.warm_misses.load(Ordering::Relaxed),
+                    newton_per_die_p50: newton.p50_ns,
+                    newton_per_die_p99: newton.p99_ns,
+                }
+            },
         }
     }
 }

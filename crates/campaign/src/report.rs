@@ -242,6 +242,11 @@ pub fn metrics_json(run: &CampaignRun) -> String {
             "  \"elapsed_ns\":{elapsed},\n",
             "  \"dies_per_second\":{rate},\n",
             "  \"max_reorder_buffer\":{buf},\n",
+            "  \"solver\":{{\"solves\":{solves},\"newton_iterations\":{newton},\
+             \"newton_per_solve\":{npsolve},\"selfheat_iterations\":{selfheat},\
+             \"warm_start_hits\":{hits},\"warm_start_misses\":{misses},\
+             \"warm_hit_rate\":{hitrate},\"newton_per_die_p50\":{np50},\
+             \"newton_per_die_p99\":{np99}}},\n",
             "  \"stages\":[\n{stages}\n  ]\n",
             "}}\n",
         ),
@@ -252,6 +257,15 @@ pub fn metrics_json(run: &CampaignRun) -> String {
         elapsed = m.elapsed_ns,
         rate = num(m.dies_per_second),
         buf = m.max_reorder_buffer,
+        solves = m.solver.solves,
+        newton = m.solver.newton_iterations,
+        npsolve = num(m.solver.newton_per_solve()),
+        selfheat = m.solver.selfheat_iterations,
+        hits = m.solver.warm_start_hits,
+        misses = m.solver.warm_start_misses,
+        hitrate = num(m.solver.warm_hit_rate()),
+        np50 = m.solver.newton_per_die_p50,
+        np99 = m.solver.newton_per_die_p99,
         stages = stages.join(",\n"),
     )
 }

@@ -214,6 +214,13 @@ pub struct CampaignSpec {
     pub seed: u64,
     /// Bench profile.
     pub bench: BenchProfile,
+    /// Seed each circuit solve from the previous converged solution
+    /// (across self-heating iterations and setpoints within one
+    /// die/corner). Newton polishing makes the measured values
+    /// bit-identical either way — only iteration counts change — so this
+    /// field is deliberately **not** part of the aggregate artifacts and
+    /// warm/cold aggregates compare equal.
+    pub warm_start: bool,
 }
 
 impl CampaignSpec {
@@ -234,6 +241,7 @@ impl CampaignSpec {
             window: SpecWindow::st_bicmos_default(),
             seed,
             bench: BenchProfile::Paper,
+            warm_start: true,
         }
     }
 

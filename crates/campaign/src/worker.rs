@@ -15,7 +15,7 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use crate::aggregate::{CampaignAggregate, YieldBin};
-use crate::die::{run_die, DieOutcome};
+use crate::die::{run_die_with, DieOutcome, DieScratch};
 use crate::metrics::{
     CampaignCounters, CampaignMetrics, STAGE_EXTRACT, STAGE_MEASURE, STAGE_SAMPLE,
 };
@@ -47,6 +47,9 @@ pub struct CampaignRun {
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, CampaignError> {
     spec.validate()?;
     let sites = spec.wafer.sites();
+    // Campaign-invariant work hoisted out of the per-die loop: the
+    // setpoint list is computed once here, not once per corner per die.
+    let setpoints = spec.plan.setpoints();
     let threads = threads.max(1);
     let counters = CampaignCounters::default();
     let cursor = Arc::new(AtomicUsize::new(0));
@@ -61,8 +64,13 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
             let tx = tx.clone();
             let cursor = Arc::clone(&cursor);
             let sites = &sites;
+            let setpoints = &setpoints;
             let counters = &counters;
             scope.spawn(move || {
+                // One scratch per worker thread: solver buffers reach a
+                // steady state after the first die and are reused for
+                // every die the thread claims.
+                let mut scratch = DieScratch::new();
                 loop {
                     let base = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                     if base >= sites.len() {
@@ -71,7 +79,15 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
                     let end = (base + CHUNK).min(sites.len());
                     for site in &sites[base..end] {
                         counters.started.fetch_add(1, Ordering::Relaxed);
-                        let out = run_die(spec, *site);
+                        let out = run_die_with(spec, *site, setpoints, &mut scratch);
+                        let (stats, selfheat) = scratch.bench.take_counters();
+                        counters.record_die_solver(
+                            stats.solves,
+                            stats.newton_iterations,
+                            stats.warm_starts,
+                            stats.cold_starts,
+                            selfheat,
+                        );
                         counters.stages[STAGE_SAMPLE].record_ns(out.timing.sample_ns);
                         counters.stages[STAGE_MEASURE].record_ns(out.timing.measure_ns);
                         counters.stages[STAGE_EXTRACT].record_ns(out.timing.extract_ns);

@@ -18,7 +18,10 @@
 use std::error::Error;
 use std::fmt;
 
+use icvbe_bandgap::pair::CompiledPair;
 use icvbe_core::meijer::{MeijerMeasurement, MeijerPoint};
+use icvbe_spice::solver::DcOptions;
+use icvbe_spice::workspace::{SolveStats, SolveWorkspace};
 use icvbe_thermal::chamber::ThermalChamber;
 use icvbe_thermal::network::ThermalPath;
 use icvbe_thermal::selfheat::solve_die_temperature;
@@ -93,6 +96,38 @@ pub struct PairCampaignPoint {
     pub ic_b: Ampere,
 }
 
+/// Per-thread scratch for the warm measurement path: solver buffers plus
+/// iteration counters.
+///
+/// One scratch serves any number of dies sequentially; nothing in it
+/// affects results, only speed and observability. The embedded
+/// [`SolveStats`] and the self-heating counter let the campaign layer
+/// report Newton iteration counts and warm-start hit rates without
+/// re-plumbing every call site.
+#[derive(Debug, Default)]
+pub struct BenchScratch {
+    /// Circuit solver workspace (Newton/LU buffers + solve statistics).
+    pub solve: SolveWorkspace,
+    /// Electro-thermal fixed-point iterations accumulated.
+    pub selfheat_iterations: u64,
+}
+
+impl BenchScratch {
+    /// An empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        BenchScratch::default()
+    }
+
+    /// Returns and resets the accumulated `(solve stats, self-heating
+    /// iterations)`.
+    pub fn take_counters(&mut self) -> (SolveStats, u64) {
+        let stats = self.solve.stats.take();
+        let selfheat = std::mem::take(&mut self.selfheat_iterations);
+        (stats, selfheat)
+    }
+}
+
 /// The virtual bench: thermal environment plus instruments.
 #[derive(Debug)]
 pub struct TestStructureBench {
@@ -153,10 +188,7 @@ impl TestStructureBench {
     ) -> Result<PairCampaignPoint, BenchError> {
         let structure = sample.pair_structure(bias);
         let chamber = ThermalChamber::new(setpoint.to_kelvin(), self.chamber_offset);
-        let path = ThermalPath::new(
-            self.path.rth_jc() * sample.rth_scale,
-            self.path.rth_ca() * sample.rth_scale,
-        )?;
+        let path = self.path.scaled(sample.rth_scale)?;
         let ambient = chamber.ambient();
 
         // Electro-thermal fixed point: the structure + the rest of the die
@@ -208,6 +240,114 @@ impl TestStructureBench {
             .iter()
             .map(|&c| self.measure_pair_at(sample, bias, c))
             .collect()
+    }
+
+    /// Solver options the hot path runs with: campaign defaults plus
+    /// Newton polishing, which makes every solve's result bitwise
+    /// independent of its starting point — the property that lets
+    /// warm-started sweeps reproduce cold-started ones exactly.
+    #[must_use]
+    pub fn campaign_dc_options() -> DcOptions {
+        let mut options = DcOptions::default();
+        options.newton.polish = true;
+        options
+    }
+
+    /// [`TestStructureBench::run_pair_campaign`] for the hot path: the
+    /// circuit is compiled once for the whole sweep, the thermal path is
+    /// scaled once, solver storage comes from `scratch`, and results are
+    /// appended to the caller's `out` buffer (cleared first).
+    ///
+    /// With `warm_start`, every circuit solve after the first is seeded
+    /// from the previous converged solution — across self-heating
+    /// iterations *and* across setpoints. Solves run with
+    /// [`TestStructureBench::campaign_dc_options`] (Newton polishing), so
+    /// the measured points are bit-identical with and without
+    /// `warm_start`; only the iteration counts differ.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing setpoint.
+    pub fn run_pair_campaign_with(
+        &mut self,
+        sample: &DieSample,
+        bias: Ampere,
+        setpoints: &[Celsius],
+        scratch: &mut BenchScratch,
+        out: &mut Vec<PairCampaignPoint>,
+        warm_start: bool,
+    ) -> Result<(), BenchError> {
+        out.clear();
+        let mut compiled = sample.pair_structure(bias).compile()?;
+        let path = self.path.scaled(sample.rth_scale)?;
+        let options = TestStructureBench::campaign_dc_options();
+        for &setpoint in setpoints {
+            let point = self.measure_compiled_at(
+                &mut compiled,
+                &path,
+                setpoint,
+                &options,
+                scratch,
+                warm_start,
+            )?;
+            out.push(point);
+        }
+        Ok(())
+    }
+
+    /// One setpoint of the compiled hot path; see
+    /// [`TestStructureBench::run_pair_campaign_with`].
+    fn measure_compiled_at(
+        &mut self,
+        compiled: &mut CompiledPair,
+        path: &ThermalPath,
+        setpoint: Celsius,
+        options: &DcOptions,
+        scratch: &mut BenchScratch,
+        warm_start: bool,
+    ) -> Result<PairCampaignPoint, BenchError> {
+        let chamber = ThermalChamber::new(setpoint.to_kelvin(), self.chamber_offset);
+        let ambient = chamber.ambient();
+        let aux = self.auxiliary_power_watts;
+
+        // The thermal trajectory starts at ambient in both warm and cold
+        // modes: seeding it would change the rounding of the converged die
+        // temperature and break warm/cold bit-identity. Warm starts only
+        // seed Newton inside the power closure, where polishing erases
+        // their trace.
+        let die = {
+            let solve = &mut scratch.solve;
+            solve_die_temperature(
+                ambient,
+                path,
+                |t| {
+                    let p_pair = compiled
+                        .measure_at(t, options, solve, warm_start)
+                        .map(|r| compiled.structure().power_watts(&r))
+                        .unwrap_or(0.0);
+                    p_pair + aux
+                },
+                1e-4,
+                60,
+            )?
+        };
+        scratch.selfheat_iterations += die.iterations as u64;
+
+        let reading =
+            compiled.measure_at(die.temperature, options, &mut scratch.solve, warm_start)?;
+        let case = chamber.sensor_reading(path, die.power_watts);
+        let sensor_temperature = self.sensor.read(case);
+
+        Ok(PairCampaignPoint {
+            setpoint: setpoint.to_kelvin(),
+            sensor_temperature,
+            die_temperature: die.temperature,
+            vbe_a: self.smu.measure_voltage(reading.vbe_a),
+            vbe_b: self.smu.measure_voltage(reading.vbe_b),
+            dvbe: self.smu.measure_voltage(reading.dvbe),
+            ic_a: self.smu.measure_current(reading.ic_a),
+            ic_b: self.smu.measure_current(reading.ic_b),
+        })
     }
 
     /// Assembles the analytical-method measurement from three campaign
@@ -279,6 +419,88 @@ mod tests {
         assert!(pts
             .windows(2)
             .all(|w| w[0].dvbe.value() < w[1].dvbe.value()));
+    }
+
+    #[test]
+    fn warm_and_cold_campaigns_are_bit_identical() {
+        let setpoints: Vec<Celsius> = [-25.0, 25.0, 75.0].map(Celsius::new).to_vec();
+        let sample = SampleFactory::seeded(7).draw(3);
+
+        let mut cold_bench = TestStructureBench::paper_bench(11);
+        let mut cold_scratch = BenchScratch::new();
+        let mut cold_points = Vec::new();
+        cold_bench
+            .run_pair_campaign_with(
+                &sample,
+                Ampere::new(1e-6),
+                &setpoints,
+                &mut cold_scratch,
+                &mut cold_points,
+                false,
+            )
+            .unwrap();
+
+        let mut warm_bench = TestStructureBench::paper_bench(11);
+        let mut warm_scratch = BenchScratch::new();
+        let mut warm_points = Vec::new();
+        warm_bench
+            .run_pair_campaign_with(
+                &sample,
+                Ampere::new(1e-6),
+                &setpoints,
+                &mut warm_scratch,
+                &mut warm_points,
+                true,
+            )
+            .unwrap();
+
+        assert_eq!(cold_points, warm_points);
+        let (cold_stats, cold_selfheat) = cold_scratch.take_counters();
+        let (warm_stats, warm_selfheat) = warm_scratch.take_counters();
+        // Identical physics, fewer Newton iterations.
+        assert_eq!(cold_selfheat, warm_selfheat);
+        assert_eq!(cold_stats.solves, warm_stats.solves);
+        assert_eq!(cold_stats.warm_starts, 0);
+        assert!(warm_stats.warm_starts >= warm_stats.solves - 1);
+        assert!(
+            warm_stats.newton_iterations < cold_stats.newton_iterations,
+            "warm {} vs cold {} Newton iterations",
+            warm_stats.newton_iterations,
+            cold_stats.newton_iterations
+        );
+    }
+
+    #[test]
+    fn compiled_campaign_matches_per_setpoint_structure() {
+        // The compiled path must agree with the allocating path up to the
+        // polish-induced last-ulp difference; check physical closeness. The
+        // SMU quantizes voltages on a ~1e-6 V grid, so a last-ulp shift in
+        // the raw solve can flip one quantization boundary — the dvbe
+        // tolerance must sit above one quantum, not at solver precision.
+        let setpoints: Vec<Celsius> = [-25.0, 25.0, 75.0].map(Celsius::new).to_vec();
+        let sample = DieSample::nominal(0);
+        let mut old_bench = TestStructureBench::paper_bench(5);
+        let old = old_bench
+            .run_pair_campaign(&sample, Ampere::new(1e-6), &setpoints)
+            .unwrap();
+        let mut new_bench = TestStructureBench::paper_bench(5);
+        let mut scratch = BenchScratch::new();
+        let mut new_points = Vec::new();
+        new_bench
+            .run_pair_campaign_with(
+                &sample,
+                Ampere::new(1e-6),
+                &setpoints,
+                &mut scratch,
+                &mut new_points,
+                true,
+            )
+            .unwrap();
+        assert_eq!(old.len(), new_points.len());
+        for (a, b) in old.iter().zip(&new_points) {
+            assert!((a.die_temperature.value() - b.die_temperature.value()).abs() < 1e-6);
+            assert!((a.dvbe.value() - b.dvbe.value()).abs() < 2e-6);
+        }
     }
 
     #[test]

@@ -3,8 +3,16 @@
 //! Used for the nonlinear variants of the extraction (fitting `VBE(T)` with
 //! `VBE(T0)` treated as a free parameter) and for ablation against the
 //! linear eq.-13 fit.
+//!
+//! Mirrors the Newton module's split: [`fit_levenberg_marquardt`] allocates
+//! its own scratch, [`fit_levenberg_marquardt_with`] draws every buffer —
+//! Jacobian, normal equations, trial vectors, LU storage — from a
+//! caller-owned [`LmWorkspace`] so repeated fits in a sweep allocate
+//! nothing. Models can also supply an analytic Jacobian through
+//! [`ResidualModel::jacobian`]; the default keeps the forward-difference
+//! fallback, so existing models are unaffected.
 
-use crate::lu;
+use crate::lu::LuFactors;
 use crate::{Matrix, NumericsError};
 
 /// A residual model `r(p)` for Levenberg-Marquardt.
@@ -21,6 +29,21 @@ pub trait ResidualModel {
     ///
     /// Implementations may reject unphysical parameters.
     fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError>;
+
+    /// Optionally evaluates the analytic Jacobian `dr_i/dp_j` into `out`
+    /// (`residual_count x parameter_count`) and returns `Ok(true)`.
+    ///
+    /// The default returns `Ok(false)`, which tells the driver to fall
+    /// back to forward differences — `parameter_count` extra residual
+    /// sweeps per iteration that an analytic implementation avoids.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject unphysical parameters.
+    fn jacobian(&self, p: &[f64], out: &mut Matrix) -> Result<bool, NumericsError> {
+        let _ = (p, out);
+        Ok(false)
+    }
 }
 
 /// Options for the Levenberg-Marquardt iteration.
@@ -68,28 +91,100 @@ fn cost_of(r: &[f64]) -> f64 {
     0.5 * r.iter().map(|v| v * v).sum::<f64>()
 }
 
+/// Reusable scratch for [`fit_levenberg_marquardt_with`].
+///
+/// Holds the Jacobian, the normal-equation matrices, every trial vector,
+/// and the LU factorization storage. Buffers are sized lazily and reused
+/// across fits of the same shape.
+#[derive(Debug, Clone, Default)]
+pub struct LmWorkspace {
+    r: Vec<f64>,
+    r_pert: Vec<f64>,
+    p_pert: Vec<f64>,
+    jtr: Vec<f64>,
+    neg_jtr: Vec<f64>,
+    dp: Vec<f64>,
+    trial: Vec<f64>,
+    jac: Option<Matrix>,
+    jtj: Option<Matrix>,
+    a: Option<Matrix>,
+    lu: LuFactors,
+}
+
+impl LmWorkspace {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        LmWorkspace::default()
+    }
+
+    fn ensure(&mut self, m: usize, n: usize) {
+        if self.r.len() != m {
+            self.r.resize(m, 0.0);
+            self.r_pert.resize(m, 0.0);
+        }
+        if self.p_pert.len() != n {
+            self.p_pert.resize(n, 0.0);
+            self.jtr.resize(n, 0.0);
+            self.neg_jtr.resize(n, 0.0);
+            self.dp.resize(n, 0.0);
+            self.trial.resize(n, 0.0);
+        }
+        if !matches!(&self.jac, Some(j) if j.rows() == m && j.cols() == n) {
+            self.jac = Some(Matrix::zeros(m, n));
+        }
+        if !matches!(&self.jtj, Some(j) if j.rows() == n && j.cols() == n) {
+            self.jtj = Some(Matrix::zeros(n, n));
+            self.a = Some(Matrix::zeros(n, n));
+        }
+    }
+}
+
 /// Fits `min_p sum_i r_i(p)^2` starting from `p0`.
 ///
-/// The Jacobian is formed by forward differences; normal equations with
+/// The Jacobian comes from [`ResidualModel::jacobian`] when the model
+/// provides one, else from forward differences; normal equations with
 /// Marquardt damping `(J^T J + lambda diag(J^T J)) dp = -J^T r` are solved
 /// each step.
 ///
 /// # Errors
 ///
 /// - Propagates model evaluation failures at the initial point.
-/// - [`NumericsError::NoConvergence`] if lambda grows past 1e12 without an
-///   accepted step or the budget is exhausted.
+/// - [`NumericsError::NoConvergence`] if the budget is exhausted.
 pub fn fit_levenberg_marquardt(
     model: &impl ResidualModel,
     p0: &[f64],
     options: LmOptions,
 ) -> Result<LmFit, NumericsError> {
+    let mut ws = LmWorkspace::new();
+    let mut p = p0.to_vec();
+    let (cost, iterations) = fit_levenberg_marquardt_with(model, &mut p, options, &mut ws)?;
+    Ok(LmFit {
+        parameters: p,
+        cost,
+        iterations,
+    })
+}
+
+/// [`fit_levenberg_marquardt`] with caller-owned scratch and an in/out
+/// parameter buffer: `p` holds the initial guess on entry and the fitted
+/// parameters on return. Returns `(cost, iterations)`.
+///
+/// # Errors
+///
+/// Same contract as [`fit_levenberg_marquardt`].
+pub fn fit_levenberg_marquardt_with(
+    model: &impl ResidualModel,
+    p: &mut [f64],
+    options: LmOptions,
+    ws: &mut LmWorkspace,
+) -> Result<(f64, usize), NumericsError> {
     let m = model.residual_count();
     let n = model.parameter_count();
-    if p0.len() != n {
+    if p.len() != n {
         return Err(NumericsError::dims(format!(
             "lm: model has {n} parameters, initial guess {}",
-            p0.len()
+            p.len()
         )));
     }
     if m < n {
@@ -97,63 +192,75 @@ pub fn fit_levenberg_marquardt(
             "lm: {m} residuals cannot determine {n} parameters"
         )));
     }
-    let mut p = p0.to_vec();
-    let mut r = vec![0.0; m];
-    model.residuals(&p, &mut r)?;
-    let mut cost = cost_of(&r);
+    ws.ensure(m, n);
+    model.residuals(p, &mut ws.r)?;
+    let mut cost = cost_of(&ws.r);
     let mut lambda = options.initial_lambda;
-
-    let mut jac = Matrix::zeros(m, n);
-    let mut r_pert = vec![0.0; m];
+    let jac = ws.jac.as_mut().expect("sized by ensure");
+    let jtj = ws.jtj.as_mut().expect("sized by ensure");
+    let a = ws.a.as_mut().expect("sized by ensure");
 
     for iter in 0..options.max_iterations {
-        // Forward-difference Jacobian.
-        for j in 0..n {
-            let h = options.jacobian_epsilon * p[j].abs().max(1e-8);
-            let mut p_pert = p.clone();
-            p_pert[j] += h;
-            model.residuals(&p_pert, &mut r_pert)?;
-            for i in 0..m {
-                jac[(i, j)] = (r_pert[i] - r[i]) / h;
+        // Analytic Jacobian when the model offers one, else forward
+        // differences (n extra residual sweeps).
+        if !model.jacobian(p, jac)? {
+            for j in 0..n {
+                let h = options.jacobian_epsilon * p[j].abs().max(1e-8);
+                ws.p_pert.copy_from_slice(p);
+                ws.p_pert[j] += h;
+                model.residuals(&ws.p_pert, &mut ws.r_pert)?;
+                for i in 0..m {
+                    jac[(i, j)] = (ws.r_pert[i] - ws.r[i]) / h;
+                }
             }
         }
-        // Normal equations with Marquardt scaling.
-        let jt = jac.transpose();
-        let jtj = jt.mul(&jac)?;
-        let jtr = jt.mul_vec(&r)?;
+        // Normal equations with Marquardt scaling: J^T J and J^T r formed
+        // in place (no transpose materialized).
+        for c in 0..n {
+            for d in 0..=c {
+                let mut s = 0.0;
+                for i in 0..m {
+                    s += jac[(i, c)] * jac[(i, d)];
+                }
+                jtj[(c, d)] = s;
+                jtj[(d, c)] = s;
+            }
+            let mut s = 0.0;
+            for i in 0..m {
+                s += jac[(i, c)] * ws.r[i];
+            }
+            ws.jtr[c] = s;
+        }
 
         let mut accepted = false;
         while lambda < 1e12 {
-            let mut a = jtj.clone();
+            a.copy_from(jtj)?;
             for d in 0..n {
                 let diag = jtj[(d, d)];
                 a[(d, d)] = diag + lambda * diag.max(1e-12);
             }
-            let neg_jtr: Vec<f64> = jtr.iter().map(|v| -v).collect();
-            let dp = match lu::solve(&a, &neg_jtr) {
-                Ok(dp) => dp,
-                Err(_) => {
-                    lambda *= options.lambda_factor;
-                    continue;
-                }
-            };
-            let trial: Vec<f64> = p.iter().zip(&dp).map(|(a, b)| a + b).collect();
-            if model.residuals(&trial, &mut r_pert).is_ok() {
-                let trial_cost = cost_of(&r_pert);
+            for d in 0..n {
+                ws.neg_jtr[d] = -ws.jtr[d];
+            }
+            if ws.lu.factor_from(a).is_err() || ws.lu.solve_into(&ws.neg_jtr, &mut ws.dp).is_err() {
+                lambda *= options.lambda_factor;
+                continue;
+            }
+            for d in 0..n {
+                ws.trial[d] = p[d] + ws.dp[d];
+            }
+            if model.residuals(&ws.trial, &mut ws.r_pert).is_ok() {
+                let trial_cost = cost_of(&ws.r_pert);
                 if trial_cost.is_finite() && trial_cost < cost {
                     let decrease = (cost - trial_cost) / cost.max(1e-300);
-                    let step = dp.iter().fold(0.0_f64, |s, v| s.max(v.abs()));
-                    p = trial;
-                    r.copy_from_slice(&r_pert);
+                    let step = ws.dp.iter().fold(0.0_f64, |s, v| s.max(v.abs()));
+                    p.copy_from_slice(&ws.trial);
+                    ws.r.copy_from_slice(&ws.r_pert);
                     cost = trial_cost;
                     lambda = (lambda / options.lambda_factor).max(1e-12);
                     accepted = true;
                     if decrease < options.cost_tolerance || step < options.step_tolerance {
-                        return Ok(LmFit {
-                            parameters: p,
-                            cost,
-                            iterations: iter + 1,
-                        });
+                        return Ok((cost, iter + 1));
                     }
                     break;
                 }
@@ -162,11 +269,7 @@ pub fn fit_levenberg_marquardt(
         }
         if !accepted {
             // Lambda exhausted: we are at a (possibly flat) minimum.
-            return Ok(LmFit {
-                parameters: p,
-                cost,
-                iterations: iter,
-            });
+            return Ok((cost, iter));
         }
     }
     Err(NumericsError::NoConvergence {
@@ -200,10 +303,38 @@ mod tests {
         }
     }
 
-    #[test]
-    fn recovers_exponential_parameters() {
+    /// Same model with the analytic Jacobian supplied.
+    struct ExpModelAnalytic(ExpModel);
+
+    impl ResidualModel for ExpModelAnalytic {
+        fn residual_count(&self) -> usize {
+            self.0.residual_count()
+        }
+        fn parameter_count(&self) -> usize {
+            self.0.parameter_count()
+        }
+        fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            self.0.residuals(p, out)
+        }
+        fn jacobian(&self, p: &[f64], out: &mut Matrix) -> Result<bool, NumericsError> {
+            for (i, &x) in self.0.xs.iter().enumerate() {
+                let e = (p[1] * x).exp();
+                out[(i, 0)] = e;
+                out[(i, 1)] = p[0] * x * e;
+            }
+            Ok(true)
+        }
+    }
+
+    fn exp_data() -> (Vec<f64>, Vec<f64>) {
         let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| 2.5 * (1.3 * x).exp()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_exponential_parameters() {
+        let (xs, ys) = exp_data();
         let model = ExpModel { xs, ys };
         let fit = fit_levenberg_marquardt(&model, &[1.0, 1.0], LmOptions::default()).unwrap();
         assert!(
@@ -217,6 +348,36 @@ mod tests {
             fit.parameters[1]
         );
         assert!(fit.cost < 1e-12);
+    }
+
+    #[test]
+    fn analytic_jacobian_recovers_the_same_parameters() {
+        let (xs, ys) = exp_data();
+        let model = ExpModelAnalytic(ExpModel { xs, ys });
+        let fit = fit_levenberg_marquardt(&model, &[1.0, 1.0], LmOptions::default()).unwrap();
+        assert!((fit.parameters[0] - 2.5).abs() < 1e-6);
+        assert!((fit.parameters[1] - 1.3).abs() < 1e-6);
+        assert!(fit.cost < 1e-12);
+    }
+
+    #[test]
+    fn workspace_fit_matches_owned_fit_bitwise() {
+        let (xs, ys) = exp_data();
+        let model = ExpModel { xs, ys };
+        let owned = fit_levenberg_marquardt(&model, &[1.0, 1.0], LmOptions::default()).unwrap();
+        let mut ws = LmWorkspace::new();
+        let mut p = [1.0, 1.0];
+        let (cost, iters) =
+            fit_levenberg_marquardt_with(&model, &mut p, LmOptions::default(), &mut ws).unwrap();
+        assert_eq!(owned.parameters, p.to_vec());
+        assert_eq!(owned.cost, cost);
+        assert_eq!(owned.iterations, iters);
+        // Second fit reuses the same buffers and reproduces the result.
+        let mut p2 = [1.0, 1.0];
+        let (cost2, _) =
+            fit_levenberg_marquardt_with(&model, &mut p2, LmOptions::default(), &mut ws).unwrap();
+        assert_eq!(p.to_vec(), p2.to_vec());
+        assert_eq!(cost, cost2);
     }
 
     /// Linear model to cross-check against exact LSQ.

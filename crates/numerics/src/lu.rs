@@ -142,6 +142,141 @@ impl LuSolver {
     }
 }
 
+/// A reusable LU factorization workspace: factor and solve without any
+/// heap allocation once the buffers are sized.
+///
+/// [`LuSolver`] allocates fresh storage on every `factor` call, which is
+/// fine for one-shot solves but shows up hard in the Newton inner loop of
+/// the circuit solver (one factorization per iteration, thousands of
+/// iterations per die). `LuFactors` keeps the packed `L`/`U` storage and
+/// the permutation between calls; [`LuFactors::factor_from`] only
+/// reallocates when the dimension grows. The arithmetic (pivot choice,
+/// elimination order, substitution order) is identical to [`LuSolver`], so
+/// swapping one for the other cannot change a single result bit.
+#[derive(Debug, Clone, Default)]
+pub struct LuFactors {
+    /// Packed L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: Option<Matrix>,
+    /// Row permutation: row `i` of the factored matrix came from `perm[i]`.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// An empty workspace; buffers are sized lazily by `factor_from`.
+    #[must_use]
+    pub fn new() -> Self {
+        LuFactors::default()
+    }
+
+    /// Factors `a` into the reused storage.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LuSolver::factor`].
+    pub fn factor_from(&mut self, a: &Matrix) -> Result<(), NumericsError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericsError::dims(format!(
+                "LU needs a square matrix, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if !a.is_finite() {
+            return Err(NumericsError::invalid(
+                "LU input contains non-finite entries",
+            ));
+        }
+        let reuse = matches!(&self.lu, Some(m) if m.rows() == n && m.cols() == n);
+        if reuse {
+            self.lu
+                .as_mut()
+                .expect("checked above")
+                .copy_from(a)
+                .expect("same shape");
+        } else {
+            self.lu = Some(a.clone());
+        }
+        let lu = self.lu.as_mut().expect("just set");
+        self.perm.clear();
+        self.perm.extend(0..n);
+
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < PIVOT_TOLERANCE {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                self.perm.swap(pivot_row, k);
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let u = lu[(k, j)];
+                    lu[(i, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` into `x` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DimensionMismatch`] if no factorization is stored
+    /// or the slice lengths differ from the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericsError> {
+        let lu = self
+            .lu
+            .as_ref()
+            .ok_or_else(|| NumericsError::dims("solve_into before factor_from".to_string()))?;
+        let n = lu.rows();
+        if b.len() != n || x.len() != n {
+            return Err(NumericsError::dims(format!(
+                "solve_into: matrix is {n}x{n}, rhs has {} entries, out has {}",
+                b.len(),
+                x.len()
+            )));
+        }
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= lu[(i, j)] * x[j];
+            }
+            x[i] = s / lu[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// Dimension of the stored factorization (0 before the first factor).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.as_ref().map_or(0, Matrix::rows)
+    }
+}
+
 /// One-shot convenience: factors `a` and solves `a x = b`.
 ///
 /// # Errors
@@ -207,6 +342,42 @@ mod tests {
         let mut a = Matrix::identity(2);
         a[(0, 1)] = f64::NAN;
         assert!(LuSolver::factor(&a).is_err());
+    }
+
+    #[test]
+    fn factors_workspace_matches_one_shot_bitwise() {
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
+        let b = [11.0, -16.0, 17.0];
+        let one_shot = solve(&a, &b).unwrap();
+        let mut ws = LuFactors::new();
+        let mut x = vec![0.0; 3];
+        ws.factor_from(&a).unwrap();
+        ws.solve_into(&b, &mut x).unwrap();
+        // Bit-identical, not merely close: the workspace path must be a
+        // drop-in replacement inside deterministic solvers.
+        assert_eq!(one_shot, x);
+        assert_eq!(ws.dim(), 3);
+
+        // Reuse with a different matrix of the same size: no stale state.
+        let a2 =
+            Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 2.0]]).unwrap();
+        ws.factor_from(&a2).unwrap();
+        ws.solve_into(&[2.0, 3.0, 4.0], &mut x).unwrap();
+        assert_eq!(x, vec![3.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn factors_workspace_reports_errors() {
+        let mut ws = LuFactors::new();
+        let mut x = vec![0.0; 2];
+        assert!(ws.solve_into(&[1.0, 2.0], &mut x).is_err());
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            ws.factor_from(&singular),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        assert!(ws.factor_from(&Matrix::zeros(2, 3)).is_err());
     }
 
     #[test]

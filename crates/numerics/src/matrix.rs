@@ -200,6 +200,33 @@ impl Matrix {
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// Sets every entry to `value` without reallocating.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies `other` into `self` without reallocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if the shapes differ.
+    pub fn copy_from(&mut self, other: &Matrix) -> Result<(), NumericsError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NumericsError::dims(format!(
+                "copy_from: {}x{} into {}x{}",
+                other.rows, other.cols, self.rows, self.cols
+            )));
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Borrows the row-major backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
 }
 
 impl Index<(usize, usize)> for Matrix {

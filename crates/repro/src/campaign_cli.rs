@@ -2,13 +2,15 @@
 //! with an ASCII summary and optional JSON/CSV artifacts.
 //!
 //! ```text
-//! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]
+//! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
 //! dies; `--diameter D` sets the wafer diameter (in dies) directly. The
 //! aggregate artifacts written by `--out` are bit-identical for any
-//! `--threads` value (see `icvbe-campaign`'s determinism guarantee).
+//! `--threads` value (see `icvbe-campaign`'s determinism guarantee), and
+//! also with `--cold`, which disables solver warm starting — useful to
+//! measure the warm-start speedup while verifying it changes nothing.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -28,6 +30,8 @@ pub struct CampaignCliArgs {
     pub seed: u64,
     /// Directory for JSON/CSV artifacts (`None` = print only).
     pub out: Option<PathBuf>,
+    /// Disable solver warm starting (ablation / verification mode).
+    pub cold: bool,
 }
 
 impl Default for CampaignCliArgs {
@@ -37,6 +41,7 @@ impl Default for CampaignCliArgs {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             seed: 2002,
             out: None,
+            cold: false,
         }
     }
 }
@@ -97,10 +102,14 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--out" => {
                 out.out = Some(PathBuf::from(value("--out", it.next())?));
             }
+            "--cold" => {
+                out.cold = true;
+            }
             other => {
                 return Err(format!(
                     "unknown campaign argument {other:?} \
-                     (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR])"
+                     (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
+                     [--out DIR] [--cold])"
                 ));
             }
         }
@@ -146,6 +155,17 @@ pub fn render(run: &CampaignRun) -> String {
             c.straight.intercept(),
         );
     }
+    let solver = &run.metrics.solver;
+    let _ = writeln!(
+        s,
+        "\n  solver: {} solves, {} Newton iters ({:.1}/solve), \
+         warm-start hit rate {:.1}%, {} self-heating iters",
+        solver.solves,
+        solver.newton_iterations,
+        solver.newton_per_solve(),
+        solver.warm_hit_rate() * 100.0,
+        solver.selfheat_iterations,
+    );
     let _ = writeln!(
         s,
         "\n  stage timings (p50/p99 per die): {}",
@@ -171,7 +191,8 @@ pub fn render(run: &CampaignRun) -> String {
 /// Argument, spec-validation and artifact-write failures, as strings.
 pub fn run_cli(args: &[String]) -> Result<String, String> {
     let cli = parse_args(args)?;
-    let spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
+    let mut spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
+    spec.warm_start = !cli.cold;
     let run = run_campaign(&spec, cli.threads).map_err(|e| e.to_string())?;
     let mut text = render(&run);
     if let Some(dir) = &cli.out {
@@ -222,5 +243,31 @@ mod tests {
         assert!(text.contains("CAMPAIGN"));
         assert!(text.contains("corner"));
         assert!(text.contains("nom"));
+        assert!(text.contains("warm-start hit rate"));
+    }
+
+    #[test]
+    fn cold_flag_disables_warm_starting_without_changing_results() {
+        let warm = run_cli(&sv(&["--diameter", "3", "--threads", "1", "--seed", "9"])).unwrap();
+        let cold = run_cli(&sv(&[
+            "--diameter",
+            "3",
+            "--threads",
+            "1",
+            "--seed",
+            "9",
+            "--cold",
+        ]))
+        .unwrap();
+        assert!(cold.contains("hit rate 0.0%"), "cold summary:\n{cold}");
+        assert!(!warm.contains("hit rate 0.0%"), "warm summary:\n{warm}");
+        // The corner table (the physics) is identical; only timing and
+        // solver-effort lines may differ between the two modes.
+        let physics = |s: &str| {
+            let start = s.find("\n\n  corner").unwrap();
+            let end = s.find("\n\n  solver:").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(physics(&warm), physics(&cold));
     }
 }

@@ -12,8 +12,12 @@
 //!   macro-model with input offset, junction diodes,
 //! - [`bjt`]: the Gummel-Poon transistor with the eq.-1 `EG`/`XTI`
 //!   temperature mapping and an optional parasitic substrate junction,
-//! - [`system`]: MNA assembly into a nonlinear system,
+//! - [`system`]: MNA assembly into a nonlinear system, with a shareable
+//!   [`system::CircuitAssembly`] caching the unknown layout,
 //! - [`solver`]: Newton with gmin and source stepping,
+//! - [`workspace`]: reusable solve buffers + statistics
+//!   ([`workspace::SolveWorkspace`], [`workspace::solve_dc_with`]) so
+//!   repeated solves allocate nothing,
 //! - [`sweep`]: DC parameter and temperature sweeps with warm starts,
 //! - [`param`]: shared mutable values so analyses can sweep sources
 //!   without rebuilding circuits,
@@ -55,5 +59,6 @@ pub mod stamp;
 pub mod sweep;
 pub mod system;
 pub mod vccs;
+pub mod workspace;
 
 pub use error::SpiceError;

@@ -1,11 +1,11 @@
 //! DC operating-point solver: Newton with gmin and source stepping.
 
-use icvbe_numerics::newton::{solve_newton, NewtonOptions, NonlinearSystem};
+use icvbe_numerics::newton::NewtonOptions;
 use icvbe_units::{Ampere, Kelvin, Volt};
 
 use crate::netlist::{Circuit, NodeId};
-use crate::stamp::EvalContext;
-use crate::system::CircuitSystem;
+use crate::system::CircuitAssembly;
+use crate::workspace::{solve_dc_with, SolveWorkspace};
 use crate::SpiceError;
 
 /// Options controlling the DC solve and its continuation fallbacks.
@@ -104,141 +104,16 @@ pub fn solve_dc(
     options: &DcOptions,
     initial: Option<&[f64]>,
 ) -> Result<OperatingPoint, SpiceError> {
-    circuit.validate()?;
-    let eval = EvalContext {
+    let assembly = CircuitAssembly::new(circuit)?;
+    let mut ws = SolveWorkspace::new();
+    let info = solve_dc_with(circuit, &assembly, temperature, options, initial, &mut ws)?;
+    Ok(OperatingPoint {
+        x: ws.solution().to_vec(),
+        node_count: assembly.node_count(),
+        branch_bases: assembly.branch_bases().to_vec(),
         temperature,
-        gmin: options.gmin_floor,
-        source_scale: 1.0,
-    };
-    let mut system = CircuitSystem::new(circuit, eval);
-    let n = system.dimension();
-    let x0: Vec<f64> = match initial {
-        Some(x) if x.len() == n => x.to_vec(),
-        _ => vec![0.0; n],
-    };
-
-    let mut iterations = 0usize;
-
-    // Strategy 1: direct Newton.
-    if let Ok(sol) = solve_newton(&system, &x0, options.newton) {
-        return Ok(finish(
-            circuit,
-            sol.x,
-            temperature,
-            iterations + sol.iterations,
-        ));
-    }
-
-    // Strategy 2: gmin stepping.
-    let mut x = x0.clone();
-    let mut ladder_ok = true;
-    let mut gmin = options.gmin_start;
-    while gmin >= options.gmin_floor.max(1e-14) {
-        system.set_eval(EvalContext {
-            temperature,
-            gmin,
-            source_scale: 1.0,
-        });
-        match solve_newton(&system, &x, options.newton) {
-            Ok(sol) => {
-                iterations += sol.iterations;
-                x = sol.x;
-            }
-            Err(_) => {
-                ladder_ok = false;
-                break;
-            }
-        }
-        if gmin <= options.gmin_floor {
-            break;
-        }
-        gmin = (gmin / 10.0).max(options.gmin_floor);
-    }
-    if ladder_ok {
-        system.set_eval(EvalContext {
-            temperature,
-            gmin: options.gmin_floor,
-            source_scale: 1.0,
-        });
-        if let Ok(sol) = solve_newton(&system, &x, options.newton) {
-            return Ok(finish(
-                circuit,
-                sol.x,
-                temperature,
-                iterations + sol.iterations,
-            ));
-        }
-    }
-
-    // Strategy 3: source stepping at a mid gmin, then relax gmin.
-    let mut x = x0;
-    let steps = options.source_steps.max(2);
-    for s in 1..=steps {
-        let scale = s as f64 / steps as f64;
-        system.set_eval(EvalContext {
-            temperature,
-            gmin: 1e-9,
-            source_scale: scale,
-        });
-        match solve_newton(&system, &x, options.newton) {
-            Ok(sol) => {
-                iterations += sol.iterations;
-                x = sol.x;
-            }
-            Err(e) => {
-                return Err(SpiceError::NoConvergence {
-                    strategy: format!("source stepping at scale {scale:.2}: {e}"),
-                    residual: f64::NAN,
-                });
-            }
-        }
-    }
-    let mut gmin = 1e-9;
-    loop {
-        system.set_eval(EvalContext {
-            temperature,
-            gmin,
-            source_scale: 1.0,
-        });
-        match solve_newton(&system, &x, options.newton) {
-            Ok(sol) => {
-                iterations += sol.iterations;
-                x = sol.x;
-            }
-            Err(e) => {
-                return Err(SpiceError::NoConvergence {
-                    strategy: format!("gmin relaxation after source stepping: {e}"),
-                    residual: f64::NAN,
-                });
-            }
-        }
-        if gmin <= options.gmin_floor {
-            break;
-        }
-        gmin = (gmin / 10.0).max(options.gmin_floor);
-    }
-    Ok(finish(circuit, x, temperature, iterations))
-}
-
-fn finish(
-    circuit: &Circuit,
-    x: Vec<f64>,
-    temperature: Kelvin,
-    iterations: usize,
-) -> OperatingPoint {
-    let mut branch_bases = Vec::with_capacity(circuit.elements().len());
-    let mut next = 0usize;
-    for e in circuit.elements() {
-        branch_bases.push(next);
-        next += e.branch_count();
-    }
-    OperatingPoint {
-        x,
-        node_count: circuit.node_count(),
-        branch_bases,
-        temperature,
-        iterations,
-    }
+        iterations: info.iterations,
+    })
 }
 
 #[cfg(test)]

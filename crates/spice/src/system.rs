@@ -1,11 +1,89 @@
 //! Assembly of a [`Circuit`] into the nonlinear MNA system the Newton
 //! solver consumes.
 
+use std::cell::RefCell;
+
 use icvbe_numerics::newton::NonlinearSystem;
 use icvbe_numerics::{Matrix, NumericsError};
 
 use crate::netlist::Circuit;
 use crate::stamp::{EvalContext, StampContext};
+use crate::SpiceError;
+
+/// The solve-invariant part of a circuit binding: unknown layout plus the
+/// Jacobian residual scratch.
+///
+/// Everything here depends only on the circuit *topology*, not on
+/// temperature, gmin or source scale — so one assembly can back thousands
+/// of solves (a whole campaign die, or a worker thread's lifetime) without
+/// recomputing branch offsets or reallocating scratch. Holds a `RefCell`
+/// scratch buffer, so an assembly is per-thread, not shared across threads.
+#[derive(Debug)]
+pub struct CircuitAssembly {
+    /// First branch index of each element (parallel to `circuit.elements()`).
+    branch_bases: Vec<usize>,
+    node_count: usize,
+    dimension: usize,
+    /// Residual accumulator for Jacobian-only stamping passes.
+    jac_scratch: RefCell<Vec<f64>>,
+}
+
+impl CircuitAssembly {
+    /// Validates the circuit topology and computes the unknown layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::validate`] errors — hoisting validation here
+    /// is what lets the per-solve hot path skip it.
+    pub fn new(circuit: &Circuit) -> Result<Self, SpiceError> {
+        circuit.validate()?;
+        Ok(CircuitAssembly::new_unchecked(circuit))
+    }
+
+    /// Computes the unknown layout without validating the topology.
+    #[must_use]
+    pub fn new_unchecked(circuit: &Circuit) -> Self {
+        let mut branch_bases = Vec::with_capacity(circuit.elements().len());
+        let mut next = 0usize;
+        for e in circuit.elements() {
+            branch_bases.push(next);
+            next += e.branch_count();
+        }
+        let node_count = circuit.node_count();
+        CircuitAssembly {
+            branch_bases,
+            node_count,
+            dimension: node_count + next,
+            jac_scratch: RefCell::new(vec![0.0; node_count + next]),
+        }
+    }
+
+    /// Total number of unknowns (node voltages plus branch currents).
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// Number of node-voltage unknowns.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// First branch index of each element, parallel to the element list.
+    #[must_use]
+    pub fn branch_bases(&self) -> &[usize] {
+        &self.branch_bases
+    }
+}
+
+/// How a [`CircuitSystem`] holds its assembly: built on the spot, or
+/// borrowed from a caller that amortizes it across solves.
+#[derive(Debug)]
+enum AssemblyRef<'a> {
+    Owned(CircuitAssembly),
+    Borrowed(&'a CircuitAssembly),
+}
 
 /// A circuit bound to evaluation conditions, presented as `f(x) = 0`.
 ///
@@ -15,29 +93,40 @@ use crate::stamp::{EvalContext, StampContext};
 pub struct CircuitSystem<'a> {
     circuit: &'a Circuit,
     eval: EvalContext,
-    /// First branch index of each element (parallel to `circuit.elements()`).
-    branch_bases: Vec<usize>,
-    node_count: usize,
-    dimension: usize,
+    assembly: AssemblyRef<'a>,
 }
 
 impl<'a> CircuitSystem<'a> {
-    /// Binds a circuit to evaluation conditions.
+    /// Binds a circuit to evaluation conditions, assembling the layout on
+    /// the spot.
     #[must_use]
     pub fn new(circuit: &'a Circuit, eval: EvalContext) -> Self {
-        let mut branch_bases = Vec::with_capacity(circuit.elements().len());
-        let mut next = 0usize;
-        for e in circuit.elements() {
-            branch_bases.push(next);
-            next += e.branch_count();
-        }
-        let node_count = circuit.node_count();
         CircuitSystem {
             circuit,
             eval,
-            branch_bases,
-            node_count,
-            dimension: node_count + next,
+            assembly: AssemblyRef::Owned(CircuitAssembly::new_unchecked(circuit)),
+        }
+    }
+
+    /// Binds a circuit to evaluation conditions over a caller-owned
+    /// assembly (the hot-path form: nothing is recomputed or allocated).
+    #[must_use]
+    pub fn with_assembly(
+        circuit: &'a Circuit,
+        eval: EvalContext,
+        assembly: &'a CircuitAssembly,
+    ) -> Self {
+        CircuitSystem {
+            circuit,
+            eval,
+            assembly: AssemblyRef::Borrowed(assembly),
+        }
+    }
+
+    fn asm(&self) -> &CircuitAssembly {
+        match &self.assembly {
+            AssemblyRef::Owned(a) => a,
+            AssemblyRef::Borrowed(a) => a,
         }
     }
 
@@ -60,21 +149,22 @@ impl<'a> CircuitSystem<'a> {
     /// Panics if the index is out of range.
     #[must_use]
     pub fn branch_base(&self, element_index: usize) -> usize {
-        self.branch_bases[element_index]
+        self.asm().branch_bases[element_index]
     }
 
     /// Number of node-voltage unknowns.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.node_count
+        self.asm().node_count
     }
 
     fn stamp_all(&self, x: &[f64], residual: &mut [f64], mut jacobian: Option<&mut Matrix>) {
-        for (e, &base) in self.circuit.elements().iter().zip(&self.branch_bases) {
+        let asm = self.asm();
+        for (e, &base) in self.circuit.elements().iter().zip(&asm.branch_bases) {
             let mut ctx = StampContext::new(
                 self.eval,
                 x,
-                self.node_count,
+                asm.node_count,
                 base,
                 residual,
                 jacobian.as_deref_mut(),
@@ -85,7 +175,7 @@ impl<'a> CircuitSystem<'a> {
         // Jacobian nonsingular for floating subcircuits and eases Newton.
         let g = self.eval.gmin;
         if g > 0.0 {
-            for i in 0..self.node_count {
+            for i in 0..asm.node_count {
                 residual[i] += g * x[i];
                 if let Some(j) = jacobian.as_deref_mut() {
                     j[(i, i)] += g;
@@ -97,7 +187,7 @@ impl<'a> CircuitSystem<'a> {
 
 impl NonlinearSystem for CircuitSystem<'_> {
     fn dimension(&self) -> usize {
-        self.dimension
+        self.asm().dimension
     }
 
     fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
@@ -110,15 +200,38 @@ impl NonlinearSystem for CircuitSystem<'_> {
     }
 
     fn jacobian(&self, x: &[f64], out: &mut Matrix) -> Result<(), NumericsError> {
-        let n = self.dimension;
-        for i in 0..n {
-            for j in 0..n {
-                out[(i, j)] = 0.0;
-            }
-        }
-        let mut residual_scratch = vec![0.0; n];
-        self.stamp_all(x, &mut residual_scratch, Some(out));
+        let asm = self.asm();
+        let n = asm.dimension;
+        out.fill(0.0);
+        // Stamping writes residual and Jacobian together; the residual
+        // lands in the assembly-owned scratch instead of a fresh vec.
+        let mut scratch = asm.jac_scratch.borrow_mut();
+        debug_assert_eq!(scratch.len(), n);
+        scratch.fill(0.0);
+        self.stamp_all(x, &mut scratch, Some(out));
         if !out.is_finite() {
+            return Err(NumericsError::invalid("non-finite circuit jacobian"));
+        }
+        Ok(())
+    }
+
+    fn residual_and_jacobian(
+        &self,
+        x: &[f64],
+        f: &mut [f64],
+        jac: &mut Matrix,
+    ) -> Result<(), NumericsError> {
+        // One stamping pass fills both. Residual accumulation does not
+        // depend on whether a Jacobian is attached, so `f` is bitwise
+        // identical to what `residual` alone writes — the contract the
+        // polish canonicalization depends on.
+        f.fill(0.0);
+        jac.fill(0.0);
+        self.stamp_all(x, f, Some(jac));
+        if f.iter().any(|v| !v.is_finite()) {
+            return Err(NumericsError::invalid("non-finite circuit residual"));
+        }
+        if !jac.is_finite() {
             return Err(NumericsError::invalid("non-finite circuit jacobian"));
         }
         Ok(())

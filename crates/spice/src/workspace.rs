@@ -1,0 +1,360 @@
+//! Reusable solve state: workspace, statistics, and the allocation-free
+//! DC driver.
+//!
+//! [`crate::solver::solve_dc`] is the convenient entry point — it
+//! validates the circuit, assembles the unknown layout, allocates scratch,
+//! and returns an owned operating point. A campaign die pays that setup
+//! thousands of times for solves that are structurally identical. This
+//! module splits the invariants out:
+//!
+//! - [`crate::system::CircuitAssembly`] — topology validation + unknown
+//!   layout, computed once per circuit;
+//! - [`SolveWorkspace`] — every solver buffer (Newton trial/residual
+//!   vectors, Jacobian, LU storage, strategy restart copies), reused
+//!   across solves;
+//! - [`solve_dc_with`] — the same continuation strategy chain as
+//!   `solve_dc`, arithmetic-identical, but drawing all storage from the
+//!   workspace and leaving the solution in it.
+//!
+//! The workspace also keeps running [`SolveStats`] so callers (the
+//! campaign metrics pipeline) can observe Newton iteration counts and
+//! warm-start hit rates without threading counters through every layer.
+
+use icvbe_numerics::newton::{solve_newton_with, NewtonWorkspace};
+use icvbe_units::Kelvin;
+
+use crate::netlist::Circuit;
+use crate::solver::DcOptions;
+use crate::stamp::EvalContext;
+use crate::system::{CircuitAssembly, CircuitSystem};
+use crate::SpiceError;
+
+/// Running counters over the solves driven through one [`SolveWorkspace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// DC solves completed (successfully or not).
+    pub solves: u64,
+    /// Damped Newton iterations accumulated across successful strategy
+    /// stages (same counting as [`crate::solver::OperatingPoint::iterations`]).
+    pub newton_iterations: u64,
+    /// Solves seeded from a caller-provided initial vector.
+    pub warm_starts: u64,
+    /// Solves started from all zeros.
+    pub cold_starts: u64,
+}
+
+impl SolveStats {
+    /// Returns the counters and resets them to zero.
+    pub fn take(&mut self) -> SolveStats {
+        std::mem::take(self)
+    }
+}
+
+/// Per-solve outcome of [`solve_dc_with`]; the solution vector stays in
+/// the workspace ([`SolveWorkspace::solution`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcSolveInfo {
+    /// Newton iterations across all continuation stages.
+    pub iterations: usize,
+    /// Whether the solve was seeded from a caller-provided vector.
+    pub warm_started: bool,
+}
+
+/// Caller-owned storage for [`solve_dc_with`]: the Newton workspace plus
+/// the solution and strategy-restart buffers.
+///
+/// Sized lazily to the largest system it has seen; steady-state solves
+/// perform no heap allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct SolveWorkspace {
+    newton: NewtonWorkspace,
+    x: Vec<f64>,
+    x0: Vec<f64>,
+    /// Counters accumulated across every solve through this workspace.
+    pub stats: SolveStats,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        SolveWorkspace::default()
+    }
+
+    /// The solution vector left by the most recent successful
+    /// [`solve_dc_with`] (node voltages then branch currents).
+    #[must_use]
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.x.len() != n {
+            self.x.resize(n, 0.0);
+            self.x0.resize(n, 0.0);
+        }
+    }
+}
+
+/// [`crate::solver::solve_dc`] with caller-owned invariants and scratch.
+///
+/// Same strategy chain — direct Newton, gmin-continuation ladder, source
+/// stepping plus gmin relaxation — with identical arithmetic, but: the
+/// circuit is *not* re-validated (build the [`CircuitAssembly`] through
+/// [`CircuitAssembly::new`] to validate once), nothing is allocated in
+/// steady state, and the solution is left in `ws` rather than moved into
+/// an owned return value. Statistics accumulate in `ws.stats`.
+///
+/// `assembly` must describe `circuit`; pairing an assembly with a
+/// different circuit of another shape is caught by the dimension checks,
+/// same shape gives garbage answers — keep them together.
+///
+/// # Errors
+///
+/// [`SpiceError::NoConvergence`] if every strategy fails.
+pub fn solve_dc_with(
+    circuit: &Circuit,
+    assembly: &CircuitAssembly,
+    temperature: Kelvin,
+    options: &DcOptions,
+    initial: Option<&[f64]>,
+    ws: &mut SolveWorkspace,
+) -> Result<DcSolveInfo, SpiceError> {
+    let eval = EvalContext {
+        temperature,
+        gmin: options.gmin_floor,
+        source_scale: 1.0,
+    };
+    let mut system = CircuitSystem::with_assembly(circuit, eval, assembly);
+    let n = assembly.dimension();
+    ws.ensure(n);
+    let warm = matches!(initial, Some(x) if x.len() == n);
+    match initial {
+        Some(x) if x.len() == n => ws.x0.copy_from_slice(x),
+        _ => ws.x0.fill(0.0),
+    }
+    ws.stats.solves += 1;
+    if warm {
+        ws.stats.warm_starts += 1;
+    } else {
+        ws.stats.cold_starts += 1;
+    }
+
+    let mut iterations = 0usize;
+
+    // Strategy 1: direct Newton.
+    ws.x.copy_from_slice(&ws.x0);
+    if let Ok(info) = solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        iterations += info.iterations;
+        ws.stats.newton_iterations += iterations as u64;
+        return Ok(DcSolveInfo {
+            iterations,
+            warm_started: warm,
+        });
+    }
+
+    // Strategy 2: gmin stepping.
+    ws.x.copy_from_slice(&ws.x0);
+    let mut ladder_ok = true;
+    let mut gmin = options.gmin_start;
+    while gmin >= options.gmin_floor.max(1e-14) {
+        system.set_eval(EvalContext {
+            temperature,
+            gmin,
+            source_scale: 1.0,
+        });
+        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            Ok(info) => iterations += info.iterations,
+            Err(_) => {
+                ladder_ok = false;
+                break;
+            }
+        }
+        if gmin <= options.gmin_floor {
+            break;
+        }
+        gmin = (gmin / 10.0).max(options.gmin_floor);
+    }
+    if ladder_ok {
+        system.set_eval(EvalContext {
+            temperature,
+            gmin: options.gmin_floor,
+            source_scale: 1.0,
+        });
+        if let Ok(info) = solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            iterations += info.iterations;
+            ws.stats.newton_iterations += iterations as u64;
+            return Ok(DcSolveInfo {
+                iterations,
+                warm_started: warm,
+            });
+        }
+    }
+
+    // Strategy 3: source stepping at a mid gmin, then relax gmin.
+    ws.x.copy_from_slice(&ws.x0);
+    let steps = options.source_steps.max(2);
+    for s in 1..=steps {
+        let scale = s as f64 / steps as f64;
+        system.set_eval(EvalContext {
+            temperature,
+            gmin: 1e-9,
+            source_scale: scale,
+        });
+        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            Ok(info) => iterations += info.iterations,
+            Err(e) => {
+                return Err(SpiceError::NoConvergence {
+                    strategy: format!("source stepping at scale {scale:.2}: {e}"),
+                    residual: f64::NAN,
+                });
+            }
+        }
+    }
+    let mut gmin = 1e-9;
+    loop {
+        system.set_eval(EvalContext {
+            temperature,
+            gmin,
+            source_scale: 1.0,
+        });
+        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            Ok(info) => iterations += info.iterations,
+            Err(e) => {
+                return Err(SpiceError::NoConvergence {
+                    strategy: format!("gmin relaxation after source stepping: {e}"),
+                    residual: f64::NAN,
+                });
+            }
+        }
+        if gmin <= options.gmin_floor {
+            break;
+        }
+        gmin = (gmin / 10.0).max(options.gmin_floor);
+    }
+    ws.stats.newton_iterations += iterations as u64;
+    Ok(DcSolveInfo {
+        iterations,
+        warm_started: warm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bjt::{Bjt, BjtParams, Polarity};
+    use crate::element::{CurrentSource, Resistor, VoltageSource};
+    use crate::solver::solve_dc;
+    use icvbe_units::{Ampere, Ohm, Volt};
+
+    fn ptat_cell() -> Circuit {
+        let mut c = Circuit::new();
+        let va = c.node("va");
+        let vb = c.node("vb");
+        let gnd = Circuit::ground();
+        c.add(CurrentSource::new("Ia", gnd, va, Ampere::new(1e-6)));
+        c.add(CurrentSource::new("Ib", gnd, vb, Ampere::new(1e-6)));
+        c.add(Bjt::new("QA", gnd, gnd, va, Polarity::Pnp, BjtParams::default_npn()).unwrap());
+        c.add(
+            Bjt::new("QB", gnd, gnd, vb, Polarity::Pnp, BjtParams::default_npn())
+                .unwrap()
+                .with_area(8.0)
+                .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn workspace_solve_matches_owned_solve_bitwise() {
+        let c = ptat_cell();
+        let t = Kelvin::new(298.15);
+        let opts = DcOptions::default();
+        let owned = solve_dc(&c, t, &opts, None).unwrap();
+
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let info = solve_dc_with(&c, &assembly, t, &opts, None, &mut ws).unwrap();
+        assert_eq!(owned.solution(), ws.solution());
+        assert_eq!(owned.iterations, info.iterations);
+        assert!(!info.warm_started);
+    }
+
+    #[test]
+    fn workspace_reuse_across_temperatures_stays_consistent() {
+        let c = ptat_cell();
+        let opts = DcOptions::default();
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut ws = SolveWorkspace::new();
+        for t in [248.15, 298.15, 348.15] {
+            let t = Kelvin::new(t);
+            let owned = solve_dc(&c, t, &opts, None).unwrap();
+            solve_dc_with(&c, &assembly, t, &opts, None, &mut ws).unwrap();
+            assert_eq!(owned.solution(), ws.solution(), "temperature {t:?}");
+        }
+        assert_eq!(ws.stats.solves, 3);
+        assert_eq!(ws.stats.cold_starts, 3);
+        assert_eq!(ws.stats.warm_starts, 0);
+        assert!(ws.stats.newton_iterations > 0);
+    }
+
+    #[test]
+    fn warm_start_is_counted_and_converges_fast() {
+        let c = ptat_cell();
+        let t = Kelvin::new(298.15);
+        let opts = DcOptions::default();
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let cold = solve_dc_with(&c, &assembly, t, &opts, None, &mut ws).unwrap();
+        let seed: Vec<f64> = ws.solution().to_vec();
+        let warm = solve_dc_with(&c, &assembly, t, &opts, Some(&seed), &mut ws).unwrap();
+        assert!(warm.warm_started);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert_eq!(ws.stats.warm_starts, 1);
+        assert_eq!(ws.stats.cold_starts, 1);
+    }
+
+    #[test]
+    fn stats_take_resets_counters() {
+        let mut stats = SolveStats {
+            solves: 3,
+            newton_iterations: 17,
+            warm_starts: 1,
+            cold_starts: 2,
+        };
+        let taken = stats.take();
+        assert_eq!(taken.solves, 3);
+        assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn linear_circuit_through_workspace_matches_exact_solution() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let out = c.node("out");
+        c.add(VoltageSource::new(
+            "V1",
+            vcc,
+            Circuit::ground(),
+            Volt::new(2.0),
+        ));
+        c.add(Resistor::new("R1", vcc, out, Ohm::new(1e3)).unwrap());
+        c.add(Resistor::new("R2", out, Circuit::ground(), Ohm::new(3e3)).unwrap());
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut ws = SolveWorkspace::new();
+        solve_dc_with(
+            &c,
+            &assembly,
+            Kelvin::new(300.0),
+            &DcOptions::default(),
+            None,
+            &mut ws,
+        )
+        .unwrap();
+        assert!((ws.solution()[1] - 1.5).abs() < 1e-6);
+    }
+}

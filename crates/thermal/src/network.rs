@@ -69,6 +69,17 @@ impl ThermalPath {
         self.rth_jc + self.rth_ca
     }
 
+    /// Both resistances multiplied by `factor` (per-die package spread:
+    /// Monte-Carlo samples scale a nominal path).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::BadParameter`] if the scaled resistances are
+    /// negative or non-finite.
+    pub fn scaled(&self, factor: f64) -> Result<Self, ThermalError> {
+        ThermalPath::new(self.rth_jc * factor, self.rth_ca * factor)
+    }
+
     /// Junction-to-case resistance, K/W.
     #[must_use]
     pub fn rth_jc(&self) -> f64 {

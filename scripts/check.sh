@@ -16,4 +16,7 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> bench smoke: campaign_scaling threads/8 (guards + timing)"
+cargo bench -p icvbe-bench --bench campaign_scaling -- 'threads/8'
+
 echo "OK: all checks passed"
