@@ -154,12 +154,12 @@ impl BanbaCell {
             None => {
                 let vbe = 0.70 - 2.0e-3 * (temperature.value() - 298.15);
                 let mut g = vec![0.0; ckt.unknown_count()];
-                g[nodes.va.unknown_index().expect("non-ground")] = vbe;
-                g[nodes.vb.unknown_index().expect("non-ground")] = vbe;
+                crate::cell::seed_guess(&mut g, nodes.va, vbe);
+                crate::cell::seed_guess(&mut g, nodes.vb, vbe);
                 // vmid is node 3 in creation order (va, vb, vmid, ...).
                 g[2] = vbe - 0.05;
-                g[nodes.vref.unknown_index().expect("non-ground")] = 0.6;
-                g[nodes.ctl.unknown_index().expect("non-ground")] = 1.2e-3 / self.gm;
+                crate::cell::seed_guess(&mut g, nodes.vref, 0.6);
+                crate::cell::seed_guess(&mut g, nodes.ctl, 1.2e-3 / self.gm);
                 guess_storage = g;
                 &guess_storage[..]
             }

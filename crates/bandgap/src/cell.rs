@@ -242,11 +242,11 @@ impl BandgapCell {
                 let vbe_guess = 0.70 - 2.0e-3 * (temperature.value() - 298.15);
                 let mut g = vec![0.0; ckt.unknown_count()];
                 // VREF itself is first-order temperature independent.
-                g[nodes.vref.unknown_index().expect("non-ground")] = 1.20;
-                g[nodes.p1.unknown_index().expect("non-ground")] = vbe_guess;
-                g[nodes.p2.unknown_index().expect("non-ground")] = vbe_guess;
-                g[nodes.p6.unknown_index().expect("non-ground")] = vbe_guess - 0.05;
-                g[nodes.eb.unknown_index().expect("non-ground")] = vbe_guess - 0.05;
+                seed_guess(&mut g, nodes.vref, 1.20);
+                seed_guess(&mut g, nodes.p1, vbe_guess);
+                seed_guess(&mut g, nodes.p2, vbe_guess);
+                seed_guess(&mut g, nodes.p6, vbe_guess - 0.05);
+                seed_guess(&mut g, nodes.eb, vbe_guess - 0.05);
                 guess_storage = g;
                 &guess_storage
             }
@@ -336,6 +336,14 @@ impl BandgapCell {
         .map_err(icvbe_spice::SpiceError::from)?;
         self.r_ptat.set(root);
         Ok(Ohm::new(root))
+    }
+}
+
+/// Writes a start-up guess for `node` into the MNA guess vector; ground
+/// (which has no unknown slot) is silently skipped.
+pub(crate) fn seed_guess(g: &mut [f64], node: NodeId, v: f64) {
+    if let Some(slot) = node.unknown_index().and_then(|i| g.get_mut(i)) {
+        *slot = v;
     }
 }
 

@@ -152,7 +152,7 @@ impl PairStructure {
     ) -> Result<PairReading, SpiceError> {
         let (ckt, va, vb) = self.build()?;
         let op = solve_dc(&ckt, temperature, options, None)?;
-        Ok(self.read(&op, va, vb, temperature))
+        self.read(&op, va, vb, temperature)
     }
 
     fn read(
@@ -161,12 +161,14 @@ impl PairStructure {
         va: NodeId,
         vb: NodeId,
         temperature: Kelvin,
-    ) -> PairReading {
+    ) -> Result<PairReading, SpiceError> {
         let vbe_a = op.voltage(va);
         let vbe_b = op.voltage(vb);
         // Collector currents: bias minus base current minus substrate
         // leakage; reconstruct from the device equations at the solved
-        // voltages.
+        // voltages. The card and ratio were validated at construction, so
+        // these rebuilds cannot fail in practice — but propagate rather
+        // than panic if that invariant ever breaks.
         let qa = Bjt::new(
             "QA",
             Circuit::ground(),
@@ -174,8 +176,7 @@ impl PairStructure {
             va,
             Polarity::Pnp,
             self.card,
-        )
-        .expect("validated card");
+        )?;
         let qb = Bjt::new(
             "QB",
             Circuit::ground(),
@@ -183,11 +184,9 @@ impl PairStructure {
             vb,
             Polarity::Pnp,
             self.card,
-        )
-        .expect("validated card")
-        .with_area(self.area_ratio)
-        .expect("positive ratio");
-        self.reading_from(vbe_a, vbe_b, &qa, &qb, temperature)
+        )?
+        .with_area(self.area_ratio)?;
+        Ok(self.reading_from(vbe_a, vbe_b, &qa, &qb, temperature))
     }
 
     fn reading_from(

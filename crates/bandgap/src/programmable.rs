@@ -237,7 +237,8 @@ impl ProgrammableTestCell {
                 best = Some((code, err, v));
             }
         }
-        let (code, _, v) = best.expect("32 candidates evaluated");
+        let (code, _, v) =
+            best.ok_or_else(|| SpiceError::parameter("adj_code", "no candidate evaluated"))?;
         self.config.adj_code = code;
         Ok((code, Volt::new(v)))
     }

@@ -64,7 +64,7 @@ pub fn trim_for_flatness(
             best = Some((r, spread));
         }
     }
-    let (r, s) = best.expect("non-empty candidates");
+    let (r, s) = best.ok_or_else(|| SpiceError::parameter("RadjA", "empty candidate family"))?;
     cell.radj_a.set(r.value());
     Ok((r, s))
 }

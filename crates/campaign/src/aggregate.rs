@@ -8,6 +8,7 @@
 
 use crate::die::{CornerOutcome, DieOutcome};
 use crate::spec::CampaignSpec;
+use crate::taxonomy::FailureKind;
 
 /// The yield bin of one corner extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +229,18 @@ pub struct CornerAggregate {
     pub straight: Scatter,
     /// Yield bin counts, indexed by [`YieldBin::index`].
     pub bins: [u64; 6],
+    /// Quarantined corners by taxonomy kind, indexed by
+    /// [`FailureKind::index`].
+    pub failures: [u64; 5],
+    /// Corners that produced values after at least one failed attempt, by
+    /// the kind of the failure they recovered from.
+    pub recovered: [u64; 5],
+    /// Corners whose values came from the pooled robust IRLS fit.
+    pub robust_recoveries: u64,
+    /// Extra extraction attempts beyond the first, summed over corners.
+    pub retries: u64,
+    /// Samples the robust fits flagged as outliers, summed over corners.
+    pub outliers_rejected: u64,
 }
 
 impl CornerAggregate {
@@ -241,17 +254,41 @@ impl CornerAggregate {
             t_hot_err_k: Welford::default(),
             straight: Scatter::default(),
             bins: [0; 6],
+            failures: [0; 5],
+            recovered: [0; 5],
+            robust_recoveries: 0,
+            retries: 0,
+            outliers_rejected: 0,
         }
     }
 
     fn absorb(&mut self, c: &CornerOutcome) {
         self.bins[c.bin.index()] += 1;
+        if let Some(kind) = c.failure {
+            self.failures[kind.index()] += 1;
+        }
+        if let Some(kind) = c.recovered_from {
+            self.recovered[kind.index()] += 1;
+        }
+        if c.robust_recovery {
+            self.robust_recoveries += 1;
+        }
+        self.retries += u64::from(c.attempts.saturating_sub(1));
+        self.outliers_rejected += u64::from(c.outliers_rejected);
         if let Some(v) = &c.values {
+            // Robust-recovered corners can carry NaN temperature columns
+            // (every cold or hot thermometry sample lost); keep those out
+            // of the running moments. Clean-pipeline values are always
+            // finite, so the guards are no-ops there.
             self.eg_ev.absorb(v.eg_ev);
             self.xti.absorb(v.xti);
             self.rms_residual_v.absorb(v.rms_residual_v);
-            self.t_cold_err_k.absorb(v.t_cold_err_k);
-            self.t_hot_err_k.absorb(v.t_hot_err_k);
+            if v.t_cold_err_k.is_finite() {
+                self.t_cold_err_k.absorb(v.t_cold_err_k);
+            }
+            if v.t_hot_err_k.is_finite() {
+                self.t_hot_err_k.absorb(v.t_hot_err_k);
+            }
             self.straight.absorb(v.xti, v.eg_ev);
         }
     }
@@ -268,7 +305,29 @@ impl CornerAggregate {
     }
 }
 
+/// One quarantined corner, pinned to its wafer site — the row format of
+/// the quarantine report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Dense die index (campaign order).
+    pub die: usize,
+    /// Wafer row.
+    pub row: usize,
+    /// Wafer column.
+    pub col: usize,
+    /// Corner index into the spec's corner list.
+    pub corner: usize,
+    /// Why the corner was quarantined.
+    pub kind: FailureKind,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+}
+
 /// The whole campaign's streaming aggregate.
+///
+/// Memory is O(corners) plus one [`QuarantineRecord`] per *failed*
+/// corner — zero on a healthy campaign, bounded by the fault rate
+/// otherwise.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignAggregate {
     /// Dies folded in so far.
@@ -277,6 +336,8 @@ pub struct CampaignAggregate {
     pub dies_failed: u64,
     /// Per-corner aggregates, in spec order.
     pub corners: Vec<CornerAggregate>,
+    /// Every quarantined corner, in die-index order.
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 impl CampaignAggregate {
@@ -291,6 +352,7 @@ impl CampaignAggregate {
                 .iter()
                 .map(|c| CornerAggregate::new(&c.name))
                 .collect(),
+            quarantine: Vec::new(),
         }
     }
 
@@ -301,8 +363,18 @@ impl CampaignAggregate {
         if die.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
             self.dies_failed += 1;
         }
-        for (agg, out) in self.corners.iter_mut().zip(&die.corners) {
+        for (k, (agg, out)) in self.corners.iter_mut().zip(&die.corners).enumerate() {
             agg.absorb(out);
+            if let Some(kind) = out.failure {
+                self.quarantine.push(QuarantineRecord {
+                    die: die.index,
+                    row: die.row,
+                    col: die.col,
+                    corner: k,
+                    kind,
+                    attempts: out.attempts,
+                });
+            }
         }
     }
 }

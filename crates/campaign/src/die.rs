@@ -7,18 +7,36 @@
 //! campaign seed and the die index (see [`crate::seeding`]), so the
 //! function is referentially transparent — the precondition for fanning
 //! dies out across threads in any order.
+//!
+//! # Graceful degradation
+//!
+//! With fault injection enabled the corner pipeline becomes
+//! *measure-once, corrupt-per-attempt*: the bench runs once into a
+//! pristine buffer, and each attempt copies it and applies a fresh seeded
+//! corruption before extraction. A failed or out-of-window attempt burns
+//! one unit of the retry budget; when the budget is exhausted a pooled
+//! robust (Tukey IRLS) eq.-13 fit over *all* attempts' samples gets the
+//! last word. Failures are classified by **detection** (what does the
+//! data look like?), never by injection knowledge, into the
+//! [`FailureKind`] taxonomy. With faults disabled exactly one attempt
+//! runs and no fault stream is ever touched, so the zero-fault pipeline
+//! is bit-identical to the unfaulted one.
 
 use std::time::Instant;
 
 use icvbe_core::meijer::extract;
+use icvbe_core::nonlinear::Eq13PointModel;
 use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
 use icvbe_instrument::bench::{BenchScratch, PairCampaignPoint, TestStructureBench};
+use icvbe_instrument::faults::FaultPlan;
 use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
+use icvbe_numerics::robust::{fit_robust_with, RobustLoss, RobustOptions, RobustWorkspace};
 use icvbe_units::{Celsius, Kelvin};
 
 use crate::aggregate::YieldBin;
 use crate::seeding::{stream_seed, Stream};
 use crate::spec::{BenchProfile, CampaignSpec, DieSite, SpecWindow};
+use crate::taxonomy::FailureKind;
 
 /// Extracted values of one corner (present unless the solve failed).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,13 +57,45 @@ pub struct CornerValues {
     pub t_hot_err_k: f64,
 }
 
-/// One corner's outcome: a yield bin, plus values when extraction ran.
+/// One corner's outcome: a yield bin, values when extraction ran, and the
+/// robustness bookkeeping (taxonomy kind, attempts, recovery provenance).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CornerOutcome {
     /// Where the corner binned.
     pub bin: YieldBin,
     /// Extracted values; `None` iff `bin` is [`YieldBin::SolveFail`].
     pub values: Option<CornerValues>,
+    /// Taxonomy kind of a quarantined corner; `Some` iff `bin` is
+    /// [`YieldBin::SolveFail`].
+    pub failure: Option<FailureKind>,
+    /// Corruption/extraction attempts consumed (always 1 with faults
+    /// disabled).
+    pub attempts: u32,
+    /// When values were produced after at least one failed attempt: the
+    /// first failure's kind. Robust recoveries with no preceding hard
+    /// failure report [`FailureKind::OutlierRejected`] (the fit rejected
+    /// the outliers that kept the analytic attempts out of window).
+    pub recovered_from: Option<FailureKind>,
+    /// The values came from the pooled robust IRLS fit, not from a clean
+    /// analytic attempt.
+    pub robust_recovery: bool,
+    /// Samples the robust fit flagged as outliers (0 unless
+    /// `robust_recovery`).
+    pub outliers_rejected: u32,
+}
+
+impl CornerOutcome {
+    fn quarantined(kind: FailureKind, attempts: u32) -> Self {
+        CornerOutcome {
+            bin: YieldBin::SolveFail,
+            values: None,
+            failure: Some(kind),
+            attempts,
+            recovered_from: None,
+            robust_recovery: false,
+            outliers_rejected: 0,
+        }
+    }
 }
 
 /// Wall-clock of the die's pipeline stages (observability only — never
@@ -56,7 +106,7 @@ pub struct DieTiming {
     pub sample_ns: u64,
     /// Bench measurement (all corners, all setpoints), ns.
     pub measure_ns: u64,
-    /// Thermometry + extraction, ns.
+    /// Thermometry + extraction (all attempts + robust recovery), ns.
     pub extract_ns: u64,
 }
 
@@ -76,7 +126,8 @@ pub struct DieOutcome {
 }
 
 /// Per-thread scratch for the die pipeline: solver workspaces, iteration
-/// counters and the reusable measurement-point buffer.
+/// counters, the reusable measurement-point buffers (pristine + working
+/// copy), the robust-fit pool and its IRLS workspace.
 ///
 /// Nothing in here affects results — [`run_die_with`] is bitwise identical
 /// to [`run_die`] for any scratch state — it only removes per-die
@@ -86,7 +137,16 @@ pub struct DieOutcome {
 pub struct DieScratch {
     /// Bench-level scratch: circuit solver workspace plus counters.
     pub bench: BenchScratch,
+    /// The uncorrupted measurement of the current corner.
+    pristine: Vec<PairCampaignPoint>,
+    /// Working copy the fault plan corrupts per attempt.
     points: Vec<PairCampaignPoint>,
+    /// Pooled `(T, VBE, IC)` samples across attempts for robust recovery.
+    pool_t: Vec<f64>,
+    pool_vbe: Vec<f64>,
+    pool_ic: Vec<f64>,
+    /// IRLS workspace for the pooled robust fit.
+    robust: RobustWorkspace,
 }
 
 impl DieScratch {
@@ -133,6 +193,317 @@ fn computed_temperature(
     temperature_from_dvbe_corrected(p.dvbe, refp.dvbe, refp.sensor_temperature, x)
 }
 
+/// A point the chamber lost outright: every electrical reading dead.
+fn point_is_dead(p: &PairCampaignPoint) -> bool {
+    !p.sensor_temperature.value().is_finite()
+        && !p.vbe_a.value().is_finite()
+        && !p.dvbe.value().is_finite()
+}
+
+fn point_is_finite(p: &PairCampaignPoint) -> bool {
+    p.sensor_temperature.value().is_finite()
+        && p.vbe_a.value().is_finite()
+        && p.vbe_b.value().is_finite()
+        && p.dvbe.value().is_finite()
+        && p.ic_a.value().is_finite()
+        && p.ic_b.value().is_finite()
+}
+
+/// Two consecutive points with verbatim-identical readings: a latched
+/// instrument. Clean measurements can never collide exactly (independent
+/// noise on every reading), so the check is inert on unfaulted data.
+fn point_is_latched(p: &PairCampaignPoint, prev: &PairCampaignPoint) -> bool {
+    p.sensor_temperature.value() == prev.sensor_temperature.value()
+        && p.vbe_a.value() == prev.vbe_a.value()
+        && p.dvbe.value() == prev.dvbe.value()
+}
+
+/// One analytic extraction attempt over a (possibly corrupted) series,
+/// classified by detection on failure.
+fn attempt_extract(pts: &[PairCampaignPoint]) -> Result<CornerValues, FailureKind> {
+    if pts.len() < 3 || pts.iter().any(point_is_dead) {
+        return Err(FailureKind::InsufficientPoints);
+    }
+    if !pts.iter().all(point_is_finite) {
+        return Err(FailureKind::NonFiniteInput);
+    }
+    if pts.windows(2).any(|w| point_is_latched(&w[1], &w[0])) {
+        return Err(FailureKind::Degenerate);
+    }
+    let refp = &pts[1];
+    let run = || {
+        let t_cold = computed_temperature(&pts[0], refp)?;
+        let t_hot = computed_temperature(&pts[2], refp)?;
+        let m = TestStructureBench::meijer_from_points(
+            [&pts[0], &pts[1], &pts[2]],
+            [t_cold, refp.sensor_temperature, t_hot],
+        );
+        let fit = extract(&m)?;
+        Ok::<CornerValues, icvbe_core::ExtractionError>(CornerValues {
+            eg_ev: fit.eg.value(),
+            xti: fit.xti,
+            rms_residual_v: fit.rms_residual_volts,
+            t_cold_k: t_cold.value(),
+            t_hot_k: t_hot.value(),
+            t_cold_err_k: t_cold.value() - pts[0].die_temperature.value(),
+            t_hot_err_k: t_hot.value() - pts[2].die_temperature.value(),
+        })
+    };
+    let v = run().map_err(|_| FailureKind::Degenerate)?;
+    if v.eg_ev.is_finite() && v.xti.is_finite() && v.rms_residual_v.is_finite() {
+        Ok(v)
+    } else {
+        Err(FailureKind::Degenerate)
+    }
+}
+
+/// Pools one attempt's samples for the robust fallback fit. Temperatures
+/// come from the *corrupted* attempt itself (per-attempt dVBE thermometry
+/// for the cold/hot points, the sensor reading for the reference) — the
+/// recovery never peeks at the pristine buffer; only non-finite triples
+/// are screened out, the robust loss handles the merely-wrong ones.
+fn pool_attempt(pts: &[PairCampaignPoint], pool: &mut RecoveryPool) {
+    let refp = &pts[1];
+    let temps = [
+        computed_temperature(&pts[0], refp)
+            .map(|t| t.value())
+            .unwrap_or(f64::NAN),
+        refp.sensor_temperature.value(),
+        computed_temperature(&pts[2], refp)
+            .map(|t| t.value())
+            .unwrap_or(f64::NAN),
+    ];
+    for (i, (&t, p)) in temps.iter().zip(pts.iter()).enumerate() {
+        let (vbe, ic) = (p.vbe_a.value(), p.ic_a.value());
+        if t.is_finite() && t > 0.0 && vbe.is_finite() && ic.is_finite() && ic > 0.0 {
+            pool.t.push(t);
+            pool.vbe.push(vbe);
+            pool.ic.push(ic);
+            match i {
+                0 => {
+                    pool.cold_sum += t;
+                    pool.cold_n += 1;
+                }
+                2 => {
+                    pool.hot_sum += t;
+                    pool.hot_n += 1;
+                }
+                _ => {
+                    if pool.reference.is_none() {
+                        pool.reference = Some((t, ic, vbe));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Borrowed view over the scratch's pooled-sample buffers plus the small
+/// per-corner accumulators of the robust recovery.
+struct RecoveryPool<'a> {
+    t: &'a mut Vec<f64>,
+    vbe: &'a mut Vec<f64>,
+    ic: &'a mut Vec<f64>,
+    /// `(t_ref, ic_ref, vbe_ref guess)` from the first usable reference.
+    reference: Option<(f64, f64, f64)>,
+    cold_sum: f64,
+    cold_n: u32,
+    hot_sum: f64,
+    hot_n: u32,
+}
+
+/// The pooled robust IRLS fit over every attempt's samples. Returns a
+/// passing outcome or `None` when the fit fails, blows up, or stays out
+/// of window.
+#[allow(clippy::too_many_arguments)]
+fn robust_recovery(
+    spec: &CampaignSpec,
+    pool: &RecoveryPool<'_>,
+    ws: &mut RobustWorkspace,
+    true_cold: f64,
+    true_hot: f64,
+    attempts: u32,
+    first_error: Option<FailureKind>,
+) -> Option<CornerOutcome> {
+    let (t_ref, ic_ref, vbe_guess) = pool.reference?;
+    // Three parameters need slack to reject outliers: below four pooled
+    // samples the fit is a tautology, not a recovery.
+    if pool.t.len() < 4 {
+        return None;
+    }
+    let model = Eq13PointModel::new(pool.t, pool.vbe, pool.ic, t_ref, ic_ref).ok()?;
+    let options = RobustOptions {
+        loss: RobustLoss::Tukey,
+        ..RobustOptions::default()
+    };
+    let mut p = [1.16, 3.0, vbe_guess];
+    let fit = fit_robust_with(&model, &mut p, &options, ws).ok()?;
+    let (eg, xti) = (p[0], p[1]);
+    if !eg.is_finite() || !xti.is_finite() {
+        return None;
+    }
+    let bin = classify(&spec.window, eg, xti);
+    if bin != YieldBin::Pass {
+        return None;
+    }
+    // Unweighted RMS over the inlier residuals, the robust analogue of
+    // the analytic fit's residual figure.
+    let mut ss = 0.0;
+    let mut n = 0u32;
+    for (&r, &out) in ws.residuals().iter().zip(ws.outlier_flags()) {
+        if !out && r.is_finite() {
+            ss += r * r;
+            n += 1;
+        }
+    }
+    let rms = if n > 0 {
+        (ss / f64::from(n)).sqrt()
+    } else {
+        fit.scale
+    };
+    let t_cold_k = if pool.cold_n > 0 {
+        pool.cold_sum / f64::from(pool.cold_n)
+    } else {
+        f64::NAN
+    };
+    let t_hot_k = if pool.hot_n > 0 {
+        pool.hot_sum / f64::from(pool.hot_n)
+    } else {
+        f64::NAN
+    };
+    Some(CornerOutcome {
+        bin,
+        values: Some(CornerValues {
+            eg_ev: eg,
+            xti,
+            rms_residual_v: rms,
+            t_cold_k,
+            t_hot_k,
+            t_cold_err_k: t_cold_k - true_cold,
+            t_hot_err_k: t_hot_k - true_hot,
+        }),
+        failure: None,
+        attempts,
+        recovered_from: Some(first_error.unwrap_or(FailureKind::OutlierRejected)),
+        robust_recovery: true,
+        outliers_rejected: u32::try_from(fit.outliers).unwrap_or(u32::MAX),
+    })
+}
+
+/// The attempt loop over one pristine measurement: corrupt, extract,
+/// retry, then fall back to the pooled robust fit.
+fn corner_recovery(
+    spec: &CampaignSpec,
+    site: DieSite,
+    corner_idx: usize,
+    scratch: &mut DieScratch,
+) -> CornerOutcome {
+    let inject = !spec.faults.is_none();
+    let budget = if inject { 1 + spec.retry_budget } else { 1 };
+    let pooling = inject && spec.robust;
+    scratch.pool_t.clear();
+    scratch.pool_vbe.clear();
+    scratch.pool_ic.clear();
+    let mut pool = RecoveryPool {
+        t: &mut scratch.pool_t,
+        vbe: &mut scratch.pool_vbe,
+        ic: &mut scratch.pool_ic,
+        reference: None,
+        cold_sum: 0.0,
+        cold_n: 0,
+        hot_sum: 0.0,
+        hot_n: 0,
+    };
+    // Ground truth for the temperature-error columns comes from the
+    // pristine measurement: corruption garbles readings, not the die.
+    let true_cold = scratch.pristine[0].die_temperature.value();
+    let true_hot = scratch.pristine[2].die_temperature.value();
+
+    let mut first_error: Option<FailureKind> = None;
+    let mut fallback: Option<(CornerValues, Option<FailureKind>, u32)> = None;
+    let mut attempts = 0u32;
+
+    for attempt in 0..budget {
+        attempts = attempt + 1;
+        scratch.points.clear();
+        scratch.points.extend_from_slice(&scratch.pristine);
+        if inject {
+            let seed = stream_seed(
+                spec.seed,
+                site.index as u64,
+                Stream::Faults {
+                    corner: corner_idx as u32,
+                    attempt,
+                },
+            );
+            FaultPlan::new(spec.faults, seed).apply(&mut scratch.points);
+        }
+        match attempt_extract(&scratch.points) {
+            Ok(v) => {
+                let bin = classify(&spec.window, v.eg_ev, v.xti);
+                if bin == YieldBin::Pass {
+                    return CornerOutcome {
+                        bin,
+                        values: Some(v),
+                        failure: None,
+                        attempts,
+                        recovered_from: first_error,
+                        robust_recovery: false,
+                        outliers_rejected: 0,
+                    };
+                }
+                if fallback.is_none() {
+                    fallback = Some((v, first_error, attempts));
+                }
+            }
+            Err(kind) => {
+                if first_error.is_none() {
+                    first_error = Some(kind);
+                }
+            }
+        }
+        if pooling {
+            pool_attempt(&scratch.points, &mut pool);
+        }
+    }
+
+    let mut robust_ran = false;
+    if pooling {
+        robust_ran = pool.reference.is_some() && pool.t.len() >= 4;
+        if let Some(out) = robust_recovery(
+            spec,
+            &pool,
+            &mut scratch.robust,
+            true_cold,
+            true_hot,
+            attempts,
+            first_error,
+        ) {
+            return out;
+        }
+    }
+    if let Some((v, recovered_from, _)) = fallback {
+        return CornerOutcome {
+            bin: classify(&spec.window, v.eg_ev, v.xti),
+            values: Some(v),
+            failure: None,
+            attempts,
+            recovered_from,
+            robust_recovery: false,
+            outliers_rejected: 0,
+        };
+    }
+    // Every attempt hard-failed. If the robust fit got to examine the
+    // pooled data and still rejected it, that verdict supersedes the
+    // first raw symptom.
+    let kind = if robust_ran {
+        FailureKind::OutlierRejected
+    } else {
+        first_error.unwrap_or(FailureKind::Degenerate)
+    };
+    CornerOutcome::quarantined(kind, attempts)
+}
+
 fn run_corner(
     spec: &CampaignSpec,
     sample: &DieSample,
@@ -155,50 +526,20 @@ fn run_corner(
         spec.corners[corner_idx].ic,
         setpoints,
         &mut scratch.bench,
-        &mut scratch.points,
+        &mut scratch.pristine,
         spec.warm_start,
     );
     timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
     if measured.is_err() {
-        return CornerOutcome {
-            bin: YieldBin::SolveFail,
-            values: None,
-        };
+        // The circuit never converged; there is nothing to corrupt or
+        // retry (the bench is deterministic per corner).
+        return CornerOutcome::quarantined(FailureKind::NonConvergence, 1);
     }
-    let pts = &scratch.points;
 
     let t_extract = Instant::now();
-    let out = (|| {
-        let refp = &pts[1];
-        let t_cold = computed_temperature(&pts[0], refp)?;
-        let t_hot = computed_temperature(&pts[2], refp)?;
-        let m = TestStructureBench::meijer_from_points(
-            [&pts[0], &pts[1], &pts[2]],
-            [t_cold, refp.sensor_temperature, t_hot],
-        );
-        let fit = extract(&m)?;
-        Ok::<CornerValues, icvbe_core::ExtractionError>(CornerValues {
-            eg_ev: fit.eg.value(),
-            xti: fit.xti,
-            rms_residual_v: fit.rms_residual_volts,
-            t_cold_k: t_cold.value(),
-            t_hot_k: t_hot.value(),
-            t_cold_err_k: t_cold.value() - pts[0].die_temperature.value(),
-            t_hot_err_k: t_hot.value() - pts[2].die_temperature.value(),
-        })
-    })();
+    let out = corner_recovery(spec, site, corner_idx, scratch);
     timing.extract_ns += t_extract.elapsed().as_nanos() as u64;
-
-    match out {
-        Ok(v) => CornerOutcome {
-            bin: classify(&spec.window, v.eg_ev, v.xti),
-            values: Some(v),
-        },
-        Err(_) => CornerOutcome {
-            bin: YieldBin::SolveFail,
-            values: None,
-        },
-    }
+    out
 }
 
 /// Runs the full pipeline of one die. Infallible by design: failures are
@@ -247,6 +588,7 @@ pub fn run_die_with(
 mod tests {
     use super::*;
     use crate::spec::WaferMap;
+    use icvbe_instrument::faults::FaultSpec;
 
     fn small_spec() -> CampaignSpec {
         let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 77);
@@ -270,6 +612,10 @@ mod tests {
         let out = run_die(&spec, spec.wafer.sites()[0]);
         let c = &out.corners[0];
         assert_eq!(c.bin, YieldBin::Pass, "healthy die binned {:?}", c.bin);
+        assert_eq!(c.failure, None);
+        assert_eq!(c.attempts, 1, "faults off must mean exactly one attempt");
+        assert_eq!(c.recovered_from, None);
+        assert!(!c.robust_recovery);
         let v = c.values.unwrap();
         assert!(v.eg_ev > 1.05 && v.eg_ev < 1.25, "EG {}", v.eg_ev);
         // Computed die temperatures land near the plan's -25/+75 °C, plus
@@ -348,5 +694,104 @@ mod tests {
         let a = out.corners[0].values.unwrap();
         let b = out.corners[1].values.unwrap();
         assert_ne!(a.eg_ev, b.eg_ev);
+    }
+
+    #[test]
+    fn faulted_die_is_deterministic_and_consistent() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec::heavy();
+        for site in spec.wafer.sites() {
+            let a = run_die(&spec, site);
+            let b = run_die(&spec, site);
+            assert_eq!(a.corners, b.corners, "die {}", site.index);
+            for c in &a.corners {
+                assert_eq!(c.failure.is_some(), c.bin == YieldBin::SolveFail);
+                assert_eq!(c.values.is_some(), c.bin != YieldBin::SolveFail);
+                assert!(c.attempts >= 1 && c.attempts <= 1 + spec.retry_budget);
+            }
+        }
+    }
+
+    #[test]
+    fn certain_drop_quarantines_as_insufficient_points() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec {
+            drop_probability: 1.0,
+            ..FaultSpec::none()
+        };
+        spec.robust = false;
+        let out = run_die(&spec, spec.wafer.sites()[0]);
+        let c = &out.corners[0];
+        assert_eq!(c.bin, YieldBin::SolveFail);
+        assert_eq!(c.failure, Some(FailureKind::InsufficientPoints));
+        assert_eq!(c.attempts, 1 + spec.retry_budget);
+    }
+
+    #[test]
+    fn certain_stuck_quarantines_as_degenerate() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec {
+            stuck_probability: 1.0,
+            ..FaultSpec::none()
+        };
+        spec.robust = false;
+        let out = run_die(&spec, spec.wafer.sites()[0]);
+        let c = &out.corners[0];
+        assert_eq!(c.bin, YieldBin::SolveFail);
+        assert_eq!(c.failure, Some(FailureKind::Degenerate));
+    }
+
+    #[test]
+    fn certain_nan_quarantines_as_non_finite_input() {
+        let mut spec = small_spec();
+        spec.faults = FaultSpec {
+            nan_probability: 1.0,
+            ..FaultSpec::none()
+        };
+        spec.robust = false;
+        let out = run_die(&spec, spec.wafer.sites()[0]);
+        let c = &out.corners[0];
+        assert_eq!(c.bin, YieldBin::SolveFail);
+        assert_eq!(c.failure, Some(FailureKind::NonFiniteInput));
+    }
+
+    #[test]
+    fn retry_recovers_an_intermittent_drop() {
+        // Moderate drop rate: the first realization may kill a point, a
+        // retry usually survives. Across 4 dies at this rate at least one
+        // corner must record a successful retry.
+        let mut spec = small_spec();
+        spec.faults = FaultSpec {
+            drop_probability: 0.4,
+            ..FaultSpec::none()
+        };
+        spec.retry_budget = 8;
+        spec.robust = false;
+        let mut recovered = 0u32;
+        for site in spec.wafer.sites() {
+            let out = run_die(&spec, site);
+            let c = &out.corners[0];
+            if c.recovered_from == Some(FailureKind::InsufficientPoints)
+                && c.bin != YieldBin::SolveFail
+            {
+                recovered += 1;
+                assert!(c.attempts > 1);
+            }
+        }
+        assert!(recovered > 0, "no corner recovered via retry");
+    }
+
+    #[test]
+    fn zero_fault_spec_matches_the_unfaulted_pipeline_bitwise() {
+        let spec = small_spec();
+        let mut explicit = spec.clone();
+        explicit.faults = FaultSpec::none();
+        explicit.retry_budget = 10; // irrelevant with faults off
+        for site in spec.wafer.sites() {
+            assert_eq!(
+                run_die(&spec, site).corners,
+                run_die(&explicit, site).corners
+            );
+        }
     }
 }

@@ -25,8 +25,13 @@
 //!   histograms, snapshotted into a
 //!   [`CampaignMetrics`](metrics::CampaignMetrics).
 //! - [`report`]: hand-rolled JSON and CSV writers (no serde) producing the
-//!   deterministic `aggregate` artifacts and the (timing-bearing, hence
-//!   non-deterministic) `metrics` artifact.
+//!   deterministic `aggregate` and `quarantine` artifacts and the
+//!   (timing-bearing, hence non-deterministic) `metrics` artifact.
+//! - [`taxonomy`]: the per-corner failure taxonomy. With fault injection
+//!   enabled (see `icvbe_instrument::faults`), the die pipeline retries
+//!   corrupted measurements under a bounded budget, falls back to a pooled
+//!   robust IRLS fit, and quarantines what it cannot recover under a named
+//!   [`FailureKind`](taxonomy::FailureKind).
 //!
 //! # Determinism guarantee
 //!
@@ -53,6 +58,7 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
 pub mod die;
@@ -61,8 +67,10 @@ pub mod metrics;
 pub mod report;
 pub mod seeding;
 pub mod spec;
+pub mod taxonomy;
 pub mod worker;
 
 pub use error::CampaignError;
 pub use spec::CampaignSpec;
+pub use taxonomy::FailureKind;
 pub use worker::{run_campaign, CampaignRun};

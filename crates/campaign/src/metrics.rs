@@ -137,6 +137,17 @@ pub struct CampaignCounters {
     pub newton_per_die: LogHistogram,
     /// Per-die self-heating iteration totals (histogram of counts).
     pub selfheat_per_die: LogHistogram,
+    /// Corners that needed more than one extraction attempt.
+    pub corners_retried: AtomicU64,
+    /// Corners that produced values after at least one failed attempt.
+    pub corners_recovered: AtomicU64,
+    /// Corners whose values came from the pooled robust IRLS fit.
+    pub robust_recoveries: AtomicU64,
+    /// Corners quarantined after exhausting every recovery stage.
+    pub corners_quarantined: AtomicU64,
+    /// Recovered corners by the taxonomy kind they recovered from,
+    /// indexed by [`FailureKind::index`](crate::taxonomy::FailureKind).
+    pub recovered_by_kind: [AtomicU64; 5],
 }
 
 impl CampaignCounters {
@@ -159,6 +170,44 @@ impl CampaignCounters {
         self.newton_per_die.record_ns(newton_iterations);
         self.selfheat_per_die.record_ns(selfheat_iterations);
     }
+
+    /// Folds one die's recovery bookkeeping in (lock-free; any worker
+    /// thread). All zeros on a fault-free campaign.
+    pub fn record_die_recovery(
+        &self,
+        retried: u64,
+        recovered: u64,
+        robust: u64,
+        quarantined: u64,
+        recovered_by_kind: &[u64; 5],
+    ) {
+        self.corners_retried.fetch_add(retried, Ordering::Relaxed);
+        self.corners_recovered
+            .fetch_add(recovered, Ordering::Relaxed);
+        self.robust_recoveries.fetch_add(robust, Ordering::Relaxed);
+        self.corners_quarantined
+            .fetch_add(quarantined, Ordering::Relaxed);
+        for (slot, &n) in self.recovered_by_kind.iter().zip(recovered_by_kind) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Recovery-level observability: how hard the graceful-degradation
+/// machinery worked. All zeros on a fault-free campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryMetrics {
+    /// Corners that needed more than one extraction attempt.
+    pub corners_retried: u64,
+    /// Corners that produced values after at least one failed attempt.
+    pub corners_recovered: u64,
+    /// Corners whose values came from the pooled robust IRLS fit.
+    pub robust_recoveries: u64,
+    /// Corners quarantined after exhausting every recovery stage.
+    pub corners_quarantined: u64,
+    /// Recovered corners by the taxonomy kind they recovered from,
+    /// indexed by [`FailureKind::index`](crate::taxonomy::FailureKind).
+    pub recovered_by_kind: [u64; 5],
 }
 
 /// Solver-level observability: how much numerical work the campaign did
@@ -227,6 +276,8 @@ pub struct CampaignMetrics {
     pub stages: Vec<StageSnapshot>,
     /// Solver iteration counts and warm-start accounting.
     pub solver: SolverMetrics,
+    /// Retry / robust-recovery / quarantine accounting.
+    pub recovery: RecoveryMetrics,
 }
 
 impl CampaignCounters {
@@ -268,6 +319,15 @@ impl CampaignCounters {
                     newton_per_die_p50: newton.p50_ns,
                     newton_per_die_p99: newton.p99_ns,
                 }
+            },
+            recovery: RecoveryMetrics {
+                corners_retried: self.corners_retried.load(Ordering::Relaxed),
+                corners_recovered: self.corners_recovered.load(Ordering::Relaxed),
+                robust_recoveries: self.robust_recoveries.load(Ordering::Relaxed),
+                corners_quarantined: self.corners_quarantined.load(Ordering::Relaxed),
+                recovered_by_kind: std::array::from_fn(|i| {
+                    self.recovered_by_kind[i].load(Ordering::Relaxed)
+                }),
             },
         }
     }

@@ -1,10 +1,16 @@
 //! Hand-rolled JSON and CSV report writers (no serde).
 //!
-//! Two artifact families with different contracts:
+//! Three artifact families with different contracts:
 //!
 //! - **aggregate** (`campaign_aggregate.json` / `.csv`): derived only from
 //!   the deterministic fold, so the bytes are identical for any worker
 //!   thread count — the campaign determinism tests compare them verbatim.
+//!   The schema is frozen: fault-injection campaigns add *artifacts*, not
+//!   columns, so a zero-fault run reproduces historical bytes exactly.
+//! - **quarantine** (`campaign_quarantine.json` / `.csv`): the failure
+//!   taxonomy — per-corner kind counts, recovery counts and one record per
+//!   quarantined corner. Deterministic like the aggregate (it is part of
+//!   the fold), and empty-but-present on a healthy campaign.
 //! - **metrics** (`campaign_metrics.json`): wall-clock, throughput and
 //!   stage histograms of one particular run; inherently non-deterministic
 //!   and therefore kept out of the aggregate artifacts.
@@ -21,6 +27,7 @@ use std::path::{Path, PathBuf};
 
 use crate::aggregate::{CornerAggregate, Welford, YieldBin};
 use crate::spec::BenchProfile;
+use crate::taxonomy::FailureKind;
 use crate::worker::CampaignRun;
 
 /// JSON number or `null` for non-finite input.
@@ -209,6 +216,112 @@ pub fn aggregate_csv(run: &CampaignRun) -> String {
     out
 }
 
+/// The deterministic quarantine report as a JSON document: the fault
+/// spec in force, per-corner taxonomy/recovery counts and one record per
+/// quarantined corner.
+#[must_use]
+pub fn quarantine_json(run: &CampaignRun) -> String {
+    let spec = &run.spec;
+    let f = &spec.faults;
+    let corners: Vec<String> = run
+        .aggregate
+        .corners
+        .iter()
+        .map(|c| {
+            let mut kinds = String::new();
+            let mut recovered = String::new();
+            for k in FailureKind::ALL {
+                let _ = write!(kinds, "\"{}\":{},", k.label(), c.failures[k.index()]);
+                let _ = write!(recovered, "\"{}\":{},", k.label(), c.recovered[k.index()]);
+            }
+            kinds.pop();
+            recovered.pop();
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"name\":\"{name}\",\n",
+                    "      \"quarantined\":{{{kinds}}},\n",
+                    "      \"recovered\":{{{recovered}}},\n",
+                    "      \"robust_recoveries\":{robust},\n",
+                    "      \"retries\":{retries},\n",
+                    "      \"outliers_rejected\":{outliers}\n",
+                    "    }}",
+                ),
+                name = esc(&c.name),
+                kinds = kinds,
+                recovered = recovered,
+                robust = c.robust_recoveries,
+                retries = c.retries,
+                outliers = c.outliers_rejected,
+            )
+        })
+        .collect();
+    let records: Vec<String> = run
+        .aggregate
+        .quarantine
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"die\":{},\"row\":{},\"col\":{},\"corner\":\"{}\",\
+                 \"kind\":\"{}\",\"attempts\":{}}}",
+                r.die,
+                r.row,
+                r.col,
+                esc(&run.aggregate.corners[r.corner].name),
+                r.kind.label(),
+                r.attempts,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\":\"icvbe-campaign-quarantine-v1\",\n",
+            "  \"faults\":{{\"noise_probability\":{noise_p},\
+             \"noise_sigma_volts\":{noise_s},\"stuck_probability\":{stuck},\
+             \"drop_probability\":{drop},\"drift_sigma_volts\":{drift},\
+             \"nan_probability\":{nan}}},\n",
+            "  \"retry_budget\":{budget},\n",
+            "  \"robust\":{robust},\n",
+            "  \"corners\":[\n{corners}\n  ],\n",
+            "  \"records\":[{lead}{records}{trail}]\n",
+            "}}\n",
+        ),
+        noise_p = num(f.noise_probability),
+        noise_s = num(f.noise_sigma_volts),
+        stuck = num(f.stuck_probability),
+        drop = num(f.drop_probability),
+        drift = num(f.drift_sigma_volts),
+        nan = num(f.nan_probability),
+        budget = spec.retry_budget,
+        robust = spec.robust,
+        corners = corners.join(",\n"),
+        lead = if records.is_empty() { "" } else { "\n" },
+        records = records.join(",\n"),
+        trail = if records.is_empty() { "" } else { "\n  " },
+    )
+}
+
+/// The deterministic quarantine report as CSV: one row per quarantined
+/// corner (header only on a healthy campaign).
+#[must_use]
+pub fn quarantine_csv(run: &CampaignRun) -> String {
+    let mut out = String::from("die,row,col,corner,kind,attempts\n");
+    for r in &run.aggregate.quarantine {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.die,
+            r.row,
+            r.col,
+            run.aggregate.corners[r.corner].name.replace(',', ";"),
+            r.kind.label(),
+            r.attempts,
+        );
+    }
+    out
+}
+
 /// The per-run observability snapshot as a JSON document. **Not**
 /// deterministic — contains wall-clock data.
 #[must_use]
@@ -247,6 +360,10 @@ pub fn metrics_json(run: &CampaignRun) -> String {
              \"warm_start_hits\":{hits},\"warm_start_misses\":{misses},\
              \"warm_hit_rate\":{hitrate},\"newton_per_die_p50\":{np50},\
              \"newton_per_die_p99\":{np99}}},\n",
+            "  \"recovery\":{{\"corners_retried\":{retried},\
+             \"corners_recovered\":{recovered},\"robust_recoveries\":{robust},\
+             \"corners_quarantined\":{quarantined},\
+             \"recovered_by_kind\":{{{bykind}}}}},\n",
             "  \"stages\":[\n{stages}\n  ]\n",
             "}}\n",
         ),
@@ -266,11 +383,28 @@ pub fn metrics_json(run: &CampaignRun) -> String {
         hitrate = num(m.solver.warm_hit_rate()),
         np50 = m.solver.newton_per_die_p50,
         np99 = m.solver.newton_per_die_p99,
+        retried = m.recovery.corners_retried,
+        recovered = m.recovery.corners_recovered,
+        robust = m.recovery.robust_recoveries,
+        quarantined = m.recovery.corners_quarantined,
+        bykind = {
+            let mut s = String::new();
+            for k in FailureKind::ALL {
+                let _ = write!(
+                    s,
+                    "\"{}\":{},",
+                    k.label(),
+                    m.recovery.recovered_by_kind[k.index()]
+                );
+            }
+            s.pop();
+            s
+        },
         stages = stages.join(",\n"),
     )
 }
 
-/// Writes the three report artifacts into `dir` (created if missing) and
+/// Writes the five report artifacts into `dir` (created if missing) and
 /// returns the written paths.
 ///
 /// # Errors
@@ -281,6 +415,8 @@ pub fn write_reports(dir: &Path, run: &CampaignRun) -> io::Result<Vec<PathBuf>> 
     let artifacts = [
         ("campaign_aggregate.json", aggregate_json(run)),
         ("campaign_aggregate.csv", aggregate_csv(run)),
+        ("campaign_quarantine.json", quarantine_json(run)),
+        ("campaign_quarantine.csv", quarantine_csv(run)),
         ("campaign_metrics.json", metrics_json(run)),
     ];
     let mut paths = Vec::with_capacity(artifacts.len());
@@ -350,16 +486,50 @@ mod tests {
     }
 
     #[test]
-    fn write_reports_persists_three_artifacts() {
+    fn write_reports_persists_five_artifacts() {
         let run = tiny_run();
         let dir = std::env::temp_dir().join("icvbe_campaign_report_test");
         let _ = fs::remove_dir_all(&dir);
         let paths = write_reports(&dir, &run).unwrap();
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 5);
         for p in &paths {
             assert!(p.exists());
             assert!(fs::metadata(p).unwrap().len() > 0);
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_report_is_well_formed_and_empty_when_healthy() {
+        let run = tiny_run();
+        let j = quarantine_json(&run);
+        assert!(j.contains("\"schema\":\"icvbe-campaign-quarantine-v1\""));
+        assert!(j.contains("\"records\":[]"));
+        assert!(j.contains("\"non_convergence\":0"));
+        assert!(j.contains("\"outlier_rejected\":0"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        let csv = quarantine_csv(&run);
+        assert_eq!(csv, "die,row,col,corner,kind,attempts\n");
+    }
+
+    #[test]
+    fn quarantine_report_lists_faulted_corners() {
+        use icvbe_instrument::faults::FaultSpec;
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 3);
+        s.corners.truncate(1);
+        s.faults = FaultSpec {
+            nan_probability: 1.0,
+            ..FaultSpec::none()
+        };
+        s.robust = false;
+        let run = run_campaign(&s, 1).unwrap();
+        let csv = quarantine_csv(&run);
+        assert_eq!(csv.lines().count(), 1 + 4, "all four dies quarantined");
+        assert!(csv.contains("non_finite_input"));
+        let j = quarantine_json(&run);
+        assert!(j.contains("\"non_finite_input\":4"));
+        assert!(j.contains("\"nan_probability\":1"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 }

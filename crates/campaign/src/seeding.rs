@@ -22,6 +22,15 @@ pub enum Stream {
     Process,
     /// The virtual bench measuring bias corner `k` (SMU + Pt100 noise).
     Bench(u32),
+    /// The fault injector corrupting `attempt` of bias corner `corner`.
+    /// Every retry draws a fresh corruption realization, so a retried
+    /// corner is a new measurement, not a replay of the bad one.
+    Faults {
+        /// Bias corner index.
+        corner: u32,
+        /// Zero-based attempt number (`0` is the first measurement).
+        attempt: u32,
+    },
 }
 
 impl Stream {
@@ -31,6 +40,13 @@ impl Stream {
             // Bench streams start after the reserved block so adding new
             // fixed streams later cannot alias an existing corner.
             Stream::Bench(k) => 16 + u64::from(k),
+            // Fault streams live in their own high bit-plane: bit 33 is
+            // set, corner sits above the 8-bit attempt field. Bench ids
+            // (16 + k) can never reach bit 33 for realistic corner
+            // counts, so the spaces are structurally disjoint.
+            Stream::Faults { corner, attempt } => {
+                (1 << 33) | (u64::from(corner) << 8) | u64::from(attempt)
+            }
         }
     }
 }
@@ -61,8 +77,26 @@ mod tests {
             assert!(seen.insert(stream_seed(2002, die, Stream::Process)));
             for corner in 0..4 {
                 assert!(seen.insert(stream_seed(2002, die, Stream::Bench(corner))));
+                for attempt in 0..4 {
+                    assert!(seen.insert(stream_seed(
+                        2002,
+                        die,
+                        Stream::Faults { corner, attempt }
+                    )));
+                }
             }
         }
+    }
+
+    #[test]
+    fn fault_streams_separate_corner_and_attempt() {
+        let s = |corner, attempt| stream_seed(7, 0, Stream::Faults { corner, attempt });
+        assert_ne!(s(0, 0), s(0, 1));
+        assert_ne!(s(0, 0), s(1, 0));
+        // corner 0 / attempt 256 would alias corner 1 / attempt 0 if the
+        // attempt field overflowed its 8 bits; the retry-budget cap in
+        // `CampaignSpec::validate` keeps attempts far below that.
+        assert_ne!(s(0, 255), s(1, 0));
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! Campaign description: wafer map, bias corners, temperature plan, spec
 //! window.
 
+use icvbe_instrument::faults::FaultSpec;
 use icvbe_instrument::montecarlo::VariationSpec;
 use icvbe_units::{Ampere, Celsius};
 
 use crate::CampaignError;
+
+/// Upper bound on [`CampaignSpec::retry_budget`]. Keeps the per-corner
+/// attempt count bounded (the whole point of a *budget*) and far below
+/// the 8-bit attempt field of the fault seed stream.
+pub const MAX_RETRY_BUDGET: u32 = 32;
 
 /// One die position on the wafer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +227,21 @@ pub struct CampaignSpec {
     /// field is deliberately **not** part of the aggregate artifacts and
     /// warm/cold aggregates compare equal.
     pub warm_start: bool,
+    /// Deterministic measurement-fault injection. The all-zero spec
+    /// ([`FaultSpec::none`]) is a strict no-op: the per-corner pipeline
+    /// runs exactly one attempt and never touches the fault streams, so a
+    /// zero-fault campaign reproduces an unfaulted one bit for bit.
+    pub faults: FaultSpec,
+    /// Extra corruption attempts a corner may consume after its first
+    /// measurement fails or lands out of window (each retry re-corrupts
+    /// the pristine measurement with a fresh seeded fault realization).
+    /// Ignored when `faults` is all-zero. Capped at [`MAX_RETRY_BUDGET`].
+    pub retry_budget: u32,
+    /// After the retry budget is exhausted without a pass, pool every
+    /// attempt's samples and run a robust (Tukey IRLS) eq.-13 fit that
+    /// zero-weights the corrupted readings. Ignored when `faults` is
+    /// all-zero.
+    pub robust: bool,
 }
 
 impl CampaignSpec {
@@ -242,16 +263,25 @@ impl CampaignSpec {
             seed,
             bench: BenchProfile::Paper,
             warm_start: true,
+            faults: FaultSpec::none(),
+            retry_budget: 3,
+            robust: true,
         }
     }
 
     /// Checks internal consistency.
     ///
+    /// Degenerate inputs are rejected here rather than left to misbehave
+    /// downstream: an empty wafer map (`die_count() == 0`, e.g.
+    /// `WaferMap::full(0, n)`) and a collapsed temperature plan (any two
+    /// setpoints equal — a single- or two-point plan cannot feed the
+    /// three-point method) are both `InvalidSpec`.
+    ///
     /// # Errors
     ///
     /// [`CampaignError::InvalidSpec`] on an empty map, no corners,
-    /// non-positive bias, a non-monotone temperature plan or an empty spec
-    /// window.
+    /// non-positive bias, a non-monotone temperature plan, an empty spec
+    /// window, an out-of-range fault spec or an oversized retry budget.
     pub fn validate(&self) -> Result<(), CampaignError> {
         if self.wafer.die_count() == 0 {
             return Err(CampaignError::invalid("wafer map has no active dies"));
@@ -277,6 +307,15 @@ impl CampaignSpec {
             || !(self.window.xti_min < self.window.xti_max)
         {
             return Err(CampaignError::invalid("empty spec window"));
+        }
+        self.faults
+            .validate()
+            .map_err(|e| CampaignError::invalid(format!("fault spec: {}", e.detail)))?;
+        if self.retry_budget > MAX_RETRY_BUDGET {
+            return Err(CampaignError::invalid(format!(
+                "retry budget {} exceeds the cap of {MAX_RETRY_BUDGET}",
+                self.retry_budget
+            )));
         }
         Ok(())
     }
@@ -347,6 +386,36 @@ mod tests {
 
         let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 1);
         s.corners[0].ic = Ampere::new(0.0);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_documented_invalid_specs() {
+        // Empty wafer map: no active dies.
+        let s = CampaignSpec::paper_default(WaferMap::full(0, 5), 1);
+        assert!(s.validate().is_err());
+        let s = CampaignSpec::paper_default(WaferMap::circular(0), 1);
+        assert!(s.validate().is_err());
+        // Collapsed (single-point) temperature plan: the three-point
+        // method is underdetermined, rejected up front.
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 1);
+        s.plan.cold = s.plan.reference;
+        s.plan.hot = s.plan.reference;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fault_and_retry_knobs_are_validated() {
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 1);
+        s.faults = FaultSpec::heavy();
+        assert!(s.validate().is_ok());
+        s.faults.noise_probability = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = CampaignSpec::paper_default(WaferMap::full(2, 2), 1);
+        s.retry_budget = MAX_RETRY_BUDGET;
+        assert!(s.validate().is_ok());
+        s.retry_budget = MAX_RETRY_BUDGET + 1;
         assert!(s.validate().is_err());
     }
 }

@@ -1,0 +1,103 @@
+//! The per-corner failure taxonomy.
+//!
+//! A production campaign must never collapse every kind of trouble into
+//! one opaque bucket: a die whose circuit never converged needs a solver
+//! fix, a die whose chamber lost a temperature point needs a re-measure,
+//! and a die whose readings went non-finite needs an instrument check.
+//! [`FailureKind`] names those causes; quarantined corners carry one in
+//! their [`CornerOutcome`](crate::die::CornerOutcome) and in the
+//! quarantine report.
+//!
+//! Classification is **detection-based**: the pipeline looks at the data
+//! it was handed (are readings finite? is a point entirely dead? did two
+//! points latch to identical readings?), never at what the fault injector
+//! actually did. A real bench has no injector to ask.
+
+use std::fmt;
+
+/// Why a corner was quarantined (or what it recovered from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The circuit solver exhausted its escalation ladder; no measurement
+    /// exists for this corner at all.
+    NonConvergence,
+    /// A reading in the measured series is NaN/Inf (instrument A/D
+    /// glitch), so the analytical extraction cannot run.
+    NonFiniteInput,
+    /// A temperature point was lost outright (every reading of the point
+    /// dead); the three-point method is underdetermined.
+    InsufficientPoints,
+    /// The data is finite but degenerate: latched (repeated) points,
+    /// singular thermometry, or an extraction that blew up numerically.
+    Degenerate,
+    /// The corner's data was examined by the pooled robust fit and
+    /// rejected — too outlier-dominated to yield an in-window result.
+    OutlierRejected,
+}
+
+impl FailureKind {
+    /// All kinds, in report order.
+    pub const ALL: [FailureKind; 5] = [
+        FailureKind::NonConvergence,
+        FailureKind::NonFiniteInput,
+        FailureKind::InsufficientPoints,
+        FailureKind::Degenerate,
+        FailureKind::OutlierRejected,
+    ];
+
+    /// Stable label used in the JSON/CSV reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::NonConvergence => "non_convergence",
+            FailureKind::NonFiniteInput => "non_finite_input",
+            FailureKind::InsufficientPoints => "insufficient_points",
+            FailureKind::Degenerate => "degenerate",
+            FailureKind::OutlierRejected => "outlier_rejected",
+        }
+    }
+
+    /// Dense index into a kind-count array.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FailureKind::NonConvergence => 0,
+            FailureKind::NonFiniteInput => 1,
+            FailureKind::InsufficientPoints => 2,
+            FailureKind::Degenerate => 3,
+            FailureKind::OutlierRejected => 4,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_indices_are_dense_and_unique() {
+        for (i, k) in FailureKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.label().is_empty());
+        }
+        for a in FailureKind::ALL {
+            for b in FailureKind::ALL {
+                if a != b {
+                    assert_ne!(a.label(), b.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(FailureKind::NonConvergence.to_string(), "non_convergence");
+        assert_eq!(FailureKind::OutlierRejected.to_string(), "outlier_rejected");
+    }
+}

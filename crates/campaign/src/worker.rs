@@ -38,7 +38,16 @@ pub struct CampaignRun {
     pub metrics: CampaignMetrics,
 }
 
-/// Runs `spec` across `threads` worker threads (clamped to ≥ 1).
+/// Runs `spec` across `threads` worker threads.
+///
+/// # Degenerate inputs
+///
+/// - `threads == 0` is clamped to 1 (a sensible default, not an error:
+///   callers computing `available_parallelism - k` shouldn't crash a
+///   campaign over an undersubscribed box).
+/// - An empty wafer map or a collapsed temperature plan is rejected by
+///   [`CampaignSpec::validate`] as [`CampaignError::InvalidSpec`] before
+///   any thread spawns.
 ///
 /// # Errors
 ///
@@ -94,6 +103,29 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
                         counters.completed.fetch_add(1, Ordering::Relaxed);
                         if out.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
                             counters.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let mut retried = 0u64;
+                        let mut recovered = 0u64;
+                        let mut robust = 0u64;
+                        let mut quarantined = 0u64;
+                        let mut by_kind = [0u64; 5];
+                        for c in &out.corners {
+                            retried += u64::from(c.attempts > 1);
+                            robust += u64::from(c.robust_recovery);
+                            quarantined += u64::from(c.failure.is_some());
+                            if let Some(kind) = c.recovered_from {
+                                recovered += 1;
+                                by_kind[kind.index()] += 1;
+                            }
+                        }
+                        if retried + recovered + robust + quarantined > 0 {
+                            counters.record_die_recovery(
+                                retried,
+                                recovered,
+                                robust,
+                                quarantined,
+                                &by_kind,
+                            );
                         }
                         if tx.send(out).is_err() {
                             return; // receiver gone: abandon quietly
@@ -163,6 +195,22 @@ mod tests {
         let one = run_campaign(&s, 1).unwrap();
         let four = run_campaign(&s, 4).unwrap();
         assert_eq!(one.aggregate, four.aggregate);
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_one_worker() {
+        let s = tiny_spec();
+        let zero = run_campaign(&s, 0).unwrap();
+        let one = run_campaign(&s, 1).unwrap();
+        assert_eq!(zero.aggregate, one.aggregate);
+        assert_eq!(zero.metrics.threads, 1);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_recovery_activity() {
+        let run = run_campaign(&tiny_spec(), 2).unwrap();
+        assert_eq!(run.metrics.recovery, Default::default());
+        assert!(run.aggregate.quarantine.is_empty());
     }
 
     #[test]

@@ -71,6 +71,103 @@ impl ResidualModel for Eq13Residuals<'_> {
     }
 }
 
+/// Eq.-13 residuals over caller-owned point slices `(T, VBE, IC)`.
+///
+/// Same model and exact analytic Jacobian as the curve-based fit above,
+/// but usable for *pooled* samples — e.g. several measurement attempts of
+/// the same die merged into one robust fit — without building a
+/// [`VbeCurve`], whose validation (monotone temperatures, finite
+/// readings) corrupted pools cannot satisfy. The model is deliberately
+/// total over garbage: a non-finite or non-positive temperature/current
+/// sample yields a NaN residual rather than an error, which a robust
+/// IRLS driver ([`icvbe_numerics::robust`]) zero-weights away.
+#[derive(Debug)]
+pub struct Eq13PointModel<'a> {
+    temperatures_k: &'a [f64],
+    vbe_v: &'a [f64],
+    ic_a: &'a [f64],
+    t_ref: f64,
+    ic_ref: f64,
+}
+
+impl<'a> Eq13PointModel<'a> {
+    /// A model over parallel slices of temperatures (K), `VBE` readings
+    /// (V) and collector currents (A), referenced to `(t_ref, ic_ref)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractionError::BadData`] if the slices' lengths differ or the
+    /// reference temperature/current is not finite and positive. Sample
+    /// values are *not* validated — see the type-level docs.
+    pub fn new(
+        temperatures_k: &'a [f64],
+        vbe_v: &'a [f64],
+        ic_a: &'a [f64],
+        t_ref: f64,
+        ic_ref: f64,
+    ) -> Result<Self, ExtractionError> {
+        if temperatures_k.len() != vbe_v.len() || temperatures_k.len() != ic_a.len() {
+            return Err(ExtractionError::bad_data(format!(
+                "point slices disagree: {} temperatures, {} vbe, {} ic",
+                temperatures_k.len(),
+                vbe_v.len(),
+                ic_a.len()
+            )));
+        }
+        if !(t_ref > 0.0) || !t_ref.is_finite() {
+            return Err(ExtractionError::bad_data(format!(
+                "reference temperature must be finite and positive, got {t_ref}"
+            )));
+        }
+        if !(ic_ref > 0.0) || !ic_ref.is_finite() {
+            return Err(ExtractionError::bad_data(format!(
+                "reference current must be finite and positive, got {ic_ref}"
+            )));
+        }
+        Ok(Eq13PointModel {
+            temperatures_k,
+            vbe_v,
+            ic_a,
+            t_ref,
+            ic_ref,
+        })
+    }
+}
+
+impl ResidualModel for Eq13PointModel<'_> {
+    fn residual_count(&self) -> usize {
+        self.temperatures_k.len()
+    }
+
+    fn parameter_count(&self) -> usize {
+        3 // EG, XTI, VBE(T0)
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+        let (eg, xti, vbe_ref) = (p[0], p[1], p[2]);
+        for i in 0..self.temperatures_k.len() {
+            let t = self.temperatures_k[i];
+            let ratio = t / self.t_ref;
+            let vt = BOLTZMANN_OVER_Q * t;
+            let predicted = ratio * vbe_ref + eg * (1.0 - ratio) - xti * vt * ratio.ln()
+                + vt * (self.ic_a[i] / self.ic_ref).ln();
+            out[i] = predicted - self.vbe_v[i];
+        }
+        Ok(())
+    }
+
+    fn jacobian(&self, _p: &[f64], out: &mut Matrix) -> Result<bool, NumericsError> {
+        for (i, &t) in self.temperatures_k.iter().enumerate() {
+            let ratio = t / self.t_ref;
+            let vt = BOLTZMANN_OVER_Q * t;
+            out[(i, 0)] = 1.0 - ratio;
+            out[(i, 1)] = -vt * ratio.ln();
+            out[(i, 2)] = ratio;
+        }
+        Ok(true)
+    }
+}
+
 /// Fits `(EG, XTI, VBE(T0))` by Levenberg-Marquardt, seeded from the
 /// linear fit.
 ///
@@ -192,6 +289,63 @@ mod tests {
     #[test]
     fn out_of_range_reference_rejected() {
         assert!(fit_eg_xti_vberef(&curve(), 42).is_err());
+    }
+
+    #[test]
+    fn point_model_matches_the_curve_model() {
+        let c = curve();
+        let reference = c.points()[3];
+        let ts: Vec<f64> = c.points().iter().map(|p| p.temperature.value()).collect();
+        let vs: Vec<f64> = c.points().iter().map(|p| p.vbe.value()).collect();
+        let is: Vec<f64> = c.points().iter().map(|p| p.ic.value()).collect();
+        let pooled = Eq13PointModel::new(
+            &ts,
+            &vs,
+            &is,
+            reference.temperature.value(),
+            reference.ic.value(),
+        )
+        .unwrap();
+        let curve_model = Eq13Residuals {
+            curve: &c,
+            t_ref: reference.temperature.value(),
+            ic_ref: reference.ic.value(),
+        };
+        let p = [1.10, 2.0, reference.vbe.value()];
+        let m = pooled.residual_count();
+        let mut ra = vec![0.0; m];
+        let mut rb = vec![0.0; m];
+        pooled.residuals(&p, &mut ra).unwrap();
+        curve_model.residuals(&p, &mut rb).unwrap();
+        assert_eq!(ra, rb);
+        // Fitting it recovers the truth.
+        let fit = fit_levenberg_marquardt(&pooled, &p, LmOptions::default()).unwrap();
+        assert!((fit.parameters[0] - EG_TRUE).abs() < 1e-6);
+        assert!((fit.parameters[1] - XTI_TRUE).abs() < 1e-3);
+    }
+
+    #[test]
+    fn point_model_is_total_over_garbage_samples() {
+        let ts = [250.0, f64::NAN, 350.0, -5.0];
+        let vs = [0.65, 0.60, 0.55, 0.50];
+        let is = [1e-6, 1e-6, f64::INFINITY, 1e-6];
+        let model = Eq13PointModel::new(&ts, &vs, &is, 298.15, 1e-6).unwrap();
+        let mut r = vec![0.0; 4];
+        model.residuals(&[1.12, 3.0, 0.6], &mut r).unwrap();
+        assert!(r[0].is_finite());
+        assert!(!r[1].is_finite());
+        assert!(!r[2].is_finite());
+        assert!(!r[3].is_finite());
+    }
+
+    #[test]
+    fn point_model_rejects_bad_reference_and_shapes() {
+        let ts = [250.0, 300.0];
+        let vs = [0.65, 0.60];
+        let is = [1e-6, 1e-6];
+        assert!(Eq13PointModel::new(&ts, &vs[..1], &is, 298.15, 1e-6).is_err());
+        assert!(Eq13PointModel::new(&ts, &vs, &is, f64::NAN, 1e-6).is_err());
+        assert!(Eq13PointModel::new(&ts, &vs, &is, 298.15, 0.0).is_err());
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl TestStructureBench {
             // A small ceramic package in the still air of the hermetic
             // partition: higher case-to-ambient resistance than a bench in
             // free air.
-            path: ThermalPath::new(80.0, 70.0).expect("static resistances"),
+            path: ThermalPath::still_air_dip(),
             auxiliary_power_watts: 200e-3,
             smu: VirtualSmu::hp4156_class(seed),
             sensor: Pt100Sensor::paper_bench(seed.wrapping_add(1)),

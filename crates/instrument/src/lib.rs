@@ -5,6 +5,8 @@
 //! chamber. None of that hardware exists here, so this crate simulates it:
 //!
 //! - [`noise`]: seeded Gaussian noise and ADC quantization,
+//! - [`faults`]: deterministic measurement-fault injection (noise bursts,
+//!   stuck readings, dropped points, offset drift, NaN/Inf),
 //! - [`smu`]: the source-measure unit (gain/offset error, noise floor,
 //!   finite resolution) standing in for the HP4156,
 //! - [`pt100`]: the contact temperature sensor (calibration error, contact
@@ -20,8 +22,10 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bench;
+pub mod faults;
 pub mod montecarlo;
 pub mod noise;
 pub mod pt100;

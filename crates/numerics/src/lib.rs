@@ -31,6 +31,7 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
 pub mod interp;
@@ -42,6 +43,7 @@ pub mod newton;
 pub mod poly;
 pub mod qr;
 pub mod rng;
+pub mod robust;
 pub mod roots;
 pub mod stats;
 

@@ -196,9 +196,9 @@ pub fn fit_levenberg_marquardt_with(
     model.residuals(p, &mut ws.r)?;
     let mut cost = cost_of(&ws.r);
     let mut lambda = options.initial_lambda;
-    let jac = ws.jac.as_mut().expect("sized by ensure");
-    let jtj = ws.jtj.as_mut().expect("sized by ensure");
-    let a = ws.a.as_mut().expect("sized by ensure");
+    let (Some(jac), Some(jtj), Some(a)) = (ws.jac.as_mut(), ws.jtj.as_mut(), ws.a.as_mut()) else {
+        return Err(NumericsError::invalid("lm workspace matrices not sized"));
+    };
 
     for iter in 0..options.max_iterations {
         // Analytic Jacobian when the model offers one, else forward

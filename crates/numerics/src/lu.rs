@@ -187,17 +187,13 @@ impl LuFactors {
                 "LU input contains non-finite entries",
             ));
         }
-        let reuse = matches!(&self.lu, Some(m) if m.rows() == n && m.cols() == n);
-        if reuse {
-            self.lu
-                .as_mut()
-                .expect("checked above")
-                .copy_from(a)
-                .expect("same shape");
-        } else {
-            self.lu = Some(a.clone());
-        }
-        let lu = self.lu.as_mut().expect("just set");
+        let lu = match &mut self.lu {
+            Some(m) if m.rows() == n && m.cols() == n => {
+                m.copy_from(a)?;
+                m
+            }
+            slot => slot.insert(a.clone()),
+        };
         self.perm.clear();
         self.perm.extend(0..n);
 

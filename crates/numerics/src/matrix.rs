@@ -36,10 +36,13 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        let Some(len) = rows.checked_mul(cols) else {
+            panic!("matrix size overflow: {rows} x {cols}")
+        };
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+            data: vec![0.0; len],
         }
     }
 

@@ -251,7 +251,11 @@ fn newton_damped(
     ws: &mut NewtonWorkspace,
 ) -> Result<NewtonInfo, NumericsError> {
     let n = x.len();
-    let jac = ws.jac.as_mut().expect("sized by ensure");
+    let Some(jac) = ws.jac.as_mut() else {
+        return Err(NumericsError::invalid(
+            "newton workspace jacobian not sized",
+        ));
+    };
     system.residual(x, &mut ws.f)?;
     let mut fnorm = inf_norm(&ws.f);
 

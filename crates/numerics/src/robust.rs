@@ -1,0 +1,499 @@
+//! Robust nonlinear least squares: Huber/Tukey IRLS around the LM core.
+//!
+//! Plain least squares is the maximum-likelihood estimator only for
+//! Gaussian noise; a single glitched sample (a noise burst, a stuck
+//! reading, an A/D spike) can drag the eq.-13 fit arbitrarily far. This
+//! module wraps [`fit_levenberg_marquardt_with`](crate::lm::fit_levenberg_marquardt_with)
+//! in iteratively reweighted least squares (IRLS): each round estimates a
+//! robust scale from the median absolute deviation (MAD) of the current
+//! residuals, converts each standardized residual into a weight through a
+//! [`RobustLoss`], and refits the weighted problem. Samples whose final
+//! weight collapses below a cutoff are flagged as outliers.
+//!
+//! Mirrors the LM module's split: every buffer — residuals, weights, the
+//! scratch used by the median, the outlier flags, and the inner
+//! [`LmWorkspace`] — lives in a caller-owned [`RobustWorkspace`], so
+//! steady-state fits allocate nothing.
+
+use crate::lm::{fit_levenberg_marquardt_with, LmOptions, LmWorkspace, ResidualModel};
+use crate::{Matrix, NumericsError};
+
+/// The robust loss shaping the IRLS weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustLoss {
+    /// Huber's loss: quadratic inside `k` standardized residuals, linear
+    /// outside. Downweights outliers but never fully rejects them.
+    Huber,
+    /// Tukey's biweight: quadratic-ish inside `c`, *zero* influence
+    /// outside. Gross outliers are rejected outright.
+    Tukey,
+}
+
+impl RobustLoss {
+    /// The conventional 95%-efficiency tuning constant for this loss.
+    #[must_use]
+    pub fn default_tuning(self) -> f64 {
+        match self {
+            RobustLoss::Huber => 1.345,
+            RobustLoss::Tukey => 4.685,
+        }
+    }
+
+    /// IRLS weight for a standardized residual `u = r / scale`.
+    #[must_use]
+    pub fn weight(self, u: f64, tuning: f64) -> f64 {
+        let a = u.abs();
+        if !a.is_finite() {
+            return 0.0;
+        }
+        match self {
+            RobustLoss::Huber => {
+                if a <= tuning {
+                    1.0
+                } else {
+                    tuning / a
+                }
+            }
+            RobustLoss::Tukey => {
+                if a < tuning {
+                    let t = u / tuning;
+                    let s = 1.0 - t * t;
+                    s * s
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Options for [`fit_robust_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustOptions {
+    /// Loss function shaping the weights.
+    pub loss: RobustLoss,
+    /// Tuning constant in units of the robust scale; `0.0` selects
+    /// [`RobustLoss::default_tuning`].
+    pub tuning: f64,
+    /// Maximum IRLS rounds (each round is one full weighted LM fit).
+    pub max_rounds: usize,
+    /// Lower bound on the MAD scale, guarding exactly-interpolated data.
+    pub scale_floor: f64,
+    /// Relative scale change below which the IRLS loop stops early.
+    pub scale_tolerance: f64,
+    /// Final weight below which a sample is flagged as an outlier.
+    pub outlier_cutoff: f64,
+    /// Options for the inner weighted LM fits.
+    pub lm: LmOptions,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions {
+            loss: RobustLoss::Huber,
+            tuning: 0.0,
+            max_rounds: 8,
+            scale_floor: 1e-12,
+            scale_tolerance: 1e-3,
+            outlier_cutoff: 0.25,
+            lm: LmOptions::default(),
+        }
+    }
+}
+
+/// Summary of a robust fit; the fitted parameters live in the caller's
+/// `p` buffer, the per-sample weights and flags in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustFit {
+    /// Final weighted cost `sum w_i r_i^2 / 2`.
+    pub cost: f64,
+    /// LM iterations accumulated across all IRLS rounds.
+    pub iterations: usize,
+    /// IRLS rounds performed.
+    pub rounds: usize,
+    /// Final robust scale estimate (`1.4826 * MAD` of the residuals).
+    pub scale: f64,
+    /// Samples whose final weight fell below the outlier cutoff.
+    pub outliers: usize,
+}
+
+/// Reusable scratch for [`fit_robust_with`]: residuals, weights, the
+/// median scratch, outlier flags, and the inner [`LmWorkspace`].
+#[derive(Debug, Clone, Default)]
+pub struct RobustWorkspace {
+    lm: LmWorkspace,
+    r: Vec<f64>,
+    w: Vec<f64>,
+    sorted: Vec<f64>,
+    outlier: Vec<bool>,
+}
+
+impl RobustWorkspace {
+    /// An empty workspace; buffers are sized lazily by the first fit.
+    #[must_use]
+    pub fn new() -> Self {
+        RobustWorkspace::default()
+    }
+
+    /// Per-sample weights from the most recent fit (empty before any).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Per-sample outlier flags from the most recent fit.
+    #[must_use]
+    pub fn outlier_flags(&self) -> &[bool] {
+        &self.outlier
+    }
+
+    /// Raw (unweighted) residuals at the fitted parameters.
+    #[must_use]
+    pub fn residuals(&self) -> &[f64] {
+        &self.r
+    }
+
+    fn ensure(&mut self, m: usize) {
+        if self.r.len() != m {
+            self.r.resize(m, 0.0);
+            self.w.resize(m, 1.0);
+            self.sorted.resize(m, 0.0);
+            self.outlier.resize(m, false);
+        }
+    }
+}
+
+/// `1.4826 * median(|r|)` over the finite residuals: a consistent
+/// estimate of the Gaussian sigma that outliers cannot corrupt. Returns
+/// `None` when no residual is finite. `scratch` is overwritten.
+fn mad_scale(r: &[f64], scratch: &mut [f64]) -> Option<f64> {
+    let mut k = 0usize;
+    for &v in r {
+        if v.is_finite() {
+            scratch[k] = v.abs();
+            k += 1;
+        }
+    }
+    if k == 0 {
+        return None;
+    }
+    let finite = &mut scratch[..k];
+    finite.sort_unstable_by(f64::total_cmp);
+    let median = if k % 2 == 1 {
+        finite[k / 2]
+    } else {
+        0.5 * (finite[k / 2 - 1] + finite[k / 2])
+    };
+    Some(1.4826 * median)
+}
+
+/// Adapter presenting the weighted problem `sqrt(w_i) r_i(p)` to LM.
+struct WeightedModel<'a, M> {
+    inner: &'a M,
+    w: &'a [f64],
+}
+
+impl<M: ResidualModel> ResidualModel for WeightedModel<'_, M> {
+    fn residual_count(&self) -> usize {
+        self.inner.residual_count()
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.inner.parameter_count()
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+        self.inner.residuals(p, out)?;
+        for (r, &w) in out.iter_mut().zip(self.w) {
+            // A zero weight must silence the sample exactly, even when
+            // the raw residual is NaN/Inf (0 * NaN would stay NaN and
+            // poison the cost).
+            *r = if w == 0.0 { 0.0 } else { *r * w.sqrt() };
+        }
+        Ok(())
+    }
+
+    fn jacobian(&self, p: &[f64], out: &mut Matrix) -> Result<bool, NumericsError> {
+        if !self.inner.jacobian(p, out)? {
+            // Forward differences over the *weighted* residuals pick up
+            // the scaling automatically.
+            return Ok(false);
+        }
+        let n = self.parameter_count();
+        for (i, &w) in self.w.iter().enumerate() {
+            let s = w.sqrt();
+            for j in 0..n {
+                out[(i, j)] = if w == 0.0 { 0.0 } else { out[(i, j)] * s };
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Robust IRLS fit of `model` starting from `p` (in/out, like
+/// [`fit_levenberg_marquardt_with`](crate::lm::fit_levenberg_marquardt_with)).
+///
+/// Each round: evaluate raw residuals, estimate the MAD scale, derive
+/// per-sample weights through `options.loss`, and run one weighted LM
+/// fit. Stops when the scale stabilizes or the round budget is spent,
+/// then flags samples whose final weight is below
+/// `options.outlier_cutoff`. After the first call has sized the
+/// workspace, fits of the same shape allocate nothing.
+///
+/// # Errors
+///
+/// - Propagates model evaluation failures.
+/// - Inner LM failures (singular weighted normal equations — e.g. the
+///   loss rejected so many samples the parameters are undetermined, or
+///   an exhausted iteration budget) are returned as-is.
+pub fn fit_robust_with(
+    model: &impl ResidualModel,
+    p: &mut [f64],
+    options: &RobustOptions,
+    ws: &mut RobustWorkspace,
+) -> Result<RobustFit, NumericsError> {
+    let m = model.residual_count();
+    if m == 0 {
+        return Err(NumericsError::invalid(
+            "robust fit needs at least one residual",
+        ));
+    }
+    let tuning = if options.tuning > 0.0 {
+        options.tuning
+    } else {
+        options.loss.default_tuning()
+    };
+    ws.ensure(m);
+
+    let mut cost = 0.0;
+    let mut iterations = 0usize;
+    let mut rounds = 0usize;
+    let mut scale = options.scale_floor.max(1e-300);
+    let mut prev_scale = f64::INFINITY;
+
+    for round in 0..options.max_rounds.max(1) {
+        model.residuals(p, &mut ws.r)?;
+        let Some(mad) = mad_scale(&ws.r, &mut ws.sorted) else {
+            return Err(NumericsError::invalid(
+                "robust fit: every residual is non-finite",
+            ));
+        };
+        scale = mad.max(options.scale_floor);
+        rounds = round + 1;
+        for (w, &r) in ws.w.iter_mut().zip(&ws.r) {
+            *w = options.loss.weight(r / scale, tuning);
+        }
+        let weighted = WeightedModel {
+            inner: model,
+            w: &ws.w,
+        };
+        let (c, it) = fit_levenberg_marquardt_with(&weighted, p, options.lm, &mut ws.lm)?;
+        cost = c;
+        iterations += it;
+        if (scale - prev_scale).abs() <= options.scale_tolerance * scale {
+            break;
+        }
+        prev_scale = scale;
+    }
+
+    // Final pass: residuals, weights, and outlier flags at the fitted
+    // parameters, so the workspace accessors describe the returned fit.
+    model.residuals(p, &mut ws.r)?;
+    if let Some(mad) = mad_scale(&ws.r, &mut ws.sorted) {
+        scale = mad.max(options.scale_floor);
+    }
+    let mut outliers = 0usize;
+    for i in 0..m {
+        ws.w[i] = options.loss.weight(ws.r[i] / scale, tuning);
+        ws.outlier[i] = ws.w[i] < options.outlier_cutoff;
+        outliers += usize::from(ws.outlier[i]);
+    }
+
+    Ok(RobustFit {
+        cost,
+        iterations,
+        rounds,
+        scale,
+        outliers,
+    })
+}
+
+/// Allocating convenience wrapper around [`fit_robust_with`]: returns the
+/// fitted parameters alongside the fit summary.
+///
+/// # Errors
+///
+/// Same contract as [`fit_robust_with`].
+pub fn fit_robust(
+    model: &impl ResidualModel,
+    p0: &[f64],
+    options: &RobustOptions,
+) -> Result<(Vec<f64>, RobustFit), NumericsError> {
+    let mut ws = RobustWorkspace::new();
+    let mut p = p0.to_vec();
+    let fit = fit_robust_with(model, &mut p, options, &mut ws)?;
+    Ok((p, fit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `y = a + b x` over fixed abscissae with injectable outliers.
+    struct Line {
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    }
+
+    impl ResidualModel for Line {
+        fn residual_count(&self) -> usize {
+            self.xs.len()
+        }
+
+        fn parameter_count(&self) -> usize {
+            2
+        }
+
+        fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            for i in 0..self.xs.len() {
+                out[i] = p[0] + p[1] * self.xs[i] - self.ys[i];
+            }
+            Ok(())
+        }
+
+        fn jacobian(&self, _p: &[f64], out: &mut Matrix) -> Result<bool, NumericsError> {
+            for i in 0..self.xs.len() {
+                out[(i, 0)] = 1.0;
+                out[(i, 1)] = self.xs[i];
+            }
+            Ok(true)
+        }
+    }
+
+    fn corrupted_line() -> Line {
+        // y = 2 + 0.5 x with small alternating noise, plus two gross
+        // outliers at indices 3 and 9.
+        let xs: Vec<f64> = (0..12).map(f64::from).collect();
+        let mut ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 + 0.5 * x + if i % 2 == 0 { 1e-3 } else { -1e-3 })
+            .collect();
+        ys[3] += 10.0;
+        ys[9] -= 7.0;
+        Line { xs, ys }
+    }
+
+    #[test]
+    fn huber_recovers_line_under_gross_outliers() {
+        let model = corrupted_line();
+        let (p, fit) = fit_robust(&model, &[0.0, 0.0], &RobustOptions::default()).unwrap();
+        assert!((p[0] - 2.0).abs() < 0.05, "a = {}", p[0]);
+        assert!((p[1] - 0.5).abs() < 0.01, "b = {}", p[1]);
+        assert_eq!(fit.outliers, 2);
+    }
+
+    #[test]
+    fn tukey_rejects_outliers_completely() {
+        let model = corrupted_line();
+        let options = RobustOptions {
+            loss: RobustLoss::Tukey,
+            ..RobustOptions::default()
+        };
+        let mut ws = RobustWorkspace::new();
+        let mut p = [0.0, 0.0];
+        let fit = fit_robust_with(&model, &mut p, &options, &mut ws).unwrap();
+        assert!((p[0] - 2.0).abs() < 0.01, "a = {}", p[0]);
+        assert!((p[1] - 0.5).abs() < 0.005, "b = {}", p[1]);
+        assert_eq!(fit.outliers, 2);
+        assert!(ws.outlier_flags()[3] && ws.outlier_flags()[9]);
+        assert_eq!(ws.weights()[3], 0.0);
+        assert_eq!(ws.weights()[9], 0.0);
+    }
+
+    #[test]
+    fn plain_lm_is_dragged_where_robust_is_not() {
+        let model = corrupted_line();
+        let lsq =
+            crate::lm::fit_levenberg_marquardt(&model, &[0.0, 0.0], LmOptions::default()).unwrap();
+        // The two gross outliers pull the ordinary fit visibly off.
+        assert!((lsq.parameters[0] - 2.0).abs() > 0.1);
+        let (p, _) = fit_robust(&model, &[0.0, 0.0], &RobustOptions::default()).unwrap();
+        assert!((p[0] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn clean_data_has_no_outliers_and_matches_plain_lm() {
+        let xs: Vec<f64> = (0..8).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 1.0 - 0.25 * x).collect();
+        let model = Line { xs, ys };
+        let mut ws = RobustWorkspace::new();
+        let mut p = [0.0, 0.0];
+        let fit = fit_robust_with(&model, &mut p, &RobustOptions::default(), &mut ws).unwrap();
+        assert_eq!(fit.outliers, 0);
+        assert!(ws.outlier_flags().iter().all(|&o| !o));
+        assert!((p[0] - 1.0).abs() < 1e-8);
+        assert!((p[1] + 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_reproducible() {
+        let model = corrupted_line();
+        let options = RobustOptions::default();
+        let mut ws = RobustWorkspace::new();
+        let mut p1 = [0.0, 0.0];
+        let f1 = fit_robust_with(&model, &mut p1, &options, &mut ws).unwrap();
+        let mut p2 = [0.0, 0.0];
+        let f2 = fit_robust_with(&model, &mut p2, &options, &mut ws).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn empty_model_is_rejected() {
+        let model = Line {
+            xs: vec![],
+            ys: vec![],
+        };
+        assert!(fit_robust(&model, &[0.0, 0.0], &RobustOptions::default()).is_err());
+    }
+
+    #[test]
+    fn non_finite_minority_is_zero_weighted_and_ignored() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        ys[4] = f64::NAN;
+        ys[7] = f64::INFINITY;
+        let model = Line { xs, ys };
+        let mut ws = RobustWorkspace::new();
+        let mut p = [0.0, 0.0];
+        let fit = fit_robust_with(&model, &mut p, &RobustOptions::default(), &mut ws).unwrap();
+        assert!((p[0] - 3.0).abs() < 1e-6, "a = {}", p[0]);
+        assert!((p[1] - 2.0).abs() < 1e-6, "b = {}", p[1]);
+        assert_eq!(fit.outliers, 2);
+        assert_eq!(ws.weights()[4], 0.0);
+        assert_eq!(ws.weights()[7], 0.0);
+    }
+
+    #[test]
+    fn non_finite_majority_fits_through_the_finite_remainder() {
+        // 4 of 6 samples are garbage; the two clean points still pin the
+        // line exactly (2 points, 2 parameters).
+        let xs: Vec<f64> = (0..6).map(f64::from).collect();
+        let ys = vec![f64::NAN, f64::INFINITY, f64::NAN, f64::NAN, 1.0, 2.0];
+        let model = Line { xs, ys };
+        let (p, fit) = fit_robust(&model, &[0.0, 0.0], &RobustOptions::default()).unwrap();
+        assert_eq!(fit.outliers, 4);
+        // Line through (4, 1) and (5, 2): y = -3 + x.
+        assert!((p[0] + 3.0).abs() < 1e-6, "a = {}", p[0]);
+        assert!((p[1] - 1.0).abs() < 1e-6, "b = {}", p[1]);
+    }
+
+    #[test]
+    fn all_non_finite_is_rejected_not_panicking() {
+        let xs: Vec<f64> = (0..4).map(f64::from).collect();
+        let ys = vec![f64::NAN; 4];
+        let model = Line { xs, ys };
+        assert!(fit_robust(&model, &[0.0, 0.0], &RobustOptions::default()).is_err());
+    }
+}

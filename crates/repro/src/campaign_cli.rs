@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
+//!                [--faults SPEC] [--retries N] [--no-robust]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -11,16 +12,25 @@
 //! `--threads` value (see `icvbe-campaign`'s determinism guarantee), and
 //! also with `--cold`, which disables solver warm starting — useful to
 //! measure the warm-start speedup while verifying it changes nothing.
+//!
+//! `--faults SPEC` corrupts every die's measurement deterministically:
+//! `light`/`heavy` presets or `k=v` pairs (`noise=0.05,drop=0.01,...`, see
+//! `icvbe_instrument::faults::FaultSpec::parse`). Fault-injected runs are
+//! still bit-identical across thread counts. `--retries` bounds the
+//! per-corner re-measure budget and `--no-robust` disables the pooled
+//! robust-fit fallback (both only matter with `--faults`).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use icvbe_campaign::report::write_reports;
 use icvbe_campaign::spec::WaferMap;
+use icvbe_campaign::taxonomy::FailureKind;
 use icvbe_campaign::{run_campaign, CampaignRun, CampaignSpec};
+use icvbe_instrument::faults::FaultSpec;
 
 /// Parsed `repro campaign` arguments.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignCliArgs {
     /// Circular wafer diameter, in dies.
     pub diameter: usize,
@@ -32,6 +42,12 @@ pub struct CampaignCliArgs {
     pub out: Option<PathBuf>,
     /// Disable solver warm starting (ablation / verification mode).
     pub cold: bool,
+    /// Deterministic measurement corruption (all-zero = off).
+    pub faults: FaultSpec,
+    /// Override of the per-corner retry budget (`None` = spec default).
+    pub retries: Option<u32>,
+    /// Pooled robust-fit fallback for corrupted corners.
+    pub robust: bool,
 }
 
 impl Default for CampaignCliArgs {
@@ -42,6 +58,9 @@ impl Default for CampaignCliArgs {
             seed: 2002,
             out: None,
             cold: false,
+            faults: FaultSpec::none(),
+            retries: None,
+            robust: true,
         }
     }
 }
@@ -105,11 +124,25 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--cold" => {
                 out.cold = true;
             }
+            "--faults" => {
+                let v = value("--faults", it.next())?;
+                out.faults = FaultSpec::parse(&v).map_err(|e| e.detail)?;
+            }
+            "--retries" => {
+                let v = value("--retries", it.next())?;
+                out.retries = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --retries value {v:?}"))?,
+                );
+            }
+            "--no-robust" => {
+                out.robust = false;
+            }
             other => {
                 return Err(format!(
                     "unknown campaign argument {other:?} \
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
-                     [--out DIR] [--cold])"
+                     [--out DIR] [--cold] [--faults SPEC] [--retries N] [--no-robust])"
                 ));
             }
         }
@@ -155,6 +188,42 @@ pub fn render(run: &CampaignRun) -> String {
             c.straight.intercept(),
         );
     }
+    if !spec.faults.is_none() {
+        let by_kind = |counts: &dyn Fn(&icvbe_campaign::aggregate::CornerAggregate) -> [u64; 5]| {
+            let mut total = [0u64; 5];
+            for c in &run.aggregate.corners {
+                for (t, n) in total.iter_mut().zip(counts(c)) {
+                    *t += n;
+                }
+            }
+            FailureKind::ALL
+                .iter()
+                .zip(total)
+                .filter(|(_, n)| *n > 0)
+                .map(|(k, n)| format!("{} {}", k.label(), n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let r = &run.metrics.recovery;
+        let _ = writeln!(
+            s,
+            "\n  faults: {} corner(s) retried, {} recovered \
+             ({} via robust fit), {} quarantined, {} retries total",
+            r.corners_retried,
+            r.corners_recovered,
+            r.robust_recoveries,
+            r.corners_quarantined,
+            run.aggregate.corners.iter().map(|c| c.retries).sum::<u64>(),
+        );
+        let recovered = by_kind(&|c| c.recovered);
+        if !recovered.is_empty() {
+            let _ = writeln!(s, "    recovered from: {recovered}");
+        }
+        let quarantined = by_kind(&|c| c.failures);
+        if !quarantined.is_empty() {
+            let _ = writeln!(s, "    quarantined as: {quarantined}");
+        }
+    }
     let solver = &run.metrics.solver;
     let _ = writeln!(
         s,
@@ -193,6 +262,11 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     let cli = parse_args(args)?;
     let mut spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
     spec.warm_start = !cli.cold;
+    spec.faults = cli.faults;
+    spec.robust = cli.robust;
+    if let Some(budget) = cli.retries {
+        spec.retry_budget = budget;
+    }
     let run = run_campaign(&spec, cli.threads).map_err(|e| e.to_string())?;
     let mut text = render(&run);
     if let Some(dir) = &cli.out {
@@ -235,6 +309,38 @@ mod tests {
         assert!(parse_args(&sv(&["--threads"])).is_err());
         assert!(parse_args(&sv(&["--threads", "zero"])).is_err());
         assert!(parse_args(&sv(&["--dies", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let a = parse_args(&sv(&["--faults", "heavy", "--retries", "5", "--no-robust"])).unwrap();
+        assert_eq!(a.faults, FaultSpec::heavy());
+        assert_eq!(a.retries, Some(5));
+        assert!(!a.robust);
+        let b = parse_args(&sv(&["--faults", "noise=0.2,drop=0.05"])).unwrap();
+        assert_eq!(b.faults.noise_probability, 0.2);
+        assert_eq!(b.faults.drop_probability, 0.05);
+        assert!(parse_args(&sv(&["--faults", "nonsense=1"])).is_err());
+        assert!(parse_args(&sv(&["--retries", "many"])).is_err());
+    }
+
+    #[test]
+    fn faulted_run_renders_recovery_summary() {
+        let text = run_cli(&sv(&[
+            "--diameter",
+            "4",
+            "--threads",
+            "2",
+            "--seed",
+            "13",
+            "--faults",
+            "heavy",
+        ]))
+        .unwrap();
+        assert!(text.contains("faults:"), "summary:\n{text}");
+        assert!(text.contains("retried"), "summary:\n{text}");
+        let clean = run_cli(&sv(&["--diameter", "4", "--threads", "2", "--seed", "13"])).unwrap();
+        assert!(!clean.contains("faults:"), "summary:\n{clean}");
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::fmt;
 
 use icvbe_numerics::NumericsError;
 
+use crate::ladder::SolveFailure;
+
 /// Error produced while building or simulating a circuit.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -29,6 +31,9 @@ pub enum SpiceError {
         /// Residual at the last iterate.
         residual: f64,
     },
+    /// Every rung of the DC escalation ladder failed; carries the full
+    /// per-strategy trace (see [`crate::ladder`]).
+    LadderExhausted(SolveFailure),
     /// An underlying numerical kernel failed.
     Numerics(NumericsError),
 }
@@ -63,6 +68,7 @@ impl fmt::Display for SpiceError {
                 f,
                 "dc solve did not converge ({strategy}, residual {residual:e})"
             ),
+            SpiceError::LadderExhausted(failure) => write!(f, "dc solve failed: {failure}"),
             SpiceError::Numerics(e) => write!(f, "numerical failure: {e}"),
         }
     }

@@ -1,0 +1,154 @@
+//! The DC escalation ladder: a typed description of the continuation
+//! strategies [`crate::workspace::solve_dc_with`] climbs through, and the
+//! structured [`SolveFailure`] produced when every rung is exhausted.
+//!
+//! Historically the driver ran an anonymous 3-strategy chain and reported
+//! failure as one opaque string. The ladder makes each rung a named
+//! [`SolveStrategy`], records a [`RungAttempt`] per failed rung, and hands
+//! the whole trace to the caller — so a campaign can count *which* rung
+//! rescued a die, and a quarantine report can say exactly how a solve
+//! died. Success-path behavior is unchanged: the trace is only
+//! materialized on the failure path, keeping the hot path allocation-free.
+
+use std::fmt;
+
+/// One rung of the DC escalation ladder, in the order it is attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SolveStrategy {
+    /// Direct damped Newton from a caller-provided seed.
+    WarmStart,
+    /// Direct damped Newton from the all-zeros operating point.
+    ColdStart,
+    /// Gmin continuation: a ladder of shrinking shunt conductances, each
+    /// solve seeded from the previous one.
+    GminStepping,
+    /// Source stepping at a relaxed gmin, then gmin relaxation back to
+    /// the floor.
+    SourceStepping,
+}
+
+impl SolveStrategy {
+    /// Every rung in escalation order (cheapest first).
+    pub const ALL: [SolveStrategy; 4] = [
+        SolveStrategy::WarmStart,
+        SolveStrategy::ColdStart,
+        SolveStrategy::GminStepping,
+        SolveStrategy::SourceStepping,
+    ];
+
+    /// Stable machine-readable label, used in traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SolveStrategy::WarmStart => "warm_start",
+            SolveStrategy::ColdStart => "cold_start",
+            SolveStrategy::GminStepping => "gmin_stepping",
+            SolveStrategy::SourceStepping => "source_stepping",
+        }
+    }
+
+    /// Position in the ladder (0 = cheapest).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SolveStrategy::WarmStart => 0,
+            SolveStrategy::ColdStart => 1,
+            SolveStrategy::GminStepping => 2,
+            SolveStrategy::SourceStepping => 3,
+        }
+    }
+}
+
+impl fmt::Display for SolveStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One failed rung, recorded in the [`SolveFailure`] trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungAttempt {
+    /// The strategy that was attempted.
+    pub strategy: SolveStrategy,
+    /// Newton iterations accumulated *before* this rung gave up.
+    pub iterations_before: usize,
+    /// Why the rung failed, as reported by the inner solver.
+    pub detail: String,
+}
+
+/// Structured failure after every applicable rung of the escalation
+/// ladder has been exhausted; carries the full per-strategy trace.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveFailure {
+    /// Every rung attempted, in order, with its failure detail.
+    pub trace: Vec<RungAttempt>,
+}
+
+impl SolveFailure {
+    /// An empty trace (no rungs attempted yet).
+    #[must_use]
+    pub fn new() -> Self {
+        SolveFailure::default()
+    }
+
+    /// The last strategy attempted, if any rung ran at all.
+    #[must_use]
+    pub fn last_strategy(&self) -> Option<SolveStrategy> {
+        self.trace.last().map(|a| a.strategy)
+    }
+
+    pub(crate) fn record(
+        &mut self,
+        strategy: SolveStrategy,
+        iterations_before: usize,
+        detail: impl Into<String>,
+    ) {
+        self.trace.push(RungAttempt {
+            strategy,
+            iterations_before,
+            detail: detail.into(),
+        });
+    }
+}
+
+impl fmt::Display for SolveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "escalation ladder exhausted after {} rung(s)",
+            self.trace.len()
+        )?;
+        for (i, a) in self.trace.iter().enumerate() {
+            let sep = if i == 0 { ": " } else { "; " };
+            write!(f, "{sep}{}: {}", a.strategy, a.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_are_ordered_and_labelled() {
+        for (i, s) in SolveStrategy::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(SolveStrategy::GminStepping.label(), "gmin_stepping");
+        assert_eq!(SolveStrategy::WarmStart.to_string(), "warm_start");
+    }
+
+    #[test]
+    fn failure_records_trace_in_order() {
+        let mut fail = SolveFailure::new();
+        assert!(fail.last_strategy().is_none());
+        fail.record(SolveStrategy::ColdStart, 0, "diverged");
+        fail.record(SolveStrategy::GminStepping, 12, "stalled at gmin 1e-6");
+        assert_eq!(fail.last_strategy(), Some(SolveStrategy::GminStepping));
+        let text = fail.to_string();
+        assert!(text.contains("2 rung(s)"), "{text}");
+        assert!(text.contains("cold_start: diverged"), "{text}");
+        assert!(text.contains("gmin_stepping: stalled"), "{text}");
+    }
+}

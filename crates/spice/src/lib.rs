@@ -15,6 +15,8 @@
 //! - [`system`]: MNA assembly into a nonlinear system, with a shareable
 //!   [`system::CircuitAssembly`] caching the unknown layout,
 //! - [`solver`]: Newton with gmin and source stepping,
+//! - [`ladder`]: the typed DC escalation ladder (strategy enumeration,
+//!   per-rung failure trace),
 //! - [`workspace`]: reusable solve buffers + statistics
 //!   ([`workspace::SolveWorkspace`], [`workspace::solve_dc_with`]) so
 //!   repeated solves allocate nothing,
@@ -46,11 +48,13 @@
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bjt;
 pub mod element;
 mod error;
 pub mod export;
+pub mod ladder;
 pub mod limexp;
 pub mod netlist;
 pub mod param;

@@ -97,7 +97,8 @@ impl OperatingPoint {
 /// # Errors
 ///
 /// - Propagates [`Circuit::validate`] topology errors.
-/// - [`SpiceError::NoConvergence`] if every strategy fails.
+/// - [`SpiceError::LadderExhausted`] if every rung of the escalation
+///   ladder fails.
 pub fn solve_dc(
     circuit: &Circuit,
     temperature: Kelvin,

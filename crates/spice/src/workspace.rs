@@ -23,6 +23,7 @@
 use icvbe_numerics::newton::{solve_newton_with, NewtonWorkspace};
 use icvbe_units::Kelvin;
 
+use crate::ladder::{SolveFailure, SolveStrategy};
 use crate::netlist::Circuit;
 use crate::solver::DcOptions;
 use crate::stamp::EvalContext;
@@ -41,6 +42,11 @@ pub struct SolveStats {
     pub warm_starts: u64,
     /// Solves started from all zeros.
     pub cold_starts: u64,
+    /// Successful solves by the ladder rung that produced them, indexed
+    /// by [`SolveStrategy::index`].
+    pub ladder_success: [u64; 4],
+    /// Solves that exhausted every rung of the ladder.
+    pub ladder_exhausted: u64,
 }
 
 impl SolveStats {
@@ -58,6 +64,8 @@ pub struct DcSolveInfo {
     pub iterations: usize,
     /// Whether the solve was seeded from a caller-provided vector.
     pub warm_started: bool,
+    /// The ladder rung that produced the converged solution.
+    pub strategy: SolveStrategy,
 }
 
 /// Caller-owned storage for [`solve_dc_with`]: the Newton workspace plus
@@ -96,14 +104,47 @@ impl SolveWorkspace {
     }
 }
 
+/// Books a successful solve into the stats and builds its info.
+fn rung_succeeded(
+    ws: &mut SolveWorkspace,
+    strategy: SolveStrategy,
+    iterations: usize,
+    warm: bool,
+) -> DcSolveInfo {
+    ws.stats.newton_iterations += iterations as u64;
+    ws.stats.ladder_success[strategy.index()] += 1;
+    DcSolveInfo {
+        iterations,
+        warm_started: warm,
+        strategy,
+    }
+}
+
+/// Books an exhausted ladder into the stats and wraps the trace.
+fn ladder_exhausted(
+    ws: &mut SolveWorkspace,
+    iterations: usize,
+    failure: SolveFailure,
+) -> SpiceError {
+    ws.stats.newton_iterations += iterations as u64;
+    ws.stats.ladder_exhausted += 1;
+    SpiceError::LadderExhausted(failure)
+}
+
 /// [`crate::solver::solve_dc`] with caller-owned invariants and scratch.
 ///
-/// Same strategy chain — direct Newton, gmin-continuation ladder, source
-/// stepping plus gmin relaxation — with identical arithmetic, but: the
-/// circuit is *not* re-validated (build the [`CircuitAssembly`] through
+/// Runs the explicit escalation ladder ([`SolveStrategy`]): warm start
+/// (when a seed is provided) → cold start → gmin stepping → source
+/// stepping plus gmin relaxation. For the historical entry points the
+/// arithmetic is unchanged — an unseeded solve starts at the cold rung
+/// exactly as the old "strategy 1" did — the ladder only *adds* a cold
+/// retry between a failed warm start and gmin stepping. The circuit is
+/// *not* re-validated (build the [`CircuitAssembly`] through
 /// [`CircuitAssembly::new`] to validate once), nothing is allocated in
 /// steady state, and the solution is left in `ws` rather than moved into
-/// an owned return value. Statistics accumulate in `ws.stats`.
+/// an owned return value. Statistics accumulate in `ws.stats`, including
+/// per-rung success counters; the failure trace is only materialized on
+/// the failure path, so the hot path stays allocation-free.
 ///
 /// `assembly` must describe `circuit`; pairing an assembly with a
 /// different circuit of another shape is caught by the dimension checks,
@@ -111,7 +152,8 @@ impl SolveWorkspace {
 ///
 /// # Errors
 ///
-/// [`SpiceError::NoConvergence`] if every strategy fails.
+/// [`SpiceError::LadderExhausted`] if every rung fails, carrying one
+/// [`crate::ladder::RungAttempt`] per failed rung.
 pub fn solve_dc_with(
     circuit: &Circuit,
     assembly: &CircuitAssembly,
@@ -141,19 +183,44 @@ pub fn solve_dc_with(
     }
 
     let mut iterations = 0usize;
+    let mut failure = SolveFailure::new();
 
-    // Strategy 1: direct Newton.
-    ws.x.copy_from_slice(&ws.x0);
-    if let Ok(info) = solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
-        iterations += info.iterations;
-        ws.stats.newton_iterations += iterations as u64;
-        return Ok(DcSolveInfo {
-            iterations,
-            warm_started: warm,
-        });
+    // Rung 1 — warm start: direct Newton from the caller's seed.
+    if warm {
+        ws.x.copy_from_slice(&ws.x0);
+        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            Ok(info) => {
+                iterations += info.iterations;
+                return Ok(rung_succeeded(
+                    ws,
+                    SolveStrategy::WarmStart,
+                    iterations,
+                    warm,
+                ));
+            }
+            Err(e) => failure.record(SolveStrategy::WarmStart, iterations, e.to_string()),
+        }
     }
 
-    // Strategy 2: gmin stepping.
+    // Rung 2 — cold start: direct Newton from all zeros. When no seed was
+    // provided `x0` is already zeros, so this reproduces the historical
+    // "strategy 1" arithmetic exactly.
+    ws.x.fill(0.0);
+    match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        Ok(info) => {
+            iterations += info.iterations;
+            return Ok(rung_succeeded(
+                ws,
+                SolveStrategy::ColdStart,
+                iterations,
+                warm,
+            ));
+        }
+        Err(e) => failure.record(SolveStrategy::ColdStart, iterations, e.to_string()),
+    }
+
+    // Rung 3 — gmin stepping, seeded from the caller's start point as the
+    // historical chain did.
     ws.x.copy_from_slice(&ws.x0);
     let mut ladder_ok = true;
     let mut gmin = options.gmin_start;
@@ -165,7 +232,12 @@ pub fn solve_dc_with(
         });
         match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
             Ok(info) => iterations += info.iterations,
-            Err(_) => {
+            Err(e) => {
+                failure.record(
+                    SolveStrategy::GminStepping,
+                    iterations,
+                    format!("stalled at gmin {gmin:e}: {e}"),
+                );
                 ladder_ok = false;
                 break;
             }
@@ -181,17 +253,25 @@ pub fn solve_dc_with(
             gmin: options.gmin_floor,
             source_scale: 1.0,
         });
-        if let Ok(info) = solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
-            iterations += info.iterations;
-            ws.stats.newton_iterations += iterations as u64;
-            return Ok(DcSolveInfo {
+        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+            Ok(info) => {
+                iterations += info.iterations;
+                return Ok(rung_succeeded(
+                    ws,
+                    SolveStrategy::GminStepping,
+                    iterations,
+                    warm,
+                ));
+            }
+            Err(e) => failure.record(
+                SolveStrategy::GminStepping,
                 iterations,
-                warm_started: warm,
-            });
+                format!("final solve at the gmin floor: {e}"),
+            ),
         }
     }
 
-    // Strategy 3: source stepping at a mid gmin, then relax gmin.
+    // Rung 4 — source stepping at a mid gmin, then relax gmin.
     ws.x.copy_from_slice(&ws.x0);
     let steps = options.source_steps.max(2);
     for s in 1..=steps {
@@ -204,10 +284,12 @@ pub fn solve_dc_with(
         match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
             Ok(info) => iterations += info.iterations,
             Err(e) => {
-                return Err(SpiceError::NoConvergence {
-                    strategy: format!("source stepping at scale {scale:.2}: {e}"),
-                    residual: f64::NAN,
-                });
+                failure.record(
+                    SolveStrategy::SourceStepping,
+                    iterations,
+                    format!("source stepping at scale {scale:.2}: {e}"),
+                );
+                return Err(ladder_exhausted(ws, iterations, failure));
             }
         }
     }
@@ -221,10 +303,12 @@ pub fn solve_dc_with(
         match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
             Ok(info) => iterations += info.iterations,
             Err(e) => {
-                return Err(SpiceError::NoConvergence {
-                    strategy: format!("gmin relaxation after source stepping: {e}"),
-                    residual: f64::NAN,
-                });
+                failure.record(
+                    SolveStrategy::SourceStepping,
+                    iterations,
+                    format!("gmin relaxation after source stepping: {e}"),
+                );
+                return Err(ladder_exhausted(ws, iterations, failure));
             }
         }
         if gmin <= options.gmin_floor {
@@ -232,11 +316,12 @@ pub fn solve_dc_with(
         }
         gmin = (gmin / 10.0).max(options.gmin_floor);
     }
-    ws.stats.newton_iterations += iterations as u64;
-    Ok(DcSolveInfo {
+    Ok(rung_succeeded(
+        ws,
+        SolveStrategy::SourceStepping,
         iterations,
-        warm_started: warm,
-    })
+        warm,
+    ))
 }
 
 #[cfg(test)]
@@ -325,10 +410,72 @@ mod tests {
             newton_iterations: 17,
             warm_starts: 1,
             cold_starts: 2,
+            ladder_success: [1, 2, 0, 0],
+            ladder_exhausted: 0,
         };
         let taken = stats.take();
         assert_eq!(taken.solves, 3);
+        assert_eq!(taken.ladder_success[1], 2);
         assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn ladder_rung_is_reported_and_counted() {
+        let c = ptat_cell();
+        let t = Kelvin::new(298.15);
+        let opts = DcOptions::default();
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut ws = SolveWorkspace::new();
+        let cold = solve_dc_with(&c, &assembly, t, &opts, None, &mut ws).unwrap();
+        assert_eq!(cold.strategy, SolveStrategy::ColdStart);
+        let seed: Vec<f64> = ws.solution().to_vec();
+        let warm = solve_dc_with(&c, &assembly, t, &opts, Some(&seed), &mut ws).unwrap();
+        assert_eq!(warm.strategy, SolveStrategy::WarmStart);
+        assert_eq!(ws.stats.ladder_success, [1, 1, 0, 0]);
+        assert_eq!(ws.stats.ladder_exhausted, 0);
+    }
+
+    #[test]
+    fn exhausted_ladder_carries_a_full_strategy_trace() {
+        // A degenerate bias far beyond anything the BJT model can sink
+        // forces every rung to fail.
+        let mut c = Circuit::new();
+        let b = c.node("vbe");
+        c.add(CurrentSource::new(
+            "Ibias",
+            Circuit::ground(),
+            b,
+            Ampere::new(1e30),
+        ));
+        c.add(
+            Bjt::new(
+                "Q1",
+                b,
+                b,
+                Circuit::ground(),
+                Polarity::Npn,
+                BjtParams::default_npn(),
+            )
+            .unwrap(),
+        );
+        let assembly = CircuitAssembly::new(&c).unwrap();
+        let mut opts = DcOptions::default();
+        opts.newton.max_iterations = 20;
+        opts.source_steps = 2;
+        let mut ws = SolveWorkspace::new();
+        let err =
+            solve_dc_with(&c, &assembly, Kelvin::new(298.15), &opts, None, &mut ws).unwrap_err();
+        match err {
+            SpiceError::LadderExhausted(failure) => {
+                let tried: Vec<SolveStrategy> = failure.trace.iter().map(|a| a.strategy).collect();
+                assert!(tried.contains(&SolveStrategy::ColdStart), "{tried:?}");
+                assert!(tried.contains(&SolveStrategy::SourceStepping), "{tried:?}");
+                // No seed was provided, so the warm rung must not appear.
+                assert!(!tried.contains(&SolveStrategy::WarmStart), "{tried:?}");
+            }
+            other => panic!("expected LadderExhausted, got {other:?}"),
+        }
+        assert_eq!(ws.stats.ladder_exhausted, 1);
     }
 
     #[test]

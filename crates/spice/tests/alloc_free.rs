@@ -138,6 +138,70 @@ fn steady_state_solves_do_not_allocate() {
     );
 }
 
+/// A small contaminated line-fit model: enough residuals to exercise the
+/// IRLS weight loop, MAD scale estimation and the weighted LM pass.
+struct LineModel {
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl icvbe_numerics::lm::ResidualModel for LineModel {
+    fn residual_count(&self) -> usize {
+        self.x.len()
+    }
+
+    fn parameter_count(&self) -> usize {
+        2
+    }
+
+    fn residuals(&self, p: &[f64], out: &mut [f64]) -> Result<(), icvbe_numerics::NumericsError> {
+        for ((o, &x), &y) in out.iter_mut().zip(&self.x).zip(&self.y) {
+            *o = p[0] + p[1] * x - y;
+        }
+        Ok(())
+    }
+}
+
+#[test]
+fn steady_state_robust_fits_do_not_allocate() {
+    use icvbe_numerics::robust::{fit_robust_with, RobustOptions, RobustWorkspace};
+
+    // y = 2 + 3x with two gross outliers the Huber loss must down-weight.
+    let x: Vec<f64> = (0..24).map(|i| i as f64 * 0.25).collect();
+    let mut y: Vec<f64> = x.iter().map(|&x| 2.0 + 3.0 * x).collect();
+    y[5] += 40.0;
+    y[17] -= 25.0;
+    let model = LineModel { x, y };
+    let options = RobustOptions::default();
+    let mut ws = RobustWorkspace::default();
+
+    // Warm-up sizes every IRLS/LM buffer for this residual count.
+    let mut p = [0.0, 0.0];
+    fit_robust_with(&model, &mut p, &options, &mut ws).unwrap();
+
+    // Steady state: repeated robust fits from different starting points
+    // must run entirely out of the sized workspace.
+    let (allocs, reallocs, rounds) = count_allocations(|| {
+        let mut rounds = 0usize;
+        for start in [[0.0, 0.0], [5.0, -1.0], [1.9, 3.2]] {
+            let mut p = start;
+            let fit = fit_robust_with(&model, &mut p, &options, &mut ws).unwrap();
+            rounds += fit.rounds;
+            assert!((p[0] - 2.0).abs() < 0.1 && (p[1] - 3.0).abs() < 0.1);
+        }
+        rounds
+    });
+    assert!(rounds > 0, "fits must do real IRLS work");
+    assert_eq!(
+        allocs, 0,
+        "steady-state robust fits allocated {allocs} time(s)"
+    );
+    assert_eq!(
+        reallocs, 0,
+        "steady-state robust fits reallocated {reallocs} time(s)"
+    );
+}
+
 #[test]
 fn workspace_growth_happens_only_on_first_contact() {
     // The complementary claim: a *fresh* workspace does allocate on its

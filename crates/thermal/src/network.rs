@@ -54,6 +54,16 @@ impl ThermalPath {
         }
     }
 
+    /// The paper bench's package mounted in still air: 80 K/W junction to
+    /// case, 70 K/W case to ambient.
+    #[must_use]
+    pub fn still_air_dip() -> Self {
+        ThermalPath {
+            rth_jc: 80.0,
+            rth_ca: 70.0,
+        }
+    }
+
     /// A perfectly heat-sunk mount (no self-heating): both resistances 0.
     #[must_use]
     pub fn ideal() -> Self {

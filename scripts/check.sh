@@ -10,6 +10,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy panic-lint gate (no unwrap/expect in library code)"
+cargo clippy -p icvbe-units -p icvbe-devphys -p icvbe-numerics -p icvbe-core \
+  -p icvbe-thermal -p icvbe-spice -p icvbe-bandgap -p icvbe-instrument \
+  -p icvbe-campaign \
+  --lib -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
 echo "==> cargo test -q"
 cargo test --workspace -q
 
@@ -18,5 +24,13 @@ cargo bench --workspace --no-run
 
 echo "==> bench smoke: campaign_scaling threads/8 (guards + timing)"
 cargo bench -p icvbe-bench --bench campaign_scaling -- 'threads/8'
+
+echo "==> fault-injection smoke: quarantine report vs golden fixture"
+cargo build --release -p icvbe-repro
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --faults heavy --out "$smoke_dir" > /dev/null
+diff -u scripts/fixtures/quarantine_smoke.csv "$smoke_dir/campaign_quarantine.csv"
 
 echo "OK: all checks passed"
