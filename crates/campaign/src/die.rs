@@ -22,15 +22,14 @@
 //! runs and no fault stream is ever touched, so the zero-fault pipeline
 //! is bit-identical to the unfaulted one.
 
-use std::time::Instant;
-
 use icvbe_core::meijer::extract;
 use icvbe_core::nonlinear::Eq13PointModel;
 use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
 use icvbe_instrument::bench::{BenchScratch, PairCampaignPoint, TestStructureBench};
 use icvbe_instrument::faults::FaultPlan;
 use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
-use icvbe_numerics::robust::{fit_robust_with, RobustLoss, RobustOptions, RobustWorkspace};
+use icvbe_numerics::robust::{fit_robust_traced, RobustLoss, RobustOptions, RobustWorkspace};
+use icvbe_trace::{SpanKind, TraceBuf, TraceEvent};
 use icvbe_units::{Celsius, Kelvin};
 
 use crate::aggregate::YieldBin;
@@ -100,6 +99,15 @@ impl CornerOutcome {
 
 /// Wall-clock of the die's pipeline stages (observability only — never
 /// part of the deterministic aggregate).
+///
+/// # Contract
+///
+/// Every field is an **accumulator** over all entries of its stage within
+/// one die: a stage entered once per corner (measure, extract) sums
+/// across corners, never overwrites. The totals are derived from the same
+/// [`icvbe_trace::TraceBuf`] stage spans the campaign trace exports, so
+/// the coarse histograms in `campaign_metrics.json` and the span trace in
+/// `campaign_trace.json` share one timing source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DieTiming {
     /// Process-sample generation, ns.
@@ -123,6 +131,10 @@ pub struct DieOutcome {
     pub corners: Vec<CornerOutcome>,
     /// Stage wall-clocks.
     pub timing: DieTiming,
+    /// Span records of this die's pipeline (empty unless the scratch's
+    /// trace buffer was enabled). Logical fields are deterministic; the
+    /// `ts_ns`/`worker` fields are wall clock.
+    pub spans: Vec<TraceEvent>,
 }
 
 /// Per-thread scratch for the die pipeline: solver workspaces, iteration
@@ -320,6 +332,7 @@ fn robust_recovery(
     spec: &CampaignSpec,
     pool: &RecoveryPool<'_>,
     ws: &mut RobustWorkspace,
+    trace: &mut TraceBuf,
     true_cold: f64,
     true_hot: f64,
     attempts: u32,
@@ -337,7 +350,7 @@ fn robust_recovery(
         ..RobustOptions::default()
     };
     let mut p = [1.16, 3.0, vbe_guess];
-    let fit = fit_robust_with(&model, &mut p, &options, ws).ok()?;
+    let fit = fit_robust_traced(&model, &mut p, &options, ws, trace).ok()?;
     let (eg, xti) = (p[0], p[1]);
     if !eg.is_finite() || !xti.is_finite() {
         return None;
@@ -438,10 +451,19 @@ fn corner_recovery(
             );
             FaultPlan::new(spec.faults, seed).apply(&mut scratch.points);
         }
-        match attempt_extract(&scratch.points) {
+        scratch.bench.solve.trace.set_attempt(attempt as i32);
+        let attempt_span = scratch.bench.solve.trace.span(SpanKind::Attempt);
+        let result = attempt_extract(&scratch.points);
+        scratch
+            .bench
+            .solve
+            .trace
+            .span_end_with(attempt_span, u64::from(result.is_ok()), 0);
+        match result {
             Ok(v) => {
                 let bin = classify(&spec.window, v.eg_ev, v.xti);
                 if bin == YieldBin::Pass {
+                    scratch.bench.solve.trace.set_attempt(-1);
                     return CornerOutcome {
                         bin,
                         values: Some(v),
@@ -466,6 +488,7 @@ fn corner_recovery(
             pool_attempt(&scratch.points, &mut pool);
         }
     }
+    scratch.bench.solve.trace.set_attempt(-1);
 
     let mut robust_ran = false;
     if pooling {
@@ -474,6 +497,7 @@ fn corner_recovery(
             spec,
             &pool,
             &mut scratch.robust,
+            &mut scratch.bench.solve.trace,
             true_cold,
             true_hot,
             attempts,
@@ -511,7 +535,6 @@ fn run_corner(
     corner_idx: usize,
     setpoints: &[Celsius],
     scratch: &mut DieScratch,
-    timing: &mut DieTiming,
 ) -> CornerOutcome {
     let bench_seed = stream_seed(
         spec.seed,
@@ -520,7 +543,9 @@ fn run_corner(
     );
     let mut bench = make_bench(spec.bench, bench_seed);
 
-    let t_measure = Instant::now();
+    scratch.bench.solve.trace.set_corner(corner_idx as i32);
+    let corner_span = scratch.bench.solve.trace.span(SpanKind::Corner);
+    let measure = scratch.bench.solve.trace.stage(SpanKind::Measure);
     let measured = bench.run_pair_campaign_with(
         sample,
         spec.corners[corner_idx].ic,
@@ -529,16 +554,20 @@ fn run_corner(
         &mut scratch.pristine,
         spec.warm_start,
     );
-    timing.measure_ns += t_measure.elapsed().as_nanos() as u64;
+    scratch.bench.solve.trace.stage_end(measure);
     if measured.is_err() {
+        scratch.bench.solve.trace.span_end(corner_span);
+        scratch.bench.solve.trace.set_corner(-1);
         // The circuit never converged; there is nothing to corrupt or
         // retry (the bench is deterministic per corner).
         return CornerOutcome::quarantined(FailureKind::NonConvergence, 1);
     }
 
-    let t_extract = Instant::now();
+    let extract_stage = scratch.bench.solve.trace.stage(SpanKind::Extract);
     let out = corner_recovery(spec, site, corner_idx, scratch);
-    timing.extract_ns += t_extract.elapsed().as_nanos() as u64;
+    scratch.bench.solve.trace.stage_end(extract_stage);
+    scratch.bench.solve.trace.span_end(corner_span);
+    scratch.bench.solve.trace.set_corner(-1);
     out
 }
 
@@ -562,25 +591,34 @@ pub fn run_die_with(
     setpoints: &[Celsius],
     scratch: &mut DieScratch,
 ) -> DieOutcome {
-    let mut timing = DieTiming::default();
+    scratch.bench.solve.trace.begin_die(site.index as u32);
 
-    let t_sample = Instant::now();
+    let sample_stage = scratch.bench.solve.trace.stage(SpanKind::Sample);
     let process_seed = stream_seed(spec.seed, site.index as u64, Stream::Process);
     let sample = SampleFactory::seeded(process_seed)
         .with_spec(spec.variation)
         .draw(site.index + 1);
-    timing.sample_ns = t_sample.elapsed().as_nanos() as u64;
+    scratch.bench.solve.trace.stage_end(sample_stage);
 
     let corners = (0..spec.corners.len())
-        .map(|k| run_corner(spec, &sample, site, k, setpoints, scratch, &mut timing))
+        .map(|k| run_corner(spec, &sample, site, k, setpoints, scratch))
         .collect();
 
+    // One timing source of truth: the coarse DieTiming totals come from
+    // the same stage-span accumulators the trace exports, and they
+    // *accumulate* across corners by construction (see `DieTiming`).
+    let (stage_ns, spans) = scratch.bench.solve.trace.end_die();
     DieOutcome {
         index: site.index,
         row: site.row,
         col: site.col,
         corners,
-        timing,
+        timing: DieTiming {
+            sample_ns: stage_ns[0],
+            measure_ns: stage_ns[1],
+            extract_ns: stage_ns[2],
+        },
+        spans,
     }
 }
 

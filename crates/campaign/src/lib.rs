@@ -73,4 +73,4 @@ pub mod worker;
 pub use error::CampaignError;
 pub use spec::CampaignSpec;
 pub use taxonomy::FailureKind;
-pub use worker::{run_campaign, CampaignRun};
+pub use worker::{run_campaign, run_campaign_with, CampaignRun, RunOptions};

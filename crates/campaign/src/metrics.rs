@@ -22,8 +22,10 @@ const BUCKETS: usize = 64;
 
 /// A lock-free log₂ histogram of nanosecond durations.
 ///
-/// Bucket `b` counts samples in `[2^(b-1), 2^b)` ns (bucket 0 counts 0 ns
-/// exactly); recording is one `fetch_add` on the owning bucket.
+/// Bucket `b` counts samples in `(2^(b-1), 2^b]` ns (bucket 0 counts 0 and
+/// 1 ns), so an exact power of two lands in the bucket whose reported
+/// upper edge *equals* it; recording is one `fetch_add` on the owning
+/// bucket.
 #[derive(Debug)]
 pub struct LogHistogram {
     buckets: [AtomicU64; BUCKETS],
@@ -42,7 +44,10 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// Records one duration.
     pub fn record_ns(&self, ns: u64) {
-        let b = (64 - ns.leading_zeros()) as usize;
+        // ceil(log2(ns)) via `ns - 1`: 2^k must land in bucket k (upper
+        // edge 2^k), not one bucket higher — `64 - ns.leading_zeros()`
+        // reported a 2x-too-high edge at every power-of-two boundary.
+        let b = (64 - ns.saturating_sub(1).leading_zeros()) as usize;
         self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
     }
@@ -57,14 +62,18 @@ impl LogHistogram {
             .collect();
         let count: u64 = counts.iter().sum();
         let total_ns = self.total_ns.load(Ordering::Relaxed);
-        let q = |p: f64| -> u64 {
+        // Nearest-rank quantile: the p-quantile is the value at rank
+        // max(1, ceil(p * count)) in the sorted sample (1-based). The rank
+        // is computed exactly in integer arithmetic — `p * count as f64`
+        // rounds for counts above 2^53 and can land one bucket low.
+        let q = |num: u128, den: u128| -> u64 {
             if count == 0 {
                 return 0;
             }
-            let rank = (p * count as f64).ceil().max(1.0) as u64;
-            let mut seen = 0;
+            let rank = (u128::from(count) * num).div_ceil(den).max(1);
+            let mut seen: u128 = 0;
             for (b, &c) in counts.iter().enumerate() {
-                seen += c;
+                seen += u128::from(c);
                 if seen >= rank {
                     // Upper edge of the bucket: 2^b ns.
                     return 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
@@ -76,9 +85,9 @@ impl LogHistogram {
             name: name.to_string(),
             count,
             total_ns,
-            p50_ns: q(0.50),
-            p90_ns: q(0.90),
-            p99_ns: q(0.99),
+            p50_ns: q(1, 2),
+            p90_ns: q(9, 10),
+            p99_ns: q(99, 100),
         }
     }
 }
@@ -349,6 +358,102 @@ mod tests {
         assert_eq!(s.total_ns, 2048);
         assert!(s.p50_ns >= 1, "{}", s.p50_ns);
         assert!(s.p99_ns >= 1024);
+    }
+
+    #[test]
+    fn exact_powers_of_two_land_on_their_own_edge() {
+        // Regression: `64 - ns.leading_zeros()` put every exact power of
+        // two one bucket high, so the reported upper edge was 2x the true
+        // value at every 2^k boundary (record_ns(1) reported 2 ns).
+        let h = LogHistogram::default();
+        h.record_ns(1);
+        assert_eq!(h.snapshot("t").p50_ns, 1, "1 ns must report a 1 ns edge");
+        for k in [1u32, 4, 10, 20, 40, 62] {
+            let h = LogHistogram::default();
+            h.record_ns(1u64 << k);
+            let s = h.snapshot("t");
+            assert_eq!(
+                s.p50_ns,
+                1u64 << k,
+                "2^{k} must land in the bucket whose upper edge is 2^{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_edges_bound_recorded_values() {
+        // Every recorded duration must be <= the edge its bucket reports,
+        // and > half that edge (except the 0/1 ns bucket). The top bucket
+        // saturates: anything above 2^62 ns reports the 2^63 edge.
+        for ns in [0u64, 1, 2, 3, 5, 1023, 1024, 1025] {
+            let h = LogHistogram::default();
+            h.record_ns(ns);
+            let edge = h.snapshot("t").p50_ns;
+            assert!(ns <= edge, "ns {ns} above its edge {edge}");
+            if ns > 1 {
+                assert!(edge / 2 < ns, "ns {ns} below half its edge {edge}");
+            }
+        }
+        let h = LogHistogram::default();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.snapshot("t").p50_ns, 1u64 << 63);
+    }
+
+    #[test]
+    fn quantile_rank_is_nearest_rank_for_small_counts() {
+        // Nearest-rank definition, rank = max(1, ceil(p * count)), checked
+        // for count in {0, 1, 2, odd, even} with values in distinct buckets.
+        let empty = LogHistogram::default();
+        let s = empty.snapshot("t");
+        assert_eq!((s.p50_ns, s.p90_ns, s.p99_ns), (0, 0, 0));
+
+        let one = LogHistogram::default();
+        one.record_ns(8);
+        let s = one.snapshot("t");
+        assert_eq!((s.p50_ns, s.p90_ns, s.p99_ns), (8, 8, 8));
+
+        // count = 2: ceil(0.5 * 2) = 1 -> the lower value is the median.
+        let two = LogHistogram::default();
+        two.record_ns(8);
+        two.record_ns(64);
+        let s = two.snapshot("t");
+        assert_eq!(s.p50_ns, 8);
+        assert_eq!(s.p90_ns, 64);
+
+        // count = 3 (odd): ceil(1.5) = 2 -> the middle value.
+        let odd = LogHistogram::default();
+        for ns in [8, 64, 512] {
+            odd.record_ns(ns);
+        }
+        let s = odd.snapshot("t");
+        assert_eq!(s.p50_ns, 64);
+        assert_eq!(s.p99_ns, 512);
+
+        // count = 4 (even): ceil(2.0) = 2 -> the lower middle value.
+        let even = LogHistogram::default();
+        for ns in [8, 64, 512, 4096] {
+            even.record_ns(ns);
+        }
+        let s = even.snapshot("t");
+        assert_eq!(s.p50_ns, 64);
+        assert_eq!(s.p90_ns, 4096);
+    }
+
+    #[test]
+    fn quantile_rank_is_exact_for_large_counts() {
+        // The rank must be computed in integer arithmetic: with a count
+        // above 2^53 the old `(p * count as f64).ceil()` rounds the rank
+        // and can skip the true quantile bucket. Simulate with raw bucket
+        // counts (recording 2^54 samples is not practical).
+        let h = LogHistogram::default();
+        h.buckets[3].store(1u64 << 52, Ordering::Relaxed);
+        h.buckets[10].store((1u64 << 52) + 1, Ordering::Relaxed);
+        let s = h.snapshot("t");
+        // count = 2^53 + 1, so the exact median rank is
+        // ceil((2^53 + 1) / 2) = 2^52 + 1 — one past bucket 3's cumulative
+        // count, i.e. bucket 10. In f64, `count as f64` rounds 2^53 + 1
+        // down to 2^53 and the computed rank 2^52 lands in bucket 3.
+        assert_eq!(s.p50_ns, 1024);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! pool's out-of-order window rather than the die count.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
+
+use icvbe_trace::{SpanKind, SpanPhase, Trace, TraceEvent, NO_DIE};
 
 use crate::aggregate::{CampaignAggregate, YieldBin};
 use crate::die::{run_die_with, DieOutcome, DieScratch};
@@ -36,6 +38,20 @@ pub struct CampaignRun {
     pub aggregate: CampaignAggregate,
     /// Counters, throughput and stage histograms of this particular run.
     pub metrics: CampaignMetrics,
+    /// Structured span trace, present iff [`RunOptions::trace`] was set.
+    /// Logical span order is deterministic (die-index order, per-die
+    /// sequence numbers); only timestamps/worker ids vary run to run.
+    pub trace: Option<Trace>,
+}
+
+/// Knobs of [`run_campaign_with`] beyond the spec itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Capture a structured span trace of the run into
+    /// [`CampaignRun::trace`]. Off by default; when off the tracing layer
+    /// is a no-op sink — no events, no extra clock reads, no allocations
+    /// on the die hot path.
+    pub trace: bool,
 }
 
 /// Runs `spec` across `threads` worker threads.
@@ -54,6 +70,51 @@ pub struct CampaignRun {
 /// Only [`CampaignError::InvalidSpec`]: per-die failures are binned as
 /// [`YieldBin::SolveFail`], never raised.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, CampaignError> {
+    run_campaign_with(spec, threads, &RunOptions::default())
+}
+
+/// A fold-thread record: the campaign root span and the per-die
+/// queue-wait spans are emitted by the folding thread, not a worker.
+fn fold_event(
+    phase: SpanPhase,
+    kind: SpanKind,
+    die: u32,
+    seq: u32,
+    ts_ns: u64,
+    worker: u32,
+    n0: u64,
+) -> TraceEvent {
+    TraceEvent {
+        phase,
+        kind,
+        die,
+        corner: -1,
+        attempt: -1,
+        label: "",
+        seq,
+        ts_ns,
+        worker,
+        n0,
+        n1: 0,
+    }
+}
+
+/// [`run_campaign`] with explicit [`RunOptions`]. With tracing requested,
+/// every worker's span buffer shares the campaign epoch, each die's
+/// records travel back with its outcome, and the fold thread merges them
+/// in **die-index order** — bracketed by a campaign root span and
+/// interleaved with one `queue_wait` span per die recording its
+/// reorder-buffer latency — so the logical event stream is identical at
+/// any thread count.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`]: only [`CampaignError::InvalidSpec`].
+pub fn run_campaign_with(
+    spec: &CampaignSpec,
+    threads: usize,
+    options: &RunOptions,
+) -> Result<CampaignRun, CampaignError> {
     spec.validate()?;
     let sites = spec.wafer.sites();
     // Campaign-invariant work hoisted out of the per-die loop: the
@@ -62,25 +123,45 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
     let threads = threads.max(1);
     let counters = CampaignCounters::default();
     let cursor = Arc::new(AtomicUsize::new(0));
+    let tracing = options.trace;
+    let dropped = AtomicU64::new(0);
+    // The fold thread's `tid` in exported traces: one past the workers.
+    let fold_tid = threads as u32;
     let started = Instant::now();
 
     let mut aggregate = CampaignAggregate::new(spec);
     let mut max_buffer = 0usize;
+    let mut trace = tracing.then(Trace::default);
+    if let Some(t) = trace.as_mut() {
+        t.events.push(fold_event(
+            SpanPhase::Begin,
+            SpanKind::Campaign,
+            NO_DIE,
+            0,
+            0,
+            fold_tid,
+            0,
+        ));
+    }
 
     std::thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<DieOutcome>();
-        for _ in 0..threads {
+        for worker in 0..threads {
             let tx = tx.clone();
             let cursor = Arc::clone(&cursor);
             let sites = &sites;
             let setpoints = &setpoints;
             let counters = &counters;
+            let dropped = &dropped;
             scope.spawn(move || {
                 // One scratch per worker thread: solver buffers reach a
                 // steady state after the first die and are reused for
                 // every die the thread claims.
                 let mut scratch = DieScratch::new();
-                loop {
+                if tracing {
+                    scratch.bench.solve.trace.enable(started, worker as u32);
+                }
+                'claim: loop {
                     let base = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                     if base >= sites.len() {
                         break;
@@ -128,10 +209,11 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
                             );
                         }
                         if tx.send(out).is_err() {
-                            return; // receiver gone: abandon quietly
+                            break 'claim; // receiver gone: abandon quietly
                         }
                     }
                 }
+                dropped.fetch_add(scratch.bench.solve.trace.dropped(), Ordering::Relaxed);
             });
         }
         drop(tx);
@@ -139,24 +221,68 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, 
         // In-order streaming fold. The BTreeMap holds only out-of-order
         // early arrivals; with chunked claiming its size is bounded by
         // roughly threads x CHUNK, not by the wafer.
-        let mut buffer: BTreeMap<usize, DieOutcome> = BTreeMap::new();
+        let mut buffer: BTreeMap<usize, (DieOutcome, u64)> = BTreeMap::new();
         let mut next = 0usize;
         for out in rx {
-            buffer.insert(out.index, out);
+            let recv_ns = if tracing {
+                started.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            buffer.insert(out.index, (out, recv_ns));
             max_buffer = max_buffer.max(buffer.len());
-            while let Some(ready) = buffer.remove(&next) {
+            while let Some((ready, recv_ns)) = buffer.remove(&next) {
                 aggregate.absorb(&ready);
+                if let Some(t) = trace.as_mut() {
+                    // Die events in index order, then the die's
+                    // reorder-buffer wait, with sequence numbers
+                    // continuing the die's own stream.
+                    let seq = ready.spans.last().map_or(0, |e| e.seq + 1);
+                    t.events.extend_from_slice(&ready.spans);
+                    let die = ready.index as u32;
+                    t.events.push(fold_event(
+                        SpanPhase::Begin,
+                        SpanKind::QueueWait,
+                        die,
+                        seq,
+                        recv_ns,
+                        fold_tid,
+                        0,
+                    ));
+                    t.events.push(fold_event(
+                        SpanPhase::End,
+                        SpanKind::QueueWait,
+                        die,
+                        seq + 1,
+                        started.elapsed().as_nanos() as u64,
+                        fold_tid,
+                        buffer.len() as u64,
+                    ));
+                }
                 next += 1;
             }
         }
         debug_assert!(buffer.is_empty(), "dies missing from the fold");
     });
 
+    if let Some(t) = trace.as_mut() {
+        t.dropped = dropped.load(Ordering::Relaxed);
+        t.events.push(fold_event(
+            SpanPhase::End,
+            SpanKind::Campaign,
+            NO_DIE,
+            1,
+            started.elapsed().as_nanos() as u64,
+            fold_tid,
+            0,
+        ));
+    }
     let metrics = counters.snapshot(threads, started.elapsed().as_nanos() as u64, max_buffer);
     Ok(CampaignRun {
         spec: spec.clone(),
         aggregate,
         metrics,
+        trace,
     })
 }
 

@@ -242,6 +242,32 @@ pub fn solve_newton_with(
     Ok(info)
 }
 
+/// [`solve_newton_with`] bracketed by an [`icvbe_trace::SpanKind::Newton`]
+/// span on `trace`; the end record carries the damped and polish iteration
+/// counts as its payload. With a disabled buffer this is a plain
+/// delegation — no clock read, no record.
+///
+/// # Errors
+///
+/// Same contract as [`solve_newton_with`].
+pub fn solve_newton_traced(
+    system: &impl NonlinearSystem,
+    x: &mut [f64],
+    options: NewtonOptions,
+    ws: &mut NewtonWorkspace,
+    trace: &mut icvbe_trace::TraceBuf,
+) -> Result<NewtonInfo, NumericsError> {
+    let span = trace.span(icvbe_trace::SpanKind::Newton);
+    let result = solve_newton_with(system, x, options, ws);
+    match &result {
+        Ok(info) => {
+            trace.span_end_with(span, info.iterations as u64, info.polish_iterations as u64)
+        }
+        Err(_) => trace.span_end(span),
+    }
+    result
+}
+
 /// The damped phase: bitwise identical to the historical `solve_newton`
 /// algorithm, with every temporary drawn from the workspace.
 fn newton_damped(

@@ -318,6 +318,30 @@ pub fn fit_robust_with(
     })
 }
 
+/// [`fit_robust_with`] bracketed by an
+/// [`icvbe_trace::SpanKind::RobustFit`] span on `trace`; the end record
+/// carries the IRLS round and outlier counts as its payload. With a
+/// disabled buffer this is a plain delegation — no clock read, no record.
+///
+/// # Errors
+///
+/// Same contract as [`fit_robust_with`].
+pub fn fit_robust_traced(
+    model: &impl ResidualModel,
+    p: &mut [f64],
+    options: &RobustOptions,
+    ws: &mut RobustWorkspace,
+    trace: &mut icvbe_trace::TraceBuf,
+) -> Result<RobustFit, NumericsError> {
+    let span = trace.span(icvbe_trace::SpanKind::RobustFit);
+    let result = fit_robust_with(model, p, options, ws);
+    match &result {
+        Ok(fit) => trace.span_end_with(span, fit.rounds as u64, fit.outliers as u64),
+        Err(_) => trace.span_end(span),
+    }
+    result
+}
+
 /// Allocating convenience wrapper around [`fit_robust_with`]: returns the
 /// fitted parameters alongside the fit summary.
 ///

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
-//!                [--faults SPEC] [--retries N] [--no-robust]
+//!                [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -19,6 +19,15 @@
 //! still bit-identical across thread counts. `--retries` bounds the
 //! per-corner re-measure budget and `--no-robust` disables the pooled
 //! robust-fit fallback (both only matter with `--faults`).
+//!
+//! `--trace` captures a structured span trace of the run (off by default;
+//! when off the tracing layer costs nothing) and writes two artifacts:
+//! `campaign_trace.json`, a Chrome trace-event file loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`, and
+//! `campaign_profile.folded`, a collapsed-stack profile for flamegraph
+//! tools. They land in `--trace=DIR` if given, else next to the `--out`
+//! artifacts, else in the current directory. The summary additionally
+//! gains the slowest dies and corners ranked from the same spans.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -26,7 +35,7 @@ use std::path::PathBuf;
 use icvbe_campaign::report::write_reports;
 use icvbe_campaign::spec::WaferMap;
 use icvbe_campaign::taxonomy::FailureKind;
-use icvbe_campaign::{run_campaign, CampaignRun, CampaignSpec};
+use icvbe_campaign::{run_campaign_with, CampaignRun, CampaignSpec, RunOptions};
 use icvbe_instrument::faults::FaultSpec;
 
 /// Parsed `repro campaign` arguments.
@@ -48,6 +57,10 @@ pub struct CampaignCliArgs {
     pub retries: Option<u32>,
     /// Pooled robust-fit fallback for corrupted corners.
     pub robust: bool,
+    /// Capture a span trace and write the trace/profile artifacts.
+    pub trace: bool,
+    /// Where the trace artifacts go (`None` = `--out` dir, else cwd).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignCliArgs {
@@ -61,6 +74,8 @@ impl Default for CampaignCliArgs {
             faults: FaultSpec::none(),
             retries: None,
             robust: true,
+            trace: false,
+            trace_dir: None,
         }
     }
 }
@@ -138,11 +153,23 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--no-robust" => {
                 out.robust = false;
             }
+            "--trace" => {
+                out.trace = true;
+            }
+            other if other.starts_with("--trace=") => {
+                let dir = &other["--trace=".len()..];
+                if dir.is_empty() {
+                    return Err("--trace= needs a directory".to_string());
+                }
+                out.trace = true;
+                out.trace_dir = Some(PathBuf::from(dir));
+            }
             other => {
                 return Err(format!(
                     "unknown campaign argument {other:?} \
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
-                     [--out DIR] [--cold] [--faults SPEC] [--retries N] [--no-robust])"
+                     [--out DIR] [--cold] [--faults SPEC] [--retries N] [--no-robust] \
+                     [--trace[=DIR]])"
                 ));
             }
         }
@@ -250,7 +277,45 @@ pub fn render(run: &CampaignRun) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     );
+    if let Some(trace) = &run.trace {
+        let dies = trace
+            .slowest_dies(5)
+            .into_iter()
+            .map(|(die, ns)| format!("die {} {}", die, fmt_ns(ns)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let corners = trace
+            .slowest_corners(5)
+            .into_iter()
+            .map(|(die, corner, ns)| {
+                let name = usize::try_from(corner)
+                    .ok()
+                    .and_then(|i| run.aggregate.corners.get(i))
+                    .map_or("?", |c| c.name.as_str());
+                format!("die {die}/{name} {}", fmt_ns(ns))
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(s, "\n  slowest dies:    {dies}");
+        let _ = writeln!(s, "  slowest corners: {corners}");
+        if trace.dropped > 0 {
+            let _ = writeln!(
+                s,
+                "  trace: {} event(s) dropped (buffer full)",
+                trace.dropped
+            );
+        }
+    }
     s
+}
+
+/// `1234567` → `"1.23ms"`; sub-millisecond spans render in microseconds.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.0}us", ns as f64 / 1e3)
+    }
 }
 
 /// Runs the subcommand end to end and returns the printable summary.
@@ -267,12 +332,31 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     if let Some(budget) = cli.retries {
         spec.retry_budget = budget;
     }
-    let run = run_campaign(&spec, cli.threads).map_err(|e| e.to_string())?;
+    let options = RunOptions { trace: cli.trace };
+    let run = run_campaign_with(&spec, cli.threads, &options).map_err(|e| e.to_string())?;
     let mut text = render(&run);
     if let Some(dir) = &cli.out {
         let paths = write_reports(dir, &run).map_err(|e| format!("writing reports: {e}"))?;
         for p in paths {
             let _ = writeln!(text, "  wrote {}", p.display());
+        }
+    }
+    if let Some(trace) = &run.trace {
+        let dir = cli
+            .trace_dir
+            .clone()
+            .or_else(|| cli.out.clone())
+            .unwrap_or_else(|| PathBuf::from("."));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("creating trace dir {}: {e}", dir.display()))?;
+        for (name, contents) in [
+            ("campaign_trace.json", trace.chrome_json()),
+            ("campaign_profile.folded", trace.folded()),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            let _ = writeln!(text, "  wrote {}", path.display());
         }
     }
     Ok(text)
@@ -341,6 +425,47 @@ mod tests {
         assert!(text.contains("retried"), "summary:\n{text}");
         let clean = run_cli(&sv(&["--diameter", "4", "--threads", "2", "--seed", "13"])).unwrap();
         assert!(!clean.contains("faults:"), "summary:\n{clean}");
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let a = parse_args(&sv(&["--trace"])).unwrap();
+        assert!(a.trace);
+        assert_eq!(a.trace_dir, None);
+        let b = parse_args(&sv(&["--trace=/tmp/somewhere"])).unwrap();
+        assert!(b.trace);
+        assert_eq!(b.trace_dir, Some(PathBuf::from("/tmp/somewhere")));
+        assert!(parse_args(&sv(&["--trace="])).is_err());
+        let off = parse_args(&sv(&[])).unwrap();
+        assert!(!off.trace, "tracing must be off by default");
+    }
+
+    #[test]
+    fn traced_run_writes_artifacts_and_ranks_hotspots() {
+        let dir = std::env::temp_dir().join("icvbe_cli_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let trace_flag = format!("--trace={}", dir.display());
+        let text = run_cli(&sv(&[
+            "--diameter",
+            "3",
+            "--threads",
+            "2",
+            "--seed",
+            "11",
+            &trace_flag,
+        ]))
+        .unwrap();
+        assert!(text.contains("slowest dies:"), "summary:\n{text}");
+        assert!(text.contains("slowest corners:"), "summary:\n{text}");
+        let json = std::fs::read_to_string(dir.join("campaign_trace.json")).unwrap();
+        assert!(json.contains("\"schema\":\"icvbe-campaign-trace-v1\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        let folded = std::fs::read_to_string(dir.join("campaign_profile.folded")).unwrap();
+        assert!(folded.contains("campaign;die;corner;measure;dc_solve"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let plain = run_cli(&sv(&["--diameter", "3", "--threads", "2", "--seed", "11"])).unwrap();
+        assert!(!plain.contains("slowest dies:"), "summary:\n{plain}");
     }
 
     #[test]

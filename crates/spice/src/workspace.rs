@@ -20,7 +20,8 @@
 //! campaign metrics pipeline) can observe Newton iteration counts and
 //! warm-start hit rates without threading counters through every layer.
 
-use icvbe_numerics::newton::{solve_newton_with, NewtonWorkspace};
+use icvbe_numerics::newton::{solve_newton_traced, NewtonWorkspace};
+use icvbe_trace::{SpanKind, SpanToken, TraceBuf};
 use icvbe_units::Kelvin;
 
 use crate::ladder::{SolveFailure, SolveStrategy};
@@ -80,6 +81,10 @@ pub struct SolveWorkspace {
     x0: Vec<f64>,
     /// Counters accumulated across every solve through this workspace.
     pub stats: SolveStats,
+    /// Span capture for the solves driven through this workspace. Disabled
+    /// by default (records nothing, reads no clock on the solver path);
+    /// the campaign worker pool enables it when the run is traced.
+    pub trace: TraceBuf,
 }
 
 impl SolveWorkspace {
@@ -104,13 +109,18 @@ impl SolveWorkspace {
     }
 }
 
-/// Books a successful solve into the stats and builds its info.
+/// Books a successful solve into the stats, closes the rung and solve
+/// spans, and builds the info.
 fn rung_succeeded(
     ws: &mut SolveWorkspace,
     strategy: SolveStrategy,
     iterations: usize,
     warm: bool,
+    rung: SpanToken,
+    solve: SpanToken,
 ) -> DcSolveInfo {
+    ws.trace.span_end(rung);
+    ws.trace.span_end_with(solve, iterations as u64, 0);
     ws.stats.newton_iterations += iterations as u64;
     ws.stats.ladder_success[strategy.index()] += 1;
     DcSolveInfo {
@@ -120,12 +130,15 @@ fn rung_succeeded(
     }
 }
 
-/// Books an exhausted ladder into the stats and wraps the trace.
+/// Books an exhausted ladder into the stats, closes the solve span, and
+/// wraps the failure trace.
 fn ladder_exhausted(
     ws: &mut SolveWorkspace,
     iterations: usize,
     failure: SolveFailure,
+    solve: SpanToken,
 ) -> SpiceError {
+    ws.trace.span_end_with(solve, iterations as u64, 0);
     ws.stats.newton_iterations += iterations as u64;
     ws.stats.ladder_exhausted += 1;
     SpiceError::LadderExhausted(failure)
@@ -182,13 +195,23 @@ pub fn solve_dc_with(
         ws.stats.cold_starts += 1;
     }
 
+    let solve_span = ws.trace.span(SpanKind::DcSolve);
     let mut iterations = 0usize;
     let mut failure = SolveFailure::new();
 
     // Rung 1 — warm start: direct Newton from the caller's seed.
     if warm {
+        let rung = ws
+            .trace
+            .span_labeled(SpanKind::Rung, SolveStrategy::WarmStart.label());
         ws.x.copy_from_slice(&ws.x0);
-        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        match solve_newton_traced(
+            &system,
+            &mut ws.x,
+            options.newton,
+            &mut ws.newton,
+            &mut ws.trace,
+        ) {
             Ok(info) => {
                 iterations += info.iterations;
                 return Ok(rung_succeeded(
@@ -196,17 +219,31 @@ pub fn solve_dc_with(
                     SolveStrategy::WarmStart,
                     iterations,
                     warm,
+                    rung,
+                    solve_span,
                 ));
             }
-            Err(e) => failure.record(SolveStrategy::WarmStart, iterations, e.to_string()),
+            Err(e) => {
+                ws.trace.span_end(rung);
+                failure.record(SolveStrategy::WarmStart, iterations, e.to_string());
+            }
         }
     }
 
     // Rung 2 — cold start: direct Newton from all zeros. When no seed was
     // provided `x0` is already zeros, so this reproduces the historical
     // "strategy 1" arithmetic exactly.
+    let rung = ws
+        .trace
+        .span_labeled(SpanKind::Rung, SolveStrategy::ColdStart.label());
     ws.x.fill(0.0);
-    match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+    match solve_newton_traced(
+        &system,
+        &mut ws.x,
+        options.newton,
+        &mut ws.newton,
+        &mut ws.trace,
+    ) {
         Ok(info) => {
             iterations += info.iterations;
             return Ok(rung_succeeded(
@@ -214,13 +251,21 @@ pub fn solve_dc_with(
                 SolveStrategy::ColdStart,
                 iterations,
                 warm,
+                rung,
+                solve_span,
             ));
         }
-        Err(e) => failure.record(SolveStrategy::ColdStart, iterations, e.to_string()),
+        Err(e) => {
+            ws.trace.span_end(rung);
+            failure.record(SolveStrategy::ColdStart, iterations, e.to_string());
+        }
     }
 
     // Rung 3 — gmin stepping, seeded from the caller's start point as the
     // historical chain did.
+    let rung = ws
+        .trace
+        .span_labeled(SpanKind::Rung, SolveStrategy::GminStepping.label());
     ws.x.copy_from_slice(&ws.x0);
     let mut ladder_ok = true;
     let mut gmin = options.gmin_start;
@@ -230,7 +275,13 @@ pub fn solve_dc_with(
             gmin,
             source_scale: 1.0,
         });
-        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        match solve_newton_traced(
+            &system,
+            &mut ws.x,
+            options.newton,
+            &mut ws.newton,
+            &mut ws.trace,
+        ) {
             Ok(info) => iterations += info.iterations,
             Err(e) => {
                 failure.record(
@@ -253,7 +304,13 @@ pub fn solve_dc_with(
             gmin: options.gmin_floor,
             source_scale: 1.0,
         });
-        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        match solve_newton_traced(
+            &system,
+            &mut ws.x,
+            options.newton,
+            &mut ws.newton,
+            &mut ws.trace,
+        ) {
             Ok(info) => {
                 iterations += info.iterations;
                 return Ok(rung_succeeded(
@@ -261,6 +318,8 @@ pub fn solve_dc_with(
                     SolveStrategy::GminStepping,
                     iterations,
                     warm,
+                    rung,
+                    solve_span,
                 ));
             }
             Err(e) => failure.record(
@@ -270,8 +329,12 @@ pub fn solve_dc_with(
             ),
         }
     }
+    ws.trace.span_end(rung);
 
     // Rung 4 — source stepping at a mid gmin, then relax gmin.
+    let rung = ws
+        .trace
+        .span_labeled(SpanKind::Rung, SolveStrategy::SourceStepping.label());
     ws.x.copy_from_slice(&ws.x0);
     let steps = options.source_steps.max(2);
     for s in 1..=steps {
@@ -281,7 +344,13 @@ pub fn solve_dc_with(
             gmin: 1e-9,
             source_scale: scale,
         });
-        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        match solve_newton_traced(
+            &system,
+            &mut ws.x,
+            options.newton,
+            &mut ws.newton,
+            &mut ws.trace,
+        ) {
             Ok(info) => iterations += info.iterations,
             Err(e) => {
                 failure.record(
@@ -289,7 +358,8 @@ pub fn solve_dc_with(
                     iterations,
                     format!("source stepping at scale {scale:.2}: {e}"),
                 );
-                return Err(ladder_exhausted(ws, iterations, failure));
+                ws.trace.span_end(rung);
+                return Err(ladder_exhausted(ws, iterations, failure, solve_span));
             }
         }
     }
@@ -300,7 +370,13 @@ pub fn solve_dc_with(
             gmin,
             source_scale: 1.0,
         });
-        match solve_newton_with(&system, &mut ws.x, options.newton, &mut ws.newton) {
+        match solve_newton_traced(
+            &system,
+            &mut ws.x,
+            options.newton,
+            &mut ws.newton,
+            &mut ws.trace,
+        ) {
             Ok(info) => iterations += info.iterations,
             Err(e) => {
                 failure.record(
@@ -308,7 +384,8 @@ pub fn solve_dc_with(
                     iterations,
                     format!("gmin relaxation after source stepping: {e}"),
                 );
-                return Err(ladder_exhausted(ws, iterations, failure));
+                ws.trace.span_end(rung);
+                return Err(ladder_exhausted(ws, iterations, failure, solve_span));
             }
         }
         if gmin <= options.gmin_floor {
@@ -321,6 +398,8 @@ pub fn solve_dc_with(
         SolveStrategy::SourceStepping,
         iterations,
         warm,
+        rung,
+        solve_span,
     ))
 }
 

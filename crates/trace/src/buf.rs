@@ -1,0 +1,367 @@
+//! Per-worker span capture: a bounded buffer the die pipeline writes
+//! begin/end records into, plus the coarse stage accumulators that
+//! replace the old ad-hoc `DieTiming` stopwatch plumbing.
+
+use std::time::Instant;
+
+use crate::event::{SpanKind, SpanPhase, TraceEvent, NO_DIE, STAGE_COUNT};
+
+/// Default per-die event capacity. A paper-default die emits a few
+/// hundred records (≈16 corners × ~20 solver spans); 2^16 leaves two
+/// orders of magnitude of headroom for pathological retry storms while
+/// bounding worst-case memory at ~4 MiB per worker.
+pub const TRACE_EVENT_CAPACITY: usize = 1 << 16;
+
+/// Proof that a stage span was opened; hand it back to
+/// [`TraceBuf::stage_end`]. Stage tokens always carry a start instant —
+/// stage timing is the pre-existing `DieTiming` cost and is paid whether
+/// or not tracing is enabled.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a stage span must be closed with TraceBuf::stage_end"]
+pub struct StageToken {
+    kind: SpanKind,
+    start: Instant,
+}
+
+/// Proof that a fine-grained span was opened; hand it back to one of the
+/// [`TraceBuf::span_end`] family. When tracing is disabled the token is
+/// disarmed and carries no clock reading — opening and closing it is a
+/// branch and nothing else.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span must be closed with TraceBuf::span_end*"]
+pub struct SpanToken {
+    kind: SpanKind,
+    label: &'static str,
+    armed: bool,
+}
+
+/// A per-worker span buffer.
+///
+/// Lifecycle: the pool calls [`enable`](TraceBuf::enable) once per worker
+/// when tracing is requested (a default buffer is disabled and records
+/// nothing). For each die, the pipeline brackets work with
+/// [`begin_die`](TraceBuf::begin_die) / [`end_die`](TraceBuf::end_die);
+/// in between it opens coarse stage spans with
+/// [`stage`](TraceBuf::stage) (always timed — these feed the campaign's
+/// stage histograms) and fine solver spans with
+/// [`span`](TraceBuf::span) (no-ops unless enabled).
+///
+/// The buffer is bounded: beyond [`capacity`](TraceBuf::set_capacity)
+/// events per die, further records are counted in
+/// [`dropped`](TraceBuf::dropped) and discarded, so a retry storm cannot
+/// balloon memory.
+#[derive(Debug, Clone)]
+pub struct TraceBuf {
+    enabled: bool,
+    epoch: Instant,
+    worker: u32,
+    die: u32,
+    corner: i32,
+    attempt: i32,
+    seq: u32,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    stage_ns: [u64; STAGE_COUNT],
+    capacity: usize,
+}
+
+impl Default for TraceBuf {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            epoch: Instant::now(),
+            worker: 0,
+            die: NO_DIE,
+            corner: -1,
+            attempt: -1,
+            seq: 0,
+            events: Vec::new(),
+            dropped: 0,
+            stage_ns: [0; STAGE_COUNT],
+            capacity: TRACE_EVENT_CAPACITY,
+        }
+    }
+}
+
+impl TraceBuf {
+    /// A disabled buffer: stage accumulators work, no events are stored.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns event capture on. `epoch` is the shared campaign start
+    /// instant (all workers must use the same one so timestamps are
+    /// comparable across threads); `worker` is this worker's ordinal.
+    pub fn enable(&mut self, epoch: Instant, worker: u32) {
+        self.enabled = true;
+        self.epoch = epoch;
+        self.worker = worker;
+    }
+
+    /// Whether event capture is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Events discarded because a die exceeded the buffer capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Overrides the per-die event capacity (mainly for tests; the
+    /// default is [`TRACE_EVENT_CAPACITY`]).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Opens a die: resets the logical sequence counter, the coarse stage
+    /// accumulators and the event buffer, and emits the die's root span
+    /// begin.
+    pub fn begin_die(&mut self, die: u32) {
+        self.die = die;
+        self.corner = -1;
+        self.attempt = -1;
+        self.seq = 0;
+        self.stage_ns = [0; STAGE_COUNT];
+        self.events.clear();
+        self.emit(SpanPhase::Begin, SpanKind::Die, "", 0, 0);
+    }
+
+    /// Closes the current die and drains its records: returns the
+    /// accumulated `[sample, measure, extract]` stage nanoseconds and the
+    /// die's event stream (empty when disabled).
+    pub fn end_die(&mut self) -> ([u64; STAGE_COUNT], Vec<TraceEvent>) {
+        self.corner = -1;
+        self.attempt = -1;
+        self.emit(SpanPhase::End, SpanKind::Die, "", 0, 0);
+        let stage_ns = self.stage_ns;
+        self.stage_ns = [0; STAGE_COUNT];
+        self.die = NO_DIE;
+        (stage_ns, std::mem::take(&mut self.events))
+    }
+
+    /// Sets the corner index stamped on subsequent records (`-1` clears).
+    pub fn set_corner(&mut self, corner: i32) {
+        self.corner = corner;
+    }
+
+    /// Sets the recovery-attempt ordinal stamped on subsequent records
+    /// (`-1` clears).
+    pub fn set_attempt(&mut self, attempt: i32) {
+        self.attempt = attempt;
+    }
+
+    /// Opens a coarse stage span. Always reads the clock — this is the
+    /// measurement that feeds `DieTiming` and the campaign stage
+    /// histograms, enabled or not.
+    pub fn stage(&mut self, kind: SpanKind) -> StageToken {
+        let start = Instant::now();
+        if self.enabled {
+            self.emit(SpanPhase::Begin, kind, "", 0, 0);
+        }
+        StageToken { kind, start }
+    }
+
+    /// Closes a stage span, **accumulating** (`+=`) its duration into the
+    /// per-die stage total. Accumulation is the contract: a stage entered
+    /// several times per die (e.g. extract across retry attempts) sums,
+    /// never overwrites.
+    pub fn stage_end(&mut self, token: StageToken) {
+        let dur = token.start.elapsed().as_nanos() as u64;
+        if let Some(i) = token.kind.stage_index() {
+            self.stage_ns[i] += dur;
+        }
+        if self.enabled {
+            self.emit(SpanPhase::End, token.kind, "", 0, 0);
+        }
+    }
+
+    /// Opens a fine-grained span. Disabled buffers return a disarmed
+    /// token without touching the clock or the buffer.
+    pub fn span(&mut self, kind: SpanKind) -> SpanToken {
+        self.span_labeled(kind, "")
+    }
+
+    /// Like [`span`](TraceBuf::span) with a static annotation (e.g. the
+    /// DC ladder strategy name) stamped on the begin record.
+    pub fn span_labeled(&mut self, kind: SpanKind, label: &'static str) -> SpanToken {
+        if !self.enabled {
+            return SpanToken {
+                kind,
+                label,
+                armed: false,
+            };
+        }
+        self.emit(SpanPhase::Begin, kind, label, 0, 0);
+        SpanToken {
+            kind,
+            label,
+            armed: true,
+        }
+    }
+
+    /// Closes a fine-grained span with no payload.
+    pub fn span_end(&mut self, token: SpanToken) {
+        self.span_end_with(token, 0, 0);
+    }
+
+    /// Closes a fine-grained span with payload counters (meaning per
+    /// [`SpanKind::payload_keys`]).
+    pub fn span_end_with(&mut self, token: SpanToken, n0: u64, n1: u64) {
+        if !token.armed {
+            return;
+        }
+        self.emit(SpanPhase::End, token.kind, token.label, n0, n1);
+    }
+
+    fn emit(&mut self, phase: SpanPhase, kind: SpanKind, label: &'static str, n0: u64, n1: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let ev = TraceEvent {
+            phase,
+            kind,
+            die: self.die,
+            corner: self.corner,
+            attempt: self.attempt,
+            label,
+            seq: self.seq,
+            ts_ns: self.epoch.elapsed().as_nanos() as u64,
+            worker: self.worker,
+            n0,
+            n1,
+        };
+        self.seq += 1;
+        self.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing_but_still_accumulates_stages() {
+        let mut buf = TraceBuf::new();
+        buf.begin_die(3);
+        let t = buf.stage(SpanKind::Sample);
+        buf.stage_end(t);
+        let s = buf.span(SpanKind::Newton);
+        buf.span_end_with(s, 7, 1);
+        let (stage_ns, events) = buf.end_die();
+        assert!(events.is_empty(), "disabled buffers must not store events");
+        assert_eq!(buf.dropped(), 0);
+        // The stage stopwatch still ran (it feeds DieTiming regardless).
+        assert!(stage_ns[1] == 0 && stage_ns[2] == 0);
+    }
+
+    #[test]
+    fn stage_durations_accumulate_rather_than_overwrite() {
+        // Regression guard for the DieTiming `=` vs `+=` bug: entering
+        // the same stage twice in one die must sum both durations.
+        let mut buf = TraceBuf::new();
+        buf.begin_die(0);
+        let t1 = buf.stage(SpanKind::Extract);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        buf.stage_end(t1);
+        let (once, _) = buf.end_die();
+
+        buf.begin_die(1);
+        let t1 = buf.stage(SpanKind::Extract);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        buf.stage_end(t1);
+        let t2 = buf.stage(SpanKind::Extract);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        buf.stage_end(t2);
+        let (twice, _) = buf.end_die();
+
+        // `sleep` guarantees a *minimum* duration, so these bounds hold
+        // under arbitrary scheduler load: one 2 ms entry is at least 2 ms,
+        // and two entries must *sum* to at least 4 ms. The old `=` bug
+        // kept only the last entry, which typically lands under 4 ms.
+        assert!(once[2] >= 2_000_000, "single entry ran: {}", once[2]);
+        assert!(
+            twice[2] >= 4_000_000,
+            "second stage entry must add to the total, not replace it \
+             (once={} twice={})",
+            once[2],
+            twice[2]
+        );
+    }
+
+    #[test]
+    fn enabled_buffer_emits_balanced_die_ordered_records() {
+        let mut buf = TraceBuf::new();
+        buf.enable(Instant::now(), 4);
+        buf.begin_die(9);
+        buf.set_corner(2);
+        let m = buf.stage(SpanKind::Measure);
+        let s = buf.span_labeled(SpanKind::Rung, "warm_start");
+        buf.span_end_with(s, 5, 0);
+        buf.stage_end(m);
+        buf.set_corner(-1);
+        let (_, events) = buf.end_die();
+
+        let kinds: Vec<(SpanPhase, SpanKind)> = events.iter().map(|e| (e.phase, e.kind)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (SpanPhase::Begin, SpanKind::Die),
+                (SpanPhase::Begin, SpanKind::Measure),
+                (SpanPhase::Begin, SpanKind::Rung),
+                (SpanPhase::End, SpanKind::Rung),
+                (SpanPhase::End, SpanKind::Measure),
+                (SpanPhase::End, SpanKind::Die),
+            ]
+        );
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u32, "seq is the per-die emission order");
+            assert_eq!(ev.worker, 4);
+            assert_eq!(ev.die, 9);
+        }
+        assert_eq!(events[2].label, "warm_start");
+        assert_eq!(events[3].n0, 5);
+        assert_eq!(events[1].corner, 2, "corner stamps records inside it");
+        assert_eq!(events[5].corner, -1, "die end is outside any corner");
+    }
+
+    #[test]
+    fn begin_die_resets_sequence_and_stage_totals() {
+        let mut buf = TraceBuf::new();
+        buf.enable(Instant::now(), 0);
+        buf.begin_die(0);
+        let t = buf.stage(SpanKind::Sample);
+        buf.stage_end(t);
+        let (first, events) = buf.end_die();
+        assert_eq!(events.len(), 4);
+        // `first[0]` is wall clock — its magnitude is untestable, but the
+        // reset below must not depend on what this die accumulated.
+        let _ = first;
+
+        buf.begin_die(1);
+        let (second, events) = buf.end_die();
+        assert_eq!(second, [0; STAGE_COUNT], "stage totals reset per die");
+        assert_eq!(events[0].seq, 0, "sequence numbers reset per die");
+        assert_eq!(events[0].die, 1);
+    }
+
+    #[test]
+    fn capacity_bound_drops_and_counts_overflow() {
+        let mut buf = TraceBuf::new();
+        buf.enable(Instant::now(), 0);
+        buf.set_capacity(4);
+        buf.begin_die(0);
+        for _ in 0..10 {
+            let s = buf.span(SpanKind::Newton);
+            buf.span_end(s);
+        }
+        let (_, events) = buf.end_die();
+        assert_eq!(events.len(), 4, "buffer is bounded at its capacity");
+        // 1 die-begin + 20 span records + 1 die-end = 22 attempts, 4 kept.
+        assert_eq!(buf.dropped(), 18);
+    }
+}

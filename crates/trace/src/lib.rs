@@ -1,0 +1,44 @@
+//! Structured tracing for the extraction pipeline: span records with a
+//! deterministic logical order and clearly-separated wall-clock fields.
+//!
+//! The campaign engine's headline guarantee is bit-reproducibility at any
+//! worker-thread count. An observability layer must not weaken that, so
+//! every record this crate produces is split into two classes of fields:
+//!
+//! - **Deterministic**: span kind, die index, corner, attempt, strategy
+//!   label, payload counts (Newton iterations, IRLS rounds, …) and the
+//!   per-die logical sequence number. These depend only on the campaign
+//!   spec — two runs of the same spec produce identical values at 1, 2 or
+//!   64 threads.
+//! - **Nondeterministic** (wall clock): timestamps, durations derived from
+//!   them, the worker-thread id, and any payload whose key starts with
+//!   `nd_`. Golden-fixture tests mask exactly these via
+//!   [`mask_nondeterministic`].
+//!
+//! The moving parts:
+//!
+//! - [`TraceBuf`] — a per-worker bounded buffer. The die pipeline opens it
+//!   with [`TraceBuf::begin_die`], emits begin/end events through span
+//!   tokens, and drains the die's records (plus its accumulated coarse
+//!   stage totals) with [`TraceBuf::end_die`]. Disabled buffers record
+//!   nothing and never touch the clock on the deep-span path, so tracing
+//!   is a no-op unless explicitly enabled.
+//! - [`Trace`] — the merged, die-ordered event stream of a whole run, with
+//!   two exports: Chrome trace-event JSON ([`Trace::chrome_json`],
+//!   loadable in Perfetto / `chrome://tracing`) and a collapsed-stack
+//!   profile ([`Trace::folded`]) for flamegraph tooling.
+//!
+//! This crate is dependency-free (`std` only) by the workspace's hermetic
+//! build rule.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod buf;
+mod event;
+mod export;
+
+pub use buf::{SpanToken, StageToken, TraceBuf, TRACE_EVENT_CAPACITY};
+pub use event::{SpanKind, SpanPhase, TraceEvent, NO_DIE, STAGE_COUNT};
+pub use export::{mask_nondeterministic, Trace};

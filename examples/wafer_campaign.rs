@@ -1,15 +1,22 @@
 //! A 1,000-die wafer extraction campaign, run twice — single-threaded
 //! and on every available core — to demonstrate the engine's determinism
-//! guarantee: the aggregate artifacts are bit-identical.
+//! guarantee: the aggregate artifacts are bit-identical, and so is the
+//! structured span trace once its wall-clock fields are masked.
 //!
 //! ```text
 //! cargo run --release --example wafer_campaign
 //! ```
+//!
+//! The parallel run captures a trace; the example writes
+//! `campaign_trace.json` (open it at <https://ui.perfetto.dev>) and
+//! `campaign_profile.folded` (feed it to any flamegraph tool) into the
+//! current directory and prints the slowest dies ranked from the spans.
 
 use icvbe::campaign::report::aggregate_json;
 use icvbe::campaign::spec::WaferMap;
-use icvbe::campaign::{run_campaign, CampaignSpec};
+use icvbe::campaign::{run_campaign_with, CampaignSpec, RunOptions};
 use icvbe::repro::campaign_cli::{diameter_for_dies, render};
+use icvbe::trace::mask_nondeterministic;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let diameter = diameter_for_dies(1000);
@@ -21,8 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = CampaignSpec::paper_default(wafer, 2002);
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let serial = run_campaign(&spec, 1)?;
-    let parallel = run_campaign(&spec, threads)?;
+    let options = RunOptions { trace: true };
+    let serial = run_campaign_with(&spec, 1, &options)?;
+    let parallel = run_campaign_with(&spec, threads, &options)?;
 
     println!("{}", render(&parallel));
 
@@ -34,6 +42,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          ({} bytes)",
         a.len()
     );
+
+    // The trace obeys the same contract: after masking timestamps, worker
+    // ids and queue-occupancy samples, the span stream — kinds, die and
+    // corner stamps, solver strategies, Newton iteration payloads — is
+    // byte-identical at any thread count.
+    let (st, pt) = match (&serial.trace, &parallel.trace) {
+        (Some(s), Some(p)) => (s, p),
+        _ => return Err("trace requested but not captured".into()),
+    };
+    let masked = mask_nondeterministic(&pt.chrome_json());
+    assert_eq!(
+        mask_nondeterministic(&st.chrome_json()),
+        masked,
+        "masked span traces must be bit-identical"
+    );
+    println!(
+        "determinism: masked span trace identical too ({} events, {} bytes)",
+        pt.events.len(),
+        masked.len()
+    );
+
+    std::fs::write("campaign_trace.json", pt.chrome_json())?;
+    std::fs::write("campaign_profile.folded", pt.folded())?;
+    println!("wrote campaign_trace.json (load in https://ui.perfetto.dev)");
+    println!("wrote campaign_profile.folded (collapsed stacks for flamegraphs)");
+
     if parallel.metrics.elapsed_ns > 0 && serial.metrics.elapsed_ns > 0 {
         println!(
             "speedup: {:.2}x ({} threads)",

@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> clippy panic-lint gate (no unwrap/expect in library code)"
 cargo clippy -p icvbe-units -p icvbe-devphys -p icvbe-numerics -p icvbe-core \
   -p icvbe-thermal -p icvbe-spice -p icvbe-bandgap -p icvbe-instrument \
-  -p icvbe-campaign \
+  -p icvbe-campaign -p icvbe-trace \
   --lib -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 
 echo "==> cargo test -q"
@@ -32,5 +32,16 @@ trap 'rm -rf "$smoke_dir"' EXIT
 ./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
   --faults heavy --out "$smoke_dir" > /dev/null
 diff -u scripts/fixtures/quarantine_smoke.csv "$smoke_dir/campaign_quarantine.csv"
+
+echo "==> trace smoke: chrome JSON shape + masked folded profile vs golden fixture"
+./target/release/repro campaign --diameter 3 --seed 7 --threads 2 \
+  --trace="$smoke_dir" > /dev/null
+grep -q '"schema":"icvbe-campaign-trace-v1"' "$smoke_dir/campaign_trace.json"
+grep -q '"traceEvents":\[' "$smoke_dir/campaign_trace.json"
+grep -q '"ph":"B"' "$smoke_dir/campaign_trace.json"
+# The folded profile's frame paths are deterministic; only the trailing
+# nanosecond sample counts are wall-clock. Mask them and pin the paths.
+sed 's/ [0-9][0-9]*$/ 0/' "$smoke_dir/campaign_profile.folded" \
+  | diff -u scripts/fixtures/trace_smoke.folded -
 
 echo "OK: all checks passed"

@@ -19,7 +19,9 @@
 //! - [`bandgap`] — the Fig.-3 test cell and `VREF(T)` analyses,
 //! - [`repro`] — one runnable experiment per table/figure of the paper,
 //! - [`campaign`] — wafer-scale parallel extraction campaigns with
-//!   deterministic seeding and streaming aggregation.
+//!   deterministic seeding and streaming aggregation,
+//! - [`trace`] — structured span tracing with deterministic logical
+//!   ordering and Chrome trace-event / collapsed-stack exports.
 //!
 //! # Quickstart
 //!
@@ -62,4 +64,5 @@ pub use icvbe_numerics as numerics;
 pub use icvbe_repro as repro;
 pub use icvbe_spice as spice;
 pub use icvbe_thermal as thermal;
+pub use icvbe_trace as trace;
 pub use icvbe_units as units;
