@@ -1,10 +1,11 @@
 //! Campaign worker-pool scaling: identical wafer, 1 thread vs N threads,
-//! warm-started vs cold-started solves.
+//! plus the solver ablations — warm vs cold starts, device bypass on vs
+//! off, frozen sparse plan vs dense LU fallback.
 //!
 //! The aggregate is asserted bit-identical across thread counts *and*
-//! across the warm/cold ablation before timing anything, so the speedup
-//! measured here is for *the same answer* — the determinism guarantee is
-//! not traded for throughput.
+//! across every ablation before timing anything, so the speedup measured
+//! here is for *the same answer* — the determinism guarantee is not
+//! traded for throughput.
 //!
 //! Besides the criterion-style timing group, the bench reports wafer
 //! throughput (dies/second) per configuration and, when the
@@ -28,6 +29,18 @@ fn scaling_spec() -> CampaignSpec {
 fn cold_spec() -> CampaignSpec {
     let mut spec = scaling_spec();
     spec.warm_start = false;
+    spec
+}
+
+fn no_bypass_spec() -> CampaignSpec {
+    let mut spec = scaling_spec();
+    spec.bypass = false;
+    spec
+}
+
+fn dense_spec() -> CampaignSpec {
+    let mut spec = scaling_spec();
+    spec.sparse = false;
     spec
 }
 
@@ -81,6 +94,16 @@ fn run_guards() {
         one.aggregate, cold.aggregate,
         "aggregate must be warm-start invariant"
     );
+    let no_bypass = run_campaign(&no_bypass_spec(), 8).expect("no-bypass run");
+    assert_eq!(
+        one.aggregate, no_bypass.aggregate,
+        "aggregate must be device-bypass invariant"
+    );
+    let dense = run_campaign(&dense_spec(), 8).expect("dense-fallback run");
+    assert_eq!(
+        one.aggregate, dense.aggregate,
+        "aggregate must be solve-path invariant"
+    );
 }
 
 /// One throughput measurement: median wall time over `reps` runs.
@@ -116,20 +139,32 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     }
     let warm = scaling_spec();
     let cold = cold_spec();
+    let no_bypass = no_bypass_spec();
+    let dense = dense_spec();
     let dies = warm.wafer.die_count();
     let reps = 7;
     // Warm the CPU clocks so the medians compare across configurations.
     run_campaign(&warm, 8).expect("warm-up run");
 
     let mut rows = Vec::new();
-    for (mode, spec) in [("warm", &warm), ("cold", &cold)] {
+    let modes = [
+        ("warm", &warm),
+        ("no-bypass", &no_bypass),
+        ("dense", &dense),
+        ("cold", &cold),
+    ];
+    for (mode, spec) in modes {
         for threads in [1usize, 8] {
             let (median_ms, run) = measure(spec, threads, reps);
             let dies_per_second = dies as f64 / (median_ms / 1e3);
             println!(
                 "campaign_throughput/{mode}/threads/{threads:<2} median {median_ms:7.2} ms -> \
-                 {dies_per_second:7.1} dies/s ({dies} dies, {} solves, {} Newton iters)",
-                run.metrics.solver.solves, run.metrics.solver.newton_iterations,
+                 {dies_per_second:7.1} dies/s ({dies} dies, {} solves, {} Newton iters, \
+                 {} bypasses, {} evals)",
+                run.metrics.solver.solves,
+                run.metrics.solver.newton_iterations,
+                run.metrics.solver.bypass_hits,
+                run.metrics.solver.device_evals,
             );
             rows.push(Throughput {
                 mode,

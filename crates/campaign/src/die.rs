@@ -25,7 +25,7 @@
 use icvbe_core::meijer::extract;
 use icvbe_core::nonlinear::Eq13PointModel;
 use icvbe_core::tempcomp::{temperature_from_dvbe_corrected, PairCurrents};
-use icvbe_instrument::bench::{BenchScratch, PairCampaignPoint, TestStructureBench};
+use icvbe_instrument::bench::{BenchScratch, PairCampaignPoint, SolveMode, TestStructureBench};
 use icvbe_instrument::faults::FaultPlan;
 use icvbe_instrument::montecarlo::{DieSample, SampleFactory};
 use icvbe_numerics::robust::{fit_robust_traced, RobustLoss, RobustOptions, RobustWorkspace};
@@ -552,7 +552,11 @@ fn run_corner(
         setpoints,
         &mut scratch.bench,
         &mut scratch.pristine,
-        spec.warm_start,
+        SolveMode {
+            warm_start: spec.warm_start,
+            bypass: spec.bypass,
+            sparse: spec.sparse,
+        },
     );
     scratch.bench.solve.trace.stage_end(measure);
     if measured.is_err() {

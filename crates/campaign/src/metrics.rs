@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use icvbe_spice::workspace::SolveStats;
+
 /// The pipeline stages timed per die.
 pub const STAGE_NAMES: [&str; 3] = ["sample", "measure", "extract"];
 
@@ -142,6 +144,16 @@ pub struct CampaignCounters {
     pub warm_hits: AtomicU64,
     /// Solves started from the flat initial guess.
     pub warm_misses: AtomicU64,
+    /// Full nonlinear device evaluations performed.
+    pub device_evals: AtomicU64,
+    /// Device evaluations skipped by an exact-bit cache hit.
+    pub device_reuses: AtomicU64,
+    /// Device evaluations skipped by the tolerance bypass.
+    pub bypass_hits: AtomicU64,
+    /// Jacobian passes that restamped only operating-point-dependent slots.
+    pub restamp_incremental: AtomicU64,
+    /// Jacobian passes that stamped every element.
+    pub restamp_full: AtomicU64,
     /// Per-die Newton iteration totals (histogram of counts, not ns).
     pub newton_per_die: LogHistogram,
     /// Per-die self-heating iteration totals (histogram of counts).
@@ -161,22 +173,27 @@ pub struct CampaignCounters {
 
 impl CampaignCounters {
     /// Folds one die's solver counters in (lock-free; any worker thread).
-    pub fn record_die_solver(
-        &self,
-        solves: u64,
-        newton_iterations: u64,
-        warm_starts: u64,
-        cold_starts: u64,
-        selfheat_iterations: u64,
-    ) {
-        self.solves.fetch_add(solves, Ordering::Relaxed);
+    pub fn record_die_solver(&self, stats: &SolveStats, selfheat_iterations: u64) {
+        self.solves.fetch_add(stats.solves, Ordering::Relaxed);
         self.newton_total
-            .fetch_add(newton_iterations, Ordering::Relaxed);
+            .fetch_add(stats.newton_iterations, Ordering::Relaxed);
         self.selfheat_total
             .fetch_add(selfheat_iterations, Ordering::Relaxed);
-        self.warm_hits.fetch_add(warm_starts, Ordering::Relaxed);
-        self.warm_misses.fetch_add(cold_starts, Ordering::Relaxed);
-        self.newton_per_die.record_ns(newton_iterations);
+        self.warm_hits
+            .fetch_add(stats.warm_starts, Ordering::Relaxed);
+        self.warm_misses
+            .fetch_add(stats.cold_starts, Ordering::Relaxed);
+        self.device_evals
+            .fetch_add(stats.device_evals, Ordering::Relaxed);
+        self.device_reuses
+            .fetch_add(stats.device_reuses, Ordering::Relaxed);
+        self.bypass_hits
+            .fetch_add(stats.bypass_hits, Ordering::Relaxed);
+        self.restamp_incremental
+            .fetch_add(stats.restamp_incremental, Ordering::Relaxed);
+        self.restamp_full
+            .fetch_add(stats.restamp_full, Ordering::Relaxed);
+        self.newton_per_die.record_ns(stats.newton_iterations);
         self.selfheat_per_die.record_ns(selfheat_iterations);
     }
 
@@ -234,6 +251,16 @@ pub struct SolverMetrics {
     pub warm_start_hits: u64,
     /// Solves started from the flat initial guess.
     pub warm_start_misses: u64,
+    /// Full nonlinear device evaluations performed.
+    pub device_evals: u64,
+    /// Device evaluations skipped by an exact-bit cache hit.
+    pub device_reuses: u64,
+    /// Device evaluations skipped by the tolerance bypass.
+    pub bypass_hits: u64,
+    /// Jacobian passes that restamped only operating-point-dependent slots.
+    pub restamp_incremental: u64,
+    /// Jacobian passes that stamped every element.
+    pub restamp_full: u64,
     /// Median per-die Newton iteration count (log₂-bucket upper bound).
     pub newton_per_die_p50: u64,
     /// 99th-percentile per-die Newton iteration count (bucket upper bound).
@@ -259,6 +286,30 @@ impl SolverMetrics {
             0.0
         } else {
             self.warm_start_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of device-evaluation requests answered from a cache —
+    /// exact-bit reuse or tolerance bypass (0 when none ran).
+    #[must_use]
+    pub fn bypass_hit_rate(&self) -> f64 {
+        let total = self.device_evals + self.device_reuses + self.bypass_hits;
+        if total == 0 {
+            0.0
+        } else {
+            (self.device_reuses + self.bypass_hits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of Jacobian passes that only restamped
+    /// operating-point-dependent slots (0 when none ran).
+    #[must_use]
+    pub fn restamp_savings(&self) -> f64 {
+        let total = self.restamp_incremental + self.restamp_full;
+        if total == 0 {
+            0.0
+        } else {
+            self.restamp_incremental as f64 / total as f64
         }
     }
 }
@@ -325,6 +376,11 @@ impl CampaignCounters {
                     selfheat_iterations: self.selfheat_total.load(Ordering::Relaxed),
                     warm_start_hits: self.warm_hits.load(Ordering::Relaxed),
                     warm_start_misses: self.warm_misses.load(Ordering::Relaxed),
+                    device_evals: self.device_evals.load(Ordering::Relaxed),
+                    device_reuses: self.device_reuses.load(Ordering::Relaxed),
+                    bypass_hits: self.bypass_hits.load(Ordering::Relaxed),
+                    restamp_incremental: self.restamp_incremental.load(Ordering::Relaxed),
+                    restamp_full: self.restamp_full.load(Ordering::Relaxed),
                     newton_per_die_p50: newton.p50_ns,
                     newton_per_die_p99: newton.p99_ns,
                 }

@@ -358,7 +358,11 @@ pub fn metrics_json(run: &CampaignRun) -> String {
             "  \"solver\":{{\"solves\":{solves},\"newton_iterations\":{newton},\
              \"newton_per_solve\":{npsolve},\"selfheat_iterations\":{selfheat},\
              \"warm_start_hits\":{hits},\"warm_start_misses\":{misses},\
-             \"warm_hit_rate\":{hitrate},\"newton_per_die_p50\":{np50},\
+             \"warm_hit_rate\":{hitrate},\"device_evals\":{devevals},\
+             \"device_reuses\":{devreuses},\"bypass_hits\":{byphits},\
+             \"bypass_hit_rate\":{byprate},\
+             \"restamp_incremental\":{rsincr},\"restamp_full\":{rsfull},\
+             \"restamp_savings\":{rssave},\"newton_per_die_p50\":{np50},\
              \"newton_per_die_p99\":{np99}}},\n",
             "  \"recovery\":{{\"corners_retried\":{retried},\
              \"corners_recovered\":{recovered},\"robust_recoveries\":{robust},\
@@ -381,6 +385,13 @@ pub fn metrics_json(run: &CampaignRun) -> String {
         hits = m.solver.warm_start_hits,
         misses = m.solver.warm_start_misses,
         hitrate = num(m.solver.warm_hit_rate()),
+        devevals = m.solver.device_evals,
+        devreuses = m.solver.device_reuses,
+        byphits = m.solver.bypass_hits,
+        byprate = num(m.solver.bypass_hit_rate()),
+        rsincr = m.solver.restamp_incremental,
+        rsfull = m.solver.restamp_full,
+        rssave = num(m.solver.restamp_savings()),
         np50 = m.solver.newton_per_die_p50,
         np99 = m.solver.newton_per_die_p99,
         retried = m.recovery.corners_retried,

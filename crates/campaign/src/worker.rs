@@ -171,13 +171,7 @@ pub fn run_campaign_with(
                         counters.started.fetch_add(1, Ordering::Relaxed);
                         let out = run_die_with(spec, *site, setpoints, &mut scratch);
                         let (stats, selfheat) = scratch.bench.take_counters();
-                        counters.record_die_solver(
-                            stats.solves,
-                            stats.newton_iterations,
-                            stats.warm_starts,
-                            stats.cold_starts,
-                            selfheat,
-                        );
+                        counters.record_die_solver(&stats, selfheat);
                         counters.stages[STAGE_SAMPLE].record_ns(out.timing.sample_ns);
                         counters.stages[STAGE_MEASURE].record_ns(out.timing.measure_ns);
                         counters.stages[STAGE_EXTRACT].record_ns(out.timing.extract_ns);

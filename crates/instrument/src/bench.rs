@@ -20,7 +20,7 @@ use std::fmt;
 
 use icvbe_bandgap::pair::CompiledPair;
 use icvbe_core::meijer::{MeijerMeasurement, MeijerPoint};
-use icvbe_spice::solver::DcOptions;
+use icvbe_spice::solver::{BypassOptions, DcOptions};
 use icvbe_spice::workspace::{SolveStats, SolveWorkspace};
 use icvbe_thermal::chamber::ThermalChamber;
 use icvbe_thermal::network::ThermalPath;
@@ -94,6 +94,47 @@ pub struct PairCampaignPoint {
     pub ic_a: Ampere,
     /// SMU reading of QB's collector current.
     pub ic_b: Ampere,
+}
+
+/// How the compiled measurement path drives the circuit solver.
+///
+/// Every switch is a pure speed/observability knob: polishing (always on
+/// for campaigns) plus the solver's exact-mode re-verification make the
+/// measured points bit-identical across all eight combinations — only the
+/// iteration and bypass counters differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveMode {
+    /// Seed each circuit solve from the previous converged solution.
+    pub warm_start: bool,
+    /// Skip device re-evaluation inside Newton when controlling voltages
+    /// moved less than the bypass tolerance (re-verified exactly on
+    /// acceptance).
+    pub bypass: bool,
+    /// Factor through the frozen symbolic sparsity plan instead of dense
+    /// LU (bitwise-identical results).
+    pub sparse: bool,
+}
+
+impl Default for SolveMode {
+    fn default() -> Self {
+        SolveMode {
+            warm_start: true,
+            bypass: true,
+            sparse: true,
+        }
+    }
+}
+
+impl SolveMode {
+    /// The ablation baseline: cold starts, no bypass, dense LU.
+    #[must_use]
+    pub fn baseline() -> Self {
+        SolveMode {
+            warm_start: false,
+            bypass: false,
+            sparse: false,
+        }
+    }
 }
 
 /// Per-thread scratch for the warm measurement path: solver buffers plus
@@ -253,17 +294,31 @@ impl TestStructureBench {
         options
     }
 
+    /// [`TestStructureBench::campaign_dc_options`] specialized to a
+    /// [`SolveMode`]: the sparse switch maps directly, and `bypass`
+    /// enables the device bypass at its default tolerances.
+    #[must_use]
+    pub fn campaign_dc_options_with(mode: SolveMode) -> DcOptions {
+        let mut options = TestStructureBench::campaign_dc_options();
+        options.sparse = mode.sparse;
+        if mode.bypass {
+            options.bypass = BypassOptions::active();
+        }
+        options
+    }
+
     /// [`TestStructureBench::run_pair_campaign`] for the hot path: the
     /// circuit is compiled once for the whole sweep, the thermal path is
     /// scaled once, solver storage comes from `scratch`, and results are
     /// appended to the caller's `out` buffer (cleared first).
     ///
-    /// With `warm_start`, every circuit solve after the first is seeded
-    /// from the previous converged solution — across self-heating
+    /// With `mode.warm_start`, every circuit solve after the first is
+    /// seeded from the previous converged solution — across self-heating
     /// iterations *and* across setpoints. Solves run with
-    /// [`TestStructureBench::campaign_dc_options`] (Newton polishing), so
-    /// the measured points are bit-identical with and without
-    /// `warm_start`; only the iteration counts differ.
+    /// [`TestStructureBench::campaign_dc_options_with`] (Newton polishing
+    /// plus the mode's sparse/bypass switches), so the measured points are
+    /// bit-identical across every [`SolveMode`]; only the iteration and
+    /// bypass counters differ.
     ///
     /// # Errors
     ///
@@ -275,12 +330,12 @@ impl TestStructureBench {
         setpoints: &[Celsius],
         scratch: &mut BenchScratch,
         out: &mut Vec<PairCampaignPoint>,
-        warm_start: bool,
+        mode: SolveMode,
     ) -> Result<(), BenchError> {
         out.clear();
         let mut compiled = sample.pair_structure(bias).compile()?;
         let path = self.path.scaled(sample.rth_scale)?;
-        let options = TestStructureBench::campaign_dc_options();
+        let options = TestStructureBench::campaign_dc_options_with(mode);
         for &setpoint in setpoints {
             let point = self.measure_compiled_at(
                 &mut compiled,
@@ -288,7 +343,7 @@ impl TestStructureBench {
                 setpoint,
                 &options,
                 scratch,
-                warm_start,
+                mode.warm_start,
             )?;
             out.push(point);
         }
@@ -436,7 +491,10 @@ mod tests {
                 &setpoints,
                 &mut cold_scratch,
                 &mut cold_points,
-                false,
+                SolveMode {
+                    warm_start: false,
+                    ..SolveMode::default()
+                },
             )
             .unwrap();
 
@@ -450,7 +508,7 @@ mod tests {
                 &setpoints,
                 &mut warm_scratch,
                 &mut warm_points,
-                true,
+                SolveMode::default(),
             )
             .unwrap();
 
@@ -493,7 +551,7 @@ mod tests {
                 &setpoints,
                 &mut scratch,
                 &mut new_points,
-                true,
+                SolveMode::default(),
             )
             .unwrap();
         assert_eq!(old.len(), new_points.len());

@@ -30,7 +30,7 @@ pub struct LuSolver {
 }
 
 /// Pivot magnitudes below this threshold are treated as singular.
-const PIVOT_TOLERANCE: f64 = 1e-300;
+pub(crate) const PIVOT_TOLERANCE: f64 = 1e-300;
 
 impl LuSolver {
     /// Factors a square matrix.
@@ -262,6 +262,38 @@ impl LuFactors {
                 s -= lu[(i, j)] * x[j];
             }
             x[i] = s / lu[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// Solves `A X = B` for several right-hand sides with one stored
+    /// factorization. `b` and `x` hold the vectors back to back (`k * n`
+    /// entries for `k` right-hand sides); each is solved exactly as
+    /// [`LuFactors::solve_into`] would solve it, so callers looping over
+    /// right-hand sides can switch without changing a result bit — they
+    /// only stop re-factoring the same matrix `k` times.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::DimensionMismatch`] if no factorization is stored,
+    /// if `b.len() != x.len()`, or if the lengths are not a multiple of
+    /// the factored dimension.
+    pub fn solve_many_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericsError> {
+        let n = self.dim();
+        if n == 0 {
+            return Err(NumericsError::dims(
+                "solve_many_into before factor_from".to_string(),
+            ));
+        }
+        if b.len() != x.len() || !b.len().is_multiple_of(n) {
+            return Err(NumericsError::dims(format!(
+                "solve_many_into: matrix is {n}x{n}, rhs has {} entries, out has {}",
+                b.len(),
+                x.len()
+            )));
+        }
+        for (bc, xc) in b.chunks_exact(n).zip(x.chunks_exact_mut(n)) {
+            self.solve_into(bc, xc)?;
         }
         Ok(())
     }

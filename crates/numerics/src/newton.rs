@@ -14,7 +14,10 @@
 //!   allocations. Campaign workloads run thousands of structurally identical
 //!   solves; reusing the workspace removes the dominant allocator traffic.
 
+use std::sync::Arc;
+
 use crate::lu::LuFactors;
+use crate::sparse::{LuSymbolic, SparseLu};
 use crate::{Matrix, NumericsError};
 
 /// Options controlling the multivariate Newton iteration.
@@ -98,6 +101,25 @@ pub trait NonlinearSystem {
         self.residual(x, f)?;
         self.jacobian(x, jac)
     }
+
+    /// Switches the system between its default (possibly approximate) and
+    /// an exact evaluation mode. Systems with tolerance-based fast paths —
+    /// the SPICE device bypass reuses a device's previous operating point
+    /// when its controlling voltages barely moved — must honor
+    /// `set_exact(true)` by evaluating every device fully, so the solver
+    /// can verify convergence and polish the accepted solution against the
+    /// *exact* system. Systems without fast paths ignore this (default).
+    fn set_exact(&self, exact: bool) {
+        let _ = exact;
+    }
+
+    /// Whether evaluations in the current mode may differ from exact-mode
+    /// evaluations (i.e. a tolerance fast path is armed and enabled).
+    /// The solver uses this to skip the exact re-verification entirely for
+    /// ordinary systems; the default is `false`.
+    fn residual_is_approximate(&self) -> bool {
+        false
+    }
 }
 
 /// Outcome of a converged Newton solve.
@@ -142,7 +164,41 @@ pub struct NewtonWorkspace {
     base: Vec<f64>,
     cluster: Vec<f64>,
     jac: Option<Matrix>,
-    lu: LuFactors,
+    lu: LinearSolver,
+}
+
+/// The linear-solver backend of a [`NewtonWorkspace`]: dense partial-pivot
+/// LU (the default) or sparse LU bound to a frozen symbolic plan. The two
+/// are bit-compatible on matrices honoring the plan's pattern (see
+/// [`crate::sparse`]), so the choice is purely about work skipped.
+#[derive(Debug, Clone)]
+enum LinearSolver {
+    /// Dense partial-pivot LU.
+    Dense(LuFactors),
+    /// Sparse LU on a frozen symbolic plan.
+    Sparse(SparseLu),
+}
+
+impl Default for LinearSolver {
+    fn default() -> Self {
+        LinearSolver::Dense(LuFactors::new())
+    }
+}
+
+impl LinearSolver {
+    fn factor_from(&mut self, a: &Matrix) -> Result<(), NumericsError> {
+        match self {
+            LinearSolver::Dense(lu) => lu.factor_from(a),
+            LinearSolver::Sparse(lu) => lu.factor_from(a),
+        }
+    }
+
+    fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericsError> {
+        match self {
+            LinearSolver::Dense(lu) => lu.solve_into(b, x),
+            LinearSolver::Sparse(lu) => lu.solve_into(b, x),
+        }
+    }
 }
 
 impl NewtonWorkspace {
@@ -152,7 +208,33 @@ impl NewtonWorkspace {
         NewtonWorkspace::default()
     }
 
+    /// Routes this workspace's linear solves through sparse LU on `plan`.
+    /// A workspace already bound to the same plan (pointer identity) is
+    /// left untouched, so per-solve rebinding is allocation-free; binding a
+    /// new plan replaces the factor storage.
+    pub fn use_sparse_plan(&mut self, plan: &Arc<LuSymbolic>) {
+        match &self.lu {
+            LinearSolver::Sparse(s) if Arc::ptr_eq(s.plan(), plan) => {}
+            _ => self.lu = LinearSolver::Sparse(SparseLu::new(Arc::clone(plan))),
+        }
+    }
+
+    /// Routes this workspace's linear solves through dense LU (the
+    /// default). A no-op when already dense.
+    pub fn use_dense(&mut self) {
+        if !matches!(self.lu, LinearSolver::Dense(_)) {
+            self.lu = LinearSolver::Dense(LuFactors::new());
+        }
+    }
+
     fn ensure(&mut self, n: usize) {
+        // A sparse plan sized for a different system cannot factor this
+        // one; fall back to dense rather than erroring mid-solve.
+        if let LinearSolver::Sparse(s) = &self.lu {
+            if s.plan().dimension() != n {
+                self.lu = LinearSolver::Dense(LuFactors::new());
+            }
+        }
         if self.f.len() != n {
             self.f.resize(n, 0.0);
             self.f_trial.resize(n, 0.0);
@@ -237,9 +319,38 @@ pub fn solve_newton_with(
     ws.ensure(n);
     let mut info = newton_damped(system, x, options, ws)?;
     if options.polish {
+        // Polish against the exact system: the fixed point (and its
+        // canonical cluster member) must be a pure function of the system,
+        // so a tolerance fast path may not leak into the map here.
+        system.set_exact(true);
         info.polish_iterations = polish_to_fixed_point(system, x, ws);
+        system.set_exact(false);
     }
     Ok(info)
+}
+
+/// Re-verifies an accept-candidate residual against the exact system when
+/// the current evaluation mode is approximate (device bypass armed).
+/// Updates `f` and `fnorm` in place; a no-op for ordinary systems. The
+/// caller re-checks its acceptance condition against the refreshed norm and
+/// keeps iterating when the exact residual no longer passes — so every
+/// *accepted* solution satisfies the convergence test with no bypass
+/// shortcuts in effect.
+fn exactify(
+    system: &impl NonlinearSystem,
+    x: &[f64],
+    f: &mut [f64],
+    fnorm: &mut f64,
+) -> Result<(), NumericsError> {
+    if !system.residual_is_approximate() {
+        return Ok(());
+    }
+    system.set_exact(true);
+    let result = system.residual(x, f);
+    system.set_exact(false);
+    result?;
+    *fnorm = inf_norm(f);
+    Ok(())
 }
 
 /// [`solve_newton_with`] bracketed by an [`icvbe_trace::SpanKind::Newton`]
@@ -287,11 +398,15 @@ fn newton_damped(
 
     for iter in 0..options.max_iterations {
         if fnorm <= options.residual_tolerance {
-            return Ok(NewtonInfo {
-                iterations: iter,
-                polish_iterations: 0,
-                residual_norm: fnorm,
-            });
+            exactify(system, x, &mut ws.f, &mut fnorm)?;
+            if fnorm <= options.residual_tolerance {
+                return Ok(NewtonInfo {
+                    iterations: iter,
+                    polish_iterations: 0,
+                    residual_norm: fnorm,
+                });
+            }
+            // The exact residual no longer passes: keep iterating on it.
         }
         system.jacobian(x, jac)?;
         ws.lu.factor_from(jac)?;
@@ -334,6 +449,7 @@ fn newton_damped(
                 ws.trial[i] = x[i] + damping * ws.dx[i];
             }
             if ws.trial == x {
+                exactify(system, x, &mut ws.f, &mut fnorm)?;
                 if fnorm <= options.acceptable_residual {
                     return Ok(NewtonInfo {
                         iterations: iter,
@@ -361,19 +477,25 @@ fn newton_damped(
         if inf_norm(&ws.dx) * damping <= options.step_tolerance
             && fnorm <= options.residual_tolerance.max(1e-9)
         {
+            exactify(system, x, &mut ws.f, &mut fnorm)?;
+            if fnorm <= options.residual_tolerance.max(1e-9) {
+                return Ok(NewtonInfo {
+                    iterations: iter + 1,
+                    polish_iterations: 0,
+                    residual_norm: fnorm,
+                });
+            }
+        }
+    }
+    if fnorm <= options.acceptable_residual {
+        exactify(system, x, &mut ws.f, &mut fnorm)?;
+        if fnorm <= options.acceptable_residual {
             return Ok(NewtonInfo {
-                iterations: iter + 1,
+                iterations: options.max_iterations,
                 polish_iterations: 0,
                 residual_norm: fnorm,
             });
         }
-    }
-    if fnorm <= options.acceptable_residual {
-        return Ok(NewtonInfo {
-            iterations: options.max_iterations,
-            polish_iterations: 0,
-            residual_norm: fnorm,
-        });
     }
     Err(NumericsError::NoConvergence {
         iterations: options.max_iterations,
@@ -490,7 +612,7 @@ fn newton_map(
     neg_f: &mut [f64],
     dx: &mut [f64],
     jac: &mut Matrix,
-    lu: &mut LuFactors,
+    lu: &mut LinearSolver,
 ) -> bool {
     let n = p.len();
     if system.residual_and_jacobian(p, f, jac).is_err() || !inf_norm(f).is_finite() {
@@ -855,6 +977,86 @@ mod tests {
         solve_newton_with(&Diode, &mut a, opts, &mut ws).unwrap();
         solve_newton_with(&Diode, &mut b, opts, &mut ws).unwrap();
         assert_eq!(a[0].to_bits(), b[0].to_bits());
+    }
+
+    #[test]
+    fn sparse_plan_routing_matches_dense_bitwise() {
+        let entries = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let plan = Arc::new(LuSymbolic::analyze(2, &entries).unwrap());
+        let opts = NewtonOptions {
+            polish: true,
+            ..NewtonOptions::default()
+        };
+        let mut dense_ws = NewtonWorkspace::new();
+        let mut sparse_ws = NewtonWorkspace::new();
+        sparse_ws.use_sparse_plan(&plan);
+        let mut xd = [1.0, 0.5];
+        let mut xs = [1.0, 0.5];
+        let id = solve_newton_with(&Circle, &mut xd, opts, &mut dense_ws).unwrap();
+        let is_ = solve_newton_with(&Circle, &mut xs, opts, &mut sparse_ws).unwrap();
+        assert_eq!(xd.map(f64::to_bits), xs.map(f64::to_bits));
+        assert_eq!(id.iterations, is_.iterations);
+        assert_eq!(id.residual_norm.to_bits(), is_.residual_norm.to_bits());
+        // Rebinding the same plan is a no-op; a system of a different
+        // dimension silently falls back to dense instead of erroring.
+        sparse_ws.use_sparse_plan(&plan);
+        let mut x1 = [0.8];
+        let opts1 = NewtonOptions {
+            residual_tolerance: 1e-15,
+            ..NewtonOptions::default()
+        };
+        solve_newton_with(&Diode, &mut x1, opts1, &mut sparse_ws).unwrap();
+        let expected = 0.026 * (1e-3_f64 / 1e-14 + 1.0).ln();
+        assert!((x1[0] - expected).abs() < 1e-9);
+        sparse_ws.use_dense();
+    }
+
+    /// A 1-D system with a deliberately sloppy fast path: in fast mode the
+    /// residual is evaluated at `x` quantized to a 1e-6 grid (a stand-in
+    /// for tolerance-based device bypass); exact mode uses `x` itself.
+    struct Quantized {
+        exact: std::cell::Cell<bool>,
+    }
+
+    impl NonlinearSystem for Quantized {
+        fn dimension(&self) -> usize {
+            1
+        }
+        fn residual(&self, x: &[f64], out: &mut [f64]) -> Result<(), NumericsError> {
+            let xe = if self.exact.get() {
+                x[0]
+            } else {
+                (x[0] * 1e6).round() / 1e6
+            };
+            out[0] = xe - 2.0;
+            Ok(())
+        }
+        fn jacobian(&self, _x: &[f64], out: &mut Matrix) -> Result<(), NumericsError> {
+            out[(0, 0)] = 1.0;
+            Ok(())
+        }
+        fn set_exact(&self, exact: bool) {
+            self.exact.set(exact);
+        }
+        fn residual_is_approximate(&self) -> bool {
+            !self.exact.get()
+        }
+    }
+
+    #[test]
+    fn approximate_systems_are_reverified_exactly_at_acceptance() {
+        // The start sits inside the fast path's quantization cell around
+        // the root: the *fast* residual is exactly zero there, so a solver
+        // without exact re-verification would accept the start unchanged.
+        let sys = Quantized {
+            exact: std::cell::Cell::new(false),
+        };
+        let mut ws = NewtonWorkspace::new();
+        let mut x = [2.0 + 3.4e-7];
+        let info = solve_newton_with(&sys, &mut x, NewtonOptions::default(), &mut ws).unwrap();
+        assert_eq!(x[0], 2.0, "accepted solution must solve the exact system");
+        assert!(info.iterations > 0, "fast-path zero must not be accepted");
+        assert!(!sys.exact.get(), "solver must leave fast mode re-armed");
     }
 
     #[test]

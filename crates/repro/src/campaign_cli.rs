@@ -3,15 +3,16 @@
 //!
 //! ```text
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
-//!                [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
+//!                [--no-bypass] [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
 //! dies; `--diameter D` sets the wafer diameter (in dies) directly. The
 //! aggregate artifacts written by `--out` are bit-identical for any
 //! `--threads` value (see `icvbe-campaign`'s determinism guarantee), and
-//! also with `--cold`, which disables solver warm starting — useful to
-//! measure the warm-start speedup while verifying it changes nothing.
+//! also with `--cold`, which disables solver warm starting, and with
+//! `--no-bypass`, which disables the SPICE-style device-evaluation bypass
+//! — both useful to measure a speedup while verifying it changes nothing.
 //!
 //! `--faults SPEC` corrupts every die's measurement deterministically:
 //! `light`/`heavy` presets or `k=v` pairs (`noise=0.05,drop=0.01,...`, see
@@ -51,6 +52,9 @@ pub struct CampaignCliArgs {
     pub out: Option<PathBuf>,
     /// Disable solver warm starting (ablation / verification mode).
     pub cold: bool,
+    /// Device-evaluation bypass inside Newton (`--no-bypass` clears it;
+    /// ablation / verification mode, same contract as `cold`).
+    pub bypass: bool,
     /// Deterministic measurement corruption (all-zero = off).
     pub faults: FaultSpec,
     /// Override of the per-corner retry budget (`None` = spec default).
@@ -71,6 +75,7 @@ impl Default for CampaignCliArgs {
             seed: 2002,
             out: None,
             cold: false,
+            bypass: true,
             faults: FaultSpec::none(),
             retries: None,
             robust: true,
@@ -139,6 +144,9 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--cold" => {
                 out.cold = true;
             }
+            "--no-bypass" => {
+                out.bypass = false;
+            }
             "--faults" => {
                 let v = value("--faults", it.next())?;
                 out.faults = FaultSpec::parse(&v).map_err(|e| e.detail)?;
@@ -168,8 +176,8 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                 return Err(format!(
                     "unknown campaign argument {other:?} \
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
-                     [--out DIR] [--cold] [--faults SPEC] [--retries N] [--no-robust] \
-                     [--trace[=DIR]])"
+                     [--out DIR] [--cold] [--no-bypass] [--faults SPEC] [--retries N] \
+                     [--no-robust] [--trace[=DIR]])"
                 ));
             }
         }
@@ -264,6 +272,18 @@ pub fn render(run: &CampaignRun) -> String {
     );
     let _ = writeln!(
         s,
+        "  stamping: device bypass hit rate {:.1}% ({} evals, {} exact reuses, \
+         {} bypasses), incremental restamp {:.1}% ({} incremental, {} full)",
+        solver.bypass_hit_rate() * 100.0,
+        solver.device_evals,
+        solver.device_reuses,
+        solver.bypass_hits,
+        solver.restamp_savings() * 100.0,
+        solver.restamp_incremental,
+        solver.restamp_full,
+    );
+    let _ = writeln!(
+        s,
         "\n  stage timings (p50/p99 per die): {}",
         run.metrics
             .stages
@@ -327,6 +347,7 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
     let cli = parse_args(args)?;
     let mut spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
     spec.warm_start = !cli.cold;
+    spec.bypass = cli.bypass;
     spec.faults = cli.faults;
     spec.robust = cli.robust;
     if let Some(budget) = cli.retries {
@@ -500,5 +521,30 @@ mod tests {
             s[start..end].to_string()
         };
         assert_eq!(physics(&warm), physics(&cold));
+    }
+
+    #[test]
+    fn no_bypass_flag_disables_bypass_without_changing_results() {
+        let on = run_cli(&sv(&["--diameter", "3", "--threads", "1", "--seed", "9"])).unwrap();
+        let off = run_cli(&sv(&[
+            "--diameter",
+            "3",
+            "--threads",
+            "1",
+            "--seed",
+            "9",
+            "--no-bypass",
+        ]))
+        .unwrap();
+        assert!(off.contains(" 0 bypasses)"), "no-bypass summary:\n{off}");
+        assert!(on.contains("stamping: device bypass hit rate"));
+        // Bypass is a pure speed knob: every physics number in the corner
+        // table is byte-identical with it on or off.
+        let physics = |s: &str| {
+            let start = s.find("\n\n  corner").unwrap();
+            let end = s.find("\n\n  solver:").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(physics(&on), physics(&off));
     }
 }

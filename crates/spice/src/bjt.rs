@@ -19,7 +19,7 @@ use icvbe_units::{thermal_voltage, Ampere, ElectronVolt, Kelvin, Volt};
 
 use crate::limexp::limexp;
 use crate::netlist::NodeId;
-use crate::stamp::{Element, StampContext};
+use crate::stamp::{Element, StampContext, DEVICE_EVAL_SLOTS, DEVICE_TEMP_SLOTS};
 use crate::SpiceError;
 
 /// Device polarity.
@@ -156,6 +156,48 @@ struct BjtAtTemperature {
     inv_vaf: f64,
     inv_var: f64,
 }
+
+impl BjtAtTemperature {
+    /// Packs the card values into the first 12 device-cache slots.
+    fn to_slots(self) -> [f64; DEVICE_TEMP_SLOTS] {
+        let mut s = [0.0; DEVICE_TEMP_SLOTS];
+        s[0] = self.vt_f;
+        s[1] = self.vt_r;
+        s[2] = self.vt_e;
+        s[3] = self.vt_c;
+        s[4] = self.is;
+        s[5] = self.ise;
+        s[6] = self.isc;
+        s[7] = self.bf;
+        s[8] = self.br;
+        s[9] = self.ikf;
+        s[10] = self.inv_vaf;
+        s[11] = self.inv_var;
+        s
+    }
+
+    fn from_slots(s: &[f64; DEVICE_TEMP_SLOTS]) -> Self {
+        BjtAtTemperature {
+            vt_f: s[0],
+            vt_r: s[1],
+            vt_e: s[2],
+            vt_c: s[3],
+            is: s[4],
+            ise: s[5],
+            isc: s[6],
+            bf: s[7],
+            br: s[8],
+            ikf: s[9],
+            inv_vaf: s[10],
+            inv_var: s[11],
+        }
+    }
+}
+
+/// Device-cache slot of the parasitic saturation current (`is * area`).
+const SLOT_SUB_IS: usize = 12;
+/// Device-cache slot of the parasitic thermal voltage (`vt * emission`).
+const SLOT_SUB_VT: usize = 13;
 
 /// Terminal currents (defined flowing *into* each terminal).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -474,11 +516,52 @@ impl Element for Bjt {
     fn stamp(&self, ctx: &mut StampContext<'_>) {
         let s = self.polarity.sign();
         let t = ctx.temperature();
-        let m = self.at_temperature(t);
+
+        // Model cache: the powf-heavy per-temperature card values (and the
+        // parasitic's saturation current / thermal voltage) are pure
+        // functions of T, so reusing them at the same temperature bits is
+        // exact.
+        let t_bits = t.value().to_bits();
+        let slots = match ctx.cached_model(t_bits) {
+            Some(slots) => slots,
+            None => {
+                let mut slots = self.at_temperature(t).to_slots();
+                if let Some((_, j)) = self.substrate {
+                    let law = SpiceIsLaw::new(j.is, self.params.t_nom, j.eg, j.xti);
+                    slots[SLOT_SUB_IS] = law.is_at(t).value() * self.area;
+                    slots[SLOT_SUB_VT] = thermal_voltage(t).value() * j.emission;
+                }
+                ctx.store_model(t_bits, slots);
+                slots
+            }
+        };
+
         let (vc, vb, ve) = (ctx.v(self.collector), ctx.v(self.base), ctx.v(self.emitter));
         let vbe = s * (vb - ve);
         let vbc = s * (vb - vc);
-        let (ic, ib, y11, y12, y21, y22) = self.gummel_poon(vbe, vbc, &m);
+
+        // Evaluation cache: every output is a pure function of (vbe, vbc)
+        // and the cached model values — including the substrate parasitic,
+        // which is controlled by vbe alone.
+        let out: [f64; DEVICE_EVAL_SLOTS] = match ctx.cached_eval([vbe, vbc]) {
+            Some(out) => out,
+            None => {
+                let m = BjtAtTemperature::from_slots(&slots);
+                let (ic, ib, y11, y12, y21, y22) = self.gummel_poon(vbe, vbc, &m);
+                let (i_raw, g) = if self.substrate.is_some() {
+                    let is = slots[SLOT_SUB_IS];
+                    let vt = slots[SLOT_SUB_VT];
+                    let (e, de) = limexp(vbe / vt);
+                    (is * (e - 1.0), is * de / vt)
+                } else {
+                    (0.0, 0.0)
+                };
+                let out = [ic, ib, y11, y12, y21, y22, i_raw, g];
+                ctx.store_eval([vbe, vbc], out);
+                out
+            }
+        };
+        let [ic, ib, y11, y12, y21, y22, i_raw, g] = out;
 
         // Out-currents: collector s*ic, base s*ib, emitter -s*(ic+ib).
         ctx.add_node_residual(self.collector, s * ic);
@@ -501,13 +584,7 @@ impl Element for Bjt {
         // Parasitic vertical transistor: transport current controlled by
         // the emitter-base junction, flowing emitter -> substrate (for the
         // PNP orientation; mirrored for NPN).
-        if let Some((sub, j)) = self.substrate {
-            let law = SpiceIsLaw::new(j.is, self.params.t_nom, j.eg, j.xti);
-            let is = law.is_at(t).value() * self.area;
-            let vt = thermal_voltage(t).value() * j.emission;
-            let (e, de) = limexp(vbe / vt);
-            let i_raw = is * (e - 1.0);
-            let g = is * de / vt;
+        if let Some((sub, _)) = self.substrate {
             // Out-of-emitter current is -s * i_raw (for PNP, s = -1:
             // positive i_raw leaves the emitter node), and the substrate
             // receives it.

@@ -99,6 +99,12 @@ impl Element for Resistor {
         &self.name
     }
 
+    // Conductance depends on temperature and the bound parameter, never
+    // on the iterate.
+    fn jacobian_constant(&self) -> bool {
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -164,6 +170,11 @@ impl Element for CurrentSource {
         &self.name
     }
 
+    // Stamps no Jacobian entries at all.
+    fn jacobian_constant(&self) -> bool {
+        true
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -225,6 +236,11 @@ impl VoltageSource {
 impl Element for VoltageSource {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Incidence entries (±1) only.
+    fn jacobian_constant(&self) -> bool {
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -335,6 +351,11 @@ impl OpAmp {
 impl Element for OpAmp {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    // Incidence and gain entries are fixed by the instance.
+    fn jacobian_constant(&self) -> bool {
+        true
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

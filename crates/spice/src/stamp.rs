@@ -10,6 +10,7 @@
 //! Sign convention: a node residual is the sum of currents *leaving* the
 //! node; Kirchhoff demands it be zero.
 
+use std::cell::Cell;
 use std::fmt;
 
 use icvbe_numerics::Matrix;
@@ -41,6 +42,146 @@ impl EvalContext {
     }
 }
 
+/// Where Jacobian contributions of one element land during a stamping pass.
+///
+/// `Record` and `Replay` implement incremental restamping: the first
+/// Jacobian pass over a hot assembly records every post-ground-drop
+/// `(row, col)` an element touches, in call order, together with the value.
+/// Later passes replay only the slot ranges of elements whose Jacobian
+/// depends on the operating point and re-reduce each matrix entry by
+/// summing its recorded slots in the original call order — so the
+/// floating-point accumulation order, and therefore every bit of the
+/// result, matches a dense pass.
+#[derive(Debug)]
+pub(crate) enum JacSink<'a> {
+    /// Residual-only pass: Jacobian contributions are dropped.
+    None,
+    /// Accumulate straight into a dense matrix (the legacy pass).
+    Dense(&'a mut Matrix),
+    /// Capture `(row, col)` and value of every surviving call, in order.
+    Record {
+        /// Global call sequence, appended per call.
+        seq: &'a mut Vec<(u32, u32)>,
+        /// Value of each recorded call, parallel to `seq`.
+        values: &'a mut Vec<f64>,
+    },
+    /// Rewrite the recorded values of one element's slot range, verifying
+    /// the call sequence still matches the recording (`ok` is cleared on
+    /// any divergence so the caller can fall back to a dense pass).
+    Replay {
+        /// This element's recorded `(row, col)` sequence.
+        seq: &'a [(u32, u32)],
+        /// This element's value slots, rewritten in place.
+        values: &'a mut [f64],
+        /// Next slot to write; must equal `seq.len()` after the stamp.
+        cursor: &'a mut usize,
+        /// Cleared when a call does not match the recording.
+        ok: &'a mut bool,
+    },
+}
+
+/// Number of per-temperature model-card values a [`DeviceSlot`] caches.
+pub const DEVICE_TEMP_SLOTS: usize = 16;
+/// Number of evaluation outputs a [`DeviceSlot`] caches.
+pub const DEVICE_EVAL_SLOTS: usize = 8;
+
+/// Per-element cache of the most recent model-card refresh and device
+/// evaluation, owned by the assembly so it persists across solves.
+///
+/// Two layers: a *model* cache keyed on the raw bits of the temperature
+/// (holding the expensive `powf`-laden per-temperature card values) and an
+/// *evaluation* cache keyed on the raw bits of the controlling voltages
+/// (holding currents and conductances). Exact-bit reuse is always sound —
+/// the device equations are pure functions, so recomputing would produce
+/// identical bits — while tolerance-based reuse (SPICE bypass) is an
+/// opt-in approximation the solver re-verifies at acceptance.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceSlot {
+    temp_key: u64,
+    temp_valid: bool,
+    temp: [f64; DEVICE_TEMP_SLOTS],
+    eval_key: [u64; 2],
+    eval_valid: bool,
+    eval: [f64; DEVICE_EVAL_SLOTS],
+}
+
+impl Default for DeviceSlot {
+    fn default() -> Self {
+        DeviceSlot {
+            temp_key: 0,
+            temp_valid: false,
+            temp: [0.0; DEVICE_TEMP_SLOTS],
+            eval_key: [0; 2],
+            eval_valid: false,
+            eval: [0.0; DEVICE_EVAL_SLOTS],
+        }
+    }
+}
+
+/// Tolerances under which a device evaluation may be reused for nearby
+/// controlling voltages (inactive ⇒ only exact-bit reuse).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct BypassTolerance {
+    pub(crate) active: bool,
+    pub(crate) v_abs: f64,
+    pub(crate) v_rel: f64,
+}
+
+impl BypassTolerance {
+    /// Exact-bit reuse only.
+    pub(crate) const OFF: BypassTolerance = BypassTolerance {
+        active: false,
+        v_abs: 0.0,
+        v_rel: 0.0,
+    };
+}
+
+/// Stamping-effort counters accumulated on the assembly (single-threaded
+/// interior mutability; an assembly is per-thread by construction).
+#[derive(Debug, Default)]
+pub(crate) struct StampCounters {
+    pub(crate) device_evals: Cell<u64>,
+    pub(crate) device_reuses: Cell<u64>,
+    pub(crate) bypass_hits: Cell<u64>,
+    pub(crate) restamp_incremental: Cell<u64>,
+    pub(crate) restamp_full: Cell<u64>,
+}
+
+impl StampCounters {
+    pub(crate) fn take(&self) -> StampEffort {
+        StampEffort {
+            device_evals: self.device_evals.take(),
+            device_reuses: self.device_reuses.take(),
+            bypass_hits: self.bypass_hits.take(),
+            restamp_incremental: self.restamp_incremental.take(),
+            restamp_full: self.restamp_full.take(),
+        }
+    }
+}
+
+fn bump(cell: &Cell<u64>) {
+    cell.set(cell.get() + 1);
+}
+
+/// A snapshot of stamping effort: how much device evaluation and matrix
+/// restamping work a stretch of solves actually performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StampEffort {
+    /// Full device evaluations performed (model equations run).
+    pub device_evals: u64,
+    /// Evaluations skipped because the controlling voltages matched the
+    /// cached anchor bit-for-bit (always sound).
+    pub device_reuses: u64,
+    /// Evaluations skipped by the tolerance-based bypass (approximation;
+    /// re-verified at acceptance).
+    pub bypass_hits: u64,
+    /// Jacobian passes that rewrote only operating-point-dependent slots.
+    pub restamp_incremental: u64,
+    /// Jacobian passes that stamped every element (recording, constant
+    /// refresh, or dense fallback).
+    pub restamp_full: u64,
+}
+
 /// Mutable view an element stamps through.
 ///
 /// Rows/columns are addressed by [`NodeId`] (ground rows/columns are
@@ -53,7 +194,10 @@ pub struct StampContext<'a> {
     /// Absolute index of this element's first branch unknown.
     branch_base: usize,
     residual: &'a mut [f64],
-    jacobian: Option<&'a mut Matrix>,
+    jac: JacSink<'a>,
+    device: Option<&'a mut DeviceSlot>,
+    bypass: BypassTolerance,
+    counters: Option<&'a StampCounters>,
 }
 
 impl<'a> StampContext<'a> {
@@ -66,14 +210,46 @@ impl<'a> StampContext<'a> {
         residual: &'a mut [f64],
         jacobian: Option<&'a mut Matrix>,
     ) -> Self {
+        let jac = match jacobian {
+            Some(m) => JacSink::Dense(m),
+            None => JacSink::None,
+        };
+        StampContext::with_sink(eval, x, node_count, branch_base, residual, jac)
+    }
+
+    /// Creates a context with an explicit Jacobian sink.
+    pub(crate) fn with_sink(
+        eval: EvalContext,
+        x: &'a [f64],
+        node_count: usize,
+        branch_base: usize,
+        residual: &'a mut [f64],
+        jac: JacSink<'a>,
+    ) -> Self {
         StampContext {
             eval,
             x,
             node_count,
             branch_base,
             residual,
-            jacobian,
+            jac,
+            device: None,
+            bypass: BypassTolerance::OFF,
+            counters: None,
         }
+    }
+
+    /// Attaches this element's persistent device-cache slot plus the
+    /// bypass policy and effort counters of the owning assembly.
+    pub(crate) fn attach_device(
+        &mut self,
+        slot: &'a mut DeviceSlot,
+        bypass: BypassTolerance,
+        counters: &'a StampCounters,
+    ) {
+        self.device = Some(slot);
+        self.bypass = bypass;
+        self.counters = Some(counters);
     }
 
     /// Device temperature.
@@ -121,13 +297,38 @@ impl<'a> StampContext<'a> {
         self.residual[self.node_count + self.branch_base + k] += value;
     }
 
+    /// Routes one surviving (post-ground-drop) Jacobian contribution into
+    /// the active sink.
+    fn push_jac(&mut self, r: usize, c: usize, value: f64) {
+        match &mut self.jac {
+            JacSink::None => {}
+            JacSink::Dense(j) => j[(r, c)] += value,
+            JacSink::Record { seq, values } => {
+                seq.push((r as u32, c as u32));
+                values.push(value);
+            }
+            JacSink::Replay {
+                seq,
+                values,
+                cursor,
+                ok,
+            } => {
+                let i = **cursor;
+                if i < seq.len() && seq[i] == (r as u32, c as u32) {
+                    values[i] = value;
+                    **cursor = i + 1;
+                } else {
+                    **ok = false;
+                }
+            }
+        }
+    }
+
     /// Adds `dI/dV`: derivative of the `row` node's residual with respect
     /// to the `col` node's voltage.
     pub fn add_jac_node_node(&mut self, row: NodeId, col: NodeId, value: f64) {
-        if let Some(j) = &mut self.jacobian {
-            if let (Some(r), Some(c)) = (row.unknown_index(), col.unknown_index()) {
-                j[(r, c)] += value;
-            }
+        if let (Some(r), Some(c)) = (row.unknown_index(), col.unknown_index()) {
+            self.push_jac(r, c, value);
         }
     }
 
@@ -135,10 +336,8 @@ impl<'a> StampContext<'a> {
     /// element's `k`-th branch current.
     pub fn add_jac_node_branch(&mut self, row: NodeId, k: usize, value: f64) {
         let col = self.node_count + self.branch_base + k;
-        if let Some(j) = &mut self.jacobian {
-            if let Some(r) = row.unknown_index() {
-                j[(r, col)] += value;
-            }
+        if let Some(r) = row.unknown_index() {
+            self.push_jac(r, col, value);
         }
     }
 
@@ -146,10 +345,8 @@ impl<'a> StampContext<'a> {
     /// respect to the `col` node's voltage.
     pub fn add_jac_branch_node(&mut self, k: usize, col: NodeId, value: f64) {
         let row = self.node_count + self.branch_base + k;
-        if let Some(j) = &mut self.jacobian {
-            if let Some(c) = col.unknown_index() {
-                j[(row, c)] += value;
-            }
+        if let Some(c) = col.unknown_index() {
+            self.push_jac(row, c, value);
         }
     }
 
@@ -158,8 +355,73 @@ impl<'a> StampContext<'a> {
     pub fn add_jac_branch_branch(&mut self, k: usize, c: usize, value: f64) {
         let row = self.node_count + self.branch_base + k;
         let col = self.node_count + self.branch_base + c;
-        if let Some(j) = &mut self.jacobian {
-            j[(row, col)] += value;
+        self.push_jac(row, col, value);
+    }
+
+    /// Cached per-temperature model values, if the attached device slot
+    /// was last refreshed at exactly this key (typically `T.to_bits()`).
+    /// Always `None` when no slot is attached (cold paths).
+    #[must_use]
+    pub fn cached_model(&self, key: u64) -> Option<[f64; DEVICE_TEMP_SLOTS]> {
+        let slot = self.device.as_ref()?;
+        (slot.temp_valid && slot.temp_key == key).then_some(slot.temp)
+    }
+
+    /// Stores freshly computed per-temperature model values. Invalidates
+    /// the evaluation cache: its outputs depend on the model values.
+    pub fn store_model(&mut self, key: u64, values: [f64; DEVICE_TEMP_SLOTS]) {
+        if let Some(slot) = self.device.as_mut() {
+            slot.temp_key = key;
+            slot.temp = values;
+            slot.temp_valid = true;
+            slot.eval_valid = false;
+        }
+    }
+
+    /// Cached evaluation outputs for controlling voltages `inputs`.
+    ///
+    /// An exact bit match always hits (the device equations are pure, so a
+    /// recompute would produce identical bits). Inputs merely *within
+    /// tolerance* of the cached anchor hit only when bypass is active; the
+    /// anchor is deliberately not moved on such a hit, so drift cannot
+    /// accumulate.
+    #[must_use]
+    pub fn cached_eval(&self, inputs: [f64; 2]) -> Option<[f64; DEVICE_EVAL_SLOTS]> {
+        let slot = self.device.as_ref()?;
+        if !slot.eval_valid {
+            return None;
+        }
+        if [inputs[0].to_bits(), inputs[1].to_bits()] == slot.eval_key {
+            if let Some(c) = self.counters {
+                bump(&c.device_reuses);
+            }
+            return Some(slot.eval);
+        }
+        if self.bypass.active {
+            let a0 = f64::from_bits(slot.eval_key[0]);
+            let a1 = f64::from_bits(slot.eval_key[1]);
+            let tol0 = self.bypass.v_abs + self.bypass.v_rel * inputs[0].abs().max(a0.abs());
+            let tol1 = self.bypass.v_abs + self.bypass.v_rel * inputs[1].abs().max(a1.abs());
+            if (inputs[0] - a0).abs() <= tol0 && (inputs[1] - a1).abs() <= tol1 {
+                if let Some(c) = self.counters {
+                    bump(&c.bypass_hits);
+                }
+                return Some(slot.eval);
+            }
+        }
+        None
+    }
+
+    /// Stores the outputs of a full device evaluation at `inputs`, making
+    /// them the new reuse anchor, and counts the evaluation.
+    pub fn store_eval(&mut self, inputs: [f64; 2], outputs: [f64; DEVICE_EVAL_SLOTS]) {
+        if let Some(c) = self.counters {
+            bump(&c.device_evals);
+        }
+        if let Some(slot) = self.device.as_mut() {
+            slot.eval_key = [inputs[0].to_bits(), inputs[1].to_bits()];
+            slot.eval = outputs;
+            slot.eval_valid = true;
         }
     }
 }
@@ -186,6 +448,14 @@ pub trait Element: fmt::Debug + Send + Sync {
     /// Accumulates residual and Jacobian contributions at the iterate
     /// exposed by `ctx`.
     fn stamp(&self, ctx: &mut StampContext<'_>);
+
+    /// Whether every Jacobian value this element stamps is independent of
+    /// the iterate `x` (it may still depend on temperature, gmin, source
+    /// scale or bound parameters). Constant elements are skipped by
+    /// incremental restamp passes until the evaluation context changes.
+    fn jacobian_constant(&self) -> bool {
+        false
+    }
 
     /// Whether the element is an independent source whose value should be
     /// ramped during source stepping.
@@ -241,5 +511,157 @@ mod tests {
         assert_eq!(jac[(0, 1)], 1.0);
         assert_eq!(jac[(1, 0)], 1.0);
         assert_eq!(jac[(1, 1)], 7.0);
+    }
+
+    #[test]
+    fn record_then_replay_round_trips_bitwise() {
+        let x = vec![0.5, -0.25];
+        let mut ckt = crate::netlist::Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let eval = EvalContext::nominal(Kelvin::new(300.0));
+
+        let mut seq = Vec::new();
+        let mut values = Vec::new();
+        let mut residual = vec![0.0; 2];
+        let mut ctx = StampContext::with_sink(
+            eval,
+            &x,
+            2,
+            0,
+            &mut residual,
+            JacSink::Record {
+                seq: &mut seq,
+                values: &mut values,
+            },
+        );
+        ctx.add_jac_node_node(a, a, 1.5);
+        ctx.add_jac_node_node(a, b, -1.5);
+        ctx.add_jac_node_node(NodeId::GROUND, a, 9.0); // dropped, not recorded
+        ctx.add_jac_node_node(b, b, 2.5);
+        assert_eq!(seq, vec![(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(values, vec![1.5, -1.5, 2.5]);
+
+        let mut cursor = 0usize;
+        let mut ok = true;
+        let mut residual = vec![0.0; 2];
+        let mut ctx = StampContext::with_sink(
+            eval,
+            &x,
+            2,
+            0,
+            &mut residual,
+            JacSink::Replay {
+                seq: &seq,
+                values: &mut values,
+                cursor: &mut cursor,
+                ok: &mut ok,
+            },
+        );
+        ctx.add_jac_node_node(a, a, 3.5);
+        ctx.add_jac_node_node(a, b, -3.5);
+        ctx.add_jac_node_node(NodeId::GROUND, a, 9.0);
+        ctx.add_jac_node_node(b, b, 4.5);
+        assert!(ok);
+        assert_eq!(cursor, 3);
+        assert_eq!(values, vec![3.5, -3.5, 4.5]);
+    }
+
+    #[test]
+    fn replay_flags_a_diverging_sequence() {
+        let x = vec![0.0];
+        let seq = vec![(0u32, 0u32)];
+        let mut values = vec![1.0];
+        let mut cursor = 0usize;
+        let mut ok = true;
+        let mut residual = vec![0.0; 1];
+        let mut ctx = StampContext::with_sink(
+            EvalContext::nominal(Kelvin::new(300.0)),
+            &x,
+            1,
+            0,
+            &mut residual,
+            JacSink::Replay {
+                seq: &seq,
+                values: &mut values,
+                cursor: &mut cursor,
+                ok: &mut ok,
+            },
+        );
+        // Recorded (0,0) but the element now stamps a branch entry.
+        ctx.add_jac_branch_branch(0, 0, 2.0);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn device_slot_exact_reuse_and_temperature_invalidation() {
+        let x: Vec<f64> = vec![];
+        let mut residual: Vec<f64> = vec![];
+        let mut slot = DeviceSlot::default();
+        let counters = StampCounters::default();
+        let mut ctx = StampContext::with_sink(
+            EvalContext::nominal(Kelvin::new(300.0)),
+            &x,
+            0,
+            0,
+            &mut residual,
+            JacSink::None,
+        );
+        ctx.attach_device(&mut slot, BypassTolerance::OFF, &counters);
+
+        assert!(ctx.cached_model(300.0f64.to_bits()).is_none());
+        ctx.store_model(300.0f64.to_bits(), [1.0; DEVICE_TEMP_SLOTS]);
+        assert!(ctx.cached_model(300.0f64.to_bits()).is_some());
+        assert!(ctx.cached_model(301.0f64.to_bits()).is_none());
+
+        assert!(ctx.cached_eval([0.6, 0.0]).is_none());
+        ctx.store_eval([0.6, 0.0], [2.0; DEVICE_EVAL_SLOTS]);
+        assert_eq!(ctx.cached_eval([0.6, 0.0]), Some([2.0; DEVICE_EVAL_SLOTS]));
+        // Off-key without bypass: miss.
+        assert!(ctx.cached_eval([0.6 + 1e-9, 0.0]).is_none());
+        // A model refresh invalidates the evaluation cache.
+        ctx.store_model(301.0f64.to_bits(), [1.0; DEVICE_TEMP_SLOTS]);
+        assert!(ctx.cached_eval([0.6, 0.0]).is_none());
+
+        let effort = counters.take();
+        assert_eq!(effort.device_evals, 1);
+        assert_eq!(effort.device_reuses, 1);
+        assert_eq!(effort.bypass_hits, 0);
+        assert_eq!(counters.take(), StampEffort::default());
+    }
+
+    #[test]
+    fn bypass_tolerance_reuses_nearby_points_without_moving_the_anchor() {
+        let x: Vec<f64> = vec![];
+        let mut residual: Vec<f64> = vec![];
+        let mut slot = DeviceSlot::default();
+        let counters = StampCounters::default();
+        let bypass = BypassTolerance {
+            active: true,
+            v_abs: 1e-6,
+            v_rel: 0.0,
+        };
+        let mut ctx = StampContext::with_sink(
+            EvalContext::nominal(Kelvin::new(300.0)),
+            &x,
+            0,
+            0,
+            &mut residual,
+            JacSink::None,
+        );
+        ctx.attach_device(&mut slot, bypass, &counters);
+        ctx.store_model(300.0f64.to_bits(), [0.0; DEVICE_TEMP_SLOTS]);
+        ctx.store_eval([0.6, 0.0], [7.0; DEVICE_EVAL_SLOTS]);
+        // Within tolerance: reused.
+        assert_eq!(
+            ctx.cached_eval([0.6 + 5e-7, 0.0]),
+            Some([7.0; DEVICE_EVAL_SLOTS])
+        );
+        // Anchor unmoved: a point within tolerance of the *new* input but
+        // beyond tolerance of the anchor misses.
+        assert!(ctx.cached_eval([0.6 + 15e-7, 0.0]).is_none());
+        let effort = counters.take();
+        assert_eq!(effort.bypass_hits, 1);
+        assert_eq!(effort.device_evals, 1);
     }
 }

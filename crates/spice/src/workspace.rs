@@ -27,7 +27,7 @@ use icvbe_units::Kelvin;
 use crate::ladder::{SolveFailure, SolveStrategy};
 use crate::netlist::Circuit;
 use crate::solver::DcOptions;
-use crate::stamp::EvalContext;
+use crate::stamp::{BypassTolerance, EvalContext};
 use crate::system::{CircuitAssembly, CircuitSystem};
 use crate::SpiceError;
 
@@ -48,6 +48,16 @@ pub struct SolveStats {
     pub ladder_success: [u64; 4],
     /// Solves that exhausted every rung of the ladder.
     pub ladder_exhausted: u64,
+    /// Full device evaluations performed.
+    pub device_evals: u64,
+    /// Device evaluations skipped by an exact-bit cache hit.
+    pub device_reuses: u64,
+    /// Device evaluations skipped by the tolerance bypass.
+    pub bypass_hits: u64,
+    /// Jacobian passes that rewrote only operating-point-dependent slots.
+    pub restamp_incremental: u64,
+    /// Jacobian passes that stamped every element.
+    pub restamp_full: u64,
 }
 
 impl SolveStats {
@@ -109,18 +119,33 @@ impl SolveWorkspace {
     }
 }
 
+/// Drains the assembly's per-solve stamp counters into the workspace
+/// stats and returns the solve's bypass-hit count (for the solve span
+/// payload).
+fn drain_effort(ws: &mut SolveWorkspace, assembly: &CircuitAssembly) -> u64 {
+    let effort = assembly.take_stamp_effort();
+    ws.stats.device_evals += effort.device_evals;
+    ws.stats.device_reuses += effort.device_reuses;
+    ws.stats.bypass_hits += effort.bypass_hits;
+    ws.stats.restamp_incremental += effort.restamp_incremental;
+    ws.stats.restamp_full += effort.restamp_full;
+    effort.bypass_hits
+}
+
 /// Books a successful solve into the stats, closes the rung and solve
 /// spans, and builds the info.
 fn rung_succeeded(
     ws: &mut SolveWorkspace,
+    assembly: &CircuitAssembly,
     strategy: SolveStrategy,
     iterations: usize,
     warm: bool,
     rung: SpanToken,
     solve: SpanToken,
 ) -> DcSolveInfo {
+    let bypass = drain_effort(ws, assembly);
     ws.trace.span_end(rung);
-    ws.trace.span_end_with(solve, iterations as u64, 0);
+    ws.trace.span_end_with(solve, iterations as u64, bypass);
     ws.stats.newton_iterations += iterations as u64;
     ws.stats.ladder_success[strategy.index()] += 1;
     DcSolveInfo {
@@ -134,11 +159,13 @@ fn rung_succeeded(
 /// wraps the failure trace.
 fn ladder_exhausted(
     ws: &mut SolveWorkspace,
+    assembly: &CircuitAssembly,
     iterations: usize,
     failure: SolveFailure,
     solve: SpanToken,
 ) -> SpiceError {
-    ws.trace.span_end_with(solve, iterations as u64, 0);
+    let bypass = drain_effort(ws, assembly);
+    ws.trace.span_end_with(solve, iterations as u64, bypass);
     ws.stats.newton_iterations += iterations as u64;
     ws.stats.ladder_exhausted += 1;
     SpiceError::LadderExhausted(failure)
@@ -180,7 +207,23 @@ pub fn solve_dc_with(
         gmin: options.gmin_floor,
         source_scale: 1.0,
     };
-    let mut system = CircuitSystem::with_assembly(circuit, eval, assembly);
+    // Bound element parameters may have changed since the last solve
+    // through this assembly; force one full restamp before going
+    // incremental again.
+    assembly.invalidate_constants();
+    let bypass = BypassTolerance {
+        active: options.bypass.enabled,
+        v_abs: options.bypass.v_abs,
+        v_rel: options.bypass.v_rel,
+    };
+    let mut system = CircuitSystem::hot_path(circuit, eval, assembly, bypass);
+    // The symbolic plan is armed by the first recording pass, so a fresh
+    // assembly runs its first solve through dense LU and binds the frozen
+    // factorization from the second solve on (bitwise identical results).
+    match assembly.symbolic_plan() {
+        Some(plan) if options.sparse => ws.newton.use_sparse_plan(&plan),
+        _ => ws.newton.use_dense(),
+    }
     let n = assembly.dimension();
     ws.ensure(n);
     let warm = matches!(initial, Some(x) if x.len() == n);
@@ -216,6 +259,7 @@ pub fn solve_dc_with(
                 iterations += info.iterations;
                 return Ok(rung_succeeded(
                     ws,
+                    assembly,
                     SolveStrategy::WarmStart,
                     iterations,
                     warm,
@@ -248,6 +292,7 @@ pub fn solve_dc_with(
             iterations += info.iterations;
             return Ok(rung_succeeded(
                 ws,
+                assembly,
                 SolveStrategy::ColdStart,
                 iterations,
                 warm,
@@ -315,6 +360,7 @@ pub fn solve_dc_with(
                 iterations += info.iterations;
                 return Ok(rung_succeeded(
                     ws,
+                    assembly,
                     SolveStrategy::GminStepping,
                     iterations,
                     warm,
@@ -359,7 +405,9 @@ pub fn solve_dc_with(
                     format!("source stepping at scale {scale:.2}: {e}"),
                 );
                 ws.trace.span_end(rung);
-                return Err(ladder_exhausted(ws, iterations, failure, solve_span));
+                return Err(ladder_exhausted(
+                    ws, assembly, iterations, failure, solve_span,
+                ));
             }
         }
     }
@@ -385,7 +433,9 @@ pub fn solve_dc_with(
                     format!("gmin relaxation after source stepping: {e}"),
                 );
                 ws.trace.span_end(rung);
-                return Err(ladder_exhausted(ws, iterations, failure, solve_span));
+                return Err(ladder_exhausted(
+                    ws, assembly, iterations, failure, solve_span,
+                ));
             }
         }
         if gmin <= options.gmin_floor {
@@ -395,6 +445,7 @@ pub fn solve_dc_with(
     }
     Ok(rung_succeeded(
         ws,
+        assembly,
         SolveStrategy::SourceStepping,
         iterations,
         warm,
@@ -491,6 +542,11 @@ mod tests {
             cold_starts: 2,
             ladder_success: [1, 2, 0, 0],
             ladder_exhausted: 0,
+            device_evals: 42,
+            device_reuses: 9,
+            bypass_hits: 4,
+            restamp_incremental: 11,
+            restamp_full: 3,
         };
         let taken = stats.take();
         assert_eq!(taken.solves, 3);

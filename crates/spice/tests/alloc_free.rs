@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use icvbe_spice::bjt::{Bjt, BjtParams, Polarity};
 use icvbe_spice::element::{CurrentSource, Resistor};
 use icvbe_spice::netlist::Circuit;
-use icvbe_spice::solver::DcOptions;
+use icvbe_spice::solver::{BypassOptions, DcOptions};
 use icvbe_spice::system::CircuitAssembly;
 use icvbe_spice::workspace::{solve_dc_with, SolveWorkspace};
 use icvbe_units::{Ampere, Kelvin, Ohm};
@@ -107,10 +107,14 @@ fn steady_state_solves_do_not_allocate() {
     let mut ws = SolveWorkspace::new();
 
     // Warm-up: the first solve sizes every workspace buffer (Newton
-    // scratch, Jacobian, LU storage, polish cluster) for this system.
+    // scratch, Jacobian, LU storage, polish cluster), records the stamp
+    // plan, and arms the symbolic factorization; the second binds the
+    // frozen sparse plan and sizes its factor storage. After that the
+    // sparse path owns all of its memory.
     let t0 = Kelvin::new(298.15);
     solve_dc_with(&circuit, &assembly, t0, &opts, None, &mut ws).unwrap();
     let seed: Vec<f64> = ws.solution().to_vec();
+    solve_dc_with(&circuit, &assembly, t0, &opts, Some(&seed), &mut ws).unwrap();
 
     // Steady state: cold starts, warm starts, and temperature changes of
     // the same system must all run entirely out of the workspace.
@@ -136,6 +140,42 @@ fn steady_state_solves_do_not_allocate() {
         reallocs, 0,
         "steady-state solves reallocated {reallocs} time(s)"
     );
+}
+
+#[test]
+fn steady_state_bypassed_solves_do_not_allocate() {
+    // Same contract with the device-evaluation bypass switched on: the
+    // tolerance cache, exact-mode re-verification, and incremental
+    // restamping all draw from storage sized during warm-up.
+    let circuit = test_cell();
+    let assembly = CircuitAssembly::new(&circuit).unwrap();
+    let mut opts = DcOptions::default();
+    opts.newton.polish = true;
+    opts.bypass = BypassOptions::active();
+    let mut ws = SolveWorkspace::new();
+
+    let t0 = Kelvin::new(298.15);
+    solve_dc_with(&circuit, &assembly, t0, &opts, None, &mut ws).unwrap();
+    let seed: Vec<f64> = ws.solution().to_vec();
+    solve_dc_with(&circuit, &assembly, t0, &opts, Some(&seed), &mut ws).unwrap();
+    ws.stats.take();
+
+    let (allocs, reallocs, ()) = count_allocations(|| {
+        for &t in &[260.15, 298.15, 335.15] {
+            let t = Kelvin::new(t);
+            solve_dc_with(&circuit, &assembly, t, &opts, None, &mut ws).unwrap();
+            solve_dc_with(&circuit, &assembly, t, &opts, Some(&seed), &mut ws).unwrap();
+        }
+    });
+    assert_eq!(allocs, 0, "bypassed solves allocated {allocs} time(s)");
+    assert_eq!(
+        reallocs, 0,
+        "bypassed solves reallocated {reallocs} time(s)"
+    );
+    // The measured region must actually have taken the fast paths.
+    let stats = ws.stats.take();
+    assert!(stats.restamp_incremental > 0, "{stats:?}");
+    assert!(stats.device_reuses > 0, "{stats:?}");
 }
 
 /// A small contaminated line-fit model: enough residuals to exercise the

@@ -44,4 +44,30 @@ grep -q '"ph":"B"' "$smoke_dir/campaign_trace.json"
 sed 's/ [0-9][0-9]*$/ 0/' "$smoke_dir/campaign_profile.folded" \
   | diff -u scripts/fixtures/trace_smoke.folded -
 
+echo "==> perf smoke: device bypass and incremental restamping are live and inert"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --out "$smoke_dir/bypass_on" > /dev/null
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --no-bypass --out "$smoke_dir/bypass_off" > /dev/null
+metrics="$smoke_dir/bypass_on/campaign_metrics.json"
+# The fast path must actually be running: tolerance bypasses taken,
+# incremental restamps dominating, and both derived rates nonzero.
+grep -q '"bypass_hits":0[,}]' "$metrics" && \
+  { echo "FAIL: no tolerance bypasses taken"; exit 1; }
+grep -q '"restamp_incremental":0[,}]' "$metrics" && \
+  { echo "FAIL: no incremental restamps"; exit 1; }
+grep -q '"bypass_hit_rate":0[,}]' "$metrics" && \
+  { echo "FAIL: zero bypass hit rate"; exit 1; }
+grep -q '"restamp_savings":0[,}]' "$metrics" && \
+  { echo "FAIL: zero restamp savings"; exit 1; }
+# ... and inert: with bypass disabled no tolerance bypass may be taken,
+# and every frozen aggregate artifact is byte-identical either way.
+grep -q '"bypass_hits":0[,}]' "$smoke_dir/bypass_off/campaign_metrics.json" || \
+  { echo "FAIL: --no-bypass still took bypasses"; exit 1; }
+for f in campaign_aggregate.json campaign_aggregate.csv \
+         campaign_quarantine.json campaign_quarantine.csv; do
+  cmp "$smoke_dir/bypass_on/$f" "$smoke_dir/bypass_off/$f" || \
+    { echo "FAIL: $f differs with bypass on/off"; exit 1; }
+done
+
 echo "OK: all checks passed"
