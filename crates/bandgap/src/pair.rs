@@ -272,6 +272,15 @@ impl CompiledPair {
         self.has_warm = false;
     }
 
+    /// Installs a process-wide symbolic-LU plan cache on this pair's
+    /// assembly (see
+    /// [`CircuitAssembly::set_symbolic_cache`]): structurally identical
+    /// pairs compiled on any thread then share one elimination analysis.
+    /// Results are bit-identical with or without the cache.
+    pub fn use_symbolic_cache(&mut self, cache: std::sync::Arc<icvbe_spice::cache::SymbolicCache>) {
+        self.assembly.set_symbolic_cache(cache);
+    }
+
     /// Solves the compiled structure at one temperature and reads out the
     /// pair, drawing all solver storage from `ws`.
     ///

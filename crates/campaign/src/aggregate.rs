@@ -137,6 +137,28 @@ impl Welford {
     pub fn max(&self) -> f64 {
         self.max
     }
+
+    /// The raw accumulator state `(count, mean, m2, min, max)`, for the
+    /// checkpoint codec. The empty accumulator's `±inf` min/max travel
+    /// through here too — the codec must preserve them bit-exactly.
+    #[must_use]
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from [`Welford::raw`] state. Resuming from
+    /// this state and folding the remaining observations produces exactly
+    /// the accumulator an uninterrupted run would.
+    #[must_use]
+    pub fn from_raw(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Welford {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
 }
 
 /// Streaming bivariate moments of the `(XTI, EG)` cloud — the campaign
@@ -207,6 +229,33 @@ impl Scatter {
     pub fn r_squared(&self) -> f64 {
         let c = self.correlation();
         c * c
+    }
+
+    /// The raw moment state `(n, mean_x, mean_y, m2x, m2y, cxy)`, for the
+    /// checkpoint codec.
+    #[must_use]
+    pub fn raw(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (
+            self.n,
+            self.mean_x,
+            self.mean_y,
+            self.m2x,
+            self.m2y,
+            self.cxy,
+        )
+    }
+
+    /// Rebuilds the moments from [`Scatter::raw`] state.
+    #[must_use]
+    pub fn from_raw(n: u64, mean_x: f64, mean_y: f64, m2x: f64, m2y: f64, cxy: f64) -> Self {
+        Scatter {
+            n,
+            mean_x,
+            mean_y,
+            m2x,
+            m2y,
+            cxy,
+        }
     }
 }
 

@@ -27,6 +27,11 @@
 //! - [`report`]: hand-rolled JSON and CSV writers (no serde) producing the
 //!   deterministic `aggregate` and `quarantine` artifacts and the
 //!   (timing-bearing, hence non-deterministic) `metrics` artifact.
+//! - [`json`] / [`wire`] / [`checkpoint`]: a hand-rolled JSON parser, the
+//!   canonical wire codec for specs (with a fingerprint binding state to
+//!   the spec that produced it) and a bit-exact checkpoint codec — the
+//!   substrate the campaign service (`icvbe-serve`) builds its
+//!   submit/stream/resume protocol on.
 //! - [`taxonomy`]: the per-corner failure taxonomy. With fault injection
 //!   enabled (see `icvbe_instrument::faults`), the die pipeline retries
 //!   corrupted measurements under a bounded budget, falls back to a pooled
@@ -61,16 +66,21 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod die;
 mod error;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod seeding;
 pub mod spec;
 pub mod taxonomy;
+pub mod wire;
 pub mod worker;
 
 pub use error::CampaignError;
 pub use spec::CampaignSpec;
 pub use taxonomy::FailureKind;
-pub use worker::{run_campaign, run_campaign_with, CampaignRun, RunOptions};
+pub use worker::{
+    run_campaign, run_campaign_streaming, run_campaign_with, CampaignRun, RunOptions, StreamOptions,
+};

@@ -8,12 +8,21 @@
 //! [`CampaignAggregate`] — so the floating-point fold is identical no
 //! matter which thread finished first, and memory stays bounded by the
 //! pool's out-of-order window rather than the die count.
+//!
+//! [`run_campaign_streaming`] is the general engine: it can start at any
+//! die index, resume from a checkpointed aggregate, observe every folded
+//! die through a callback and stop early at a die boundary — which is
+//! what the campaign service builds its slice scheduler, result streams
+//! and checkpoint/resume on. [`run_campaign_with`] is the one-shot
+//! special case (start at die 0, fresh aggregate, never stop early).
 
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
+use icvbe_spice::cache::SymbolicCache;
 use icvbe_trace::{SpanKind, SpanPhase, Trace, TraceEvent, NO_DIE};
 
 use crate::aggregate::{CampaignAggregate, YieldBin};
@@ -52,6 +61,31 @@ pub struct RunOptions {
     /// is a no-op sink — no events, no extra clock reads, no allocations
     /// on the die hot path.
     pub trace: bool,
+}
+
+/// Knobs of the general streaming engine, [`run_campaign_streaming`].
+///
+/// The defaults reproduce [`RunOptions::default`] behaviour exactly:
+/// start at die 0 with a fresh aggregate, private counters, no shared
+/// cache, no tracing.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Capture a structured span trace (see [`RunOptions::trace`]).
+    pub trace: bool,
+    /// First die index to run. Dies `0..start_die` are assumed already
+    /// folded into [`StreamOptions::resume`].
+    pub start_die: usize,
+    /// Aggregate state to continue from (a decoded checkpoint), or `None`
+    /// for a fresh one. Must hold exactly the fold of dies
+    /// `0..start_die` for the determinism guarantee to carry over.
+    pub resume: Option<CampaignAggregate>,
+    /// Cross-campaign symbolic-LU plan cache. Jobs whose netlists share a
+    /// sparsity pattern reuse one analysis; cached plans are bit-identical
+    /// to fresh ones, so sharing never perturbs results.
+    pub symbolic_cache: Option<Arc<SymbolicCache>>,
+    /// External counters to accumulate into instead of run-private ones —
+    /// a service accumulates one job's counters across its slices.
+    pub counters: Option<Arc<CampaignCounters>>,
 }
 
 /// Runs `spec` across `threads` worker threads.
@@ -115,22 +149,75 @@ pub fn run_campaign_with(
     threads: usize,
     options: &RunOptions,
 ) -> Result<CampaignRun, CampaignError> {
+    let stream = StreamOptions {
+        trace: options.trace,
+        ..StreamOptions::default()
+    };
+    run_campaign_streaming(spec, threads, &stream, |_, _| ControlFlow::Continue(()))
+}
+
+/// The general streaming engine: runs dies `start_die..` of `spec`,
+/// folding them **in index order** into a fresh or resumed aggregate, and
+/// hands every folded die to `on_die` together with the aggregate state
+/// after absorbing it. Returning [`ControlFlow::Break`] stops the run at
+/// that die boundary: no further die is folded, workers abandon their
+/// remaining claims, and the returned [`CampaignRun`] carries the
+/// aggregate exactly as `on_die` last saw it — a valid checkpoint state
+/// for `next_die = last_index + 1`.
+///
+/// Because the fold is strictly index-ordered, running dies `0..k` (via a
+/// break), checkpointing, and resuming with `start_die = k` produces an
+/// aggregate — and therefore report bytes — identical to one
+/// uninterrupted run, at any thread counts on either side of the split.
+///
+/// # Errors
+///
+/// [`CampaignError::InvalidSpec`] from spec validation, or when
+/// `start_die` exceeds the die count (a resume cursor from a checkpoint
+/// that does not belong to this wafer).
+pub fn run_campaign_streaming<F>(
+    spec: &CampaignSpec,
+    threads: usize,
+    options: &StreamOptions,
+    mut on_die: F,
+) -> Result<CampaignRun, CampaignError>
+where
+    F: FnMut(&DieOutcome, &CampaignAggregate) -> ControlFlow<()>,
+{
     spec.validate()?;
     let sites = spec.wafer.sites();
+    if options.start_die > sites.len() {
+        return Err(CampaignError::invalid(format!(
+            "start die {} beyond the wafer's {} dies",
+            options.start_die,
+            sites.len()
+        )));
+    }
     // Campaign-invariant work hoisted out of the per-die loop: the
     // setpoint list is computed once here, not once per corner per die.
     let setpoints = spec.plan.setpoints();
     let threads = threads.max(1);
-    let counters = CampaignCounters::default();
-    let cursor = Arc::new(AtomicUsize::new(0));
+    let owned_counters;
+    let counters: &CampaignCounters = match options.counters.as_deref() {
+        Some(shared) => shared,
+        None => {
+            owned_counters = CampaignCounters::default();
+            &owned_counters
+        }
+    };
+    let cursor = Arc::new(AtomicUsize::new(options.start_die));
     let tracing = options.trace;
     let dropped = AtomicU64::new(0);
     // The fold thread's `tid` in exported traces: one past the workers.
     let fold_tid = threads as u32;
     let started = Instant::now();
 
-    let mut aggregate = CampaignAggregate::new(spec);
+    let mut aggregate = options
+        .resume
+        .clone()
+        .unwrap_or_else(|| CampaignAggregate::new(spec));
     let mut max_buffer = 0usize;
+    let mut stopped = false;
     let mut trace = tracing.then(Trace::default);
     if let Some(t) = trace.as_mut() {
         t.events.push(fold_event(
@@ -151,13 +238,14 @@ pub fn run_campaign_with(
             let cursor = Arc::clone(&cursor);
             let sites = &sites;
             let setpoints = &setpoints;
-            let counters = &counters;
+            let symbolic_cache = options.symbolic_cache.clone();
             let dropped = &dropped;
             scope.spawn(move || {
                 // One scratch per worker thread: solver buffers reach a
                 // steady state after the first die and are reused for
                 // every die the thread claims.
                 let mut scratch = DieScratch::new();
+                scratch.bench.symbolic_cache = symbolic_cache;
                 if tracing {
                     scratch.bench.solve.trace.enable(started, worker as u32);
                 }
@@ -216,8 +304,8 @@ pub fn run_campaign_with(
         // early arrivals; with chunked claiming its size is bounded by
         // roughly threads x CHUNK, not by the wafer.
         let mut buffer: BTreeMap<usize, (DieOutcome, u64)> = BTreeMap::new();
-        let mut next = 0usize;
-        for out in rx {
+        let mut next = options.start_die;
+        'fold: for out in rx {
             let recv_ns = if tracing {
                 started.elapsed().as_nanos() as u64
             } else {
@@ -254,9 +342,18 @@ pub fn run_campaign_with(
                     ));
                 }
                 next += 1;
+                if on_die(&ready, &aggregate).is_break() {
+                    // Dropping out of the receive loop drops `rx`; the
+                    // workers' next send fails and they abandon their
+                    // remaining claims. Any dies still in the reorder
+                    // buffer stay unfolded — the aggregate stops exactly
+                    // at this die boundary.
+                    stopped = true;
+                    break 'fold;
+                }
             }
         }
-        debug_assert!(buffer.is_empty(), "dies missing from the fold");
+        debug_assert!(stopped || buffer.is_empty(), "dies missing from the fold");
     });
 
     if let Some(t) = trace.as_mut() {
@@ -342,5 +439,88 @@ mod tests {
         }
         assert!(run.metrics.dies_per_second > 0.0);
         assert!(run.metrics.max_reorder_buffer >= 1);
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_die_in_order() {
+        let s = tiny_spec();
+        let mut seen = Vec::new();
+        let run = run_campaign_streaming(&s, 4, &StreamOptions::default(), |die, agg| {
+            seen.push(die.index);
+            assert_eq!(agg.dies as usize, die.index + 1);
+            ControlFlow::Continue(())
+        })
+        .unwrap();
+        assert_eq!(seen, (0..9).collect::<Vec<_>>());
+        assert_eq!(run.aggregate.dies, 9);
+    }
+
+    #[test]
+    fn break_stops_at_the_exact_die_boundary() {
+        let s = tiny_spec();
+        for threads in [1, 2, 8] {
+            let run = run_campaign_streaming(&s, threads, &StreamOptions::default(), |die, _| {
+                if die.index == 3 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })
+            .unwrap();
+            assert_eq!(run.aggregate.dies, 4, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sliced_run_equals_uninterrupted_run() {
+        let s = tiny_spec();
+        let whole = run_campaign(&s, 2).unwrap();
+        // Fold dies 0..4 in one engine call, 4..9 in a second that
+        // resumes from the first's aggregate — at different thread counts.
+        let first = run_campaign_streaming(&s, 1, &StreamOptions::default(), |die, _| {
+            if die.index == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        let resumed = run_campaign_streaming(
+            &s,
+            4,
+            &StreamOptions {
+                start_die: 4,
+                resume: Some(first.aggregate),
+                ..StreamOptions::default()
+            },
+            |_, _| ControlFlow::Continue(()),
+        )
+        .unwrap();
+        assert_eq!(resumed.aggregate, whole.aggregate);
+    }
+
+    #[test]
+    fn start_beyond_wafer_is_invalid() {
+        let s = tiny_spec();
+        let options = StreamOptions {
+            start_die: 10,
+            ..StreamOptions::default()
+        };
+        assert!(run_campaign_streaming(&s, 1, &options, |_, _| ControlFlow::Continue(())).is_err());
+    }
+
+    #[test]
+    fn shared_symbolic_cache_does_not_perturb_results() {
+        let s = tiny_spec();
+        let plain = run_campaign(&s, 2).unwrap();
+        let cache = std::sync::Arc::new(icvbe_spice::cache::SymbolicCache::default());
+        let options = StreamOptions {
+            symbolic_cache: Some(std::sync::Arc::clone(&cache)),
+            ..StreamOptions::default()
+        };
+        let cached =
+            run_campaign_streaming(&s, 2, &options, |_, _| ControlFlow::Continue(())).unwrap();
+        assert_eq!(cached.aggregate, plain.aggregate);
+        assert!(cache.hits() + cache.misses() > 0);
     }
 }

@@ -151,6 +151,10 @@ pub struct BenchScratch {
     pub solve: SolveWorkspace,
     /// Electro-thermal fixed-point iterations accumulated.
     pub selfheat_iterations: u64,
+    /// Optional process-wide symbolic-LU plan cache, installed on every
+    /// pair compiled through this scratch. `None` (the default) keeps the
+    /// historical per-assembly analysis; results are identical either way.
+    pub symbolic_cache: Option<std::sync::Arc<icvbe_spice::cache::SymbolicCache>>,
 }
 
 impl BenchScratch {
@@ -334,6 +338,9 @@ impl TestStructureBench {
     ) -> Result<(), BenchError> {
         out.clear();
         let mut compiled = sample.pair_structure(bias).compile()?;
+        if let Some(cache) = &scratch.symbolic_cache {
+            compiled.use_symbolic_cache(std::sync::Arc::clone(cache));
+        }
         let path = self.path.scaled(sample.rth_scale)?;
         let options = TestStructureBench::campaign_dc_options_with(mode);
         for &setpoint in setpoints {

@@ -4,7 +4,10 @@
 //! (no artifact arguments = run everything; `--save` also writes each
 //! report to `DIR/<id>.txt`), or
 //! `repro campaign [--dies N | --diameter D] [--threads N] [--seed S]
-//! [--out DIR]` for a wafer-scale extraction campaign.
+//! [--out DIR]` for a wafer-scale extraction campaign (`--help` for the
+//! exit-code contract: 0 ok, 1 failed to run, 2 ran with zero yield), or
+//! the campaign-service commands `repro serve` / `repro submit` /
+//! `repro watch` (see `icvbe_repro::serve_cli`).
 
 use std::env;
 use std::path::PathBuf;
@@ -13,13 +16,46 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("campaign") {
-        return match icvbe_repro::campaign_cli::run_cli(&args[1..]) {
+        return match icvbe_repro::campaign_cli::run_cli_status(&args[1..]) {
+            Ok((text, code)) => {
+                println!("{text}");
+                ExitCode::from(code)
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return match icvbe_repro::serve_cli::run_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        return match icvbe_repro::serve_cli::run_submit(&args[1..]) {
             Ok(text) => {
                 println!("{text}");
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("campaign failed: {e}");
+                eprintln!("submit failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("watch") {
+        return match icvbe_repro::serve_cli::run_watch(&args[1..]) {
+            Ok(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("watch failed: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -29,10 +29,15 @@
 //! tools. They land in `--trace=DIR` if given, else next to the `--out`
 //! artifacts, else in the current directory. The summary additionally
 //! gains the slowest dies and corners ranked from the same spans.
+//!
+//! The subcommand's exit code distinguishes *could not run* (1) from
+//! *ran, but every corner failed the spec window* (2) — see [`help`] and
+//! [`run_cli_status`].
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+use icvbe_campaign::aggregate::YieldBin;
 use icvbe_campaign::report::write_reports;
 use icvbe_campaign::spec::WaferMap;
 use icvbe_campaign::taxonomy::FailureKind;
@@ -338,12 +343,39 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// Runs the subcommand end to end and returns the printable summary.
+/// The `--help` text, including the exit-code contract.
+#[must_use]
+pub fn help() -> String {
+    "repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]\n\
+     \x20              [--cold] [--no-bypass] [--faults SPEC] [--retries N] [--no-robust]\n\
+     \x20              [--trace[=DIR]]\n\
+     \n\
+     Runs a wafer-scale IC(VBE) extraction campaign and prints a summary;\n\
+     --out writes the JSON/CSV report artifacts (bit-identical at any\n\
+     --threads value).\n\
+     \n\
+     Exit codes:\n\
+     \x20 0  campaign ran and at least one corner measurement passed the spec window\n\
+     \x20 1  the campaign could not run (bad arguments, invalid spec, write failure)\n\
+     \x20 2  the campaign ran but total yield is zero (no passing corner anywhere\n\
+     \x20    on the wafer) — scripts can distinguish a dead process corner from a\n\
+     \x20    broken invocation\n"
+        .to_string()
+}
+
+/// Runs the subcommand end to end, returning the printable summary and
+/// the process exit code: `0` normally, `2` when the campaign completed
+/// with **zero yield** (no corner anywhere on the wafer passed the spec
+/// window — see [`help`]).
 ///
 /// # Errors
 ///
-/// Argument, spec-validation and artifact-write failures, as strings.
-pub fn run_cli(args: &[String]) -> Result<String, String> {
+/// Argument, spec-validation and artifact-write failures, as strings
+/// (exit code 1 territory).
+pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
+    if args.iter().any(|a| a == "--help") {
+        return Ok((help(), 0));
+    }
     let cli = parse_args(args)?;
     let mut spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
     spec.warm_start = !cli.cold;
@@ -380,7 +412,32 @@ pub fn run_cli(args: &[String]) -> Result<String, String> {
             let _ = writeln!(text, "  wrote {}", path.display());
         }
     }
-    Ok(text)
+    let passes: u64 = run
+        .aggregate
+        .corners
+        .iter()
+        .map(|c| c.bins[YieldBin::Pass.index()])
+        .sum();
+    let code = if passes == 0 {
+        let _ = writeln!(
+            text,
+            "  ZERO YIELD — no passing corner on the wafer (exit 2)"
+        );
+        2
+    } else {
+        0
+    };
+    Ok((text, code))
+}
+
+/// Runs the subcommand end to end and returns the printable summary,
+/// ignoring the yield-based exit code (see [`run_cli_status`]).
+///
+/// # Errors
+///
+/// Argument, spec-validation and artifact-write failures, as strings.
+pub fn run_cli(args: &[String]) -> Result<String, String> {
+    run_cli_status(args).map(|(text, _)| text)
 }
 
 #[cfg(test)]
@@ -546,5 +603,40 @@ mod tests {
             s[start..end].to_string()
         };
         assert_eq!(physics(&on), physics(&off));
+    }
+
+    #[test]
+    fn zero_yield_campaign_reports_exit_code_2() {
+        // nan=1 corrupts every measurement; with retries and robust
+        // estimation off, no corner anywhere can pass the spec window.
+        let (text, code) = run_cli_status(&sv(&[
+            "--diameter",
+            "3",
+            "--threads",
+            "2",
+            "--seed",
+            "5",
+            "--faults",
+            "nan=1",
+            "--retries",
+            "0",
+            "--no-robust",
+        ]))
+        .unwrap();
+        assert_eq!(code, 2, "summary:\n{text}");
+        assert!(text.contains("ZERO YIELD"), "summary:\n{text}");
+
+        let (ok_text, ok_code) =
+            run_cli_status(&sv(&["--diameter", "3", "--threads", "2", "--seed", "5"])).unwrap();
+        assert_eq!(ok_code, 0, "summary:\n{ok_text}");
+        assert!(!ok_text.contains("ZERO YIELD"));
+    }
+
+    #[test]
+    fn help_documents_the_exit_code_contract() {
+        let (text, code) = run_cli_status(&sv(&["--help"])).unwrap();
+        assert_eq!(code, 0);
+        assert!(text.contains("Exit codes:"), "help:\n{text}");
+        assert!(text.contains("yield is zero"), "help:\n{text}");
     }
 }

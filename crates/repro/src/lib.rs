@@ -16,7 +16,9 @@
 //!
 //! Beyond the per-artifact modules, [`campaign_cli`] backs the binary's
 //! `campaign` subcommand: a wafer-scale parallel extraction campaign
-//! (see the `icvbe-campaign` crate) with JSON/CSV artifacts.
+//! (see the `icvbe-campaign` crate) with JSON/CSV artifacts. And
+//! [`serve_cli`] backs `serve`/`submit`/`watch` — the campaign-service
+//! daemon (`icvbe-serve`) and its clients.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -31,4 +33,5 @@ pub mod fig8;
 pub mod render;
 pub mod report;
 pub mod sensitivity;
+pub mod serve_cli;
 pub mod table1;

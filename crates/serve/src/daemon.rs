@@ -1,0 +1,262 @@
+//! The TCP front end: accepts connections, enforces the `hello`
+//! handshake, and translates protocol requests into [`Service`] calls.
+//!
+//! Each connection gets its own thread (connections are few and mostly
+//! idle or streaming; a thread per connection keeps the code free of any
+//! event-loop dependency). The accept loop polls a non-blocking listener
+//! so a shutdown request can stop it promptly without needing a way to
+//! interrupt `accept`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{
+    error_line, hello_line, parse_request, queue_full_line, submitted_line, ProtocolError, Request,
+    PROTOCOL_VERSION,
+};
+use crate::service::{Service, ServiceConfig, SubmitError};
+
+/// A running daemon: the service plus its TCP accept loop.
+#[derive(Debug)]
+pub struct Daemon {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind errors and [`Service::start`] I/O errors.
+    pub fn start(config: ServiceConfig, addr: &str) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let service = Arc::new(Service::start(config)?);
+        let accept_service = Arc::clone(&service);
+        let accept = std::thread::spawn(move || loop {
+            if accept_service.is_shutdown() {
+                break;
+            }
+            match listener.accept() {
+                Ok((socket, _)) => {
+                    let conn_service = Arc::clone(&accept_service);
+                    std::thread::spawn(move || handle_connection(&conn_service, socket));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        });
+        Ok(Daemon {
+            service,
+            addr: local,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind this daemon (tests poke counters through it).
+    #[must_use]
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Blocks until a `shutdown` request stops the daemon, then joins the
+    /// accept loop and the scheduler (final checkpoints written).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.service.join();
+    }
+
+    /// Stops the daemon from the host process (equivalent to a client
+    /// `shutdown`) and waits for it.
+    pub fn stop(self) {
+        self.service.request_shutdown();
+        self.wait();
+    }
+}
+
+fn write_line(socket: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    socket.write_all(line.as_bytes())?;
+    socket.write_all(b"\n")
+}
+
+/// Runs one connection to completion. The protocol is half-duplex:
+/// request, then response(s) — a streaming submit or `results` attach
+/// occupies the connection until the job's terminal event.
+fn handle_connection(service: &Arc<Service>, socket: TcpStream) {
+    let Ok(read_half) = socket.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut socket = socket;
+    let mut line = String::new();
+
+    // Handshake: the first request must be a `hello` with this build's
+    // protocol version; anything else is a typed rejection.
+    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+        return;
+    }
+    match parse_request(line.trim_end()) {
+        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+            if write_line(&mut socket, &hello_line()).is_err() {
+                return;
+            }
+        }
+        Ok(Request::Hello { version }) => {
+            let err = ProtocolError {
+                kind: "unsupported_version",
+                detail: format!(
+                    "client speaks protocol {version}, server speaks {PROTOCOL_VERSION}"
+                ),
+            };
+            let _ = write_line(&mut socket, &error_line(&err));
+            return;
+        }
+        Ok(_) => {
+            let err = ProtocolError {
+                kind: "bad_request",
+                detail: "connection must open with a hello".to_string(),
+            };
+            let _ = write_line(&mut socket, &error_line(&err));
+            return;
+        }
+        Err(e) => {
+            let _ = write_line(&mut socket, &error_line(&e));
+            return;
+        }
+    }
+
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request = match parse_request(trimmed) {
+            Ok(r) => r,
+            Err(e) => {
+                if write_line(&mut socket, &error_line(&e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if !dispatch(service, &mut socket, request) {
+            return;
+        }
+    }
+}
+
+/// Handles one parsed request; returns `false` when the connection should
+/// close.
+fn dispatch(service: &Arc<Service>, socket: &mut TcpStream, request: Request) -> bool {
+    match request {
+        Request::Hello { .. } => write_line(socket, &hello_line()).is_ok(),
+        Request::Status => write_line(socket, &service.status_json()).is_ok(),
+        Request::Submit {
+            tenant,
+            label,
+            stream,
+            spec,
+        } => match service.submit(&tenant, &label, *spec) {
+            Ok(ticket) => {
+                if write_line(socket, &submitted_line(ticket.job, ticket.queued)).is_err() {
+                    return false;
+                }
+                if stream {
+                    return pump_events(service, socket, ticket.job);
+                }
+                true
+            }
+            Err(SubmitError::QueueFull { retry_after_ms }) => {
+                write_line(socket, &queue_full_line(retry_after_ms)).is_ok()
+            }
+        },
+        Request::Results { job, label, tenant } => {
+            let resolved = job.or_else(|| {
+                label
+                    .as_deref()
+                    .and_then(|l| service.find_job(tenant.as_deref(), l))
+            });
+            match resolved {
+                Some(id) => pump_events(service, socket, id),
+                None => {
+                    let err = ProtocolError {
+                        kind: "unknown_job",
+                        detail: "no such job".to_string(),
+                    };
+                    write_line(socket, &error_line(&err)).is_ok()
+                }
+            }
+        }
+        Request::Cancel { job } => {
+            if service.cancel(job) {
+                write_line(
+                    socket,
+                    &format!("{{\"ok\":true,\"type\":\"cancelling\",\"job\":{job}}}"),
+                )
+                .is_ok()
+            } else {
+                let err = ProtocolError {
+                    kind: "unknown_job",
+                    detail: "no such live job".to_string(),
+                };
+                write_line(socket, &error_line(&err)).is_ok()
+            }
+        }
+        Request::Shutdown => {
+            let _ = write_line(socket, "{\"ok\":true,\"type\":\"shutdown\"}");
+            service.request_shutdown();
+            false
+        }
+    }
+}
+
+/// Streams a job's events (history replay + live) to the socket until the
+/// terminal event or a client disconnect.
+fn pump_events(service: &Arc<Service>, socket: &mut TcpStream, job: u64) -> bool {
+    let Some(rx) = service.subscribe(job) else {
+        let err = ProtocolError {
+            kind: "unknown_job",
+            detail: "no such job".to_string(),
+        };
+        return write_line(socket, &error_line(&err)).is_ok();
+    };
+    for event in rx {
+        let terminal = !event.contains("\"type\":\"die\"");
+        if write_line(socket, &event).is_err() {
+            return false;
+        }
+        if terminal {
+            return true;
+        }
+    }
+    // Channel closed without a terminal event: the service shut down
+    // mid-job (state was checkpointed). Tell the client explicitly.
+    let err = ProtocolError {
+        kind: "bad_request",
+        detail: "service shut down before the job finished; resubmit or reattach after restart"
+            .to_string(),
+    };
+    let _ = write_line(socket, &error_line(&err));
+    false
+}

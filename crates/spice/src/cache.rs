@@ -1,0 +1,163 @@
+//! Cross-thread sharing of frozen symbolic LU plans.
+//!
+//! A [`CircuitAssembly`](crate::system::CircuitAssembly) is per-thread
+//! (it holds `RefCell` scratch), but the expensive part of arming its
+//! sparse path — [`LuSymbolic::analyze`] over the recorded stamp pattern —
+//! depends only on the pattern itself. Every die of a campaign, and every
+//! job of a multi-tenant service, compiles structurally identical
+//! netlists, so one analysis can back thousands of assemblies across any
+//! number of threads and tenants.
+//!
+//! [`SymbolicCache`] is that share point: a mutex-guarded map from the
+//! exact `(dimension, entry pattern)` to the analyzed plan, plus lock-free
+//! hit/miss counters for the service metrics. Keying by the *full* pattern
+//! (not a hash of it) makes aliasing impossible: two different patterns
+//! can never receive each other's plan, so a cached solve is bit-identical
+//! to a freshly analyzed one — `LuSymbolic::analyze` is a pure function of
+//! the key.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use icvbe_numerics::sparse::LuSymbolic;
+
+/// The exact identity of a sparsity pattern: matrix dimension plus every
+/// recorded `(row, col)` entry in deterministic (BTreeMap) order.
+type PatternKey = (usize, Vec<(u32, u32)>);
+
+/// A thread-safe cache of frozen symbolic LU plans keyed by the exact
+/// recorded sparsity pattern.
+///
+/// Sharing one cache across worker threads (and across service tenants)
+/// means the elimination analysis for each distinct circuit topology runs
+/// once per process instead of once per compiled netlist. Results are
+/// unchanged by construction: the cached value for a key is exactly what
+/// [`LuSymbolic::analyze`] would return for that key.
+#[derive(Debug, Default)]
+pub struct SymbolicCache {
+    plans: Mutex<HashMap<PatternKey, Arc<LuSymbolic>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock. The cache
+/// map is always left consistent (plain inserts), so a panic elsewhere
+/// cannot corrupt it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SymbolicCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SymbolicCache::default()
+    }
+
+    /// Returns the symbolic plan for `(dimension, entries)`, analyzing and
+    /// inserting it on first sight. Returns `None` only when the analysis
+    /// itself rejects the pattern (and never caches the rejection, so a
+    /// malformed probe cannot poison later lookups).
+    pub fn plan_for(&self, dimension: usize, entries: &[(u32, u32)]) -> Option<Arc<LuSymbolic>> {
+        {
+            let plans = lock(&self.plans);
+            // Borrowed probe: (usize, &[(u32,u32)]) cannot index a HashMap
+            // keyed by (usize, Vec<_>) without an owned key, so the probe
+            // allocates only on the miss path below.
+            if let Some(plan) = plans.iter().find_map(|((d, e), plan)| {
+                (*d == dimension && e.as_slice() == entries).then(|| Arc::clone(plan))
+            }) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(plan);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let pattern: Vec<(usize, usize)> = entries
+            .iter()
+            .map(|&(r, c)| (r as usize, c as usize))
+            .collect();
+        let plan = Arc::new(LuSymbolic::analyze(dimension, &pattern).ok()?);
+        let mut plans = lock(&self.plans);
+        // A racing thread may have inserted meanwhile; keep the first
+        // plan so every assembly shares one allocation.
+        let entry = plans
+            .entry((dimension, entries.to_vec()))
+            .or_insert_with(|| Arc::clone(&plan));
+        Some(Arc::clone(entry))
+    }
+
+    /// Lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the analysis.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct patterns currently cached.
+    #[must_use]
+    pub fn patterns(&self) -> usize {
+        lock(&self.plans).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A tiny valid pattern: 2x2 with both diagonals and one off-diagonal.
+    fn pattern() -> Vec<(u32, u32)> {
+        vec![(0, 0), (0, 1), (1, 1)]
+    }
+
+    #[test]
+    fn first_lookup_misses_then_hits() {
+        let cache = SymbolicCache::new();
+        let a = cache.plan_for(2, &pattern()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.plan_for(2, &pattern()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the analyzed plan");
+        assert_eq!(cache.patterns(), 1);
+    }
+
+    #[test]
+    fn distinct_patterns_do_not_alias() {
+        let cache = SymbolicCache::new();
+        let a = cache.plan_for(2, &pattern()).unwrap();
+        let b = cache.plan_for(2, &[(0, 0), (1, 0), (1, 1)]).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.patterns(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cached_plan_equals_fresh_analysis() {
+        let cache = SymbolicCache::new();
+        let cached = cache.plan_for(2, &pattern()).unwrap();
+        let fresh = LuSymbolic::analyze(2, &[(0, 0), (0, 1), (1, 1)]).unwrap();
+        assert_eq!(*cached, fresh);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = Arc::new(SymbolicCache::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        assert!(cache.plan_for(2, &pattern()).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        assert_eq!(cache.patterns(), 1);
+    }
+}

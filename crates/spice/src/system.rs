@@ -21,6 +21,7 @@ use icvbe_numerics::newton::NonlinearSystem;
 use icvbe_numerics::sparse::LuSymbolic;
 use icvbe_numerics::{Matrix, NumericsError};
 
+use crate::cache::SymbolicCache;
 use crate::netlist::Circuit;
 use crate::stamp::{
     BypassTolerance, DeviceSlot, EvalContext, JacSink, StampContext, StampCounters, StampEffort,
@@ -78,6 +79,9 @@ pub struct CircuitAssembly {
     plan: RefCell<Option<StampPlan>>,
     /// Frozen symbolic elimination plan derived from the recorded pattern.
     symbolic: RefCell<Option<Arc<LuSymbolic>>>,
+    /// Optional process-wide plan cache consulted (instead of a private
+    /// analysis) when the recorded pattern arms the symbolic plan.
+    symbolic_cache: RefCell<Option<Arc<SymbolicCache>>>,
     /// Forces the next hot Jacobian pass to restamp constant elements
     /// (bound parameters may have changed between solves).
     constants_dirty: Cell<bool>,
@@ -115,6 +119,7 @@ impl CircuitAssembly {
             counters: StampCounters::default(),
             plan: RefCell::new(None),
             symbolic: RefCell::new(None),
+            symbolic_cache: RefCell::new(None),
             constants_dirty: Cell::new(true),
         }
     }
@@ -125,6 +130,17 @@ impl CircuitAssembly {
     #[must_use]
     pub fn symbolic_plan(&self) -> Option<Arc<LuSymbolic>> {
         self.symbolic.borrow().clone()
+    }
+
+    /// Installs a shared [`SymbolicCache`]: when the first hot Jacobian
+    /// pass records the sparsity pattern, the symbolic plan is taken from
+    /// (or analyzed into) the cache instead of analyzed privately. The
+    /// cache is keyed by the exact pattern, so solves through a cached
+    /// plan are bit-identical to solves through a private analysis.
+    ///
+    /// A no-op on an assembly whose plan is already armed.
+    pub fn set_symbolic_cache(&self, cache: Arc<SymbolicCache>) {
+        *self.symbolic_cache.borrow_mut() = Some(cache);
     }
 
     /// Marks parameter-dependent constants stale so the next Jacobian pass
@@ -449,13 +465,27 @@ impl<'a> CircuitSystem<'a> {
         }
 
         if asm.symbolic.borrow().is_none() {
-            let pattern: Vec<(usize, usize)> = entries
-                .iter()
-                .map(|&(r, c)| (r as usize, c as usize))
-                .collect();
-            if let Ok(sym) = LuSymbolic::analyze(asm.dimension, &pattern) {
-                *asm.symbolic.borrow_mut() = Some(Arc::new(sym));
-            }
+            // A shared cache (if installed) answers from the process-wide
+            // map; the fallback analyzes privately. Either way the plan is
+            // a pure function of (dimension, entries).
+            let shared = asm
+                .symbolic_cache
+                .borrow()
+                .as_ref()
+                .and_then(|cache| cache.plan_for(asm.dimension, &entries));
+            let sym = match shared {
+                Some(plan) => Some(plan),
+                None => {
+                    let pattern: Vec<(usize, usize)> = entries
+                        .iter()
+                        .map(|&(r, c)| (r as usize, c as usize))
+                        .collect();
+                    LuSymbolic::analyze(asm.dimension, &pattern)
+                        .ok()
+                        .map(Arc::new)
+                }
+            };
+            *asm.symbolic.borrow_mut() = sym;
         }
 
         let plan = StampPlan {

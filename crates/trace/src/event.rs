@@ -39,6 +39,13 @@ pub enum SpanKind {
     Newton,
     /// Time a finished die waited in the fold thread's reorder buffer.
     QueueWait,
+    /// One service job: begin at admission into the scheduler, end at
+    /// completion/cancellation. `n0` carries the job id on both records.
+    Job,
+    /// Time a service job spent queued before its first execution slice
+    /// (the backpressure-visible wait). `n0` carries the job id; `n1` on
+    /// the end record carries the queue depth observed at dispatch.
+    Queue,
 }
 
 impl SpanKind {
@@ -58,6 +65,8 @@ impl SpanKind {
             SpanKind::Rung => "rung",
             SpanKind::Newton => "newton",
             SpanKind::QueueWait => "queue_wait",
+            SpanKind::Job => "job",
+            SpanKind::Queue => "queue",
         }
     }
 
@@ -83,6 +92,7 @@ impl SpanKind {
             SpanKind::Attempt | SpanKind::RobustFit => "extract",
             SpanKind::DcSolve | SpanKind::Rung | SpanKind::Newton => "solver",
             SpanKind::QueueWait => "pool",
+            SpanKind::Job | SpanKind::Queue => "service",
         }
     }
 
@@ -98,6 +108,8 @@ impl SpanKind {
             SpanKind::RobustFit => ("rounds", "outliers"),
             SpanKind::Attempt => ("ok", ""),
             SpanKind::QueueWait => ("nd_buffer", ""),
+            SpanKind::Job => ("job", ""),
+            SpanKind::Queue => ("job", "nd_depth"),
             _ => ("", ""),
         }
     }

@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> clippy panic-lint gate (no unwrap/expect in library code)"
 cargo clippy -p icvbe-units -p icvbe-devphys -p icvbe-numerics -p icvbe-core \
   -p icvbe-thermal -p icvbe-spice -p icvbe-bandgap -p icvbe-instrument \
-  -p icvbe-campaign -p icvbe-trace \
+  -p icvbe-campaign -p icvbe-trace -p icvbe-serve \
   --lib -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 
 echo "==> cargo test -q"
@@ -69,5 +69,69 @@ for f in campaign_aggregate.json campaign_aggregate.csv \
   cmp "$smoke_dir/bypass_on/$f" "$smoke_dir/bypass_off/$f" || \
     { echo "FAIL: $f differs with bypass on/off"; exit 1; }
 done
+
+echo "==> serve smoke: streamed artifacts match one-shot bytes; kill -9 + resume"
+frozen="campaign_aggregate.json campaign_aggregate.csv
+        campaign_quarantine.json campaign_quarantine.csv"
+./target/release/repro campaign --diameter 4 --seed 21 --threads 2 \
+  --out "$smoke_dir/golden_small" > /dev/null
+ckdir="$smoke_dir/ck"
+./target/release/repro serve --addr 127.0.0.1:0 --threads 2 --slice 8 \
+  --checkpoint-every 1 --checkpoint-dir "$ckdir" > "$smoke_dir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^icvbe-serve listening on //p' "$smoke_dir/serve.log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: daemon never came up"; exit 1; }
+./target/release/repro submit --addr "$addr" --label lot1 --diameter 4 --seed 21 \
+  --out "$smoke_dir/served" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/golden_small/$f" "$smoke_dir/served/$f" || \
+    { echo "FAIL: $f differs between one-shot and served"; exit 1; }
+done
+# A second, much larger lot: SIGKILL the daemon once its checkpoint file
+# shows mid-campaign progress, restart on the same directory, and collect
+# the resumed job by label — bytes must still match the one-shot run.
+./target/release/repro campaign --diameter 40 --seed 22 --threads 2 \
+  --out "$smoke_dir/golden_big" > /dev/null
+./target/release/repro submit --addr "$addr" --label lot2 --diameter 40 --seed 22 \
+  > /dev/null 2>&1 &
+submit_pid=$!
+progress=0
+for _ in $(seq 1 200); do
+  ck="$(ls "$ckdir"/job-*.json 2>/dev/null | head -1 || true)"
+  if [ -n "$ck" ]; then
+    progress="$(tr -d '\\' < "$ck" | grep -o '"next_die":[0-9]*' \
+      | head -1 | cut -d: -f2 || true)"
+    [ "${progress:-0}" -ge 20 ] && break
+  fi
+  sleep 0.05
+done
+[ "${progress:-0}" -ge 20 ] || \
+  { echo "FAIL: no mid-campaign checkpoint observed"; exit 1; }
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+wait "$submit_pid" 2>/dev/null || true
+./target/release/repro serve --addr 127.0.0.1:0 --threads 2 --slice 8 \
+  --checkpoint-every 1 --checkpoint-dir "$ckdir" > "$smoke_dir/serve2.log" &
+serve2_pid=$!
+addr2=""
+for _ in $(seq 1 100); do
+  addr2="$(sed -n 's/^icvbe-serve listening on //p' "$smoke_dir/serve2.log")"
+  [ -n "$addr2" ] && break
+  sleep 0.1
+done
+[ -n "$addr2" ] || { echo "FAIL: restarted daemon never came up"; exit 1; }
+./target/release/repro watch --addr "$addr2" --label lot2 \
+  --out "$smoke_dir/resumed" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/golden_big/$f" "$smoke_dir/resumed/$f" || \
+    { echo "FAIL: $f differs after kill -9 + resume"; exit 1; }
+done
+kill "$serve2_pid" 2>/dev/null || true
+wait "$serve2_pid" 2>/dev/null || true
 
 echo "OK: all checks passed"

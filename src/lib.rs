@@ -21,7 +21,10 @@
 //! - [`campaign`] — wafer-scale parallel extraction campaigns with
 //!   deterministic seeding and streaming aggregation,
 //! - [`trace`] — structured span tracing with deterministic logical
-//!   ordering and Chrome trace-event / collapsed-stack exports.
+//!   ordering and Chrome trace-event / collapsed-stack exports,
+//! - [`serve`] — the campaign service: a multi-tenant daemon with a
+//!   bounded job queue, fair slice scheduling, shared symbolic-LU caches,
+//!   streaming results and checkpoint/resume.
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@ pub use icvbe_devphys as devphys;
 pub use icvbe_instrument as instrument;
 pub use icvbe_numerics as numerics;
 pub use icvbe_repro as repro;
+pub use icvbe_serve as serve;
 pub use icvbe_spice as spice;
 pub use icvbe_thermal as thermal;
 pub use icvbe_trace as trace;
