@@ -1,6 +1,7 @@
 //! Campaign worker-pool scaling: identical wafer, 1 thread vs N threads,
 //! plus the solver ablations — warm vs cold starts, device bypass on vs
-//! off, frozen sparse plan vs dense LU fallback.
+//! off, frozen sparse plan vs dense LU fallback, lockstep batching vs
+//! the scalar per-die path (`--batch 1`).
 //!
 //! The aggregate is asserted bit-identical across thread counts *and*
 //! across every ablation before timing anything, so the speedup measured
@@ -18,7 +19,17 @@ use std::time::Instant;
 use icvbe_bench::harness::Criterion;
 use icvbe_bench::{criterion_group, criterion_main};
 use icvbe_campaign::spec::WaferMap;
+use icvbe_campaign::worker::{run_campaign_with, RunOptions};
 use icvbe_campaign::{run_campaign, CampaignRun, CampaignSpec};
+
+/// The scalar per-die ablation: lockstep batching forced off.
+fn run_unbatched(spec: &CampaignSpec, threads: usize) -> CampaignRun {
+    let options = RunOptions {
+        batch: 1,
+        ..RunOptions::default()
+    };
+    run_campaign_with(spec, threads, &options).expect("unbatched campaign run")
+}
 
 fn scaling_spec() -> CampaignSpec {
     // ~120 dies: big enough to amortize pool startup, small enough for a
@@ -53,6 +64,11 @@ fn bench_campaign_scaling(c: &mut Criterion) {
                 .iter()
                 .map(|t| format!("campaign_scaling/cold/threads/{t}")),
         )
+        .chain(
+            [1usize, 8]
+                .iter()
+                .map(|t| format!("campaign_scaling/no-batch/threads/{t}")),
+        )
         .collect();
     // Pay for the determinism guards only when something in the group
     // will actually be timed.
@@ -73,6 +89,12 @@ fn bench_campaign_scaling(c: &mut Criterion) {
         let spec = cold_spec();
         group.bench_function(&format!("cold/threads/{threads}"), move |b| {
             b.iter(|| run_campaign(&spec, threads).expect("campaign run"));
+        });
+    }
+    for threads in [1usize, 8] {
+        let spec = spec.clone();
+        group.bench_function(&format!("no-batch/threads/{threads}"), move |b| {
+            b.iter(|| run_unbatched(&spec, threads));
         });
     }
     group.finish();
@@ -104,6 +126,15 @@ fn run_guards() {
         one.aggregate, dense.aggregate,
         "aggregate must be solve-path invariant"
     );
+    let unbatched = run_unbatched(&spec, 8);
+    assert_eq!(
+        one.aggregate, unbatched.aggregate,
+        "aggregate must be batching invariant"
+    );
+    assert!(
+        one.metrics.batching.batched_solves > 0 && unbatched.metrics.batching.batched_solves == 0,
+        "default run must batch, --batch 1 must not"
+    );
 }
 
 /// One throughput measurement: median wall time over `reps` runs.
@@ -114,12 +145,16 @@ struct Throughput {
     dies_per_second: f64,
 }
 
-fn measure(spec: &CampaignSpec, threads: usize, reps: usize) -> (f64, CampaignRun) {
+fn measure(spec: &CampaignSpec, threads: usize, batch: usize, reps: usize) -> (f64, CampaignRun) {
+    let options = RunOptions {
+        batch,
+        ..RunOptions::default()
+    };
     let mut last = None;
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t = Instant::now();
-            let run = run_campaign(spec, threads).expect("campaign run");
+            let run = run_campaign_with(spec, threads, &options).expect("campaign run");
             let ms = t.elapsed().as_secs_f64() * 1e3;
             last = Some(run);
             ms
@@ -148,23 +183,25 @@ fn bench_campaign_throughput(c: &mut Criterion) {
 
     let mut rows = Vec::new();
     let modes = [
-        ("warm", &warm),
-        ("no-bypass", &no_bypass),
-        ("dense", &dense),
-        ("cold", &cold),
+        ("warm", &warm, 0usize),
+        ("no-batch", &warm, 1),
+        ("no-bypass", &no_bypass, 0),
+        ("dense", &dense, 0),
+        ("cold", &cold, 0),
     ];
-    for (mode, spec) in modes {
+    for (mode, spec, batch) in modes {
         for threads in [1usize, 8] {
-            let (median_ms, run) = measure(spec, threads, reps);
+            let (median_ms, run) = measure(spec, threads, batch, reps);
             let dies_per_second = dies as f64 / (median_ms / 1e3);
             println!(
                 "campaign_throughput/{mode}/threads/{threads:<2} median {median_ms:7.2} ms -> \
                  {dies_per_second:7.1} dies/s ({dies} dies, {} solves, {} Newton iters, \
-                 {} bypasses, {} evals)",
+                 {} bypasses, {} evals, {:.1} lanes/round)",
                 run.metrics.solver.solves,
                 run.metrics.solver.newton_iterations,
                 run.metrics.solver.bypass_hits,
                 run.metrics.solver.device_evals,
+                run.metrics.batching.mean_lanes_active(),
             );
             rows.push(Throughput {
                 mode,

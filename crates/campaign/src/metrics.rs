@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use icvbe_instrument::bench::BatchSweepStats;
+use icvbe_spice::batch::MAX_LANES;
 use icvbe_spice::workspace::SolveStats;
 
 /// The pipeline stages timed per die.
@@ -169,6 +171,18 @@ pub struct CampaignCounters {
     /// Recovered corners by the taxonomy kind they recovered from,
     /// indexed by [`FailureKind::index`](crate::taxonomy::FailureKind).
     pub recovered_by_kind: [AtomicU64; 5],
+    /// Solves that entered the lane-parallel batched Newton driver.
+    pub batched_solves: AtomicU64,
+    /// Lanes the batched driver retired mid-solve (factor failure,
+    /// divergence, non-finite state) and handed back to the scalar path.
+    pub lane_retires: AtomicU64,
+    /// Die groups packed into the batched pipeline (one refill per group).
+    pub batch_refills: AtomicU64,
+    /// Lockstep solve rounds the batched sweep issued.
+    pub lockstep_rounds: AtomicU64,
+    /// `lanes_active[k]` counts lockstep rounds with exactly `k` lanes in
+    /// batched stepping; bucket 0 counts all-scalar-fallback rounds.
+    pub lanes_active: [AtomicU64; MAX_LANES + 1],
 }
 
 impl CampaignCounters {
@@ -193,8 +207,24 @@ impl CampaignCounters {
             .fetch_add(stats.restamp_incremental, Ordering::Relaxed);
         self.restamp_full
             .fetch_add(stats.restamp_full, Ordering::Relaxed);
+        self.batched_solves
+            .fetch_add(stats.batched_solves, Ordering::Relaxed);
+        self.lane_retires
+            .fetch_add(stats.lane_retires, Ordering::Relaxed);
         self.newton_per_die.record_ns(stats.newton_iterations);
         self.selfheat_per_die.record_ns(selfheat_iterations);
+    }
+
+    /// Folds one die group's lane-utilization stats in (lock-free; any
+    /// worker thread). `refills` is the number of groups packed — one per
+    /// call on the batched worker path.
+    pub fn record_batch_sweep(&self, sweep: &BatchSweepStats, refills: u64) {
+        self.batch_refills.fetch_add(refills, Ordering::Relaxed);
+        self.lockstep_rounds
+            .fetch_add(sweep.rounds, Ordering::Relaxed);
+        for (slot, &n) in self.lanes_active.iter().zip(&sweep.lanes_active) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Folds one die's recovery bookkeeping in (lock-free; any worker
@@ -314,6 +344,42 @@ impl SolverMetrics {
     }
 }
 
+/// Lane-utilization observability of the batched (die-parallel) solve
+/// path. All zeros when the campaign ran scalar (`batch = 1`, or a spec
+/// that disables warm starts / the sparse path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchMetrics {
+    /// Solves that entered the lane-parallel batched Newton driver.
+    pub batched_solves: u64,
+    /// Lanes retired mid-solve and redone on the scalar path.
+    pub lane_retires: u64,
+    /// Die groups packed into the batched pipeline.
+    pub batch_refills: u64,
+    /// Lockstep solve rounds issued by the batched sweep.
+    pub lockstep_rounds: u64,
+    /// Rounds by the number of lanes that entered batched stepping
+    /// (bucket 0 = all lanes fell back to scalar that round).
+    pub lanes_active: [u64; MAX_LANES + 1],
+}
+
+impl BatchMetrics {
+    /// Mean lanes entering batched stepping per lockstep round (0 when no
+    /// rounds ran).
+    #[must_use]
+    pub fn mean_lanes_active(&self) -> f64 {
+        if self.lockstep_rounds == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .lanes_active
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as u64 * c)
+            .sum();
+        weighted as f64 / self.lockstep_rounds as f64
+    }
+}
+
 /// End-of-run observability snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignMetrics {
@@ -336,6 +402,8 @@ pub struct CampaignMetrics {
     pub stages: Vec<StageSnapshot>,
     /// Solver iteration counts and warm-start accounting.
     pub solver: SolverMetrics,
+    /// Lane-utilization accounting of the batched solve path.
+    pub batching: BatchMetrics,
     /// Retry / robust-recovery / quarantine accounting.
     pub recovery: RecoveryMetrics,
 }
@@ -384,6 +452,13 @@ impl CampaignCounters {
                     newton_per_die_p50: newton.p50_ns,
                     newton_per_die_p99: newton.p99_ns,
                 }
+            },
+            batching: BatchMetrics {
+                batched_solves: self.batched_solves.load(Ordering::Relaxed),
+                lane_retires: self.lane_retires.load(Ordering::Relaxed),
+                batch_refills: self.batch_refills.load(Ordering::Relaxed),
+                lockstep_rounds: self.lockstep_rounds.load(Ordering::Relaxed),
+                lanes_active: std::array::from_fn(|i| self.lanes_active[i].load(Ordering::Relaxed)),
             },
             recovery: RecoveryMetrics {
                 corners_retried: self.corners_retried.load(Ordering::Relaxed),

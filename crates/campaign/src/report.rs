@@ -364,6 +364,10 @@ pub fn metrics_json(run: &CampaignRun) -> String {
              \"restamp_incremental\":{rsincr},\"restamp_full\":{rsfull},\
              \"restamp_savings\":{rssave},\"newton_per_die_p50\":{np50},\
              \"newton_per_die_p99\":{np99}}},\n",
+            "  \"batching\":{{\"batched_solves\":{bsolves},\
+             \"lane_retires\":{bretires},\"batch_refills\":{brefills},\
+             \"lockstep_rounds\":{brounds},\"mean_lanes_active\":{bmean},\
+             \"lanes_active\":[{blanes}]}},\n",
             "  \"recovery\":{{\"corners_retried\":{retried},\
              \"corners_recovered\":{recovered},\"robust_recoveries\":{robust},\
              \"corners_quarantined\":{quarantined},\
@@ -394,6 +398,18 @@ pub fn metrics_json(run: &CampaignRun) -> String {
         rssave = num(m.solver.restamp_savings()),
         np50 = m.solver.newton_per_die_p50,
         np99 = m.solver.newton_per_die_p99,
+        bsolves = m.batching.batched_solves,
+        bretires = m.batching.lane_retires,
+        brefills = m.batching.batch_refills,
+        brounds = m.batching.lockstep_rounds,
+        bmean = num(m.batching.mean_lanes_active()),
+        blanes = m
+            .batching
+            .lanes_active
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
         retried = m.recovery.corners_retried,
         recovered = m.recovery.corners_recovered,
         robust = m.recovery.robust_recoveries,
@@ -486,6 +502,10 @@ mod tests {
         assert!(j.contains("\"stage\":\"measure\""));
         assert!(j.contains("\"stage\":\"extract\""));
         assert!(j.contains("\"dies_completed\":4"));
+        assert!(j.contains("\"batching\":{\"batched_solves\":"));
+        assert!(j.contains("\"lanes_active\":["));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -22,11 +22,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
+use icvbe_instrument::bench::BenchScratch;
+use icvbe_spice::batch::MAX_LANES;
 use icvbe_spice::cache::SymbolicCache;
 use icvbe_trace::{SpanKind, SpanPhase, Trace, TraceEvent, NO_DIE};
 
 use crate::aggregate::{CampaignAggregate, YieldBin};
-use crate::die::{run_die_with, DieOutcome, DieScratch};
+use crate::die::{run_die_with, run_dies_batch, BatchDieScratch, DieOutcome, DieScratch};
 use crate::metrics::{
     CampaignCounters, CampaignMetrics, STAGE_EXTRACT, STAGE_MEASURE, STAGE_SAMPLE,
 };
@@ -36,6 +38,11 @@ use crate::CampaignError;
 /// Dies claimed per cursor bump. Small enough to balance a straggling
 /// thread, large enough that the atomic is off the hot path.
 const CHUNK: usize = 8;
+
+/// Lanes per die group when `batch = 0` asks for auto selection. A full
+/// claim chunk: every group is claim-aligned, so grouping is identical at
+/// any thread count.
+const AUTO_BATCH: usize = 8;
 
 /// A finished campaign: the deterministic aggregate plus the run's
 /// (non-deterministic) observability snapshot.
@@ -61,13 +68,20 @@ pub struct RunOptions {
     /// is a no-op sink — no events, no extra clock reads, no allocations
     /// on the die hot path.
     pub trace: bool,
+    /// Lanes per die group on the batched solve path: `0` (the default)
+    /// selects automatically, `1` forces the scalar per-die path
+    /// (ablation), larger values are clamped to the claim chunk and the
+    /// solver's lane cap. Batching engages only when the spec leaves warm
+    /// starts and the sparse path on; accepted results are bit-identical
+    /// to the scalar path at every setting.
+    pub batch: usize,
 }
 
 /// Knobs of the general streaming engine, [`run_campaign_streaming`].
 ///
 /// The defaults reproduce [`RunOptions::default`] behaviour exactly:
-/// start at die 0 with a fresh aggregate, private counters, no shared
-/// cache, no tracing.
+/// start at die 0 with a fresh aggregate, private counters, a run-local
+/// symbolic cache, no tracing.
 #[derive(Debug, Clone, Default)]
 pub struct StreamOptions {
     /// Capture a structured span trace (see [`RunOptions::trace`]).
@@ -81,11 +95,16 @@ pub struct StreamOptions {
     pub resume: Option<CampaignAggregate>,
     /// Cross-campaign symbolic-LU plan cache. Jobs whose netlists share a
     /// sparsity pattern reuse one analysis; cached plans are bit-identical
-    /// to fresh ones, so sharing never perturbs results.
+    /// to fresh ones, so sharing never perturbs results. `None` (the
+    /// default) still shares a cache *within* the run — dies of one
+    /// topology always hold the same plan `Arc`.
     pub symbolic_cache: Option<Arc<SymbolicCache>>,
     /// External counters to accumulate into instead of run-private ones —
     /// a service accumulates one job's counters across its slices.
     pub counters: Option<Arc<CampaignCounters>>,
+    /// Lanes per die group on the batched solve path (see
+    /// [`RunOptions::batch`]).
+    pub batch: usize,
 }
 
 /// Runs `spec` across `threads` worker threads.
@@ -105,6 +124,38 @@ pub struct StreamOptions {
 /// [`YieldBin::SolveFail`], never raised.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRun, CampaignError> {
     run_campaign_with(spec, threads, &RunOptions::default())
+}
+
+/// Per-die counter fold shared by the scalar and batched worker paths:
+/// drains the lane's solver counters and records stage timings, completion
+/// and recovery bookkeeping.
+fn account_die(counters: &CampaignCounters, bench: &mut BenchScratch, out: &DieOutcome) {
+    let (stats, selfheat) = bench.take_counters();
+    counters.record_die_solver(&stats, selfheat);
+    counters.stages[STAGE_SAMPLE].record_ns(out.timing.sample_ns);
+    counters.stages[STAGE_MEASURE].record_ns(out.timing.measure_ns);
+    counters.stages[STAGE_EXTRACT].record_ns(out.timing.extract_ns);
+    counters.completed.fetch_add(1, Ordering::Relaxed);
+    if out.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
+        counters.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut retried = 0u64;
+    let mut recovered = 0u64;
+    let mut robust = 0u64;
+    let mut quarantined = 0u64;
+    let mut by_kind = [0u64; 5];
+    for c in &out.corners {
+        retried += u64::from(c.attempts > 1);
+        robust += u64::from(c.robust_recovery);
+        quarantined += u64::from(c.failure.is_some());
+        if let Some(kind) = c.recovered_from {
+            recovered += 1;
+            by_kind[kind.index()] += 1;
+        }
+    }
+    if retried + recovered + robust + quarantined > 0 {
+        counters.record_die_recovery(retried, recovered, robust, quarantined, &by_kind);
+    }
 }
 
 /// A fold-thread record: the campaign root span and the per-die
@@ -151,6 +202,7 @@ pub fn run_campaign_with(
 ) -> Result<CampaignRun, CampaignError> {
     let stream = StreamOptions {
         trace: options.trace,
+        batch: options.batch,
         ..StreamOptions::default()
     };
     run_campaign_streaming(spec, threads, &stream, |_, _| ControlFlow::Continue(()))
@@ -207,7 +259,35 @@ where
     };
     let cursor = Arc::new(AtomicUsize::new(options.start_die));
     let tracing = options.trace;
+    // Lanes per die group. Batching needs warm seeds and a frozen sparse
+    // plan to carry a lane, so a spec disabling either falls back to the
+    // scalar per-die path. Groups never straddle a claim chunk, so the
+    // grouping — and therefore every accepted bit — is identical at any
+    // thread count.
+    let batch_lanes = {
+        let requested = if options.batch == 0 {
+            AUTO_BATCH
+        } else {
+            options.batch
+        };
+        if spec.warm_start && spec.sparse {
+            requested.min(CHUNK).min(MAX_LANES)
+        } else {
+            1
+        }
+    };
     let dropped = AtomicU64::new(0);
+    // Run-shared symbolic-LU cache, created here when the caller did not
+    // install a cross-campaign one. Every die of a topology then holds
+    // the *same* plan `Arc`, so batch-lane eligibility and per-lane plan
+    // install are pointer compares instead of structural ones. Cached
+    // plans are bit-identical to private analysis (see
+    // `shared_symbolic_cache_does_not_perturb_results`), so the default
+    // share never perturbs results.
+    let symbolic_cache = options
+        .symbolic_cache
+        .clone()
+        .unwrap_or_else(|| Arc::new(SymbolicCache::new()));
     // The fold thread's `tid` in exported traces: one past the workers.
     let fold_tid = threads as u32;
     let started = Instant::now();
@@ -238,9 +318,49 @@ where
             let cursor = Arc::clone(&cursor);
             let sites = &sites;
             let setpoints = &setpoints;
-            let symbolic_cache = options.symbolic_cache.clone();
+            let symbolic_cache = Some(Arc::clone(&symbolic_cache));
             let dropped = &dropped;
             scope.spawn(move || {
+                if batch_lanes > 1 {
+                    // One batched scratch per worker: a DieScratch per
+                    // lane plus the shared lane-strided solver buffers.
+                    let mut scratch = BatchDieScratch::new(batch_lanes);
+                    for ds in &mut scratch.lanes {
+                        ds.bench.symbolic_cache = symbolic_cache.clone();
+                        if tracing {
+                            ds.bench.solve.trace.enable(started, worker as u32);
+                        }
+                    }
+                    let mut group_out: Vec<DieOutcome> = Vec::with_capacity(batch_lanes);
+                    'claim_batched: loop {
+                        let base = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if base >= sites.len() {
+                            break;
+                        }
+                        let end = (base + CHUNK).min(sites.len());
+                        for group in sites[base..end].chunks(batch_lanes) {
+                            counters
+                                .started
+                                .fetch_add(group.len() as u64, Ordering::Relaxed);
+                            group_out.clear();
+                            run_dies_batch(spec, group, setpoints, &mut scratch, &mut group_out);
+                            counters.record_batch_sweep(&scratch.take_sweep(), 1);
+                            for (lane, out) in group_out.drain(..).enumerate() {
+                                account_die(counters, &mut scratch.lanes[lane].bench, &out);
+                                if tx.send(out).is_err() {
+                                    break 'claim_batched; // receiver gone
+                                }
+                            }
+                        }
+                    }
+                    let lost: u64 = scratch
+                        .lanes
+                        .iter()
+                        .map(|ds| ds.bench.solve.trace.dropped())
+                        .sum();
+                    dropped.fetch_add(lost, Ordering::Relaxed);
+                    return;
+                }
                 // One scratch per worker thread: solver buffers reach a
                 // steady state after the first die and are reused for
                 // every die the thread claims.
@@ -258,38 +378,7 @@ where
                     for site in &sites[base..end] {
                         counters.started.fetch_add(1, Ordering::Relaxed);
                         let out = run_die_with(spec, *site, setpoints, &mut scratch);
-                        let (stats, selfheat) = scratch.bench.take_counters();
-                        counters.record_die_solver(&stats, selfheat);
-                        counters.stages[STAGE_SAMPLE].record_ns(out.timing.sample_ns);
-                        counters.stages[STAGE_MEASURE].record_ns(out.timing.measure_ns);
-                        counters.stages[STAGE_EXTRACT].record_ns(out.timing.extract_ns);
-                        counters.completed.fetch_add(1, Ordering::Relaxed);
-                        if out.corners.iter().any(|c| c.bin == YieldBin::SolveFail) {
-                            counters.failed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        let mut retried = 0u64;
-                        let mut recovered = 0u64;
-                        let mut robust = 0u64;
-                        let mut quarantined = 0u64;
-                        let mut by_kind = [0u64; 5];
-                        for c in &out.corners {
-                            retried += u64::from(c.attempts > 1);
-                            robust += u64::from(c.robust_recovery);
-                            quarantined += u64::from(c.failure.is_some());
-                            if let Some(kind) = c.recovered_from {
-                                recovered += 1;
-                                by_kind[kind.index()] += 1;
-                            }
-                        }
-                        if retried + recovered + robust + quarantined > 0 {
-                            counters.record_die_recovery(
-                                retried,
-                                recovered,
-                                robust,
-                                quarantined,
-                                &by_kind,
-                            );
-                        }
+                        account_die(counters, &mut scratch.bench, &out);
                         if tx.send(out).is_err() {
                             break 'claim; // receiver gone: abandon quietly
                         }
@@ -507,6 +596,67 @@ mod tests {
             ..StreamOptions::default()
         };
         assert!(run_campaign_streaming(&s, 1, &options, |_, _| ControlFlow::Continue(())).is_err());
+    }
+
+    #[test]
+    fn batched_run_equals_scalar_run_at_any_lane_and_thread_count() {
+        let s = tiny_spec();
+        let scalar = run_campaign_with(
+            &s,
+            1,
+            &RunOptions {
+                batch: 1,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(scalar.metrics.batching.batched_solves, 0);
+        for lanes in [0usize, 2, 4, 8] {
+            for threads in [1usize, 2, 8] {
+                let batched = run_campaign_with(
+                    &s,
+                    threads,
+                    &RunOptions {
+                        batch: lanes,
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    batched.aggregate, scalar.aggregate,
+                    "lanes={lanes} threads={threads}"
+                );
+                assert!(
+                    batched.metrics.batching.batched_solves > 0,
+                    "lanes={lanes}: batching never engaged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_run_batches_and_reports_lane_utilization() {
+        let run = run_campaign(&tiny_spec(), 2).unwrap();
+        let b = &run.metrics.batching;
+        assert!(b.batched_solves > 0);
+        assert!(b.batch_refills > 0);
+        assert!(b.lockstep_rounds > 0);
+        assert!(
+            b.mean_lanes_active() > 1.0,
+            "mean {}",
+            b.mean_lanes_active()
+        );
+        let rounds: u64 = b.lanes_active.iter().sum();
+        assert_eq!(rounds, b.lockstep_rounds);
+    }
+
+    #[test]
+    fn cold_spec_falls_back_to_the_scalar_path() {
+        let mut s = tiny_spec();
+        s.warm_start = false;
+        let run = run_campaign(&s, 2).unwrap();
+        assert_eq!(run.metrics.batching.batched_solves, 0);
+        assert_eq!(run.metrics.batching.batch_refills, 0);
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The batched solve path's contract, tested end to end at the artifact
+//! level: every deterministic report a campaign emits — aggregate and
+//! quarantine, JSON and CSV — is **byte-identical** between the scalar
+//! per-die path (`batch = 1`) and lockstep batching at any lane count and
+//! any worker thread count, with and without fault injection. Batching
+//! may only show up in the observability stream (`metrics.batching`),
+//! never in an accepted bit.
+
+use icvbe_campaign::report::{aggregate_csv, aggregate_json, quarantine_csv, quarantine_json};
+use icvbe_campaign::spec::{CampaignSpec, WaferMap};
+use icvbe_campaign::worker::{run_campaign_with, RunOptions};
+use icvbe_campaign::CampaignRun;
+use icvbe_instrument::faults::FaultSpec;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::paper_default(WaferMap::circular(8), 0xBA7C_4ED5)
+}
+
+fn run(spec: &CampaignSpec, threads: usize, batch: usize) -> CampaignRun {
+    let options = RunOptions {
+        batch,
+        ..RunOptions::default()
+    };
+    run_campaign_with(spec, threads, &options).expect("campaign run")
+}
+
+/// The four deterministic artifact renderings, concatenated; two runs
+/// agree on this string iff every report byte matches.
+fn artifact_bytes(run: &CampaignRun) -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        aggregate_json(run),
+        aggregate_csv(run),
+        quarantine_json(run),
+        quarantine_csv(run)
+    )
+}
+
+#[test]
+fn batched_artifacts_match_scalar_artifacts_at_any_lane_and_thread_count() {
+    let spec = spec();
+    let baseline = artifact_bytes(&run(&spec, 1, 1));
+    for &lanes in &[2, 4, 8] {
+        for &threads in &[1, 2, 8] {
+            let batched = run(&spec, threads, lanes);
+            assert!(
+                batched.metrics.batching.batched_solves > 0,
+                "lanes={lanes} threads={threads} must actually batch"
+            );
+            assert_eq!(
+                baseline,
+                artifact_bytes(&batched),
+                "artifact bytes diverged at lanes={lanes} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_artifacts_match_scalar_artifacts_under_fault_injection() {
+    // Faulted corners retire lanes mid-group and quarantine dies; the
+    // quarantine artifacts must still come out byte-identical because
+    // retired lanes replay through the scalar path.
+    let mut spec = spec();
+    spec.faults = FaultSpec::heavy();
+    let baseline = run(&spec, 2, 1);
+    assert!(
+        !baseline.aggregate.quarantine.is_empty(),
+        "heavy faults must quarantine at least one die"
+    );
+    let baseline_bytes = artifact_bytes(&baseline);
+    for &threads in &[1, 8] {
+        let batched = run(&spec, threads, 4);
+        assert!(batched.metrics.batching.batched_solves > 0);
+        assert_eq!(
+            baseline_bytes,
+            artifact_bytes(&batched),
+            "faulted artifact bytes diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn auto_batching_is_the_default_and_changes_no_artifact_byte() {
+    let spec = spec();
+    let auto = run(&spec, 4, 0);
+    assert!(
+        auto.metrics.batching.batched_solves > 0,
+        "auto mode must engage batching on a warm sparse spec"
+    );
+    assert_eq!(artifact_bytes(&run(&spec, 1, 1)), artifact_bytes(&auto));
+}

@@ -16,7 +16,15 @@ fn spec() -> CampaignSpec {
 }
 
 fn traced(spec: &CampaignSpec, threads: usize) -> CampaignRun {
-    run_campaign_with(spec, threads, &RunOptions { trace: true }).expect("traced campaign run")
+    run_campaign_with(
+        spec,
+        threads,
+        &RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        },
+    )
+    .expect("traced campaign run")
 }
 
 fn trace_of(run: &CampaignRun) -> &Trace {

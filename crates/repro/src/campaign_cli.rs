@@ -4,6 +4,7 @@
 //! ```text
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
 //!                [--no-bypass] [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
+//!                [--batch N]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -27,8 +28,17 @@
 //! (<https://ui.perfetto.dev>) or `chrome://tracing`, and
 //! `campaign_profile.folded`, a collapsed-stack profile for flamegraph
 //! tools. They land in `--trace=DIR` if given, else next to the `--out`
-//! artifacts, else in the current directory. The summary additionally
-//! gains the slowest dies and corners ranked from the same spans.
+//! artifacts, else in the git-ignored `artifacts/` directory. The summary
+//! additionally gains the slowest dies and corners ranked from the same
+//! spans.
+//!
+//! `--batch N` sets the lane count of the batched die-parallel solve
+//! path: workers pack `N` same-corner dies into structure-of-arrays lanes
+//! and step them through Newton in lockstep over one frozen sparse plan.
+//! `--batch 1` forces the scalar per-die path (the ablation baseline);
+//! the default (`0` = auto) picks a full claim chunk. Accepted results
+//! are bit-identical at every setting — the summary's `batching:` line
+//! reports lane utilization.
 //!
 //! The subcommand's exit code distinguishes *could not run* (1) from
 //! *ran, but every corner failed the spec window* (2) — see [`help`] and
@@ -68,8 +78,12 @@ pub struct CampaignCliArgs {
     pub robust: bool,
     /// Capture a span trace and write the trace/profile artifacts.
     pub trace: bool,
-    /// Where the trace artifacts go (`None` = `--out` dir, else cwd).
+    /// Where the trace artifacts go (`None` = `--out` dir, else the
+    /// ignored `artifacts/` directory).
     pub trace_dir: Option<PathBuf>,
+    /// Lanes per die group on the batched solve path (`0` = auto, `1` =
+    /// scalar ablation). Bit-identical results at every setting.
+    pub batch: usize,
 }
 
 impl Default for CampaignCliArgs {
@@ -86,6 +100,7 @@ impl Default for CampaignCliArgs {
             robust: true,
             trace: false,
             trace_dir: None,
+            batch: 0,
         }
     }
 }
@@ -166,6 +181,14 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--no-robust" => {
                 out.robust = false;
             }
+            "--batch" => {
+                let v = value("--batch", it.next())?;
+                out.batch = v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
+            }
+            other if other.starts_with("--batch=") => {
+                let v = &other["--batch=".len()..];
+                out.batch = v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
+            }
             "--trace" => {
                 out.trace = true;
             }
@@ -182,7 +205,7 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                     "unknown campaign argument {other:?} \
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
                      [--out DIR] [--cold] [--no-bypass] [--faults SPEC] [--retries N] \
-                     [--no-robust] [--trace[=DIR]])"
+                     [--no-robust] [--trace[=DIR]] [--batch N])"
                 ));
             }
         }
@@ -287,6 +310,19 @@ pub fn render(run: &CampaignRun) -> String {
         solver.restamp_incremental,
         solver.restamp_full,
     );
+    let batching = &run.metrics.batching;
+    if batching.batch_refills > 0 {
+        let _ = writeln!(
+            s,
+            "  batching: {} lane-solves in {} lockstep rounds \
+             ({:.1} lanes/round mean), {} die groups, {} lane retires",
+            batching.batched_solves,
+            batching.lockstep_rounds,
+            batching.mean_lanes_active(),
+            batching.batch_refills,
+            batching.lane_retires,
+        );
+    }
     let _ = writeln!(
         s,
         "\n  stage timings (p50/p99 per die): {}",
@@ -348,11 +384,12 @@ fn fmt_ns(ns: u64) -> String {
 pub fn help() -> String {
     "repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]\n\
      \x20              [--cold] [--no-bypass] [--faults SPEC] [--retries N] [--no-robust]\n\
-     \x20              [--trace[=DIR]]\n\
+     \x20              [--trace[=DIR]] [--batch N]\n\
      \n\
      Runs a wafer-scale IC(VBE) extraction campaign and prints a summary;\n\
      --out writes the JSON/CSV report artifacts (bit-identical at any\n\
-     --threads value).\n\
+     --threads value and any --batch lane count; --batch 1 is the scalar\n\
+     ablation baseline).\n\
      \n\
      Exit codes:\n\
      \x20 0  campaign ran and at least one corner measurement passed the spec window\n\
@@ -385,7 +422,10 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
     if let Some(budget) = cli.retries {
         spec.retry_budget = budget;
     }
-    let options = RunOptions { trace: cli.trace };
+    let options = RunOptions {
+        trace: cli.trace,
+        batch: cli.batch,
+    };
     let run = run_campaign_with(&spec, cli.threads, &options).map_err(|e| e.to_string())?;
     let mut text = render(&run);
     if let Some(dir) = &cli.out {
@@ -399,7 +439,7 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
             .trace_dir
             .clone()
             .or_else(|| cli.out.clone())
-            .unwrap_or_else(|| PathBuf::from("."));
+            .unwrap_or_else(|| PathBuf::from("artifacts"));
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("creating trace dir {}: {e}", dir.display()))?;
         for (name, contents) in [
@@ -544,6 +584,43 @@ mod tests {
 
         let plain = run_cli(&sv(&["--diameter", "3", "--threads", "2", "--seed", "11"])).unwrap();
         assert!(!plain.contains("slowest dies:"), "summary:\n{plain}");
+    }
+
+    #[test]
+    fn parses_batch_flag() {
+        let a = parse_args(&sv(&["--batch", "4"])).unwrap();
+        assert_eq!(a.batch, 4);
+        let b = parse_args(&sv(&["--batch=1"])).unwrap();
+        assert_eq!(b.batch, 1);
+        assert_eq!(parse_args(&sv(&[])).unwrap().batch, 0, "default is auto");
+        assert!(parse_args(&sv(&["--batch", "many"])).is_err());
+        assert!(parse_args(&sv(&["--batch"])).is_err());
+    }
+
+    #[test]
+    fn batch_ablation_changes_only_solver_effort_lines() {
+        let batched = run_cli(&sv(&["--diameter", "3", "--threads", "1", "--seed", "9"])).unwrap();
+        let scalar = run_cli(&sv(&[
+            "--diameter",
+            "3",
+            "--threads",
+            "1",
+            "--seed",
+            "9",
+            "--batch",
+            "1",
+        ]))
+        .unwrap();
+        assert!(batched.contains("batching:"), "summary:\n{batched}");
+        assert!(!scalar.contains("batching:"), "summary:\n{scalar}");
+        // The corner table (the physics) is identical; only timing and
+        // solver-effort lines may differ between the two modes.
+        let physics = |s: &str| {
+            let start = s.find("\n\n  corner").unwrap();
+            let end = s.find("\n\n  solver:").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(physics(&batched), physics(&scalar));
     }
 
     #[test]

@@ -429,6 +429,9 @@ impl Inner {
             resume: Some(task.aggregate),
             symbolic_cache: Some(Arc::clone(&self.cache)),
             counters: Some(Arc::clone(&task.counters)),
+            // Auto lane selection: slices batch whenever the job's spec
+            // allows it; accepted bits are identical either way.
+            batch: 0,
         };
         let inner = Arc::clone(self);
         let result = run_campaign_streaming(

@@ -1,0 +1,1043 @@
+//! Lane-batched lockstep DC solving: several same-topology dies step
+//! through damped Newton together.
+//!
+//! A campaign measures thousands of dies whose circuits differ only in
+//! element *values* (Monte-Carlo mismatch draws), not structure. The
+//! scalar path ([`crate::workspace::solve_dc_with`]) solves them one at a
+//! time; this module packs up to [`MAX_LANES`] of them into a single
+//! driver that advances every lane through the same Newton iteration in
+//! lockstep:
+//!
+//! - **SoA state** — iterate, residual, trial and update vectors are
+//!   lane-major contiguous arrays in a reusable [`BatchWorkspace`], the
+//!   layout a SIMD or GPU backend consumes directly;
+//! - **batched device evaluation** — the BJT junction exponentials are
+//!   reshaped into lane-array kernels ([`crate::limexp::limexp_lanes`]
+//!   feeding the shared Gummel-Poon combine), exposed through
+//!   [`BatchWorkspace::prewarm_bjt_caches`]: one call evaluates every
+//!   stepping lane and scatters the payloads into each lane's exact-bit
+//!   device cache. The default build keeps the scalar in-stamp
+//!   evaluation inline instead — with `libm`'s scalar `exp` pinned by
+//!   the bits contract, the gather/scatter detour costs more than it
+//!   saves — so the kernel is the drop-in hot path for a future
+//!   vector-`exp` backend (see DESIGN §13);
+//! - **lockstep sparse LU** — all lanes factor and solve against one
+//!   frozen symbolic plan through
+//!   [`icvbe_numerics::sparse::SparseLuBatch`], whose per-lane arithmetic
+//!   is the scalar kernel verbatim;
+//! - **per-lane masking** — a lane that converges retires from the
+//!   stepping set with its iteration count; a lane that fails (singular
+//!   factor, divergence, non-finite residual) retires to the scalar
+//!   escalation ladder without stalling its neighbors.
+//!
+//! # The "same accepted bits" contract
+//!
+//! Every accepted operating point is **bit-identical** to what the scalar
+//! path produces:
+//!
+//! - the per-lane arithmetic *is* the scalar op sequence — the driver
+//!   mirrors `newton_damped` decision for decision (damping halves on
+//!   every failed line-search round, the most-damped fallback step, the
+//!   step-tolerance early exit, the acceptable-residual escape);
+//! - the driver evaluates devices in-stamp per lane exactly like the
+//!   scalar driver; the lane-array kernel, when invoked through
+//!   [`BatchWorkspace::prewarm_bjt_caches`], only *prewarms* the
+//!   exact-bit eval cache with the same bits the in-stamp miss path
+//!   would compute, so a subsequent stamp replay is unchanged;
+//! - batched solves run with the tolerance bypass off (exactly like the
+//!   scalar warm rung), so no approximate residual ever leaks in;
+//! - a lane that cannot finish batched is rerun through the scalar path
+//!   from scratch by the caller, reproducing the scalar escalation ladder
+//!   byte for byte.
+//!
+//! On the default path even the eval-effort *counters* match the scalar
+//! driver exactly. An explicit prewarm books one eval plus one exact-bit
+//! reuse where scalar books one eval; counters are observability, not
+//! part of the accepted-bits contract.
+
+use std::sync::Arc;
+
+use icvbe_numerics::newton::{polish_converged, NonlinearSystem};
+use icvbe_numerics::sparse::{LuSymbolic, SparseLuBatch};
+use icvbe_numerics::Matrix;
+use icvbe_trace::{SpanKind, SpanToken};
+use icvbe_units::Kelvin;
+
+use crate::bjt::{eval_bjt_lanes, Bjt, BjtLaneScratch};
+use crate::ladder::SolveStrategy;
+use crate::netlist::{Circuit, NodeId};
+use crate::solver::DcOptions;
+use crate::stamp::{
+    BypassTolerance, DeviceSlot, EvalContext, DEVICE_EVAL_SLOTS, DEVICE_TEMP_SLOTS,
+};
+use crate::system::{CircuitAssembly, CircuitSystem};
+use crate::workspace::{drain_effort, rung_succeeded, DcSolveInfo, SolveWorkspace};
+
+/// Hard upper bound on the lane count of one batched solve; the driver's
+/// per-lane bookkeeping lives in stack arrays of this size so steady-state
+/// batched solves allocate nothing.
+pub const MAX_LANES: usize = 16;
+
+/// One lane's solve request: the compiled circuit, its assembly, the
+/// evaluation temperature and the warm-start seed.
+///
+/// Each lane must own a **distinct** assembly — lanes share nothing but
+/// the symbolic factorization plan, and aliasing one assembly across two
+/// lanes would cross-contaminate their device caches.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneCtx<'a> {
+    /// The lane's circuit (same topology across the batch, per-die values).
+    pub circuit: &'a Circuit,
+    /// The lane's own assembly (layout, device caches, restamp plan).
+    pub assembly: &'a CircuitAssembly,
+    /// Evaluation temperature for this lane.
+    pub temperature: Kelvin,
+    /// Warm-start seed; must have the assembly's dimension for the lane
+    /// to be batch-eligible.
+    pub seed: &'a [f64],
+}
+
+/// Per-lane outcome of [`solve_dc_batch`].
+#[derive(Debug, Clone, Copy)]
+pub enum LaneOutcome {
+    /// The lane converged batched; the solution is in its workspace
+    /// ([`SolveWorkspace::solution`]) exactly as after a scalar solve.
+    Solved(DcSolveInfo),
+    /// The lane did not finish batched (ineligible, factor failure,
+    /// divergence, or a non-finite residual). The caller must rerun it
+    /// through the scalar path from scratch, which reproduces the scalar
+    /// escalation ladder byte for byte.
+    Retired,
+}
+
+/// Reusable lane-strided storage for [`solve_dc_batch`]: iterate/residual
+/// state for every MNA unknown of every lane, the lockstep sparse LU
+/// workspace, and the gather/scatter buffers of the batched device kernel.
+///
+/// Sized lazily to the largest `(lanes, n)` it has seen; steady-state
+/// batched solves perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    /// Lockstep LU bound to the shared symbolic plan.
+    lu: Option<SparseLuBatch>,
+    /// Shared per-lane Jacobian scratch (scattered into `lu` lane-strided).
+    jac: Option<Matrix>,
+    /// Lane-major iterate: lane `l` occupies `x[l*n .. (l+1)*n]`.
+    x: Vec<f64>,
+    /// Lane-major residual at `x`.
+    f: Vec<f64>,
+    /// Lane-major line-search trial point.
+    trial: Vec<f64>,
+    /// Lane-major residual at `trial`.
+    f_trial: Vec<f64>,
+    /// Lane-major Newton update.
+    dx: Vec<f64>,
+    /// Lane-major negated residual (LU right-hand side).
+    neg_f: Vec<f64>,
+    /// Per-lane residual infinity norm.
+    fnorm: Vec<f64>,
+    /// Per-lane line-search damping.
+    damping: Vec<f64>,
+    /// Lane-array limexp scratch for the batched BJT kernel.
+    bjt: BjtLaneScratch,
+    /// Per-lane base-emitter voltage gather.
+    vbe: Vec<f64>,
+    /// Per-lane base-collector voltage gather.
+    vbc: Vec<f64>,
+    /// Per-lane cached model slots feeding the batched kernel.
+    model: Vec<[f64; DEVICE_TEMP_SLOTS]>,
+    /// Per-lane eval payloads scattered back into the device caches.
+    eval: Vec<[f64; DEVICE_EVAL_SLOTS]>,
+    /// Element indices holding BJTs (computed per prewarm pass from the
+    /// first lane's circuit, so the pass skips every linear element
+    /// without a downcast).
+    bjt_candidates: Vec<usize>,
+    /// Shape the buffers were last sized for: `(lanes, n, plan address)`.
+    /// When unchanged, [`BatchWorkspace::ensure`] returns without touching
+    /// the ~30 buffer headers (they are cache-cold after the per-lane
+    /// polish tail of the previous call). The plan address is only ever
+    /// compared, never dereferenced.
+    sized_for: (usize, usize, usize),
+}
+
+impl BatchWorkspace {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Sizes every buffer for `lanes` lanes of dimension `n` against
+    /// `plan`, reusing prior storage whenever the shape is unchanged.
+    fn ensure(&mut self, lanes: usize, n: usize, plan: &Arc<LuSymbolic>) {
+        let shape = (lanes, n, Arc::as_ptr(plan) as usize);
+        if self.sized_for == shape {
+            return;
+        }
+        let rebuild = match &self.lu {
+            Some(lu) => {
+                lu.lanes() != lanes || !(Arc::ptr_eq(lu.plan(), plan) || **lu.plan() == **plan)
+            }
+            None => true,
+        };
+        if rebuild {
+            self.lu = Some(SparseLuBatch::new(Arc::clone(plan), lanes));
+        }
+        match &mut self.jac {
+            Some(m) if m.rows() == n => {}
+            slot => *slot = Some(Matrix::zeros(n, n)),
+        }
+        let total = lanes * n;
+        for buf in [
+            &mut self.x,
+            &mut self.f,
+            &mut self.trial,
+            &mut self.f_trial,
+            &mut self.dx,
+            &mut self.neg_f,
+        ] {
+            buf.resize(total, 0.0);
+        }
+        self.fnorm.resize(lanes, 0.0);
+        self.damping.resize(lanes, 0.0);
+        self.sized_for = shape;
+    }
+
+    /// Prewarms the exact-bit BJT eval caches of every masked lane at the
+    /// lane-major points `xs` (lane `l` at `xs[l * n..(l + 1) * n]`):
+    /// terminal voltages are gathered per lane, the junction exponentials
+    /// run through the lane-array kernel ([`crate::limexp::limexp_lanes`]
+    /// feeding the shared Gummel-Poon combine), and the payloads are
+    /// scattered into each lane's device slots — the same bits the
+    /// in-stamp miss path would compute, so a subsequent per-lane stamp
+    /// replay takes pure cache hits. Lanes whose cache already holds the
+    /// point are skipped (the replay books the exact-bit reuse as usual).
+    ///
+    /// This is the lane-parallel device-evaluation hook: a vector-`exp`
+    /// backend calls it before each residual round and turns every
+    /// in-stamp evaluation into a cache hit. The default scalar-`libm`
+    /// build leaves it out of the hot loop: the exponential bits are
+    /// pinned by the accepted-bits contract, so the kernel runs the same
+    /// scalar `exp` per lane and the gather/scatter detour costs more
+    /// than it saves (see DESIGN §13). Calling it is always bit-inert.
+    pub fn prewarm_bjt_caches(&mut self, ctx: &[LaneCtx<'_>], mask: &[bool], xs: &[f64], n: usize) {
+        let lanes = ctx.len();
+        if lanes == 0 || lanes > MAX_LANES || mask.len() < lanes || xs.len() < lanes * n {
+            return;
+        }
+        self.bjt.ensure(lanes);
+        self.vbe.resize(lanes, 0.0);
+        self.vbc.resize(lanes, 0.0);
+        self.model.resize(lanes, [0.0; DEVICE_TEMP_SLOTS]);
+        self.eval.resize(lanes, [0.0; DEVICE_EVAL_SLOTS]);
+        // BJT element indices from the first lane's circuit: topology is
+        // shared across the batch, so linear elements never pay a
+        // downcast. A lane that disagrees keeps its cold cache for the
+        // unlisted device and takes the in-stamp miss — same bits.
+        self.bjt_candidates.clear();
+        for (j, element) in ctx[0].circuit.elements().iter().enumerate() {
+            if element.as_any().downcast_ref::<Bjt>().is_some() {
+                self.bjt_candidates.push(j);
+            }
+        }
+        let mut slots: [Option<std::cell::RefMut<'_, Vec<DeviceSlot>>>; MAX_LANES] =
+            std::array::from_fn(|l| {
+                (l < lanes && mask[l]).then(|| ctx[l].assembly.device_slots_mut())
+            });
+        let mut devs: [Option<&Bjt>; MAX_LANES] = [None; MAX_LANES];
+        for ci in 0..self.bjt_candidates.len() {
+            let j = self.bjt_candidates[ci];
+            let mut any = false;
+            for l in 0..lanes {
+                devs[l] = None;
+                if !mask[l] {
+                    continue;
+                }
+                let Some(element) = ctx[l].circuit.elements().get(j) else {
+                    continue;
+                };
+                let Some(dev) = element.as_any().downcast_ref::<Bjt>() else {
+                    continue;
+                };
+                let s = dev.polarity().sign();
+                let (c, b, e) = dev.terminals();
+                let x = &xs[l * n..(l + 1) * n];
+                let read = |node: NodeId| node.unknown_index().map_or(0.0, |i| x[i]);
+                let (vc, vb, ve) = (read(c), read(b), read(e));
+                let vbe_l = s * (vb - ve);
+                let vbc_l = s * (vb - vc);
+                let t = ctx[l].temperature;
+                let t_bits = t.value().to_bits();
+                let Some(slot) = slots[l].as_mut().and_then(|s| s.get_mut(j)) else {
+                    continue;
+                };
+                let slots_cached = match slot.model_at(t_bits) {
+                    Some(m) => m,
+                    None => {
+                        let m = dev.model_slots(t);
+                        slot.put_model(t_bits, m);
+                        m
+                    }
+                };
+                if slot.eval_hit([vbe_l, vbc_l]) {
+                    continue;
+                }
+                self.vbe[l] = vbe_l;
+                self.vbc[l] = vbc_l;
+                self.model[l] = slots_cached;
+                devs[l] = Some(dev);
+                any = true;
+            }
+            if !any {
+                continue;
+            }
+            eval_bjt_lanes(
+                &devs[..lanes],
+                &self.model[..lanes],
+                &self.vbe[..lanes],
+                &self.vbc[..lanes],
+                &mut self.bjt,
+                &mut self.eval[..lanes],
+            );
+            for l in 0..lanes {
+                if devs[l].is_none() {
+                    continue;
+                }
+                if let Some(slot) = slots[l].as_mut().and_then(|s| s.get_mut(j)) {
+                    slot.put_eval([self.vbe[l], self.vbc[l]], self.eval[l]);
+                }
+                // Book the evaluation exactly as the in-stamp miss path
+                // would; the replay's exact-bit hit then books the reuse.
+                let counters = ctx[l].assembly.stamp_counters();
+                counters.device_evals.set(counters.device_evals.get() + 1);
+            }
+        }
+    }
+}
+
+/// Infinity norm, bit-identical to the scalar Newton driver's.
+fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Closes a failed lane's spans, drains its stamp counters and books the
+/// retirement. The caller reruns the lane's solve through the scalar path
+/// from scratch.
+fn retire_lane(
+    ws: &mut SolveWorkspace,
+    assembly: &CircuitAssembly,
+    newton: SpanToken,
+    rung: SpanToken,
+    solve: SpanToken,
+) {
+    ws.trace.span_end(newton);
+    ws.trace.span_end(rung);
+    let bypass = drain_effort(ws, assembly);
+    ws.trace.span_end_with(solve, 0, bypass);
+    ws.stats.lane_retires += 1;
+}
+
+/// Steps up to [`MAX_LANES`] warm-seeded dies through damped Newton in
+/// lockstep (see the module docs for the architecture and the
+/// bit-identity contract).
+///
+/// `ctx`, `workspaces` and `outcomes` are parallel slices, one entry per
+/// lane. On return every `outcomes[l]` is either
+/// [`LaneOutcome::Solved`] — the lane's workspace holds the operating
+/// point exactly as a scalar [`crate::workspace::solve_dc_with`] would
+/// have left it — or [`LaneOutcome::Retired`], in which case the caller
+/// **must** rerun that lane through the scalar path (the retired lane's
+/// workspace holds no solution).
+///
+/// A lane is batch-eligible when sparse solving is enabled, its seed has
+/// the assembly's dimension, and its assembly has an armed symbolic plan
+/// equal to the first eligible lane's (one prior scalar solve per
+/// assembly arms the plan). Ineligible lanes retire without a batched
+/// attempt and without touching their stats.
+///
+/// Returns the number of lanes that entered batched stepping (the
+/// utilization observability feed).
+pub fn solve_dc_batch(
+    ctx: &[LaneCtx<'_>],
+    options: &DcOptions,
+    workspaces: &mut [&mut SolveWorkspace],
+    batch: &mut BatchWorkspace,
+    outcomes: &mut [LaneOutcome],
+) -> usize {
+    for o in outcomes.iter_mut() {
+        *o = LaneOutcome::Retired;
+    }
+    let lanes = ctx.len();
+    if lanes == 0 || lanes > MAX_LANES || workspaces.len() != lanes || outcomes.len() != lanes {
+        return 0;
+    }
+    if !options.sparse {
+        return 0;
+    }
+    let n = ctx[0].assembly.dimension();
+    if n == 0 {
+        return 0;
+    }
+    let Some(plan) = ctx[0].assembly.symbolic_plan() else {
+        return 0;
+    };
+    let mut eligible = [false; MAX_LANES];
+    let mut entered = 0usize;
+    for l in 0..lanes {
+        let a = ctx[l].assembly;
+        eligible[l] = a.dimension() == n
+            && ctx[l].seed.len() == n
+            && a.symbolic_plan()
+                .is_some_and(|p| Arc::ptr_eq(&p, &plan) || *p == *plan);
+        if eligible[l] {
+            entered += 1;
+        }
+    }
+    if entered == 0 {
+        return 0;
+    }
+    batch.ensure(lanes, n, &plan);
+
+    // Per-lane systems: hot path with the tolerance bypass off, exactly
+    // like the scalar warm rung — accepted residuals are always exact.
+    let systems: [Option<CircuitSystem<'_>>; MAX_LANES] = std::array::from_fn(|l| {
+        (l < lanes && eligible[l]).then(|| {
+            let eval = EvalContext {
+                temperature: ctx[l].temperature,
+                gmin: options.gmin_floor,
+                source_scale: 1.0,
+            };
+            CircuitSystem::hot_path(ctx[l].circuit, eval, ctx[l].assembly, BypassTolerance::OFF)
+        })
+    });
+
+    // Per-lane entry bookkeeping, mirroring the scalar driver's.
+    let mut solve_span = [None::<SpanToken>; MAX_LANES];
+    let mut rung_span = [None::<SpanToken>; MAX_LANES];
+    let mut newton_span = [None::<SpanToken>; MAX_LANES];
+    let mut active = [false; MAX_LANES];
+    let mut converged = [None::<usize>; MAX_LANES];
+    for l in 0..lanes {
+        if !eligible[l] {
+            continue;
+        }
+        let ws = &mut *workspaces[l];
+        ctx[l].assembly.invalidate_constants();
+        ws.newton.use_sparse_plan(&plan);
+        ws.ensure(n);
+        ws.x0.copy_from_slice(ctx[l].seed);
+        ws.stats.solves += 1;
+        ws.stats.warm_starts += 1;
+        ws.stats.batched_solves += 1;
+        solve_span[l] = Some(ws.trace.span(SpanKind::DcSolve));
+        rung_span[l] = Some(
+            ws.trace
+                .span_labeled(SpanKind::Rung, SolveStrategy::WarmStart.label()),
+        );
+        newton_span[l] = Some(ws.trace.span(SpanKind::Newton));
+        batch.x[l * n..(l + 1) * n].copy_from_slice(ctx[l].seed);
+        active[l] = true;
+    }
+
+    // Initial residual, evaluated in-stamp per lane exactly like the
+    // scalar driver (the lane-array kernel stays out of this loop — see
+    // the module docs and [`BatchWorkspace::prewarm_bjt_caches`]).
+    for l in 0..lanes {
+        if !active[l] {
+            continue;
+        }
+        let Some(sys) = systems[l].as_ref() else {
+            continue;
+        };
+        let x = &batch.x[l * n..(l + 1) * n];
+        let fl = &mut batch.f[l * n..(l + 1) * n];
+        if sys.residual(x, fl).is_err() {
+            active[l] = false;
+            let (Some(nw), Some(rg), Some(sv)) = (newton_span[l], rung_span[l], solve_span[l])
+            else {
+                continue;
+            };
+            retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+            continue;
+        }
+        batch.fnorm[l] = inf_norm(fl);
+    }
+
+    let opts = options.newton;
+    for iter in 0..opts.max_iterations {
+        // Convergence check at the top of the iteration, like the scalar
+        // driver. The scalar path re-verifies against the exact system
+        // here (`exactify`); with the bypass off that is a no-op.
+        let mut stepping = 0usize;
+        for l in 0..lanes {
+            if !active[l] {
+                continue;
+            }
+            if batch.fnorm[l] <= opts.residual_tolerance {
+                converged[l] = Some(iter);
+                active[l] = false;
+            } else {
+                stepping += 1;
+            }
+        }
+        if stepping == 0 {
+            break;
+        }
+
+        // Jacobian per lane into the shared scratch, scattered into the
+        // lane-strided LU storage; then one lockstep masked factor.
+        let Some(lu) = batch.lu.as_mut() else {
+            break;
+        };
+        let Some(jac) = batch.jac.as_mut() else {
+            break;
+        };
+        for l in 0..lanes {
+            if !active[l] {
+                continue;
+            }
+            let Some(sys) = systems[l].as_ref() else {
+                continue;
+            };
+            let x = &batch.x[l * n..(l + 1) * n];
+            if sys.jacobian(x, jac).is_err() {
+                active[l] = false;
+                if let (Some(nw), Some(rg), Some(sv)) =
+                    (newton_span[l], rung_span[l], solve_span[l])
+                {
+                    retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+                }
+                continue;
+            }
+            let values = lu.values_mut();
+            for r in 0..n {
+                for c in 0..n {
+                    values[(r * n + c) * lanes + l] = jac[(r, c)];
+                }
+            }
+        }
+        let mut factored = active;
+        lu.factor(&mut factored[..lanes]);
+        for l in 0..lanes {
+            if active[l] && !factored[l] {
+                // Singular or non-finite lane: the scalar driver would
+                // error out of the warm rung here.
+                active[l] = false;
+                if let (Some(nw), Some(rg), Some(sv)) =
+                    (newton_span[l], rung_span[l], solve_span[l])
+                {
+                    retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+                }
+            }
+        }
+
+        // Lockstep solve + step clamp, per-lane arithmetic unchanged.
+        for l in 0..lanes {
+            if !active[l] {
+                continue;
+            }
+            for i in 0..n {
+                batch.neg_f[l * n + i] = -batch.f[l * n + i];
+            }
+            let rhs = &batch.neg_f[l * n..(l + 1) * n];
+            let dx = &mut batch.dx[l * n..(l + 1) * n];
+            if lu.solve_lane(l, rhs, dx).is_err() {
+                active[l] = false;
+                if let (Some(nw), Some(rg), Some(sv)) =
+                    (newton_span[l], rung_span[l], solve_span[l])
+                {
+                    retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+                }
+                continue;
+            }
+            let dx_norm = inf_norm(dx);
+            if dx_norm > opts.max_step {
+                let scale = opts.max_step / dx_norm;
+                for d in dx {
+                    *d *= scale;
+                }
+            }
+        }
+
+        // Lockstep line search: every lane halves its own damping on a
+        // failed round, exactly as the scalar loop does.
+        let mut searching = active;
+        let mut advanced = [false; MAX_LANES];
+        for l in 0..lanes {
+            batch.damping[l] = 1.0;
+        }
+        for _round in 0..20 {
+            if !searching[..lanes].iter().any(|&s| s) {
+                break;
+            }
+            for l in 0..lanes {
+                if !searching[l] {
+                    continue;
+                }
+                for i in 0..n {
+                    batch.trial[l * n + i] =
+                        batch.x[l * n + i] + batch.damping[l] * batch.dx[l * n + i];
+                }
+            }
+            for l in 0..lanes {
+                if !searching[l] {
+                    continue;
+                }
+                let Some(sys) = systems[l].as_ref() else {
+                    continue;
+                };
+                let trial = &batch.trial[l * n..(l + 1) * n];
+                let f_trial = &mut batch.f_trial[l * n..(l + 1) * n];
+                if sys.residual(trial, f_trial).is_ok() {
+                    let t_norm = inf_norm(f_trial);
+                    if t_norm.is_finite()
+                        && (t_norm < batch.fnorm[l] || t_norm <= opts.residual_tolerance)
+                    {
+                        batch.x[l * n..(l + 1) * n].copy_from_slice(trial);
+                        batch.f[l * n..(l + 1) * n]
+                            .copy_from_slice(&batch.f_trial[l * n..(l + 1) * n]);
+                        batch.fnorm[l] = t_norm;
+                        advanced[l] = true;
+                        searching[l] = false;
+                        continue;
+                    }
+                }
+                batch.damping[l] *= 0.5;
+            }
+        }
+
+        // Most-damped fallback for lanes the search did not advance: take
+        // the step if it still moves the iterate (the scalar escape from
+        // locally increasing residuals), else accept-or-retire in place.
+        let mut fallback = [false; MAX_LANES];
+        for l in 0..lanes {
+            if !active[l] || advanced[l] {
+                continue;
+            }
+            for i in 0..n {
+                batch.trial[l * n + i] =
+                    batch.x[l * n + i] + batch.damping[l] * batch.dx[l * n + i];
+            }
+            if batch.trial[l * n..(l + 1) * n] == batch.x[l * n..(l + 1) * n] {
+                // Bitwise stationary: the scalar driver accepts on the
+                // acceptable-residual escape or reports no convergence.
+                active[l] = false;
+                if batch.fnorm[l] <= opts.acceptable_residual {
+                    converged[l] = Some(iter);
+                } else if let (Some(nw), Some(rg), Some(sv)) =
+                    (newton_span[l], rung_span[l], solve_span[l])
+                {
+                    retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+                }
+            } else {
+                fallback[l] = true;
+            }
+        }
+        if fallback[..lanes].iter().any(|&f| f) {
+            for l in 0..lanes {
+                if !fallback[l] {
+                    continue;
+                }
+                let Some(sys) = systems[l].as_ref() else {
+                    continue;
+                };
+                let trial = &batch.trial[l * n..(l + 1) * n];
+                let f_trial = &mut batch.f_trial[l * n..(l + 1) * n];
+                let fail = match sys.residual(trial, f_trial) {
+                    Err(_) => true,
+                    Ok(()) => {
+                        let t_norm = inf_norm(f_trial);
+                        if t_norm.is_finite() {
+                            batch.x[l * n..(l + 1) * n].copy_from_slice(trial);
+                            batch.f[l * n..(l + 1) * n]
+                                .copy_from_slice(&batch.f_trial[l * n..(l + 1) * n]);
+                            batch.fnorm[l] = t_norm;
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                };
+                if fail {
+                    active[l] = false;
+                    if let (Some(nw), Some(rg), Some(sv)) =
+                        (newton_span[l], rung_span[l], solve_span[l])
+                    {
+                        retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+                    }
+                }
+            }
+        }
+
+        // Step-tolerance early exit, same double condition as scalar.
+        for l in 0..lanes {
+            if !active[l] {
+                continue;
+            }
+            let dx = &batch.dx[l * n..(l + 1) * n];
+            if inf_norm(dx) * batch.damping[l] <= opts.step_tolerance
+                && batch.fnorm[l] <= opts.residual_tolerance.max(1e-9)
+            {
+                converged[l] = Some(iter + 1);
+                active[l] = false;
+            }
+        }
+    }
+
+    // Iteration budget exhausted: the scalar acceptable-residual escape.
+    for l in 0..lanes {
+        if !active[l] {
+            continue;
+        }
+        active[l] = false;
+        if batch.fnorm[l] <= opts.acceptable_residual {
+            converged[l] = Some(opts.max_iterations);
+        } else if let (Some(nw), Some(rg), Some(sv)) = (newton_span[l], rung_span[l], solve_span[l])
+        {
+            retire_lane(&mut *workspaces[l], ctx[l].assembly, nw, rg, sv);
+        }
+    }
+
+    // Converged lanes: scalar polish against the exact system (the same
+    // `options.polish` tail the scalar driver runs inside its Newton
+    // span), then the scalar success bookkeeping.
+    for l in 0..lanes {
+        let Some(iterations) = converged[l] else {
+            continue;
+        };
+        let ws = &mut *workspaces[l];
+        ws.x.copy_from_slice(&batch.x[l * n..(l + 1) * n]);
+        let polish = match (opts.polish, systems[l].as_ref()) {
+            (true, Some(sys)) => polish_converged(sys, &mut ws.x, &mut ws.newton),
+            _ => 0,
+        };
+        let (Some(nw), Some(rg), Some(sv)) = (newton_span[l], rung_span[l], solve_span[l]) else {
+            continue;
+        };
+        ws.trace.span_end_with(nw, iterations as u64, polish as u64);
+        let info = rung_succeeded(
+            ws,
+            ctx[l].assembly,
+            SolveStrategy::WarmStart,
+            iterations,
+            true,
+            rg,
+            sv,
+        );
+        outcomes[l] = LaneOutcome::Solved(info);
+    }
+    entered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bjt::{BjtParams, Polarity};
+    use crate::element::CurrentSource;
+    use crate::workspace::solve_dc_with;
+    use icvbe_units::Ampere;
+
+    /// The paper's PTAT pair cell with a per-lane area/bias variation —
+    /// same topology, different values, like Monte-Carlo die draws.
+    fn ptat_cell(lane: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let va = c.node("va");
+        let vb = c.node("vb");
+        let gnd = Circuit::ground();
+        let bias = 1e-6 * (1.0 + 0.07 * lane as f64);
+        c.add(CurrentSource::new("Ia", gnd, va, Ampere::new(bias)));
+        c.add(CurrentSource::new("Ib", gnd, vb, Ampere::new(bias)));
+        c.add(
+            Bjt::new("QA", gnd, gnd, va, Polarity::Pnp, BjtParams::default_npn())
+                .expect("valid device"),
+        );
+        c.add(
+            Bjt::new("QB", gnd, gnd, vb, Polarity::Pnp, BjtParams::default_npn())
+                .expect("valid device")
+                .with_area(8.0 + 0.5 * lane as f64)
+                .expect("valid area"),
+        );
+        c
+    }
+
+    /// Cold-solves the lane's circuit once (arming the symbolic plan and
+    /// the warm seed) and returns the seed.
+    fn prime(
+        circuit: &Circuit,
+        assembly: &CircuitAssembly,
+        t: Kelvin,
+        opts: &DcOptions,
+        ws: &mut SolveWorkspace,
+    ) -> Vec<f64> {
+        solve_dc_with(circuit, assembly, t, opts, None, ws).expect("cold prime solve");
+        ws.solution().to_vec()
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_solves_bitwise() {
+        let t_prime = Kelvin::new(278.15);
+        let lane_temps = [248.15, 298.15, 318.15, 348.15];
+        let mut opts = DcOptions::default();
+        opts.newton.polish = true;
+
+        for lanes in [1usize, 2, 4] {
+            // Scalar reference: cold prime, then a scalar warm solve at
+            // the lane temperature.
+            let mut reference = Vec::new();
+            for l in 0..lanes {
+                let c = ptat_cell(l);
+                let assembly = CircuitAssembly::new(&c).expect("valid cell");
+                let mut ws = SolveWorkspace::new();
+                let seed = prime(&c, &assembly, t_prime, &opts, &mut ws);
+                let info = solve_dc_with(
+                    &c,
+                    &assembly,
+                    Kelvin::new(lane_temps[l]),
+                    &opts,
+                    Some(&seed),
+                    &mut ws,
+                )
+                .expect("scalar warm solve");
+                reference.push((ws.solution().to_vec(), info));
+            }
+
+            // Batched run over fresh per-lane state, same prime.
+            let circuits: Vec<Circuit> = (0..lanes).map(ptat_cell).collect();
+            let assemblies: Vec<CircuitAssembly> = circuits
+                .iter()
+                .map(|c| CircuitAssembly::new(c).expect("valid cell"))
+                .collect();
+            let mut workspaces: Vec<SolveWorkspace> =
+                (0..lanes).map(|_| SolveWorkspace::new()).collect();
+            let mut seeds = Vec::new();
+            for l in 0..lanes {
+                seeds.push(prime(
+                    &circuits[l],
+                    &assemblies[l],
+                    t_prime,
+                    &opts,
+                    &mut workspaces[l],
+                ));
+            }
+            let ctx: Vec<LaneCtx<'_>> = (0..lanes)
+                .map(|l| LaneCtx {
+                    circuit: &circuits[l],
+                    assembly: &assemblies[l],
+                    temperature: Kelvin::new(lane_temps[l]),
+                    seed: &seeds[l],
+                })
+                .collect();
+            let mut ws_refs: Vec<&mut SolveWorkspace> = workspaces.iter_mut().collect();
+            let mut batch = BatchWorkspace::new();
+            let mut outcomes = vec![LaneOutcome::Retired; lanes];
+            let entered = solve_dc_batch(&ctx, &opts, &mut ws_refs, &mut batch, &mut outcomes);
+            assert_eq!(entered, lanes);
+
+            for l in 0..lanes {
+                let (ref_x, ref_info) = &reference[l];
+                match outcomes[l] {
+                    LaneOutcome::Solved(info) => {
+                        assert_eq!(info, *ref_info, "lane {l} info diverged ({lanes} lanes)");
+                    }
+                    LaneOutcome::Retired => panic!("lane {l} retired ({lanes} lanes)"),
+                }
+                let got: Vec<u64> = workspaces[l]
+                    .solution()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let want: Vec<u64> = ref_x.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "lane {l} solution bits diverged ({lanes} lanes)");
+                assert_eq!(workspaces[l].stats.batched_solves, 1);
+                assert_eq!(workspaces[l].stats.lane_retires, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn prewarm_kernel_is_bit_inert() {
+        let t_prime = Kelvin::new(278.15);
+        let t_solve = Kelvin::new(308.15);
+        let mut opts = DcOptions::default();
+        opts.newton.polish = true;
+        let lanes = 3usize;
+
+        // Two identical fresh setups; run B prewarms every lane's device
+        // cache through the lane-array kernel at the seed points before
+        // the batched solve. Outcomes and solution bits must not move.
+        let mut runs: Vec<Vec<(Vec<u64>, DcSolveInfo)>> = Vec::new();
+        for prewarm in [false, true] {
+            let circuits: Vec<Circuit> = (0..lanes).map(ptat_cell).collect();
+            let assemblies: Vec<CircuitAssembly> = circuits
+                .iter()
+                .map(|c| CircuitAssembly::new(c).expect("valid cell"))
+                .collect();
+            let mut workspaces: Vec<SolveWorkspace> =
+                (0..lanes).map(|_| SolveWorkspace::new()).collect();
+            let mut seeds = Vec::new();
+            for l in 0..lanes {
+                seeds.push(prime(
+                    &circuits[l],
+                    &assemblies[l],
+                    t_prime,
+                    &opts,
+                    &mut workspaces[l],
+                ));
+            }
+            let ctx: Vec<LaneCtx<'_>> = (0..lanes)
+                .map(|l| LaneCtx {
+                    circuit: &circuits[l],
+                    assembly: &assemblies[l],
+                    temperature: t_solve,
+                    seed: &seeds[l],
+                })
+                .collect();
+            let mut batch = BatchWorkspace::new();
+            let n = assemblies[0].dimension();
+            if prewarm {
+                let mut xs = vec![0.0; lanes * n];
+                for l in 0..lanes {
+                    xs[l * n..(l + 1) * n].copy_from_slice(&seeds[l]);
+                }
+                batch.prewarm_bjt_caches(&ctx, &[true; MAX_LANES][..lanes], &xs, n);
+            }
+            let mut ws_refs: Vec<&mut SolveWorkspace> = workspaces.iter_mut().collect();
+            let mut outcomes = vec![LaneOutcome::Retired; lanes];
+            let entered = solve_dc_batch(&ctx, &opts, &mut ws_refs, &mut batch, &mut outcomes);
+            assert_eq!(entered, lanes);
+            let mut run = Vec::new();
+            for l in 0..lanes {
+                let LaneOutcome::Solved(info) = outcomes[l] else {
+                    panic!("lane {l} retired (prewarm={prewarm})");
+                };
+                let bits = workspaces[l]
+                    .solution()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                run.push((bits, info));
+            }
+            runs.push(run);
+        }
+        assert_eq!(runs[0], runs[1], "prewarm changed accepted bits");
+    }
+
+    #[test]
+    fn faulty_lanes_retire_without_disturbing_neighbors() {
+        let t_prime = Kelvin::new(278.15);
+        let t_solve = Kelvin::new(308.15);
+        let mut opts = DcOptions::default();
+        opts.newton.polish = true;
+        let lanes = 4usize;
+
+        // Scalar reference for the two healthy lanes (0 and 3).
+        let mut reference = Vec::new();
+        for l in [0usize, 3] {
+            let c = ptat_cell(l);
+            let assembly = CircuitAssembly::new(&c).expect("valid cell");
+            let mut ws = SolveWorkspace::new();
+            let seed = prime(&c, &assembly, t_prime, &opts, &mut ws);
+            solve_dc_with(&c, &assembly, t_solve, &opts, Some(&seed), &mut ws)
+                .expect("scalar warm solve");
+            reference.push(ws.solution().to_vec());
+        }
+
+        let circuits: Vec<Circuit> = (0..lanes).map(ptat_cell).collect();
+        let assemblies: Vec<CircuitAssembly> = circuits
+            .iter()
+            .map(|c| CircuitAssembly::new(c).expect("valid cell"))
+            .collect();
+        let mut workspaces: Vec<SolveWorkspace> =
+            (0..lanes).map(|_| SolveWorkspace::new()).collect();
+        let mut seeds = Vec::new();
+        for l in 0..lanes {
+            seeds.push(prime(
+                &circuits[l],
+                &assemblies[l],
+                t_prime,
+                &opts,
+                &mut workspaces[l],
+            ));
+        }
+        // Lane 1: seed of the wrong length — ineligible, no batched
+        // attempt. Lane 2: a poisoned (non-finite) seed — enters the
+        // batch, fails the lockstep factor, retires to the ladder.
+        seeds[1] = vec![0.0];
+        for v in &mut seeds[2] {
+            *v = f64::NAN;
+        }
+        let ctx: Vec<LaneCtx<'_>> = (0..lanes)
+            .map(|l| LaneCtx {
+                circuit: &circuits[l],
+                assembly: &assemblies[l],
+                temperature: t_solve,
+                seed: &seeds[l],
+            })
+            .collect();
+        let mut ws_refs: Vec<&mut SolveWorkspace> = workspaces.iter_mut().collect();
+        let mut batch = BatchWorkspace::new();
+        let mut outcomes = vec![LaneOutcome::Retired; lanes];
+        let entered = solve_dc_batch(&ctx, &opts, &mut ws_refs, &mut batch, &mut outcomes);
+        assert_eq!(entered, 3, "lane 1 is ineligible, the rest enter");
+
+        assert!(matches!(outcomes[0], LaneOutcome::Solved(_)));
+        assert!(matches!(outcomes[1], LaneOutcome::Retired));
+        assert!(matches!(outcomes[2], LaneOutcome::Retired));
+        assert!(matches!(outcomes[3], LaneOutcome::Solved(_)));
+        assert_eq!(workspaces[1].stats.batched_solves, 0, "no batched attempt");
+        assert_eq!(workspaces[1].stats.lane_retires, 0);
+        assert_eq!(workspaces[2].stats.batched_solves, 1);
+        assert_eq!(workspaces[2].stats.lane_retires, 1);
+
+        for (i, l) in [0usize, 3].into_iter().enumerate() {
+            let got: Vec<u64> = workspaces[l]
+                .solution()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let want: Vec<u64> = reference[i].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "healthy lane {l} diverged next to faulty lanes");
+        }
+    }
+
+    #[test]
+    fn batch_requires_sparse_and_an_armed_plan() {
+        let c = ptat_cell(0);
+        let assembly = CircuitAssembly::new(&c).expect("valid cell");
+        let mut ws = SolveWorkspace::new();
+        let opts = DcOptions::default();
+        // No prior solve: the symbolic plan is not armed yet.
+        let seed = vec![0.0; assembly.dimension()];
+        let ctx = [LaneCtx {
+            circuit: &c,
+            assembly: &assembly,
+            temperature: Kelvin::new(298.15),
+            seed: &seed,
+        }];
+        let mut batch = BatchWorkspace::new();
+        let mut outcomes = [LaneOutcome::Retired];
+        let mut ws_refs = [&mut ws];
+        assert_eq!(
+            solve_dc_batch(&ctx, &opts, &mut ws_refs, &mut batch, &mut outcomes),
+            0
+        );
+        assert!(matches!(outcomes[0], LaneOutcome::Retired));
+
+        // Armed plan but dense solving requested: still scalar-only.
+        let seed = prime(&c, &assembly, Kelvin::new(298.15), &opts, &mut ws);
+        let mut dense = opts;
+        dense.sparse = false;
+        let ctx = [LaneCtx {
+            circuit: &c,
+            assembly: &assembly,
+            temperature: Kelvin::new(298.15),
+            seed: &seed,
+        }];
+        let mut ws_refs = [&mut ws];
+        assert_eq!(
+            solve_dc_batch(&ctx, &dense, &mut ws_refs, &mut batch, &mut outcomes),
+            0
+        );
+        assert!(matches!(outcomes[0], LaneOutcome::Retired));
+    }
+}

@@ -17,7 +17,7 @@
 use icvbe_devphys::saturation::SpiceIsLaw;
 use icvbe_units::{thermal_voltage, Ampere, ElectronVolt, Kelvin, Volt};
 
-use crate::limexp::limexp;
+use crate::limexp::{limexp, limexp_lanes};
 use crate::netlist::NodeId;
 use crate::stamp::{Element, StampContext, DEVICE_EVAL_SLOTS, DEVICE_TEMP_SLOTS};
 use crate::SpiceError;
@@ -389,69 +389,106 @@ impl Bjt {
         vbc: f64,
         m: &BjtAtTemperature,
     ) -> (f64, f64, f64, f64, f64, f64) {
-        // Junction exponentials (limited).
-        let (ef, def) = limexp(vbe / m.vt_f);
-        let (er, der) = limexp(vbc / m.vt_r);
-        let ibe_id = m.is * (ef - 1.0);
-        let gbe_id = m.is * def / m.vt_f;
-        let ibc_id = m.is * (er - 1.0);
-        let gbc_id = m.is * der / m.vt_r;
-
-        // Leakage diodes.
-        let (ibe_lk, gbe_lk) = if m.ise > 0.0 {
-            let (e, de) = limexp(vbe / m.vt_e);
-            (m.ise * (e - 1.0), m.ise * de / m.vt_e)
+        // Junction exponentials (limited). Leakage limexps are computed
+        // only when their saturation current is live — the combine stage
+        // never reads them otherwise, which is what lets the batched
+        // kernel evaluate them unconditionally with identical results.
+        let ef = limexp(vbe / m.vt_f);
+        let er = limexp(vbc / m.vt_r);
+        let ee = if m.ise > 0.0 {
+            limexp(vbe / m.vt_e)
         } else {
             (0.0, 0.0)
         };
-        let (ibc_lk, gbc_lk) = if m.isc > 0.0 {
-            let (e, de) = limexp(vbc / m.vt_c);
-            (m.isc * (e - 1.0), m.isc * de / m.vt_c)
+        let ec = if m.isc > 0.0 {
+            limexp(vbc / m.vt_c)
         } else {
             (0.0, 0.0)
         };
-
-        // Base charge qb = q1 (1 + sqrt(1 + 4 q2)) / 2.
-        let denom_raw = 1.0 - vbc * m.inv_vaf - vbe * m.inv_var;
-        let clamped = denom_raw < 1e-4;
-        let denom = denom_raw.max(1e-4);
-        let q1 = 1.0 / denom;
-        let (dq1_dvbe, dq1_dvbc) = if clamped {
-            (0.0, 0.0)
-        } else {
-            (q1 * q1 * m.inv_var, q1 * q1 * m.inv_vaf)
-        };
-        let q2 = if m.ikf.is_finite() {
-            ibe_id / m.ikf
-        } else {
-            0.0
-        };
-        let (dq2_dvbe, dq2_dvbc) = if m.ikf.is_finite() {
-            (gbe_id / m.ikf, 0.0)
-        } else {
-            (0.0, 0.0)
-        };
-        let sq = (1.0 + 4.0 * q2.max(-0.24)).sqrt();
-        let qb = q1 * (1.0 + sq) * 0.5;
-        let dqb_dvbe = dq1_dvbe * (1.0 + sq) * 0.5 + q1 * dq2_dvbe / sq;
-        let dqb_dvbc = dq1_dvbc * (1.0 + sq) * 0.5 + q1 * dq2_dvbc / sq;
-
-        // Transport current and terminal currents.
-        let it = (ibe_id - ibc_id) / qb;
-        let dit_dvbe = gbe_id / qb - it * dqb_dvbe / qb;
-        let dit_dvbc = -gbc_id / qb - it * dqb_dvbc / qb;
-
-        let ic = it - ibc_id / m.br - ibc_lk;
-        let dic_dvbe = dit_dvbe;
-        let dic_dvbc = dit_dvbc - gbc_id / m.br - gbc_lk;
-
-        let ib = ibe_id / m.bf + ibe_lk + ibc_id / m.br + ibc_lk;
-        let dib_dvbe = gbe_id / m.bf + gbe_lk;
-        let dib_dvbc = gbc_id / m.br + gbc_lk;
-
-        (ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc)
+        gummel_poon_combine(vbe, vbc, m, ef, er, ee, ec)
     }
+}
 
+/// Post-exponential Gummel-Poon combine, shared bit-for-bit by the scalar
+/// and lane-batched evaluation paths. `ef`/`er` are the `(value, slope)`
+/// pairs of the transport junction limexps; `ee`/`ec` the leakage ones,
+/// read only when `ise`/`isc` are positive — a batched caller may pass
+/// unconditionally computed values for dead leakage diodes.
+///
+/// Returns `(ic, ib, dic/dvbe, dic/dvbc, dib/dvbe, dib/dvbc)`.
+#[allow(clippy::similar_names)]
+fn gummel_poon_combine(
+    vbe: f64,
+    vbc: f64,
+    m: &BjtAtTemperature,
+    ef: (f64, f64),
+    er: (f64, f64),
+    ee: (f64, f64),
+    ec: (f64, f64),
+) -> (f64, f64, f64, f64, f64, f64) {
+    let (ef, def) = ef;
+    let (er, der) = er;
+    let ibe_id = m.is * (ef - 1.0);
+    let gbe_id = m.is * def / m.vt_f;
+    let ibc_id = m.is * (er - 1.0);
+    let gbc_id = m.is * der / m.vt_r;
+
+    // Leakage diodes.
+    let (ibe_lk, gbe_lk) = if m.ise > 0.0 {
+        let (e, de) = ee;
+        (m.ise * (e - 1.0), m.ise * de / m.vt_e)
+    } else {
+        (0.0, 0.0)
+    };
+    let (ibc_lk, gbc_lk) = if m.isc > 0.0 {
+        let (e, de) = ec;
+        (m.isc * (e - 1.0), m.isc * de / m.vt_c)
+    } else {
+        (0.0, 0.0)
+    };
+
+    // Base charge qb = q1 (1 + sqrt(1 + 4 q2)) / 2.
+    let denom_raw = 1.0 - vbc * m.inv_vaf - vbe * m.inv_var;
+    let clamped = denom_raw < 1e-4;
+    let denom = denom_raw.max(1e-4);
+    let q1 = 1.0 / denom;
+    let (dq1_dvbe, dq1_dvbc) = if clamped {
+        (0.0, 0.0)
+    } else {
+        (q1 * q1 * m.inv_var, q1 * q1 * m.inv_vaf)
+    };
+    let q2 = if m.ikf.is_finite() {
+        ibe_id / m.ikf
+    } else {
+        0.0
+    };
+    let (dq2_dvbe, dq2_dvbc) = if m.ikf.is_finite() {
+        (gbe_id / m.ikf, 0.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let sq = (1.0 + 4.0 * q2.max(-0.24)).sqrt();
+    let qb = q1 * (1.0 + sq) * 0.5;
+    let dqb_dvbe = dq1_dvbe * (1.0 + sq) * 0.5 + q1 * dq2_dvbe / sq;
+    let dqb_dvbc = dq1_dvbc * (1.0 + sq) * 0.5 + q1 * dq2_dvbc / sq;
+
+    // Transport current and terminal currents.
+    let it = (ibe_id - ibc_id) / qb;
+    let dit_dvbe = gbe_id / qb - it * dqb_dvbe / qb;
+    let dit_dvbc = -gbc_id / qb - it * dqb_dvbc / qb;
+
+    let ic = it - ibc_id / m.br - ibc_lk;
+    let dic_dvbe = dit_dvbe;
+    let dic_dvbc = dit_dvbc - gbc_id / m.br - gbc_lk;
+
+    let ib = ibe_id / m.bf + ibe_lk + ibc_id / m.br + ibc_lk;
+    let dib_dvbe = gbe_id / m.bf + gbe_lk;
+    let dib_dvbc = gbc_id / m.br + gbc_lk;
+
+    (ic, ib, dic_dvbe, dic_dvbc, dib_dvbe, dib_dvbc)
+}
+
+impl Bjt {
     /// Terminal currents at explicit terminal voltages, excluding the
     /// substrate parasitic (which is reported by
     /// [`Bjt::substrate_leakage`]).
@@ -494,6 +531,140 @@ impl Bjt {
         let m = self.at_temperature(temperature);
         Volt::new(m.vt_f * (ic.value() / m.is + 1.0).ln())
     }
+
+    /// Collector, base and emitter node ids — the gather indices a batched
+    /// driver needs to read terminal voltages out of a solution vector.
+    pub(crate) fn terminals(&self) -> (NodeId, NodeId, NodeId) {
+        (self.collector, self.base, self.emitter)
+    }
+
+    /// The full per-temperature model slot array, exactly as the stamp
+    /// path caches it: the Gummel-Poon card via
+    /// [`BjtAtTemperature::to_slots`] plus the substrate parasitic's
+    /// saturation current and thermal voltage when present.
+    pub(crate) fn model_slots(&self, t: Kelvin) -> [f64; DEVICE_TEMP_SLOTS] {
+        let mut slots = self.at_temperature(t).to_slots();
+        if let Some((_, j)) = self.substrate {
+            let law = SpiceIsLaw::new(j.is, self.params.t_nom, j.eg, j.xti);
+            slots[SLOT_SUB_IS] = law.is_at(t).value() * self.area;
+            slots[SLOT_SUB_VT] = thermal_voltage(t).value() * j.emission;
+        }
+        slots
+    }
+
+    /// The full eval-cache payload at `(vbe, vbc)` from cached model
+    /// slots: `[ic, ib, y11, y12, y21, y22, i_raw, g]`. This is the eval
+    /// miss path of [`Element::stamp`], shared with the batched kernel so
+    /// both produce identical bits.
+    pub(crate) fn eval_slots(
+        &self,
+        vbe: f64,
+        vbc: f64,
+        slots: &[f64; DEVICE_TEMP_SLOTS],
+    ) -> [f64; DEVICE_EVAL_SLOTS] {
+        let m = BjtAtTemperature::from_slots(slots);
+        let (ic, ib, y11, y12, y21, y22) = self.gummel_poon(vbe, vbc, &m);
+        let (i_raw, g) = if self.substrate.is_some() {
+            let is = slots[SLOT_SUB_IS];
+            let vt = slots[SLOT_SUB_VT];
+            let e = limexp(vbe / vt);
+            substrate_combine(is, vt, e)
+        } else {
+            (0.0, 0.0)
+        };
+        [ic, ib, y11, y12, y21, y22, i_raw, g]
+    }
+}
+
+/// Substrate-parasitic combine shared by the scalar and batched eval
+/// paths: `(i_raw, g)` from the junction limexp pair.
+fn substrate_combine(is: f64, vt: f64, (e, de): (f64, f64)) -> (f64, f64) {
+    (is * (e - 1.0), is * de / vt)
+}
+
+/// Reusable lane-length scratch for [`eval_bjt_lanes`]: argument and
+/// value/slope arrays for the five limexp sites (forward, reverse, BE
+/// leakage, BC leakage, substrate). Owned by the batch workspace so
+/// steady-state batched evaluation allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct BjtLaneScratch {
+    args: [Vec<f64>; 5],
+    vals: [Vec<f64>; 5],
+    slopes: [Vec<f64>; 5],
+}
+
+impl BjtLaneScratch {
+    pub(crate) fn ensure(&mut self, lanes: usize) {
+        for buf in self
+            .args
+            .iter_mut()
+            .chain(self.vals.iter_mut())
+            .chain(self.slopes.iter_mut())
+        {
+            buf.resize(lanes, 0.0);
+        }
+    }
+}
+
+/// Lane-batched BJT evaluation: for every lane with a device, computes
+/// the same `[f64; DEVICE_EVAL_SLOTS]` payload as [`Bjt::eval_slots`] —
+/// bit-for-bit — with the junction exponentials evaluated across lanes
+/// through [`limexp_lanes`] (the SoA hot loop) and the polynomial tail
+/// combined per lane through the shared [`gummel_poon_combine`].
+///
+/// Lanes whose `devs` slot is `None` are skipped; their `out` slot is
+/// untouched. Dead leakage/substrate sites still run through the lane
+/// exponential with whatever argument falls out (possibly `inf`/`NaN`
+/// from a zero thermal-voltage slot) — the combine never reads those
+/// lanes' values, mirroring the scalar conditionals.
+pub(crate) fn eval_bjt_lanes(
+    devs: &[Option<&Bjt>],
+    slots: &[[f64; DEVICE_TEMP_SLOTS]],
+    vbe: &[f64],
+    vbc: &[f64],
+    scratch: &mut BjtLaneScratch,
+    out: &mut [[f64; DEVICE_EVAL_SLOTS]],
+) {
+    let lanes = devs.len();
+    debug_assert_eq!(slots.len(), lanes);
+    debug_assert_eq!(vbe.len(), lanes);
+    debug_assert_eq!(vbc.len(), lanes);
+    debug_assert_eq!(out.len(), lanes);
+    scratch.ensure(lanes);
+    for l in 0..lanes {
+        if devs[l].is_none() {
+            for site in 0..5 {
+                scratch.args[site][l] = 0.0;
+            }
+            continue;
+        }
+        let m = BjtAtTemperature::from_slots(&slots[l]);
+        scratch.args[0][l] = vbe[l] / m.vt_f;
+        scratch.args[1][l] = vbc[l] / m.vt_r;
+        scratch.args[2][l] = vbe[l] / m.vt_e;
+        scratch.args[3][l] = vbc[l] / m.vt_c;
+        scratch.args[4][l] = vbe[l] / slots[l][SLOT_SUB_VT];
+    }
+    for site in 0..5 {
+        limexp_lanes(
+            &scratch.args[site],
+            &mut scratch.vals[site],
+            &mut scratch.slopes[site],
+        );
+    }
+    for l in 0..lanes {
+        let Some(dev) = devs[l] else { continue };
+        let m = BjtAtTemperature::from_slots(&slots[l]);
+        let site = |s: usize| (scratch.vals[s][l], scratch.slopes[s][l]);
+        let (ic, ib, y11, y12, y21, y22) =
+            gummel_poon_combine(vbe[l], vbc[l], &m, site(0), site(1), site(2), site(3));
+        let (i_raw, g) = if dev.substrate.is_some() {
+            substrate_combine(slots[l][SLOT_SUB_IS], slots[l][SLOT_SUB_VT], site(4))
+        } else {
+            (0.0, 0.0)
+        };
+        out[l] = [ic, ib, y11, y12, y21, y22, i_raw, g];
+    }
 }
 
 impl Element for Bjt {
@@ -525,12 +696,7 @@ impl Element for Bjt {
         let slots = match ctx.cached_model(t_bits) {
             Some(slots) => slots,
             None => {
-                let mut slots = self.at_temperature(t).to_slots();
-                if let Some((_, j)) = self.substrate {
-                    let law = SpiceIsLaw::new(j.is, self.params.t_nom, j.eg, j.xti);
-                    slots[SLOT_SUB_IS] = law.is_at(t).value() * self.area;
-                    slots[SLOT_SUB_VT] = thermal_voltage(t).value() * j.emission;
-                }
+                let slots = self.model_slots(t);
                 ctx.store_model(t_bits, slots);
                 slots
             }
@@ -546,17 +712,7 @@ impl Element for Bjt {
         let out: [f64; DEVICE_EVAL_SLOTS] = match ctx.cached_eval([vbe, vbc]) {
             Some(out) => out,
             None => {
-                let m = BjtAtTemperature::from_slots(&slots);
-                let (ic, ib, y11, y12, y21, y22) = self.gummel_poon(vbe, vbc, &m);
-                let (i_raw, g) = if self.substrate.is_some() {
-                    let is = slots[SLOT_SUB_IS];
-                    let vt = slots[SLOT_SUB_VT];
-                    let (e, de) = limexp(vbe / vt);
-                    (is * (e - 1.0), is * de / vt)
-                } else {
-                    (0.0, 0.0)
-                };
-                let out = [ic, ib, y11, y12, y21, y22, i_raw, g];
+                let out = self.eval_slots(vbe, vbc, &slots);
                 ctx.store_eval([vbe, vbc], out);
                 out
             }

@@ -44,6 +44,28 @@ pub fn limexp(x: f64) -> (f64, f64) {
     }
 }
 
+/// Lane-array variant of [`limexp`]: evaluates value and slope for every
+/// lane of `xs` into `value`/`slope`.
+///
+/// The per-lane result is bit-identical to the scalar [`limexp`]: both
+/// sides of the cutoff are computed unconditionally and selected per lane
+/// (the overflow-to-infinity of `x.exp()` beyond the cutoff lands only in
+/// the discarded branch), so the loop body is branch-free apart from the
+/// select and auto-vectorizes around the independent `exp` calls — the
+/// shape a SIMD or GPU backend consumes directly.
+pub fn limexp_lanes(xs: &[f64], value: &mut [f64], slope: &mut [f64]) {
+    debug_assert_eq!(xs.len(), value.len());
+    debug_assert_eq!(xs.len(), slope.len());
+    let e_cut = LIMEXP_CUTOFF.exp();
+    for ((&x, v), d) in xs.iter().zip(value.iter_mut()).zip(slope.iter_mut()) {
+        let e = x.exp();
+        let tangent = e_cut * (1.0 + x - LIMEXP_CUTOFF);
+        let over = x > LIMEXP_CUTOFF;
+        *v = if over { tangent } else { e };
+        *d = if over { e_cut } else { e };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +97,19 @@ mod tests {
     fn stays_finite_for_huge_arguments() {
         let (v, d) = limexp(1e9);
         assert!(v.is_finite() && d.is_finite());
+    }
+
+    #[test]
+    fn lanes_match_scalar_bitwise() {
+        let xs: Vec<f64> = (-400..2600).map(|i| f64::from(i) * 0.05).collect();
+        let mut v = vec![0.0; xs.len()];
+        let mut d = vec![0.0; xs.len()];
+        limexp_lanes(&xs, &mut v, &mut d);
+        for (i, &x) in xs.iter().enumerate() {
+            let (sv, sd) = limexp(x);
+            assert_eq!(sv.to_bits(), v[i].to_bits(), "value lane {i} x={x}");
+            assert_eq!(sd.to_bits(), d[i].to_bits(), "slope lane {i} x={x}");
+        }
     }
 
     #[test]

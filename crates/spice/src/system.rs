@@ -180,6 +180,19 @@ impl CircuitAssembly {
     pub fn branch_bases(&self) -> &[usize] {
         &self.branch_bases
     }
+
+    /// Direct per-element device-slot access for the batched prewarm pass
+    /// (same thread only, like every other use of the assembly). Slot `i`
+    /// belongs to element `i` of the circuit this assembly was built for.
+    pub(crate) fn device_slots_mut(&self) -> std::cell::RefMut<'_, Vec<DeviceSlot>> {
+        self.device_slots.borrow_mut()
+    }
+
+    /// The live stamping-effort counters, so a batched prewarm pass can
+    /// book its evaluations exactly like the stamp path would.
+    pub(crate) fn stamp_counters(&self) -> &StampCounters {
+        &self.counters
+    }
 }
 
 /// How a [`CircuitSystem`] holds its assembly: built on the spot, or
@@ -281,6 +294,13 @@ impl<'a> CircuitSystem<'a> {
     /// same assembled structure).
     pub fn set_eval(&mut self, eval: EvalContext) {
         self.eval = eval;
+    }
+
+    /// Changes the bypass policy between solve rungs: warm solves run
+    /// exact-reuse-only (re-evaluation is already rare there), escalated
+    /// rungs arm the tolerance bypass where it pays for itself.
+    pub(crate) fn set_bypass(&mut self, bypass: BypassTolerance) {
+        self.bypass = bypass;
     }
 
     /// First absolute branch index of element `element_index`.

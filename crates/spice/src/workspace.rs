@@ -58,6 +58,12 @@ pub struct SolveStats {
     pub restamp_incremental: u64,
     /// Jacobian passes that stamped every element.
     pub restamp_full: u64,
+    /// Warm solves completed through the lane-batched driver
+    /// ([`crate::batch::solve_dc_batch`]).
+    pub batched_solves: u64,
+    /// Batched solve attempts that retired this lane to the scalar path
+    /// (factor failure, divergence, or a non-finite residual).
+    pub lane_retires: u64,
 }
 
 impl SolveStats {
@@ -86,9 +92,9 @@ pub struct DcSolveInfo {
 /// perform no heap allocation at all.
 #[derive(Debug, Clone, Default)]
 pub struct SolveWorkspace {
-    newton: NewtonWorkspace,
-    x: Vec<f64>,
-    x0: Vec<f64>,
+    pub(crate) newton: NewtonWorkspace,
+    pub(crate) x: Vec<f64>,
+    pub(crate) x0: Vec<f64>,
     /// Counters accumulated across every solve through this workspace.
     pub stats: SolveStats,
     /// Span capture for the solves driven through this workspace. Disabled
@@ -111,7 +117,7 @@ impl SolveWorkspace {
         &self.x
     }
 
-    fn ensure(&mut self, n: usize) {
+    pub(crate) fn ensure(&mut self, n: usize) {
         if self.x.len() != n {
             self.x.resize(n, 0.0);
             self.x0.resize(n, 0.0);
@@ -122,7 +128,7 @@ impl SolveWorkspace {
 /// Drains the assembly's per-solve stamp counters into the workspace
 /// stats and returns the solve's bypass-hit count (for the solve span
 /// payload).
-fn drain_effort(ws: &mut SolveWorkspace, assembly: &CircuitAssembly) -> u64 {
+pub(crate) fn drain_effort(ws: &mut SolveWorkspace, assembly: &CircuitAssembly) -> u64 {
     let effort = assembly.take_stamp_effort();
     ws.stats.device_evals += effort.device_evals;
     ws.stats.device_reuses += effort.device_reuses;
@@ -134,7 +140,7 @@ fn drain_effort(ws: &mut SolveWorkspace, assembly: &CircuitAssembly) -> u64 {
 
 /// Books a successful solve into the stats, closes the rung and solve
 /// spans, and builds the info.
-fn rung_succeeded(
+pub(crate) fn rung_succeeded(
     ws: &mut SolveWorkspace,
     assembly: &CircuitAssembly,
     strategy: SolveStrategy,
@@ -216,7 +222,12 @@ pub fn solve_dc_with(
         v_abs: options.bypass.v_abs,
         v_rel: options.bypass.v_rel,
     };
-    let mut system = CircuitSystem::hot_path(circuit, eval, assembly, bypass);
+    // Bypass is gated to the escalated rungs: warm solves re-evaluate so
+    // rarely that the tolerance bookkeeping costs more than it saves
+    // (measured on the campaign bench — see DESIGN.md §10), while cold and
+    // ladder solves take tens of thousands of profitable hits. Accepted
+    // bits are unchanged either way (the bypass on/off contract).
+    let mut system = CircuitSystem::hot_path(circuit, eval, assembly, BypassTolerance::OFF);
     // The symbolic plan is armed by the first recording pass, so a fresh
     // assembly runs its first solve through dense LU and binds the frozen
     // factorization from the second solve on (bitwise identical results).
@@ -276,7 +287,9 @@ pub fn solve_dc_with(
 
     // Rung 2 — cold start: direct Newton from all zeros. When no seed was
     // provided `x0` is already zeros, so this reproduces the historical
-    // "strategy 1" arithmetic exactly.
+    // "strategy 1" arithmetic exactly. From here down the solve is cold or
+    // escalated, where the tolerance bypass pays for itself — arm it.
+    system.set_bypass(bypass);
     let rung = ws
         .trace
         .span_labeled(SpanKind::Rung, SolveStrategy::ColdStart.label());
@@ -547,6 +560,8 @@ mod tests {
             bypass_hits: 4,
             restamp_incremental: 11,
             restamp_full: 3,
+            batched_solves: 0,
+            lane_retires: 0,
         };
         let taken = stats.take();
         assert_eq!(taken.solves, 3);

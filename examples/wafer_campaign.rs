@@ -8,9 +8,10 @@
 //! ```
 //!
 //! The parallel run captures a trace; the example writes
-//! `campaign_trace.json` (open it at <https://ui.perfetto.dev>) and
-//! `campaign_profile.folded` (feed it to any flamegraph tool) into the
-//! current directory and prints the slowest dies ranked from the spans.
+//! `artifacts/campaign_trace.json` (open it at
+//! <https://ui.perfetto.dev>) and `artifacts/campaign_profile.folded`
+//! (feed it to any flamegraph tool) and prints the slowest dies ranked
+//! from the spans.
 
 use icvbe::campaign::report::aggregate_json;
 use icvbe::campaign::spec::WaferMap;
@@ -28,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = CampaignSpec::paper_default(wafer, 2002);
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let options = RunOptions { trace: true };
+    let options = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
     let serial = run_campaign_with(&spec, 1, &options)?;
     let parallel = run_campaign_with(&spec, threads, &options)?;
 
@@ -63,10 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         masked.len()
     );
 
-    std::fs::write("campaign_trace.json", pt.chrome_json())?;
-    std::fs::write("campaign_profile.folded", pt.folded())?;
-    println!("wrote campaign_trace.json (load in https://ui.perfetto.dev)");
-    println!("wrote campaign_profile.folded (collapsed stacks for flamegraphs)");
+    std::fs::create_dir_all("artifacts")?;
+    std::fs::write("artifacts/campaign_trace.json", pt.chrome_json())?;
+    std::fs::write("artifacts/campaign_profile.folded", pt.folded())?;
+    println!("wrote artifacts/campaign_trace.json (load in https://ui.perfetto.dev)");
+    println!("wrote artifacts/campaign_profile.folded (collapsed stacks for flamegraphs)");
 
     if parallel.metrics.elapsed_ns > 0 && serial.metrics.elapsed_ns > 0 {
         println!(

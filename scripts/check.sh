@@ -70,6 +70,21 @@ for f in campaign_aggregate.json campaign_aggregate.csv \
     { echo "FAIL: $f differs with bypass on/off"; exit 1; }
 done
 
+echo "==> batch smoke: lockstep lane batching is live and bit-inert"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --out "$smoke_dir/batch_auto" > /dev/null
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --batch 1 --out "$smoke_dir/batch_off" > /dev/null
+grep -q '"batched_solves":0[,}]' "$smoke_dir/batch_auto/campaign_metrics.json" && \
+  { echo "FAIL: default run took no batched solves"; exit 1; }
+grep -q '"batched_solves":0[,}]' "$smoke_dir/batch_off/campaign_metrics.json" || \
+  { echo "FAIL: --batch 1 still batched"; exit 1; }
+for f in campaign_aggregate.json campaign_aggregate.csv \
+         campaign_quarantine.json campaign_quarantine.csv; do
+  cmp "$smoke_dir/batch_auto/$f" "$smoke_dir/batch_off/$f" || \
+    { echo "FAIL: $f differs batched vs --batch 1"; exit 1; }
+done
+
 echo "==> serve smoke: streamed artifacts match one-shot bytes; kill -9 + resume"
 frozen="campaign_aggregate.json campaign_aggregate.csv
         campaign_quarantine.json campaign_quarantine.csv"
