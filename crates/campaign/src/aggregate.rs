@@ -280,10 +280,10 @@ pub struct CornerAggregate {
     pub bins: [u64; 6],
     /// Quarantined corners by taxonomy kind, indexed by
     /// [`FailureKind::index`].
-    pub failures: [u64; 5],
+    pub failures: [u64; FailureKind::COUNT],
     /// Corners that produced values after at least one failed attempt, by
     /// the kind of the failure they recovered from.
-    pub recovered: [u64; 5],
+    pub recovered: [u64; FailureKind::COUNT],
     /// Corners whose values came from the pooled robust IRLS fit.
     pub robust_recoveries: u64,
     /// Extra extraction attempts beyond the first, summed over corners.
@@ -303,8 +303,8 @@ impl CornerAggregate {
             t_hot_err_k: Welford::default(),
             straight: Scatter::default(),
             bins: [0; 6],
-            failures: [0; 5],
-            recovered: [0; 5],
+            failures: [0; FailureKind::COUNT],
+            recovered: [0; FailureKind::COUNT],
             robust_recoveries: 0,
             retries: 0,
             outliers_rejected: 0,

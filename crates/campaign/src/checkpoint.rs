@@ -12,6 +12,24 @@
 //! IEEE-754 bit pattern. Counts are plain JSON numbers (all far below
 //! 2⁵³); the spec fingerprint is a full-width `u64` and travels as a hex
 //! string.
+//!
+//! # Crash-safety
+//!
+//! Checkpoints are written to real disks by real processes that get
+//! `kill -9`ed, so the codec carries two integrity fields beyond the
+//! spec fingerprint:
+//!
+//! - a **FNV-1a content checksum** over the rest of the document, so a
+//!   torn or bit-flipped file is *detected* at load instead of silently
+//!   resuming from garbage (a truncated JSON line usually fails to parse,
+//!   but a checksum also catches truncation that lands on a valid prefix
+//!   and any in-place corruption);
+//! - a **generation counter**, monotonically increasing per write, so a
+//!   dual-slot writer can keep the previous generation as a last-good
+//!   fallback and a loader can tell which of two intact slots is newer.
+//!
+//! Both fields are optional on decode: documents from before this scheme
+//! load as generation 0 with no checksum verification.
 
 use crate::aggregate::{CampaignAggregate, CornerAggregate, QuarantineRecord, Scatter, Welford};
 use crate::json::{escape, parse, Json};
@@ -31,8 +49,23 @@ pub struct Checkpoint {
     pub fingerprint: u64,
     /// Index of the first die **not yet** folded in.
     pub next_die: usize,
+    /// Write generation: increments on every checkpoint write of a job,
+    /// so the newer of two intact slots is decidable. 0 for legacy
+    /// documents that predate the counter.
+    pub generation: u64,
     /// The aggregate state after folding dies `0..next_die`.
     pub aggregate: CampaignAggregate,
+}
+
+/// FNV-1a 64-bit hash — the checkpoint content checksum.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn bits(x: f64) -> String {
@@ -67,11 +100,15 @@ fn counts_json(xs: &[u64]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Encodes a checkpoint as one line of JSON.
+/// Encodes a checkpoint as one line of JSON. The emitted `checksum`
+/// field is the [`fnv1a64`] hash of the document with the checksum field
+/// itself removed, so [`checkpoint_from_json`] can verify integrity by
+/// excising it and re-hashing.
 #[must_use]
 pub fn checkpoint_to_json(
     fingerprint: u64,
     next_die: usize,
+    generation: u64,
     aggregate: &CampaignAggregate,
 ) -> String {
     let corners: Vec<String> = aggregate
@@ -118,20 +155,28 @@ pub fn checkpoint_to_json(
             )
         })
         .collect();
-    format!(
+    let prefix = format!(
+        "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"fingerprint\":\"{fingerprint:016x}\",\"generation\":{generation},"
+    );
+    let suffix = format!(
         concat!(
-            "{{\"schema\":\"{schema}\",\"fingerprint\":\"{fp:016x}\",",
             "\"next_die\":{next},\"dies\":{dies},\"dies_failed\":{failed},",
             "\"corners\":[{corners}],\"quarantine\":[{quarantine}]}}"
         ),
-        schema = CHECKPOINT_SCHEMA,
-        fp = fingerprint,
         next = next_die,
         dies = aggregate.dies,
         failed = aggregate.dies_failed,
         corners = corners.join(","),
         quarantine = quarantine.join(","),
-    )
+    );
+    // Checksum of the document *without* the checksum field: hash the
+    // prefix and suffix exactly as they will appear around it.
+    let mut h = fnv1a64(prefix.as_bytes());
+    for &b in suffix.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{prefix}\"checksum\":\"{h:016x}\",{suffix}")
 }
 
 fn bad(detail: impl Into<String>) -> CampaignError {
@@ -215,6 +260,62 @@ fn counts_from<const N: usize>(v: &Json, key: &str) -> Result<[u64; N], Campaign
     Ok(out)
 }
 
+/// Decodes a by-kind count array. Accepts either the full
+/// [`FailureKind::COUNT`]-wide layout or the legacy
+/// [`FailureKind::BASE`]-wide one (documents written before the
+/// containment kinds existed), padding the missing tail with zeros.
+fn kind_counts_from(v: &Json, key: &str) -> Result<[u64; FailureKind::COUNT], CampaignError> {
+    let a = want(v, key)?
+        .as_arr()
+        .ok_or_else(|| bad(format!("field {key:?} must be an array")))?;
+    if a.len() != FailureKind::COUNT && a.len() != FailureKind::BASE {
+        return Err(bad(format!(
+            "field {key:?} must have {} or {} elements",
+            FailureKind::BASE,
+            FailureKind::COUNT
+        )));
+    }
+    let mut out = [0u64; FailureKind::COUNT];
+    for (slot, item) in out.iter_mut().zip(a) {
+        *slot = item
+            .as_u64()
+            .ok_or_else(|| bad(format!("field {key:?} holds non-counts")))?;
+    }
+    Ok(out)
+}
+
+/// Verifies the document's content checksum, if it carries one. Returns
+/// an error on a mismatch (torn/corrupt file); legacy documents without a
+/// checksum pass through unverified.
+fn verify_checksum(text: &str) -> Result<(), CampaignError> {
+    let Some(start) = text.find("\"checksum\":\"") else {
+        return Ok(());
+    };
+    let digits = start + "\"checksum\":\"".len();
+    let Some(rest) = text.get(digits..digits + 18) else {
+        return Err(bad("checksum field truncated"));
+    };
+    let (hex, tail) = rest.split_at(16);
+    if !tail.starts_with("\",") {
+        return Err(bad("checksum field malformed"));
+    }
+    let claimed =
+        u64::from_str_radix(hex, 16).map_err(|_| bad("checksum must be a 16-digit hex string"))?;
+    // Hash the document with the checksum field excised — the exact
+    // byte stream the writer hashed.
+    let mut h = fnv1a64(&text.as_bytes()[..start]);
+    for &b in &text.as_bytes()[digits + 18..] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if h != claimed {
+        return Err(bad(format!(
+            "checksum mismatch: stored {claimed:016x}, computed {h:016x} (torn or corrupt checkpoint)"
+        )));
+    }
+    Ok(())
+}
+
 /// Decodes a checkpoint document.
 ///
 /// The caller owns the spec binding: compare [`Checkpoint::fingerprint`]
@@ -224,8 +325,9 @@ fn counts_from<const N: usize>(v: &Json, key: &str) -> Result<[u64; N], Campaign
 /// # Errors
 ///
 /// [`CampaignError::InvalidSpec`] on malformed JSON, a wrong schema tag,
-/// or missing/ill-typed fields.
+/// a content-checksum mismatch, or missing/ill-typed fields.
 pub fn checkpoint_from_json(text: &str) -> Result<Checkpoint, CampaignError> {
+    verify_checksum(text)?;
     let v = parse(text).map_err(|e| bad(e.to_string()))?;
     if want(&v, "schema")?.as_str() != Some(CHECKPOINT_SCHEMA) {
         return Err(bad(format!("schema tag must be {CHECKPOINT_SCHEMA:?}")));
@@ -234,6 +336,12 @@ pub fn checkpoint_from_json(text: &str) -> Result<Checkpoint, CampaignError> {
         .as_str()
         .and_then(|s| u64::from_str_radix(s, 16).ok())
         .ok_or_else(|| bad("fingerprint must be a hex string"))?;
+    let generation = match v.get("generation") {
+        Some(g) => g
+            .as_u64()
+            .ok_or_else(|| bad("generation must be a count"))?,
+        None => 0,
+    };
     let next_die = want_usize(&v, "next_die")?;
 
     let mut corners = Vec::new();
@@ -254,8 +362,8 @@ pub fn checkpoint_from_json(text: &str) -> Result<Checkpoint, CampaignError> {
             t_hot_err_k: welford_from(want(c, "t_hot_err_k")?)?,
             straight: scatter_from(want(c, "straight")?)?,
             bins: counts_from::<6>(c, "bins")?,
-            failures: counts_from::<5>(c, "failures")?,
-            recovered: counts_from::<5>(c, "recovered")?,
+            failures: kind_counts_from(c, "failures")?,
+            recovered: kind_counts_from(c, "recovered")?,
             robust_recoveries: want_u64(c, "robust_recoveries")?,
             retries: want_u64(c, "retries")?,
             outliers_rejected: want_u64(c, "outliers_rejected")?,
@@ -288,6 +396,7 @@ pub fn checkpoint_from_json(text: &str) -> Result<Checkpoint, CampaignError> {
     Ok(Checkpoint {
         fingerprint,
         next_die,
+        generation,
         aggregate: CampaignAggregate {
             dies: want_u64(&v, "dies")?,
             dies_failed: want_u64(&v, "dies_failed")?,
@@ -309,10 +418,11 @@ mod tests {
         let spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 5);
         let agg = CampaignAggregate::new(&spec);
         let fp = spec_fingerprint(&spec);
-        let text = checkpoint_to_json(fp, 0, &agg);
+        let text = checkpoint_to_json(fp, 0, 1, &agg);
         let cp = checkpoint_from_json(&text).unwrap();
         assert_eq!(cp.fingerprint, fp);
         assert_eq!(cp.next_die, 0);
+        assert_eq!(cp.generation, 1);
         assert_eq!(cp.aggregate, agg);
         // The empty Welford's ±inf min/max survived exactly.
         assert_eq!(cp.aggregate.corners[0].eg_ev.min(), f64::INFINITY);
@@ -325,13 +435,14 @@ mod tests {
         spec.corners.truncate(2);
         let run = run_campaign(&spec, 2).unwrap();
         let fp = spec_fingerprint(&spec);
-        let text = checkpoint_to_json(fp, 9, &run.aggregate);
+        let text = checkpoint_to_json(fp, 9, 3, &run.aggregate);
         let cp = checkpoint_from_json(&text).unwrap();
         assert_eq!(cp.aggregate, run.aggregate);
         assert_eq!(cp.next_die, 9);
+        assert_eq!(cp.generation, 3);
         // Encoding is deterministic: re-encoding the decoded state is
         // byte-identical.
-        assert_eq!(checkpoint_to_json(fp, 9, &cp.aggregate), text);
+        assert_eq!(checkpoint_to_json(fp, 9, 3, &cp.aggregate), text);
     }
 
     #[test]
@@ -340,8 +451,59 @@ mod tests {
         assert!(checkpoint_from_json("{}").is_err());
         let spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 5);
         let agg = CampaignAggregate::new(&spec);
-        let text = checkpoint_to_json(1, 0, &agg);
+        let text = checkpoint_to_json(1, 0, 0, &agg);
         assert!(checkpoint_from_json(&text.replace(CHECKPOINT_SCHEMA, "x")).is_err());
         assert!(checkpoint_from_json(&text.replace("\"next_die\":0", "\"next_die\":-1")).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_truncation_and_bitflips() {
+        let spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 5);
+        let agg = CampaignAggregate::new(&spec);
+        let text = checkpoint_to_json(7, 0, 4, &agg);
+        assert!(text.contains("\"checksum\":\""));
+        // Every strict prefix must fail to load — either the checksum
+        // field itself is damaged or the content hash no longer matches
+        // (short prefixes also fail JSON parsing; both are rejections).
+        for cut in 1..text.len() {
+            assert!(
+                checkpoint_from_json(&text[..cut]).is_err(),
+                "truncation at byte {cut} of {} loaded",
+                text.len()
+            );
+        }
+        // A single flipped content byte past the checksum field fails too.
+        let mut flipped = text.clone().into_bytes();
+        let at = text.find("\"next_die\"").unwrap() + 2;
+        flipped[at] ^= 0x01;
+        assert!(checkpoint_from_json(&String::from_utf8(flipped).unwrap()).is_err());
+        // A wrong stored checksum is a mismatch even over intact content.
+        let start = text.find("\"checksum\":\"").unwrap() + "\"checksum\":\"".len();
+        let mut forged = text.clone();
+        let old = &text[start..start + 16];
+        let new: String = old
+            .chars()
+            .map(|c| if c == '0' { '1' } else { '0' })
+            .collect();
+        forged.replace_range(start..start + 16, &new);
+        assert!(checkpoint_from_json(&forged).is_err());
+    }
+
+    #[test]
+    fn legacy_documents_without_checksum_or_generation_still_load() {
+        let spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 5);
+        let agg = CampaignAggregate::new(&spec);
+        let fp = spec_fingerprint(&spec);
+        let text = checkpoint_to_json(fp, 0, 2, &agg);
+        // Strip the new fields to reconstruct the legacy layout (and the
+        // legacy 5-wide by-kind arrays).
+        let start = text.find("\"generation\"").unwrap();
+        let end = text.find("\"next_die\"").unwrap();
+        let legacy =
+            format!("{}{}", &text[..start], &text[end..]).replace("[0,0,0,0,0,0,0]", "[0,0,0,0,0]");
+        let cp = checkpoint_from_json(&legacy).unwrap();
+        assert_eq!(cp.generation, 0);
+        assert_eq!(cp.fingerprint, fp);
+        assert_eq!(cp.aggregate, agg);
     }
 }

@@ -87,6 +87,37 @@ pub struct CornerOutcome {
     pub outliers_rejected: u32,
 }
 
+/// Per-die solve containment budget. Zero fields (the default) disable
+/// enforcement entirely.
+///
+/// The iteration budget counts damped Newton iterations consumed by the
+/// die so far; once exceeded, the die's **remaining** corners are retired
+/// as [`FailureKind::BudgetExhausted`] without running. Iteration counts
+/// are deterministic per `(spec, die)` on the scalar path, so the verdict
+/// is byte-reproducible at any thread count — the worker forces the
+/// scalar path whenever a budget is active, because the batched driver's
+/// solver-effort counters legitimately differ from scalar's.
+///
+/// The wall-clock budget is a *nondeterministic* operational escape hatch
+/// for production daemons (a hung die cannot stall a tenant forever); it
+/// trades reproducibility for liveness and is off by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DieBudget {
+    /// Maximum Newton iterations one die may consume across its corners
+    /// (0 = unlimited).
+    pub max_newton_iterations: u64,
+    /// Maximum wall-clock milliseconds per die (0 = unlimited).
+    pub max_wall_ms: u64,
+}
+
+impl DieBudget {
+    /// Whether enforcement is disabled (both limits zero).
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        *self == DieBudget::default()
+    }
+}
+
 impl CornerOutcome {
     fn quarantined(kind: FailureKind, attempts: u32) -> Self {
         CornerOutcome {
@@ -145,14 +176,21 @@ pub struct DieOutcome {
 /// counters, the reusable measurement-point buffers (pristine + working
 /// copy), the robust-fit pool and its IRLS workspace.
 ///
-/// Nothing in here affects results — [`run_die_with`] is bitwise identical
-/// to [`run_die`] for any scratch state — it only removes per-die
-/// allocations and carries the solver statistics the worker pool folds
-/// into the campaign metrics.
+/// With the default (unlimited) [`budget`], nothing in here affects
+/// results — [`run_die_with`] is bitwise identical to [`run_die`] for any
+/// scratch state — it only removes per-die allocations and carries the
+/// solver statistics the worker pool folds into the campaign metrics. An
+/// armed budget is the one deliberate exception: it retires corners.
+///
+/// [`budget`]: DieScratch::budget
 #[derive(Debug, Default)]
 pub struct DieScratch {
     /// Bench-level scratch: circuit solver workspace plus counters.
     pub bench: BenchScratch,
+    /// Per-die solve containment budget (default: unlimited). Unlike the
+    /// rest of the scratch this *does* affect results when set — corners
+    /// past exhaustion are retired — which is exactly its job.
+    pub budget: DieBudget,
     /// The uncorrupted measurement of the current corner.
     pristine: Vec<PairCampaignPoint>,
     /// Working copy the fault plan corrupts per attempt.
@@ -608,9 +646,37 @@ pub fn run_die_with(
         .draw(site.index + 1);
     scratch.bench.solve.trace.stage_end(sample_stage);
 
-    let corners = (0..spec.corners.len())
-        .map(|k| run_corner(spec, &sample, site, k, setpoints, scratch))
-        .collect();
+    // Containment watchdog: snapshot the cumulative Newton-iteration
+    // counter at die start and re-check after every corner; the wall
+    // clock only ticks when a wall budget is armed. A corner that is
+    // *started* always runs to completion — the budget retires only the
+    // corners after the overrun, so the iteration verdict is a pure
+    // function of `(spec, die)` and stays thread-count independent.
+    let budget = scratch.budget;
+    let newton_start = scratch.bench.solve.stats.newton_iterations;
+    let wall_start = (budget.max_wall_ms > 0).then(std::time::Instant::now);
+
+    let mut corners = Vec::with_capacity(spec.corners.len());
+    let mut exhausted = false;
+    for k in 0..spec.corners.len() {
+        if exhausted {
+            corners.push(CornerOutcome::quarantined(FailureKind::BudgetExhausted, 0));
+            continue;
+        }
+        corners.push(run_corner(spec, &sample, site, k, setpoints, scratch));
+        if budget.max_newton_iterations > 0 {
+            let spent = scratch
+                .bench
+                .solve
+                .stats
+                .newton_iterations
+                .wrapping_sub(newton_start);
+            exhausted |= spent >= budget.max_newton_iterations;
+        }
+        if let Some(t0) = wall_start {
+            exhausted |= t0.elapsed().as_millis() as u64 >= budget.max_wall_ms;
+        }
+    }
 
     // One timing source of truth: the coarse DieTiming totals come from
     // the same stage-span accumulators the trace exports, and they
@@ -627,6 +693,26 @@ pub fn run_die_with(
             extract_ns: stage_ns[2],
         },
         spans,
+    }
+}
+
+/// The outcome recorded for a die whose pipeline panicked: every corner
+/// retired as [`FailureKind::InternalPanic`], zero timing, no spans.
+///
+/// Used by the worker's unwind guard — the die's scratch is poisoned
+/// mid-flight when a panic escapes, so nothing measured survives; the
+/// campaign records the containment instead of dying with the die.
+#[must_use]
+pub fn contained_panic_outcome(spec: &CampaignSpec, site: DieSite) -> DieOutcome {
+    DieOutcome {
+        index: site.index,
+        row: site.row,
+        col: site.col,
+        corners: (0..spec.corners.len())
+            .map(|_| CornerOutcome::quarantined(FailureKind::InternalPanic, 0))
+            .collect(),
+        timing: DieTiming::default(),
+        spans: Vec::new(),
     }
 }
 

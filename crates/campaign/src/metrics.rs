@@ -12,6 +12,8 @@ use icvbe_instrument::bench::BatchSweepStats;
 use icvbe_spice::batch::MAX_LANES;
 use icvbe_spice::workspace::SolveStats;
 
+use crate::taxonomy::FailureKind;
+
 /// The pipeline stages timed per die.
 pub const STAGE_NAMES: [&str; 3] = ["sample", "measure", "extract"];
 
@@ -170,7 +172,19 @@ pub struct CampaignCounters {
     pub corners_quarantined: AtomicU64,
     /// Recovered corners by the taxonomy kind they recovered from,
     /// indexed by [`FailureKind::index`](crate::taxonomy::FailureKind).
-    pub recovered_by_kind: [AtomicU64; 5],
+    pub recovered_by_kind: [AtomicU64; FailureKind::COUNT],
+    /// Dies whose pipeline panicked and was contained by the worker's
+    /// unwind guard.
+    pub die_panics: AtomicU64,
+    /// Dies that blew through the per-die solve budget and had their
+    /// remaining corners retired.
+    pub budgets_exhausted: AtomicU64,
+    /// Checkpoint writes that failed (`ENOSPC`/`EIO`/short write) and
+    /// were skipped — the previous checkpoint stays authoritative.
+    pub checkpoint_write_errors: AtomicU64,
+    /// Resumes that fell back to the previous checkpoint generation
+    /// because the latest slot was corrupt or truncated.
+    pub checkpoint_generation_fallbacks: AtomicU64,
     /// Solves that entered the lane-parallel batched Newton driver.
     pub batched_solves: AtomicU64,
     /// Lanes the batched driver retired mid-solve (factor failure,
@@ -235,7 +249,7 @@ impl CampaignCounters {
         recovered: u64,
         robust: u64,
         quarantined: u64,
-        recovered_by_kind: &[u64; 5],
+        recovered_by_kind: &[u64; FailureKind::COUNT],
     ) {
         self.corners_retried.fetch_add(retried, Ordering::Relaxed);
         self.corners_recovered
@@ -263,7 +277,24 @@ pub struct RecoveryMetrics {
     pub corners_quarantined: u64,
     /// Recovered corners by the taxonomy kind they recovered from,
     /// indexed by [`FailureKind::index`](crate::taxonomy::FailureKind).
-    pub recovered_by_kind: [u64; 5],
+    pub recovered_by_kind: [u64; FailureKind::COUNT],
+}
+
+/// Containment-level observability: how often the chaos-hardening
+/// machinery fired. All zeros on a healthy, chaos-free campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContainmentMetrics {
+    /// Dies whose pipeline panicked and was contained (all corners
+    /// retired as `internal_panic`).
+    pub die_panics: u64,
+    /// Dies that exhausted the per-die solve budget (remaining corners
+    /// retired as `budget_exhausted`).
+    pub budgets_exhausted: u64,
+    /// Checkpoint writes skipped because the write failed.
+    pub checkpoint_write_errors: u64,
+    /// Resumes served from the previous checkpoint generation after a
+    /// corrupt or truncated latest slot.
+    pub checkpoint_generation_fallbacks: u64,
 }
 
 /// Solver-level observability: how much numerical work the campaign did
@@ -406,6 +437,8 @@ pub struct CampaignMetrics {
     pub batching: BatchMetrics,
     /// Retry / robust-recovery / quarantine accounting.
     pub recovery: RecoveryMetrics,
+    /// Panic/budget containment and checkpoint-degradation accounting.
+    pub containment: ContainmentMetrics,
 }
 
 impl CampaignCounters {
@@ -468,6 +501,14 @@ impl CampaignCounters {
                 recovered_by_kind: std::array::from_fn(|i| {
                     self.recovered_by_kind[i].load(Ordering::Relaxed)
                 }),
+            },
+            containment: ContainmentMetrics {
+                die_panics: self.die_panics.load(Ordering::Relaxed),
+                budgets_exhausted: self.budgets_exhausted.load(Ordering::Relaxed),
+                checkpoint_write_errors: self.checkpoint_write_errors.load(Ordering::Relaxed),
+                checkpoint_generation_fallbacks: self
+                    .checkpoint_generation_fallbacks
+                    .load(Ordering::Relaxed),
             },
         }
     }

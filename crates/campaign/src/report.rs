@@ -228,11 +228,19 @@ pub fn quarantine_json(run: &CampaignRun) -> String {
         .corners
         .iter()
         .map(|c| {
+            // Frozen schema: the historical kinds (indices `0..BASE`)
+            // are emitted unconditionally so a zero-chaos run reproduces
+            // historical report bytes exactly; the containment kinds
+            // appear only when they actually counted something.
             let mut kinds = String::new();
             let mut recovered = String::new();
-            for k in FailureKind::ALL {
-                let _ = write!(kinds, "\"{}\":{},", k.label(), c.failures[k.index()]);
-                let _ = write!(recovered, "\"{}\":{},", k.label(), c.recovered[k.index()]);
+            for (i, k) in FailureKind::ALL.iter().enumerate() {
+                if i < FailureKind::BASE || c.failures[i] > 0 {
+                    let _ = write!(kinds, "\"{}\":{},", k.label(), c.failures[i]);
+                }
+                if i < FailureKind::BASE || c.recovered[i] > 0 {
+                    let _ = write!(recovered, "\"{}\":{},", k.label(), c.recovered[i]);
+                }
             }
             kinds.pop();
             recovered.pop();
@@ -372,6 +380,10 @@ pub fn metrics_json(run: &CampaignRun) -> String {
              \"corners_recovered\":{recovered},\"robust_recoveries\":{robust},\
              \"corners_quarantined\":{quarantined},\
              \"recovered_by_kind\":{{{bykind}}}}},\n",
+            "  \"containment\":{{\"die_panics\":{cpanic},\
+             \"budgets_exhausted\":{cbudget},\
+             \"checkpoint_write_errors\":{cckwrite},\
+             \"checkpoint_generation_fallbacks\":{cckfall}}},\n",
             "  \"stages\":[\n{stages}\n  ]\n",
             "}}\n",
         ),
@@ -427,6 +439,10 @@ pub fn metrics_json(run: &CampaignRun) -> String {
             s.pop();
             s
         },
+        cpanic = m.containment.die_panics,
+        cbudget = m.containment.budgets_exhausted,
+        cckwrite = m.containment.checkpoint_write_errors,
+        cckfall = m.containment.checkpoint_generation_fallbacks,
         stages = stages.join(",\n"),
     )
 }

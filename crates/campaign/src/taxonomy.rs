@@ -33,16 +33,35 @@ pub enum FailureKind {
     /// The corner's data was examined by the pooled robust fit and
     /// rejected — too outlier-dominated to yield an in-window result.
     OutlierRejected,
+    /// The die blew through its per-die solve budget (Newton iterations
+    /// or wall clock); remaining corners were retired unmeasured so one
+    /// runaway die cannot stall the whole campaign.
+    BudgetExhausted,
+    /// The die's pipeline panicked mid-flight; the worker contained the
+    /// unwind and retired every corner of the die.
+    InternalPanic,
 }
 
 impl FailureKind {
+    /// Number of kinds ([`FailureKind::ALL`]'s length).
+    pub const COUNT: usize = 7;
+
+    /// Number of *historical* kinds: the first [`FailureKind::BASE`]
+    /// entries of [`FailureKind::ALL`] predate the containment bins and
+    /// are emitted unconditionally in the frozen quarantine report; later
+    /// kinds appear only when counted, so a zero-chaos run reproduces
+    /// historical report bytes exactly.
+    pub const BASE: usize = 5;
+
     /// All kinds, in report order.
-    pub const ALL: [FailureKind; 5] = [
+    pub const ALL: [FailureKind; FailureKind::COUNT] = [
         FailureKind::NonConvergence,
         FailureKind::NonFiniteInput,
         FailureKind::InsufficientPoints,
         FailureKind::Degenerate,
         FailureKind::OutlierRejected,
+        FailureKind::BudgetExhausted,
+        FailureKind::InternalPanic,
     ];
 
     /// Stable label used in the JSON/CSV reports.
@@ -54,6 +73,8 @@ impl FailureKind {
             FailureKind::InsufficientPoints => "insufficient_points",
             FailureKind::Degenerate => "degenerate",
             FailureKind::OutlierRejected => "outlier_rejected",
+            FailureKind::BudgetExhausted => "budget_exhausted",
+            FailureKind::InternalPanic => "internal_panic",
         }
     }
 
@@ -66,6 +87,8 @@ impl FailureKind {
             FailureKind::InsufficientPoints => 2,
             FailureKind::Degenerate => 3,
             FailureKind::OutlierRejected => 4,
+            FailureKind::BudgetExhausted => 5,
+            FailureKind::InternalPanic => 6,
         }
     }
 }

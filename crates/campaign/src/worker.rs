@@ -23,16 +23,21 @@ use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 use icvbe_instrument::bench::BenchScratch;
+use icvbe_instrument::chaos::{ChaosPlan, ChaosSpec};
 use icvbe_spice::batch::MAX_LANES;
 use icvbe_spice::cache::SymbolicCache;
 use icvbe_trace::{SpanKind, SpanPhase, Trace, TraceEvent, NO_DIE};
 
 use crate::aggregate::{CampaignAggregate, YieldBin};
-use crate::die::{run_die_with, run_dies_batch, BatchDieScratch, DieOutcome, DieScratch};
+use crate::die::{
+    contained_panic_outcome, run_die_with, run_dies_batch, BatchDieScratch, DieBudget, DieOutcome,
+    DieScratch,
+};
 use crate::metrics::{
     CampaignCounters, CampaignMetrics, STAGE_EXTRACT, STAGE_MEASURE, STAGE_SAMPLE,
 };
 use crate::spec::CampaignSpec;
+use crate::taxonomy::FailureKind;
 use crate::CampaignError;
 
 /// Dies claimed per cursor bump. Small enough to balance a straggling
@@ -61,7 +66,7 @@ pub struct CampaignRun {
 }
 
 /// Knobs of [`run_campaign_with`] beyond the spec itself.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunOptions {
     /// Capture a structured span trace of the run into
     /// [`CampaignRun::trace`]. Off by default; when off the tracing layer
@@ -75,6 +80,18 @@ pub struct RunOptions {
     /// starts and the sparse path on; accepted results are bit-identical
     /// to the scalar path at every setting.
     pub batch: usize,
+    /// Environment-fault injection (the chaos layer). The worker consults
+    /// only the die-panic knob; write/socket faults act at the service
+    /// layer. The default ([`ChaosSpec::none`]) is a structural no-op:
+    /// no RNG is built and no verdict is drawn.
+    pub chaos: ChaosSpec,
+    /// Seed of the chaos plan; fault verdicts are a pure function of
+    /// `(chaos, chaos_seed, die index)` — thread-count independent.
+    pub chaos_seed: u64,
+    /// Per-die solve containment budget (see [`DieBudget`]). Zero fields
+    /// (the default) disable enforcement. An armed budget forces the
+    /// scalar per-die path so the iteration verdict stays deterministic.
+    pub budget: DieBudget,
 }
 
 /// Knobs of the general streaming engine, [`run_campaign_streaming`].
@@ -105,6 +122,12 @@ pub struct StreamOptions {
     /// Lanes per die group on the batched solve path (see
     /// [`RunOptions::batch`]).
     pub batch: usize,
+    /// Environment-fault injection (see [`RunOptions::chaos`]).
+    pub chaos: ChaosSpec,
+    /// Seed of the chaos plan (see [`RunOptions::chaos_seed`]).
+    pub chaos_seed: u64,
+    /// Per-die solve containment budget (see [`RunOptions::budget`]).
+    pub budget: DieBudget,
 }
 
 /// Runs `spec` across `threads` worker threads.
@@ -143,7 +166,7 @@ fn account_die(counters: &CampaignCounters, bench: &mut BenchScratch, out: &DieO
     let mut recovered = 0u64;
     let mut robust = 0u64;
     let mut quarantined = 0u64;
-    let mut by_kind = [0u64; 5];
+    let mut by_kind = [0u64; FailureKind::COUNT];
     for c in &out.corners {
         retried += u64::from(c.attempts > 1);
         robust += u64::from(c.robust_recovery);
@@ -203,6 +226,9 @@ pub fn run_campaign_with(
     let stream = StreamOptions {
         trace: options.trace,
         batch: options.batch,
+        chaos: options.chaos,
+        chaos_seed: options.chaos_seed,
+        budget: options.budget,
         ..StreamOptions::default()
     };
     run_campaign_streaming(spec, threads, &stream, |_, _| ControlFlow::Continue(()))
@@ -237,6 +263,9 @@ where
     F: FnMut(&DieOutcome, &CampaignAggregate) -> ControlFlow<()>,
 {
     spec.validate()?;
+    if let Err(e) = options.chaos.validate() {
+        return Err(CampaignError::invalid(format!("chaos spec: {e}")));
+    }
     let sites = spec.wafer.sites();
     if options.start_die > sites.len() {
         return Err(CampaignError::invalid(format!(
@@ -259,6 +288,17 @@ where
     };
     let cursor = Arc::new(AtomicUsize::new(options.start_die));
     let tracing = options.trace;
+    // Containment state. A chaos plan is built only when the die-panic
+    // knob is armed — write/socket faults act at the service layer, not
+    // here — and panic verdicts are keyed by die index, so they are
+    // thread-count independent. Either form of containment forces the
+    // scalar per-die path: the batched driver's solver-effort counters
+    // legitimately differ from scalar's, which would make an iteration
+    // budget's verdict depend on lane packing.
+    let budget = options.budget;
+    let chaos_plan = (options.chaos.die_panic_probability > 0.0)
+        .then(|| ChaosPlan::new(options.chaos, options.chaos_seed));
+    let contained = !budget.is_unlimited() || chaos_plan.is_some();
     // Lanes per die group. Batching needs warm seeds and a frozen sparse
     // plan to carry a lane, so a spec disabling either falls back to the
     // scalar per-die path. Groups never straddle a claim chunk, so the
@@ -270,7 +310,7 @@ where
         } else {
             options.batch
         };
-        if spec.warm_start && spec.sparse {
+        if spec.warm_start && spec.sparse && !contained {
             requested.min(CHUNK).min(MAX_LANES)
         } else {
             1
@@ -363,12 +403,19 @@ where
                 }
                 // One scratch per worker thread: solver buffers reach a
                 // steady state after the first die and are reused for
-                // every die the thread claims.
-                let mut scratch = DieScratch::new();
-                scratch.bench.symbolic_cache = symbolic_cache;
-                if tracing {
-                    scratch.bench.solve.trace.enable(started, worker as u32);
-                }
+                // every die the thread claims. A panic poisons the
+                // scratch mid-die, so containment rebuilds it from this
+                // recipe before the next claim.
+                let fresh_scratch = |cache: &Option<Arc<SymbolicCache>>| {
+                    let mut s = DieScratch::new();
+                    s.budget = budget;
+                    s.bench.symbolic_cache = cache.clone();
+                    if tracing {
+                        s.bench.solve.trace.enable(started, worker as u32);
+                    }
+                    s
+                };
+                let mut scratch = fresh_scratch(&symbolic_cache);
                 'claim: loop {
                     let base = cursor.fetch_add(CHUNK, Ordering::Relaxed);
                     if base >= sites.len() {
@@ -377,7 +424,36 @@ where
                     let end = (base + CHUNK).min(sites.len());
                     for site in &sites[base..end] {
                         counters.started.fetch_add(1, Ordering::Relaxed);
-                        let out = run_die_with(spec, *site, setpoints, &mut scratch);
+                        // Solve containment: die work runs under an
+                        // unwind guard so one poisoned die retires into
+                        // quarantine instead of tearing down the pool.
+                        // Injected panics re-raise via `resume_unwind`,
+                        // which skips the global panic hook — chaos runs
+                        // don't spray backtraces over stderr.
+                        let inject = chaos_plan
+                            .as_ref()
+                            .is_some_and(|p| p.die_panics(site.index as u64));
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            if inject {
+                                std::panic::resume_unwind(Box::new("chaos: injected die panic"));
+                            }
+                            run_die_with(spec, *site, setpoints, &mut scratch)
+                        }));
+                        let out = match caught {
+                            Ok(out) => out,
+                            Err(_) => {
+                                counters.die_panics.fetch_add(1, Ordering::Relaxed);
+                                scratch = fresh_scratch(&symbolic_cache);
+                                contained_panic_outcome(spec, *site)
+                            }
+                        };
+                        if out
+                            .corners
+                            .iter()
+                            .any(|c| c.failure == Some(FailureKind::BudgetExhausted))
+                        {
+                            counters.budgets_exhausted.fetch_add(1, Ordering::Relaxed);
+                        }
                         account_die(counters, &mut scratch.bench, &out);
                         if tx.send(out).is_err() {
                             break 'claim; // receiver gone: abandon quietly
@@ -657,6 +733,98 @@ mod tests {
         let run = run_campaign(&s, 2).unwrap();
         assert_eq!(run.metrics.batching.batched_solves, 0);
         assert_eq!(run.metrics.batching.batch_refills, 0);
+    }
+
+    #[test]
+    fn injected_die_panics_are_contained_and_thread_invariant() {
+        let s = tiny_spec();
+        let options = RunOptions {
+            chaos: ChaosSpec {
+                die_panic_probability: 0.5,
+                ..ChaosSpec::none()
+            },
+            chaos_seed: 7,
+            ..RunOptions::default()
+        };
+        let one = run_campaign_with(&s, 1, &options).unwrap();
+        let panicked = one.metrics.containment.die_panics;
+        assert!(
+            panicked > 0 && panicked < 9,
+            "p=0.5 over 9 dies should contain some but not all: {panicked}"
+        );
+        // Panicked dies retire as InternalPanic quarantine records...
+        let recorded = one
+            .aggregate
+            .quarantine
+            .iter()
+            .filter(|r| r.kind == FailureKind::InternalPanic)
+            .count() as u64;
+        assert_eq!(recorded, panicked);
+        // ...and the verdict is keyed by die index, so the aggregate is
+        // identical at any thread count.
+        let eight = run_campaign_with(&s, 8, &options).unwrap();
+        assert_eq!(one.aggregate, eight.aggregate);
+        assert_eq!(eight.metrics.containment.die_panics, panicked);
+        // Zero probability is a structural no-op: bit-identical to a run
+        // with no chaos at all.
+        let plain = run_campaign(&s, 2).unwrap();
+        let zeroed = run_campaign_with(
+            &s,
+            2,
+            &RunOptions {
+                chaos_seed: 7,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.aggregate, zeroed.aggregate);
+        assert_eq!(zeroed.metrics.containment.die_panics, 0);
+    }
+
+    #[test]
+    fn die_budget_retires_runaway_corners_deterministically() {
+        let mut s = CampaignSpec::paper_default(WaferMap::full(3, 3), 11);
+        s.corners.truncate(3);
+        let options = RunOptions {
+            budget: DieBudget {
+                max_newton_iterations: 1,
+                max_wall_ms: 0,
+            },
+            ..RunOptions::default()
+        };
+        let one = run_campaign_with(&s, 1, &options).unwrap();
+        // One Newton iteration can never finish a die's first corner
+        // without tripping the budget, so every die loses its later
+        // corners — but the first corner always completes.
+        assert_eq!(one.metrics.containment.budgets_exhausted, 9);
+        let retired = one
+            .aggregate
+            .quarantine
+            .iter()
+            .filter(|r| r.kind == FailureKind::BudgetExhausted)
+            .count();
+        assert_eq!(retired, 9 * 2, "corners after the overrun are retired");
+        // Iteration budgets force the scalar path and key off per-die
+        // solver work: the verdict is thread-count invariant.
+        let eight = run_campaign_with(&s, 8, &options).unwrap();
+        assert_eq!(one.aggregate, eight.aggregate);
+        // An unlimited budget is bit-identical to no budget at all.
+        let plain = run_campaign(&s, 2).unwrap();
+        let unlimited = run_campaign_with(&s, 2, &RunOptions::default()).unwrap();
+        assert_eq!(plain.aggregate, unlimited.aggregate);
+    }
+
+    #[test]
+    fn invalid_chaos_spec_is_rejected_before_any_thread_spawns() {
+        let s = tiny_spec();
+        let options = RunOptions {
+            chaos: ChaosSpec {
+                die_panic_probability: 1.5,
+                ..ChaosSpec::none()
+            },
+            ..RunOptions::default()
+        };
+        assert!(run_campaign_with(&s, 2, &options).is_err());
     }
 
     #[test]

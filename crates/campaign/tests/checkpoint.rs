@@ -51,7 +51,7 @@ fn kill_and_resume(
 
     // Persist and reload — the resume leg sees only what a restarted
     // process would see: the JSON checkpoint blob.
-    let blob = checkpoint_to_json(spec_fingerprint(spec), k, &partial.aggregate);
+    let blob = checkpoint_to_json(spec_fingerprint(spec), k, 0, &partial.aggregate);
     let ck = checkpoint_from_json(&blob).expect("reload checkpoint");
     assert_eq!(ck.fingerprint, spec_fingerprint(spec));
     assert_eq!(ck.next_die, k);
@@ -111,7 +111,7 @@ fn checkpoint_from_a_foreign_spec_is_detectable() {
     let mut b = spec();
     b.seed ^= 1;
     let run = run_campaign(&a, 1).expect("run");
-    let blob = checkpoint_to_json(spec_fingerprint(&a), 3, &run.aggregate);
+    let blob = checkpoint_to_json(spec_fingerprint(&a), 3, 0, &run.aggregate);
     let ck = checkpoint_from_json(&blob).expect("reload");
     assert_eq!(ck.fingerprint, spec_fingerprint(&a));
     assert_ne!(ck.fingerprint, spec_fingerprint(&b));

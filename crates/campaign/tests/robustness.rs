@@ -124,15 +124,19 @@ fn recovery_at_least_doubles_passing_yield_under_heavy_faults() {
 
     // The gain is attributable per taxonomy bin: kinds quarantined in the
     // bare run show up as recovered-from in the recovering run.
-    let totals = |run: &CampaignRun,
-                  f: fn(&icvbe_campaign::aggregate::CornerAggregate) -> [u64; 5]| {
-        run.aggregate.corners.iter().fold([0u64; 5], |mut acc, c| {
-            for (a, n) in acc.iter_mut().zip(f(c)) {
-                *a += n;
-            }
-            acc
-        })
-    };
+    let totals =
+        |run: &CampaignRun,
+         f: fn(&icvbe_campaign::aggregate::CornerAggregate) -> [u64; FailureKind::COUNT]| {
+            run.aggregate
+                .corners
+                .iter()
+                .fold([0u64; FailureKind::COUNT], |mut acc, c| {
+                    for (a, n) in acc.iter_mut().zip(f(c)) {
+                        *a += n;
+                    }
+                    acc
+                })
+        };
     let quarantined_bare = totals(&base, |c| c.failures);
     let recovered = totals(&rec, |c| c.recovered);
     for kind in [

@@ -7,6 +7,8 @@
 //! - [`noise`]: seeded Gaussian noise and ADC quantization,
 //! - [`faults`]: deterministic measurement-fault injection (noise bursts,
 //!   stuck readings, dropped points, offset drift, NaN/Inf),
+//! - [`chaos`]: deterministic *environment*-fault injection (torn
+//!   checkpoint writes, `ENOSPC`/`EIO`, socket stalls/resets, die panics),
 //! - [`smu`]: the source-measure unit (gain/offset error, noise floor,
 //!   finite resolution) standing in for the HP4156,
 //! - [`pt100`]: the contact temperature sensor (calibration error, contact
@@ -25,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bench;
+pub mod chaos;
 pub mod faults;
 pub mod montecarlo;
 pub mod noise;

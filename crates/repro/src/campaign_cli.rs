@@ -4,7 +4,8 @@
 //! ```text
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
 //!                [--no-bypass] [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
-//!                [--batch N]
+//!                [--batch N] [--chaos SPEC] [--chaos-seed S] [--die-iter-budget N]
+//!                [--die-wall-ms MS]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -32,6 +33,17 @@
 //! additionally gains the slowest dies and corners ranked from the same
 //! spans.
 //!
+//! `--chaos SPEC` injects *environment* faults (as opposed to `--faults`'
+//! measurement corruption): the campaign subcommand consults the
+//! `die_panic` knob, containing panicking dies behind `catch_unwind` and
+//! quarantining their corners as `internal_panic` — deterministically per
+//! `--chaos-seed`, bit-identical at any thread count. The write/socket
+//! knobs of the same spec act in the campaign service (`repro serve`).
+//! `--die-iter-budget N` retires the remaining corners of a die that has
+//! spent `N` Newton iterations (`budget_exhausted`, deterministic);
+//! `--die-wall-ms` is the wall-clock analogue and the one knowingly
+//! nondeterministic knob.
+//!
 //! `--batch N` sets the lane count of the batched die-parallel solve
 //! path: workers pack `N` same-corner dies into structure-of-arrays lanes
 //! and step them through Newton in lockstep over one frozen sparse plan.
@@ -48,10 +60,12 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use icvbe_campaign::aggregate::YieldBin;
+use icvbe_campaign::die::DieBudget;
 use icvbe_campaign::report::write_reports;
 use icvbe_campaign::spec::WaferMap;
 use icvbe_campaign::taxonomy::FailureKind;
 use icvbe_campaign::{run_campaign_with, CampaignRun, CampaignSpec, RunOptions};
+use icvbe_instrument::chaos::ChaosSpec;
 use icvbe_instrument::faults::FaultSpec;
 
 /// Parsed `repro campaign` arguments.
@@ -84,6 +98,17 @@ pub struct CampaignCliArgs {
     /// Lanes per die group on the batched solve path (`0` = auto, `1` =
     /// scalar ablation). Bit-identical results at every setting.
     pub batch: usize,
+    /// Environment-fault injection (`--chaos`): the campaign subcommand
+    /// consults only the die-panic knob; write/socket faults act in the
+    /// service. All-zero (the default) = off.
+    pub chaos: ChaosSpec,
+    /// Seed of the chaos plan (`--chaos-seed`).
+    pub chaos_seed: u64,
+    /// Per-die Newton-iteration budget (`--die-iter-budget`, 0 = off).
+    pub die_iter_budget: u64,
+    /// Per-die wall-clock budget in ms (`--die-wall-ms`, 0 = off;
+    /// nondeterministic escape hatch).
+    pub die_wall_ms: u64,
 }
 
 impl Default for CampaignCliArgs {
@@ -101,6 +126,10 @@ impl Default for CampaignCliArgs {
             trace: false,
             trace_dir: None,
             batch: 0,
+            chaos: ChaosSpec::none(),
+            chaos_seed: 0,
+            die_iter_budget: 0,
+            die_wall_ms: 0,
         }
     }
 }
@@ -189,6 +218,28 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                 let v = &other["--batch=".len()..];
                 out.batch = v.parse().map_err(|_| format!("bad --batch value {v:?}"))?;
             }
+            "--chaos" => {
+                let v = value("--chaos", it.next())?;
+                out.chaos = ChaosSpec::parse(&v).map_err(|e| e.detail)?;
+            }
+            "--chaos-seed" => {
+                let v = value("--chaos-seed", it.next())?;
+                out.chaos_seed = v
+                    .parse()
+                    .map_err(|_| format!("bad --chaos-seed value {v:?}"))?;
+            }
+            "--die-iter-budget" => {
+                let v = value("--die-iter-budget", it.next())?;
+                out.die_iter_budget = v
+                    .parse()
+                    .map_err(|_| format!("bad --die-iter-budget value {v:?}"))?;
+            }
+            "--die-wall-ms" => {
+                let v = value("--die-wall-ms", it.next())?;
+                out.die_wall_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --die-wall-ms value {v:?}"))?;
+            }
             "--trace" => {
                 out.trace = true;
             }
@@ -205,7 +256,8 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                     "unknown campaign argument {other:?} \
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
                      [--out DIR] [--cold] [--no-bypass] [--faults SPEC] [--retries N] \
-                     [--no-robust] [--trace[=DIR]] [--batch N])"
+                     [--no-robust] [--trace[=DIR]] [--batch N] [--chaos SPEC] \
+                     [--chaos-seed S] [--die-iter-budget N] [--die-wall-ms MS])"
                 ));
             }
         }
@@ -252,8 +304,10 @@ pub fn render(run: &CampaignRun) -> String {
         );
     }
     if !spec.faults.is_none() {
-        let by_kind = |counts: &dyn Fn(&icvbe_campaign::aggregate::CornerAggregate) -> [u64; 5]| {
-            let mut total = [0u64; 5];
+        let by_kind = |counts: &dyn Fn(
+            &icvbe_campaign::aggregate::CornerAggregate,
+        ) -> [u64; FailureKind::COUNT]| {
+            let mut total = [0u64; FailureKind::COUNT];
             for c in &run.aggregate.corners {
                 for (t, n) in total.iter_mut().zip(counts(c)) {
                     *t += n;
@@ -286,6 +340,15 @@ pub fn render(run: &CampaignRun) -> String {
         if !quarantined.is_empty() {
             let _ = writeln!(s, "    quarantined as: {quarantined}");
         }
+    }
+    let cm = &run.metrics.containment;
+    if cm.die_panics + cm.budgets_exhausted + cm.checkpoint_write_errors > 0 {
+        let _ = writeln!(
+            s,
+            "\n  containment: {} die panic(s) contained, {} die budget(s) exhausted, \
+             {} checkpoint write error(s)",
+            cm.die_panics, cm.budgets_exhausted, cm.checkpoint_write_errors,
+        );
     }
     let solver = &run.metrics.solver;
     let _ = writeln!(
@@ -384,12 +447,22 @@ fn fmt_ns(ns: u64) -> String {
 pub fn help() -> String {
     "repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]\n\
      \x20              [--cold] [--no-bypass] [--faults SPEC] [--retries N] [--no-robust]\n\
-     \x20              [--trace[=DIR]] [--batch N]\n\
+     \x20              [--trace[=DIR]] [--batch N] [--chaos SPEC] [--chaos-seed S]\n\
+     \x20              [--die-iter-budget N] [--die-wall-ms MS]\n\
      \n\
      Runs a wafer-scale IC(VBE) extraction campaign and prints a summary;\n\
      --out writes the JSON/CSV report artifacts (bit-identical at any\n\
      --threads value and any --batch lane count; --batch 1 is the scalar\n\
      ablation baseline).\n\
+     \n\
+     --chaos SPEC injects environment faults (presets light/heavy or k=v\n\
+     pairs: die_panic=P, write_error=P, short_write=P, torn=P, stall=P,\n\
+     stall_ms=N, reset=P; seeded by --chaos-seed). The campaign subcommand\n\
+     acts only on die_panic — panicking dies are contained and quarantined\n\
+     as internal_panic, deterministically per seed. --die-iter-budget\n\
+     retires a runaway die's remaining corners as budget_exhausted after N\n\
+     Newton iterations (deterministic); --die-wall-ms is the wall-clock\n\
+     escape hatch (nondeterministic by nature).\n\
      \n\
      Exit codes:\n\
      \x20 0  campaign ran and at least one corner measurement passed the spec window\n\
@@ -425,6 +498,12 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
     let options = RunOptions {
         trace: cli.trace,
         batch: cli.batch,
+        chaos: cli.chaos,
+        chaos_seed: cli.chaos_seed,
+        budget: DieBudget {
+            max_newton_iterations: cli.die_iter_budget,
+            max_wall_ms: cli.die_wall_ms,
+        },
     };
     let run = run_campaign_with(&spec, cli.threads, &options).map_err(|e| e.to_string())?;
     let mut text = render(&run);
@@ -543,6 +622,59 @@ mod tests {
         assert!(text.contains("retried"), "summary:\n{text}");
         let clean = run_cli(&sv(&["--diameter", "4", "--threads", "2", "--seed", "13"])).unwrap();
         assert!(!clean.contains("faults:"), "summary:\n{clean}");
+    }
+
+    #[test]
+    fn parses_chaos_and_budget_flags() {
+        let a = parse_args(&sv(&[
+            "--chaos",
+            "die_panic=0.25",
+            "--chaos-seed",
+            "9",
+            "--die-iter-budget",
+            "500",
+            "--die-wall-ms",
+            "2000",
+        ]))
+        .unwrap();
+        assert_eq!(a.chaos.die_panic_probability, 0.25);
+        assert_eq!(a.chaos_seed, 9);
+        assert_eq!(a.die_iter_budget, 500);
+        assert_eq!(a.die_wall_ms, 2000);
+        let off = parse_args(&sv(&[])).unwrap();
+        assert!(off.chaos.is_none(), "chaos must be off by default");
+        assert_eq!(off.die_iter_budget, 0);
+        assert!(parse_args(&sv(&["--chaos", "frobnicate=1"])).is_err());
+        assert!(parse_args(&sv(&["--chaos-seed", "many"])).is_err());
+        assert!(parse_args(&sv(&["--die-iter-budget", "-3"])).is_err());
+    }
+
+    #[test]
+    fn chaos_run_renders_containment_and_stays_deterministic() {
+        let args = [
+            "--diameter",
+            "4",
+            "--threads",
+            "2",
+            "--seed",
+            "13",
+            "--chaos",
+            "die_panic=0.5",
+            "--chaos-seed",
+            "7",
+        ];
+        let text = run_cli(&sv(&args)).unwrap();
+        assert!(text.contains("containment:"), "summary:\n{text}");
+        assert!(text.contains("die panic(s) contained"), "summary:\n{text}");
+        let again = run_cli(&sv(&args)).unwrap();
+        let physics = |s: &str| {
+            let start = s.find("\n\n  corner").unwrap();
+            let end = s.find("\n\n  containment:").unwrap();
+            s[start..end].to_string()
+        };
+        assert_eq!(physics(&text), physics(&again));
+        let clean = run_cli(&sv(&["--diameter", "4", "--threads", "2", "--seed", "13"])).unwrap();
+        assert!(!clean.contains("containment:"), "summary:\n{clean}");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! ```text
 //! repro serve  [--addr HOST:PORT] [--threads N] [--queue N] [--slice N]
 //!              [--checkpoint-dir DIR] [--checkpoint-every K] [--paused]
+//!              [--io-timeout-ms MS] [--max-request BYTES]
+//!              [--chaos SPEC] [--chaos-seed S]
 //! repro submit [--addr HOST:PORT] [--tenant T] [--label L] [--out DIR]
 //!              [--no-wait] [spec flags: --dies N | --diameter D, --seed S,
 //!              --cold, --no-bypass, --faults SPEC, --retries N, --no-robust]
@@ -26,11 +28,21 @@
 //!
 //! `watch` re-attaches to a job by id or label (history replays first),
 //! which is how a client collects results after a daemon restart.
+//!
+//! Hardened I/O knobs: `--io-timeout-ms` sets the per-socket read/write
+//! timeout (stalled clients are shed and counted; 0 disables),
+//! `--max-request` caps a request line's byte length (longer lines earn
+//! the typed `request_too_large` error). `--chaos SPEC` turns on the
+//! seeded environment-fault plan — checkpoint write faults (write_error,
+//! short_write, torn), socket faults (stall, reset) and worker die
+//! panics — for crash-safety drills; see
+//! `icvbe_instrument::chaos::ChaosSpec::parse` for the `k=v` keys.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use icvbe_campaign::spec::{CampaignSpec, WaferMap};
+use icvbe_instrument::chaos::ChaosSpec;
 use icvbe_instrument::faults::FaultSpec;
 use icvbe_serve::client::Client;
 use icvbe_serve::daemon::Daemon;
@@ -189,11 +201,33 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeCliArgs, String> {
             }
             "--paused" => out.config.paused = true,
             "--trace" => out.config.trace = true,
+            "--io-timeout-ms" => {
+                let v = value("--io-timeout-ms", it.next())?;
+                out.config.io_timeout_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad --io-timeout-ms value {v:?}"))?;
+            }
+            "--max-request" => {
+                out.config.max_request_bytes =
+                    positive("--max-request", value("--max-request", it.next())?)?;
+            }
+            "--chaos" => {
+                let v = value("--chaos", it.next())?;
+                out.config.chaos = ChaosSpec::parse(&v).map_err(|e| e.detail)?;
+            }
+            "--chaos-seed" => {
+                let v = value("--chaos-seed", it.next())?;
+                out.config.chaos_seed = v
+                    .parse()
+                    .map_err(|_| format!("bad --chaos-seed value {v:?}"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown serve argument {other:?} \
                      (usage: serve [--addr HOST:PORT] [--threads N] [--queue N] [--slice N] \
-                     [--checkpoint-dir DIR] [--checkpoint-every K] [--paused] [--trace])"
+                     [--checkpoint-dir DIR] [--checkpoint-every K] [--paused] [--trace] \
+                     [--io-timeout-ms MS] [--max-request BYTES] [--chaos SPEC] \
+                     [--chaos-seed S])"
                 ));
             }
         }
@@ -459,6 +493,31 @@ mod tests {
         assert!(a.config.paused);
         assert!(parse_serve_args(&sv(&["--bogus"])).is_err());
         assert!(parse_serve_args(&sv(&["--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_hardening_and_chaos_flags() {
+        let a = parse_serve_args(&sv(&[
+            "--io-timeout-ms",
+            "500",
+            "--max-request",
+            "4096",
+            "--chaos",
+            "torn=0.5,write_error=0.1",
+            "--chaos-seed",
+            "21",
+        ]))
+        .unwrap();
+        assert_eq!(a.config.io_timeout_ms, 500);
+        assert_eq!(a.config.max_request_bytes, 4096);
+        assert_eq!(a.config.chaos.torn_file_probability, 0.5);
+        assert_eq!(a.config.chaos.write_error_probability, 0.1);
+        assert_eq!(a.config.chaos_seed, 21);
+        let off = parse_serve_args(&sv(&[])).unwrap();
+        assert!(off.config.chaos.is_none(), "chaos must be off by default");
+        assert!(parse_serve_args(&sv(&["--chaos", "frobnicate=1"])).is_err());
+        assert!(parse_serve_args(&sv(&["--max-request", "0"])).is_err());
+        assert!(parse_serve_args(&sv(&["--io-timeout-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! so a shutdown request can stop it promptly without needing a way to
 //! interrupt `accept`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
+
+use icvbe_instrument::chaos::SocketFault;
 
 use crate::protocol::{
     error_line, hello_line, parse_request, queue_full_line, submitted_line, ProtocolError, Request,
@@ -39,19 +41,25 @@ impl Daemon {
         let local = listener.local_addr()?;
         let service = Arc::new(Service::start(config)?);
         let accept_service = Arc::clone(&service);
-        let accept = std::thread::spawn(move || loop {
-            if accept_service.is_shutdown() {
-                break;
-            }
-            match listener.accept() {
-                Ok((socket, _)) => {
-                    let conn_service = Arc::clone(&accept_service);
-                    std::thread::spawn(move || handle_connection(&conn_service, socket));
+        let accept = std::thread::spawn(move || {
+            // Connection ordinal: the key of per-connection chaos verdicts.
+            let mut conn: u64 = 0;
+            loop {
+                if accept_service.is_shutdown() {
+                    break;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
+                match listener.accept() {
+                    Ok((socket, _)) => {
+                        conn += 1;
+                        let op = conn;
+                        let conn_service = Arc::clone(&accept_service);
+                        std::thread::spawn(move || handle_connection(&conn_service, socket, op));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
                 }
-                Err(_) => break,
             }
         });
         Ok(Daemon {
@@ -95,22 +103,93 @@ fn write_line(socket: &mut TcpStream, line: &str) -> std::io::Result<()> {
     socket.write_all(b"\n")
 }
 
+/// Outcome of one bounded request-line read.
+enum LineRead {
+    /// A complete line (decoded lossily: binary garbage still parses into
+    /// a string and earns a typed `bad_request`, never a panic).
+    Line(String),
+    /// Clean EOF or an unrecoverable socket error.
+    Closed,
+    /// The socket read timeout fired (stalled client).
+    TimedOut,
+    /// The line exceeded the request-size cap before any newline.
+    TooLarge,
+}
+
+/// Reads one `\n`-terminated request line without ever buffering more
+/// than `cap + 1` bytes: a client streaming an endless line exhausts the
+/// cap, not the daemon's memory.
+fn read_bounded_line(reader: &mut BufReader<TcpStream>, cap: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    match reader
+        .by_ref()
+        .take(cap as u64 + 1)
+        .read_until(b'\n', &mut buf)
+    {
+        Ok(0) => LineRead::Closed,
+        Ok(_) => {
+            if buf.last() != Some(&b'\n') && buf.len() > cap {
+                return LineRead::TooLarge;
+            }
+            LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            LineRead::TimedOut
+        }
+        Err(_) => LineRead::Closed,
+    }
+}
+
 /// Runs one connection to completion. The protocol is half-duplex:
 /// request, then response(s) — a streaming submit or `results` attach
 /// occupies the connection until the job's terminal event.
-fn handle_connection(service: &Arc<Service>, socket: TcpStream) {
+///
+/// Hardened I/O: read/write timeouts shed stalled clients, request lines
+/// are length-capped, and the connection-keyed chaos plan can stall or
+/// reset the socket up front to exercise exactly those paths.
+fn handle_connection(service: &Arc<Service>, socket: TcpStream, conn: u64) {
+    // Socket timeouts apply to the shared underlying socket, so setting
+    // them once here covers the cloned read half too.
+    if let Some(timeout) = service.io_timeout() {
+        let _ = socket.set_read_timeout(Some(timeout));
+        let _ = socket.set_write_timeout(Some(timeout));
+    }
+    match service.chaos_socket_fault(conn) {
+        SocketFault::None => {}
+        SocketFault::Stall { millis } => std::thread::sleep(Duration::from_millis(millis)),
+        // Drop without a byte: the client sees an abrupt close, exactly
+        // like a daemon crashing between accept and response.
+        SocketFault::Reset => return,
+    }
     let Ok(read_half) = socket.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut socket = socket;
-    let mut line = String::new();
+    let cap = service.max_request_bytes();
 
     // Handshake: the first request must be a `hello` with this build's
     // protocol version; anything else is a typed rejection.
-    if reader.read_line(&mut line).unwrap_or(0) == 0 {
-        return;
-    }
+    let line = match read_bounded_line(&mut reader, cap) {
+        LineRead::Line(line) => line,
+        LineRead::Closed => return,
+        LineRead::TimedOut => {
+            service.note_io_timeout();
+            return;
+        }
+        LineRead::TooLarge => {
+            service.note_oversized();
+            let err = ProtocolError {
+                kind: "request_too_large",
+                detail: format!("request line exceeds {cap} bytes"),
+            };
+            let _ = write_line(&mut socket, &error_line(&err));
+            return;
+        }
+    };
     match parse_request(line.trim_end()) {
         Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
             if write_line(&mut socket, &hello_line()).is_err() {
@@ -142,11 +221,23 @@ fn handle_connection(service: &Arc<Service>, socket: TcpStream) {
     }
 
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
+        let line = match read_bounded_line(&mut reader, cap) {
+            LineRead::Line(line) => line,
+            LineRead::Closed => return,
+            LineRead::TimedOut => {
+                service.note_io_timeout();
+                return;
+            }
+            LineRead::TooLarge => {
+                service.note_oversized();
+                let err = ProtocolError {
+                    kind: "request_too_large",
+                    detail: format!("request line exceeds {cap} bytes"),
+                };
+                let _ = write_line(&mut socket, &error_line(&err));
+                return;
+            }
+        };
         let trimmed = line.trim_end();
         if trimmed.is_empty() {
             continue;

@@ -28,7 +28,7 @@ pub const PROTOCOL_VERSION: u64 = 1;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable machine-readable kind (`bad_request`, `unsupported_version`,
-    /// `unknown_job`, `queue_full`).
+    /// `unknown_job`, `queue_full`, `request_too_large`).
     pub kind: &'static str,
     /// Human-readable detail.
     pub detail: String,

@@ -37,12 +37,14 @@ use std::time::{Duration, Instant};
 
 use icvbe_campaign::aggregate::CampaignAggregate;
 use icvbe_campaign::checkpoint::{checkpoint_from_json, checkpoint_to_json};
+use icvbe_campaign::die::DieBudget;
 use icvbe_campaign::json::{escape, parse, Json};
 use icvbe_campaign::metrics::CampaignCounters;
 use icvbe_campaign::report;
 use icvbe_campaign::wire::{spec_fingerprint, spec_from_json, spec_to_json};
 use icvbe_campaign::worker::{run_campaign_streaming, CampaignRun, StreamOptions};
 use icvbe_campaign::CampaignSpec;
+use icvbe_instrument::chaos::{ChaosPlan, ChaosSpec, SocketFault};
 use icvbe_spice::cache::SymbolicCache;
 use icvbe_trace::{SpanKind, SpanPhase, Trace, TraceEvent, NO_DIE};
 
@@ -85,6 +87,24 @@ pub struct ServiceConfig {
     pub paused: bool,
     /// Record service-level `job`/`queue` spans into a [`Trace`].
     pub trace: bool,
+    /// Read/write timeout applied to every accepted client socket, in
+    /// milliseconds (`0` disables). A stalled or half-dead client then
+    /// times out instead of pinning its connection thread forever.
+    pub io_timeout_ms: u64,
+    /// Maximum bytes of a single request line. A client sending more gets
+    /// the typed `request_too_large` error and is disconnected — the
+    /// daemon never buffers a request unboundedly.
+    pub max_request_bytes: usize,
+    /// Environment-fault injection for service I/O: checkpoint writes and
+    /// client sockets, plus die panics inside served campaigns. The
+    /// default ([`ChaosSpec::none`]) is a structural no-op.
+    pub chaos: ChaosSpec,
+    /// Seed of the chaos plan; fault verdicts are byte-reproducible per
+    /// `(chaos, chaos_seed)` and keyed per operation.
+    pub chaos_seed: u64,
+    /// Per-die solve containment budget applied to every served campaign
+    /// (see [`DieBudget`]; the default disables enforcement).
+    pub budget: DieBudget,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +118,11 @@ impl Default for ServiceConfig {
             retry_after_ms: 250,
             paused: false,
             trace: false,
+            io_timeout_ms: 30_000,
+            max_request_bytes: 1 << 20,
+            chaos: ChaosSpec::none(),
+            chaos_seed: 0,
+            budget: DieBudget::default(),
         }
     }
 }
@@ -140,6 +165,10 @@ struct Job {
     aggregate: CampaignAggregate,
     counters: Arc<CampaignCounters>,
     cancel: Arc<AtomicBool>,
+    /// Checkpoint generation counter: incremented on every write, persisted
+    /// in the checkpoint itself, restored on resume — so the dual-slot
+    /// retention always knows which file is newer.
+    generation: Arc<AtomicU64>,
     elapsed_ns: u64,
     max_buffer: usize,
     /// Rendered event lines, in order, replayed to late subscribers.
@@ -182,6 +211,19 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Distinct sparsity patterns cached.
     pub cache_patterns: usize,
+    /// Jobs whose latest checkpoint was corrupt but whose previous
+    /// generation loaded (the recovery ladder's middle rung).
+    pub resumed_fallback: u64,
+    /// Checkpoints dropped at startup: both generations unreadable, job
+    /// started clean (the ladder's last rung, counted and logged).
+    pub dropped_corrupt: u64,
+    /// Stale `*.tmp` checkpoint files swept at startup (a crash mid-write
+    /// leaves one behind; it is junk by construction).
+    pub tmp_swept: u64,
+    /// Request lines rejected with `request_too_large`.
+    pub oversized: u64,
+    /// Client connections dropped by the socket read/write timeout.
+    pub io_timeouts: u64,
 }
 
 /// Why a submission was not accepted.
@@ -217,6 +259,13 @@ struct Inner {
     rejected: AtomicU64,
     slices: AtomicU64,
     resumed: AtomicU64,
+    resumed_fallback: AtomicU64,
+    dropped_corrupt: AtomicU64,
+    tmp_swept: AtomicU64,
+    oversized: AtomicU64,
+    io_timeouts: AtomicU64,
+    /// The chaos plan, present iff the config armed any fault knob.
+    chaos: Option<ChaosPlan>,
     trace: Option<Mutex<Trace>>,
     epoch: Instant,
 }
@@ -268,9 +317,23 @@ impl Inner {
             .map(|d| d.join(format!("job-{job}.json")))
     }
 
-    /// Writes a job's checkpoint atomically (tmp + rename): a kill at any
-    /// instant leaves either the old or the new checkpoint, never a torn
-    /// one.
+    /// The `.prev` slot: the last good checkpoint, rotated aside before
+    /// each new write so a torn or failed primary never erases the only
+    /// recoverable state.
+    fn prev_checkpoint_path(&self, job: u64) -> Option<PathBuf> {
+        self.config
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| d.join(format!("job-{job}.prev.json")))
+    }
+
+    /// Writes a job's checkpoint crash-safely: tmp + rename, with the
+    /// previous good file rotated into the `.prev` slot first. A kill —
+    /// or an injected write fault — at any instant leaves at least one
+    /// loadable generation behind: the new primary, the old primary, or
+    /// the rotated previous one. Each write stamps a fresh generation
+    /// number (persisted inside the checkpoint) and a content checksum,
+    /// so the recovery ladder can tell good files from torn ones.
     fn write_checkpoint(
         &self,
         meta: &CheckpointMeta<'_>,
@@ -278,10 +341,12 @@ impl Inner {
         aggregate: &CampaignAggregate,
     ) {
         let job = meta.job;
-        let Some(path) = self.checkpoint_path(job) else {
+        let (Some(path), Some(prev)) = (self.checkpoint_path(job), self.prev_checkpoint_path(job))
+        else {
             return;
         };
-        let campaign = checkpoint_to_json(meta.fingerprint, next_die, aggregate);
+        let generation = meta.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let campaign = checkpoint_to_json(meta.fingerprint, next_die, generation, aggregate);
         let doc = format!(
             "{{\"schema\":\"{SERVE_CHECKPOINT_SCHEMA}\",\"job\":{job},\"tenant\":\"{}\",\"label\":\"{}\",\"spec\":\"{}\",\"campaign\":\"{}\"}}\n",
             escape(meta.tenant),
@@ -289,15 +354,44 @@ impl Inner {
             escape(meta.spec_wire),
             escape(&campaign),
         );
+        if path.exists() {
+            let _ = std::fs::rename(&path, &prev);
+        }
         let tmp = path.with_extension("json.tmp");
-        if std::fs::write(&tmp, doc).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        // The chaos plan's write path injects ENOSPC/EIO (write fails, no
+        // file), short writes (write fails, partial tmp) and torn writes
+        // (write "succeeds" with a truncated tmp — the lying-write case
+        // the checksum exists to catch). Verdicts are keyed by
+        // `(job, generation)`, so a chaos run is reproducible per seed.
+        let written = match &self.chaos {
+            Some(plan) => {
+                plan.write_file((job << 24) | (generation & 0xff_ffff), &tmp, doc.as_bytes())
+            }
+            None => std::fs::write(&tmp, doc),
+        };
+        match written {
+            Ok(()) => {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+            Err(_) => {
+                // Failed write: count it (degradation must be visible in
+                // campaign_metrics.json) and discard the junk tmp. The
+                // `.prev` rotation above already preserved the last good
+                // state.
+                meta.counters
+                    .checkpoint_write_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
     }
 
     fn remove_checkpoint(&self, job: u64) {
         if let Some(path) = self.checkpoint_path(job) {
             let _ = std::fs::remove_file(path);
+        }
+        if let Some(prev) = self.prev_checkpoint_path(job) {
+            let _ = std::fs::remove_file(prev);
         }
     }
 
@@ -412,6 +506,7 @@ impl Inner {
                 aggregate: job.aggregate.clone(),
                 counters: Arc::clone(&job.counters),
                 cancel: Arc::clone(&job.cancel),
+                generation: Arc::clone(&job.generation),
             });
         }
         None
@@ -432,6 +527,9 @@ impl Inner {
             // Auto lane selection: slices batch whenever the job's spec
             // allows it; accepted bits are identical either way.
             batch: 0,
+            chaos: self.config.chaos,
+            chaos_seed: self.config.chaos_seed,
+            budget: self.config.budget,
         };
         let inner = Arc::clone(self);
         let result = run_campaign_streaming(
@@ -449,6 +547,8 @@ impl Inner {
                             label: &task.label,
                             spec_wire: &task.spec_wire,
                             fingerprint: task.fingerprint,
+                            generation: &task.generation,
+                            counters: &task.counters,
                         },
                         die.index + 1,
                         aggregate,
@@ -502,6 +602,8 @@ impl Inner {
                         label: &job.label,
                         spec_wire: &job.spec_wire,
                         fingerprint: job.fingerprint,
+                        generation: &job.generation,
+                        counters: &job.counters,
                     },
                     job.next_die,
                     &job.aggregate,
@@ -524,6 +626,7 @@ struct SliceTask {
     aggregate: CampaignAggregate,
     counters: Arc<CampaignCounters>,
     cancel: Arc<AtomicBool>,
+    generation: Arc<AtomicU64>,
 }
 
 /// The identity fields of a checkpoint file, borrowed from wherever the
@@ -535,6 +638,8 @@ struct CheckpointMeta<'a> {
     label: &'a str,
     spec_wire: &'a str,
     fingerprint: u64,
+    generation: &'a AtomicU64,
+    counters: &'a CampaignCounters,
 }
 
 /// A job re-admitted from a checkpoint file.
@@ -544,6 +649,7 @@ struct ResumedJob {
     label: String,
     spec: CampaignSpec,
     next_die: usize,
+    generation: u64,
     aggregate: CampaignAggregate,
 }
 
@@ -569,6 +675,7 @@ fn load_checkpoint_file(text: &str) -> Option<ResumedJob> {
         label,
         spec,
         next_die: cp.next_die,
+        generation: cp.generation,
         aggregate: cp.aggregate,
     })
 }
@@ -582,11 +689,16 @@ impl Service {
     ///
     /// I/O errors creating the checkpoint directory.
     pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
+        if let Err(e) = config.chaos.validate() {
+            return Err(std::io::Error::other(format!("chaos spec: {e}")));
+        }
         if let Some(dir) = &config.checkpoint_dir {
             std::fs::create_dir_all(dir)?;
         }
         let paused = config.paused;
         let tracing = config.trace;
+        let chaos =
+            (!config.chaos.is_none()).then(|| ChaosPlan::new(config.chaos, config.chaos_seed));
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
@@ -604,6 +716,12 @@ impl Service {
             rejected: AtomicU64::new(0),
             slices: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
+            resumed_fallback: AtomicU64::new(0),
+            dropped_corrupt: AtomicU64::new(0),
+            tmp_swept: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            io_timeouts: AtomicU64::new(0),
+            chaos,
             trace: tracing.then(|| Mutex::new(Trace::default())),
             epoch: Instant::now(),
             config,
@@ -637,6 +755,16 @@ impl Service {
         Ok(service)
     }
 
+    /// Re-admits checkpointed jobs, walking the recovery ladder per job:
+    ///
+    /// 1. the primary `job-N.json` (checksum-verified on decode);
+    /// 2. on failure, the rotated `job-N.prev.json` — counted as a
+    ///    generation fallback;
+    /// 3. on failure again, a clean start — the corrupt files are dropped
+    ///    with a counted warning rather than crashing the daemon.
+    ///
+    /// Stale `*.tmp` files (a crash mid-write) are swept and counted
+    /// before the scan.
     fn resume_from_checkpoints(&self) {
         let Some(dir) = self.inner.config.checkpoint_dir.clone() else {
             return;
@@ -644,15 +772,53 @@ impl Service {
         let Ok(entries) = std::fs::read_dir(&dir) else {
             return;
         };
-        let mut resumed: Vec<ResumedJob> = entries
-            .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-            .filter_map(|e| std::fs::read_to_string(e.path()).ok())
-            .filter_map(|text| load_checkpoint_file(&text))
-            .collect();
-        resumed.sort_by_key(|r| r.id);
+        let mut primaries: BTreeMap<String, PathBuf> = BTreeMap::new();
+        let mut prevs: BTreeMap<String, PathBuf> = BTreeMap::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                if std::fs::remove_file(&path).is_ok() {
+                    self.inner.tmp_swept.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("icvbe-serve: swept stale checkpoint tmp file {name}");
+                }
+            } else if let Some(stem) = name.strip_suffix(".prev.json") {
+                prevs.insert(stem.to_string(), path);
+            } else if let Some(stem) = name.strip_suffix(".json") {
+                primaries.insert(stem.to_string(), path);
+            }
+        }
+        let load = |path: &PathBuf| {
+            std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| load_checkpoint_file(&text))
+        };
+        let mut resumed: Vec<(ResumedJob, bool)> = Vec::new();
+        let keys: std::collections::BTreeSet<String> =
+            primaries.keys().chain(prevs.keys()).cloned().collect();
+        for key in keys {
+            if let Some(job) = primaries.get(&key).and_then(&load) {
+                resumed.push((job, false));
+            } else if let Some(job) = prevs.get(&key).and_then(&load) {
+                self.inner.resumed_fallback.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "icvbe-serve: checkpoint {key}: latest generation unreadable, \
+                     resumed from previous generation"
+                );
+                resumed.push((job, true));
+            } else {
+                self.inner.dropped_corrupt.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "icvbe-serve: checkpoint {key}: no readable generation, \
+                     dropping (job starts clean if resubmitted)"
+                );
+            }
+        }
+        resumed.sort_by_key(|(r, _)| r.id);
         let mut state = lock(&self.inner.state);
-        for r in resumed {
+        for (r, fallback) in resumed {
             if !state.tenants.iter().any(|t| t == &r.tenant) {
                 state.tenants.push(r.tenant.clone());
             }
@@ -664,6 +830,14 @@ impl Service {
             let history: Vec<String> = (0..r.next_die)
                 .map(|i| die_line(r.id, i, i as u64 + 1, total))
                 .collect();
+            let counters = Arc::new(CampaignCounters::default());
+            if fallback {
+                // Degradation is visible in the job's own metrics too,
+                // not just the service counters.
+                counters
+                    .checkpoint_generation_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             state.jobs.insert(
                 r.id,
                 Job {
@@ -676,8 +850,9 @@ impl Service {
                     state: JobState::Queued,
                     next_die: r.next_die,
                     aggregate: r.aggregate,
-                    counters: Arc::new(CampaignCounters::default()),
+                    counters,
                     cancel: Arc::new(AtomicBool::new(false)),
+                    generation: Arc::new(AtomicU64::new(r.generation)),
                     elapsed_ns: 0,
                     max_buffer: 0,
                     history,
@@ -734,6 +909,7 @@ impl Service {
             next_die: 0,
             counters: Arc::new(CampaignCounters::default()),
             cancel: Arc::new(AtomicBool::new(false)),
+            generation: Arc::new(AtomicU64::new(0)),
             elapsed_ns: 0,
             max_buffer: 0,
             history: Vec::new(),
@@ -748,6 +924,8 @@ impl Service {
                 label,
                 spec_wire: &spec_wire,
                 fingerprint,
+                generation: &job.generation,
+                counters: &job.counters,
             },
             0,
             &job.aggregate,
@@ -840,7 +1018,46 @@ impl Service {
             cache_hits: inner.cache.hits(),
             cache_misses: inner.cache.misses(),
             cache_patterns: inner.cache.patterns(),
+            resumed_fallback: inner.resumed_fallback.load(Ordering::Relaxed),
+            dropped_corrupt: inner.dropped_corrupt.load(Ordering::Relaxed),
+            tmp_swept: inner.tmp_swept.load(Ordering::Relaxed),
+            oversized: inner.oversized.load(Ordering::Relaxed),
+            io_timeouts: inner.io_timeouts.load(Ordering::Relaxed),
         }
+    }
+
+    /// The configured client-socket read/write timeout, if any.
+    #[must_use]
+    pub fn io_timeout(&self) -> Option<Duration> {
+        let ms = self.inner.config.io_timeout_ms;
+        (ms > 0).then(|| Duration::from_millis(ms))
+    }
+
+    /// Maximum accepted request-line length in bytes.
+    #[must_use]
+    pub fn max_request_bytes(&self) -> usize {
+        self.inner.config.max_request_bytes.max(1)
+    }
+
+    /// Records a connection dropped by the socket timeout (load shedding,
+    /// surfaced in `status`).
+    pub fn note_io_timeout(&self) {
+        self.inner.io_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line rejected as `request_too_large`.
+    pub fn note_oversized(&self) {
+        self.inner.oversized.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The chaos verdict for client connection `op` ([`SocketFault::None`]
+    /// when no chaos plan is armed).
+    #[must_use]
+    pub fn chaos_socket_fault(&self, op: u64) -> SocketFault {
+        self.inner
+            .chaos
+            .as_ref()
+            .map_or(SocketFault::None, |plan| plan.socket_fault(op))
     }
 
     /// Renders the `status` response line.
@@ -868,7 +1085,9 @@ impl Service {
                 "\"paused\":{paused},\"queue_depth\":{depth},\"active_jobs\":{active},",
                 "\"counters\":{{\"submitted\":{sub},\"completed\":{comp},",
                 "\"cancelled\":{canc},\"rejected\":{rej},\"slices\":{slices},",
-                "\"resumed\":{res}}},",
+                "\"resumed\":{res},\"resumed_fallback\":{resfb},",
+                "\"dropped_corrupt\":{dropc},\"tmp_swept\":{tmps},",
+                "\"oversized\":{over},\"io_timeouts\":{tmo}}},",
                 "\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"patterns\":{pat}}},",
                 "\"jobs\":[{jobs}]}}"
             ),
@@ -882,6 +1101,11 @@ impl Service {
             rej = s.rejected,
             slices = s.slices,
             res = s.resumed,
+            resfb = s.resumed_fallback,
+            dropc = s.dropped_corrupt,
+            tmps = s.tmp_swept,
+            over = s.oversized,
+            tmo = s.io_timeouts,
             hits = s.cache_hits,
             misses = s.cache_misses,
             pat = s.cache_patterns,

@@ -149,4 +149,85 @@ done
 kill "$serve2_pid" 2>/dev/null || true
 wait "$serve2_pid" 2>/dev/null || true
 
+echo "==> chaos smoke: contained die panics are thread-invariant and counted"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --chaos die_panic=0.4 --chaos-seed 7 --out "$smoke_dir/chaos_t2" > /dev/null
+./target/release/repro campaign --diameter 5 --seed 13 --threads 8 \
+  --chaos die_panic=0.4 --chaos-seed 7 --out "$smoke_dir/chaos_t8" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/chaos_t2/$f" "$smoke_dir/chaos_t8/$f" || \
+    { echo "FAIL: $f differs across thread counts under chaos"; exit 1; }
+done
+grep -q '"internal_panic":[1-9]' "$smoke_dir/chaos_t2/campaign_quarantine.json" || \
+  { echo "FAIL: no internal_panic quarantine despite die_panic chaos"; exit 1; }
+grep -q '"die_panics":0[,}]' "$smoke_dir/chaos_t2/campaign_metrics.json" && \
+  { echo "FAIL: contained panics not counted"; exit 1; }
+# Zero-chaos must reproduce historical bytes: an explicit --chaos-seed with
+# all-zero probabilities changes nothing against the plain run.
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --chaos-seed 99 --out "$smoke_dir/chaos_off" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/bypass_on/$f" "$smoke_dir/chaos_off/$f" || \
+    { echo "FAIL: $f differs with chaos plumbing idle"; exit 1; }
+done
+
+echo "==> chaos smoke: kill -9 a faulty-write daemon, tear the checkpoint, resume"
+ck3="$smoke_dir/ck3"
+./target/release/repro serve --addr 127.0.0.1:0 --threads 2 --slice 8 \
+  --checkpoint-every 1 --checkpoint-dir "$ck3" \
+  --chaos write_error=0.2,torn=0.1 --chaos-seed 5 \
+  > "$smoke_dir/serve3.log" 2>/dev/null &
+serve3_pid=$!
+addr3=""
+for _ in $(seq 1 100); do
+  addr3="$(sed -n 's/^icvbe-serve listening on //p' "$smoke_dir/serve3.log")"
+  [ -n "$addr3" ] && break
+  sleep 0.1
+done
+[ -n "$addr3" ] || { echo "FAIL: chaos daemon never came up"; exit 1; }
+./target/release/repro submit --addr "$addr3" --label lot3 --diameter 40 --seed 22 \
+  > /dev/null 2>&1 &
+submit3_pid=$!
+# Wait for mid-campaign progress AND a populated rotated slot, so tearing
+# the primary leaves a last-good generation to fall back to.
+progress=0
+for _ in $(seq 1 400); do
+  ck="$(ls "$ck3"/job-*.json 2>/dev/null | grep -v prev | head -1 || true)"
+  prev="$(ls "$ck3"/job-*.prev.json 2>/dev/null | head -1 || true)"
+  if [ -n "$ck" ] && [ -n "$prev" ]; then
+    progress="$(tr -d '\\' < "$ck" | grep -o '"next_die":[0-9]*' \
+      | head -1 | cut -d: -f2 || true)"
+    [ "${progress:-0}" -ge 20 ] && break
+  fi
+  sleep 0.05
+done
+[ "${progress:-0}" -ge 20 ] || \
+  { echo "FAIL: no mid-campaign checkpoint + rotated slot observed"; exit 1; }
+kill -9 "$serve3_pid"
+wait "$serve3_pid" 2>/dev/null || true
+wait "$submit3_pid" 2>/dev/null || true
+# Tear the tail off the newest checkpoint — a crash mid-write. The restart
+# (chaos off) must recover through the .prev slot, byte-identically.
+ck="$(ls "$ck3"/job-*.json | grep -v prev | head -1)"
+truncate -s -17 "$ck"
+./target/release/repro serve --addr 127.0.0.1:0 --threads 2 --slice 8 \
+  --checkpoint-every 1 --checkpoint-dir "$ck3" \
+  > "$smoke_dir/serve4.log" 2>"$smoke_dir/serve4.err" &
+serve4_pid=$!
+addr4=""
+for _ in $(seq 1 100); do
+  addr4="$(sed -n 's/^icvbe-serve listening on //p' "$smoke_dir/serve4.log")"
+  [ -n "$addr4" ] && break
+  sleep 0.1
+done
+[ -n "$addr4" ] || { echo "FAIL: post-tear daemon never came up"; exit 1; }
+./target/release/repro watch --addr "$addr4" --label lot3 \
+  --out "$smoke_dir/resumed3" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/golden_big/$f" "$smoke_dir/resumed3/$f" || \
+    { echo "FAIL: $f differs after torn-checkpoint resume"; exit 1; }
+done
+kill "$serve4_pid" 2>/dev/null || true
+wait "$serve4_pid" 2>/dev/null || true
+
 echo "OK: all checks passed"
