@@ -55,6 +55,17 @@ fn dense_spec() -> CampaignSpec {
     spec
 }
 
+/// The adaptive corner scheduler: probe the first corner per die, run
+/// the remaining corners only when the probe flags escalation. On the
+/// clean bench wafer this skips every trailing corner, so the row
+/// measures the scheduler's best case; the executed probe corner is
+/// asserted bit-identical to the exhaustive plan before timing.
+fn adaptive_spec() -> CampaignSpec {
+    let mut spec = scaling_spec();
+    spec.adaptive = true;
+    spec
+}
+
 fn bench_campaign_scaling(c: &mut Criterion) {
     let ids: Vec<String> = [1usize, 2, 4, 8]
         .iter()
@@ -131,6 +142,19 @@ fn run_guards() {
         one.aggregate, unbatched.aggregate,
         "aggregate must be batching invariant"
     );
+    // Adaptive skips trailing corners, so the full aggregates differ by
+    // design — but the probe corner it *does* run must be bit-identical
+    // to the exhaustive plan, and on this clean wafer it must do
+    // strictly less corner work.
+    let adaptive = run_campaign(&adaptive_spec(), 8).expect("adaptive run");
+    assert_eq!(
+        one.aggregate.corners[0], adaptive.aggregate.corners[0],
+        "adaptive probe corner must match the exhaustive plan bit-for-bit"
+    );
+    assert!(
+        adaptive.metrics.solver.solves < one.metrics.solver.solves,
+        "adaptive must reduce corner work on a clean wafer"
+    );
     assert!(
         one.metrics.batching.batched_solves > 0 && unbatched.metrics.batching.batched_solves == 0,
         "default run must batch, --batch 1 must not"
@@ -176,6 +200,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     let cold = cold_spec();
     let no_bypass = no_bypass_spec();
     let dense = dense_spec();
+    let adaptive = adaptive_spec();
     let dies = warm.wafer.die_count();
     let reps = 7;
     // Warm the CPU clocks so the medians compare across configurations.
@@ -188,7 +213,9 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         ("no-bypass", &no_bypass, 0),
         ("dense", &dense, 0),
         ("cold", &cold, 0),
+        ("adaptive", &adaptive, 0),
     ];
+    let mut solves_by_mode: Vec<(&str, u64)> = Vec::new();
     for (mode, spec, batch) in modes {
         for threads in [1usize, 8] {
             let (median_ms, run) = measure(spec, threads, batch, reps);
@@ -209,7 +236,25 @@ fn bench_campaign_throughput(c: &mut Criterion) {
                 median_ms,
                 dies_per_second,
             });
+            if threads == 1 {
+                solves_by_mode.push((mode, run.metrics.solver.solves));
+            }
         }
+    }
+
+    let solves = |mode: &str| {
+        solves_by_mode
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map_or(0, |(_, s)| *s)
+    };
+    let (warm_solves, adaptive_solves) = (solves("warm"), solves("adaptive"));
+    if warm_solves > 0 {
+        println!(
+            "campaign_throughput/adaptive corner-work: {adaptive_solves} solves vs \
+             {warm_solves} exhaustive ({:.1}% reduction)",
+            100.0 * (1.0 - adaptive_solves as f64 / warm_solves as f64)
+        );
     }
 
     if let Ok(path) = std::env::var("ICVBE_BENCH_JSON") {
@@ -227,7 +272,13 @@ fn bench_campaign_throughput(c: &mut Criterion) {
                 r.mode, r.threads, r.median_ms, r.dies_per_second
             ));
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"adaptive_corner_work\": {{\"solves\": {adaptive_solves}, \
+             \"exhaustive_solves\": {warm_solves}, \"reduction\": {:.3}}}\n",
+            1.0 - adaptive_solves as f64 / warm_solves.max(1) as f64
+        ));
+        json.push_str("}\n");
         std::fs::write(&path, json).expect("write ICVBE_BENCH_JSON");
         println!("campaign_throughput: wrote {path}");
     }

@@ -21,6 +21,19 @@
 //! [`FailureKind`] taxonomy. With faults disabled exactly one attempt
 //! runs and no fault stream is ever touched, so the zero-fault pipeline
 //! is bit-identical to the unfaulted one.
+//!
+//! # Adaptive corner scheduling
+//!
+//! With [`CampaignSpec::adaptive`] set, a die first runs only its **probe
+//! corner** (spec corner 0). If the probe is clean — passes the spec
+//! window on one analytic attempt with a negligible fit residual (see
+//! [`CornerOutcome::flags_escalation`]) — the remaining corners are
+//! retired as [`YieldBin::Skipped`] without running; anything suspicious
+//! escalates the die to the full exhaustive plan. Because every corner
+//! derives its own bench and fault streams (`Stream::Bench(k)` /
+//! `Stream::Faults{corner: k, ..}`), skipping later corners cannot
+//! perturb the probe's bits: the corners an adaptive run *does* execute
+//! are bit-identical to the same corners of an exhaustive run.
 
 use icvbe_core::meijer::extract;
 use icvbe_core::nonlinear::Eq13PointModel;
@@ -118,6 +131,15 @@ impl DieBudget {
     }
 }
 
+/// Adaptive escalation threshold on the probe corner's RMS fit residual,
+/// volts. The analytic three-point eq.-13 fit is exactly determined
+/// (three parameters, three points), so a healthy corner's residual is
+/// pure rounding noise — femtovolts. A residual above a nanovolt means
+/// the values came from somewhere strange (e.g. a robust fit, which also
+/// trips the `robust_recovery` trigger) and the die deserves its full
+/// corner plan.
+pub const ADAPTIVE_RMS_RESIDUAL_V: f64 = 1e-9;
+
 impl CornerOutcome {
     fn quarantined(kind: FailureKind, attempts: u32) -> Self {
         CornerOutcome {
@@ -129,6 +151,39 @@ impl CornerOutcome {
             robust_recovery: false,
             outliers_rejected: 0,
         }
+    }
+
+    /// A corner the adaptive scheduler retired without running.
+    #[must_use]
+    pub fn skipped() -> Self {
+        CornerOutcome {
+            bin: YieldBin::Skipped,
+            values: None,
+            failure: None,
+            attempts: 0,
+            recovered_from: None,
+            robust_recovery: false,
+            outliers_rejected: 0,
+        }
+    }
+
+    /// Whether this outcome, as an adaptive probe, escalates its die to
+    /// the full corner plan. Anything short of a first-attempt analytic
+    /// pass with a negligible residual escalates: an out-of-window or
+    /// failed bin, a recorded failure, a retry, a robust recovery,
+    /// rejected outliers, or an RMS residual above
+    /// [`ADAPTIVE_RMS_RESIDUAL_V`].
+    #[must_use]
+    pub fn flags_escalation(&self) -> bool {
+        self.bin != YieldBin::Pass
+            || self.failure.is_some()
+            || self.attempts > 1
+            || self.recovered_from.is_some()
+            || self.robust_recovery
+            || self.outliers_rejected > 0
+            || self
+                .values
+                .is_none_or(|v| v.rms_residual_v > ADAPTIVE_RMS_RESIDUAL_V)
     }
 }
 
@@ -658,12 +713,22 @@ pub fn run_die_with(
 
     let mut corners = Vec::with_capacity(spec.corners.len());
     let mut exhausted = false;
+    let mut skip_rest = false;
     for k in 0..spec.corners.len() {
+        // Budget exhaustion outranks adaptive skipping: a die that blew
+        // its containment budget is quarantined, not quietly skipped.
         if exhausted {
             corners.push(CornerOutcome::quarantined(FailureKind::BudgetExhausted, 0));
             continue;
         }
+        if skip_rest {
+            corners.push(CornerOutcome::skipped());
+            continue;
+        }
         corners.push(run_corner(spec, &sample, site, k, setpoints, scratch));
+        if spec.adaptive && k == 0 {
+            skip_rest = !corners[0].flags_escalation();
+        }
         if budget.max_newton_iterations > 0 {
             let spent = scratch
                 .bench
@@ -767,7 +832,11 @@ impl BatchDieScratch {
 ///
 /// # Panics
 ///
-/// If `sites` exceeds the scratch's lane count.
+/// If `sites` exceeds the scratch's lane count, or if the spec enables
+/// adaptive corner scheduling — the lockstep driver iterates corners in
+/// the outer loop across all lanes, which cannot express a per-die skip
+/// decision taken after the probe corner; the worker pool forces the
+/// scalar path for adaptive specs.
 pub fn run_dies_batch(
     spec: &CampaignSpec,
     sites: &[DieSite],
@@ -780,6 +849,10 @@ pub fn run_dies_batch(
         n <= scratch.lanes.len(),
         "{n} sites for {} lanes",
         scratch.lanes.len()
+    );
+    assert!(
+        !spec.adaptive,
+        "adaptive corner scheduling requires the scalar die path"
     );
 
     // Per-lane sample stage, exactly as `run_die_with`.
@@ -1127,6 +1200,67 @@ mod tests {
         for (out, site) in batched.iter().zip(&sites) {
             let scalar = run_die(&spec, *site);
             assert_eq!(out.corners, scalar.corners, "die {}", site.index);
+        }
+    }
+
+    #[test]
+    fn adaptive_clean_die_skips_trailing_corners_and_keeps_probe_bits() {
+        let mut spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 77);
+        spec.adaptive = true;
+        let mut exhaustive = spec.clone();
+        exhaustive.adaptive = false;
+        for site in spec.wafer.sites() {
+            let a = run_die(&spec, site);
+            let e = run_die(&exhaustive, site);
+            assert!(
+                !a.corners[0].flags_escalation(),
+                "die {} not clean",
+                site.index
+            );
+            // Probe corner bit-identical to the exhaustive run's corner 0.
+            assert_eq!(a.corners[0], e.corners[0], "die {}", site.index);
+            for (k, c) in a.corners.iter().enumerate().skip(1) {
+                assert_eq!(c.bin, YieldBin::Skipped, "die {} corner {k}", site.index);
+                assert_eq!(c.values, None);
+                assert_eq!(c.failure, None);
+                assert_eq!(c.attempts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_flagged_die_escalates_to_the_full_plan() {
+        let mut spec = CampaignSpec::paper_default(WaferMap::full(2, 2), 77);
+        spec.faults = FaultSpec::heavy();
+        spec.adaptive = true;
+        let mut exhaustive = spec.clone();
+        exhaustive.adaptive = false;
+        let mut escalated = 0u32;
+        for site in spec.wafer.sites() {
+            let a = run_die(&spec, site);
+            let e = run_die(&exhaustive, site);
+            if a.corners[0].flags_escalation() {
+                escalated += 1;
+                // Escalated dies run everything: bit-identical to the
+                // exhaustive schedule, no Skipped bins anywhere.
+                assert_eq!(a.corners, e.corners, "die {}", site.index);
+                assert!(a.corners.iter().all(|c| c.bin != YieldBin::Skipped));
+            }
+        }
+        assert!(escalated > 0, "heavy faults flagged no probe corner");
+    }
+
+    #[test]
+    fn budget_exhaustion_outranks_adaptive_skipping() {
+        let mut spec = CampaignSpec::paper_default(WaferMap::full(1, 1), 77);
+        spec.adaptive = true;
+        let setpoints = spec.plan.setpoints();
+        let mut scratch = DieScratch::new();
+        scratch.budget.max_newton_iterations = 1; // exhausted after the probe
+        let out = run_die_with(&spec, spec.wafer.sites()[0], &setpoints, &mut scratch);
+        for c in &out.corners[1..] {
+            assert_eq!(c.failure, Some(FailureKind::BudgetExhausted));
+            assert_ne!(c.bin, YieldBin::Skipped);
         }
     }
 

@@ -71,6 +71,7 @@ pub mod die;
 mod error;
 pub mod json;
 pub mod metrics;
+pub mod partial;
 pub mod report;
 pub mod seeding;
 pub mod spec;

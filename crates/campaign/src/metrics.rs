@@ -24,7 +24,8 @@ pub const STAGE_MEASURE: usize = 1;
 /// Index of the thermometry + Meijer extraction stage.
 pub const STAGE_EXTRACT: usize = 2;
 
-const BUCKETS: usize = 64;
+/// Number of log₂ buckets in a [`LogHistogram`] (fixed by the u64 range).
+pub const BUCKETS: usize = 64;
 
 /// A lock-free log₂ histogram of nanosecond durations.
 ///
@@ -56,6 +57,31 @@ impl LogHistogram {
         let b = (64 - ns.saturating_sub(1).leading_zeros()) as usize;
         self.buckets[b.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Raw bucket counts and running total, for the shard partial codec.
+    #[must_use]
+    pub fn raw(&self) -> ([u64; BUCKETS], u64) {
+        (
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            self.total_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Adds raw bucket counts and a running total (a shard's serialized
+    /// histogram) into this one.
+    pub fn absorb_raw(&self, buckets: &[u64; BUCKETS], total_ns: u64) {
+        for (slot, &n) in self.buckets.iter().zip(buckets) {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+        self.total_ns.fetch_add(total_ns, Ordering::Relaxed);
+    }
+
+    /// Pairwise merge for shard fan-in: bucket-wise and total addition —
+    /// exactly associative and commutative (all integers).
+    pub fn merge(&self, other: &LogHistogram) {
+        let (buckets, total_ns) = other.raw();
+        self.absorb_raw(&buckets, total_ns);
     }
 
     /// Immutable snapshot of the bucket counts.
@@ -200,6 +226,65 @@ pub struct CampaignCounters {
 }
 
 impl CampaignCounters {
+    /// Canonical `(name, counter)` listing of every scalar counter, in a
+    /// fixed order shared by [`CampaignCounters::merge`] and the shard
+    /// partial-aggregate codec. Arrays and histograms are not listed —
+    /// they carry their own encodings.
+    #[must_use]
+    pub fn scalars(&self) -> [(&'static str, &AtomicU64); 25] {
+        [
+            ("started", &self.started),
+            ("completed", &self.completed),
+            ("failed", &self.failed),
+            ("solves", &self.solves),
+            ("newton_total", &self.newton_total),
+            ("selfheat_total", &self.selfheat_total),
+            ("warm_hits", &self.warm_hits),
+            ("warm_misses", &self.warm_misses),
+            ("device_evals", &self.device_evals),
+            ("device_reuses", &self.device_reuses),
+            ("bypass_hits", &self.bypass_hits),
+            ("restamp_incremental", &self.restamp_incremental),
+            ("restamp_full", &self.restamp_full),
+            ("corners_retried", &self.corners_retried),
+            ("corners_recovered", &self.corners_recovered),
+            ("robust_recoveries", &self.robust_recoveries),
+            ("corners_quarantined", &self.corners_quarantined),
+            ("die_panics", &self.die_panics),
+            ("budgets_exhausted", &self.budgets_exhausted),
+            ("checkpoint_write_errors", &self.checkpoint_write_errors),
+            (
+                "checkpoint_generation_fallbacks",
+                &self.checkpoint_generation_fallbacks,
+            ),
+            ("batched_solves", &self.batched_solves),
+            ("lane_retires", &self.lane_retires),
+            ("batch_refills", &self.batch_refills),
+            ("lockstep_rounds", &self.lockstep_rounds),
+        ]
+    }
+
+    /// Pairwise merge for shard fan-in: every scalar, by-kind array, lane
+    /// bucket and histogram of `other` is added into `self`. All integer
+    /// addition — exactly associative and commutative, so any fold order
+    /// yields the same counters.
+    pub fn merge(&self, other: &CampaignCounters) {
+        for ((_, a), (_, b)) in self.scalars().iter().zip(other.scalars().iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (a, b) in self.stages.iter().zip(&other.stages) {
+            a.merge(b);
+        }
+        self.newton_per_die.merge(&other.newton_per_die);
+        self.selfheat_per_die.merge(&other.selfheat_per_die);
+        for (a, b) in self.recovered_by_kind.iter().zip(&other.recovered_by_kind) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (a, b) in self.lanes_active.iter().zip(&other.lanes_active) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
     /// Folds one die's solver counters in (lock-free; any worker thread).
     pub fn record_die_solver(&self, stats: &SolveStats, selfheat_iterations: u64) {
         self.solves.fetch_add(stats.solves, Ordering::Relaxed);
@@ -637,6 +722,48 @@ mod tests {
         let s = h.snapshot("t");
         assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
         assert!(s.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let all = LogHistogram::default();
+        let a = LogHistogram::default();
+        let b = LogHistogram::default();
+        for i in 0..500u64 {
+            let ns = i * 37 + 1;
+            all.record_ns(ns);
+            if i % 2 == 0 { &a } else { &b }.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.raw(), all.raw());
+        assert_eq!(a.snapshot("t"), all.snapshot("t"));
+    }
+
+    #[test]
+    fn counters_merge_adds_every_scalar_and_histogram() {
+        let a = CampaignCounters::default();
+        let b = CampaignCounters::default();
+        for (i, (_, c)) in a.scalars().iter().enumerate() {
+            c.store(i as u64 + 1, Ordering::Relaxed);
+        }
+        for (i, (_, c)) in b.scalars().iter().enumerate() {
+            c.store(100 + i as u64, Ordering::Relaxed);
+        }
+        a.recovered_by_kind[2].store(5, Ordering::Relaxed);
+        b.recovered_by_kind[2].store(7, Ordering::Relaxed);
+        a.lanes_active[1].store(3, Ordering::Relaxed);
+        b.lanes_active[1].store(4, Ordering::Relaxed);
+        a.stages[STAGE_SAMPLE].record_ns(10);
+        b.stages[STAGE_SAMPLE].record_ns(1000);
+        a.merge(&b);
+        for (i, (_, c)) in a.scalars().iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), i as u64 + 1 + 100 + i as u64);
+        }
+        assert_eq!(a.recovered_by_kind[2].load(Ordering::Relaxed), 12);
+        assert_eq!(a.lanes_active[1].load(Ordering::Relaxed), 7);
+        let s = a.stages[STAGE_SAMPLE].snapshot("sample");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ns, 1010);
     }
 
     #[test]

@@ -79,8 +79,15 @@ fn welford_json(w: &Welford) -> String {
 }
 
 fn corner_json(run: &CampaignRun, idx: usize, c: &CornerAggregate) -> String {
+    // Frozen schema: the historical bins are emitted unconditionally so a
+    // non-adaptive run reproduces historical report bytes exactly; the
+    // `skipped` bin (adaptive scheduling) appears only when it counted
+    // something.
     let mut bins = String::new();
     for b in YieldBin::ALL {
+        if b.index() == YieldBin::Skipped.index() && c.bins[b.index()] == 0 {
+            continue;
+        }
         let _ = write!(bins, "\"{}\":{},", b.label(), c.bins[b.index()]);
     }
     format!(
@@ -175,18 +182,35 @@ pub fn aggregate_json(run: &CampaignRun) -> String {
 /// bias corner).
 #[must_use]
 pub fn aggregate_csv(run: &CampaignRun) -> String {
+    // Frozen schema: the trailing `skipped` column (adaptive scheduling)
+    // appears only when some corner actually skipped dies, so a
+    // non-adaptive run reproduces historical CSV bytes exactly.
+    let any_skipped = run
+        .aggregate
+        .corners
+        .iter()
+        .any(|c| c.bins[YieldBin::Skipped.index()] > 0);
     let mut out = String::from(
         "corner,ic_amps,extracted,\
          eg_mean_ev,eg_std_ev,eg_min_ev,eg_max_ev,\
          xti_mean,xti_std,xti_min,xti_max,\
          rms_residual_mean_v,t_cold_err_mean_k,t_hot_err_mean_k,\
          straight_slope_ev_per_xti,straight_intercept_ev,straight_r_squared,\
-         pass,eg_low,eg_high,xti_low,xti_high,solve_fail,yield_fraction\n",
+         pass,eg_low,eg_high,xti_low,xti_high,solve_fail,yield_fraction",
     );
+    if any_skipped {
+        out.push_str(",skipped");
+    }
+    out.push('\n');
     for (i, c) in run.aggregate.corners.iter().enumerate() {
+        let skipped_cell = if any_skipped {
+            format!(",{}", c.bins[YieldBin::Skipped.index()])
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}{skipped_cell}",
             c.name.replace(',', ";"),
             cell(run.spec.corners[i].ic.value()),
             c.eg_ev.count(),

@@ -254,6 +254,14 @@ pub struct CampaignSpec {
     /// zero-weights the corrupted readings. Ignored when `faults` is
     /// all-zero.
     pub robust: bool,
+    /// Adaptive corner scheduling: fit each die on the probe corner(s)
+    /// first and run the remaining corners only when the probe flags the
+    /// die (fit residual, retries, robust recovery, out-of-window bin or
+    /// quarantine). Skipped corners land in the `skipped` yield bin with
+    /// no values. **Changes the aggregate artifacts** (skipped corners
+    /// contribute no statistics), so — unlike the pure speed knobs — it
+    /// IS part of the wire spec and the fingerprint when enabled.
+    pub adaptive: bool,
 }
 
 impl CampaignSpec {
@@ -280,6 +288,7 @@ impl CampaignSpec {
             faults: FaultSpec::none(),
             retry_budget: 3,
             robust: true,
+            adaptive: false,
         }
     }
 

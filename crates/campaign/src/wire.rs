@@ -60,7 +60,7 @@ pub fn spec_to_json(spec: &CampaignSpec) -> String {
             "\"faults\":{{\"noise_probability\":{fnp},\"noise_sigma_volts\":{fns},",
             "\"stuck_probability\":{fsp},\"drop_probability\":{fdp},",
             "\"drift_sigma_volts\":{fds},\"nan_probability\":{fnn}}},",
-            "\"retry_budget\":{retries},\"robust\":{robust}}}"
+            "\"retry_budget\":{retries},\"robust\":{robust}{adaptive}}}"
         ),
         schema = SPEC_SCHEMA,
         rows = spec.wafer.rows(),
@@ -98,6 +98,14 @@ pub fn spec_to_json(spec: &CampaignSpec) -> String {
         fnn = num(f.nan_probability),
         retries = spec.retry_budget,
         robust = spec.robust,
+        // Emitted only when enabled so pre-adaptive specs keep their
+        // historical canonical bytes — and therefore their fingerprints,
+        // which bind existing checkpoints.
+        adaptive = if spec.adaptive {
+            ",\"adaptive\":true"
+        } else {
+            ""
+        },
     )
 }
 
@@ -250,6 +258,8 @@ pub fn spec_from_value(v: &Json) -> Result<CampaignSpec, CampaignError> {
         faults,
         retry_budget,
         robust: want_bool(v, "robust")?,
+        // Absent on pre-adaptive documents: default off.
+        adaptive: v.get("adaptive").and_then(Json::as_bool).unwrap_or(false),
     };
     spec.validate()?;
     Ok(spec)
@@ -307,6 +317,24 @@ mod tests {
         let mut c = exotic_spec();
         c.seed ^= 1;
         assert_ne!(spec_fingerprint(&a), spec_fingerprint(&c));
+    }
+
+    #[test]
+    fn adaptive_round_trips_and_leaves_legacy_bytes_untouched() {
+        let base = CampaignSpec::paper_default(WaferMap::full(3, 3), 11);
+        let text = spec_to_json(&base);
+        // Non-adaptive specs must not mention the field at all — their
+        // canonical bytes (and fingerprints) predate it.
+        assert!(!text.contains("adaptive"));
+        // A document without the field decodes as non-adaptive.
+        assert!(!spec_from_json(&text).unwrap().adaptive);
+
+        let mut s = base.clone();
+        s.adaptive = true;
+        let text = spec_to_json(&s);
+        assert!(text.contains("\"adaptive\":true"));
+        assert_eq!(spec_from_json(&text).unwrap(), s);
+        assert_ne!(spec_fingerprint(&s), spec_fingerprint(&base));
     }
 
     #[test]

@@ -301,16 +301,18 @@ where
     let contained = !budget.is_unlimited() || chaos_plan.is_some();
     // Lanes per die group. Batching needs warm seeds and a frozen sparse
     // plan to carry a lane, so a spec disabling either falls back to the
-    // scalar per-die path. Groups never straddle a claim chunk, so the
-    // grouping — and therefore every accepted bit — is identical at any
-    // thread count.
+    // scalar per-die path — as does adaptive corner scheduling, whose
+    // per-die skip decision the corner-outer lockstep driver cannot
+    // express. Groups never straddle a claim chunk, so the grouping —
+    // and therefore every accepted bit — is identical at any thread
+    // count.
     let batch_lanes = {
         let requested = if options.batch == 0 {
             AUTO_BATCH
         } else {
             options.batch
         };
-        if spec.warm_start && spec.sparse && !contained {
+        if spec.warm_start && spec.sparse && !contained && !spec.adaptive {
             requested.min(CHUNK).min(MAX_LANES)
         } else {
             1
@@ -672,6 +674,84 @@ mod tests {
             ..StreamOptions::default()
         };
         assert!(run_campaign_streaming(&s, 1, &options, |_, _| ControlFlow::Continue(())).is_err());
+    }
+
+    #[test]
+    fn start_die_boundary_matrix_resumes_and_terminates_cleanly() {
+        // 20 dies probes every boundary class: 0 (fresh), claim-chunk
+        // multiples (CHUNK = 8), the service's default slice cadence
+        // (16), the last die, one-past-the-end (a valid empty resume),
+        // and beyond (invalid).
+        let mut s = CampaignSpec::paper_default(WaferMap::full(4, 5), 23);
+        s.corners.truncate(1);
+        let len = s.wafer.die_count();
+        assert_eq!(len, 20);
+        let whole = run_campaign(&s, 2).unwrap();
+
+        for start in [0usize, 8, 16, len - 1, len] {
+            // Build the exact prefix aggregate for dies 0..start.
+            let prefix = if start == 0 {
+                None
+            } else {
+                Some(
+                    run_campaign_streaming(&s, 1, &StreamOptions::default(), |die, _| {
+                        if die.index + 1 == start {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    })
+                    .unwrap()
+                    .aggregate,
+                )
+            };
+            let mut seen = Vec::new();
+            let resumed = run_campaign_streaming(
+                &s,
+                2,
+                &StreamOptions {
+                    start_die: start,
+                    resume: prefix,
+                    ..StreamOptions::default()
+                },
+                |die, _| {
+                    seen.push(die.index);
+                    ControlFlow::Continue(())
+                },
+            )
+            .unwrap();
+            assert_eq!(seen, (start..len).collect::<Vec<_>>(), "start={start}");
+            assert_eq!(resumed.aggregate, whole.aggregate, "start={start}");
+        }
+
+        // start == die count is an *empty* resume, not an error: the
+        // aggregate must come back untouched with no dies folded.
+        let full = run_campaign(&s, 1).unwrap();
+        let empty = run_campaign_streaming(
+            &s,
+            2,
+            &StreamOptions {
+                start_die: len,
+                resume: Some(full.aggregate.clone()),
+                ..StreamOptions::default()
+            },
+            |_, _| panic!("no die may fold on an empty resume"),
+        )
+        .unwrap();
+        assert_eq!(empty.aggregate, full.aggregate);
+        assert_eq!(empty.metrics.dies_started, 0);
+
+        // One past that is a cursor from some other wafer: typed error.
+        let err = run_campaign_streaming(
+            &s,
+            1,
+            &StreamOptions {
+                start_die: len + 1,
+                ..StreamOptions::default()
+            },
+            |_, _| ControlFlow::Continue(()),
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -46,9 +46,11 @@ fn fault_injected_artifacts_are_identical_at_1_2_and_8_threads() {
 
 #[test]
 fn zero_fault_spec_reproduces_golden_aggregate_bytes() {
-    // Fixtures were written by the pre-robustness engine (and verified
-    // byte-identical against it): the fault-injection layer must be a
-    // strict no-op when every knob is zero.
+    // Fixtures were written by the pre-robustness engine and regenerated
+    // once when aggregation moved to exact superaccumulators (every
+    // serialized statistic is now the correctly-rounded value, a ≤1-ulp
+    // shift from the old streaming fold): the fault-injection layer must
+    // be a strict no-op when every knob is zero.
     let spec = CampaignSpec::paper_default(WaferMap::circular(4), 7);
     assert!(
         spec.faults.is_none(),

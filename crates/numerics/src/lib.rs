@@ -36,6 +36,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod error;
+pub mod exact;
 pub mod interp;
 pub mod lm;
 pub mod lsq;

@@ -15,6 +15,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("shard-worker") {
+        // Hidden worker half of `campaign --shards`: the supervisor
+        // re-invokes this executable, speaks line JSON over stdio.
+        return ExitCode::from(icvbe_serve::shard::shard_worker_main());
+    }
     if args.first().map(String::as_str) == Some("campaign") {
         return match icvbe_repro::campaign_cli::run_cli_status(&args[1..]) {
             Ok((text, code)) => {

@@ -5,7 +5,7 @@
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
 //!                [--no-bypass] [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
 //!                [--batch N] [--chaos SPEC] [--chaos-seed S] [--die-iter-budget N]
-//!                [--die-wall-ms MS]
+//!                [--die-wall-ms MS] [--shards N] [--adaptive | --exhaustive]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -67,6 +67,7 @@ use icvbe_campaign::taxonomy::FailureKind;
 use icvbe_campaign::{run_campaign_with, CampaignRun, CampaignSpec, RunOptions};
 use icvbe_instrument::chaos::ChaosSpec;
 use icvbe_instrument::faults::FaultSpec;
+use icvbe_serve::shard::{run_sharded, ShardOptions};
 
 /// Parsed `repro campaign` arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,6 +110,16 @@ pub struct CampaignCliArgs {
     /// Per-die wall-clock budget in ms (`--die-wall-ms`, 0 = off;
     /// nondeterministic escape hatch).
     pub die_wall_ms: u64,
+    /// Worker-process count for sharded execution (`--shards`, 0 = run
+    /// in-process). Artifacts are byte-identical at any shard count.
+    pub shards: usize,
+    /// Adaptive corner scheduling (`--adaptive`): probe each die on its
+    /// first corner, escalate to the full plan only when the probe is
+    /// suspicious. Changes the aggregate artifacts (skipped corners).
+    pub adaptive: bool,
+    /// Explicit exhaustive ablation (`--exhaustive`, the default
+    /// behaviour); conflicts with `--adaptive`.
+    pub exhaustive: bool,
 }
 
 impl Default for CampaignCliArgs {
@@ -130,6 +141,9 @@ impl Default for CampaignCliArgs {
             chaos_seed: 0,
             die_iter_budget: 0,
             die_wall_ms: 0,
+            shards: 0,
+            adaptive: false,
+            exhaustive: false,
         }
     }
 }
@@ -240,6 +254,19 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                     .parse()
                     .map_err(|_| format!("bad --die-wall-ms value {v:?}"))?;
             }
+            "--shards" => {
+                let v = value("--shards", it.next())?;
+                out.shards = v.parse().map_err(|_| format!("bad --shards value {v:?}"))?;
+                if out.shards == 0 {
+                    return Err("--shards must be positive".to_string());
+                }
+            }
+            "--adaptive" => {
+                out.adaptive = true;
+            }
+            "--exhaustive" => {
+                out.exhaustive = true;
+            }
             "--trace" => {
                 out.trace = true;
             }
@@ -257,9 +284,24 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                      (usage: campaign [--dies N | --diameter D] [--threads N] [--seed S] \
                      [--out DIR] [--cold] [--no-bypass] [--faults SPEC] [--retries N] \
                      [--no-robust] [--trace[=DIR]] [--batch N] [--chaos SPEC] \
-                     [--chaos-seed S] [--die-iter-budget N] [--die-wall-ms MS])"
+                     [--chaos-seed S] [--die-iter-budget N] [--die-wall-ms MS] \
+                     [--shards N] [--adaptive | --exhaustive])"
                 ));
             }
+        }
+    }
+    if out.adaptive && out.exhaustive {
+        return Err("--adaptive and --exhaustive are mutually exclusive".to_string());
+    }
+    if out.shards > 0 {
+        // Traces live in worker processes (unmergeable wall clocks) and
+        // chaos acts on in-process state — both are typed conflicts, not
+        // silently dropped flags.
+        if out.trace {
+            return Err("--shards cannot be combined with --trace".to_string());
+        }
+        if !out.chaos.is_none() {
+            return Err("--shards cannot be combined with --chaos".to_string());
         }
     }
     Ok(out)
@@ -448,7 +490,8 @@ pub fn help() -> String {
     "repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR]\n\
      \x20              [--cold] [--no-bypass] [--faults SPEC] [--retries N] [--no-robust]\n\
      \x20              [--trace[=DIR]] [--batch N] [--chaos SPEC] [--chaos-seed S]\n\
-     \x20              [--die-iter-budget N] [--die-wall-ms MS]\n\
+     \x20              [--die-iter-budget N] [--die-wall-ms MS] [--shards N]\n\
+     \x20              [--adaptive | --exhaustive]\n\
      \n\
      Runs a wafer-scale IC(VBE) extraction campaign and prints a summary;\n\
      --out writes the JSON/CSV report artifacts (bit-identical at any\n\
@@ -463,6 +506,15 @@ pub fn help() -> String {
      retires a runaway die's remaining corners as budget_exhausted after N\n\
      Newton iterations (deterministic); --die-wall-ms is the wall-clock\n\
      escape hatch (nondeterministic by nature).\n\
+     \n\
+     --shards N runs the wafer across N worker processes, each folding a\n\
+     contiguous die-range slice; the supervisor merges the partial\n\
+     aggregates deterministically, so the report artifacts are\n\
+     byte-identical at any shard count (incompatible with --trace and\n\
+     --chaos). --adaptive probes each die on its first corner and runs\n\
+     the remaining corners only when the probe looks suspicious; clean\n\
+     dies report those corners as skipped. --exhaustive is the explicit\n\
+     full-plan ablation (the default).\n\
      \n\
      Exit codes:\n\
      \x20 0  campaign ran and at least one corner measurement passed the spec window\n\
@@ -492,20 +544,33 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
     spec.bypass = cli.bypass;
     spec.faults = cli.faults;
     spec.robust = cli.robust;
+    spec.adaptive = cli.adaptive;
     if let Some(budget) = cli.retries {
         spec.retry_budget = budget;
     }
-    let options = RunOptions {
-        trace: cli.trace,
-        batch: cli.batch,
-        chaos: cli.chaos,
-        chaos_seed: cli.chaos_seed,
-        budget: DieBudget {
-            max_newton_iterations: cli.die_iter_budget,
-            max_wall_ms: cli.die_wall_ms,
-        },
+    let budget = DieBudget {
+        max_newton_iterations: cli.die_iter_budget,
+        max_wall_ms: cli.die_wall_ms,
     };
-    let run = run_campaign_with(&spec, cli.threads, &options).map_err(|e| e.to_string())?;
+    let run = if cli.shards > 0 {
+        let opts = ShardOptions {
+            shards: cli.shards,
+            threads: cli.threads,
+            batch: cli.batch,
+            budget,
+            worker_exe: None,
+        };
+        run_sharded(&spec, &opts).map_err(|e| e.to_string())?
+    } else {
+        let options = RunOptions {
+            trace: cli.trace,
+            batch: cli.batch,
+            chaos: cli.chaos,
+            chaos_seed: cli.chaos_seed,
+            budget,
+        };
+        run_campaign_with(&spec, cli.threads, &options).map_err(|e| e.to_string())?
+    };
     let mut text = render(&run);
     if let Some(dir) = &cli.out {
         let paths = write_reports(dir, &run).map_err(|e| format!("writing reports: {e}"))?;
@@ -716,6 +781,24 @@ mod tests {
 
         let plain = run_cli(&sv(&["--diameter", "3", "--threads", "2", "--seed", "11"])).unwrap();
         assert!(!plain.contains("slowest dies:"), "summary:\n{plain}");
+    }
+
+    #[test]
+    fn parses_shard_and_adaptive_flags() {
+        let a = parse_args(&sv(&["--shards", "4", "--adaptive"])).unwrap();
+        assert_eq!(a.shards, 4);
+        assert!(a.adaptive);
+        let off = parse_args(&sv(&[])).unwrap();
+        assert_eq!(off.shards, 0, "sharding must be off by default");
+        assert!(!off.adaptive, "adaptive must be off by default");
+        assert!(parse_args(&sv(&["--shards", "0"])).is_err());
+        assert!(parse_args(&sv(&["--shards", "lots"])).is_err());
+        assert!(parse_args(&sv(&["--adaptive", "--exhaustive"])).is_err());
+        // Typed conflicts, not silently dropped flags.
+        assert!(parse_args(&sv(&["--shards", "2", "--trace"])).is_err());
+        assert!(parse_args(&sv(&["--shards", "2", "--chaos", "die_panic=0.5"])).is_err());
+        // --exhaustive alone is the explicit default, always valid.
+        assert!(parse_args(&sv(&["--exhaustive"])).is_ok());
     }
 
     #[test]

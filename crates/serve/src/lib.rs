@@ -19,6 +19,11 @@
 //!   loop, no dependencies beyond `std`).
 //! - [`client`]: a blocking client used by `repro submit` / `repro watch`
 //!   and the end-to-end tests.
+//! - [`shard`]: multi-process campaign execution — a supervisor spawns N
+//!   worker processes, each running a contiguous die-range slice, and
+//!   folds their serialized partial aggregates through a deterministic
+//!   left-to-right merge that reproduces the single-process report bytes
+//!   at any shard count.
 //!
 //! # Determinism contract
 //!
@@ -58,6 +63,7 @@ pub mod client;
 pub mod daemon;
 pub mod protocol;
 pub mod service;
+pub mod shard;
 
 pub use client::{Client, ClientError, JobEvent};
 pub use daemon::Daemon;

@@ -80,7 +80,10 @@ pub struct ServiceConfig {
     /// Directory for per-job checkpoint files; `None` disables
     /// checkpointing entirely.
     pub checkpoint_dir: Option<PathBuf>,
-    /// The `retry_after_ms` hint carried by `queue_full` rejections.
+    /// The **base** `retry_after_ms` hint carried by `queue_full`
+    /// rejections; the emitted hint is this scaled by `1 +` the number
+    /// of admitted-but-not-yet-dispatched jobs at rejection time, so
+    /// callers back off longer the deeper the waiting backlog is.
     pub retry_after_ms: u64,
     /// Start with the scheduler paused (jobs queue but never run) — used
     /// by tests to fill the queue deterministically.
@@ -231,7 +234,8 @@ pub struct ServiceStats {
 pub enum SubmitError {
     /// The live-job queue is at capacity; retry after the hinted delay.
     QueueFull {
-        /// Backpressure hint for the client.
+        /// Backpressure hint for the client: the configured base hint
+        /// scaled by the waiting backlog depth at rejection.
         retry_after_ms: u64,
     },
 }
@@ -884,9 +888,21 @@ impl Service {
         let mut state = lock(&inner.state);
         let queued = state.jobs.values().filter(|j| j.state.live()).count();
         if queued >= inner.config.queue_capacity {
+            // Back-off hint proportional to the backlog the caller is
+            // actually behind: jobs admitted but not yet dispatched. A
+            // constant hint herds every rejected client back at the same
+            // instant regardless of how deep the queue is.
+            let waiting = state
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Queued)
+                .count();
             inner.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
-                retry_after_ms: inner.config.retry_after_ms,
+                retry_after_ms: inner
+                    .config
+                    .retry_after_ms
+                    .saturating_mul(1 + waiting as u64),
             });
         }
         if !state.tenants.iter().any(|t| t == tenant) {
@@ -1207,11 +1223,37 @@ mod tests {
         .unwrap();
         assert!(service.submit("a", "1", tiny_spec(1)).is_ok());
         assert!(service.submit("a", "2", tiny_spec(2)).is_ok());
+        // Paused daemon: both live jobs are still waiting (never
+        // dispatched), so the hint is base × (1 + 2 waiting) = 750 —
+        // deterministically, since nothing can start running.
         match service.submit("a", "3", tiny_spec(3)) {
-            Err(SubmitError::QueueFull { retry_after_ms }) => assert_eq!(retry_after_ms, 250),
+            Err(SubmitError::QueueFull { retry_after_ms }) => assert_eq!(retry_after_ms, 750),
             other => panic!("expected queue_full, got {other:?}"),
         }
         assert_eq!(service.stats().rejected, 1);
+    }
+
+    #[test]
+    fn queue_full_hint_scales_with_backlog_depth() {
+        // The hint must reflect load, not a constant: a deeper waiting
+        // backlog yields a proportionally longer back-off.
+        for (capacity, expect) in [(1usize, 500u64), (3, 1000), (5, 1500)] {
+            let service = Service::start(ServiceConfig {
+                queue_capacity: capacity,
+                paused: true,
+                ..ServiceConfig::default()
+            })
+            .unwrap();
+            for i in 0..capacity {
+                assert!(service.submit("t", "fill", tiny_spec(i as u64)).is_ok());
+            }
+            match service.submit("t", "overflow", tiny_spec(99)) {
+                Err(SubmitError::QueueFull { retry_after_ms }) => {
+                    assert_eq!(retry_after_ms, expect, "capacity {capacity}");
+                }
+                other => panic!("expected queue_full, got {other:?}"),
+            }
+        }
     }
 
     #[test]

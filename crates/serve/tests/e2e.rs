@@ -200,10 +200,12 @@ fn over_full_queue_rejects_with_deterministic_backpressure() {
             ..
         }) => {
             assert_eq!(kind, "queue_full");
+            // Base 250 ms × (1 + 1 waiting job): the paused daemon holds
+            // the one admitted job in the waiting state deterministically.
             assert_eq!(
                 retry_after_ms,
-                Some(250),
-                "backpressure hint must ride along"
+                Some(500),
+                "backpressure hint must ride along, scaled by backlog"
             );
         }
         other => panic!("expected queue_full, got {other:?}"),

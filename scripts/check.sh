@@ -230,4 +230,42 @@ done
 kill "$serve4_pid" 2>/dev/null || true
 wait "$serve4_pid" 2>/dev/null || true
 
+echo "==> shard smoke: multi-process campaign is byte-identical; killed worker is typed"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --shards 1 --out "$smoke_dir/shard1" > /dev/null
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --shards 4 --out "$smoke_dir/shard4" > /dev/null
+for f in $frozen; do
+  cmp "$smoke_dir/bypass_on/$f" "$smoke_dir/shard1/$f" || \
+    { echo "FAIL: $f differs between in-process and 1-shard run"; exit 1; }
+  cmp "$smoke_dir/shard1/$f" "$smoke_dir/shard4/$f" || \
+    { echo "FAIL: $f differs between 1-shard and 4-shard run"; exit 1; }
+done
+# A worker killed mid-slice must surface as the supervisor's typed error,
+# not a hang, a partial artifact, or a silent success.
+if ICVBE_SHARD_FAIL=2 ./target/release/repro campaign --diameter 5 --seed 13 \
+  --threads 2 --shards 4 --out "$smoke_dir/shard_killed" \
+  > /dev/null 2>"$smoke_dir/shard_killed.err"; then
+  echo "FAIL: supervisor succeeded despite a killed shard worker"; exit 1
+fi
+grep -q 'shard worker 2 exited with code 3' "$smoke_dir/shard_killed.err" || \
+  { echo "FAIL: killed worker did not surface the typed supervisor error"; exit 1; }
+[ ! -e "$smoke_dir/shard_killed/campaign_aggregate.json" ] || \
+  { echo "FAIL: failed sharded run still wrote artifacts"; exit 1; }
+
+echo "==> adaptive smoke: probe corner bits match exhaustive, trailing corners skipped"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --adaptive --out "$smoke_dir/adaptive" > /dev/null
+# bypass_on is the same spec run exhaustively; its first CSV data row is the
+# probe corner. Adaptive appends a `skipped` column, so compare the shared
+# prefix of the probe row and demand full skips on the trailing corners.
+probe_ex="$(sed -n 2p "$smoke_dir/bypass_on/campaign_aggregate.csv")"
+probe_ad="$(sed -n 2p "$smoke_dir/adaptive/campaign_aggregate.csv")"
+case "$probe_ad" in
+  "$probe_ex"*) : ;;
+  *) echo "FAIL: adaptive probe corner drifted from the exhaustive bits"; exit 1 ;;
+esac
+grep -q '"skipped":[1-9]' "$smoke_dir/adaptive/campaign_aggregate.json" || \
+  { echo "FAIL: adaptive run on a clean wafer skipped nothing"; exit 1; }
+
 echo "OK: all checks passed"
