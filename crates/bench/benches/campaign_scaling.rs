@@ -1,7 +1,8 @@
 //! Campaign worker-pool scaling: identical wafer, 1 thread vs N threads,
 //! plus the solver ablations — warm vs cold starts, device bypass on vs
 //! off, frozen sparse plan vs dense LU fallback, lockstep batching vs
-//! the scalar per-die path (`--batch 1`).
+//! the scalar per-die path (`--batch 1`), and the in-tree `vexp` exp
+//! kernel vs libm's `f64::exp` (`libm-exp`).
 //!
 //! The aggregate is asserted bit-identical across thread counts *and*
 //! across every ablation before timing anything, so the speedup measured
@@ -142,6 +143,28 @@ fn run_guards() {
         one.aggregate, unbatched.aggregate,
         "aggregate must be batching invariant"
     );
+    // The libm-exp ablation swaps the exp kernel, so its accepted bits
+    // legitimately differ from the vexp default — but it must still be
+    // thread-count *and* batching invariant within itself, and flipping
+    // the backend off again must restore the vexp bits exactly.
+    icvbe_numerics::vexp::set_libm_backend(true);
+    let libm_one = run_campaign(&spec, 1).expect("libm 1-thread run");
+    let libm_par = run_campaign(&spec, 8).expect("libm 8-thread run");
+    let libm_unbatched = run_unbatched(&spec, 8);
+    icvbe_numerics::vexp::set_libm_backend(false);
+    assert_eq!(
+        libm_one.aggregate, libm_par.aggregate,
+        "libm-exp ablation must stay thread-count invariant"
+    );
+    assert_eq!(
+        libm_one.aggregate, libm_unbatched.aggregate,
+        "libm-exp ablation must stay batching invariant"
+    );
+    let restored = run_campaign(&spec, 1).expect("post-ablation run");
+    assert_eq!(
+        one.aggregate, restored.aggregate,
+        "switching the exp backend back must restore the vexp bits"
+    );
     // Adaptive skips trailing corners, so the full aggregates differ by
     // design — but the probe corner it *does* run must be bit-identical
     // to the exhaustive plan, and on this clean wafer it must do
@@ -208,26 +231,29 @@ fn bench_campaign_throughput(c: &mut Criterion) {
 
     let mut rows = Vec::new();
     let modes = [
-        ("warm", &warm, 0usize),
-        ("no-batch", &warm, 1),
-        ("no-bypass", &no_bypass, 0),
-        ("dense", &dense, 0),
-        ("cold", &cold, 0),
-        ("adaptive", &adaptive, 0),
+        ("warm", &warm, 0usize, false),
+        ("no-batch", &warm, 1, false),
+        ("libm-exp", &warm, 0, true),
+        ("no-bypass", &no_bypass, 0, false),
+        ("dense", &dense, 0, false),
+        ("cold", &cold, 0, false),
+        ("adaptive", &adaptive, 0, false),
     ];
     let mut solves_by_mode: Vec<(&str, u64)> = Vec::new();
-    for (mode, spec, batch) in modes {
+    for (mode, spec, batch, libm) in modes {
+        icvbe_numerics::vexp::set_libm_backend(libm);
         for threads in [1usize, 8] {
             let (median_ms, run) = measure(spec, threads, batch, reps);
             let dies_per_second = dies as f64 / (median_ms / 1e3);
             println!(
                 "campaign_throughput/{mode}/threads/{threads:<2} median {median_ms:7.2} ms -> \
                  {dies_per_second:7.1} dies/s ({dies} dies, {} solves, {} Newton iters, \
-                 {} bypasses, {} evals, {:.1} lanes/round)",
+                 {} bypasses, {} evals, {:.0}% lane-kernel, {:.1} lanes/round)",
                 run.metrics.solver.solves,
                 run.metrics.solver.newton_iterations,
                 run.metrics.solver.bypass_hits,
                 run.metrics.solver.device_evals,
+                run.metrics.solver.lane_eval_share() * 100.0,
                 run.metrics.batching.mean_lanes_active(),
             );
             rows.push(Throughput {
@@ -241,6 +267,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             }
         }
     }
+    icvbe_numerics::vexp::set_libm_backend(false);
 
     let solves = |mode: &str| {
         solves_by_mode

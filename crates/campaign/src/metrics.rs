@@ -176,6 +176,9 @@ pub struct CampaignCounters {
     pub warm_misses: AtomicU64,
     /// Full nonlinear device evaluations performed.
     pub device_evals: AtomicU64,
+    /// The subset of `device_evals` computed by the lane-array device
+    /// kernel of the batched driver (the vexp lane path).
+    pub lane_evals: AtomicU64,
     /// Device evaluations skipped by an exact-bit cache hit.
     pub device_reuses: AtomicU64,
     /// Device evaluations skipped by the tolerance bypass.
@@ -231,7 +234,7 @@ impl CampaignCounters {
     /// partial-aggregate codec. Arrays and histograms are not listed —
     /// they carry their own encodings.
     #[must_use]
-    pub fn scalars(&self) -> [(&'static str, &AtomicU64); 25] {
+    pub fn scalars(&self) -> [(&'static str, &AtomicU64); 26] {
         [
             ("started", &self.started),
             ("completed", &self.completed),
@@ -242,6 +245,7 @@ impl CampaignCounters {
             ("warm_hits", &self.warm_hits),
             ("warm_misses", &self.warm_misses),
             ("device_evals", &self.device_evals),
+            ("lane_evals", &self.lane_evals),
             ("device_reuses", &self.device_reuses),
             ("bypass_hits", &self.bypass_hits),
             ("restamp_incremental", &self.restamp_incremental),
@@ -298,6 +302,8 @@ impl CampaignCounters {
             .fetch_add(stats.cold_starts, Ordering::Relaxed);
         self.device_evals
             .fetch_add(stats.device_evals, Ordering::Relaxed);
+        self.lane_evals
+            .fetch_add(stats.lane_evals, Ordering::Relaxed);
         self.device_reuses
             .fetch_add(stats.device_reuses, Ordering::Relaxed);
         self.bypass_hits
@@ -399,6 +405,10 @@ pub struct SolverMetrics {
     pub warm_start_misses: u64,
     /// Full nonlinear device evaluations performed.
     pub device_evals: u64,
+    /// The subset of [`SolverMetrics::device_evals`] computed by the
+    /// lane-array device kernel (`device_evals - lane_evals` ran through
+    /// the scalar in-stamp path).
+    pub lane_evals: u64,
     /// Device evaluations skipped by an exact-bit cache hit.
     pub device_reuses: u64,
     /// Device evaluations skipped by the tolerance bypass.
@@ -444,6 +454,18 @@ impl SolverMetrics {
             0.0
         } else {
             (self.device_reuses + self.bypass_hits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of the device evaluations actually performed that came
+    /// from the lane-array kernel rather than the scalar in-stamp path
+    /// (0 when none ran).
+    #[must_use]
+    pub fn lane_eval_share(&self) -> f64 {
+        if self.device_evals == 0 {
+            0.0
+        } else {
+            self.lane_evals as f64 / self.device_evals as f64
         }
     }
 
@@ -563,6 +585,7 @@ impl CampaignCounters {
                     warm_start_hits: self.warm_hits.load(Ordering::Relaxed),
                     warm_start_misses: self.warm_misses.load(Ordering::Relaxed),
                     device_evals: self.device_evals.load(Ordering::Relaxed),
+                    lane_evals: self.lane_evals.load(Ordering::Relaxed),
                     device_reuses: self.device_reuses.load(Ordering::Relaxed),
                     bypass_hits: self.bypass_hits.load(Ordering::Relaxed),
                     restamp_incremental: self.restamp_incremental.load(Ordering::Relaxed),

@@ -391,6 +391,7 @@ pub fn metrics_json(run: &CampaignRun) -> String {
              \"newton_per_solve\":{npsolve},\"selfheat_iterations\":{selfheat},\
              \"warm_start_hits\":{hits},\"warm_start_misses\":{misses},\
              \"warm_hit_rate\":{hitrate},\"device_evals\":{devevals},\
+             \"lane_evals\":{laneevals},\"lane_eval_share\":{laneshare},\
              \"device_reuses\":{devreuses},\"bypass_hits\":{byphits},\
              \"bypass_hit_rate\":{byprate},\
              \"restamp_incremental\":{rsincr},\"restamp_full\":{rsfull},\
@@ -426,6 +427,8 @@ pub fn metrics_json(run: &CampaignRun) -> String {
         misses = m.solver.warm_start_misses,
         hitrate = num(m.solver.warm_hit_rate()),
         devevals = m.solver.device_evals,
+        laneevals = m.solver.lane_evals,
+        laneshare = num(m.solver.lane_eval_share()),
         devreuses = m.solver.device_reuses,
         byphits = m.solver.bypass_hits,
         byprate = num(m.solver.bypass_hit_rate()),

@@ -41,13 +41,17 @@ use crate::taxonomy::FailureKind;
 use crate::CampaignError;
 
 /// Dies claimed per cursor bump. Small enough to balance a straggling
-/// thread, large enough that the atomic is off the hot path.
-const CHUNK: usize = 8;
+/// thread, large enough that the atomic is off the hot path — and wide
+/// enough that an auto-selected die group fills every lane the batched
+/// solver offers ([`icvbe_spice::batch::MAX_LANES`]).
+const CHUNK: usize = 16;
 
 /// Lanes per die group when `batch = 0` asks for auto selection. A full
 /// claim chunk: every group is claim-aligned, so grouping is identical at
-/// any thread count.
-const AUTO_BATCH: usize = 8;
+/// any thread count. Wider groups amortize the lockstep round overhead
+/// (masked factor, lane scatter, prewarm bookkeeping) over more dies per
+/// round, and the lane-array exponential kernel fills wider SIMD vectors.
+const AUTO_BATCH: usize = 16;
 
 /// A finished campaign: the deterministic aggregate plus the run's
 /// (non-deterministic) observability snapshot.

@@ -48,7 +48,7 @@ pub fn ni_squared(eg_model: &dyn EgModel, temperature: Kelvin) -> f64 {
     let eg_t = eg_model.eg(temperature).value();
     let eg_t0 = eg_model.eg(Kelvin::new(t0)).value();
     let exponent = -Q_OVER_BOLTZMANN * (eg_t / t - eg_t0 / t0);
-    NI_300K_CM3 * NI_300K_CM3 * (t / t0).powi(3) * exponent.exp()
+    NI_300K_CM3 * NI_300K_CM3 * (t / t0).powi(3) * icvbe_numerics::vexp::vexp(exponent)
 }
 
 /// Effective (doping-enhanced) intrinsic concentration squared, per eq. 3:
@@ -63,7 +63,7 @@ pub fn nie_squared(
     if t <= 0.0 {
         return 0.0;
     }
-    let boost = (Q_OVER_BOLTZMANN * narrowing.delta_eg().value() / t).exp();
+    let boost = icvbe_numerics::vexp::vexp(Q_OVER_BOLTZMANN * narrowing.delta_eg().value() / t);
     ni_squared(eg_model, temperature) * boost
 }
 
@@ -104,7 +104,7 @@ pub fn nie_squared_ratio_eq10(
     let arrhenius = -Q_OVER_BOLTZMANN * eg_eff.value() * (1.0 / t - 1.0 / t0);
     // The a*T linear term of eq. 9 contributes exp(-a/k) to both T and T0
     // and cancels in the ratio; only EG(0), b and the T^3 term survive.
-    (t / t0).powf(exponent_power) * arrhenius.exp()
+    (t / t0).powf(exponent_power) * icvbe_numerics::vexp::vexp(arrhenius)
 }
 
 #[cfg(test)]

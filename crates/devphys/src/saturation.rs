@@ -72,7 +72,12 @@ impl SpiceIsLaw {
         let t = temperature.value();
         let t0 = self.t_ref.value();
         let ratio = (t / t0).powf(self.xti);
-        let arrhenius = (Q_OVER_BOLTZMANN * self.eg.value() * (1.0 / t0 - 1.0 / t)).exp();
+        // vexp, not libm exp: this feeds the per-temperature model cards
+        // of the solver hot path (every self-heating update re-evaluates
+        // it), and the deterministic kernel keeps the bits identical on
+        // the scalar and lane-batched paths on every host.
+        let arrhenius =
+            icvbe_numerics::vexp::vexp(Q_OVER_BOLTZMANN * self.eg.value() * (1.0 / t0 - 1.0 / t));
         Ampere::new(self.is_ref.value() * ratio * arrhenius)
     }
 

@@ -16,7 +16,10 @@
 //!   for figure post-processing,
 //! - [pseudo-random generation](rng) (SplitMix64, xoshiro256++) behind the
 //!   virtual instruments, the Monte-Carlo die factory and the campaign
-//!   engine's deterministic per-die seeding.
+//!   engine's deterministic per-die seeding,
+//! - a [deterministic, branch-free `exp` kernel](vexp) in scalar, lane and
+//!   slice forms — the platform-independent exponential behind every
+//!   hot-path junction evaluation.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@ pub mod robust;
 pub mod roots;
 pub mod sparse;
 pub mod stats;
+pub mod vexp;
 
 pub use error::NumericsError;
 pub use matrix::Matrix;

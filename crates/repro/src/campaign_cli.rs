@@ -5,7 +5,7 @@
 //! repro campaign [--dies N | --diameter D] [--threads N] [--seed S] [--out DIR] [--cold]
 //!                [--no-bypass] [--faults SPEC] [--retries N] [--no-robust] [--trace[=DIR]]
 //!                [--batch N] [--chaos SPEC] [--chaos-seed S] [--die-iter-budget N]
-//!                [--die-wall-ms MS] [--shards N] [--adaptive | --exhaustive]
+//!                [--die-wall-ms MS] [--shards N] [--adaptive | --exhaustive] [--libm-exp]
 //! ```
 //!
 //! `--dies N` picks the smallest circular wafer holding at least `N`
@@ -51,6 +51,12 @@
 //! the default (`0` = auto) picks a full claim chunk. Accepted results
 //! are bit-identical at every setting — the summary's `batching:` line
 //! reports lane utilization.
+//!
+//! `--libm-exp` swaps the in-tree `vexp` exponential kernel for libm's
+//! `f64::exp` everywhere — the benchmarking ablation of the vectorizable
+//! kernel. It changes the accepted bits (libm is platform-dependent), and
+//! it propagates into shard workers so the cross-shard byte-identity
+//! contract holds under the ablation too.
 //!
 //! The subcommand's exit code distinguishes *could not run* (1) from
 //! *ran, but every corner failed the spec window* (2) — see [`help`] and
@@ -120,6 +126,10 @@ pub struct CampaignCliArgs {
     /// Explicit exhaustive ablation (`--exhaustive`, the default
     /// behaviour); conflicts with `--adaptive`.
     pub exhaustive: bool,
+    /// Route every `vexp` call through libm's `f64::exp` (`--libm-exp`).
+    /// Ablation knob for benchmarking the in-tree kernel; changes the
+    /// accepted bits, so it propagates to shard workers.
+    pub libm_exp: bool,
 }
 
 impl Default for CampaignCliArgs {
@@ -144,6 +154,7 @@ impl Default for CampaignCliArgs {
             shards: 0,
             adaptive: false,
             exhaustive: false,
+            libm_exp: false,
         }
     }
 }
@@ -267,6 +278,9 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
             "--exhaustive" => {
                 out.exhaustive = true;
             }
+            "--libm-exp" => {
+                out.libm_exp = true;
+            }
             "--trace" => {
                 out.trace = true;
             }
@@ -285,7 +299,7 @@ pub fn parse_args(args: &[String]) -> Result<CampaignCliArgs, String> {
                      [--out DIR] [--cold] [--no-bypass] [--faults SPEC] [--retries N] \
                      [--no-robust] [--trace[=DIR]] [--batch N] [--chaos SPEC] \
                      [--chaos-seed S] [--die-iter-budget N] [--die-wall-ms MS] \
-                     [--shards N] [--adaptive | --exhaustive])"
+                     [--shards N] [--adaptive | --exhaustive] [--libm-exp])"
                 ));
             }
         }
@@ -415,6 +429,15 @@ pub fn render(run: &CampaignRun) -> String {
         solver.restamp_incremental,
         solver.restamp_full,
     );
+    let _ = writeln!(
+        s,
+        "  device evals: {:.1}% lane-kernel ({} lane, {} scalar in-stamp), \
+         {} absorbed by exact-bit memo",
+        solver.lane_eval_share() * 100.0,
+        solver.lane_evals,
+        solver.device_evals - solver.lane_evals,
+        solver.device_reuses,
+    );
     let batching = &run.metrics.batching;
     if batching.batch_refills > 0 {
         let _ = writeln!(
@@ -491,7 +514,7 @@ pub fn help() -> String {
      \x20              [--cold] [--no-bypass] [--faults SPEC] [--retries N] [--no-robust]\n\
      \x20              [--trace[=DIR]] [--batch N] [--chaos SPEC] [--chaos-seed S]\n\
      \x20              [--die-iter-budget N] [--die-wall-ms MS] [--shards N]\n\
-     \x20              [--adaptive | --exhaustive]\n\
+     \x20              [--adaptive | --exhaustive] [--libm-exp]\n\
      \n\
      Runs a wafer-scale IC(VBE) extraction campaign and prints a summary;\n\
      --out writes the JSON/CSV report artifacts (bit-identical at any\n\
@@ -514,7 +537,10 @@ pub fn help() -> String {
      --chaos). --adaptive probes each die on its first corner and runs\n\
      the remaining corners only when the probe looks suspicious; clean\n\
      dies report those corners as skipped. --exhaustive is the explicit\n\
-     full-plan ablation (the default).\n\
+     full-plan ablation (the default). --libm-exp routes every exp through\n\
+     libm instead of the in-tree vexp kernel — the benchmarking ablation;\n\
+     it changes the accepted bits and propagates into shard workers, so\n\
+     artifacts stay byte-identical across threads/batch/shards either way.\n\
      \n\
      Exit codes:\n\
      \x20 0  campaign ran and at least one corner measurement passed the spec window\n\
@@ -539,6 +565,9 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
         return Ok((help(), 0));
     }
     let cli = parse_args(args)?;
+    // Process-wide backend switch: must act before any die is solved,
+    // and again inside every shard worker (bits change with it).
+    icvbe_numerics::vexp::set_libm_backend(cli.libm_exp);
     let mut spec = CampaignSpec::paper_default(WaferMap::circular(cli.diameter), cli.seed);
     spec.warm_start = !cli.cold;
     spec.bypass = cli.bypass;
@@ -558,6 +587,7 @@ pub fn run_cli_status(args: &[String]) -> Result<(String, u8), String> {
             threads: cli.threads,
             batch: cli.batch,
             budget,
+            libm_exp: cli.libm_exp,
             worker_exe: None,
         };
         run_sharded(&spec, &opts).map_err(|e| e.to_string())?

@@ -29,7 +29,7 @@
 //!
 //! | direction | line |
 //! |---|---|
-//! | supervisor → worker | `{"cmd":"shard_run","version":1,"shard":i,"start_die":a,"end_die":b,"threads":t,"batch":n,"die_iter_budget":x,"die_wall_ms":y,"spec":{...}}` |
+//! | supervisor → worker | `{"cmd":"shard_run","version":1,"shard":i,"start_die":a,"end_die":b,"threads":t,"batch":n,"die_iter_budget":x,"die_wall_ms":y,"libm_exp":0|1,"spec":{...}}` |
 //! | worker → supervisor | `{"type":"progress","shard":i,"folded":n}`* (cadenced) |
 //! | worker → supervisor (terminal) | the checksummed partial-aggregate document (`"schema":"icvbe-campaign-partial-v1"`) |
 //! | worker → supervisor (terminal) | `{"ok":false,"error":e,"detail":d}` |
@@ -149,6 +149,11 @@ pub struct ShardOptions {
     pub batch: usize,
     /// Per-die solve containment budget forwarded to every worker.
     pub budget: DieBudget,
+    /// Route worker exponentials through libm instead of the in-tree
+    /// `vexp` kernel (the benchmarking ablation). Changes the accepted
+    /// bits, so every worker must agree with the supervisor — the flag
+    /// rides the request line.
+    pub libm_exp: bool,
     /// Worker executable; `None` (the default) re-invokes the current
     /// executable with the `shard-worker` subcommand.
     pub worker_exe: Option<PathBuf>,
@@ -161,6 +166,7 @@ impl Default for ShardOptions {
             threads: 1,
             batch: 0,
             budget: DieBudget::default(),
+            libm_exp: false,
             worker_exe: None,
         }
     }
@@ -198,7 +204,7 @@ pub fn shard_request_line(
             "{{\"cmd\":\"shard_run\",\"version\":{version},\"shard\":{shard},",
             "\"start_die\":{start},\"end_die\":{end},\"threads\":{threads},",
             "\"batch\":{batch},\"die_iter_budget\":{iters},",
-            "\"die_wall_ms\":{wall},\"spec\":{spec}}}"
+            "\"die_wall_ms\":{wall},\"libm_exp\":{libm},\"spec\":{spec}}}"
         ),
         version = SHARD_PROTOCOL_VERSION,
         shard = shard,
@@ -208,6 +214,7 @@ pub fn shard_request_line(
         batch = opts.batch,
         iters = opts.budget.max_newton_iterations,
         wall = opts.budget.max_wall_ms,
+        libm = u8::from(opts.libm_exp),
         spec = spec_to_json(spec),
     )
 }
@@ -451,6 +458,10 @@ fn shard_worker_run(request: &str) -> Result<String, (String, String)> {
         max_newton_iterations: field("die_iter_budget")?,
         max_wall_ms: field("die_wall_ms")?,
     };
+    // The exp-backend ablation changes the accepted bits, so the worker
+    // must switch before it solves anything or its partial would fail the
+    // supervisor's cross-shard byte-identity contract.
+    icvbe_numerics::vexp::set_libm_backend(field("libm_exp")? != 0);
     let spec_v = v
         .get("spec")
         .ok_or_else(|| bad("request must carry a \"spec\" object"))?;
@@ -567,6 +578,7 @@ mod tests {
             shards: 2,
             threads: 3,
             batch: 4,
+            libm_exp: true,
             ..ShardOptions::default()
         };
         let line = shard_request_line(&spec, 1, (2, 4), &opts);
@@ -576,6 +588,7 @@ mod tests {
         assert_eq!(v.get("start_die").and_then(Json::as_u64), Some(2));
         assert_eq!(v.get("end_die").and_then(Json::as_u64), Some(4));
         assert_eq!(v.get("threads").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("libm_exp").and_then(Json::as_u64), Some(1));
         let decoded = spec_from_value(v.get("spec").unwrap()).unwrap();
         assert_eq!(decoded, spec);
     }

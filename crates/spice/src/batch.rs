@@ -11,16 +11,15 @@
 //! - **SoA state** — iterate, residual, trial and update vectors are
 //!   lane-major contiguous arrays in a reusable [`BatchWorkspace`], the
 //!   layout a SIMD or GPU backend consumes directly;
-//! - **batched device evaluation** — the BJT junction exponentials are
-//!   reshaped into lane-array kernels ([`crate::limexp::limexp_lanes`]
-//!   feeding the shared Gummel-Poon combine), exposed through
-//!   [`BatchWorkspace::prewarm_bjt_caches`]: one call evaluates every
-//!   stepping lane and scatters the payloads into each lane's exact-bit
-//!   device cache. The default build keeps the scalar in-stamp
-//!   evaluation inline instead — with `libm`'s scalar `exp` pinned by
-//!   the bits contract, the gather/scatter detour costs more than it
-//!   saves — so the kernel is the drop-in hot path for a future
-//!   vector-`exp` backend (see DESIGN §13);
+//! - **batched device evaluation, live in the hot loop** — before every
+//!   residual round at a fresh iterate, the BJT junction exponentials of
+//!   all stepping lanes run through the lane-array kernel
+//!   ([`crate::limexp::limexp_lanes`] over [`icvbe_numerics::vexp`],
+//!   feeding the shared Gummel-Poon combine), and the payloads land in
+//!   each lane's exact-bit device cache — so the per-lane stamp that
+//!   follows takes pure cache hits. Because `vexp`'s scalar and lane
+//!   forms share one arithmetic core, the prewarmed bits *are* the bits
+//!   the scalar in-stamp path computes, by construction;
 //! - **lockstep sparse LU** — all lanes factor and solve against one
 //!   frozen symbolic plan through
 //!   [`icvbe_numerics::sparse::SparseLuBatch`], whose per-lane arithmetic
@@ -39,21 +38,21 @@
 //!   mirrors `newton_damped` decision for decision (damping halves on
 //!   every failed line-search round, the most-damped fallback step, the
 //!   step-tolerance early exit, the acceptable-residual escape);
-//! - the driver evaluates devices in-stamp per lane exactly like the
-//!   scalar driver; the lane-array kernel, when invoked through
-//!   [`BatchWorkspace::prewarm_bjt_caches`], only *prewarms* the
-//!   exact-bit eval cache with the same bits the in-stamp miss path
-//!   would compute, so a subsequent stamp replay is unchanged;
+//! - the lane-array device kernel computes, per lane, exactly the bits
+//!   the scalar in-stamp miss path would compute (one shared `vexp`
+//!   core), and only ever *prewarms* the exact-bit eval cache with them;
+//!   the per-lane stamp replay that consumes the cache is unchanged;
 //! - batched solves run with the tolerance bypass off (exactly like the
 //!   scalar warm rung), so no approximate residual ever leaks in;
 //! - a lane that cannot finish batched is rerun through the scalar path
 //!   from scratch by the caller, reproducing the scalar escalation ladder
-//!   byte for byte.
+//!   byte for byte (exact-bit cache entries left behind by the batched
+//!   attempt are bits the scalar path would recompute identically).
 //!
-//! On the default path even the eval-effort *counters* match the scalar
-//! driver exactly. An explicit prewarm books one eval plus one exact-bit
-//! reuse where scalar books one eval; counters are observability, not
-//! part of the accepted-bits contract.
+//! Solver-effort *counters* are observability, not part of the
+//! accepted-bits contract: a lane-kernel evaluation books one eval (plus
+//! the lane attribution) and the stamp replay books one exact-bit reuse,
+//! where the scalar driver books one eval.
 
 use std::sync::Arc;
 
@@ -148,9 +147,9 @@ pub struct BatchWorkspace {
     model: Vec<[f64; DEVICE_TEMP_SLOTS]>,
     /// Per-lane eval payloads scattered back into the device caches.
     eval: Vec<[f64; DEVICE_EVAL_SLOTS]>,
-    /// Element indices holding BJTs (computed per prewarm pass from the
-    /// first lane's circuit, so the pass skips every linear element
-    /// without a downcast).
+    /// Element indices holding BJTs (scanned once per batched solve from
+    /// the first lane's circuit, so every prewarm pass skips the linear
+    /// elements without a downcast).
     bjt_candidates: Vec<usize>,
     /// Shape the buffers were last sized for: `(lanes, n, plan address)`.
     /// When unchanged, [`BatchWorkspace::ensure`] returns without touching
@@ -203,26 +202,40 @@ impl BatchWorkspace {
         self.sized_for = shape;
     }
 
+    /// Records the element indices holding BJTs in `circuit` (the first
+    /// lane's; topology is shared across the batch, so a lane that
+    /// disagrees keeps its cold cache for the unlisted device and takes
+    /// the in-stamp miss — same bits). Scanned once per batched solve so
+    /// the per-round prewarm passes skip every linear element without a
+    /// downcast.
+    fn scan_bjt_candidates(&mut self, circuit: &Circuit) {
+        self.bjt_candidates.clear();
+        for (j, element) in circuit.elements().iter().enumerate() {
+            if element.as_any().downcast_ref::<Bjt>().is_some() {
+                self.bjt_candidates.push(j);
+            }
+        }
+    }
+
     /// Prewarms the exact-bit BJT eval caches of every masked lane at the
-    /// lane-major points `xs` (lane `l` at `xs[l * n..(l + 1) * n]`):
-    /// terminal voltages are gathered per lane, the junction exponentials
-    /// run through the lane-array kernel ([`crate::limexp::limexp_lanes`]
-    /// feeding the shared Gummel-Poon combine), and the payloads are
-    /// scattered into each lane's device slots — the same bits the
-    /// in-stamp miss path would compute, so a subsequent per-lane stamp
-    /// replay takes pure cache hits. Lanes whose cache already holds the
-    /// point are skipped (the replay books the exact-bit reuse as usual).
+    /// selected lane-major point buffer (lane `l` at
+    /// `buf[l * n..(l + 1) * n]`): terminal voltages are gathered per
+    /// lane, the junction exponentials run through the lane-array kernel
+    /// ([`crate::limexp::limexp_lanes`] over the shared `vexp` core,
+    /// feeding the Gummel-Poon combine), and the payloads are scattered
+    /// into each lane's device slots — the same bits the in-stamp miss
+    /// path would compute, so the per-lane stamp replay that follows
+    /// takes pure cache hits. Lanes whose cache already holds the point
+    /// are skipped (the replay books the exact-bit reuse as usual).
     ///
-    /// This is the lane-parallel device-evaluation hook: a vector-`exp`
-    /// backend calls it before each residual round and turns every
-    /// in-stamp evaluation into a cache hit. The default scalar-`libm`
-    /// build leaves it out of the hot loop: the exponential bits are
-    /// pinned by the accepted-bits contract, so the kernel runs the same
-    /// scalar `exp` per lane and the gather/scatter detour costs more
-    /// than it saves (see DESIGN §13). Calling it is always bit-inert.
-    pub fn prewarm_bjt_caches(&mut self, ctx: &[LaneCtx<'_>], mask: &[bool], xs: &[f64], n: usize) {
+    /// [`solve_dc_batch`] calls this before every residual evaluation at
+    /// a fresh point: the seeds, each line-search trial round, and the
+    /// most-damped fallback. Calling it is always bit-inert — since
+    /// `vexp`'s scalar and lane forms share one arithmetic core, the
+    /// prewarmed bits equal the scalar in-stamp bits by construction.
+    fn prewarm_bjt_caches(&mut self, ctx: &[LaneCtx<'_>], mask: &[bool], at: PrewarmAt, n: usize) {
         let lanes = ctx.len();
-        if lanes == 0 || lanes > MAX_LANES || mask.len() < lanes || xs.len() < lanes * n {
+        if lanes == 0 || lanes > MAX_LANES || mask.len() < lanes {
             return;
         }
         self.bjt.ensure(lanes);
@@ -230,23 +243,33 @@ impl BatchWorkspace {
         self.vbc.resize(lanes, 0.0);
         self.model.resize(lanes, [0.0; DEVICE_TEMP_SLOTS]);
         self.eval.resize(lanes, [0.0; DEVICE_EVAL_SLOTS]);
-        // BJT element indices from the first lane's circuit: topology is
-        // shared across the batch, so linear elements never pay a
-        // downcast. A lane that disagrees keeps its cold cache for the
-        // unlisted device and takes the in-stamp miss — same bits.
-        self.bjt_candidates.clear();
-        for (j, element) in ctx[0].circuit.elements().iter().enumerate() {
-            if element.as_any().downcast_ref::<Bjt>().is_some() {
-                self.bjt_candidates.push(j);
-            }
+        // Split borrows: the point buffer is read while the gather/scatter
+        // buffers are written, so destructure the workspace fields.
+        let BatchWorkspace {
+            x,
+            trial,
+            bjt,
+            vbe,
+            vbc,
+            model,
+            eval,
+            bjt_candidates,
+            ..
+        } = self;
+        let xs: &[f64] = match at {
+            PrewarmAt::Iterate => x,
+            PrewarmAt::Trial => trial,
+        };
+        if xs.len() < lanes * n {
+            return;
         }
         let mut slots: [Option<std::cell::RefMut<'_, Vec<DeviceSlot>>>; MAX_LANES] =
             std::array::from_fn(|l| {
                 (l < lanes && mask[l]).then(|| ctx[l].assembly.device_slots_mut())
             });
         let mut devs: [Option<&Bjt>; MAX_LANES] = [None; MAX_LANES];
-        for ci in 0..self.bjt_candidates.len() {
-            let j = self.bjt_candidates[ci];
+        for ci in 0..bjt_candidates.len() {
+            let j = bjt_candidates[ci];
             let mut any = false;
             for l in 0..lanes {
                 devs[l] = None;
@@ -282,9 +305,9 @@ impl BatchWorkspace {
                 if slot.eval_hit([vbe_l, vbc_l]) {
                     continue;
                 }
-                self.vbe[l] = vbe_l;
-                self.vbc[l] = vbc_l;
-                self.model[l] = slots_cached;
+                vbe[l] = vbe_l;
+                vbc[l] = vbc_l;
+                model[l] = slots_cached;
                 devs[l] = Some(dev);
                 any = true;
             }
@@ -293,26 +316,38 @@ impl BatchWorkspace {
             }
             eval_bjt_lanes(
                 &devs[..lanes],
-                &self.model[..lanes],
-                &self.vbe[..lanes],
-                &self.vbc[..lanes],
-                &mut self.bjt,
-                &mut self.eval[..lanes],
+                &model[..lanes],
+                &vbe[..lanes],
+                &vbc[..lanes],
+                bjt,
+                &mut eval[..lanes],
             );
             for l in 0..lanes {
                 if devs[l].is_none() {
                     continue;
                 }
                 if let Some(slot) = slots[l].as_mut().and_then(|s| s.get_mut(j)) {
-                    slot.put_eval([self.vbe[l], self.vbc[l]], self.eval[l]);
+                    slot.put_eval([vbe[l], vbc[l]], eval[l]);
                 }
                 // Book the evaluation exactly as the in-stamp miss path
-                // would; the replay's exact-bit hit then books the reuse.
+                // would — the replay's exact-bit hit then books the reuse —
+                // plus the lane attribution for observability.
                 let counters = ctx[l].assembly.stamp_counters();
                 counters.device_evals.set(counters.device_evals.get() + 1);
+                counters.lane_evals.set(counters.lane_evals.get() + 1);
             }
         }
     }
+}
+
+/// Which lane-major point buffer a prewarm pass reads.
+#[derive(Debug, Clone, Copy)]
+enum PrewarmAt {
+    /// The accepted iterate `x` (the initial-residual evaluation at the
+    /// seeds).
+    Iterate,
+    /// The line-search / most-damped-fallback trial point.
+    Trial,
 }
 
 /// Infinity norm, bit-identical to the scalar Newton driver's.
@@ -397,6 +432,7 @@ pub fn solve_dc_batch(
         return 0;
     }
     batch.ensure(lanes, n, &plan);
+    batch.scan_bjt_candidates(ctx[0].circuit);
 
     // Per-lane systems: hot path with the tolerance bypass off, exactly
     // like the scalar warm rung — accepted residuals are always exact.
@@ -439,9 +475,11 @@ pub fn solve_dc_batch(
         active[l] = true;
     }
 
-    // Initial residual, evaluated in-stamp per lane exactly like the
-    // scalar driver (the lane-array kernel stays out of this loop — see
-    // the module docs and [`BatchWorkspace::prewarm_bjt_caches`]).
+    // Initial residual: one lane-array device-kernel pass prewarms every
+    // active lane's eval cache at its seed, then the per-lane stamp
+    // replay (identical to the scalar driver's) assembles the residual
+    // from pure cache hits.
+    batch.prewarm_bjt_caches(ctx, &active[..lanes], PrewarmAt::Iterate, n);
     for l in 0..lanes {
         if !active[l] {
             continue;
@@ -579,6 +617,9 @@ pub fn solve_dc_batch(
                         batch.x[l * n + i] + batch.damping[l] * batch.dx[l * n + i];
                 }
             }
+            // Fresh trial points: one lane-array kernel pass, then the
+            // per-lane residual replay below runs on cache hits.
+            batch.prewarm_bjt_caches(ctx, &searching[..lanes], PrewarmAt::Trial, n);
             for l in 0..lanes {
                 if !searching[l] {
                     continue;
@@ -634,6 +675,7 @@ pub fn solve_dc_batch(
             }
         }
         if fallback[..lanes].iter().any(|&f| f) {
+            batch.prewarm_bjt_caches(ctx, &fallback[..lanes], PrewarmAt::Trial, n);
             for l in 0..lanes {
                 if !fallback[l] {
                     continue;
@@ -864,7 +906,9 @@ mod tests {
 
         // Two identical fresh setups; run B prewarms every lane's device
         // cache through the lane-array kernel at the seed points before
-        // the batched solve. Outcomes and solution bits must not move.
+        // the batched solve (which prewarms again internally — the extra
+        // pass must be absorbed as pure exact-bit hits). Outcomes and
+        // solution bits must not move.
         let mut runs: Vec<Vec<(Vec<u64>, DcSolveInfo)>> = Vec::new();
         for prewarm in [false, true] {
             let circuits: Vec<Circuit> = (0..lanes).map(ptat_cell).collect();
@@ -895,11 +939,12 @@ mod tests {
             let mut batch = BatchWorkspace::new();
             let n = assemblies[0].dimension();
             if prewarm {
-                let mut xs = vec![0.0; lanes * n];
+                batch.scan_bjt_candidates(&circuits[0]);
+                batch.x.resize(lanes * n, 0.0);
                 for l in 0..lanes {
-                    xs[l * n..(l + 1) * n].copy_from_slice(&seeds[l]);
+                    batch.x[l * n..(l + 1) * n].copy_from_slice(&seeds[l]);
                 }
-                batch.prewarm_bjt_caches(&ctx, &[true; MAX_LANES][..lanes], &xs, n);
+                batch.prewarm_bjt_caches(&ctx, &[true; MAX_LANES][..lanes], PrewarmAt::Iterate, n);
             }
             let mut ws_refs: Vec<&mut SolveWorkspace> = workspaces.iter_mut().collect();
             let mut outcomes = vec![LaneOutcome::Retired; lanes];

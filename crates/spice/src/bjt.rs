@@ -556,6 +556,15 @@ impl Bjt {
     /// slots: `[ic, ib, y11, y12, y21, y22, i_raw, g]`. This is the eval
     /// miss path of [`Element::stamp`], shared with the batched kernel so
     /// both produce identical bits.
+    ///
+    /// All five junction sites run through one fixed-width
+    /// [`limexp_lanes`] block — the same shape [`eval_bjt_lanes`] uses
+    /// across lanes, vectorized *within* a single device here, so even
+    /// the scalar miss path pays one SIMD exponential pass instead of
+    /// up to five serial scalar calls. Dead leakage/substrate sites
+    /// compute whatever their (possibly `inf`/`NaN`) argument yields;
+    /// the combine never reads them, mirroring [`Bjt::gummel_poon`]'s
+    /// conditionals bit-for-bit.
     pub(crate) fn eval_slots(
         &self,
         vbe: f64,
@@ -563,12 +572,21 @@ impl Bjt {
         slots: &[f64; DEVICE_TEMP_SLOTS],
     ) -> [f64; DEVICE_EVAL_SLOTS] {
         let m = BjtAtTemperature::from_slots(slots);
-        let (ic, ib, y11, y12, y21, y22) = self.gummel_poon(vbe, vbc, &m);
+        let args = [
+            vbe / m.vt_f,
+            vbc / m.vt_r,
+            vbe / m.vt_e,
+            vbc / m.vt_c,
+            vbe / slots[SLOT_SUB_VT],
+        ];
+        let mut vals = [0.0; 5];
+        let mut slopes = [0.0; 5];
+        limexp_lanes(&args, &mut vals, &mut slopes);
+        let site = |s: usize| (vals[s], slopes[s]);
+        let (ic, ib, y11, y12, y21, y22) =
+            gummel_poon_combine(vbe, vbc, &m, site(0), site(1), site(2), site(3));
         let (i_raw, g) = if self.substrate.is_some() {
-            let is = slots[SLOT_SUB_IS];
-            let vt = slots[SLOT_SUB_VT];
-            let e = limexp(vbe / vt);
-            substrate_combine(is, vt, e)
+            substrate_combine(slots[SLOT_SUB_IS], slots[SLOT_SUB_VT], site(4))
         } else {
             (0.0, 0.0)
         };

@@ -5,6 +5,12 @@
 //! continues the exponential linearly (with matching value and slope) above
 //! a cutoff argument, preserving convexity and keeping every iterate
 //! finite.
+//!
+//! The exponential itself is [`icvbe_numerics::vexp`] — the deterministic,
+//! branch-free in-tree kernel — not libm `exp`: the scalar and lane forms
+//! therefore compute identical bits by construction, on every host.
+
+use icvbe_numerics::vexp::{vexp, vexp_slice};
 
 /// Cutoff argument above which the exponential continues linearly.
 ///
@@ -36,10 +42,10 @@ pub const LIMEXP_CUTOFF: f64 = 120.0;
 #[must_use]
 pub fn limexp(x: f64) -> (f64, f64) {
     if x <= LIMEXP_CUTOFF {
-        let e = x.exp();
+        let e = vexp(x);
         (e, e)
     } else {
-        let e = LIMEXP_CUTOFF.exp();
+        let e = vexp(LIMEXP_CUTOFF);
         (e * (1.0 + x - LIMEXP_CUTOFF), e)
     }
 }
@@ -56,9 +62,14 @@ pub fn limexp(x: f64) -> (f64, f64) {
 pub fn limexp_lanes(xs: &[f64], value: &mut [f64], slope: &mut [f64]) {
     debug_assert_eq!(xs.len(), value.len());
     debug_assert_eq!(xs.len(), slope.len());
-    let e_cut = LIMEXP_CUTOFF.exp();
+    let e_cut = vexp(LIMEXP_CUTOFF);
+    // One vectorized exponential pass fills `slope`, then a branch-free
+    // select pass applies the tangent continuation per lane. Each lane's
+    // result is bit-identical to the scalar [`limexp`] because vexp's
+    // slice and scalar forms share one arithmetic core.
+    vexp_slice(xs, slope);
     for ((&x, v), d) in xs.iter().zip(value.iter_mut()).zip(slope.iter_mut()) {
-        let e = x.exp();
+        let e = *d;
         let tangent = e_cut * (1.0 + x - LIMEXP_CUTOFF);
         let over = x > LIMEXP_CUTOFF;
         *v = if over { tangent } else { e };

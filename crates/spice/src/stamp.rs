@@ -175,6 +175,7 @@ impl BypassTolerance {
 #[derive(Debug, Default)]
 pub(crate) struct StampCounters {
     pub(crate) device_evals: Cell<u64>,
+    pub(crate) lane_evals: Cell<u64>,
     pub(crate) device_reuses: Cell<u64>,
     pub(crate) bypass_hits: Cell<u64>,
     pub(crate) restamp_incremental: Cell<u64>,
@@ -185,6 +186,7 @@ impl StampCounters {
     pub(crate) fn take(&self) -> StampEffort {
         StampEffort {
             device_evals: self.device_evals.take(),
+            lane_evals: self.lane_evals.take(),
             device_reuses: self.device_reuses.take(),
             bypass_hits: self.bypass_hits.take(),
             restamp_incremental: self.restamp_incremental.take(),
@@ -203,6 +205,11 @@ fn bump(cell: &Cell<u64>) {
 pub struct StampEffort {
     /// Full device evaluations performed (model equations run).
     pub device_evals: u64,
+    /// The subset of [`StampEffort::device_evals`] computed by the
+    /// lane-array device kernel of the batched driver (each also counts
+    /// in `device_evals`; `device_evals - lane_evals` is the scalar
+    /// in-stamp share).
+    pub lane_evals: u64,
     /// Evaluations skipped because the controlling voltages matched the
     /// cached anchor bit-for-bit (always sound).
     pub device_reuses: u64,

@@ -50,6 +50,9 @@ pub struct SolveStats {
     pub ladder_exhausted: u64,
     /// Full device evaluations performed.
     pub device_evals: u64,
+    /// The subset of [`SolveStats::device_evals`] computed by the
+    /// lane-array device kernel of the batched driver.
+    pub lane_evals: u64,
     /// Device evaluations skipped by an exact-bit cache hit.
     pub device_reuses: u64,
     /// Device evaluations skipped by the tolerance bypass.
@@ -131,6 +134,7 @@ impl SolveWorkspace {
 pub(crate) fn drain_effort(ws: &mut SolveWorkspace, assembly: &CircuitAssembly) -> u64 {
     let effort = assembly.take_stamp_effort();
     ws.stats.device_evals += effort.device_evals;
+    ws.stats.lane_evals += effort.lane_evals;
     ws.stats.device_reuses += effort.device_reuses;
     ws.stats.bypass_hits += effort.bypass_hits;
     ws.stats.restamp_incremental += effort.restamp_incremental;
@@ -556,6 +560,7 @@ mod tests {
             ladder_success: [1, 2, 0, 0],
             ladder_exhausted: 0,
             device_evals: 42,
+            lane_evals: 7,
             device_reuses: 9,
             bypass_hits: 4,
             restamp_incremental: 11,

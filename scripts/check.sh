@@ -70,6 +70,21 @@ for f in campaign_aggregate.json campaign_aggregate.csv \
     { echo "FAIL: $f differs with bypass on/off"; exit 1; }
 done
 
+echo "==> vexp smoke: exp-kernel conformance tests (2-ulp, lane/slice bit-identity)"
+cargo test -q -p icvbe-numerics --lib vexp
+
+echo "==> vexp grep gate: no libm exp in Newton/stamp hot paths"
+# The bits contract routes every hot-path exponential through the
+# in-tree vexp kernel; a stray f64::exp would silently reintroduce
+# platform-dependent bits. Doc comments and #[cfg(test)] code may still
+# reference libm for conformance checks.
+for f in crates/spice/src/limexp.rs crates/spice/src/bjt.rs \
+         crates/devphys/src/saturation.rs crates/devphys/src/carriers.rs; do
+  if sed '/#\[cfg(test)\]/,$d' "$f" | grep -v '^\s*//' | grep -q '\.exp()'; then
+    echo "FAIL: libm .exp() in hot-path file $f"; exit 1
+  fi
+done
+
 echo "==> batch smoke: lockstep lane batching is live and bit-inert"
 ./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
   --out "$smoke_dir/batch_auto" > /dev/null
@@ -79,10 +94,26 @@ grep -q '"batched_solves":0[,}]' "$smoke_dir/batch_auto/campaign_metrics.json" &
   { echo "FAIL: default run took no batched solves"; exit 1; }
 grep -q '"batched_solves":0[,}]' "$smoke_dir/batch_off/campaign_metrics.json" || \
   { echo "FAIL: --batch 1 still batched"; exit 1; }
+grep -q '"lane_evals":0[,}]' "$smoke_dir/batch_auto/campaign_metrics.json" && \
+  { echo "FAIL: default run fed no evals through the lane kernel"; exit 1; }
 for f in campaign_aggregate.json campaign_aggregate.csv \
          campaign_quarantine.json campaign_quarantine.csv; do
   cmp "$smoke_dir/batch_auto/$f" "$smoke_dir/batch_off/$f" || \
     { echo "FAIL: $f differs batched vs --batch 1"; exit 1; }
+done
+
+echo "==> libm-exp smoke: ablation differs from vexp bits, invariant within itself"
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --libm-exp --out "$smoke_dir/libm_a" > /dev/null
+./target/release/repro campaign --diameter 5 --seed 13 --threads 2 \
+  --libm-exp --batch 1 --shards 4 --out "$smoke_dir/libm_b" > /dev/null
+cmp -s "$smoke_dir/batch_auto/campaign_aggregate.json" \
+  "$smoke_dir/libm_a/campaign_aggregate.json" && \
+  { echo "FAIL: --libm-exp produced the vexp bits (backend not switching)"; exit 1; }
+for f in campaign_aggregate.json campaign_aggregate.csv \
+         campaign_quarantine.json campaign_quarantine.csv; do
+  cmp "$smoke_dir/libm_a/$f" "$smoke_dir/libm_b/$f" || \
+    { echo "FAIL: $f differs across batch/shards under --libm-exp"; exit 1; }
 done
 
 echo "==> serve smoke: streamed artifacts match one-shot bytes; kill -9 + resume"
@@ -119,7 +150,7 @@ progress=0
 for _ in $(seq 1 200); do
   ck="$(ls "$ckdir"/job-*.json 2>/dev/null | head -1 || true)"
   if [ -n "$ck" ]; then
-    progress="$(tr -d '\\' < "$ck" | grep -o '"next_die":[0-9]*' \
+    progress="$(tr -d '\\' 2>/dev/null < "$ck" | grep -o '"next_die":[0-9]*' \
       | head -1 | cut -d: -f2 || true)"
     [ "${progress:-0}" -ge 20 ] && break
   fi
@@ -195,7 +226,7 @@ for _ in $(seq 1 400); do
   ck="$(ls "$ck3"/job-*.json 2>/dev/null | grep -v prev | head -1 || true)"
   prev="$(ls "$ck3"/job-*.prev.json 2>/dev/null | head -1 || true)"
   if [ -n "$ck" ] && [ -n "$prev" ]; then
-    progress="$(tr -d '\\' < "$ck" | grep -o '"next_die":[0-9]*' \
+    progress="$(tr -d '\\' 2>/dev/null < "$ck" | grep -o '"next_die":[0-9]*' \
       | head -1 | cut -d: -f2 || true)"
     [ "${progress:-0}" -ge 20 ] && break
   fi
@@ -208,8 +239,11 @@ wait "$serve3_pid" 2>/dev/null || true
 wait "$submit3_pid" 2>/dev/null || true
 # Tear the tail off the newest checkpoint — a crash mid-write. The restart
 # (chaos off) must recover through the .prev slot, byte-identically.
-ck="$(ls "$ck3"/job-*.json | grep -v prev | head -1)"
-truncate -s -17 "$ck"
+# kill -9 can land between the rotate and the fresh primary write; a
+# missing primary is already the torn state the drill wants, so only
+# truncate when one exists.
+ck="$(ls "$ck3"/job-*.json 2>/dev/null | grep -v prev | head -1 || true)"
+[ -z "$ck" ] || truncate -s -17 "$ck"
 ./target/release/repro serve --addr 127.0.0.1:0 --threads 2 --slice 8 \
   --checkpoint-every 1 --checkpoint-dir "$ck3" \
   > "$smoke_dir/serve4.log" 2>"$smoke_dir/serve4.err" &
